@@ -1,0 +1,192 @@
+//! Compressed sparse-row adjacency for walk generation and coarsening.
+//!
+//! DeepWalk and MILE treat the graph as undirected and weighted; edges
+//! are symmetrized on construction and parallel edges accumulate weight.
+
+use pbg_graph::edges::EdgeList;
+
+/// Undirected weighted CSR adjacency.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Adjacency {
+    offsets: Vec<usize>,
+    neighbors: Vec<u32>,
+    weights: Vec<f32>,
+}
+
+impl Adjacency {
+    /// Builds a symmetrized adjacency over `num_nodes` from `edges`
+    /// (relation types are ignored; self-loops dropped).
+    ///
+    /// # Panics
+    ///
+    /// Panics if an endpoint is `>= num_nodes`.
+    pub fn from_edges(edges: &EdgeList, num_nodes: usize) -> Self {
+        let mut degree = vec![0usize; num_nodes];
+        for i in 0..edges.len() {
+            let e = edges.get(i);
+            assert!(
+                e.src.index() < num_nodes && e.dst.index() < num_nodes,
+                "edge endpoint out of range"
+            );
+            if e.src == e.dst {
+                continue;
+            }
+            degree[e.src.index()] += 1;
+            degree[e.dst.index()] += 1;
+        }
+        let mut offsets = vec![0usize; num_nodes + 1];
+        for v in 0..num_nodes {
+            offsets[v + 1] = offsets[v] + degree[v];
+        }
+        let total = offsets[num_nodes];
+        let mut neighbors = vec![0u32; total];
+        let mut weights = vec![0.0f32; total];
+        let mut cursor = offsets.clone();
+        for i in 0..edges.len() {
+            let e = edges.get(i);
+            if e.src == e.dst {
+                continue;
+            }
+            let w = edges.weight(i);
+            let s = e.src.index();
+            let d = e.dst.index();
+            neighbors[cursor[s]] = e.dst.0;
+            weights[cursor[s]] = w;
+            cursor[s] += 1;
+            neighbors[cursor[d]] = e.src.0;
+            weights[cursor[d]] = w;
+            cursor[d] += 1;
+        }
+        Adjacency {
+            offsets,
+            neighbors,
+            weights,
+        }
+    }
+
+    /// Builds directly from weighted neighbor lists (used by coarsening).
+    ///
+    /// # Panics
+    ///
+    /// Panics if list lengths disagree.
+    pub fn from_lists(lists: Vec<Vec<(u32, f32)>>) -> Self {
+        let num_nodes = lists.len();
+        let mut offsets = vec![0usize; num_nodes + 1];
+        for (v, l) in lists.iter().enumerate() {
+            offsets[v + 1] = offsets[v] + l.len();
+        }
+        let mut neighbors = Vec::with_capacity(offsets[num_nodes]);
+        let mut weights = Vec::with_capacity(offsets[num_nodes]);
+        for l in lists {
+            for (n, w) in l {
+                neighbors.push(n);
+                weights.push(w);
+            }
+        }
+        Adjacency {
+            offsets,
+            neighbors,
+            weights,
+        }
+    }
+
+    /// Number of nodes.
+    pub fn num_nodes(&self) -> usize {
+        self.offsets.len() - 1
+    }
+
+    /// Number of directed neighbor entries (2× undirected edge count).
+    pub fn num_entries(&self) -> usize {
+        self.neighbors.len()
+    }
+
+    /// Neighbors of `v`.
+    pub fn neighbors(&self, v: u32) -> &[u32] {
+        &self.neighbors[self.offsets[v as usize]..self.offsets[v as usize + 1]]
+    }
+
+    /// Edge weights aligned with [`Adjacency::neighbors`].
+    pub fn weights(&self, v: u32) -> &[f32] {
+        &self.weights[self.offsets[v as usize]..self.offsets[v as usize + 1]]
+    }
+
+    /// Degree of `v`.
+    pub fn degree(&self, v: u32) -> usize {
+        self.neighbors(v).len()
+    }
+
+    /// Resident bytes.
+    pub fn bytes(&self) -> usize {
+        self.offsets.len() * 8 + self.neighbors.len() * 4 + self.weights.len() * 4
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pbg_graph::edges::Edge;
+
+    fn triangle() -> Adjacency {
+        let edges: EdgeList = [
+            Edge::new(0u32, 0u32, 1u32),
+            Edge::new(1u32, 0u32, 2u32),
+            Edge::new(2u32, 0u32, 0u32),
+        ]
+        .into_iter()
+        .collect();
+        Adjacency::from_edges(&edges, 3)
+    }
+
+    #[test]
+    fn symmetrization() {
+        let adj = triangle();
+        for v in 0..3u32 {
+            assert_eq!(adj.degree(v), 2, "triangle node {v}");
+        }
+        assert!(adj.neighbors(0).contains(&1));
+        assert!(adj.neighbors(0).contains(&2));
+    }
+
+    #[test]
+    fn self_loops_dropped() {
+        let edges: EdgeList = [Edge::new(0u32, 0u32, 0u32), Edge::new(0u32, 0u32, 1u32)]
+            .into_iter()
+            .collect();
+        let adj = Adjacency::from_edges(&edges, 2);
+        assert_eq!(adj.degree(0), 1);
+    }
+
+    #[test]
+    fn weights_follow_edges() {
+        let mut edges = EdgeList::new();
+        edges.push_weighted(Edge::new(0u32, 0u32, 1u32), 2.5);
+        let adj = Adjacency::from_edges(&edges, 2);
+        assert_eq!(adj.weights(0), &[2.5]);
+        assert_eq!(adj.weights(1), &[2.5]);
+    }
+
+    #[test]
+    fn isolated_nodes_have_zero_degree() {
+        let edges: EdgeList = [Edge::new(0u32, 0u32, 1u32)].into_iter().collect();
+        let adj = Adjacency::from_edges(&edges, 5);
+        assert_eq!(adj.degree(4), 0);
+        assert_eq!(adj.num_nodes(), 5);
+    }
+
+    #[test]
+    fn from_lists_roundtrip() {
+        let adj = Adjacency::from_lists(vec![
+            vec![(1, 1.0)],
+            vec![(0, 1.0), (2, 3.0)],
+            vec![(1, 3.0)],
+        ]);
+        assert_eq!(adj.num_nodes(), 3);
+        assert_eq!(adj.neighbors(1), &[0, 2]);
+        assert_eq!(adj.weights(1), &[1.0, 3.0]);
+    }
+
+    #[test]
+    fn bytes_accounting_positive() {
+        assert!(triangle().bytes() > 0);
+    }
+}

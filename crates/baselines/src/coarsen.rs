@@ -1,0 +1,213 @@
+//! Heavy-edge-matching graph coarsening (MILE's first phase).
+//!
+//! MILE "repeatedly coarsens the graph into smaller ones" by collapsing
+//! matched node pairs; we use the classic heavy-edge matching of
+//! multilevel partitioners: visit nodes in random order, match each
+//! unmatched node with its heaviest unmatched neighbor, merge matched
+//! pairs into super-nodes, and accumulate edge weights between
+//! super-nodes.
+
+use crate::adjacency::Adjacency;
+use pbg_tensor::rng::Xoshiro256;
+use std::collections::HashMap;
+
+/// One coarsening step: the coarse graph and the fine→coarse projection.
+#[derive(Debug, Clone)]
+pub struct CoarseLevel {
+    /// Coarsened adjacency.
+    pub graph: Adjacency,
+    /// `mapping[fine_node] = coarse_node`.
+    pub mapping: Vec<u32>,
+}
+
+/// Coarsens `graph` one level.
+pub fn coarsen_once(graph: &Adjacency, rng: &mut Xoshiro256) -> CoarseLevel {
+    let n = graph.num_nodes();
+    let mut order: Vec<u32> = (0..n as u32).collect();
+    for i in (1..n).rev() {
+        let j = rng.gen_index(i + 1);
+        order.swap(i, j);
+    }
+    const UNMATCHED: u32 = u32::MAX;
+    let mut matched = vec![UNMATCHED; n];
+    for &v in &order {
+        if matched[v as usize] != UNMATCHED {
+            continue;
+        }
+        // heaviest unmatched neighbor
+        let mut best: Option<(u32, f32)> = None;
+        for (&u, &w) in graph.neighbors(v).iter().zip(graph.weights(v)) {
+            if u == v || matched[u as usize] != UNMATCHED {
+                continue;
+            }
+            if best.map_or(true, |(_, bw)| w > bw) {
+                best = Some((u, w));
+            }
+        }
+        match best {
+            Some((u, _)) => {
+                matched[v as usize] = u;
+                matched[u as usize] = v;
+            }
+            None => matched[v as usize] = v, // self-match (singleton)
+        }
+    }
+    // assign coarse ids: pair gets one id
+    let mut mapping = vec![UNMATCHED; n];
+    let mut next = 0u32;
+    for v in 0..n as u32 {
+        if mapping[v as usize] != UNMATCHED {
+            continue;
+        }
+        let mate = matched[v as usize];
+        mapping[v as usize] = next;
+        if mate != v {
+            mapping[mate as usize] = next;
+        }
+        next += 1;
+    }
+    // accumulate coarse edges
+    let coarse_n = next as usize;
+    let mut lists: Vec<HashMap<u32, f32>> = vec![HashMap::new(); coarse_n];
+    for v in 0..n as u32 {
+        let cv = mapping[v as usize];
+        for (&u, &w) in graph.neighbors(v).iter().zip(graph.weights(v)) {
+            if u < v {
+                continue; // count each undirected edge once
+            }
+            let cu = mapping[u as usize];
+            if cu == cv {
+                continue; // collapsed edge disappears
+            }
+            *lists[cv as usize].entry(cu).or_insert(0.0) += w;
+            *lists[cu as usize].entry(cv).or_insert(0.0) += w;
+        }
+    }
+    let lists: Vec<Vec<(u32, f32)>> = lists
+        .into_iter()
+        .map(|m| {
+            let mut v: Vec<(u32, f32)> = m.into_iter().collect();
+            v.sort_by_key(|(u, _)| *u);
+            v
+        })
+        .collect();
+    CoarseLevel {
+        graph: Adjacency::from_lists(lists),
+        mapping,
+    }
+}
+
+/// Coarsens repeatedly: `levels` steps or until the graph stops shrinking
+/// meaningfully. Returns levels fine-to-coarse.
+pub fn coarsen(graph: &Adjacency, levels: usize, seed: u64) -> Vec<CoarseLevel> {
+    let mut rng = Xoshiro256::seed_from_u64(seed);
+    let mut out = Vec::new();
+    let mut current = graph.clone();
+    for _ in 0..levels {
+        let level = coarsen_once(&current, &mut rng);
+        let shrunk = level.graph.num_nodes();
+        let stop = shrunk as f64 > 0.95 * current.num_nodes() as f64 || shrunk <= 2;
+        current = level.graph.clone();
+        out.push(level);
+        if stop {
+            break;
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pbg_graph::edges::{Edge, EdgeList};
+
+    fn ring(n: u32) -> Adjacency {
+        let edges: EdgeList = (0..n).map(|i| Edge::new(i, 0u32, (i + 1) % n)).collect();
+        Adjacency::from_edges(&edges, n as usize)
+    }
+
+    #[test]
+    fn one_level_roughly_halves() {
+        let g = ring(64);
+        let mut rng = Xoshiro256::seed_from_u64(1);
+        let level = coarsen_once(&g, &mut rng);
+        let m = level.graph.num_nodes();
+        assert!((32..=48).contains(&m), "coarse size {m}");
+    }
+
+    #[test]
+    fn mapping_is_total_and_in_range() {
+        let g = ring(50);
+        let mut rng = Xoshiro256::seed_from_u64(2);
+        let level = coarsen_once(&g, &mut rng);
+        assert_eq!(level.mapping.len(), 50);
+        let coarse_n = level.graph.num_nodes() as u32;
+        for &c in &level.mapping {
+            assert!(c < coarse_n);
+        }
+    }
+
+    #[test]
+    fn pairs_map_to_same_coarse_node() {
+        let g = ring(40);
+        let mut rng = Xoshiro256::seed_from_u64(3);
+        let level = coarsen_once(&g, &mut rng);
+        // each coarse node has 1 or 2 fine preimages
+        let mut counts = vec![0usize; level.graph.num_nodes()];
+        for &c in &level.mapping {
+            counts[c as usize] += 1;
+        }
+        assert!(counts.iter().all(|&c| (1..=2).contains(&c)));
+    }
+
+    #[test]
+    fn coarse_edges_connect_mapped_endpoints() {
+        let g = ring(30);
+        let mut rng = Xoshiro256::seed_from_u64(4);
+        let level = coarsen_once(&g, &mut rng);
+        // every fine edge either collapsed or exists coarsely
+        for v in 0..30u32 {
+            for &u in g.neighbors(v) {
+                let (cv, cu) = (level.mapping[v as usize], level.mapping[u as usize]);
+                if cv != cu {
+                    assert!(
+                        level.graph.neighbors(cv).contains(&cu),
+                        "fine edge {v}-{u} lost"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn weights_accumulate_on_merge() {
+        // triangle: matching merges two nodes; the two edges to the third
+        // node combine into weight 2
+        let edges: EdgeList = [
+            Edge::new(0u32, 0u32, 1u32),
+            Edge::new(1u32, 0u32, 2u32),
+            Edge::new(2u32, 0u32, 0u32),
+        ]
+        .into_iter()
+        .collect();
+        let g = Adjacency::from_edges(&edges, 3);
+        let mut rng = Xoshiro256::seed_from_u64(5);
+        let level = coarsen_once(&g, &mut rng);
+        assert_eq!(level.graph.num_nodes(), 2);
+        let total_weight: f32 = level.graph.weights(0).iter().sum();
+        assert_eq!(total_weight, 2.0);
+    }
+
+    #[test]
+    fn multi_level_shrinks_monotonically() {
+        let g = ring(128);
+        let levels = coarsen(&g, 4, 6);
+        assert!(!levels.is_empty());
+        let mut prev = 128;
+        for l in &levels {
+            assert!(l.graph.num_nodes() <= prev);
+            prev = l.graph.num_nodes();
+        }
+        assert!(prev <= 32, "4 levels should shrink 128 -> ~16, got {prev}");
+    }
+}

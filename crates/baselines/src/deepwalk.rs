@@ -1,0 +1,197 @@
+//! DeepWalk (Perozzi et al., 2014): random walks + skip-gram.
+//!
+//! The Table 1 / Figure 5 baseline. Note the memory profile the paper's
+//! comparison highlights: DeepWalk materializes a walk corpus (tens of
+//! GB on LiveJournal) *and* two embedding layers, where PBG holds only
+//! the model — our accounting mirrors that.
+
+use crate::adjacency::Adjacency;
+use crate::sgns::{Sgns, SgnsConfig};
+use crate::walks::{WalkConfig, WalkCorpus};
+use crate::BaselineEmbeddings;
+use pbg_graph::edges::EdgeList;
+use pbg_tensor::matrix::Matrix;
+use std::time::Instant;
+
+/// DeepWalk configuration.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DeepWalkConfig {
+    /// Walk generation.
+    pub walks: WalkConfig,
+    /// Skip-gram training.
+    pub sgns: SgnsConfig,
+}
+
+impl Default for DeepWalkConfig {
+    fn default() -> Self {
+        DeepWalkConfig {
+            walks: WalkConfig::default(),
+            sgns: SgnsConfig::default(),
+        }
+    }
+}
+
+/// DeepWalk runner.
+#[derive(Debug)]
+pub struct DeepWalk {
+    config: DeepWalkConfig,
+}
+
+impl DeepWalk {
+    /// Creates a runner.
+    pub fn new(config: DeepWalkConfig) -> Self {
+        DeepWalk { config }
+    }
+
+    /// Embeds the graph; `on_epoch` observes intermediate embeddings after
+    /// each SGNS epoch (for learning curves) and may stop early.
+    pub fn embed_with(
+        &self,
+        edges: &EdgeList,
+        num_nodes: usize,
+        mut on_epoch: impl FnMut(usize, &Matrix) -> bool,
+    ) -> BaselineEmbeddings {
+        let start = Instant::now();
+        let adj = Adjacency::from_edges(edges, num_nodes);
+        let corpus = WalkCorpus::generate(&adj, self.config.walks, self.config.sgns.seed);
+        let sgns = Sgns::new(&corpus.frequencies(num_nodes), self.config.sgns.clone());
+        let peak = adj.bytes() + corpus.bytes() + sgns.bytes();
+        sgns.train_with(&corpus, |epoch, model| on_epoch(epoch, &model.embeddings()));
+        BaselineEmbeddings {
+            embeddings: sgns.embeddings(),
+            peak_bytes: peak,
+            seconds: start.elapsed().as_secs_f64(),
+        }
+    }
+
+    /// Embeds the graph without epoch callbacks.
+    pub fn embed(&self, edges: &EdgeList, num_nodes: usize) -> BaselineEmbeddings {
+        self.embed_with(edges, num_nodes, |_, _| true)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pbg_graph::edges::Edge;
+
+    fn ring_with_chords(n: u32) -> EdgeList {
+        let mut edges = EdgeList::new();
+        for _ in 0..4 {
+            for i in 0..n {
+                edges.push(Edge::new(i, 0u32, (i + 1) % n));
+                edges.push(Edge::new(i, 0u32, (i + 2) % n));
+            }
+        }
+        edges
+    }
+
+    #[test]
+    fn embeds_all_nodes() {
+        let edges = ring_with_chords(30);
+        let dw = DeepWalk::new(DeepWalkConfig {
+            walks: WalkConfig {
+                walks_per_node: 5,
+                walk_length: 10,
+            },
+            sgns: SgnsConfig {
+                dim: 16,
+                epochs: 2,
+                threads: 2,
+                ..Default::default()
+            },
+        });
+        let result = dw.embed(&edges, 30);
+        assert_eq!(result.embeddings.rows(), 30);
+        assert_eq!(result.embeddings.cols(), 16);
+        assert!(result.peak_bytes > 0);
+        assert!(result.seconds >= 0.0);
+    }
+
+    #[test]
+    fn neighbors_closer_than_distant_nodes() {
+        let edges = ring_with_chords(40);
+        let dw = DeepWalk::new(DeepWalkConfig {
+            walks: WalkConfig {
+                walks_per_node: 20,
+                walk_length: 20,
+            },
+            sgns: SgnsConfig {
+                dim: 16,
+                epochs: 4,
+                threads: 2,
+                ..Default::default()
+            },
+        });
+        let emb = dw.embed(&edges, 40).embeddings;
+        let mut near = 0.0;
+        let mut far = 0.0;
+        for i in 0..40usize {
+            near += pbg_tensor::vecmath::cosine(emb.row(i), emb.row((i + 1) % 40));
+            far += pbg_tensor::vecmath::cosine(emb.row(i), emb.row((i + 20) % 40));
+        }
+        assert!(
+            near / 40.0 > far / 40.0 + 0.1,
+            "near {} vs far {}",
+            near / 40.0,
+            far / 40.0
+        );
+    }
+
+    #[test]
+    fn epoch_callback_sees_each_epoch() {
+        let edges = ring_with_chords(20);
+        let dw = DeepWalk::new(DeepWalkConfig {
+            walks: WalkConfig {
+                walks_per_node: 2,
+                walk_length: 8,
+            },
+            sgns: SgnsConfig {
+                dim: 8,
+                epochs: 3,
+                threads: 1,
+                ..Default::default()
+            },
+        });
+        let mut epochs = Vec::new();
+        dw.embed_with(&edges, 20, |e, emb| {
+            assert_eq!(emb.rows(), 20);
+            epochs.push(e);
+            true
+        });
+        assert_eq!(epochs, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn corpus_memory_dominates_for_many_walks() {
+        // the Table 1 effect: DeepWalk's peak includes the walk corpus
+        let edges = ring_with_chords(50);
+        let small = DeepWalk::new(DeepWalkConfig {
+            walks: WalkConfig {
+                walks_per_node: 1,
+                walk_length: 5,
+            },
+            sgns: SgnsConfig {
+                dim: 8,
+                epochs: 1,
+                threads: 1,
+                ..Default::default()
+            },
+        })
+        .embed(&edges, 50);
+        let big = DeepWalk::new(DeepWalkConfig {
+            walks: WalkConfig {
+                walks_per_node: 20,
+                walk_length: 40,
+            },
+            sgns: SgnsConfig {
+                dim: 8,
+                epochs: 1,
+                threads: 1,
+                ..Default::default()
+            },
+        })
+        .embed(&edges, 50);
+        assert!(big.peak_bytes > 2 * small.peak_bytes);
+    }
+}

@@ -1,0 +1,40 @@
+//! Baseline embedding systems for the PBG paper's comparisons.
+//!
+//! Table 1 and Figure 5 compare PBG against **DeepWalk** (Perozzi et al.,
+//! 2014) and **MILE** (Liang et al., 2018). The paper ran the original
+//! authors' code; we reimplement both from scratch so the comparison runs
+//! on the same synthetic graphs with the same evaluation:
+//!
+//! - [`adjacency`]: CSR adjacency built from an edge list.
+//! - [`walks`]: truncated random-walk corpus generation.
+//! - [`sgns`]: skip-gram with negative sampling (word2vec's training
+//!   objective, which DeepWalk applies to walks).
+//! - [`deepwalk`]: walks + SGNS end to end, with memory accounting.
+//! - [`coarsen`]: heavy-edge-matching graph coarsening.
+//! - [`mile`]: multi-level embedding — coarsen, embed the coarsest graph
+//!   with DeepWalk, then project back up with propagation refinement.
+//!   (MILE's paper refines with a trained GCN; we substitute normalized
+//!   neighbor propagation, which preserves the multi-level structure and
+//!   quality/memory tradeoff the comparison exercises — see DESIGN.md.)
+
+pub mod adjacency;
+pub mod coarsen;
+pub mod deepwalk;
+pub mod mile;
+pub mod sgns;
+pub mod walks;
+
+pub use adjacency::Adjacency;
+pub use deepwalk::{DeepWalk, DeepWalkConfig};
+pub use mile::{Mile, MileConfig};
+
+/// Output of a baseline embedding run.
+#[derive(Debug, Clone)]
+pub struct BaselineEmbeddings {
+    /// `num_nodes × dim` embedding matrix.
+    pub embeddings: pbg_tensor::matrix::Matrix,
+    /// Peak bytes held (model + corpus / hierarchy).
+    pub peak_bytes: usize,
+    /// Wall-clock training seconds.
+    pub seconds: f64,
+}

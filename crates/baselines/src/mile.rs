@@ -1,0 +1,249 @@
+//! MILE (Liang et al., 2018): multi-level embedding.
+//!
+//! "MILE repeatedly coarsens the graph into smaller ones and applies
+//! traditional embedding methods on coarsened graph at each level as well
+//! as a final refinement step" (§5.2 of the PBG paper). Phases here:
+//!
+//! 1. **Coarsen** `levels` times by heavy-edge matching ([`crate::coarsen`]).
+//! 2. **Base-embed** the coarsest graph with DeepWalk.
+//! 3. **Refine** back up: each fine node inherits its super-node's vector,
+//!    then several rounds of degree-normalized neighbor propagation blend
+//!    in local structure. (MILE trains a GCN for this step; propagation
+//!    preserves the multi-level quality/memory tradeoff the comparison
+//!    exercises without a GCN substrate — recorded in DESIGN.md.)
+//!
+//! The paper's Table 1 shows the tradeoff this reproduces: more levels →
+//! less memory, lower quality.
+
+use crate::adjacency::Adjacency;
+use crate::coarsen::{coarsen, CoarseLevel};
+use crate::deepwalk::{DeepWalk, DeepWalkConfig};
+use crate::BaselineEmbeddings;
+use pbg_graph::edges::{Edge, EdgeList};
+use pbg_tensor::matrix::Matrix;
+use std::time::Instant;
+
+/// MILE configuration.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MileConfig {
+    /// Coarsening levels (the paper evaluates 1–8).
+    pub levels: usize,
+    /// Base embedder settings, applied to the coarsest graph.
+    pub base: DeepWalkConfig,
+    /// Refinement propagation rounds per level.
+    pub refine_rounds: usize,
+    /// Blend factor: fraction of the propagated neighbor mean mixed into
+    /// each node per round.
+    pub blend: f32,
+}
+
+impl Default for MileConfig {
+    fn default() -> Self {
+        MileConfig {
+            levels: 3,
+            base: DeepWalkConfig::default(),
+            refine_rounds: 2,
+            blend: 0.5,
+        }
+    }
+}
+
+/// MILE runner.
+#[derive(Debug)]
+pub struct Mile {
+    config: MileConfig,
+}
+
+impl Mile {
+    /// Creates a runner.
+    pub fn new(config: MileConfig) -> Self {
+        Mile { config }
+    }
+
+    /// Embeds the graph.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `levels == 0`.
+    pub fn embed(&self, edges: &EdgeList, num_nodes: usize) -> BaselineEmbeddings {
+        assert!(self.config.levels > 0, "MILE needs at least one level");
+        let start = Instant::now();
+        let fine = Adjacency::from_edges(edges, num_nodes);
+        let levels: Vec<CoarseLevel> =
+            coarsen(&fine, self.config.levels, self.config.base.sgns.seed);
+        // hierarchy memory: every level's graph + mapping stays resident
+        // during refinement
+        let hierarchy_bytes: usize = levels
+            .iter()
+            .map(|l| l.graph.bytes() + l.mapping.len() * 4)
+            .sum::<usize>()
+            + fine.bytes();
+        // base embedding on the coarsest graph
+        let coarsest = levels.last().map(|l| &l.graph).unwrap_or(&fine);
+        let coarse_edges = adjacency_to_edges(coarsest);
+        let base = DeepWalk::new(self.config.base.clone())
+            .embed(&coarse_edges, coarsest.num_nodes());
+        let mut emb = base.embeddings;
+        // refine back up, coarsest to finest
+        let graphs_fine_side: Vec<&Adjacency> = std::iter::once(&fine)
+            .chain(levels.iter().map(|l| &l.graph))
+            .collect();
+        for (idx, level) in levels.iter().enumerate().rev() {
+            // project: fine node takes its super-node's vector
+            let fine_graph = graphs_fine_side[idx];
+            let mut projected = Matrix::zeros(fine_graph.num_nodes(), emb.cols());
+            for v in 0..fine_graph.num_nodes() {
+                let c = level.mapping[v] as usize;
+                projected.row_mut(v).copy_from_slice(emb.row(c));
+            }
+            // propagate
+            for _ in 0..self.config.refine_rounds {
+                projected = propagate(fine_graph, &projected, self.config.blend);
+            }
+            emb = projected;
+        }
+        BaselineEmbeddings {
+            embeddings: emb,
+            peak_bytes: hierarchy_bytes + base.peak_bytes,
+            seconds: start.elapsed().as_secs_f64(),
+        }
+    }
+}
+
+/// One round of degree-normalized neighbor propagation:
+/// `e'_v = (1-blend)·e_v + blend·mean_{u∈N(v)} e_u`, then L2 normalize.
+fn propagate(graph: &Adjacency, emb: &Matrix, blend: f32) -> Matrix {
+    let mut out = Matrix::zeros(emb.rows(), emb.cols());
+    for v in 0..graph.num_nodes() {
+        let row = out.row_mut(v);
+        let neighbors = graph.neighbors(v as u32);
+        let weights = graph.weights(v as u32);
+        if neighbors.is_empty() {
+            row.copy_from_slice(emb.row(v));
+            continue;
+        }
+        let total_w: f32 = weights.iter().sum();
+        for (&u, &w) in neighbors.iter().zip(weights) {
+            pbg_tensor::vecmath::axpy(w / total_w * blend, emb.row(u as usize), row);
+        }
+        pbg_tensor::vecmath::axpy(1.0 - blend, emb.row(v), row);
+        pbg_tensor::vecmath::normalize(row);
+    }
+    out
+}
+
+fn adjacency_to_edges(adj: &Adjacency) -> EdgeList {
+    let mut edges = EdgeList::new();
+    for v in 0..adj.num_nodes() as u32 {
+        for (&u, &w) in adj.neighbors(v).iter().zip(adj.weights(v)) {
+            if u >= v {
+                edges.push_weighted(Edge::new(v, 0u32, u), w);
+            }
+        }
+    }
+    edges
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sgns::SgnsConfig;
+    use crate::walks::WalkConfig;
+
+    fn communities(n_per: u32, k: u32, seed: u64) -> (EdgeList, usize) {
+        // k cliques of size n_per, sparsely interconnected
+        let mut rng = pbg_tensor::rng::Xoshiro256::seed_from_u64(seed);
+        let mut edges = EdgeList::new();
+        for c in 0..k {
+            let base = c * n_per;
+            for a in 0..n_per {
+                for b in (a + 1)..n_per {
+                    edges.push(Edge::new(base + a, 0u32, base + b));
+                }
+            }
+        }
+        for _ in 0..k {
+            let a = rng.gen_index((n_per * k) as usize) as u32;
+            let b = rng.gen_index((n_per * k) as usize) as u32;
+            if a != b {
+                edges.push(Edge::new(a, 0u32, b));
+            }
+        }
+        (edges, (n_per * k) as usize)
+    }
+
+    fn small_config(levels: usize) -> MileConfig {
+        MileConfig {
+            levels,
+            base: DeepWalkConfig {
+                walks: WalkConfig {
+                    walks_per_node: 10,
+                    walk_length: 15,
+                },
+                sgns: SgnsConfig {
+                    dim: 16,
+                    epochs: 3,
+                    threads: 2,
+                    ..Default::default()
+                },
+            },
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn embeds_all_fine_nodes() {
+        let (edges, n) = communities(8, 4, 1);
+        let result = Mile::new(small_config(2)).embed(&edges, n);
+        assert_eq!(result.embeddings.rows(), n);
+        assert_eq!(result.embeddings.cols(), 16);
+    }
+
+    #[test]
+    fn communities_separate_after_refinement() {
+        let (edges, n) = communities(8, 4, 2);
+        let emb = Mile::new(small_config(2)).embed(&edges, n).embeddings;
+        let cos =
+            |a: usize, b: usize| pbg_tensor::vecmath::cosine(emb.row(a), emb.row(b));
+        let mut intra = 0.0f32;
+        let mut inter = 0.0f32;
+        let mut ni = 0;
+        let mut nx = 0;
+        for a in 0..8usize {
+            for b in 0..8usize {
+                if a < b {
+                    intra += cos(a, b);
+                    ni += 1;
+                }
+                inter += cos(a, b + 8);
+                nx += 1;
+            }
+        }
+        assert!(
+            intra / ni as f32 > inter / nx as f32,
+            "intra {} vs inter {}",
+            intra / ni as f32,
+            inter / nx as f32
+        );
+    }
+
+    #[test]
+    fn more_levels_train_base_on_smaller_graph() {
+        // levels shrink the base problem: MILE(3)'s base graph must be
+        // smaller than MILE(1)'s — this is the paper's memory lever
+        let (edges, n) = communities(8, 8, 3);
+        let fine = Adjacency::from_edges(&edges, n);
+        let l1 = coarsen(&fine, 1, 0);
+        let l3 = coarsen(&fine, 3, 0);
+        assert!(
+            l3.last().unwrap().graph.num_nodes() < l1.last().unwrap().graph.num_nodes()
+        );
+    }
+
+    #[test]
+    fn singleton_graph_is_handled() {
+        let edges: EdgeList = [Edge::new(0u32, 0u32, 1u32)].into_iter().collect();
+        let result = Mile::new(small_config(1)).embed(&edges, 2);
+        assert_eq!(result.embeddings.rows(), 2);
+    }
+}

@@ -1,0 +1,171 @@
+//! Truncated random-walk corpus generation (DeepWalk §3).
+//!
+//! DeepWalk generates `γ` walks of length `t` from every node and treats
+//! them as sentences for skip-gram training. Walks are uniform over
+//! neighbors (DeepWalk's setting; weighted transition would give
+//! node2vec-style variants).
+
+use crate::adjacency::Adjacency;
+use pbg_tensor::rng::Xoshiro256;
+
+/// Walk-generation configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WalkConfig {
+    /// Walks started per node (`γ`).
+    pub walks_per_node: usize,
+    /// Steps per walk (`t`).
+    pub walk_length: usize,
+}
+
+impl Default for WalkConfig {
+    fn default() -> Self {
+        WalkConfig {
+            walks_per_node: 10,
+            walk_length: 40,
+        }
+    }
+}
+
+/// A corpus of random walks, stored flat.
+#[derive(Debug, Clone)]
+pub struct WalkCorpus {
+    walks: Vec<Vec<u32>>,
+}
+
+impl WalkCorpus {
+    /// Generates the corpus. Nodes with no neighbors yield length-1
+    /// "walks" (just themselves), matching the original implementation.
+    pub fn generate(adj: &Adjacency, config: WalkConfig, seed: u64) -> Self {
+        let mut rng = Xoshiro256::seed_from_u64(seed);
+        let n = adj.num_nodes() as u32;
+        let mut walks = Vec::with_capacity(n as usize * config.walks_per_node);
+        for _ in 0..config.walks_per_node {
+            for start in 0..n {
+                let mut walk = Vec::with_capacity(config.walk_length);
+                let mut current = start;
+                walk.push(current);
+                for _ in 1..config.walk_length {
+                    let neighbors = adj.neighbors(current);
+                    if neighbors.is_empty() {
+                        break;
+                    }
+                    current = neighbors[rng.gen_index(neighbors.len())];
+                    walk.push(current);
+                }
+                walks.push(walk);
+            }
+        }
+        WalkCorpus { walks }
+    }
+
+    /// The walks.
+    pub fn walks(&self) -> &[Vec<u32>] {
+        &self.walks
+    }
+
+    /// Total tokens across walks.
+    pub fn total_tokens(&self) -> usize {
+        self.walks.iter().map(|w| w.len()).sum()
+    }
+
+    /// Resident bytes of the corpus (the memory DeepWalk pays that PBG
+    /// does not).
+    pub fn bytes(&self) -> usize {
+        self.walks.iter().map(|w| w.len() * 4 + 24).sum()
+    }
+
+    /// Token frequencies over `num_nodes` ids (for the SGNS unigram
+    /// table).
+    pub fn frequencies(&self, num_nodes: usize) -> Vec<f32> {
+        let mut freq = vec![0.0f32; num_nodes];
+        for walk in &self.walks {
+            for &node in walk {
+                freq[node as usize] += 1.0;
+            }
+        }
+        freq
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pbg_graph::edges::{Edge, EdgeList};
+
+    fn ring(n: u32) -> Adjacency {
+        let edges: EdgeList = (0..n).map(|i| Edge::new(i, 0u32, (i + 1) % n)).collect();
+        Adjacency::from_edges(&edges, n as usize)
+    }
+
+    #[test]
+    fn corpus_has_expected_shape() {
+        let adj = ring(20);
+        let corpus = WalkCorpus::generate(
+            &adj,
+            WalkConfig {
+                walks_per_node: 3,
+                walk_length: 10,
+            },
+            1,
+        );
+        assert_eq!(corpus.walks().len(), 60);
+        assert!(corpus.walks().iter().all(|w| w.len() == 10));
+        assert_eq!(corpus.total_tokens(), 600);
+    }
+
+    #[test]
+    fn walks_follow_edges() {
+        let adj = ring(10);
+        let corpus = WalkCorpus::generate(&adj, WalkConfig::default(), 2);
+        for walk in corpus.walks() {
+            for pair in walk.windows(2) {
+                assert!(
+                    adj.neighbors(pair[0]).contains(&pair[1]),
+                    "walk step {} -> {} not an edge",
+                    pair[0],
+                    pair[1]
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn isolated_node_walks_are_singletons() {
+        let edges: EdgeList = [Edge::new(0u32, 0u32, 1u32)].into_iter().collect();
+        let adj = Adjacency::from_edges(&edges, 3);
+        let corpus = WalkCorpus::generate(
+            &adj,
+            WalkConfig {
+                walks_per_node: 1,
+                walk_length: 5,
+            },
+            3,
+        );
+        let walk_of_2 = corpus.walks().iter().find(|w| w[0] == 2).unwrap();
+        assert_eq!(walk_of_2.len(), 1);
+    }
+
+    #[test]
+    fn frequencies_count_tokens() {
+        let adj = ring(5);
+        let corpus = WalkCorpus::generate(
+            &adj,
+            WalkConfig {
+                walks_per_node: 2,
+                walk_length: 4,
+            },
+            4,
+        );
+        let freq = corpus.frequencies(5);
+        let total: f32 = freq.iter().sum();
+        assert_eq!(total as usize, corpus.total_tokens());
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let adj = ring(8);
+        let a = WalkCorpus::generate(&adj, WalkConfig::default(), 7);
+        let b = WalkCorpus::generate(&adj, WalkConfig::default(), 7);
+        assert_eq!(a.walks(), b.walks());
+    }
+}

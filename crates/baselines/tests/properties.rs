@@ -1,0 +1,93 @@
+//! Property-based tests for the baseline substrates.
+
+use pbg_baselines::adjacency::Adjacency;
+use pbg_baselines::coarsen::{coarsen, coarsen_once};
+use pbg_baselines::walks::{WalkConfig, WalkCorpus};
+use pbg_graph::edges::{Edge, EdgeList};
+use pbg_tensor::rng::Xoshiro256;
+use proptest::prelude::*;
+
+fn arb_graph() -> impl Strategy<Value = (usize, EdgeList)> {
+    (4usize..60).prop_flat_map(|n| {
+        proptest::collection::vec((0..n as u32, 0..n as u32), n..4 * n).prop_map(move |pairs| {
+            let edges: EdgeList = pairs
+                .into_iter()
+                .map(|(s, d)| Edge::new(s, 0u32, d))
+                .collect();
+            (n, edges)
+        })
+    })
+}
+
+proptest! {
+    #[test]
+    fn adjacency_is_symmetric((n, edges) in arb_graph()) {
+        let adj = Adjacency::from_edges(&edges, n);
+        for v in 0..n as u32 {
+            for &u in adj.neighbors(v) {
+                prop_assert!(
+                    adj.neighbors(u).contains(&v),
+                    "edge {v}->{u} not symmetric"
+                );
+            }
+        }
+        // total entries = 2 × non-loop edge count
+        let non_loops = edges.iter().filter(|e| e.src != e.dst).count();
+        prop_assert_eq!(adj.num_entries(), 2 * non_loops);
+    }
+
+    #[test]
+    fn walks_stay_on_edges((n, edges) in arb_graph(), seed in 0u64..100) {
+        let adj = Adjacency::from_edges(&edges, n);
+        let corpus = WalkCorpus::generate(
+            &adj,
+            WalkConfig { walks_per_node: 2, walk_length: 8 },
+            seed,
+        );
+        prop_assert_eq!(corpus.walks().len(), 2 * n);
+        for walk in corpus.walks() {
+            prop_assert!(!walk.is_empty());
+            for pair in walk.windows(2) {
+                prop_assert!(adj.neighbors(pair[0]).contains(&pair[1]));
+            }
+        }
+    }
+
+    #[test]
+    fn coarsening_preserves_connectivity_mass((n, edges) in arb_graph(), seed in 0u64..100) {
+        let adj = Adjacency::from_edges(&edges, n);
+        let mut rng = Xoshiro256::seed_from_u64(seed);
+        let level = coarsen_once(&adj, &mut rng);
+        // every fine node maps somewhere valid
+        prop_assert_eq!(level.mapping.len(), n);
+        let coarse_n = level.graph.num_nodes() as u32;
+        prop_assert!(level.mapping.iter().all(|&c| c < coarse_n));
+        // coarse graph has at least half as few nodes (matching merges
+        // pairs) and no more than the original
+        prop_assert!(level.graph.num_nodes() <= n);
+        prop_assert!(level.graph.num_nodes() >= n / 2);
+        // total edge weight is conserved minus collapsed pairs
+        let fine_weight: f32 = (0..n as u32)
+            .flat_map(|v| adj.weights(v).to_vec())
+            .sum();
+        let coarse_weight: f32 = (0..coarse_n)
+            .flat_map(|v| level.graph.weights(v).to_vec())
+            .sum();
+        prop_assert!(coarse_weight <= fine_weight + 1e-3);
+    }
+
+    #[test]
+    fn multilevel_mappings_compose((n, edges) in arb_graph(), levels in 1usize..4) {
+        let adj = Adjacency::from_edges(&edges, n);
+        let hierarchy = coarsen(&adj, levels, 7);
+        // composing mappings lands every fine node in the coarsest graph
+        for v in 0..n as u32 {
+            let mut cur = v;
+            for level in &hierarchy {
+                cur = level.mapping[cur as usize];
+            }
+            let coarsest = hierarchy.last().unwrap().graph.num_nodes() as u32;
+            prop_assert!(cur < coarsest);
+        }
+    }
+}

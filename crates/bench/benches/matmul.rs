@@ -1,0 +1,46 @@
+//! Score-matrix matmul throughput — the §4.3 kernel (`C × N` scores as
+//! one batched product).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use pbg_tensor::matrix::Matrix;
+use pbg_tensor::rng::Xoshiro256;
+
+fn random_matrix(rows: usize, cols: usize, seed: u64) -> Matrix {
+    let mut rng = Xoshiro256::seed_from_u64(seed);
+    let mut m = Matrix::zeros(rows, cols);
+    m.fill_with(|_, _| rng.gen_normal());
+    m
+}
+
+fn bench_matmul(c: &mut Criterion) {
+    let mut group = c.benchmark_group("score_matmul_nt");
+    for &(rows, cands, dim) in &[(50usize, 100usize, 100usize), (50, 200, 100), (1000, 100, 100)] {
+        let a = random_matrix(rows, dim, 1);
+        let b = random_matrix(cands, dim, 2);
+        group.throughput(Throughput::Elements((rows * cands * dim) as u64));
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("{rows}x{dim}*{cands}x{dim}T")),
+            &(),
+            |bench, _| bench.iter(|| a.matmul_nt(&b)),
+        );
+    }
+    group.finish();
+
+    let mut group = c.benchmark_group("square_matmul");
+    for &n in &[64usize, 128, 256] {
+        let a = random_matrix(n, n, 3);
+        let b = random_matrix(n, n, 4);
+        group.throughput(Throughput::Elements((n * n * n) as u64));
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |bench, _| {
+            bench.iter(|| a.matmul(&b))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_matmul
+);
+criterion_main!(benches);

@@ -1,0 +1,68 @@
+//! Criterion bench behind Figure 4: batched vs unbatched negative scoring
+//! for one chunk of positives.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use pbg_core::config::SimilarityKind;
+use pbg_core::negatives::{candidate_offsets, gather, mask_induced_positives};
+use pbg_core::similarity::score_matrix;
+use pbg_tensor::hogwild::HogwildArray;
+use pbg_tensor::rng::Xoshiro256;
+use pbg_tensor::vecmath;
+
+const DIM: usize = 100;
+const NODES: usize = 10_000;
+const CHUNK: usize = 50;
+
+fn embeddings() -> HogwildArray {
+    let mut rng = Xoshiro256::seed_from_u64(1);
+    let data: Vec<f32> = (0..NODES * DIM).map(|_| rng.gen_normal() * 0.1).collect();
+    HogwildArray::from_vec(NODES, DIM, data)
+}
+
+fn bench_negative_scoring(c: &mut Criterion) {
+    let emb = embeddings();
+    let mut group = c.benchmark_group("negative_scoring");
+    for &bn in &[10usize, 50, 100, 200] {
+        group.throughput(Throughput::Elements((CHUNK * bn) as u64));
+        // batched: one gather of (chunk + uniform) rows + one matmul
+        group.bench_with_input(BenchmarkId::new("batched", bn), &bn, |b, &bn| {
+            let mut rng = Xoshiro256::seed_from_u64(2);
+            let chunk_ids: Vec<u32> = (0..CHUNK as u32).collect();
+            b.iter(|| {
+                let src = gather(&emb, &chunk_ids);
+                let uniform = bn.saturating_sub(CHUNK);
+                let cand_ids = candidate_offsets(&chunk_ids, uniform, NODES, &mut rng);
+                let cands = gather(&emb, &cand_ids);
+                let mut scores = score_matrix(SimilarityKind::Dot, &src, &cands);
+                mask_induced_positives(&mut scores, &chunk_ids, &cand_ids);
+                scores
+            });
+        });
+        // unbatched: per positive, per negative, fresh gather + dot
+        group.bench_with_input(BenchmarkId::new("unbatched", bn), &bn, |b, &bn| {
+            let mut rng = Xoshiro256::seed_from_u64(3);
+            let mut src_buf = vec![0.0f32; DIM];
+            let mut neg_buf = vec![0.0f32; DIM];
+            b.iter(|| {
+                let mut total = 0.0f32;
+                for i in 0..CHUNK {
+                    emb.read_row_into(i, &mut src_buf);
+                    for _ in 0..bn {
+                        let neg = rng.gen_index(NODES);
+                        emb.read_row_into(neg, &mut neg_buf);
+                        total += vecmath::dot(&src_buf, &neg_buf);
+                    }
+                }
+                total
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_negative_scoring
+);
+criterion_main!(benches);

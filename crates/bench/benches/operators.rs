@@ -1,0 +1,55 @@
+//! Per-operator forward/backward throughput (§3.1 / §4.3: the linear
+//! operator's batch matmul advantage).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use pbg_core::operator::{apply, backward, init_params};
+use pbg_graph::schema::OperatorKind;
+use pbg_tensor::matrix::Matrix;
+use pbg_tensor::rng::Xoshiro256;
+
+const DIM: usize = 100;
+const BATCH: usize = 50;
+
+fn random_matrix(rows: usize, cols: usize, seed: u64) -> Matrix {
+    let mut rng = Xoshiro256::seed_from_u64(seed);
+    let mut m = Matrix::zeros(rows, cols);
+    m.fill_with(|_, _| rng.gen_normal() * 0.1);
+    m
+}
+
+fn bench_operators(c: &mut Criterion) {
+    let input = random_matrix(BATCH, DIM, 1);
+    let grad = random_matrix(BATCH, DIM, 2);
+    let ops = [
+        OperatorKind::Identity,
+        OperatorKind::Translation,
+        OperatorKind::Diagonal,
+        OperatorKind::ComplexDiagonal,
+        OperatorKind::Linear,
+    ];
+    let mut group = c.benchmark_group("operator_apply");
+    for op in ops {
+        let params = init_params(op, DIM);
+        group.throughput(Throughput::Elements((BATCH * DIM) as u64));
+        group.bench_with_input(BenchmarkId::from_parameter(op), &op, |b, &op| {
+            b.iter(|| apply(op, &params, &input));
+        });
+    }
+    group.finish();
+    let mut group = c.benchmark_group("operator_backward");
+    for op in ops {
+        let params = init_params(op, DIM);
+        group.throughput(Throughput::Elements((BATCH * DIM) as u64));
+        group.bench_with_input(BenchmarkId::from_parameter(op), &op, |b, &op| {
+            b.iter(|| backward(op, &params, &input, &grad));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_operators
+);
+criterion_main!(benches);

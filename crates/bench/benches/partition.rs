@@ -1,0 +1,60 @@
+//! Partitioning substrate throughput: edge bucketization and bucket-order
+//! generation (§4.1).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use pbg_graph::bucket::Buckets;
+use pbg_graph::edges::{Edge, EdgeList};
+use pbg_graph::ordering::BucketOrdering;
+use pbg_graph::partition::EntityPartitioning;
+use pbg_tensor::rng::Xoshiro256;
+
+fn edges(n_nodes: u32, n_edges: usize, seed: u64) -> EdgeList {
+    let mut rng = Xoshiro256::seed_from_u64(seed);
+    (0..n_edges)
+        .map(|_| {
+            Edge::new(
+                rng.gen_index(n_nodes as usize) as u32,
+                0u32,
+                rng.gen_index(n_nodes as usize) as u32,
+            )
+        })
+        .collect()
+}
+
+fn bench_partition(c: &mut Criterion) {
+    let e = edges(100_000, 500_000, 1);
+    let mut group = c.benchmark_group("bucketize");
+    for &p in &[4u32, 16, 64] {
+        let part = EntityPartitioning::new(100_000, p);
+        group.throughput(Throughput::Elements(e.len() as u64));
+        group.bench_with_input(BenchmarkId::from_parameter(p), &p, |b, _| {
+            b.iter(|| Buckets::from_edges(&e, &part, &part))
+        });
+    }
+    group.finish();
+
+    let mut group = c.benchmark_group("ordering");
+    for ordering in [
+        BucketOrdering::InsideOut,
+        BucketOrdering::RowMajor,
+        BucketOrdering::Chained,
+        BucketOrdering::Random,
+    ] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("{ordering:?}_P64")),
+            &ordering,
+            |b, &ordering| {
+                let mut rng = Xoshiro256::seed_from_u64(2);
+                b.iter(|| ordering.order(64, 64, &mut rng))
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_partition
+);
+criterion_main!(benches);

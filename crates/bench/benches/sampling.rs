@@ -1,0 +1,60 @@
+//! Sampler throughput: uniform vs alias-table (data prevalence) vs Zipf —
+//! the §3.1 negative-sampling mix's building blocks.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use pbg_tensor::alias::AliasTable;
+use pbg_tensor::rng::Xoshiro256;
+use pbg_tensor::zipf::Zipf;
+
+const N: usize = 1_000_000;
+const DRAWS: usize = 10_000;
+
+fn bench_sampling(c: &mut Criterion) {
+    let mut setup_rng = Xoshiro256::seed_from_u64(1);
+    let weights: Vec<f32> = (0..N)
+        .map(|i| 1.0 / (i as f32 + 1.0) + setup_rng.gen_f32() * 1e-3)
+        .collect();
+    let alias = AliasTable::new(&weights);
+    let zipf = Zipf::new(N as u64, 1.0);
+
+    let mut group = c.benchmark_group("sampling");
+    group.throughput(Throughput::Elements(DRAWS as u64));
+    group.bench_function("uniform", |b| {
+        let mut rng = Xoshiro256::seed_from_u64(2);
+        b.iter(|| {
+            let mut acc = 0usize;
+            for _ in 0..DRAWS {
+                acc = acc.wrapping_add(rng.gen_index(N));
+            }
+            acc
+        });
+    });
+    group.bench_function("alias_prevalence", |b| {
+        let mut rng = Xoshiro256::seed_from_u64(3);
+        b.iter(|| {
+            let mut acc = 0usize;
+            for _ in 0..DRAWS {
+                acc = acc.wrapping_add(alias.sample(&mut rng));
+            }
+            acc
+        });
+    });
+    group.bench_function("zipf", |b| {
+        let mut rng = Xoshiro256::seed_from_u64(4);
+        b.iter(|| {
+            let mut acc = 0u64;
+            for _ in 0..DRAWS {
+                acc = acc.wrapping_add(zipf.sample(&mut rng));
+            }
+            acc
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_sampling
+);
+criterion_main!(benches);

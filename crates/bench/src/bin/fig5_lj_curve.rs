@@ -1,0 +1,127 @@
+//! Figure 5: LiveJournal learning curves — test MRR vs wall-clock time
+//! for PBG, DeepWalk, and MILE.
+//!
+//! Paper shape: PBG reaches higher MRR in far less time; DeepWalk's
+//! curve rises slowly (the paper limits its walks to fit the plot); MILE
+//! runs appear as cheaper-but-lower points.
+//!
+//! ```sh
+//! cargo run --release -p pbg-bench --bin fig5_lj_curve [-- --quick]
+//! ```
+
+use pbg_baselines::deepwalk::{DeepWalk, DeepWalkConfig};
+use pbg_baselines::mile::{Mile, MileConfig};
+use pbg_baselines::sgns::SgnsConfig;
+use pbg_baselines::walks::WalkConfig;
+use pbg_bench::harness::{link_prediction, train_pbg_with_curve, wrap_embeddings};
+use pbg_bench::report::{save_text, ExpArgs};
+use pbg_core::config::PbgConfig;
+use pbg_core::eval::CandidateSampling;
+use pbg_datagen::presets;
+use pbg_eval::curve::LearningCurve;
+use pbg_graph::split::EdgeSplit;
+
+fn main() {
+    let args = ExpArgs::parse();
+    let scale = args.scale.unwrap_or(if args.quick { 0.0001 } else { 0.0003 });
+    let epochs = args.epochs.unwrap_or(if args.quick { 4 } else { 10 });
+    let dataset = presets::livejournal_like(scale, 71);
+    let n = dataset.num_nodes() as usize;
+    let split = EdgeSplit::seventy_five_twenty_five(&dataset.edges, 71);
+    println!(
+        "dataset {}: {} nodes, {} edges; recording MRR after each epoch",
+        dataset.name,
+        n,
+        dataset.edges.len()
+    );
+    let dim = 64;
+    let candidates = 200;
+
+    // PBG curve
+    let mut pbg_curve = LearningCurve::start("PBG");
+    let config = PbgConfig::builder()
+        .dim(dim)
+        .epochs(epochs)
+        .batch_size(1000)
+        .chunk_size(50)
+        .uniform_negatives(100)
+        .loss(pbg_core::config::LossKind::Softmax)
+        .threads(4)
+        .build()
+        .expect("valid config");
+    train_pbg_with_curve(dataset.schema.clone(), &split.train, config, |epoch, secs, snap| {
+        let m = link_prediction(snap, &split, candidates, CandidateSampling::Uniform);
+        pbg_curve.record_at(secs, epoch, m.mrr);
+    });
+
+    // DeepWalk curve (per SGNS epoch)
+    let mut dw_curve = LearningCurve::start("DeepWalk");
+    let dw_start = std::time::Instant::now();
+    DeepWalk::new(DeepWalkConfig {
+        walks: WalkConfig {
+            walks_per_node: 10,
+            walk_length: 40,
+        },
+        sgns: SgnsConfig {
+            dim,
+            epochs,
+            threads: 4,
+            ..Default::default()
+        },
+    })
+    .embed_with(&split.train, n, |epoch, emb| {
+        let m = link_prediction(
+            &wrap_embeddings(emb.clone(), dataset.schema.clone()),
+            &split,
+            candidates,
+            CandidateSampling::Uniform,
+        );
+        dw_curve.record_at(dw_start.elapsed().as_secs_f64(), epoch, m.mrr);
+        true
+    });
+
+    // MILE: one point per level count (coarsen + embed + refine is a
+    // single run, as in the paper's plotted points)
+    let mut mile_curve = LearningCurve::start("MILE");
+    for (i, levels) in [1usize, 3].into_iter().enumerate() {
+        let result = Mile::new(MileConfig {
+            levels,
+            base: DeepWalkConfig {
+                walks: WalkConfig {
+                    walks_per_node: 10,
+                    walk_length: 40,
+                },
+                sgns: SgnsConfig {
+                    dim,
+                    epochs: epochs.min(5),
+                    threads: 4,
+                    ..Default::default()
+                },
+            },
+            ..Default::default()
+        })
+        .embed(&split.train, n);
+        let m = link_prediction(
+            &wrap_embeddings(result.embeddings, dataset.schema.clone()),
+            &split,
+            candidates,
+            CandidateSampling::Uniform,
+        );
+        mile_curve.record_at(result.seconds, i + 1, m.mrr);
+    }
+
+    let mut out = String::new();
+    for curve in [&pbg_curve, &dw_curve, &mile_curve] {
+        out.push_str(&curve.by_time_tsv());
+        println!("{}", curve.by_time_tsv());
+        if let Some(best) = curve.best() {
+            println!("{}: best MRR {best:.3}\n", curve.name());
+        }
+    }
+    println!(
+        "paper shape: PBG's curve dominates — higher MRR, much earlier; \
+         DeepWalk needs far more time per unit of quality; MILE points \
+         trade quality for speed."
+    );
+    save_text("fig5_lj_curve.tsv", &out);
+}

@@ -1,0 +1,194 @@
+//! Table 3: full-Freebase partition and machine sweeps.
+//!
+//! Paper numbers (121M nodes / 2.4B train edges, d=100, 10 epochs):
+//!
+//! Left (1 machine):                Right (distributed, P = 2M):
+//! | P  | MRR   | H@10 | h   | GB  |  | M | P  | MRR   | H@10 | h    | GB  |
+//! |----|-------|------|-----|-----|  |---|----|-------|------|------|-----|
+//! | 1  | 0.170 | .285 | 30  | 59.6|  | 1 | 1  | 0.170 | .285 | 30   | 59.6|
+//! | 4  | 0.174 | .286 | 31  | 30.4|  | 2 | 4  | 0.170 | .280 | 23   | 64.4|
+//! | 8  | 0.172 | .288 | 33  | 15.5|  | 4 | 8  | 0.171 | .285 | 13   | 30.5|
+//! | 16 | 0.174 | .290 | 40  | 6.8 |  | 8 | 16 | 0.163 | .276 | 7.7  | 15.0|
+//!
+//! Shape: quality flat in P (small dip at M=8); memory ~1/P; time mildly
+//! increasing with P on one machine, strongly decreasing with machines.
+//!
+//! Quality/memory come from real (scaled) runs; the hour columns come
+//! from the discrete-event projector calibrated with the measured
+//! edges/second.
+//!
+//! ```sh
+//! cargo run --release -p pbg-bench --bin table3_freebase [-- --distributed --quick]
+//! ```
+
+use pbg_bench::harness::{link_prediction, train_pbg};
+use pbg_bench::report::{save_json, ExpArgs, Table};
+use pbg_core::config::PbgConfig;
+use pbg_core::eval::CandidateSampling;
+use pbg_core::stats::format_bytes;
+use pbg_datagen::presets;
+use pbg_distsim::cluster::{ClusterConfig, ClusterTrainer};
+use pbg_distsim::event::{simulate, EventSimConfig};
+use pbg_graph::split::EdgeSplit;
+use serde_json::json;
+
+const PAPER_NODES: u64 = 121_216_723;
+const PAPER_TRAIN_EDGES: u64 = 2_452_563_539;
+
+fn main() {
+    let args = ExpArgs::parse();
+    let scale = args.scale.unwrap_or(if args.quick { 0.000004 } else { 0.00004 });
+    let epochs = args.epochs.unwrap_or(if args.quick { 4 } else { 10 });
+    let dataset = presets::freebase_like(scale, 41);
+    println!(
+        "dataset {}: {} entities, {} relations, {} edges (paper: 121,216,723 / 25,291 / 2.7B)",
+        dataset.name,
+        dataset.num_nodes(),
+        dataset.schema.num_relation_types(),
+        dataset.edges.len(),
+    );
+    let split = EdgeSplit::ninety_five_five(&dataset.edges, 41);
+    // the paper uses 10,000 prevalence-sampled candidates against 121M
+    // nodes; scale the candidate pool with the scaled node count
+    let candidates = ((dataset.num_nodes() as usize) / 5).clamp(50, 1000);
+    let config_base = PbgConfig::builder()
+        .dim(64)
+        .epochs(epochs)
+        .batch_size(1000)
+        .chunk_size(50)
+        .uniform_negatives(50)
+        .threads(4)
+        .build()
+        .expect("valid config");
+    let mut results = Vec::new();
+
+    if !args.distributed {
+        let mut table = Table::new(
+            "Table 3 (left) — Freebase, single machine, partition sweep",
+            &["P", "MRR", "Hits@10", "measured s", "peak mem", "projected h (paper scale)"],
+        );
+        let mut measured_eps = 250_000.0;
+        for p in [1u32, 4, 8, 16] {
+            let schema = dataset.schema_with_partitions(p);
+            let dir = (p > 1).then(|| {
+                std::env::temp_dir().join(format!("pbg_t3_p{p}_{}", std::process::id()))
+            });
+            let run = train_pbg(schema, &split.train, config_base.clone(), dir.clone());
+            if let Some(d) = dir {
+                std::fs::remove_dir_all(&d).ok();
+            }
+            let m = link_prediction(&run.model, &split, candidates, CandidateSampling::Prevalence);
+            let total_train_secs: f64 = run.epochs.iter().map(|e| e.seconds).sum();
+            let eps = split.train.len() as f64 * epochs as f64 / total_train_secs.max(1e-9);
+            if p == 1 {
+                measured_eps = eps;
+            }
+            let projection = simulate(&EventSimConfig {
+                nodes: PAPER_NODES,
+                edges: PAPER_TRAIN_EDGES,
+                dim: 100,
+                partitions: p,
+                machines: 1,
+                epochs: 10,
+                edges_per_sec: measured_eps,
+                ..Default::default()
+            });
+            table.row(&[
+                p.to_string(),
+                format!("{:.3}", m.mrr),
+                format!("{:.3}", m.hits_at_10),
+                format!("{:.1}", run.seconds),
+                format_bytes(run.peak_bytes),
+                format!(
+                    "{:.0} h / {}",
+                    projection.total_hours,
+                    format_bytes(projection.peak_memory_bytes as usize)
+                ),
+            ]);
+            results.push(json!({
+                "partitions": p, "mrr": m.mrr, "hits_at_10": m.hits_at_10,
+                "measured_seconds": run.seconds, "peak_bytes": run.peak_bytes,
+                "projected_hours": projection.total_hours,
+                "projected_peak_bytes": projection.peak_memory_bytes,
+            }));
+        }
+        table.print();
+        println!(
+            "paper shape: MRR flat (0.170–0.174); memory ≈ 1/P \
+             (59.6→6.8 GB); projected hours mildly increasing (30→40 h)."
+        );
+        save_json("table3_freebase_partitions", &results);
+    } else {
+        let mut table = Table::new(
+            "Table 3 (right) — Freebase, distributed, machine sweep (P = 2M)",
+            &["M", "P", "MRR", "Hits@10", "measured s", "peak/machine", "projected h"],
+        );
+        // per-machine throughput calibrated once from the M=1 run: at
+        // paper scale each machine trains at the single-machine rate and
+        // the event simulator models the scheduling/transfer overheads
+        let mut calibrated_eps = 0.0f64;
+        for machines in [1usize, 2, 4, 8] {
+            let p = (2 * machines) as u32;
+            let schema = dataset.schema_with_partitions(p.max(1));
+            let mut cluster = ClusterTrainer::new(
+                schema,
+                &split.train,
+                config_base.clone(),
+                ClusterConfig {
+                    machines,
+                    ..Default::default()
+                },
+            )
+            .expect("valid cluster");
+            let start = std::time::Instant::now();
+            let stats = cluster.train();
+            let seconds = start.elapsed().as_secs_f64();
+            let m = link_prediction(
+                &cluster.snapshot(),
+                &split,
+                candidates,
+                CandidateSampling::Prevalence,
+            );
+            if machines == 1 {
+                calibrated_eps = split.train.len() as f64 * epochs as f64
+                    / stats.iter().map(|e| e.seconds).sum::<f64>().max(1e-9);
+            }
+            let projection = simulate(&EventSimConfig {
+                nodes: PAPER_NODES,
+                edges: PAPER_TRAIN_EDGES,
+                dim: 100,
+                partitions: p.max(1),
+                machines,
+                epochs: 10,
+                edges_per_sec: calibrated_eps.max(1.0),
+                ..Default::default()
+            });
+            let peak = stats
+                .iter()
+                .map(|e| e.peak_machine_bytes)
+                .max()
+                .unwrap_or(0);
+            table.row(&[
+                machines.to_string(),
+                p.to_string(),
+                format!("{:.3}", m.mrr),
+                format!("{:.3}", m.hits_at_10),
+                format!("{seconds:.1}"),
+                format_bytes(peak),
+                format!("{:.0}", projection.total_hours),
+            ]);
+            results.push(json!({
+                "machines": machines, "partitions": p, "mrr": m.mrr,
+                "hits_at_10": m.hits_at_10, "measured_seconds": seconds,
+                "peak_machine_bytes": peak,
+                "projected_hours": projection.total_hours,
+            }));
+        }
+        table.print();
+        println!(
+            "paper shape: quality flat through M=4 with a small dip at M=8 \
+             (0.170→0.163); time falls 30→7.7 h (~4× on 8 machines)."
+        );
+        save_json("table3_freebase_machines", &results);
+    }
+}

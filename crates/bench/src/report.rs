@@ -1,0 +1,157 @@
+//! Plain-text tables and result persistence for experiment binaries.
+
+use serde::Serialize;
+use std::path::PathBuf;
+
+/// A fixed-width text table mirroring the paper's layout.
+#[derive(Debug, Clone)]
+pub struct Table {
+    title: String,
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates a table with a title and column headers.
+    pub fn new(title: impl Into<String>, headers: &[&str]) -> Self {
+        Table {
+            title: title.into(),
+            headers: headers.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the cell count differs from the header count.
+    pub fn row(&mut self, cells: &[String]) -> &mut Self {
+        assert_eq!(cells.len(), self.headers.len(), "row width mismatch");
+        self.rows.push(cells.to_vec());
+        self
+    }
+
+    /// Renders the table.
+    pub fn render(&self) -> String {
+        let mut widths: Vec<usize> = self.headers.iter().map(|h| h.len()).collect();
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+        let mut out = format!("\n== {} ==\n", self.title);
+        let fmt_row = |cells: &[String], widths: &[usize]| -> String {
+            cells
+                .iter()
+                .zip(widths)
+                .map(|(c, w)| format!("{c:>w$}"))
+                .collect::<Vec<_>>()
+                .join("  ")
+        };
+        out.push_str(&fmt_row(&self.headers, &widths));
+        out.push('\n');
+        out.push_str(&"-".repeat(widths.iter().sum::<usize>() + 2 * (widths.len() - 1)));
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&fmt_row(row, &widths));
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Prints the table to stdout.
+    pub fn print(&self) {
+        print!("{}", self.render());
+    }
+}
+
+/// Directory where experiment outputs are persisted
+/// (`target/experiments/`).
+pub fn output_dir() -> PathBuf {
+    let dir = PathBuf::from("target/experiments");
+    std::fs::create_dir_all(&dir).ok();
+    dir
+}
+
+/// Persists a serializable result as pretty JSON under
+/// `target/experiments/<name>.json`.
+pub fn save_json<T: Serialize>(name: &str, value: &T) {
+    let path = output_dir().join(format!("{name}.json"));
+    match serde_json::to_string_pretty(value) {
+        Ok(json) => {
+            if let Err(e) = std::fs::write(&path, json) {
+                eprintln!("warning: could not write {}: {e}", path.display());
+            } else {
+                println!("(saved {})", path.display());
+            }
+        }
+        Err(e) => eprintln!("warning: could not serialize {name}: {e}"),
+    }
+}
+
+/// Persists raw text (e.g. curve TSVs) under `target/experiments/`.
+pub fn save_text(name: &str, text: &str) {
+    let path = output_dir().join(name);
+    if let Err(e) = std::fs::write(&path, text) {
+        eprintln!("warning: could not write {}: {e}", path.display());
+    } else {
+        println!("(saved {})", path.display());
+    }
+}
+
+/// Parses `--flag value` style options plus `--quick`, shared by every
+/// experiment binary.
+#[derive(Debug, Clone)]
+pub struct ExpArgs {
+    /// Dataset scale multiplier override.
+    pub scale: Option<f64>,
+    /// Epoch count override.
+    pub epochs: Option<usize>,
+    /// Reduced settings for smoke runs.
+    pub quick: bool,
+    /// Run the distributed arm (table3/table4).
+    pub distributed: bool,
+}
+
+impl ExpArgs {
+    /// Parses from `std::env::args`.
+    pub fn parse() -> Self {
+        let args: Vec<String> = std::env::args().collect();
+        let value_of = |flag: &str| -> Option<String> {
+            args.iter()
+                .position(|a| a == flag)
+                .and_then(|i| args.get(i + 1).cloned())
+        };
+        ExpArgs {
+            scale: value_of("--scale").and_then(|v| v.parse().ok()),
+            epochs: value_of("--epochs").and_then(|v| v.parse().ok()),
+            quick: args.iter().any(|a| a == "--quick"),
+            distributed: args.iter().any(|a| a == "--distributed"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_renders_aligned() {
+        let mut t = Table::new("demo", &["name", "mrr"]);
+        t.row(&["pbg".into(), "0.749".into()]);
+        t.row(&["deepwalk-long".into(), "0.691".into()]);
+        let s = t.render();
+        assert!(s.contains("demo"));
+        assert!(s.contains("0.749"));
+        let lines: Vec<&str> = s.lines().filter(|l| l.contains("0.")).collect();
+        assert_eq!(lines.len(), 2);
+        assert_eq!(lines[0].len(), lines[1].len(), "rows not aligned");
+    }
+
+    #[test]
+    #[should_panic(expected = "row width")]
+    fn wrong_width_panics() {
+        Table::new("t", &["a", "b"]).row(&["only-one".into()]);
+    }
+}

@@ -1,0 +1,117 @@
+//! Relation-grouped batch construction.
+//!
+//! "In multi-relation graphs with a small number of relations, we
+//! construct batches of edges that all share the same relation type"
+//! (§4.3) — so the linear operator becomes one matmul and operator
+//! parameters are fetched once per batch. [`relation_batches`] stably
+//! groups a slice of edges by relation and cuts each group into batches.
+
+use pbg_graph::edges::EdgeList;
+
+/// One training batch: edge indices into the source [`EdgeList`], all with
+/// the same relation type.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Batch {
+    /// Relation type shared by all edges in the batch.
+    pub rel: u32,
+    /// Indices into the originating edge list.
+    pub indices: Vec<usize>,
+}
+
+/// Groups `edges` by relation type and cuts groups into batches of at
+/// most `batch_size`.
+///
+/// # Panics
+///
+/// Panics if `batch_size == 0`.
+pub fn relation_batches(edges: &EdgeList, batch_size: usize) -> Vec<Batch> {
+    assert!(batch_size > 0, "batch_size must be positive");
+    let mut order: Vec<usize> = (0..edges.len()).collect();
+    order.sort_by_key(|&i| edges.relations()[i]);
+    let mut batches = Vec::new();
+    let mut start = 0usize;
+    while start < order.len() {
+        let rel = edges.relations()[order[start]];
+        let mut end = start;
+        while end < order.len()
+            && edges.relations()[order[end]] == rel
+            && end - start < batch_size
+        {
+            end += 1;
+        }
+        batches.push(Batch {
+            rel,
+            indices: order[start..end].to_vec(),
+        });
+        start = end;
+    }
+    batches
+}
+
+/// Cuts a batch's indices into chunks of at most `chunk_size` for
+/// negative sampling.
+pub fn chunks(batch: &Batch, chunk_size: usize) -> impl Iterator<Item = &[usize]> {
+    batch.indices.chunks(chunk_size.max(1))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pbg_graph::edges::Edge;
+
+    fn mixed_edges() -> EdgeList {
+        // relations interleaved 0,1,2,0,1,2,...
+        (0..30u32).map(|i| Edge::new(i, i % 3, i + 1)).collect()
+    }
+
+    #[test]
+    fn batches_are_relation_pure() {
+        let edges = mixed_edges();
+        for b in relation_batches(&edges, 4) {
+            for &i in &b.indices {
+                assert_eq!(edges.relations()[i], b.rel);
+            }
+        }
+    }
+
+    #[test]
+    fn batches_cover_all_edges_once() {
+        let edges = mixed_edges();
+        let batches = relation_batches(&edges, 4);
+        let mut seen: Vec<usize> = batches.iter().flat_map(|b| b.indices.clone()).collect();
+        seen.sort_unstable();
+        assert_eq!(seen, (0..30).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn batch_size_respected() {
+        let edges = mixed_edges();
+        for b in relation_batches(&edges, 4) {
+            assert!(b.indices.len() <= 4);
+            assert!(!b.indices.is_empty());
+        }
+    }
+
+    #[test]
+    fn single_relation_gives_full_batches() {
+        let edges: EdgeList = (0..10u32).map(|i| Edge::new(i, 0u32, i + 1)).collect();
+        let batches = relation_batches(&edges, 4);
+        let sizes: Vec<usize> = batches.iter().map(|b| b.indices.len()).collect();
+        assert_eq!(sizes, vec![4, 4, 2]);
+    }
+
+    #[test]
+    fn chunks_split_batch() {
+        let edges = mixed_edges();
+        let batches = relation_batches(&edges, 10);
+        let chunk_sizes: Vec<usize> = chunks(&batches[0], 4).map(|c| c.len()).collect();
+        assert_eq!(chunk_sizes.iter().sum::<usize>(), batches[0].indices.len());
+        assert!(chunk_sizes.iter().all(|&s| s <= 4));
+    }
+
+    #[test]
+    fn empty_edges_no_batches() {
+        let edges = EdgeList::new();
+        assert!(relation_batches(&edges, 4).is_empty());
+    }
+}

@@ -1,0 +1,337 @@
+//! Model checkpointing.
+//!
+//! "Model checkpoints are occasionally written to the shared filesystem
+//! from the trainers" (Figure 2). A checkpoint directory holds the schema
+//! and config as JSON plus one binary file per entity type (embeddings)
+//! and one for all relation parameters.
+
+use crate::config::PbgConfig;
+use crate::error::{PbgError, Result};
+use crate::model::{RelationSnapshot, TrainedEmbeddings};
+use bytes::{Buf, BufMut, BytesMut};
+use pbg_graph::schema::GraphSchema;
+use pbg_tensor::matrix::Matrix;
+use std::path::Path;
+
+const MAGIC: &[u8; 4] = b"PBGC";
+const VERSION: u8 = 1;
+
+/// Writes a checkpoint under `dir` (created if missing).
+///
+/// # Errors
+///
+/// Propagates I/O failures.
+pub fn save(model: &TrainedEmbeddings, dir: impl AsRef<Path>) -> Result<()> {
+    let dir = dir.as_ref();
+    std::fs::create_dir_all(dir)?;
+    let meta = serde_json::json!({
+        "dim": model.dim,
+        "similarity": model.similarity,
+        "num_entity_types": model.embeddings.len(),
+    });
+    std::fs::write(
+        dir.join("meta.json"),
+        serde_json::to_string_pretty(&meta).expect("meta serializes"),
+    )?;
+    std::fs::write(
+        dir.join("schema.json"),
+        serde_json::to_string_pretty(&model.schema).expect("schema serializes"),
+    )?;
+    for (t, emb) in model.embeddings.iter().enumerate() {
+        let mut buf = BytesMut::new();
+        buf.put_slice(MAGIC);
+        buf.put_u8(VERSION);
+        buf.put_u8(0);
+        buf.put_u16(0);
+        buf.put_u64(emb.rows() as u64);
+        buf.put_u64(emb.cols() as u64);
+        for &v in emb.as_slice() {
+            buf.put_f32(v);
+        }
+        std::fs::write(dir.join(format!("embeddings_{t}.bin")), &buf)?;
+    }
+    let mut buf = BytesMut::new();
+    buf.put_slice(MAGIC);
+    buf.put_u8(VERSION);
+    buf.put_u8(1); // relations payload
+    buf.put_u16(0);
+    buf.put_u64(model.relations.len() as u64);
+    for r in &model.relations {
+        buf.put_u8(op_code(r.op));
+        buf.put_f32(r.weight);
+        buf.put_u64(r.forward.len() as u64);
+        for &v in &r.forward {
+            buf.put_f32(v);
+        }
+        match &r.reciprocal {
+            Some(inv) => {
+                buf.put_u8(1);
+                buf.put_u64(inv.len() as u64);
+                for &v in inv {
+                    buf.put_f32(v);
+                }
+            }
+            None => buf.put_u8(0),
+        }
+    }
+    std::fs::write(dir.join("relations.bin"), &buf)?;
+    Ok(())
+}
+
+/// Loads a checkpoint from `dir`.
+///
+/// # Errors
+///
+/// Returns [`PbgError::Checkpoint`] for corrupt or incomplete
+/// checkpoints, and propagates I/O failures.
+pub fn load(dir: impl AsRef<Path>) -> Result<TrainedEmbeddings> {
+    let dir = dir.as_ref();
+    let meta: serde_json::Value =
+        serde_json::from_str(&std::fs::read_to_string(dir.join("meta.json"))?)
+            .map_err(|e| PbgError::Checkpoint(format!("bad meta.json: {e}")))?;
+    let schema: GraphSchema =
+        serde_json::from_str(&std::fs::read_to_string(dir.join("schema.json"))?)
+            .map_err(|e| PbgError::Checkpoint(format!("bad schema.json: {e}")))?;
+    let dim = meta["dim"]
+        .as_u64()
+        .ok_or_else(|| PbgError::Checkpoint("meta.json missing dim".into()))? as usize;
+    let similarity: crate::config::SimilarityKind =
+        serde_json::from_value(meta["similarity"].clone())
+            .map_err(|e| PbgError::Checkpoint(format!("bad similarity: {e}")))?;
+    let num_types = meta["num_entity_types"]
+        .as_u64()
+        .ok_or_else(|| PbgError::Checkpoint("meta.json missing num_entity_types".into()))?
+        as usize;
+    let mut embeddings = Vec::with_capacity(num_types);
+    for t in 0..num_types {
+        let bytes = std::fs::read(dir.join(format!("embeddings_{t}.bin")))?;
+        embeddings.push(read_matrix(&bytes)?);
+    }
+    let rel_bytes = std::fs::read(dir.join("relations.bin"))?;
+    let relations = read_relations(&rel_bytes)?;
+    Ok(TrainedEmbeddings {
+        dim,
+        similarity,
+        schema,
+        embeddings,
+        relations,
+    })
+}
+
+fn read_header(data: &mut &[u8]) -> Result<u8> {
+    if data.remaining() < 8 {
+        return Err(PbgError::Checkpoint("file truncated".into()));
+    }
+    let mut magic = [0u8; 4];
+    data.copy_to_slice(&mut magic);
+    if &magic != MAGIC {
+        return Err(PbgError::Checkpoint("bad magic".into()));
+    }
+    let version = data.get_u8();
+    if version != VERSION {
+        return Err(PbgError::Checkpoint(format!("unsupported version {version}")));
+    }
+    let kind = data.get_u8();
+    let _reserved = data.get_u16();
+    Ok(kind)
+}
+
+fn read_matrix(mut data: &[u8]) -> Result<Matrix> {
+    read_header(&mut data)?;
+    if data.remaining() < 16 {
+        return Err(PbgError::Checkpoint("matrix header truncated".into()));
+    }
+    let rows = data.get_u64() as usize;
+    let cols = data.get_u64() as usize;
+    if data.remaining() < rows * cols * 4 {
+        return Err(PbgError::Checkpoint("matrix payload truncated".into()));
+    }
+    let values: Vec<f32> = (0..rows * cols).map(|_| data.get_f32()).collect();
+    Ok(Matrix::from_vec(rows, cols, values))
+}
+
+fn read_relations(mut data: &[u8]) -> Result<Vec<RelationSnapshot>> {
+    let kind = read_header(&mut data)?;
+    if kind != 1 {
+        return Err(PbgError::Checkpoint("not a relations payload".into()));
+    }
+    if data.remaining() < 8 {
+        return Err(PbgError::Checkpoint("relations header truncated".into()));
+    }
+    let n = data.get_u64() as usize;
+    let mut out = Vec::with_capacity(n);
+    for _ in 0..n {
+        if data.remaining() < 13 {
+            return Err(PbgError::Checkpoint("relation entry truncated".into()));
+        }
+        let op = op_from_code(data.get_u8())?;
+        let weight = data.get_f32();
+        let flen = data.get_u64() as usize;
+        if data.remaining() < flen * 4 + 1 {
+            return Err(PbgError::Checkpoint("relation params truncated".into()));
+        }
+        let forward: Vec<f32> = (0..flen).map(|_| data.get_f32()).collect();
+        let reciprocal = if data.get_u8() == 1 {
+            if data.remaining() < 8 {
+                return Err(PbgError::Checkpoint("reciprocal header truncated".into()));
+            }
+            let ilen = data.get_u64() as usize;
+            if data.remaining() < ilen * 4 {
+                return Err(PbgError::Checkpoint("reciprocal params truncated".into()));
+            }
+            Some((0..ilen).map(|_| data.get_f32()).collect())
+        } else {
+            None
+        };
+        out.push(RelationSnapshot {
+            op,
+            weight,
+            forward,
+            reciprocal,
+        });
+    }
+    Ok(out)
+}
+
+fn op_code(op: pbg_graph::schema::OperatorKind) -> u8 {
+    use pbg_graph::schema::OperatorKind::*;
+    match op {
+        Identity => 0,
+        Translation => 1,
+        Diagonal => 2,
+        Linear => 3,
+        ComplexDiagonal => 4,
+    }
+}
+
+fn op_from_code(code: u8) -> Result<pbg_graph::schema::OperatorKind> {
+    use pbg_graph::schema::OperatorKind::*;
+    Ok(match code {
+        0 => Identity,
+        1 => Translation,
+        2 => Diagonal,
+        3 => Linear,
+        4 => ComplexDiagonal,
+        other => {
+            return Err(PbgError::Checkpoint(format!(
+                "unknown operator code {other}"
+            )))
+        }
+    })
+}
+
+/// Saves a config alongside a checkpoint (convenience for experiment
+/// harnesses).
+///
+/// # Errors
+///
+/// Propagates I/O failures.
+pub fn save_config(config: &PbgConfig, dir: impl AsRef<Path>) -> Result<()> {
+    std::fs::create_dir_all(dir.as_ref())?;
+    std::fs::write(dir.as_ref().join("config.json"), config.to_json())?;
+    Ok(())
+}
+
+/// Loads a config saved by [`save_config`].
+///
+/// # Errors
+///
+/// Returns an error when the file is missing or invalid.
+pub fn load_config(dir: impl AsRef<Path>) -> Result<PbgConfig> {
+    PbgConfig::from_json(&std::fs::read_to_string(
+        dir.as_ref().join("config.json"),
+    )?)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::PbgConfig;
+    use crate::model::Model;
+    use crate::storage::InMemoryStore;
+    use pbg_graph::schema::{EntityTypeDef, OperatorKind, RelationTypeDef};
+
+    fn snapshot() -> TrainedEmbeddings {
+        let schema = GraphSchema::builder()
+            .entity_type(EntityTypeDef::new("a", 10).with_partitions(2))
+            .entity_type(EntityTypeDef::new("b", 5))
+            .relation_type(
+                RelationTypeDef::new("r0", 0u32, 1u32).with_operator(OperatorKind::Translation),
+            )
+            .relation_type(
+                RelationTypeDef::new("r1", 1u32, 0u32).with_operator(OperatorKind::Diagonal),
+            )
+            .build()
+            .unwrap();
+        let config = PbgConfig::builder()
+            .dim(6)
+            .batch_size(4)
+            .chunk_size(2)
+            .reciprocal_relations(true)
+            .build()
+            .unwrap();
+        let model = Model::new(schema, config).unwrap();
+        let store = InMemoryStore::new(model.store_layout());
+        model.snapshot(&store)
+    }
+
+    fn tmp(name: &str) -> std::path::PathBuf {
+        std::env::temp_dir().join(format!("pbg_ckpt_{name}_{}", std::process::id()))
+    }
+
+    #[test]
+    fn roundtrip_preserves_everything() {
+        let snap = snapshot();
+        let dir = tmp("roundtrip");
+        save(&snap, &dir).unwrap();
+        let back = load(&dir).unwrap();
+        assert_eq!(back.dim, snap.dim);
+        assert_eq!(back.schema, snap.schema);
+        assert_eq!(back.embeddings.len(), 2);
+        assert_eq!(back.embeddings[0], snap.embeddings[0]);
+        assert_eq!(back.relations, snap.relations);
+        assert!(back.relations[0].reciprocal.is_some());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn scores_identical_after_reload() {
+        let snap = snapshot();
+        let dir = tmp("scores");
+        save(&snap, &dir).unwrap();
+        let back = load(&dir).unwrap();
+        for s in 0..10u32 {
+            for d in 0..5u32 {
+                let a = snap.score(s, pbg_graph::RelationTypeId(0), d);
+                let b = back.score(s, pbg_graph::RelationTypeId(0), d);
+                assert!((a - b).abs() < 1e-6);
+            }
+        }
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn corrupt_checkpoint_rejected() {
+        let dir = tmp("corrupt");
+        let snap = snapshot();
+        save(&snap, &dir).unwrap();
+        std::fs::write(dir.join("relations.bin"), b"garbage!").unwrap();
+        assert!(matches!(load(&dir), Err(PbgError::Checkpoint(_))));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn missing_checkpoint_is_io_error() {
+        let err = load(tmp("missing_nonexistent")).unwrap_err();
+        assert!(matches!(err, PbgError::Io(_)));
+    }
+
+    #[test]
+    fn config_roundtrip() {
+        let dir = tmp("config");
+        let config = PbgConfig::builder().dim(12).build().unwrap();
+        save_config(&config, &dir).unwrap();
+        assert_eq!(load_config(&dir).unwrap(), config);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

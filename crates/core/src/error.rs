@@ -1,0 +1,73 @@
+//! Error types for `pbg-core`.
+
+use std::fmt;
+
+/// Errors returned by `pbg-core` public APIs.
+#[derive(Debug)]
+pub enum PbgError {
+    /// Invalid configuration (message describes the field).
+    Config(String),
+    /// Schema validation failure.
+    Schema(pbg_graph::schema::SchemaError),
+    /// Underlying I/O failure (checkpointing, disk-swapped storage).
+    Io(std::io::Error),
+    /// Corrupt or incompatible checkpoint data.
+    Checkpoint(String),
+    /// An entity/relation reference was out of range for the schema.
+    OutOfRange(String),
+}
+
+impl fmt::Display for PbgError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PbgError::Config(msg) => write!(f, "invalid config: {msg}"),
+            PbgError::Schema(e) => write!(f, "invalid schema: {e}"),
+            PbgError::Io(e) => write!(f, "i/o error: {e}"),
+            PbgError::Checkpoint(msg) => write!(f, "bad checkpoint: {msg}"),
+            PbgError::OutOfRange(msg) => write!(f, "out of range: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for PbgError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            PbgError::Schema(e) => Some(e),
+            PbgError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<pbg_graph::schema::SchemaError> for PbgError {
+    fn from(e: pbg_graph::schema::SchemaError) -> Self {
+        PbgError::Schema(e)
+    }
+}
+
+impl From<std::io::Error> for PbgError {
+    fn from(e: std::io::Error) -> Self {
+        PbgError::Io(e)
+    }
+}
+
+/// Convenience alias used across the crate.
+pub type Result<T> = std::result::Result<T, PbgError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_lowercase_and_specific() {
+        let e = PbgError::Config("dim must be positive".into());
+        assert_eq!(e.to_string(), "invalid config: dim must be positive");
+    }
+
+    #[test]
+    fn schema_error_converts() {
+        let e: PbgError = pbg_graph::schema::SchemaError::NoEntityTypes.into();
+        assert!(matches!(e, PbgError::Schema(_)));
+        assert!(std::error::Error::source(&e).is_some());
+    }
+}

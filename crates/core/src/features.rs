@@ -1,0 +1,282 @@
+//! Featurized entities: embeddings as means of feature embeddings.
+//!
+//! PBG supports "feature embeddings for featurized nodes" (§1), handled
+//! on the parameter-server side in distributed mode (§4.2) because the
+//! feature table is small and shared. An entity's embedding is the mean
+//! of its features' embeddings (the StarSpace / "bags of other entities"
+//! construction of Wu et al. the paper cites); the gradient of an entity
+//! distributes equally over its features.
+//!
+//! [`FeatureTable`] is the storage + update substrate; it plugs into the
+//! same [`pbg_tensor::hogwild::HogwildArray`] + row-Adagrad machinery as
+//! ordinary embeddings, so HOGWILD threads can share it. Schema-level
+//! declaration is [`pbg_graph::schema::EntityTypeDef::featurized`];
+//! featurized types are always unpartitioned, matching the paper's
+//! placement.
+
+use pbg_tensor::adagrad::AdagradRow;
+use pbg_tensor::hogwild::HogwildArray;
+use pbg_tensor::rng::Xoshiro256;
+
+/// Sparse entity → feature assignment (CSR).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FeatureAssignment {
+    offsets: Vec<usize>,
+    features: Vec<u32>,
+    num_features: u32,
+}
+
+impl FeatureAssignment {
+    /// Builds from per-entity feature lists.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any entity has no features, or a feature id is
+    /// `>= num_features`.
+    pub fn new(lists: &[Vec<u32>], num_features: u32) -> Self {
+        let mut offsets = Vec::with_capacity(lists.len() + 1);
+        let mut features = Vec::new();
+        offsets.push(0);
+        for (entity, list) in lists.iter().enumerate() {
+            assert!(
+                !list.is_empty(),
+                "featurized entity {entity} has no features"
+            );
+            for &f in list {
+                assert!(f < num_features, "feature {f} out of range");
+                features.push(f);
+            }
+            offsets.push(features.len());
+        }
+        FeatureAssignment {
+            offsets,
+            features,
+            num_features,
+        }
+    }
+
+    /// Number of entities.
+    pub fn num_entities(&self) -> usize {
+        self.offsets.len() - 1
+    }
+
+    /// Number of distinct features.
+    pub fn num_features(&self) -> u32 {
+        self.num_features
+    }
+
+    /// The features of `entity`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `entity` is out of range.
+    pub fn features_of(&self, entity: u32) -> &[u32] {
+        &self.features[self.offsets[entity as usize]..self.offsets[entity as usize + 1]]
+    }
+}
+
+/// Shared feature-embedding table with HOGWILD row-Adagrad updates.
+#[derive(Debug)]
+pub struct FeatureTable {
+    assignment: FeatureAssignment,
+    embeddings: HogwildArray,
+    adagrad: AdagradRow,
+    dim: usize,
+}
+
+impl FeatureTable {
+    /// Creates a table with uniform `(-init_scale, init_scale)` init.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `dim == 0` or `lr <= 0`.
+    pub fn new(
+        assignment: FeatureAssignment,
+        dim: usize,
+        lr: f32,
+        init_scale: f32,
+        seed: u64,
+    ) -> Self {
+        assert!(dim > 0, "dim must be positive");
+        let n = assignment.num_features() as usize;
+        let mut rng = Xoshiro256::seed_from_u64(seed);
+        let init: Vec<f32> = (0..n * dim)
+            .map(|_| (rng.gen_f32() * 2.0 - 1.0) * init_scale)
+            .collect();
+        FeatureTable {
+            assignment,
+            embeddings: HogwildArray::from_vec(n, dim, init),
+            adagrad: AdagradRow::new(n, lr),
+            dim,
+        }
+    }
+
+    /// The assignment.
+    pub fn assignment(&self) -> &FeatureAssignment {
+        &self.assignment
+    }
+
+    /// Embedding dimension.
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// Computes `entity`'s embedding (mean of its features) into `out`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `out.len() != dim` or `entity` is out of range.
+    pub fn embed_into(&self, entity: u32, out: &mut [f32]) {
+        assert_eq!(out.len(), self.dim, "embed_into: buffer size");
+        out.iter_mut().for_each(|v| *v = 0.0);
+        let features = self.assignment.features_of(entity);
+        let mut buf = vec![0.0f32; self.dim];
+        for &f in features {
+            self.embeddings.read_row_into(f as usize, &mut buf);
+            pbg_tensor::vecmath::axpy(1.0 / features.len() as f32, &buf, out);
+        }
+    }
+
+    /// Convenience allocation form of [`FeatureTable::embed_into`].
+    pub fn embed(&self, entity: u32) -> Vec<f32> {
+        let mut out = vec![0.0; self.dim];
+        self.embed_into(entity, &mut out);
+        out
+    }
+
+    /// Applies an entity-level gradient: each feature receives
+    /// `grad / num_features` through its own row-Adagrad step.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `grad.len() != dim` or `entity` is out of range.
+    pub fn apply_entity_grad(&self, entity: u32, grad: &[f32]) {
+        assert_eq!(grad.len(), self.dim, "apply_entity_grad: grad size");
+        let features = self.assignment.features_of(entity);
+        let scale = 1.0 / features.len() as f32;
+        let scaled: Vec<f32> = grad.iter().map(|g| g * scale).collect();
+        for &f in features {
+            self.adagrad.update(&self.embeddings, f as usize, &scaled);
+        }
+    }
+
+    /// Materializes every entity's embedding (`num_entities × dim`) for
+    /// evaluation — the featurized analogue of a partition snapshot.
+    pub fn snapshot_entities(&self) -> pbg_tensor::matrix::Matrix {
+        let n = self.assignment.num_entities();
+        let mut m = pbg_tensor::matrix::Matrix::zeros(n, self.dim);
+        for e in 0..n as u32 {
+            self.embed_into(e, m.row_mut(e as usize));
+        }
+        m
+    }
+
+    /// Resident bytes (feature embeddings + optimizer + assignment).
+    pub fn bytes(&self) -> usize {
+        self.embeddings.bytes()
+            + self.adagrad.bytes()
+            + self.assignment.features.len() * 4
+            + self.assignment.offsets.len() * 8
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pbg_tensor::vecmath;
+
+    fn assignment() -> FeatureAssignment {
+        // 4 entities over 3 features; entity 3 shares features with 0
+        FeatureAssignment::new(
+            &[vec![0], vec![1], vec![2], vec![0, 1]],
+            3,
+        )
+    }
+
+    #[test]
+    fn embedding_is_mean_of_features() {
+        let table = FeatureTable::new(assignment(), 4, 0.1, 0.1, 1);
+        let f0 = {
+            let mut b = vec![0.0; 4];
+            table.embeddings.read_row_into(0, &mut b);
+            b
+        };
+        let f1 = {
+            let mut b = vec![0.0; 4];
+            table.embeddings.read_row_into(1, &mut b);
+            b
+        };
+        let e3 = table.embed(3);
+        for k in 0..4 {
+            assert!((e3[k] - 0.5 * (f0[k] + f1[k])).abs() < 1e-6);
+        }
+        // single-feature entity equals its feature
+        assert_eq!(table.embed(0), f0);
+    }
+
+    #[test]
+    fn entity_grad_distributes_to_features() {
+        let table = FeatureTable::new(assignment(), 2, 0.5, 0.1, 2);
+        let before_f0 = table.embed(0);
+        let before_f2 = table.embed(2);
+        table.apply_entity_grad(3, &[1.0, -1.0]);
+        // features 0 and 1 moved; feature 2 untouched
+        let after_f0 = table.embed(0);
+        assert!(after_f0[0] < before_f0[0]);
+        assert!(after_f0[1] > before_f0[1]);
+        assert_eq!(table.embed(2), before_f2);
+    }
+
+    #[test]
+    fn shared_features_tie_entities_together() {
+        // training entity 3 moves entity 0 (they share feature 0)
+        let table = FeatureTable::new(assignment(), 2, 0.5, 0.1, 3);
+        let before = table.embed(0);
+        table.apply_entity_grad(3, &[2.0, 2.0]);
+        assert_ne!(table.embed(0), before);
+    }
+
+    #[test]
+    fn featurized_training_converges_toward_target() {
+        // regression-style training: pull entity 3's embedding toward a
+        // target via repeated gradient steps
+        let table = FeatureTable::new(assignment(), 4, 0.2, 0.1, 4);
+        let target = [1.0f32, -1.0, 0.5, 0.0];
+        let mut dist_before = 0.0;
+        let mut dist_after = 0.0;
+        for step in 0..200 {
+            let e = table.embed(3);
+            let grad: Vec<f32> = e.iter().zip(&target).map(|(v, t)| v - t).collect();
+            if step == 0 {
+                dist_before = vecmath::norm(&grad);
+            }
+            dist_after = vecmath::norm(&grad);
+            table.apply_entity_grad(3, &grad);
+        }
+        assert!(
+            dist_after < 0.2 * dist_before,
+            "{dist_before} -> {dist_after}"
+        );
+    }
+
+    #[test]
+    fn snapshot_matches_embed() {
+        let table = FeatureTable::new(assignment(), 3, 0.1, 0.1, 5);
+        let snap = table.snapshot_entities();
+        for e in 0..4u32 {
+            assert_eq!(snap.row(e as usize), &table.embed(e)[..]);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "no features")]
+    fn empty_feature_list_rejected() {
+        let _ = FeatureAssignment::new(&[vec![]], 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn feature_out_of_range_rejected() {
+        let _ = FeatureAssignment::new(&[vec![7]], 3);
+    }
+}

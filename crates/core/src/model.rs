@@ -1,0 +1,428 @@
+//! The multi-relation embedding model: relation parameters and trained
+//! snapshots.
+//!
+//! A model pairs the schema's relation types with live, shared operator
+//! parameters ([`RelationParams`]) updated HOGWILD-style, and optional
+//! *reciprocal* parameters used when ranking corrupted sources (§5.4.1's
+//! "separate relation embeddings for source negatives and destination
+//! negatives"). Entity embeddings live in a
+//! [`crate::storage::PartitionStore`], not here — that separation is what
+//! lets the same model run in-memory, disk-swapped, or distributed.
+
+use crate::config::PbgConfig;
+use crate::error::{PbgError, Result};
+use crate::operator;
+use crate::optimizer::HogwildAdagradDense;
+use crate::similarity::score_pairs;
+use crate::storage::{PartitionStore, StoreLayout};
+use pbg_graph::ids::RelationTypeId;
+use pbg_graph::schema::{GraphSchema, OperatorKind};
+use pbg_tensor::matrix::Matrix;
+
+/// Live (shared, lock-free) parameters of one relation type.
+#[derive(Debug)]
+pub struct RelationParams {
+    op: OperatorKind,
+    weight: f32,
+    /// Operator parameters applied to the source embedding.
+    pub forward: HogwildAdagradDense,
+    /// Reciprocal parameters (applied to the destination embedding when
+    /// ranking corrupted sources); `None` unless
+    /// [`PbgConfig::reciprocal_relations`] is set.
+    pub reciprocal: Option<HogwildAdagradDense>,
+}
+
+impl RelationParams {
+    /// The relation operator.
+    pub fn op(&self) -> OperatorKind {
+        self.op
+    }
+
+    /// The per-relation edge weight.
+    pub fn weight(&self) -> f32 {
+        self.weight
+    }
+}
+
+/// A multi-relation embedding model (relation side only; see module docs).
+#[derive(Debug)]
+pub struct Model {
+    config: PbgConfig,
+    schema: GraphSchema,
+    relations: Vec<RelationParams>,
+}
+
+impl Model {
+    /// Builds a model, validating config/schema compatibility.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PbgError::Config`] when a relation uses the complex
+    /// operator with an odd embedding dimension, or when the config
+    /// itself is invalid.
+    pub fn new(schema: GraphSchema, config: PbgConfig) -> Result<Self> {
+        config.validate()?;
+        for r in schema.relation_types() {
+            if r.operator() == OperatorKind::ComplexDiagonal && config.dim % 2 != 0 {
+                return Err(PbgError::Config(format!(
+                    "relation `{}` uses the complex operator; dim must be even, got {}",
+                    r.name(),
+                    config.dim
+                )));
+            }
+        }
+        let relations = schema
+            .relation_types()
+            .iter()
+            .map(|r| {
+                let init = operator::init_params(r.operator(), config.dim);
+                RelationParams {
+                    op: r.operator(),
+                    weight: r.weight(),
+                    forward: HogwildAdagradDense::new(init.clone(), config.learning_rate),
+                    reciprocal: config
+                        .reciprocal_relations
+                        .then(|| HogwildAdagradDense::new(init, config.learning_rate)),
+                }
+            })
+            .collect();
+        Ok(Model {
+            config,
+            schema,
+            relations,
+        })
+    }
+
+    /// The training configuration.
+    pub fn config(&self) -> &PbgConfig {
+        &self.config
+    }
+
+    /// The graph schema.
+    pub fn schema(&self) -> &GraphSchema {
+        &self.schema
+    }
+
+    /// Live parameters of relation `r`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `r` is out of range.
+    pub fn relation(&self, r: RelationTypeId) -> &RelationParams {
+        &self.relations[r.index()]
+    }
+
+    /// Number of relation types.
+    pub fn num_relations(&self) -> usize {
+        self.relations.len()
+    }
+
+    /// Total bytes of relation parameters + their optimizer state.
+    pub fn relation_bytes(&self) -> usize {
+        self.relations
+            .iter()
+            .map(|r| r.forward.bytes() + r.reciprocal.as_ref().map_or(0, |p| p.bytes()))
+            .sum()
+    }
+
+    /// The storage layout implied by this model's schema and config.
+    pub fn store_layout(&self) -> StoreLayout {
+        StoreLayout::from_schema(
+            &self.schema,
+            self.config.dim,
+            self.config.learning_rate,
+            self.config.init_scale,
+            self.config.seed,
+        )
+    }
+
+    /// Snapshots the full model (entity embeddings gathered from `store`
+    /// into dense per-type matrices, plus relation parameters) for
+    /// evaluation or checkpointing.
+    ///
+    /// Partitions are streamed one at a time (load, copy, release) so a
+    /// disk-swapped or remote store's peak-memory accounting reflects
+    /// training, not the snapshot.
+    pub fn snapshot(&self, store: &dyn PartitionStore) -> TrainedEmbeddings {
+        let dim = self.config.dim;
+        let mut embeddings = Vec::new();
+        for (t, def) in self.schema.entity_types().iter().enumerate() {
+            let partitioning = pbg_graph::partition::EntityPartitioning::new(
+                def.num_entities(),
+                def.num_partitions(),
+            );
+            let mut m = Matrix::zeros(def.num_entities() as usize, dim);
+            for p in partitioning.partitions() {
+                let key = crate::storage::PartitionKey::new(t as u32, p);
+                let data = store.load(key);
+                let size = partitioning.partition_size(p);
+                let mut buf = vec![0.0f32; dim];
+                for off in 0..size {
+                    data.embeddings.read_row_into(off as usize, &mut buf);
+                    let global = partitioning.global_of(p, off);
+                    m.row_mut(global.index()).copy_from_slice(&buf);
+                }
+                drop(data);
+                store.release(key);
+            }
+            embeddings.push(m);
+        }
+        let relations = self
+            .relations
+            .iter()
+            .map(|r| RelationSnapshot {
+                op: r.op,
+                weight: r.weight,
+                forward: r.forward.snapshot(),
+                reciprocal: r.reciprocal.as_ref().map(|p| p.snapshot()),
+            })
+            .collect();
+        TrainedEmbeddings {
+            dim,
+            similarity: self.config.similarity,
+            schema: self.schema.clone(),
+            embeddings,
+            relations,
+        }
+    }
+}
+
+/// Immutable snapshot of one relation's parameters.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RelationSnapshot {
+    /// Operator kind.
+    pub op: OperatorKind,
+    /// Edge weight.
+    pub weight: f32,
+    /// Forward operator parameters.
+    pub forward: Vec<f32>,
+    /// Reciprocal parameters, when trained.
+    pub reciprocal: Option<Vec<f32>>,
+}
+
+/// A fully materialized trained model: dense embeddings per entity type
+/// plus relation parameters. This is what evaluation and downstream tasks
+/// consume.
+#[derive(Debug, Clone)]
+pub struct TrainedEmbeddings {
+    /// Embedding dimension.
+    pub dim: usize,
+    /// Similarity the model was trained with (used for scoring).
+    pub similarity: crate::config::SimilarityKind,
+    /// The schema.
+    pub schema: GraphSchema,
+    /// One `num_entities × dim` matrix per entity type, global-id indexed.
+    pub embeddings: Vec<Matrix>,
+    /// Relation parameter snapshots.
+    pub relations: Vec<RelationSnapshot>,
+}
+
+impl TrainedEmbeddings {
+    /// The embedding of entity `id` of type `entity_type`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if indices are out of range.
+    pub fn embedding(&self, entity_type: usize, id: u32) -> &[f32] {
+        self.embeddings[entity_type].row(id as usize)
+    }
+
+    /// Scores the edge `(src, rel, dst)` exactly as training does:
+    /// `sim(g(θ_src, θ_rel), θ_dst)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if indices are out of range.
+    pub fn score(&self, src: u32, rel: RelationTypeId, dst: u32) -> f32 {
+        let r = &self.relations[rel.index()];
+        let rdef = self.schema.relation_type(rel);
+        let src_emb = self.embedding(rdef.source_type().index(), src);
+        let dst_emb = self.embedding(rdef.dest_type().index(), dst);
+        let src_m = Matrix::from_rows(&[src_emb]);
+        let transformed = operator::apply(r.op, &r.forward, &src_m);
+        let dst_m = Matrix::from_rows(&[dst_emb]);
+        score_pairs(self.similarity, &transformed, &dst_m)[0]
+    }
+
+    /// Scores one source against many destination candidates as a batch
+    /// (the evaluation hot path).
+    ///
+    /// # Panics
+    ///
+    /// Panics if indices are out of range.
+    pub fn score_against_destinations(
+        &self,
+        src: u32,
+        rel: RelationTypeId,
+        dst_candidates: &[u32],
+    ) -> Vec<f32> {
+        let r = &self.relations[rel.index()];
+        let rdef = self.schema.relation_type(rel);
+        let src_m = Matrix::from_rows(&[self.embedding(rdef.source_type().index(), src)]);
+        let transformed = operator::apply(r.op, &r.forward, &src_m);
+        let dst_type = rdef.dest_type().index();
+        let mut cands = Matrix::zeros(dst_candidates.len(), self.dim);
+        for (i, &d) in dst_candidates.iter().enumerate() {
+            cands
+                .row_mut(i)
+                .copy_from_slice(self.embedding(dst_type, d));
+        }
+        crate::similarity::score_matrix(self.similarity, &transformed, &cands)
+            .row(0)
+            .to_vec()
+    }
+
+    /// Scores one destination against many source candidates. Uses the
+    /// reciprocal parameters when present (matching training), otherwise
+    /// transforms every candidate source.
+    ///
+    /// # Panics
+    ///
+    /// Panics if indices are out of range.
+    pub fn score_against_sources(
+        &self,
+        dst: u32,
+        rel: RelationTypeId,
+        src_candidates: &[u32],
+    ) -> Vec<f32> {
+        let r = &self.relations[rel.index()];
+        let rdef = self.schema.relation_type(rel);
+        let src_type = rdef.source_type().index();
+        let mut cands = Matrix::zeros(src_candidates.len(), self.dim);
+        for (i, &s) in src_candidates.iter().enumerate() {
+            cands
+                .row_mut(i)
+                .copy_from_slice(self.embedding(src_type, s));
+        }
+        let dst_m = Matrix::from_rows(&[self.embedding(rdef.dest_type().index(), dst)]);
+        if let Some(recip) = &r.reciprocal {
+            let transformed_dst = operator::apply(r.op, recip, &dst_m);
+            crate::similarity::score_matrix(self.similarity, &transformed_dst, &cands)
+                .row(0)
+                .to_vec()
+        } else {
+            let transformed_cands = operator::apply(r.op, &r.forward, &cands);
+            crate::similarity::score_matrix(self.similarity, &dst_m, &transformed_cands)
+                .row(0)
+                .to_vec()
+        }
+    }
+
+    /// Total bytes of the dense snapshot.
+    pub fn bytes(&self) -> usize {
+        let emb: usize = self
+            .embeddings
+            .iter()
+            .map(|m| m.as_slice().len() * 4)
+            .sum();
+        let rel: usize = self
+            .relations
+            .iter()
+            .map(|r| (r.forward.len() + r.reciprocal.as_ref().map_or(0, |p| p.len())) * 4)
+            .sum();
+        emb + rel
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::SimilarityKind;
+    use crate::storage::InMemoryStore;
+    use pbg_graph::schema::{EntityTypeDef, RelationTypeDef};
+
+    fn schema(op: OperatorKind) -> GraphSchema {
+        GraphSchema::builder()
+            .entity_type(EntityTypeDef::new("node", 20).with_partitions(2))
+            .relation_type(RelationTypeDef::new("r", 0u32, 0u32).with_operator(op))
+            .build()
+            .unwrap()
+    }
+
+    fn config(dim: usize) -> PbgConfig {
+        PbgConfig::builder()
+            .dim(dim)
+            .batch_size(8)
+            .chunk_size(4)
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn model_builds_and_exposes_relations() {
+        let m = Model::new(schema(OperatorKind::Translation), config(8)).unwrap();
+        assert_eq!(m.num_relations(), 1);
+        assert_eq!(m.relation(RelationTypeId(0)).op(), OperatorKind::Translation);
+        assert_eq!(m.relation(RelationTypeId(0)).forward.len(), 8);
+        assert!(m.relation(RelationTypeId(0)).reciprocal.is_none());
+    }
+
+    #[test]
+    fn complex_odd_dim_rejected() {
+        let err = Model::new(schema(OperatorKind::ComplexDiagonal), config(7)).unwrap_err();
+        assert!(matches!(err, PbgError::Config(_)));
+    }
+
+    #[test]
+    fn reciprocal_params_created_when_configured() {
+        let cfg = PbgConfig::builder()
+            .dim(8)
+            .batch_size(8)
+            .chunk_size(4)
+            .reciprocal_relations(true)
+            .build()
+            .unwrap();
+        let m = Model::new(schema(OperatorKind::Diagonal), cfg).unwrap();
+        assert!(m.relation(RelationTypeId(0)).reciprocal.is_some());
+    }
+
+    #[test]
+    fn snapshot_gathers_partitions_by_global_id() {
+        let m = Model::new(schema(OperatorKind::Identity), config(4)).unwrap();
+        let store = InMemoryStore::new(m.store_layout());
+        // mark entity 7 (partition 1, offset 3 under id%2 mapping)
+        let key = crate::storage::PartitionKey::new(0u32, 1u32);
+        let data = store.load(key);
+        data.embeddings.write_row(3, &[1.0, 2.0, 3.0, 4.0]);
+        let snap = m.snapshot(&store);
+        assert_eq!(snap.embedding(0, 7), &[1.0, 2.0, 3.0, 4.0]);
+    }
+
+    #[test]
+    fn score_matches_batched_scores() {
+        let m = Model::new(schema(OperatorKind::Translation), config(4)).unwrap();
+        let store = InMemoryStore::new(m.store_layout());
+        let snap = m.snapshot(&store);
+        let single = snap.score(1, RelationTypeId(0), 5);
+        let batch = snap.score_against_destinations(1, RelationTypeId(0), &[4, 5, 6]);
+        assert!((single - batch[1]).abs() < 1e-5);
+        let batch_src = snap.score_against_sources(5, RelationTypeId(0), &[0, 1]);
+        assert!((single - batch_src[1]).abs() < 1e-5);
+    }
+
+    #[test]
+    fn cosine_scores_are_bounded_in_snapshot() {
+        let cfg = PbgConfig::builder()
+            .dim(4)
+            .batch_size(8)
+            .chunk_size(4)
+            .similarity(SimilarityKind::Cosine)
+            .build()
+            .unwrap();
+        let m = Model::new(schema(OperatorKind::Identity), cfg).unwrap();
+        let store = InMemoryStore::new(m.store_layout());
+        let snap = m.snapshot(&store);
+        for d in 0..20u32 {
+            assert!(snap.score(0, RelationTypeId(0), d).abs() <= 1.0 + 1e-5);
+        }
+    }
+
+    #[test]
+    fn snapshot_bytes_accounting() {
+        let m = Model::new(schema(OperatorKind::Translation), config(4)).unwrap();
+        let store = InMemoryStore::new(m.store_layout());
+        let snap = m.snapshot(&store);
+        // 20 entities * 4 dims * 4 bytes + 4 relation params * 4 bytes
+        assert_eq!(snap.bytes(), 20 * 4 * 4 + 4 * 4);
+    }
+}

@@ -1,0 +1,164 @@
+//! Nearest-neighbor queries over trained embeddings.
+//!
+//! The paper's released Freebase embeddings are consumed this way:
+//! given an entity (or an `(entity, relation)` pair), find the top-k
+//! closest entities. Scoring goes through the same operator + similarity
+//! as training, so "neighbors under relation r" means "most likely
+//! destinations of an r-edge".
+
+use crate::model::TrainedEmbeddings;
+use pbg_graph::RelationTypeId;
+
+/// A scored neighbor.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Neighbor {
+    /// Entity id (within the queried entity type).
+    pub entity: u32,
+    /// Model score (higher = closer).
+    pub score: f32,
+}
+
+/// Top-k most similar entities to `entity` within its own entity type,
+/// by the model's similarity on untransformed embeddings (no relation).
+///
+/// The query entity itself is excluded.
+///
+/// # Panics
+///
+/// Panics if indices are out of range or `k == 0`.
+pub fn nearest_entities(
+    model: &TrainedEmbeddings,
+    entity_type: usize,
+    entity: u32,
+    k: usize,
+) -> Vec<Neighbor> {
+    assert!(k > 0, "k must be positive");
+    let emb = &model.embeddings[entity_type];
+    let query = emb.row(entity as usize);
+    let scored = (0..emb.rows() as u32).filter(|&e| e != entity).map(|e| {
+        let score = match model.similarity {
+            crate::config::SimilarityKind::Dot => {
+                pbg_tensor::vecmath::dot(query, emb.row(e as usize))
+            }
+            crate::config::SimilarityKind::Cosine => {
+                pbg_tensor::vecmath::cosine(query, emb.row(e as usize))
+            }
+        };
+        Neighbor { entity: e, score }
+    });
+    top_k(scored, k)
+}
+
+/// Top-k most likely destinations of an edge `(source, relation, ?)` —
+/// ranked by the full trained score `sim(g(θ_src, θ_rel), θ_dst)`.
+///
+/// The source entity is excluded when source and destination types match.
+///
+/// # Panics
+///
+/// Panics if indices are out of range or `k == 0`.
+pub fn top_destinations(
+    model: &TrainedEmbeddings,
+    source: u32,
+    relation: RelationTypeId,
+    k: usize,
+) -> Vec<Neighbor> {
+    assert!(k > 0, "k must be positive");
+    let rdef = model.schema.relation_type(relation);
+    let n = model.schema.entity_type(rdef.dest_type()).num_entities();
+    let same_type = rdef.source_type() == rdef.dest_type();
+    let candidates: Vec<u32> = (0..n)
+        .filter(|&d| !(same_type && d == source))
+        .collect();
+    let scores = model.score_against_destinations(source, relation, &candidates);
+    top_k(
+        candidates
+            .into_iter()
+            .zip(scores)
+            .map(|(entity, score)| Neighbor { entity, score }),
+        k,
+    )
+}
+
+/// Selects the k highest-scoring neighbors, descending, ties by id.
+fn top_k(items: impl Iterator<Item = Neighbor>, k: usize) -> Vec<Neighbor> {
+    let mut all: Vec<Neighbor> = items.collect();
+    all.sort_by(|a, b| {
+        b.score
+            .partial_cmp(&a.score)
+            .expect("finite scores")
+            .then(a.entity.cmp(&b.entity))
+    });
+    all.truncate(k);
+    all
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::PbgConfig;
+    use crate::trainer::Trainer;
+    use pbg_graph::edges::{Edge, EdgeList};
+    use pbg_graph::schema::GraphSchema;
+
+    fn trained_ring(n: u32) -> TrainedEmbeddings {
+        let edges: EdgeList = (0..8 * n)
+            .map(|i| {
+                let v = i % n;
+                Edge::new(v, 0u32, (v + 1 + i % 3) % n)
+            })
+            .collect();
+        let schema = GraphSchema::homogeneous(n, 1).unwrap();
+        let config = PbgConfig::builder()
+            .dim(16)
+            .epochs(6)
+            .batch_size(64)
+            .chunk_size(16)
+            .uniform_negatives(16)
+            .threads(1)
+            .build()
+            .unwrap();
+        let mut t = Trainer::new(schema, &edges, config).unwrap();
+        t.train();
+        t.snapshot()
+    }
+
+    #[test]
+    fn nearest_excludes_self_and_returns_k() {
+        let model = trained_ring(32);
+        let nn = nearest_entities(&model, 0, 5, 4);
+        assert_eq!(nn.len(), 4);
+        assert!(nn.iter().all(|n| n.entity != 5));
+        // descending scores
+        for w in nn.windows(2) {
+            assert!(w[0].score >= w[1].score);
+        }
+    }
+
+    #[test]
+    fn ring_neighbors_rank_graph_neighbors_high() {
+        let model = trained_ring(32);
+        // true destinations of node 10 are {11, 12, 13}
+        let top = top_destinations(&model, 10, RelationTypeId(0), 5);
+        let top_ids: Vec<u32> = top.iter().map(|n| n.entity).collect();
+        let hits = [11u32, 12, 13]
+            .iter()
+            .filter(|d| top_ids.contains(d))
+            .count();
+        assert!(hits >= 2, "top-5 {top_ids:?} misses ring successors");
+    }
+
+    #[test]
+    fn k_larger_than_graph_is_clamped() {
+        let model = trained_ring(8);
+        let nn = nearest_entities(&model, 0, 3, 100);
+        assert_eq!(nn.len(), 7, "everything except the query itself");
+    }
+
+    #[test]
+    fn top_destinations_excludes_source() {
+        let model = trained_ring(16);
+        let top = top_destinations(&model, 4, RelationTypeId(0), 15);
+        assert!(top.iter().all(|n| n.entity != 4));
+    }
+}

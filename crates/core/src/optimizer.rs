@@ -1,0 +1,215 @@
+//! Shared-parameter optimizer for relation operators and other global
+//! parameters.
+//!
+//! Relation parameters are "global and thus cannot be partitioned" (§4.2);
+//! on one machine every HOGWILD thread updates them concurrently, and in
+//! distributed mode they sync through the parameter server. Unlike node
+//! embeddings (row-summed accumulator), these small parameter vectors get
+//! full per-element Adagrad, stored lock-free.
+
+use pbg_tensor::hogwild::HogwildArray;
+
+/// Per-element Adagrad over a lock-free shared parameter vector.
+#[derive(Debug)]
+pub struct HogwildAdagradDense {
+    /// Parameter values; a 1-element placeholder when `len == 0` so the
+    /// backing array is never zero-sized.
+    params: HogwildArray,
+    acc: HogwildArray,
+    len: usize,
+    lr: f32,
+    eps: f32,
+}
+
+impl HogwildAdagradDense {
+    /// Wraps initial parameter values.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lr` is not finite and positive.
+    pub fn new(init: Vec<f32>, lr: f32) -> Self {
+        assert!(lr.is_finite() && lr > 0.0, "learning rate must be positive");
+        let len = init.len();
+        let stored = if len == 0 { vec![0.0] } else { init };
+        HogwildAdagradDense {
+            params: HogwildArray::from_vec(1, stored.len(), stored),
+            acc: HogwildArray::zeros(1, len.max(1)),
+            len,
+            lr,
+            eps: 1e-8,
+        }
+    }
+
+    /// Number of parameters (0 for parameterless operators).
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// `true` when the operator has no parameters.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Copies the current parameter values into `buf`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `buf.len() != len()`.
+    pub fn read_into(&self, buf: &mut [f32]) {
+        assert_eq!(buf.len(), self.len, "read_into: length mismatch");
+        if !buf.is_empty() {
+            self.params.read_row_into(0, buf);
+        }
+    }
+
+    /// Snapshot of the current parameters.
+    pub fn snapshot(&self) -> Vec<f32> {
+        if self.is_empty() {
+            Vec::new()
+        } else {
+            self.params.to_vec()
+        }
+    }
+
+    /// Snapshot of the Adagrad accumulators.
+    pub fn accumulator_snapshot(&self) -> Vec<f32> {
+        if self.is_empty() {
+            Vec::new()
+        } else {
+            self.acc.to_vec()
+        }
+    }
+
+    /// Overwrites parameters and accumulators (checkpoint restore, or a
+    /// parameter-server pull).
+    ///
+    /// # Panics
+    ///
+    /// Panics if lengths disagree.
+    pub fn restore(&self, params: &[f32], acc: &[f32]) {
+        assert_eq!(params.len(), self.len, "restore: params length");
+        assert_eq!(acc.len(), self.len, "restore: acc length");
+        if !params.is_empty() {
+            self.params.copy_from_slice(params);
+            self.acc.copy_from_slice(acc);
+        }
+    }
+
+    /// Applies one Adagrad step for `grad` (relaxed, HOGWILD-style:
+    /// concurrent updates may interleave).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `grad.len() != len()`.
+    pub fn apply_grad(&self, grad: &[f32]) {
+        assert_eq!(grad.len(), self.len, "apply_grad: length mismatch");
+        for (k, &g) in grad.iter().enumerate() {
+            if g == 0.0 {
+                continue;
+            }
+            let prev = self.acc.fetch_add(0, k, g * g);
+            let acc = prev + g * g;
+            let step = self.lr / (acc.sqrt() + self.eps) * g;
+            let cur = self.params.get(0, k);
+            self.params.set(0, k, cur - step);
+        }
+    }
+
+    /// Resident bytes of parameters + optimizer state.
+    pub fn bytes(&self) -> usize {
+        if self.is_empty() {
+            0
+        } else {
+            self.params.bytes() + self.acc.bytes()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn apply_grad_moves_against_gradient() {
+        let opt = HogwildAdagradDense::new(vec![1.0, 1.0], 0.5);
+        opt.apply_grad(&[1.0, -1.0]);
+        let snap = opt.snapshot();
+        assert!(snap[0] < 1.0);
+        assert!(snap[1] > 1.0);
+    }
+
+    #[test]
+    fn steps_shrink_like_adagrad() {
+        let opt = HogwildAdagradDense::new(vec![0.0], 0.1);
+        opt.apply_grad(&[1.0]);
+        let p1 = opt.snapshot()[0];
+        opt.apply_grad(&[1.0]);
+        let p2 = opt.snapshot()[0];
+        let step1 = -p1;
+        let step2 = p1 - p2;
+        assert!(step2 < step1, "{step2} !< {step1}");
+        assert!(step2 > 0.0);
+    }
+
+    #[test]
+    fn zero_grad_elements_skipped() {
+        let opt = HogwildAdagradDense::new(vec![5.0, 5.0], 0.1);
+        opt.apply_grad(&[0.0, 1.0]);
+        let snap = opt.snapshot();
+        assert_eq!(snap[0], 5.0);
+        assert_ne!(snap[1], 5.0);
+    }
+
+    #[test]
+    fn empty_params_are_inert() {
+        let opt = HogwildAdagradDense::new(Vec::new(), 0.1);
+        assert!(opt.is_empty());
+        assert_eq!(opt.len(), 0);
+        opt.apply_grad(&[]);
+        assert!(opt.snapshot().is_empty());
+        assert_eq!(opt.bytes(), 0);
+    }
+
+    #[test]
+    fn read_into_matches_snapshot() {
+        let opt = HogwildAdagradDense::new(vec![1.5, 2.5, 3.5], 0.1);
+        let mut buf = [0.0f32; 3];
+        opt.read_into(&mut buf);
+        assert_eq!(buf.to_vec(), opt.snapshot());
+    }
+
+    #[test]
+    fn restore_roundtrip() {
+        let opt = HogwildAdagradDense::new(vec![0.0, 0.0], 0.1);
+        opt.apply_grad(&[1.0, 2.0]);
+        let p = opt.snapshot();
+        let a = opt.accumulator_snapshot();
+        let opt2 = HogwildAdagradDense::new(vec![9.0, 9.0], 0.1);
+        opt2.restore(&p, &a);
+        assert_eq!(opt2.snapshot(), p);
+        assert_eq!(opt2.accumulator_snapshot(), a);
+    }
+
+    #[test]
+    fn concurrent_updates_converge() {
+        use std::sync::Arc;
+        let opt = Arc::new(HogwildAdagradDense::new(vec![10.0], 0.5));
+        let threads: Vec<_> = (0..4)
+            .map(|_| {
+                let opt = Arc::clone(&opt);
+                std::thread::spawn(move || {
+                    for _ in 0..200 {
+                        // gradient pointing toward 0
+                        let p = opt.snapshot()[0];
+                        opt.apply_grad(&[p.signum()]);
+                    }
+                })
+            })
+            .collect();
+        for t in threads {
+            t.join().unwrap();
+        }
+        let final_p = opt.snapshot()[0].abs();
+        assert!(final_p < 10.0, "no progress made: {final_p}");
+    }
+}

@@ -1,0 +1,314 @@
+//! Similarity scoring — forward and backward, pairwise and batched.
+//!
+//! The batched form (`score_matrix`) is the heart of §4.3: all scores of a
+//! chunk's positives against its candidate negatives are computed as one
+//! `C × N` matrix product instead of `C · N` independent dot products.
+
+use crate::config::SimilarityKind;
+use pbg_tensor::matrix::Matrix;
+use pbg_tensor::vecmath;
+
+/// Row-wise scores `score(a_i, b_i)` for aligned rows.
+///
+/// # Panics
+///
+/// Panics if shapes differ.
+pub fn score_pairs(sim: SimilarityKind, a: &Matrix, b: &Matrix) -> Vec<f32> {
+    assert_eq!(a.rows(), b.rows(), "score_pairs: row mismatch");
+    assert_eq!(a.cols(), b.cols(), "score_pairs: col mismatch");
+    (0..a.rows())
+        .map(|i| match sim {
+            SimilarityKind::Dot => vecmath::dot(a.row(i), b.row(i)),
+            SimilarityKind::Cosine => vecmath::cosine(a.row(i), b.row(i)),
+        })
+        .collect()
+}
+
+/// Full score matrix `S[i][j] = score(a_i, b_j)` (`a.rows × b.rows`),
+/// computed as a batched matrix product.
+///
+/// # Panics
+///
+/// Panics if column counts differ.
+pub fn score_matrix(sim: SimilarityKind, a: &Matrix, b: &Matrix) -> Matrix {
+    match sim {
+        SimilarityKind::Dot => a.matmul_nt(b),
+        SimilarityKind::Cosine => {
+            let an = normalized(a);
+            let bn = normalized(b);
+            an.matmul_nt(&bn)
+        }
+    }
+}
+
+/// Backward of [`score_pairs`]: `grad[i]` is dL/d score_i; returns
+/// (dL/da, dL/db).
+///
+/// # Panics
+///
+/// Panics if shapes differ.
+pub fn backward_pairs(
+    sim: SimilarityKind,
+    a: &Matrix,
+    b: &Matrix,
+    grad: &[f32],
+) -> (Matrix, Matrix) {
+    assert_eq!(grad.len(), a.rows(), "backward_pairs: grad length mismatch");
+    let mut ga = Matrix::zeros(a.rows(), a.cols());
+    let mut gb = Matrix::zeros(b.rows(), b.cols());
+    match sim {
+        SimilarityKind::Dot => {
+            for i in 0..a.rows() {
+                vecmath::axpy(grad[i], b.row(i), ga.row_mut(i));
+                vecmath::axpy(grad[i], a.row(i), gb.row_mut(i));
+            }
+        }
+        SimilarityKind::Cosine => {
+            for i in 0..a.rows() {
+                let (gai, gbi) = cosine_pair_backward(a.row(i), b.row(i), grad[i]);
+                ga.row_mut(i).copy_from_slice(&gai);
+                gb.row_mut(i).copy_from_slice(&gbi);
+            }
+        }
+    }
+    (ga, gb)
+}
+
+/// Backward of [`score_matrix`]: `grad` is dL/dS (`a.rows × b.rows`);
+/// returns (dL/da, dL/db).
+///
+/// # Panics
+///
+/// Panics if shapes are inconsistent.
+pub fn backward_matrix(
+    sim: SimilarityKind,
+    a: &Matrix,
+    b: &Matrix,
+    grad: &Matrix,
+) -> (Matrix, Matrix) {
+    assert_eq!(grad.rows(), a.rows(), "backward_matrix: grad rows");
+    assert_eq!(grad.cols(), b.rows(), "backward_matrix: grad cols");
+    match sim {
+        SimilarityKind::Dot => {
+            // S = A Bᵀ: dA = G B, dB = Gᵀ A (computed without
+            // materializing Gᵀ — this runs once per training chunk)
+            let ga = grad.matmul(b);
+            let mut gb = Matrix::zeros(b.rows(), b.cols());
+            for i in 0..a.rows() {
+                let grow = grad.row(i);
+                let arow = a.row(i);
+                for (j, &gij) in grow.iter().enumerate() {
+                    if gij != 0.0 {
+                        vecmath::axpy(gij, arow, gb.row_mut(j));
+                    }
+                }
+            }
+            (ga, gb)
+        }
+        SimilarityKind::Cosine => {
+            let an = normalized(a);
+            let bn = normalized(b);
+            // W_i = Σ_j G_ij b̂_j; dA_i = (W_i - (W_i·â_i) â_i) / |a_i|
+            let w = grad.matmul(&bn);
+            let z = grad.transpose().matmul(&an);
+            let mut ga = Matrix::zeros(a.rows(), a.cols());
+            for i in 0..a.rows() {
+                tangent_project(w.row(i), an.row(i), vecmath::norm(a.row(i)), ga.row_mut(i));
+            }
+            let mut gb = Matrix::zeros(b.rows(), b.cols());
+            for j in 0..b.rows() {
+                tangent_project(z.row(j), bn.row(j), vecmath::norm(b.row(j)), gb.row_mut(j));
+            }
+            (ga, gb)
+        }
+    }
+}
+
+/// Rows normalized to unit L2 norm (zero rows stay zero).
+fn normalized(m: &Matrix) -> Matrix {
+    let mut out = m.clone();
+    for i in 0..out.rows() {
+        vecmath::normalize(out.row_mut(i));
+    }
+    out
+}
+
+/// `out = (w - (w·u) u) / norm`, the cosine tangent-space projection;
+/// zero when `norm == 0`.
+fn tangent_project(w: &[f32], unit: &[f32], norm: f32, out: &mut [f32]) {
+    if norm == 0.0 {
+        for o in out.iter_mut() {
+            *o = 0.0;
+        }
+        return;
+    }
+    let proj = vecmath::dot(w, unit);
+    for k in 0..w.len() {
+        out[k] = (w[k] - proj * unit[k]) / norm;
+    }
+}
+
+fn cosine_pair_backward(a: &[f32], b: &[f32], g: f32) -> (Vec<f32>, Vec<f32>) {
+    let na = vecmath::norm(a);
+    let nb = vecmath::norm(b);
+    let d = a.len();
+    if na == 0.0 || nb == 0.0 {
+        return (vec![0.0; d], vec![0.0; d]);
+    }
+    let cos = vecmath::dot(a, b) / (na * nb);
+    let mut ga = vec![0.0; d];
+    let mut gb = vec![0.0; d];
+    for k in 0..d {
+        ga[k] = g * (b[k] / (na * nb) - cos * a[k] / (na * na));
+        gb[k] = g * (a[k] / (na * nb) - cos * b[k] / (nb * nb));
+    }
+    (ga, gb)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pbg_tensor::rng::Xoshiro256;
+
+    fn random_matrix(rows: usize, cols: usize, rng: &mut Xoshiro256) -> Matrix {
+        let mut m = Matrix::zeros(rows, cols);
+        m.fill_with(|_, _| rng.gen_normal());
+        m
+    }
+
+    #[test]
+    fn matrix_diag_matches_pairs() {
+        let mut rng = Xoshiro256::seed_from_u64(1);
+        let a = random_matrix(4, 6, &mut rng);
+        let b = random_matrix(4, 6, &mut rng);
+        for sim in [SimilarityKind::Dot, SimilarityKind::Cosine] {
+            let pairs = score_pairs(sim, &a, &b);
+            let matrix = score_matrix(sim, &a, &b);
+            for i in 0..4 {
+                assert!(
+                    (pairs[i] - matrix.row(i)[i]).abs() < 1e-4,
+                    "{sim:?}: diag mismatch at {i}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn cosine_scores_bounded() {
+        let mut rng = Xoshiro256::seed_from_u64(2);
+        let a = random_matrix(5, 8, &mut rng);
+        let b = random_matrix(7, 8, &mut rng);
+        let s = score_matrix(SimilarityKind::Cosine, &a, &b);
+        for i in 0..5 {
+            for j in 0..7 {
+                assert!(s.row(i)[j].abs() <= 1.0001);
+            }
+        }
+    }
+
+    fn fd_check_matrix(sim: SimilarityKind) {
+        let mut rng = Xoshiro256::seed_from_u64(3);
+        let a = random_matrix(3, 4, &mut rng);
+        let b = random_matrix(5, 4, &mut rng);
+        let probe = random_matrix(3, 5, &mut rng);
+        let objective = |a: &Matrix, b: &Matrix| -> f64 {
+            let s = score_matrix(sim, a, b);
+            let mut total = 0.0f64;
+            for i in 0..3 {
+                total += vecmath::dot(s.row(i), probe.row(i)) as f64;
+            }
+            total
+        };
+        let (ga, gb) = backward_matrix(sim, &a, &b, &probe);
+        let eps = 1e-3f32;
+        for i in 0..3 {
+            for k in 0..4 {
+                let mut ap = a.clone();
+                ap.row_mut(i)[k] += eps;
+                let mut am = a.clone();
+                am.row_mut(i)[k] -= eps;
+                let fd = (objective(&ap, &b) - objective(&am, &b)) / (2.0 * eps as f64);
+                let an = ga.row(i)[k] as f64;
+                assert!(
+                    (fd - an).abs() < 2e-2 * (1.0 + an.abs()),
+                    "{sim:?} grad_a[{i}][{k}]: fd={fd} analytic={an}"
+                );
+            }
+        }
+        for j in 0..5 {
+            for k in 0..4 {
+                let mut bp = b.clone();
+                bp.row_mut(j)[k] += eps;
+                let mut bm = b.clone();
+                bm.row_mut(j)[k] -= eps;
+                let fd = (objective(&a, &bp) - objective(&a, &bm)) / (2.0 * eps as f64);
+                let an = gb.row(j)[k] as f64;
+                assert!(
+                    (fd - an).abs() < 2e-2 * (1.0 + an.abs()),
+                    "{sim:?} grad_b[{j}][{k}]: fd={fd} analytic={an}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn dot_matrix_gradients_match_fd() {
+        fd_check_matrix(SimilarityKind::Dot);
+    }
+
+    #[test]
+    fn cosine_matrix_gradients_match_fd() {
+        fd_check_matrix(SimilarityKind::Cosine);
+    }
+
+    #[test]
+    fn pairs_gradients_match_fd() {
+        let mut rng = Xoshiro256::seed_from_u64(4);
+        for sim in [SimilarityKind::Dot, SimilarityKind::Cosine] {
+            let a = random_matrix(3, 4, &mut rng);
+            let b = random_matrix(3, 4, &mut rng);
+            let gvec = vec![0.7f32, -1.2, 0.3];
+            let objective = |a: &Matrix, b: &Matrix| -> f64 {
+                score_pairs(sim, a, b)
+                    .iter()
+                    .zip(&gvec)
+                    .map(|(s, g)| (*s * *g) as f64)
+                    .sum()
+            };
+            let (ga, gb) = backward_pairs(sim, &a, &b, &gvec);
+            let eps = 1e-3f32;
+            for i in 0..3 {
+                for k in 0..4 {
+                    let mut ap = a.clone();
+                    ap.row_mut(i)[k] += eps;
+                    let mut am = a.clone();
+                    am.row_mut(i)[k] -= eps;
+                    let fd = (objective(&ap, &b) - objective(&am, &b)) / (2.0 * eps as f64);
+                    let an = ga.row(i)[k] as f64;
+                    assert!(
+                        (fd - an).abs() < 2e-2 * (1.0 + an.abs()),
+                        "{sim:?} pair grad_a: fd={fd} an={an}"
+                    );
+                    let mut bp = b.clone();
+                    bp.row_mut(i)[k] += eps;
+                    let mut bm = b.clone();
+                    bm.row_mut(i)[k] -= eps;
+                    let fd = (objective(&a, &bp) - objective(&a, &bm)) / (2.0 * eps as f64);
+                    let an = gb.row(i)[k] as f64;
+                    assert!(
+                        (fd - an).abs() < 2e-2 * (1.0 + an.abs()),
+                        "{sim:?} pair grad_b: fd={fd} an={an}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn zero_vector_cosine_gradient_is_zero() {
+        let a = Matrix::zeros(1, 4);
+        let b = Matrix::from_rows(&[&[1.0, 2.0, 3.0, 4.0]]);
+        let (ga, _) = backward_pairs(SimilarityKind::Cosine, &a, &b, &[1.0]);
+        assert_eq!(ga.row(0), &[0.0; 4]);
+    }
+}

@@ -1,0 +1,214 @@
+//! Training statistics and memory accounting.
+//!
+//! The paper reports peak memory (Tables 1, 3, 4), wall-clock training
+//! time, and loss curves. Stats are collected per bucket and rolled up per
+//! epoch; [`MemoryTracker`] is the generic byte-accounting helper shared
+//! with the baselines (DeepWalk's walk corpus, MILE's hierarchy).
+
+use serde::{Deserialize, Serialize};
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Statistics for one trained bucket.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct BucketStats {
+    /// Edges processed.
+    pub edges: usize,
+    /// Summed loss.
+    pub loss: f64,
+    /// Wall-clock seconds spent training the bucket.
+    pub seconds: f64,
+}
+
+impl BucketStats {
+    /// Edges per second (0 when no time elapsed).
+    pub fn edges_per_second(&self) -> f64 {
+        if self.seconds > 0.0 {
+            self.edges as f64 / self.seconds
+        } else {
+            0.0
+        }
+    }
+}
+
+/// Statistics for one epoch.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct EpochStats {
+    /// Epoch index (1-based).
+    pub epoch: usize,
+    /// Edges processed.
+    pub edges: usize,
+    /// Mean loss per edge.
+    pub mean_loss: f64,
+    /// Wall-clock seconds for the epoch.
+    pub seconds: f64,
+    /// Buckets trained.
+    pub buckets: usize,
+    /// Partition loads from backing storage during the epoch.
+    pub swap_ins: usize,
+    /// Peak resident embedding bytes so far.
+    pub peak_bytes: usize,
+}
+
+/// Aggregates bucket stats into an epoch.
+#[derive(Debug, Default)]
+pub struct EpochAccumulator {
+    edges: usize,
+    loss: f64,
+    seconds: f64,
+    buckets: usize,
+}
+
+impl EpochAccumulator {
+    /// Creates an empty accumulator.
+    pub fn new() -> Self {
+        EpochAccumulator::default()
+    }
+
+    /// Adds one bucket's stats.
+    pub fn add(&mut self, b: &BucketStats) {
+        self.edges += b.edges;
+        self.loss += b.loss;
+        self.seconds += b.seconds;
+        self.buckets += 1;
+    }
+
+    /// Finalizes the epoch.
+    pub fn finish(self, epoch: usize, swap_ins: usize, peak_bytes: usize) -> EpochStats {
+        EpochStats {
+            epoch,
+            edges: self.edges,
+            mean_loss: if self.edges > 0 {
+                self.loss / self.edges as f64
+            } else {
+                0.0
+            },
+            seconds: self.seconds,
+            buckets: self.buckets,
+            swap_ins,
+            peak_bytes,
+        }
+    }
+}
+
+/// Thread-safe byte accounting with a high-water mark.
+#[derive(Debug, Default)]
+pub struct MemoryTracker {
+    current: AtomicUsize,
+    peak: AtomicUsize,
+}
+
+impl MemoryTracker {
+    /// Creates a tracker at zero.
+    pub fn new() -> Self {
+        MemoryTracker::default()
+    }
+
+    /// Registers an allocation of `bytes`.
+    pub fn add(&self, bytes: usize) {
+        let now = self.current.fetch_add(bytes, Ordering::SeqCst) + bytes;
+        self.peak.fetch_max(now, Ordering::SeqCst);
+    }
+
+    /// Registers a release of `bytes`.
+    ///
+    /// # Panics
+    ///
+    /// Panics (in debug builds) if more is released than allocated.
+    pub fn remove(&self, bytes: usize) {
+        let prev = self.current.fetch_sub(bytes, Ordering::SeqCst);
+        debug_assert!(prev >= bytes, "memory tracker underflow");
+    }
+
+    /// Currently tracked bytes.
+    pub fn current(&self) -> usize {
+        self.current.load(Ordering::SeqCst)
+    }
+
+    /// High-water mark.
+    pub fn peak(&self) -> usize {
+        self.peak.load(Ordering::SeqCst)
+    }
+}
+
+/// Formats bytes with a binary-prefix unit, as the paper's tables do
+/// (e.g. `59.6 GB`).
+pub fn format_bytes(bytes: usize) -> String {
+    const UNITS: [&str; 5] = ["B", "KB", "MB", "GB", "TB"];
+    let mut value = bytes as f64;
+    let mut unit = 0;
+    while value >= 1024.0 && unit < UNITS.len() - 1 {
+        value /= 1024.0;
+        unit += 1;
+    }
+    if unit == 0 {
+        format!("{bytes} B")
+    } else {
+        format!("{value:.2} {}", UNITS[unit])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_throughput() {
+        let b = BucketStats {
+            edges: 1000,
+            loss: 5.0,
+            seconds: 2.0,
+        };
+        assert_eq!(b.edges_per_second(), 500.0);
+        let z = BucketStats {
+            edges: 10,
+            loss: 0.0,
+            seconds: 0.0,
+        };
+        assert_eq!(z.edges_per_second(), 0.0);
+    }
+
+    #[test]
+    fn epoch_accumulation() {
+        let mut acc = EpochAccumulator::new();
+        acc.add(&BucketStats {
+            edges: 100,
+            loss: 10.0,
+            seconds: 1.0,
+        });
+        acc.add(&BucketStats {
+            edges: 300,
+            loss: 30.0,
+            seconds: 2.0,
+        });
+        let e = acc.finish(1, 4, 1234);
+        assert_eq!(e.edges, 400);
+        assert_eq!(e.buckets, 2);
+        assert!((e.mean_loss - 0.1).abs() < 1e-12);
+        assert_eq!(e.swap_ins, 4);
+        assert_eq!(e.peak_bytes, 1234);
+    }
+
+    #[test]
+    fn empty_epoch_has_zero_loss() {
+        let e = EpochAccumulator::new().finish(1, 0, 0);
+        assert_eq!(e.mean_loss, 0.0);
+    }
+
+    #[test]
+    fn memory_tracker_peak() {
+        let t = MemoryTracker::new();
+        t.add(100);
+        t.add(200);
+        t.remove(150);
+        t.add(10);
+        assert_eq!(t.current(), 160);
+        assert_eq!(t.peak(), 300);
+    }
+
+    #[test]
+    fn format_bytes_units() {
+        assert_eq!(format_bytes(512), "512 B");
+        assert_eq!(format_bytes(2048), "2.00 KB");
+        assert_eq!(format_bytes(64_000_000_000), "59.60 GB");
+    }
+}

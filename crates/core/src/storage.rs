@@ -1,0 +1,471 @@
+//! Partitioned embedding storage: in-memory or swapped to disk.
+//!
+//! "PBG then either swaps embeddings from each partition to disk to reduce
+//! memory usage, or performs distributed execution" (§1). A
+//! [`PartitionStore`] hands out one [`PartitionData`] per
+//! `(entity type, partition)`; the trainer loads the two partitions a
+//! bucket needs and releases the ones it no longer uses.
+//! [`DiskStore`] writes released partitions to files and reloads them on
+//! demand, tracking resident and peak bytes — the numbers behind the
+//! memory columns of Tables 3 and 4.
+
+use crate::error::{PbgError, Result};
+use pbg_graph::ids::{EntityTypeId, Partition};
+use pbg_graph::partition::EntityPartitioning;
+use pbg_graph::schema::GraphSchema;
+use pbg_tensor::adagrad::AdagradRow;
+use pbg_tensor::hogwild::HogwildArray;
+use pbg_tensor::rng::Xoshiro256;
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+
+/// Key of one embedding partition.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct PartitionKey {
+    /// The entity type.
+    pub entity_type: EntityTypeId,
+    /// The partition index within that type.
+    pub partition: Partition,
+}
+
+impl PartitionKey {
+    /// Creates a key.
+    pub fn new(entity_type: impl Into<EntityTypeId>, partition: impl Into<Partition>) -> Self {
+        PartitionKey {
+            entity_type: entity_type.into(),
+            partition: partition.into(),
+        }
+    }
+}
+
+/// One partition's embeddings plus its Adagrad state. Shared across
+/// HOGWILD threads.
+#[derive(Debug)]
+pub struct PartitionData {
+    /// Embedding rows (`partition size × dim`), offset-indexed.
+    pub embeddings: HogwildArray,
+    /// Row-wise Adagrad accumulators for those rows.
+    pub adagrad: AdagradRow,
+}
+
+impl PartitionData {
+    /// Creates a freshly initialized partition: embeddings uniform in
+    /// `(-init_scale, init_scale)`, zero accumulators.
+    pub fn init(rows: usize, dim: usize, lr: f32, init_scale: f32, seed: u64) -> Self {
+        let mut rng = Xoshiro256::seed_from_u64(seed);
+        let data: Vec<f32> = (0..rows * dim)
+            .map(|_| (rng.gen_f32() * 2.0 - 1.0) * init_scale)
+            .collect();
+        PartitionData {
+            embeddings: HogwildArray::from_vec(rows, dim, data),
+            adagrad: AdagradRow::new(rows, lr),
+        }
+    }
+
+    /// Rebuilds from checkpointed embeddings + accumulators.
+    ///
+    /// # Panics
+    ///
+    /// Panics if lengths disagree with `rows × dim` / `rows`.
+    pub fn from_parts(rows: usize, dim: usize, lr: f32, emb: Vec<f32>, acc: &[f32]) -> Self {
+        let data = PartitionData {
+            embeddings: HogwildArray::from_vec(rows, dim, emb),
+            adagrad: AdagradRow::new(rows, lr),
+        };
+        data.adagrad.restore(acc);
+        data
+    }
+
+    /// Resident bytes (embeddings + optimizer state).
+    pub fn bytes(&self) -> usize {
+        self.embeddings.bytes() + self.adagrad.bytes()
+    }
+}
+
+/// Abstract partition storage.
+///
+/// `load` must return the same logical data for a key until `release`d;
+/// `release` may evict (write back) the partition. Implementations track
+/// the resident-byte high-water mark.
+pub trait PartitionStore: Send + Sync {
+    /// Loads (or returns the resident) partition for `key`.
+    fn load(&self, key: PartitionKey) -> Arc<PartitionData>;
+    /// Releases `key`, allowing eviction. Callers drop their `Arc` first.
+    fn release(&self, key: PartitionKey);
+    /// Bytes currently resident.
+    fn resident_bytes(&self) -> usize;
+    /// High-water mark of resident bytes.
+    fn peak_bytes(&self) -> usize;
+    /// Number of loads that had to fetch from backing storage.
+    fn swap_ins(&self) -> usize;
+    /// Forces everything resident (used before evaluation snapshots).
+    fn load_all(&self);
+}
+
+/// Shape metadata shared by store implementations.
+#[derive(Debug, Clone)]
+pub struct StoreLayout {
+    keys: Vec<(PartitionKey, usize)>, // key -> row count
+    dim: usize,
+    lr: f32,
+    init_scale: f32,
+    seed: u64,
+}
+
+impl StoreLayout {
+    /// Derives the layout from a schema and training hyperparameters.
+    pub fn from_schema(schema: &GraphSchema, dim: usize, lr: f32, init_scale: f32, seed: u64) -> Self {
+        let mut keys = Vec::new();
+        for (t, def) in schema.entity_types().iter().enumerate() {
+            let partitioning = EntityPartitioning::new(def.num_entities(), def.num_partitions());
+            for p in partitioning.partitions() {
+                keys.push((
+                    PartitionKey::new(t as u32, p),
+                    partitioning.partition_size(p) as usize,
+                ));
+            }
+        }
+        StoreLayout {
+            keys,
+            dim,
+            lr,
+            init_scale,
+            seed,
+        }
+    }
+
+    /// All `(key, rows)` pairs.
+    pub fn keys(&self) -> &[(PartitionKey, usize)] {
+        &self.keys
+    }
+
+    /// Embedding dimension.
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    fn rows_of(&self, key: PartitionKey) -> usize {
+        self.keys
+            .iter()
+            .find(|(k, _)| *k == key)
+            .map(|(_, rows)| *rows)
+            .unwrap_or_else(|| panic!("unknown partition key {key:?}"))
+    }
+
+    fn init(&self, key: PartitionKey) -> PartitionData {
+        let rows = self.rows_of(key);
+        // derive a distinct seed per partition
+        let seed = self
+            .seed
+            .wrapping_mul(0x9E3779B97F4A7C15)
+            .wrapping_add(((key.entity_type.0 as u64) << 32) | key.partition.0 as u64);
+        PartitionData::init(rows, self.dim, self.lr, self.init_scale, seed)
+    }
+}
+
+/// Keeps every partition resident — the paper's 1-partition /
+/// unpartitioned regime.
+#[derive(Debug)]
+pub struct InMemoryStore {
+    layout: StoreLayout,
+    partitions: HashMap<PartitionKey, Arc<PartitionData>>,
+    bytes: usize,
+}
+
+impl InMemoryStore {
+    /// Allocates and initializes all partitions.
+    pub fn new(layout: StoreLayout) -> Self {
+        let mut partitions = HashMap::new();
+        let mut bytes = 0;
+        for (key, _) in layout.keys().to_vec() {
+            let data = Arc::new(layout.init(key));
+            bytes += data.bytes();
+            partitions.insert(key, data);
+        }
+        InMemoryStore {
+            layout,
+            partitions,
+            bytes,
+        }
+    }
+
+    /// The layout this store was built from.
+    pub fn layout(&self) -> &StoreLayout {
+        &self.layout
+    }
+}
+
+impl PartitionStore for InMemoryStore {
+    fn load(&self, key: PartitionKey) -> Arc<PartitionData> {
+        Arc::clone(
+            self.partitions
+                .get(&key)
+                .unwrap_or_else(|| panic!("unknown partition key {key:?}")),
+        )
+    }
+
+    fn release(&self, _key: PartitionKey) {}
+
+    fn resident_bytes(&self) -> usize {
+        self.bytes
+    }
+
+    fn peak_bytes(&self) -> usize {
+        self.bytes
+    }
+
+    fn swap_ins(&self) -> usize {
+        0
+    }
+
+    fn load_all(&self) {}
+}
+
+/// Swaps partitions to files under a directory, keeping only loaded ones
+/// resident.
+#[derive(Debug)]
+pub struct DiskStore {
+    layout: StoreLayout,
+    dir: PathBuf,
+    resident: Mutex<HashMap<PartitionKey, Arc<PartitionData>>>,
+    resident_bytes: AtomicUsize,
+    peak_bytes: AtomicUsize,
+    swap_ins: AtomicUsize,
+}
+
+impl DiskStore {
+    /// Creates a disk-backed store under `dir` (created if missing).
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the directory cannot be created.
+    pub fn new(layout: StoreLayout, dir: impl Into<PathBuf>) -> Result<Self> {
+        let dir = dir.into();
+        std::fs::create_dir_all(&dir)?;
+        Ok(DiskStore {
+            layout,
+            dir,
+            resident: Mutex::new(HashMap::new()),
+            resident_bytes: AtomicUsize::new(0),
+            peak_bytes: AtomicUsize::new(0),
+            swap_ins: AtomicUsize::new(0),
+        })
+    }
+
+    fn path_of(&self, key: PartitionKey) -> PathBuf {
+        self.dir
+            .join(format!("et{}_p{}.emb", key.entity_type, key.partition))
+    }
+
+    fn read_from_disk(&self, key: PartitionKey) -> Result<Option<PartitionData>> {
+        let path = self.path_of(key);
+        if !path.exists() {
+            return Ok(None);
+        }
+        let bytes = std::fs::read(&path)?;
+        let rows = self.layout.rows_of(key);
+        let dim = self.layout.dim;
+        let expect = (rows * dim + rows) * 4;
+        if bytes.len() != expect {
+            return Err(PbgError::Checkpoint(format!(
+                "partition file {} has {} bytes, expected {expect}",
+                path.display(),
+                bytes.len()
+            )));
+        }
+        let floats: Vec<f32> = bytes
+            .chunks_exact(4)
+            .map(|c| f32::from_le_bytes([c[0], c[1], c[2], c[3]]))
+            .collect();
+        let (emb, acc) = floats.split_at(rows * dim);
+        Ok(Some(PartitionData::from_parts(
+            rows,
+            dim,
+            self.layout.lr,
+            emb.to_vec(),
+            acc,
+        )))
+    }
+
+    fn write_to_disk(&self, key: PartitionKey, data: &PartitionData) -> Result<()> {
+        let mut floats = data.embeddings.to_vec();
+        floats.extend(data.adagrad.to_vec());
+        let mut bytes = Vec::with_capacity(floats.len() * 4);
+        for f in floats {
+            bytes.extend_from_slice(&f.to_le_bytes());
+        }
+        std::fs::write(self.path_of(key), bytes)?;
+        Ok(())
+    }
+
+    fn track_load(&self, bytes: usize) {
+        let now = self.resident_bytes.fetch_add(bytes, Ordering::SeqCst) + bytes;
+        self.peak_bytes.fetch_max(now, Ordering::SeqCst);
+    }
+}
+
+impl PartitionStore for DiskStore {
+    fn load(&self, key: PartitionKey) -> Arc<PartitionData> {
+        let mut resident = self.resident.lock();
+        if let Some(data) = resident.get(&key) {
+            return Arc::clone(data);
+        }
+        self.swap_ins.fetch_add(1, Ordering::SeqCst);
+        let data = match self
+            .read_from_disk(key)
+            .expect("disk store read failed; inspect the store directory")
+        {
+            Some(d) => d,
+            None => self.layout.init(key),
+        };
+        self.track_load(data.bytes());
+        let data = Arc::new(data);
+        resident.insert(key, Arc::clone(&data));
+        data
+    }
+
+    fn release(&self, key: PartitionKey) {
+        let mut resident = self.resident.lock();
+        if let Some(data) = resident.remove(&key) {
+            self.write_to_disk(key, &data)
+                .expect("disk store write failed; inspect the store directory");
+            self.resident_bytes
+                .fetch_sub(data.bytes(), Ordering::SeqCst);
+        }
+    }
+
+    fn resident_bytes(&self) -> usize {
+        self.resident_bytes.load(Ordering::SeqCst)
+    }
+
+    fn peak_bytes(&self) -> usize {
+        self.peak_bytes.load(Ordering::SeqCst)
+    }
+
+    fn swap_ins(&self) -> usize {
+        self.swap_ins.load(Ordering::SeqCst)
+    }
+
+    fn load_all(&self) {
+        for (key, _) in self.layout.keys().to_vec() {
+            let _ = self.load(key);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pbg_graph::schema::{EntityTypeDef, GraphSchema, RelationTypeDef};
+
+    fn schema(p: u32) -> GraphSchema {
+        GraphSchema::builder()
+            .entity_type(EntityTypeDef::new("node", 100).with_partitions(p))
+            .relation_type(RelationTypeDef::new("edge", 0u32, 0u32))
+            .build()
+            .unwrap()
+    }
+
+    fn layout(p: u32) -> StoreLayout {
+        StoreLayout::from_schema(&schema(p), 8, 0.1, 0.1, 42)
+    }
+
+    #[test]
+    fn layout_covers_all_partitions() {
+        let l = layout(4);
+        assert_eq!(l.keys().len(), 4);
+        let total_rows: usize = l.keys().iter().map(|(_, r)| r).sum();
+        assert_eq!(total_rows, 100);
+    }
+
+    #[test]
+    fn in_memory_load_is_stable() {
+        let store = InMemoryStore::new(layout(2));
+        let key = PartitionKey::new(0u32, 0u32);
+        let a = store.load(key);
+        a.embeddings.set(0, 0, 123.0);
+        store.release(key);
+        let b = store.load(key);
+        assert_eq!(b.embeddings.get(0, 0), 123.0);
+        assert_eq!(store.swap_ins(), 0);
+    }
+
+    #[test]
+    fn init_is_deterministic_and_distinct_per_partition() {
+        let s1 = InMemoryStore::new(layout(2));
+        let s2 = InMemoryStore::new(layout(2));
+        let k0 = PartitionKey::new(0u32, 0u32);
+        let k1 = PartitionKey::new(0u32, 1u32);
+        assert_eq!(
+            s1.load(k0).embeddings.to_vec(),
+            s2.load(k0).embeddings.to_vec()
+        );
+        assert_ne!(
+            s1.load(k0).embeddings.to_vec(),
+            s1.load(k1).embeddings.to_vec()
+        );
+    }
+
+    #[test]
+    fn disk_store_roundtrips_through_release() {
+        let dir = std::env::temp_dir().join(format!("pbg_disk_{}", std::process::id()));
+        let store = DiskStore::new(layout(2), &dir).unwrap();
+        let key = PartitionKey::new(0u32, 1u32);
+        let data = store.load(key);
+        data.embeddings.set(3, 2, 7.5);
+        let _ = data.adagrad.step_size(3, &[1.0; 8]);
+        drop(data);
+        store.release(key);
+        assert_eq!(store.resident_bytes(), 0);
+        let back = store.load(key);
+        assert_eq!(back.embeddings.get(3, 2), 7.5);
+        assert!(back.adagrad.accumulator(3) > 0.0, "adagrad state persisted");
+        assert_eq!(store.swap_ins(), 2);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn disk_store_tracks_peak() {
+        let dir = std::env::temp_dir().join(format!("pbg_disk_peak_{}", std::process::id()));
+        let store = DiskStore::new(layout(4), &dir).unwrap();
+        let k0 = PartitionKey::new(0u32, 0u32);
+        let k1 = PartitionKey::new(0u32, 1u32);
+        let _a = store.load(k0);
+        let one = store.resident_bytes();
+        let _b = store.load(k1);
+        let two = store.resident_bytes();
+        assert!(two > one);
+        store.release(k0);
+        store.release(k1);
+        assert_eq!(store.resident_bytes(), 0);
+        assert_eq!(store.peak_bytes(), two, "peak is the high-water mark");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn load_all_brings_everything_in() {
+        let dir = std::env::temp_dir().join(format!("pbg_disk_all_{}", std::process::id()));
+        let store = DiskStore::new(layout(4), &dir).unwrap();
+        store.load_all();
+        assert_eq!(store.swap_ins(), 4);
+        // idempotent
+        store.load_all();
+        assert_eq!(store.swap_ins(), 4);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn multi_entity_type_layout() {
+        let schema = GraphSchema::builder()
+            .entity_type(EntityTypeDef::new("user", 100).with_partitions(4))
+            .entity_type(EntityTypeDef::new("item", 10))
+            .relation_type(RelationTypeDef::new("buys", 0u32, 1u32))
+            .build()
+            .unwrap();
+        let l = StoreLayout::from_schema(&schema, 4, 0.1, 0.1, 1);
+        assert_eq!(l.keys().len(), 5, "4 user parts + 1 item part");
+    }
+}

@@ -1,0 +1,354 @@
+//! The training pipeline: bucket scheduling, epochs, and the high-level
+//! [`Trainer`] entry point.
+//!
+//! Each epoch iterates the edge buckets in the configured order (§4.1,
+//! Figure 1), loading a bucket's two partitions, training it with HOGWILD
+//! threads, and releasing partitions the next bucket does not need — the
+//! single-machine "swap to disk" regime when backed by a
+//! [`crate::storage::DiskStore`]. The optional stratified sub-epoch scheme
+//! (footnote 3) re-visits buckets `N` times on `1/N` of their edges.
+
+pub mod bucket;
+pub mod step;
+
+use crate::config::PbgConfig;
+use crate::error::Result;
+use crate::model::{Model, TrainedEmbeddings};
+use crate::stats::{EpochAccumulator, EpochStats};
+use crate::storage::{DiskStore, InMemoryStore, PartitionStore, StoreLayout};
+use pbg_graph::bucket::Buckets;
+use pbg_graph::edges::EdgeList;
+use pbg_graph::partition::EntityPartitioning;
+use pbg_graph::schema::GraphSchema;
+use pbg_graph::RelationTypeId;
+use pbg_tensor::rng::Xoshiro256;
+use std::collections::HashSet;
+use std::path::Path;
+
+pub use bucket::{needed_keys, train_bucket};
+
+/// Where embedding partitions live during training.
+#[derive(Debug)]
+pub enum Storage {
+    /// Everything resident (paper's unpartitioned / 1-partition regime).
+    InMemory,
+    /// Partitions swapped to files under the given directory (§4.1).
+    Disk(std::path::PathBuf),
+}
+
+/// High-level trainer owning the model, storage, and bucketed edges.
+pub struct Trainer {
+    model: Model,
+    store: Box<dyn PartitionStore>,
+    buckets: Buckets,
+    rng: Xoshiro256,
+    epoch: usize,
+}
+
+impl Trainer {
+    /// Builds a trainer with in-memory storage.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error for invalid configs or schema/config mismatches.
+    pub fn new(schema: GraphSchema, edges: &EdgeList, config: PbgConfig) -> Result<Self> {
+        Self::with_storage(schema, edges, config, Storage::InMemory)
+    }
+
+    /// Builds a trainer with explicit storage.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error for invalid configs, schema/config mismatches, or
+    /// an unusable disk directory.
+    pub fn with_storage(
+        schema: GraphSchema,
+        edges: &EdgeList,
+        config: PbgConfig,
+        storage: Storage,
+    ) -> Result<Self> {
+        let model = Model::new(schema, config)?;
+        let store = build_store(&model, storage)?;
+        let buckets = bucketize(model.schema(), edges);
+        let rng = Xoshiro256::seed_from_u64(model.config().seed ^ 0xB0C4_E77E);
+        Ok(Trainer {
+            model,
+            store,
+            buckets,
+            rng,
+            epoch: 0,
+        })
+    }
+
+    /// The model (relation parameters, schema, config).
+    pub fn model(&self) -> &Model {
+        &self.model
+    }
+
+    /// The partition store (for memory inspection).
+    pub fn store(&self) -> &dyn PartitionStore {
+        self.store.as_ref()
+    }
+
+    /// The bucketed training edges.
+    pub fn buckets(&self) -> &Buckets {
+        &self.buckets
+    }
+
+    /// Epochs completed so far.
+    pub fn epochs_done(&self) -> usize {
+        self.epoch
+    }
+
+    /// Trains a single epoch and returns its stats.
+    pub fn train_epoch(&mut self) -> EpochStats {
+        self.epoch += 1;
+        let config = self.model.config().clone();
+        let order = config.bucket_ordering.order(
+            self.buckets.src_parts(),
+            self.buckets.dst_parts(),
+            &mut self.rng,
+        );
+        let mut acc = EpochAccumulator::new();
+        let swap_ins_before = self.store.swap_ins();
+        let passes = config.bucket_passes;
+        for pass in 0..passes {
+            let mut previously_needed: Option<HashSet<crate::storage::PartitionKey>> = None;
+            for (step, &bucket_id) in order.iter().enumerate() {
+                let full = self.buckets.bucket(bucket_id);
+                // stratified sub-epoch: train 1/N of the bucket per pass
+                let edges = if passes == 1 {
+                    shuffled(full, &mut self.rng)
+                } else {
+                    let parts = full.chunks(passes);
+                    shuffled(&parts[pass], &mut self.rng)
+                };
+                let needed = needed_keys(&self.model, bucket_id);
+                // release partitions the new bucket does not reuse
+                if let Some(prev) = previously_needed.take() {
+                    for key in prev.difference(&needed) {
+                        self.store.release(*key);
+                    }
+                }
+                let seed = config
+                    .seed
+                    .wrapping_add((self.epoch as u64) << 32)
+                    .wrapping_add((pass as u64) << 16)
+                    .wrapping_add(step as u64);
+                let stats = train_bucket(&self.model, self.store.as_ref(), bucket_id, &edges, seed);
+                acc.add(&stats);
+                previously_needed = Some(needed);
+            }
+            if let Some(prev) = previously_needed {
+                for key in prev {
+                    self.store.release(key);
+                }
+            }
+        }
+        acc.finish(
+            self.epoch,
+            self.store.swap_ins() - swap_ins_before,
+            self.store.peak_bytes(),
+        )
+    }
+
+    /// Trains the configured number of epochs, invoking `on_epoch` after
+    /// each (for learning curves / early stopping — return `false` to
+    /// stop).
+    pub fn train_with(
+        &mut self,
+        mut on_epoch: impl FnMut(&EpochStats, &Trainer) -> bool,
+    ) -> Vec<EpochStats> {
+        let epochs = self.model.config().epochs;
+        let mut all = Vec::with_capacity(epochs);
+        for _ in 0..epochs {
+            let stats = self.train_epoch();
+            let keep_going = on_epoch(&stats, self);
+            all.push(stats);
+            if !keep_going {
+                break;
+            }
+        }
+        all
+    }
+
+    /// Trains the configured number of epochs.
+    pub fn train(&mut self) -> Vec<EpochStats> {
+        self.train_with(|_, _| true)
+    }
+
+    /// Snapshots the model for evaluation or checkpointing.
+    pub fn snapshot(&self) -> TrainedEmbeddings {
+        self.model.snapshot(self.store.as_ref())
+    }
+}
+
+impl std::fmt::Debug for Trainer {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Trainer")
+            .field("epoch", &self.epoch)
+            .field("buckets", &self.buckets.len())
+            .field("config", self.model.config())
+            .finish()
+    }
+}
+
+fn build_store(model: &Model, storage: Storage) -> Result<Box<dyn PartitionStore>> {
+    let layout: StoreLayout = model.store_layout();
+    Ok(match storage {
+        Storage::InMemory => Box::new(InMemoryStore::new(layout)),
+        Storage::Disk(dir) => Box::new(DiskStore::new(layout, dir.as_path() as &Path)?),
+    })
+}
+
+/// Buckets `edges` using each relation's endpoint entity-type
+/// partitionings.
+pub fn bucketize(schema: &GraphSchema, edges: &EdgeList) -> Buckets {
+    let partitionings: Vec<EntityPartitioning> = schema
+        .entity_types()
+        .iter()
+        .map(|def| EntityPartitioning::new(def.num_entities(), def.num_partitions()))
+        .collect();
+    Buckets::from_edges_with(edges, |rel| {
+        let rdef = schema.relation_type(RelationTypeId(rel));
+        (
+            partitionings[rdef.source_type().index()],
+            partitionings[rdef.dest_type().index()],
+        )
+    })
+}
+
+fn shuffled(edges: &EdgeList, rng: &mut Xoshiro256) -> EdgeList {
+    let mut out = edges.clone();
+    out.shuffle(rng);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pbg_graph::edges::Edge;
+
+    fn ring(n: u32) -> EdgeList {
+        (0..n).map(|i| Edge::new(i, 0u32, (i + 1) % n)).collect()
+    }
+
+    fn config(threads: usize, epochs: usize) -> PbgConfig {
+        PbgConfig::builder()
+            .dim(8)
+            .batch_size(32)
+            .chunk_size(8)
+            .uniform_negatives(8)
+            .threads(threads)
+            .epochs(epochs)
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn single_partition_training_converges() {
+        let schema = GraphSchema::homogeneous(64, 1).unwrap();
+        let mut t = Trainer::new(schema, &ring(64), config(2, 5)).unwrap();
+        let stats = t.train();
+        assert_eq!(stats.len(), 5);
+        assert!(
+            stats.last().unwrap().mean_loss < stats[0].mean_loss,
+            "loss: {} -> {}",
+            stats[0].mean_loss,
+            stats.last().unwrap().mean_loss
+        );
+    }
+
+    #[test]
+    fn partitioned_training_converges() {
+        let schema = GraphSchema::homogeneous(64, 4).unwrap();
+        let mut t = Trainer::new(schema, &ring(64), config(2, 5)).unwrap();
+        assert_eq!(t.buckets().len(), 16);
+        let stats = t.train();
+        assert!(stats.last().unwrap().mean_loss < stats[0].mean_loss);
+    }
+
+    #[test]
+    fn disk_storage_swaps_and_converges() {
+        let dir = std::env::temp_dir().join(format!("pbg_trainer_{}", std::process::id()));
+        let schema = GraphSchema::homogeneous(64, 4).unwrap();
+        let mut t = Trainer::with_storage(
+            schema,
+            &ring(64),
+            config(2, 3),
+            Storage::Disk(dir.clone()),
+        )
+        .unwrap();
+        let stats = t.train();
+        assert!(stats[0].swap_ins > 0, "disk store must swap partitions in");
+        // with 4 partitions only 2 are ever resident: peak < full size
+        let full_bytes: usize = {
+            let schema = GraphSchema::homogeneous(64, 1).unwrap();
+            let t_full = Trainer::new(schema, &ring(64), config(1, 1)).unwrap();
+            t_full.store().peak_bytes()
+        };
+        assert!(
+            t.store().peak_bytes() < full_bytes,
+            "peak {} not below full model {}",
+            t.store().peak_bytes(),
+            full_bytes
+        );
+        assert!(stats.last().unwrap().mean_loss < stats[0].mean_loss);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn early_stop_callback() {
+        let schema = GraphSchema::homogeneous(32, 1).unwrap();
+        let mut t = Trainer::new(schema, &ring(32), config(1, 10)).unwrap();
+        let stats = t.train_with(|s, _| s.epoch < 3);
+        assert_eq!(stats.len(), 3);
+        assert_eq!(t.epochs_done(), 3);
+    }
+
+    #[test]
+    fn stratified_passes_cover_all_edges() {
+        let schema = GraphSchema::homogeneous(32, 2).unwrap();
+        let cfg = PbgConfig::builder()
+            .dim(8)
+            .batch_size(16)
+            .chunk_size(4)
+            .uniform_negatives(4)
+            .threads(1)
+            .epochs(1)
+            .bucket_passes(3)
+            .build()
+            .unwrap();
+        let mut t = Trainer::new(schema, &ring(32), cfg).unwrap();
+        let stats = t.train();
+        assert_eq!(stats[0].edges, 32, "every edge trained exactly once");
+        // buckets visited N times each
+        assert_eq!(stats[0].buckets, 4 * 3);
+    }
+
+    #[test]
+    fn snapshot_contains_all_entities() {
+        let schema = GraphSchema::homogeneous(48, 3).unwrap();
+        let mut t = Trainer::new(schema, &ring(48), config(1, 1)).unwrap();
+        t.train();
+        let snap = t.snapshot();
+        assert_eq!(snap.embeddings[0].rows(), 48);
+        // trained embeddings should not all be at init scale
+        let norms: Vec<f32> = (0..48)
+            .map(|i| pbg_tensor::vecmath::norm(snap.embedding(0, i)))
+            .collect();
+        assert!(norms.iter().any(|&n| n > 0.0));
+    }
+
+    #[test]
+    fn deterministic_given_seed_and_single_thread() {
+        let schema = GraphSchema::homogeneous(32, 2).unwrap();
+        let run = || {
+            let mut t =
+                Trainer::new(schema.clone(), &ring(32), config(1, 2)).unwrap();
+            t.train();
+            t.snapshot().embeddings[0].as_slice().to_vec()
+        };
+        assert_eq!(run(), run(), "single-thread training must be reproducible");
+    }
+}

@@ -1,0 +1,443 @@
+//! The innermost training step: one chunk of same-relation positives.
+//!
+//! Implements Figure 3 of the paper: gather the chunk's source and
+//! destination embeddings, transform the sources with the relation
+//! operator, score positives pairwise and negatives as a batched matrix
+//! product against `chunk + uniform` candidates, mask induced positives,
+//! apply the loss, and backpropagate into embeddings (row-wise Adagrad)
+//! and relation parameters (dense Adagrad).
+
+use crate::config::{NegativeMode, PbgConfig};
+use crate::loss;
+use crate::model::RelationParams;
+use crate::negatives::{candidate_offsets, gather, mask_induced_positives};
+use crate::operator;
+use crate::similarity::{backward_matrix, backward_pairs, score_matrix, score_pairs};
+use crate::storage::PartitionData;
+use pbg_tensor::matrix::Matrix;
+use pbg_tensor::rng::Xoshiro256;
+
+/// Accumulated relation-parameter gradients, applied once per batch
+/// rather than per chunk: shared-parameter updates are the one contended
+/// write in HOGWILD training, and batch-level application cuts that
+/// contention by `batch_size / chunk_size` without changing what Adagrad
+/// sees (gradients within a batch sum anyway).
+#[derive(Debug)]
+pub struct ParamGradAccum {
+    /// Gradient for the forward operator parameters.
+    pub forward: Vec<f32>,
+    /// Gradient for the reciprocal parameters (empty when unused).
+    pub reciprocal: Vec<f32>,
+}
+
+impl ParamGradAccum {
+    /// Zeroed accumulator sized for `relation`.
+    pub fn for_relation(relation: &RelationParams) -> Self {
+        ParamGradAccum {
+            forward: vec![0.0; relation.forward.len()],
+            reciprocal: vec![
+                0.0;
+                relation.reciprocal.as_ref().map_or(0, |r| r.len())
+            ],
+        }
+    }
+
+    /// Applies and clears the accumulated gradients.
+    pub fn apply(&mut self, relation: &RelationParams) {
+        if !self.forward.is_empty() && self.forward.iter().any(|&g| g != 0.0) {
+            relation.forward.apply_grad(&self.forward);
+            self.forward.iter_mut().for_each(|g| *g = 0.0);
+        }
+        if let Some(recip) = &relation.reciprocal {
+            if !self.reciprocal.is_empty() && self.reciprocal.iter().any(|&g| g != 0.0) {
+                recip.apply_grad(&self.reciprocal);
+                self.reciprocal.iter_mut().for_each(|g| *g = 0.0);
+            }
+        }
+    }
+}
+
+/// Everything a chunk step needs, borrowed from the bucket trainer.
+pub struct ChunkContext<'a> {
+    /// Training configuration.
+    pub config: &'a PbgConfig,
+    /// Relation parameters for this chunk's relation.
+    pub relation: &'a RelationParams,
+    /// Source-side partition data.
+    pub src_data: &'a PartitionData,
+    /// Destination-side partition data.
+    pub dst_data: &'a PartitionData,
+    /// Rows in the source partition (for uniform sampling).
+    pub src_partition_size: usize,
+    /// Rows in the destination partition (for uniform sampling).
+    pub dst_partition_size: usize,
+}
+
+/// Trains one chunk; returns the summed loss.
+///
+/// `src_offsets`/`dst_offsets` are partition-local row offsets of the
+/// chunk's edges; `weights` are per-edge loss weights (relation weight ×
+/// edge weight).
+///
+/// # Panics
+///
+/// Panics if slice lengths disagree or offsets are out of range.
+pub fn train_chunk(
+    ctx: &ChunkContext<'_>,
+    src_offsets: &[u32],
+    dst_offsets: &[u32],
+    weights: &[f32],
+    param_grads: &mut ParamGradAccum,
+    rng: &mut Xoshiro256,
+) -> f64 {
+    assert_eq!(src_offsets.len(), dst_offsets.len(), "chunk: offset mismatch");
+    assert_eq!(src_offsets.len(), weights.len(), "chunk: weight mismatch");
+    if src_offsets.is_empty() {
+        return 0.0;
+    }
+    let cfg = ctx.config;
+    let rel = ctx.relation;
+    let op = rel.op();
+    let include_chunk = cfg.negative_mode == NegativeMode::Batched;
+
+    // ---- forward ----
+    let src = gather(&ctx.src_data.embeddings, src_offsets);
+    let dst = gather(&ctx.dst_data.embeddings, dst_offsets);
+    let fwd_params = rel.forward.snapshot();
+    let t_src = operator::apply(op, &fwd_params, &src);
+    let pos_scores = score_pairs(cfg.similarity, &t_src, &dst);
+
+    // destination corruption: candidates = (chunk dsts +) uniform
+    let cand_dst_offsets = if include_chunk {
+        candidate_offsets(dst_offsets, cfg.uniform_negatives, ctx.dst_partition_size, rng)
+    } else {
+        candidate_offsets(&[], cfg.uniform_negatives, ctx.dst_partition_size, rng)
+    };
+    let cand_dst = gather(&ctx.dst_data.embeddings, &cand_dst_offsets);
+    let mut neg_dst_scores = score_matrix(cfg.similarity, &t_src, &cand_dst);
+    mask_induced_positives(&mut neg_dst_scores, dst_offsets, &cand_dst_offsets);
+    let dst_loss = loss::compute(cfg.loss, cfg.margin, &pos_scores, &neg_dst_scores, weights);
+    let mut total_loss = dst_loss.loss;
+
+    // gradient buffers accumulated across both corruption sides
+    let mut grad_pos_shared = dst_loss.grad_pos.clone();
+    let grad_fwd_params = &mut param_grads.forward;
+    let mut grad_dst_rows = Matrix::zeros(dst.rows(), dst.cols());
+
+    // source corruption
+    let mut src_side: Option<SrcSideGrads> = None;
+    if cfg.corrupt_sources {
+        let cand_src_offsets = if include_chunk {
+            candidate_offsets(src_offsets, cfg.uniform_negatives, ctx.src_partition_size, rng)
+        } else {
+            candidate_offsets(&[], cfg.uniform_negatives, ctx.src_partition_size, rng)
+        };
+        let cand_src = gather(&ctx.src_data.embeddings, &cand_src_offsets);
+        if let Some(recip) = &rel.reciprocal {
+            // reciprocal: score candidates against g_inv(dst)
+            let inv_params = recip.snapshot();
+            let t_dst = operator::apply(op, &inv_params, &dst);
+            let pos2 = score_pairs(cfg.similarity, &t_dst, &src);
+            let mut neg_src_scores = score_matrix(cfg.similarity, &t_dst, &cand_src);
+            mask_induced_positives(&mut neg_src_scores, src_offsets, &cand_src_offsets);
+            let src_loss =
+                loss::compute(cfg.loss, cfg.margin, &pos2, &neg_src_scores, weights);
+            total_loss += src_loss.loss;
+            // backward through the reciprocal path
+            let (g_tdst_pos, g_src_pos) =
+                backward_pairs(cfg.similarity, &t_dst, &src, &src_loss.grad_pos);
+            let (g_tdst_neg, g_cand_src) =
+                backward_matrix(cfg.similarity, &t_dst, &cand_src, &src_loss.grad_neg);
+            let mut g_tdst = g_tdst_pos;
+            g_tdst.add_scaled(1.0, &g_tdst_neg);
+            let (g_dst_inv, g_inv_params) = operator::backward(op, &inv_params, &dst, &g_tdst);
+            grad_dst_rows.add_scaled(1.0, &g_dst_inv);
+            for (gp, g) in param_grads.reciprocal.iter_mut().zip(&g_inv_params) {
+                *gp += *g;
+            }
+            src_side = Some(SrcSideGrads {
+                cand_src_offsets,
+                g_cand_src,
+                g_src_extra: Some(g_src_pos),
+            });
+        } else {
+            // shared parameters: transform the candidates, score against
+            // the raw destinations; the positive term is the same score as
+            // the destination side, so its gradient folds into
+            // `grad_pos_shared`.
+            let t_cand = operator::apply(op, &fwd_params, &cand_src);
+            let mut neg_src_scores = score_matrix(cfg.similarity, &dst, &t_cand);
+            mask_induced_positives(&mut neg_src_scores, src_offsets, &cand_src_offsets);
+            let src_loss =
+                loss::compute(cfg.loss, cfg.margin, &pos_scores, &neg_src_scores, weights);
+            total_loss += src_loss.loss;
+            for (gp, g) in grad_pos_shared.iter_mut().zip(&src_loss.grad_pos) {
+                *gp += *g;
+            }
+            let (g_dst_neg, g_tcand) =
+                backward_matrix(cfg.similarity, &dst, &t_cand, &src_loss.grad_neg);
+            grad_dst_rows.add_scaled(1.0, &g_dst_neg);
+            let (g_cand_src, g_params2) = operator::backward(op, &fwd_params, &cand_src, &g_tcand);
+            for (gp, g) in grad_fwd_params.iter_mut().zip(&g_params2) {
+                *gp += *g;
+            }
+            src_side = Some(SrcSideGrads {
+                cand_src_offsets,
+                g_cand_src,
+                g_src_extra: None,
+            });
+        }
+    }
+
+    // ---- backward through the shared positive pair and dst negatives ----
+    let (g_tsrc_pos, g_dst_pos) = backward_pairs(cfg.similarity, &t_src, &dst, &grad_pos_shared);
+    let (g_tsrc_neg, g_cand_dst) =
+        backward_matrix(cfg.similarity, &t_src, &cand_dst, &dst_loss.grad_neg);
+    let mut g_tsrc = g_tsrc_pos;
+    g_tsrc.add_scaled(1.0, &g_tsrc_neg);
+    let (g_src, g_params1) = operator::backward(op, &fwd_params, &src, &g_tsrc);
+    for (gp, g) in grad_fwd_params.iter_mut().zip(&g_params1) {
+        *gp += *g;
+    }
+    grad_dst_rows.add_scaled(1.0, &g_dst_pos);
+
+    // ---- scatter updates (HOGWILD row-wise Adagrad) ----
+    scatter(ctx.src_data, src_offsets, &g_src, None);
+    scatter(ctx.dst_data, dst_offsets, &grad_dst_rows, None);
+    scatter_rows(ctx.dst_data, &cand_dst_offsets, &g_cand_dst);
+    if let Some(side) = src_side {
+        scatter_rows(ctx.src_data, &side.cand_src_offsets, &side.g_cand_src);
+        if let Some(extra) = side.g_src_extra {
+            scatter(ctx.src_data, src_offsets, &extra, None);
+        }
+    }
+    total_loss
+}
+
+struct SrcSideGrads {
+    cand_src_offsets: Vec<u32>,
+    g_cand_src: Matrix,
+    g_src_extra: Option<Matrix>,
+}
+
+/// Applies one Adagrad update per row (skipping all-zero rows).
+fn scatter(data: &PartitionData, offsets: &[u32], grads: &Matrix, _tag: Option<()>) {
+    for (i, &off) in offsets.iter().enumerate() {
+        let g = grads.row(i);
+        if g.iter().all(|&v| v == 0.0) {
+            continue;
+        }
+        data.adagrad.update(&data.embeddings, off as usize, g);
+    }
+}
+
+fn scatter_rows(data: &PartitionData, offsets: &[u32], grads: &Matrix) {
+    scatter(data, offsets, grads, None);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::{LossKind, SimilarityKind};
+    use crate::model::Model;
+    use pbg_graph::schema::{EntityTypeDef, GraphSchema, OperatorKind, RelationTypeDef};
+    use pbg_graph::RelationTypeId;
+
+    fn setup(op: OperatorKind, reciprocal: bool) -> (Model, PartitionData) {
+        let schema = GraphSchema::builder()
+            .entity_type(EntityTypeDef::new("node", 32))
+            .relation_type(RelationTypeDef::new("r", 0u32, 0u32).with_operator(op))
+            .build()
+            .unwrap();
+        let config = PbgConfig::builder()
+            .dim(8)
+            .batch_size(16)
+            .chunk_size(4)
+            .uniform_negatives(4)
+            .reciprocal_relations(reciprocal)
+            .build()
+            .unwrap();
+        let model = Model::new(schema, config).unwrap();
+        let data = PartitionData::init(32, 8, 0.1, 0.5, 7);
+        (model, data)
+    }
+
+    fn run_steps(op: OperatorKind, reciprocal: bool, steps: usize) -> (f64, f64) {
+        let (model, data) = setup(op, reciprocal);
+        let ctx = ChunkContext {
+            config: model.config(),
+            relation: model.relation(RelationTypeId(0)),
+            src_data: &data,
+            dst_data: &data,
+            src_partition_size: 32,
+            dst_partition_size: 32,
+        };
+        let mut rng = Xoshiro256::seed_from_u64(3);
+        let mut pg = ParamGradAccum::for_relation(ctx.relation);
+        // a fixed set of "true" edges: i -> (i+1) % 32
+        let src: Vec<u32> = (0..4).collect();
+        let dst: Vec<u32> = (1..5).collect();
+        let w = vec![1.0f32; 4];
+        let mut step = |rng: &mut Xoshiro256, pg: &mut ParamGradAccum| {
+            let loss = train_chunk(&ctx, &src, &dst, &w, pg, rng);
+            pg.apply(ctx.relation);
+            loss
+        };
+        let first = step(&mut rng, &mut pg);
+        let mut last = first;
+        for _ in 1..steps {
+            last = step(&mut rng, &mut pg);
+        }
+        (first, last)
+    }
+
+    #[test]
+    fn loss_decreases_with_training() {
+        for op in [
+            OperatorKind::Identity,
+            OperatorKind::Translation,
+            OperatorKind::Diagonal,
+            OperatorKind::ComplexDiagonal,
+            OperatorKind::Linear,
+        ] {
+            let (first, last) = run_steps(op, false, 60);
+            assert!(
+                last < first,
+                "{op}: loss did not decrease ({first} -> {last})"
+            );
+        }
+    }
+
+    #[test]
+    fn reciprocal_training_also_converges() {
+        let (first, last) = run_steps(OperatorKind::Diagonal, true, 60);
+        assert!(last < first, "reciprocal: {first} -> {last}");
+    }
+
+    #[test]
+    fn empty_chunk_is_zero_loss() {
+        let (model, data) = setup(OperatorKind::Identity, false);
+        let ctx = ChunkContext {
+            config: model.config(),
+            relation: model.relation(RelationTypeId(0)),
+            src_data: &data,
+            dst_data: &data,
+            src_partition_size: 32,
+            dst_partition_size: 32,
+        };
+        let mut rng = Xoshiro256::seed_from_u64(1);
+        let mut pg = ParamGradAccum::for_relation(ctx.relation);
+        assert_eq!(train_chunk(&ctx, &[], &[], &[], &mut pg, &mut rng), 0.0);
+    }
+
+    #[test]
+    fn training_moves_positive_pairs_closer_than_random() {
+        let (model, data) = setup(OperatorKind::Identity, false);
+        let ctx = ChunkContext {
+            config: model.config(),
+            relation: model.relation(RelationTypeId(0)),
+            src_data: &data,
+            dst_data: &data,
+            src_partition_size: 32,
+            dst_partition_size: 32,
+        };
+        let mut rng = Xoshiro256::seed_from_u64(5);
+        let mut pg = ParamGradAccum::for_relation(ctx.relation);
+        let src: Vec<u32> = (0..4).collect();
+        let dst: Vec<u32> = vec![10, 11, 12, 13];
+        let w = vec![1.0f32; 4];
+        for _ in 0..150 {
+            train_chunk(&ctx, &src, &dst, &w, &mut pg, &mut rng);
+            pg.apply(ctx.relation);
+        }
+        // positive pair score should now beat a random pair's score
+        let emb = |i: u32| {
+            let mut buf = vec![0.0f32; 8];
+            data.embeddings.read_row_into(i as usize, &mut buf);
+            buf
+        };
+        let pos = pbg_tensor::vecmath::dot(&emb(0), &emb(10));
+        let neg = pbg_tensor::vecmath::dot(&emb(0), &emb(25));
+        assert!(pos > neg, "positive {pos} not above negative {neg}");
+    }
+
+    #[test]
+    fn unbatched_mode_trains_too() {
+        let schema = GraphSchema::builder()
+            .entity_type(EntityTypeDef::new("node", 32))
+            .relation_type(RelationTypeDef::new("r", 0u32, 0u32))
+            .build()
+            .unwrap();
+        let config = PbgConfig::builder()
+            .dim(8)
+            .batch_size(16)
+            .chunk_size(1)
+            .uniform_negatives(8)
+            .negative_mode(NegativeMode::Unbatched)
+            .build()
+            .unwrap();
+        let model = Model::new(schema, config).unwrap();
+        let data = PartitionData::init(32, 8, 0.1, 0.5, 9);
+        let ctx = ChunkContext {
+            config: model.config(),
+            relation: model.relation(RelationTypeId(0)),
+            src_data: &data,
+            dst_data: &data,
+            src_partition_size: 32,
+            dst_partition_size: 32,
+        };
+        let mut rng = Xoshiro256::seed_from_u64(2);
+        let mut pg = ParamGradAccum::for_relation(ctx.relation);
+        let first = train_chunk(&ctx, &[0], &[1], &[1.0], &mut pg, &mut rng);
+        pg.apply(ctx.relation);
+        let mut last = first;
+        for _ in 0..80 {
+            last = train_chunk(&ctx, &[0], &[1], &[1.0], &mut pg, &mut rng);
+            pg.apply(ctx.relation);
+        }
+        assert!(last < first, "unbatched: {first} -> {last}");
+    }
+
+    #[test]
+    fn softmax_and_logistic_losses_train() {
+        for loss in [LossKind::Softmax, LossKind::Logistic] {
+            let schema = GraphSchema::builder()
+                .entity_type(EntityTypeDef::new("node", 32))
+                .relation_type(RelationTypeDef::new("r", 0u32, 0u32))
+                .build()
+                .unwrap();
+            let config = PbgConfig::builder()
+                .dim(8)
+                .batch_size(16)
+                .chunk_size(4)
+                .uniform_negatives(4)
+                .loss(loss)
+                .similarity(SimilarityKind::Dot)
+                .build()
+                .unwrap();
+            let model = Model::new(schema, config).unwrap();
+            let data = PartitionData::init(32, 8, 0.1, 0.5, 11);
+            let ctx = ChunkContext {
+                config: model.config(),
+                relation: model.relation(RelationTypeId(0)),
+                src_data: &data,
+                dst_data: &data,
+                src_partition_size: 32,
+                dst_partition_size: 32,
+            };
+            let mut rng = Xoshiro256::seed_from_u64(4);
+            let mut pg = ParamGradAccum::for_relation(ctx.relation);
+            let src: Vec<u32> = (0..4).collect();
+            let dst: Vec<u32> = (8..12).collect();
+            let w = vec![1.0f32; 4];
+            let first = train_chunk(&ctx, &src, &dst, &w, &mut pg, &mut rng);
+            pg.apply(ctx.relation);
+            let mut last = first;
+            for _ in 0..80 {
+                last = train_chunk(&ctx, &src, &dst, &w, &mut pg, &mut rng);
+                pg.apply(ctx.relation);
+            }
+            assert!(last < first, "{loss:?}: {first} -> {last}");
+        }
+    }
+}

@@ -1,0 +1,190 @@
+//! Latent community structure shared by all generators.
+//!
+//! Nodes get (a) a Zipf popularity rank and (b) a community assignment.
+//! Edges preferentially connect nodes whose communities match (possibly
+//! through a per-relation community map). Embedding models can represent
+//! both popularity (vector norm) and community (direction), which is what
+//! makes link prediction on these graphs learnable — mirroring how real
+//! social graphs mix degree and homophily.
+
+use pbg_tensor::rng::Xoshiro256;
+use pbg_tensor::zipf::Zipf;
+
+/// Popularity + community model over `n` nodes.
+#[derive(Debug, Clone)]
+pub struct CommunityModel {
+    /// `community[node] = community index`.
+    community: Vec<u16>,
+    /// Nodes of each community, ordered by increasing popularity rank
+    /// (rank 0 = most popular) so Zipf draws stay heavy-tailed inside a
+    /// community.
+    members: Vec<Vec<u32>>,
+    /// `rank_to_node[rank] = node id` (a fixed permutation, so node ids
+    /// and popularity are uncorrelated, like real datasets).
+    rank_to_node: Vec<u32>,
+    zipf: Zipf,
+}
+
+impl CommunityModel {
+    /// Builds a model with `n` nodes, `num_communities` communities, and
+    /// Zipf exponent `zipf_s` for popularity.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0` or `num_communities == 0`.
+    pub fn new(n: u32, num_communities: u16, zipf_s: f64, rng: &mut Xoshiro256) -> Self {
+        assert!(n > 0, "need at least one node");
+        assert!(num_communities > 0, "need at least one community");
+        let num_communities = num_communities.min(n.min(u16::MAX as u32) as u16);
+        // random popularity permutation
+        let mut rank_to_node: Vec<u32> = (0..n).collect();
+        for i in (1..n as usize).rev() {
+            let j = rng.gen_index(i + 1);
+            rank_to_node.swap(i, j);
+        }
+        // assign communities uniformly
+        let mut community = vec![0u16; n as usize];
+        for c in community.iter_mut() {
+            *c = rng.gen_index(num_communities as usize) as u16;
+        }
+        // member lists in popularity order
+        let mut members = vec![Vec::new(); num_communities as usize];
+        for &node in &rank_to_node {
+            members[community[node as usize] as usize].push(node);
+        }
+        // ensure no community is empty (steal from the largest)
+        for c in 0..num_communities as usize {
+            if members[c].is_empty() {
+                let largest = (0..num_communities as usize)
+                    .max_by_key(|&k| members[k].len())
+                    .expect("at least one community");
+                if members[largest].len() > 1 {
+                    let node = members[largest].pop().expect("nonempty");
+                    community[node as usize] = c as u16;
+                    members[c].push(node);
+                }
+            }
+        }
+        CommunityModel {
+            community,
+            members,
+            rank_to_node,
+            zipf: Zipf::new(n as u64, zipf_s),
+        }
+    }
+
+    /// Number of nodes.
+    pub fn num_nodes(&self) -> u32 {
+        self.community.len() as u32
+    }
+
+    /// Number of communities.
+    pub fn num_communities(&self) -> u16 {
+        self.members.len() as u16
+    }
+
+    /// Community of `node`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node` is out of range.
+    pub fn community_of(&self, node: u32) -> u16 {
+        self.community[node as usize]
+    }
+
+    /// Draws a node by global Zipf popularity.
+    pub fn sample_node(&self, rng: &mut Xoshiro256) -> u32 {
+        self.rank_to_node[self.zipf.sample(rng) as usize]
+    }
+
+    /// Draws a node from community `c`, heavy-tailed within the community.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `c` is out of range.
+    pub fn sample_in_community(&self, c: u16, rng: &mut Xoshiro256) -> u32 {
+        let members = &self.members[c as usize];
+        debug_assert!(!members.is_empty(), "community {c} is empty");
+        if members.len() == 1 {
+            return members[0];
+        }
+        // within-community rank drawn from the same Zipf shape, rescaled
+        let rank = self.zipf.sample(rng) as usize;
+        members[rank % members.len()]
+    }
+
+    /// Nodes of community `c` (popularity order).
+    pub fn members(&self, c: u16) -> &[u32] {
+        &self.members[c as usize]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_nodes_assigned() {
+        let mut rng = Xoshiro256::seed_from_u64(1);
+        let m = CommunityModel::new(1000, 10, 1.0, &mut rng);
+        let total: usize = (0..10).map(|c| m.members(c).len()).sum();
+        assert_eq!(total, 1000);
+        for node in 0..1000 {
+            let c = m.community_of(node);
+            assert!(m.members(c).contains(&node));
+        }
+    }
+
+    #[test]
+    fn no_empty_communities() {
+        let mut rng = Xoshiro256::seed_from_u64(2);
+        let m = CommunityModel::new(50, 20, 1.0, &mut rng);
+        for c in 0..m.num_communities() {
+            assert!(!m.members(c).is_empty(), "community {c} empty");
+        }
+    }
+
+    #[test]
+    fn more_communities_than_nodes_is_clamped() {
+        let mut rng = Xoshiro256::seed_from_u64(3);
+        let m = CommunityModel::new(5, 100, 1.0, &mut rng);
+        assert!(m.num_communities() <= 5);
+    }
+
+    #[test]
+    fn sample_in_community_returns_member() {
+        let mut rng = Xoshiro256::seed_from_u64(4);
+        let m = CommunityModel::new(200, 8, 1.0, &mut rng);
+        for _ in 0..1000 {
+            let c = rng.gen_index(8) as u16;
+            let node = m.sample_in_community(c, &mut rng);
+            assert_eq!(m.community_of(node), c);
+        }
+    }
+
+    #[test]
+    fn sampling_is_heavy_tailed() {
+        let mut rng = Xoshiro256::seed_from_u64(5);
+        let m = CommunityModel::new(10_000, 10, 1.1, &mut rng);
+        let mut counts = vec![0u32; 10_000];
+        for _ in 0..100_000 {
+            counts[m.sample_node(&mut rng) as usize] += 1;
+        }
+        let mut sorted = counts.clone();
+        sorted.sort_unstable_by(|a, b| b.cmp(a));
+        // top 1% of nodes should carry a large share of draws
+        let top: u32 = sorted[..100].iter().sum();
+        assert!(top as f64 > 0.3 * 100_000.0, "top-1% share too small: {top}");
+    }
+
+    #[test]
+    fn deterministic_for_seed() {
+        let mut r1 = Xoshiro256::seed_from_u64(6);
+        let mut r2 = Xoshiro256::seed_from_u64(6);
+        let m1 = CommunityModel::new(100, 5, 1.0, &mut r1);
+        let m2 = CommunityModel::new(100, 5, 1.0, &mut r2);
+        for n in 0..100 {
+            assert_eq!(m1.community_of(n), m2.community_of(n));
+        }
+    }
+}

@@ -1,0 +1,139 @@
+//! Multi-label node annotations for downstream classification.
+//!
+//! The YouTube experiment (§5.3, Table 1 right) trains a one-vs-rest
+//! logistic regression on the embeddings to predict users' group
+//! subscriptions — a multi-label task. We derive labels from the
+//! community model: every node is labeled with its community, plus extra
+//! labels with small probability (real users subscribe to several
+//! groups), and only a subset of nodes is labeled at all (as in the real
+//! dataset).
+
+use crate::community::CommunityModel;
+use pbg_tensor::rng::Xoshiro256;
+
+/// Sparse multi-label assignment: `labels[i]` is the (possibly empty)
+/// sorted label set of node `i`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Labels {
+    labels: Vec<Vec<u16>>,
+    num_classes: u16,
+}
+
+impl Labels {
+    /// Derives labels from `model`.
+    ///
+    /// `labeled_frac` of nodes receive labels; each labeled node gets its
+    /// community label plus each other label independently with
+    /// probability `extra_label_prob`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the fractions are not probabilities.
+    pub fn from_communities(
+        model: &CommunityModel,
+        labeled_frac: f64,
+        extra_label_prob: f64,
+        rng: &mut Xoshiro256,
+    ) -> Self {
+        assert!(
+            (0.0..=1.0).contains(&labeled_frac) && (0.0..=1.0).contains(&extra_label_prob),
+            "fractions must be probabilities"
+        );
+        let num_classes = model.num_communities();
+        let labels = (0..model.num_nodes())
+            .map(|node| {
+                if rng.gen_f64() >= labeled_frac {
+                    return Vec::new();
+                }
+                let mut set = vec![model.community_of(node)];
+                for c in 0..num_classes {
+                    if c != model.community_of(node) && rng.gen_f64() < extra_label_prob {
+                        set.push(c);
+                    }
+                }
+                set.sort_unstable();
+                set
+            })
+            .collect();
+        Labels { labels, num_classes }
+    }
+
+    /// Number of label classes.
+    pub fn num_classes(&self) -> u16 {
+        self.num_classes
+    }
+
+    /// Number of nodes (labeled or not).
+    pub fn num_nodes(&self) -> usize {
+        self.labels.len()
+    }
+
+    /// The label set of `node` (empty when unlabeled).
+    pub fn of(&self, node: u32) -> &[u16] {
+        &self.labels[node as usize]
+    }
+
+    /// Indices of nodes that carry at least one label.
+    pub fn labeled_nodes(&self) -> Vec<u32> {
+        (0..self.labels.len() as u32)
+            .filter(|&n| !self.labels[n as usize].is_empty())
+            .collect()
+    }
+
+    /// `true` if `node` has label `class`.
+    pub fn has(&self, node: u32, class: u16) -> bool {
+        self.labels[node as usize].binary_search(&class).is_ok()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn model() -> (CommunityModel, Xoshiro256) {
+        let mut rng = Xoshiro256::seed_from_u64(1);
+        let m = CommunityModel::new(500, 10, 1.0, &mut rng);
+        (m, rng)
+    }
+
+    #[test]
+    fn labeled_fraction_respected() {
+        let (m, mut rng) = model();
+        let l = Labels::from_communities(&m, 0.5, 0.0, &mut rng);
+        let labeled = l.labeled_nodes().len();
+        assert!((150..350).contains(&labeled), "labeled {labeled}");
+    }
+
+    #[test]
+    fn labeled_nodes_carry_community_label() {
+        let (m, mut rng) = model();
+        let l = Labels::from_communities(&m, 1.0, 0.0, &mut rng);
+        for n in 0..500 {
+            assert_eq!(l.of(n), &[m.community_of(n)]);
+        }
+    }
+
+    #[test]
+    fn extra_labels_appear() {
+        let (m, mut rng) = model();
+        let l = Labels::from_communities(&m, 1.0, 0.3, &mut rng);
+        let multi = (0..500).filter(|&n| l.of(n).len() > 1).count();
+        assert!(multi > 100, "only {multi} multi-label nodes");
+    }
+
+    #[test]
+    fn has_checks_membership() {
+        let (m, mut rng) = model();
+        let l = Labels::from_communities(&m, 1.0, 0.0, &mut rng);
+        assert!(l.has(0, m.community_of(0)));
+        let other = (m.community_of(0) + 1) % l.num_classes();
+        assert!(!l.has(0, other));
+    }
+
+    #[test]
+    fn zero_fraction_labels_nothing() {
+        let (m, mut rng) = model();
+        let l = Labels::from_communities(&m, 0.0, 0.5, &mut rng);
+        assert!(l.labeled_nodes().is_empty());
+    }
+}

@@ -1,0 +1,43 @@
+//! Synthetic dataset generators for `pbg-rs`.
+//!
+//! The PBG paper evaluates on LiveJournal, YouTube, Twitter, FB15k and the
+//! full Freebase dump — datasets we cannot ship. This crate generates
+//! synthetic graphs with the properties those experiments actually
+//! exercise:
+//!
+//! - **heavy-tailed degree distributions** (Zipf popularity), which drive
+//!   the data-prevalence negative sampling and the long-tail effects noted
+//!   in §5.4.2 of the paper;
+//! - **latent community structure** ([`community`]), so link prediction is
+//!   *learnable* and MRR/Hits@K react to training quality the way they do
+//!   on real graphs;
+//! - **multi-relation structure with skewed relation frequencies**
+//!   ([`knowledge`]), mapping communities through per-relation
+//!   permutations so relation operators (translation, complex
+//!   multiplication, …) have something to learn;
+//! - **node labels** ([`labels`]) aligned with communities, for the
+//!   YouTube-style downstream classification task (Table 1, right).
+//!
+//! [`presets`] packages these as `*_like` stand-ins for each paper dataset
+//! at a configurable scale.
+//!
+//! # Example
+//!
+//! ```
+//! use pbg_datagen::presets;
+//!
+//! let dataset = presets::livejournal_like(0.001, 7); // ~4.8k nodes
+//! assert!(!dataset.edges.is_empty());
+//! ```
+
+pub mod community;
+pub mod knowledge;
+pub mod labels;
+pub mod presets;
+pub mod social;
+
+pub use community::CommunityModel;
+pub use knowledge::KnowledgeGraphConfig;
+pub use labels::Labels;
+pub use presets::Dataset;
+pub use social::SocialGraphConfig;

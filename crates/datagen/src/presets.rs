@@ -1,0 +1,294 @@
+//! Named dataset presets matching the paper's evaluation graphs.
+//!
+//! Each `*_like` function generates a scaled stand-in for one paper
+//! dataset. `scale` multiplies the paper's node and edge counts (use
+//! `scale = 1.0` only if you have the paper's hardware and hours); the
+//! experiment harness defaults to scales that run in minutes on a laptop
+//! while preserving the node/edge ratio and structure.
+
+use crate::community::CommunityModel;
+use crate::knowledge::KnowledgeGraphConfig;
+use crate::labels::Labels;
+use crate::social::SocialGraphConfig;
+use pbg_graph::edges::EdgeList;
+use pbg_graph::schema::{GraphSchema, OperatorKind};
+use pbg_tensor::rng::Xoshiro256;
+
+/// A generated dataset: schema (1 partition; repartition as needed),
+/// edges, the generating community model, and optional labels.
+#[derive(Debug, Clone)]
+pub struct Dataset {
+    /// Human-readable name, e.g. `"livejournal_like(0.001)"`.
+    pub name: String,
+    /// Schema with a single partition; use
+    /// [`Dataset::schema_with_partitions`] for partitioned variants.
+    pub schema: GraphSchema,
+    /// All edges (split downstream).
+    pub edges: EdgeList,
+    /// Community ground truth (for labels / diagnostics).
+    pub communities: CommunityModel,
+    /// Node labels (present for the YouTube-like preset).
+    pub labels: Option<Labels>,
+    /// Operator used when re-deriving schemas.
+    operator: OperatorKind,
+    num_relations: u32,
+}
+
+impl Dataset {
+    /// Rebuilds the schema with `p` partitions.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p == 0`.
+    pub fn schema_with_partitions(&self, p: u32) -> GraphSchema {
+        assert!(p > 0, "partitions must be positive");
+        if self.num_relations == 1 && self.operator == OperatorKind::Identity {
+            GraphSchema::homogeneous(self.schema.total_entities() as u32, p)
+                .expect("homogeneous schema is valid")
+        } else {
+            KnowledgeGraphConfig {
+                num_entities: self.schema.total_entities() as u32,
+                num_relations: self.num_relations,
+                operator: self.operator,
+                ..Default::default()
+            }
+            .schema(p)
+        }
+    }
+
+    /// Number of nodes.
+    pub fn num_nodes(&self) -> u32 {
+        self.schema.total_entities() as u32
+    }
+}
+
+fn scaled(base: u64, scale: f64) -> u64 {
+    ((base as f64 * scale).round() as u64).max(16)
+}
+
+/// LiveJournal stand-in (§5.2): paper size 4,847,571 nodes /
+/// 68,993,773 edges, single "follow" relation, strong communities.
+pub fn livejournal_like(scale: f64, seed: u64) -> Dataset {
+    social_preset("livejournal_like", 4_847_571, 68_993_773, 0.8, scale, seed)
+}
+
+/// Twitter stand-in (§5.5): paper size 41,652,230 nodes /
+/// 1,468,365,182 edges, single "follow" relation, weaker communities and
+/// heavier tail than LiveJournal.
+pub fn twitter_like(scale: f64, seed: u64) -> Dataset {
+    let num_nodes = scaled(41_652_230, scale) as u32;
+    let num_edges = scaled(1_468_365_182, scale) as usize;
+    let cfg = SocialGraphConfig {
+        num_nodes,
+        num_edges,
+        num_communities: community_count(num_nodes),
+        intra_prob: 0.7,
+        zipf_exponent: 1.15,
+        seed,
+    };
+    let (edges, communities) = cfg.generate();
+    Dataset {
+        name: format!("twitter_like({scale})"),
+        schema: cfg.schema(1),
+        edges,
+        communities,
+        labels: None,
+        operator: OperatorKind::Identity,
+        num_relations: 1,
+    }
+}
+
+/// YouTube stand-in (§5.3): paper size 1,138,499 nodes / 2,990,443 edges
+/// plus multi-label group subscriptions for ~3% of users.
+pub fn youtube_like(scale: f64, seed: u64) -> Dataset {
+    let mut d = social_preset("youtube_like", 1_138_499, 2_990_443, 0.85, scale, seed);
+    let mut rng = Xoshiro256::seed_from_u64(seed ^ 0x9e37_79b9);
+    // the real dataset labels ~31k of 1.1M users with 47 groups; we label
+    // a larger fraction so scaled-down runs still have enough train data
+    d.labels = Some(Labels::from_communities(&d.communities, 0.3, 0.05, &mut rng));
+    d
+}
+
+/// FB15k stand-in (§5.4.1): 14,951 entities, 1,345 relations,
+/// 592,213 edges. `scale` is normally 1.0 — FB15k already fits anywhere.
+/// Communities are fine-grained (~25 entities each): FB15k's entities
+/// carry thousands of distinct types, much sharper structure than a
+/// social graph.
+pub fn fb15k_like(scale: f64, seed: u64) -> Dataset {
+    knowledge_preset_with(
+        "fb15k_like",
+        14_951,
+        1_345,
+        592_213,
+        OperatorKind::ComplexDiagonal,
+        scale,
+        seed,
+        |entities| ((entities / 25).clamp(8, 1024)) as u16,
+        0.92,
+    )
+}
+
+/// Full-Freebase stand-in (§5.4.2): 121,216,723 entities, 25,291
+/// relations, 2,725,070,599 edges.
+pub fn freebase_like(scale: f64, seed: u64) -> Dataset {
+    knowledge_preset(
+        "freebase_like",
+        121_216_723,
+        25_291,
+        2_725_070_599,
+        OperatorKind::Translation,
+        scale,
+        seed,
+    )
+}
+
+fn social_preset(
+    name: &str,
+    base_nodes: u64,
+    base_edges: u64,
+    intra_prob: f64,
+    scale: f64,
+    seed: u64,
+) -> Dataset {
+    let num_nodes = scaled(base_nodes, scale) as u32;
+    let num_edges = scaled(base_edges, scale) as usize;
+    let cfg = SocialGraphConfig {
+        num_nodes,
+        num_edges,
+        num_communities: community_count(num_nodes),
+        intra_prob,
+        zipf_exponent: 1.0,
+        seed,
+    };
+    let (edges, communities) = cfg.generate();
+    Dataset {
+        name: format!("{name}({scale})"),
+        schema: cfg.schema(1),
+        edges,
+        communities,
+        labels: None,
+        operator: OperatorKind::Identity,
+        num_relations: 1,
+    }
+}
+
+fn knowledge_preset(
+    name: &str,
+    base_entities: u64,
+    base_relations: u64,
+    base_edges: u64,
+    operator: OperatorKind,
+    scale: f64,
+    seed: u64,
+) -> Dataset {
+    knowledge_preset_with(
+        name,
+        base_entities,
+        base_relations,
+        base_edges,
+        operator,
+        scale,
+        seed,
+        |entities| community_count(entities),
+        0.85,
+    )
+}
+
+#[allow(clippy::too_many_arguments)]
+fn knowledge_preset_with(
+    name: &str,
+    base_entities: u64,
+    base_relations: u64,
+    base_edges: u64,
+    operator: OperatorKind,
+    scale: f64,
+    seed: u64,
+    communities: impl Fn(u32) -> u16,
+    intra_prob: f64,
+) -> Dataset {
+    let num_entities = scaled(base_entities, scale) as u32;
+    // relations shrink slower than entities: even tiny Freebase samples
+    // keep many relation types
+    let num_relations = (scaled(base_relations, scale.sqrt()) as u32).clamp(4, 2_000);
+    let num_edges = scaled(base_edges, scale) as usize;
+    let cfg = KnowledgeGraphConfig {
+        num_entities,
+        num_relations,
+        num_edges,
+        num_communities: communities(num_entities),
+        intra_prob,
+        zipf_exponent: 0.9,
+        relation_skew: 1.0,
+        identity_map_prob: 0.7,
+        operator,
+        seed,
+    };
+    let (edges, communities) = cfg.generate();
+    Dataset {
+        name: format!("{name}({scale})"),
+        schema: cfg.schema(1),
+        edges,
+        communities,
+        labels: None,
+        operator,
+        num_relations,
+    }
+}
+
+/// Community count heuristic: about sqrt(n)/2, clamped to [8, 256].
+fn community_count(num_nodes: u32) -> u16 {
+    (((num_nodes as f64).sqrt() / 2.0) as u16).clamp(8, 256)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn livejournal_preset_scales() {
+        let d = livejournal_like(0.0005, 1);
+        assert_eq!(d.num_nodes(), 2424, "4.85M * 0.0005");
+        assert_eq!(d.edges.len(), 34_497, "69M * 0.0005");
+        assert!(d.labels.is_none());
+    }
+
+    #[test]
+    fn youtube_preset_has_labels() {
+        let d = youtube_like(0.002, 1);
+        let labels = d.labels.as_ref().unwrap();
+        assert!(!labels.labeled_nodes().is_empty());
+        assert_eq!(labels.num_nodes() as u32, d.num_nodes());
+    }
+
+    #[test]
+    fn fb15k_preset_multi_relation() {
+        let d = fb15k_like(0.05, 1);
+        assert!(d.schema.num_relation_types() > 4);
+        assert_eq!(
+            d.schema.relation_type(0u32.into()).operator(),
+            OperatorKind::ComplexDiagonal
+        );
+    }
+
+    #[test]
+    fn freebase_preset_keeps_relations_at_tiny_scale() {
+        let d = freebase_like(0.00002, 1);
+        assert!(d.num_nodes() > 1000);
+        assert!(d.schema.num_relation_types() >= 4);
+    }
+
+    #[test]
+    fn repartitioned_schema_same_totals() {
+        let d = livejournal_like(0.0005, 1);
+        let s8 = d.schema_with_partitions(8);
+        assert_eq!(s8.num_partitions(), 8);
+        assert_eq!(s8.total_entities(), d.schema.total_entities());
+    }
+
+    #[test]
+    fn presets_deterministic() {
+        let a = twitter_like(0.00002, 3);
+        let b = twitter_like(0.00002, 3);
+        assert_eq!(a.edges, b.edges);
+    }
+}

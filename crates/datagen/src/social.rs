@@ -1,0 +1,187 @@
+//! Single-relation social-network generator (LiveJournal / Twitter /
+//! YouTube stand-ins).
+//!
+//! Edges are drawn from the community model: a Zipf-popular source
+//! connects within its community with probability `intra_prob`, otherwise
+//! to a globally popular node. Self-loops are rejected; duplicate edges
+//! are allowed at low rate (real follow graphs deduplicate, but PBG does
+//! not care and dedup at generation scale is needless memory).
+
+use crate::community::CommunityModel;
+use pbg_graph::edges::{Edge, EdgeList};
+use pbg_graph::schema::GraphSchema;
+use pbg_tensor::rng::Xoshiro256;
+
+/// Configuration for the social-network generator.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SocialGraphConfig {
+    /// Node count.
+    pub num_nodes: u32,
+    /// Edge count.
+    pub num_edges: usize,
+    /// Number of latent communities.
+    pub num_communities: u16,
+    /// Probability an edge stays inside the source's community.
+    pub intra_prob: f64,
+    /// Zipf exponent of the popularity distribution.
+    pub zipf_exponent: f64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for SocialGraphConfig {
+    fn default() -> Self {
+        SocialGraphConfig {
+            num_nodes: 10_000,
+            num_edges: 100_000,
+            num_communities: 64,
+            intra_prob: 0.8,
+            zipf_exponent: 1.0,
+            seed: 0,
+        }
+    }
+}
+
+impl SocialGraphConfig {
+    /// Generates the edge list and its community model.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `num_nodes < 2` or `intra_prob` is outside `[0, 1]`.
+    pub fn generate(&self) -> (EdgeList, CommunityModel) {
+        assert!(self.num_nodes >= 2, "need at least two nodes");
+        assert!(
+            (0.0..=1.0).contains(&self.intra_prob),
+            "intra_prob must be a probability"
+        );
+        let mut rng = Xoshiro256::seed_from_u64(self.seed);
+        let model = CommunityModel::new(
+            self.num_nodes,
+            self.num_communities,
+            self.zipf_exponent,
+            &mut rng,
+        );
+        let mut edges = EdgeList::with_capacity(self.num_edges);
+        while edges.len() < self.num_edges {
+            let src = model.sample_node(&mut rng);
+            let dst = if rng.gen_f64() < self.intra_prob {
+                model.sample_in_community(model.community_of(src), &mut rng)
+            } else {
+                model.sample_node(&mut rng)
+            };
+            if src == dst {
+                continue;
+            }
+            edges.push(Edge::new(src, 0u32, dst));
+        }
+        (edges, model)
+    }
+
+    /// The single-entity-type schema for this graph with `p` partitions.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p == 0`.
+    pub fn schema(&self, p: u32) -> GraphSchema {
+        GraphSchema::homogeneous(self.num_nodes, p).expect("homogeneous schema is always valid")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generates_requested_edge_count() {
+        let cfg = SocialGraphConfig {
+            num_nodes: 100,
+            num_edges: 500,
+            ..Default::default()
+        };
+        let (edges, _) = cfg.generate();
+        assert_eq!(edges.len(), 500);
+    }
+
+    #[test]
+    fn no_self_loops() {
+        let cfg = SocialGraphConfig {
+            num_nodes: 50,
+            num_edges: 2000,
+            ..Default::default()
+        };
+        let (edges, _) = cfg.generate();
+        for e in edges.iter() {
+            assert_ne!(e.src, e.dst);
+        }
+    }
+
+    #[test]
+    fn endpoints_in_range() {
+        let cfg = SocialGraphConfig {
+            num_nodes: 77,
+            num_edges: 1000,
+            ..Default::default()
+        };
+        let (edges, _) = cfg.generate();
+        for e in edges.iter() {
+            assert!(e.src.0 < 77 && e.dst.0 < 77);
+            assert_eq!(e.rel.0, 0);
+        }
+    }
+
+    #[test]
+    fn mostly_intra_community_when_configured() {
+        let cfg = SocialGraphConfig {
+            num_nodes: 1000,
+            num_edges: 10_000,
+            intra_prob: 0.9,
+            ..Default::default()
+        };
+        let (edges, model) = cfg.generate();
+        let intra = edges
+            .iter()
+            .filter(|e| model.community_of(e.src.0) == model.community_of(e.dst.0))
+            .count();
+        // 0.9 intra + chance the random 0.1 lands in-community anyway
+        assert!(
+            intra as f64 > 0.85 * edges.len() as f64,
+            "intra fraction {} too low",
+            intra as f64 / edges.len() as f64
+        );
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let cfg = SocialGraphConfig {
+            num_nodes: 60,
+            num_edges: 300,
+            seed: 9,
+            ..Default::default()
+        };
+        let (a, _) = cfg.generate();
+        let (b, _) = cfg.generate();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn degree_distribution_heavy_tailed() {
+        let cfg = SocialGraphConfig {
+            num_nodes: 5000,
+            num_edges: 50_000,
+            ..Default::default()
+        };
+        let (edges, _) = cfg.generate();
+        let deg = edges.degree_counts(5000);
+        let mut sorted: Vec<f32> = deg;
+        sorted.sort_unstable_by(|a, b| b.partial_cmp(a).unwrap());
+        let top: f32 = sorted[..50].iter().sum();
+        let total: f32 = sorted.iter().sum();
+        assert!(top / total > 0.15, "top-1% degree share {}", top / total);
+    }
+
+    #[test]
+    fn schema_has_requested_partitions() {
+        let cfg = SocialGraphConfig::default();
+        assert_eq!(cfg.schema(8).num_partitions(), 8);
+    }
+}

@@ -1,0 +1,709 @@
+//! Multi-machine training driver (machines as threads).
+//!
+//! Reproduces Figure 2's protocol end to end: each "machine" loops
+//! acquiring a bucket from the [`LockServer`], checks the partitions it
+//! no longer needs back into the [`PartitionServer`] and checks out the
+//! new ones (charging simulated transfer time), releases the old bucket's
+//! locks, trains the bucket with HOGWILD threads via
+//! [`pbg_core::trainer::train_bucket`], and asynchronously syncs relation
+//! parameters through the [`ParameterServer`] with throttling.
+//!
+//! Unpartitioned entity types live in shared memory visible to all
+//! machines — the in-process equivalent of the paper's parameter-server
+//! placement for such types.
+
+use crate::lockserver::{Acquire, LockServer};
+use crate::netmodel::NetworkModel;
+use crate::paramserver::{ParamClient, ParamKey, ParameterServer};
+use crate::partitionserver::PartitionServer;
+use parking_lot::Mutex;
+use pbg_core::config::PbgConfig;
+use pbg_core::error::{PbgError, Result};
+use pbg_core::model::{Model, TrainedEmbeddings};
+use pbg_core::storage::{PartitionData, PartitionKey, PartitionStore};
+use pbg_core::trainer::{bucketize, needed_keys, train_bucket};
+use pbg_graph::bucket::{BucketId, Buckets};
+use pbg_graph::edges::EdgeList;
+use pbg_graph::schema::GraphSchema;
+use pbg_graph::RelationTypeId;
+use pbg_tensor::rng::Xoshiro256;
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Cluster-level configuration.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ClusterConfig {
+    /// Number of training machines (threads).
+    pub machines: usize,
+    /// Simulated network bandwidth, bytes/second (paper: ~1 GB/s).
+    pub net_bandwidth: f64,
+    /// Simulated per-transfer latency, seconds.
+    pub net_latency: f64,
+    /// Minimum interval between parameter-server syncs per machine.
+    pub param_sync_throttle: Duration,
+}
+
+impl Default for ClusterConfig {
+    fn default() -> Self {
+        ClusterConfig {
+            machines: 2,
+            net_bandwidth: 1e9,
+            net_latency: 1e-4,
+            param_sync_throttle: Duration::from_millis(10),
+        }
+    }
+}
+
+/// Per-epoch statistics for a cluster run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ClusterEpochStats {
+    /// Epoch index (1-based).
+    pub epoch: usize,
+    /// Wall-clock seconds (threads run concurrently, so this reflects the
+    /// slowest machine's compute).
+    pub seconds: f64,
+    /// Maximum simulated network seconds across machines (added to
+    /// compute time when projecting cluster wall-clock).
+    pub sim_network_seconds: f64,
+    /// Edges trained.
+    pub edges: usize,
+    /// Mean loss per edge.
+    pub mean_loss: f64,
+    /// Total bytes moved through partition + parameter servers.
+    pub network_bytes: u64,
+    /// Peak resident bytes on any one machine.
+    pub peak_machine_bytes: usize,
+    /// Number of times a machine polled the lock server and had to wait.
+    pub lock_waits: usize,
+}
+
+/// Multi-machine trainer.
+pub struct ClusterTrainer {
+    cluster: ClusterConfig,
+    models: Vec<Model>,
+    pserver: Arc<PartitionServer>,
+    params: Arc<ParameterServer>,
+    lock: Arc<LockServer>,
+    net: Arc<NetworkModel>,
+    buckets: Buckets,
+    globals: Arc<HashMap<PartitionKey, Arc<PartitionData>>>,
+    epoch: usize,
+}
+
+impl ClusterTrainer {
+    /// Builds a cluster trainer.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error for invalid configs or when `machines == 0`.
+    pub fn new(
+        schema: GraphSchema,
+        edges: &EdgeList,
+        config: PbgConfig,
+        cluster: ClusterConfig,
+    ) -> Result<Self> {
+        if cluster.machines == 0 {
+            return Err(PbgError::Config("machines must be positive".into()));
+        }
+        let net = Arc::new(NetworkModel::new(cluster.net_bandwidth, cluster.net_latency));
+        // one model per machine; deterministic init keeps them identical
+        let models: Vec<Model> = (0..cluster.machines)
+            .map(|_| Model::new(schema.clone(), config.clone()))
+            .collect::<Result<_>>()?;
+        let layout = models[0].store_layout();
+        // unpartitioned entity types stay in shared memory (the in-process
+        // equivalent of parameter-server placement); partitioned ones go
+        // to the partition server
+        let mut globals = HashMap::new();
+        let mut partitioned_keys = Vec::new();
+        for (key, _rows) in layout.keys() {
+            if schema.entity_type(key.entity_type).is_partitioned() {
+                partitioned_keys.push(*key);
+            }
+        }
+        let full_store = pbg_core::storage::InMemoryStore::new(layout.clone());
+        for (key, _rows) in layout.keys() {
+            if !schema.entity_type(key.entity_type).is_partitioned() {
+                globals.insert(*key, full_store.load(*key));
+            }
+        }
+        let pserver = Arc::new(PartitionServer::new(
+            layout,
+            cluster.machines,
+            Arc::clone(&net),
+        ));
+        // drop the partitioned copies the init store holds; the partition
+        // server owns the canonical versions
+        drop(full_store);
+        let params = Arc::new(ParameterServer::new(cluster.machines, Arc::clone(&net)));
+        // register relation params once (identical across machines)
+        for (r, rel) in (0..models[0].num_relations()).map(|r| {
+            (r, models[0].relation(RelationTypeId(r as u32)))
+        }) {
+            params.register(
+                ParamKey {
+                    relation: r as u32,
+                    side: 0,
+                },
+                &rel.forward.snapshot(),
+            );
+            if let Some(recip) = &rel.reciprocal {
+                params.register(
+                    ParamKey {
+                        relation: r as u32,
+                        side: 1,
+                    },
+                    &recip.snapshot(),
+                );
+            }
+        }
+        let buckets = bucketize(&schema, edges);
+        Ok(ClusterTrainer {
+            cluster,
+            models,
+            pserver,
+            params,
+            lock: Arc::new(LockServer::new()),
+            net,
+            buckets,
+            globals: Arc::new(globals),
+            epoch: 0,
+        })
+    }
+
+    /// The bucketed training edges.
+    pub fn buckets(&self) -> &Buckets {
+        &self.buckets
+    }
+
+    /// Epochs completed.
+    pub fn epochs_done(&self) -> usize {
+        self.epoch
+    }
+
+    /// Trains one epoch across all machines.
+    pub fn train_epoch(&mut self) -> ClusterEpochStats {
+        self.epoch += 1;
+        let epoch = self.epoch;
+        let bytes_before = self.net.total_bytes();
+        self.lock
+            .start_epoch(self.buckets.src_parts(), self.buckets.dst_parts());
+        let start = Instant::now();
+        let total_edges = AtomicUsize::new(0);
+        let lock_waits = AtomicUsize::new(0);
+        let loss_sum = Mutex::new(0.0f64);
+        let max_sim_secs = Mutex::new(0.0f64);
+        let max_peak = AtomicUsize::new(0);
+        crossbeam::thread::scope(|scope| {
+            for (machine, model) in self.models.iter().enumerate() {
+                let lock = Arc::clone(&self.lock);
+                let pserver = Arc::clone(&self.pserver);
+                let params = Arc::clone(&self.params);
+                let globals = Arc::clone(&self.globals);
+                let buckets = &self.buckets;
+                let cluster = &self.cluster;
+                let total_edges = &total_edges;
+                let lock_waits = &lock_waits;
+                let loss_sum = &loss_sum;
+                let max_sim_secs = &max_sim_secs;
+                let max_peak = &max_peak;
+                scope.spawn(move |_| {
+                    let store = RemoteStore::new(pserver, globals, model);
+                    let mut client =
+                        ParamClient::new(params, cluster.param_sync_throttle);
+                    register_params(&mut client, model);
+                    let mut rng = Xoshiro256::seed_from_u64(
+                        (epoch as u64) << 32 | machine as u64,
+                    );
+                    let mut prev: Option<BucketId> = None;
+                    let mut machine_loss = 0.0f64;
+                    loop {
+                        match lock.acquire(machine, prev) {
+                            Acquire::Granted(bucket) => {
+                                // save partitions the new bucket does not
+                                // need, then release the old locks
+                                let needed = needed_keys(model, bucket);
+                                store.release_except(&needed);
+                                if let Some(p) = prev.take() {
+                                    lock.release_bucket(machine, p);
+                                }
+                                let mut edges = buckets.bucket(bucket).clone();
+                                edges.shuffle(&mut rng);
+                                let stats = train_bucket(
+                                    model,
+                                    &store,
+                                    bucket,
+                                    &edges,
+                                    (epoch as u64) << 40
+                                        | (machine as u64) << 20
+                                        | bucket.src.0 as u64 * 1000
+                                        | bucket.dst.0 as u64,
+                                );
+                                machine_loss += stats.loss;
+                                total_edges.fetch_add(stats.edges, Ordering::Relaxed);
+                                sync_params(&mut client, model, false);
+                                prev = Some(bucket);
+                            }
+                            Acquire::Wait => {
+                                // avoid deadlock: give up held partitions
+                                // and locks while waiting
+                                store.release_except(&Default::default());
+                                if let Some(p) = prev.take() {
+                                    lock.release_bucket(machine, p);
+                                }
+                                lock_waits.fetch_add(1, Ordering::Relaxed);
+                                std::thread::sleep(Duration::from_micros(200));
+                            }
+                            Acquire::Done => break,
+                        }
+                    }
+                    store.release_except(&Default::default());
+                    if let Some(p) = prev {
+                        lock.release_bucket(machine, p);
+                    }
+                    sync_params(&mut client, model, true);
+                    *loss_sum.lock() += machine_loss;
+                    let sim = store.sim_seconds() + client.sim_seconds;
+                    let mut max = max_sim_secs.lock();
+                    if sim > *max {
+                        *max = sim;
+                    }
+                    max_peak.fetch_max(store.peak_bytes(), Ordering::Relaxed);
+                });
+            }
+        })
+        .expect("cluster scope panicked");
+        let edges = total_edges.load(Ordering::Relaxed);
+        let sim_network_seconds = *max_sim_secs.lock();
+        let total_loss = *loss_sum.lock();
+        ClusterEpochStats {
+            epoch,
+            seconds: start.elapsed().as_secs_f64(),
+            sim_network_seconds,
+            edges,
+            mean_loss: if edges > 0 {
+                total_loss / edges as f64
+            } else {
+                0.0
+            },
+            network_bytes: self.net.total_bytes() - bytes_before,
+            peak_machine_bytes: max_peak.load(Ordering::Relaxed),
+            lock_waits: lock_waits.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Trains the configured number of epochs, with a per-epoch callback
+    /// (return `false` to stop early).
+    pub fn train_with(
+        &mut self,
+        mut on_epoch: impl FnMut(&ClusterEpochStats, &ClusterTrainer) -> bool,
+    ) -> Vec<ClusterEpochStats> {
+        let epochs = self.models[0].config().epochs;
+        let mut all = Vec::with_capacity(epochs);
+        for _ in 0..epochs {
+            let stats = self.train_epoch();
+            let keep_going = on_epoch(&stats, self);
+            all.push(stats);
+            if !keep_going {
+                break;
+            }
+        }
+        all
+    }
+
+    /// Trains the configured number of epochs.
+    pub fn train(&mut self) -> Vec<ClusterEpochStats> {
+        self.train_with(|_, _| true)
+    }
+
+    /// Snapshots the model: canonical relation parameters from the
+    /// parameter server, embeddings gathered from the partition server
+    /// and shared globals.
+    pub fn snapshot(&self) -> TrainedEmbeddings {
+        let model = &self.models[0];
+        // adopt canonical parameter-server values
+        for r in 0..model.num_relations() {
+            let rel = model.relation(RelationTypeId(r as u32));
+            if !rel.forward.is_empty() {
+                let v = self.params.pull(ParamKey {
+                    relation: r as u32,
+                    side: 0,
+                });
+                let acc = rel.forward.accumulator_snapshot();
+                rel.forward.restore(&v, &acc);
+            }
+            if let Some(recip) = &rel.reciprocal {
+                if !recip.is_empty() {
+                    let v = self.params.pull(ParamKey {
+                        relation: r as u32,
+                        side: 1,
+                    });
+                    let acc = recip.accumulator_snapshot();
+                    recip.restore(&v, &acc);
+                }
+            }
+        }
+        let store = RemoteStore::new(
+            Arc::clone(&self.pserver),
+            Arc::clone(&self.globals),
+            model,
+        );
+        let snap = model.snapshot(&store);
+        store.release_except(&Default::default());
+        snap
+    }
+}
+
+impl std::fmt::Debug for ClusterTrainer {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ClusterTrainer")
+            .field("machines", &self.cluster.machines)
+            .field("epoch", &self.epoch)
+            .field("buckets", &self.buckets.len())
+            .finish()
+    }
+}
+
+fn register_params(client: &mut ParamClient, model: &Model) {
+    for r in 0..model.num_relations() {
+        let rel = model.relation(RelationTypeId(r as u32));
+        client.register(
+            ParamKey {
+                relation: r as u32,
+                side: 0,
+            },
+            &rel.forward.snapshot(),
+        );
+        if let Some(recip) = &rel.reciprocal {
+            client.register(
+                ParamKey {
+                    relation: r as u32,
+                    side: 1,
+                },
+                &recip.snapshot(),
+            );
+        }
+    }
+}
+
+fn sync_params(client: &mut ParamClient, model: &Model, force: bool) {
+    for r in 0..model.num_relations() {
+        let rel = model.relation(RelationTypeId(r as u32));
+        sync_one(
+            client,
+            ParamKey {
+                relation: r as u32,
+                side: 0,
+            },
+            &rel.forward,
+            force,
+        );
+        if let Some(recip) = &rel.reciprocal {
+            sync_one(
+                client,
+                ParamKey {
+                    relation: r as u32,
+                    side: 1,
+                },
+                recip,
+                force,
+            );
+        }
+    }
+}
+
+fn sync_one(
+    client: &mut ParamClient,
+    key: ParamKey,
+    params: &pbg_core::optimizer::HogwildAdagradDense,
+    force: bool,
+) {
+    if params.is_empty() {
+        return;
+    }
+    let local = params.snapshot();
+    let merged = if force {
+        Some(client.force_sync(key, &local))
+    } else {
+        client.maybe_sync(key, &local)
+    };
+    if let Some(merged) = merged {
+        let acc = params.accumulator_snapshot();
+        params.restore(&merged, &acc);
+    }
+}
+
+/// Machine-local partition cache backed by the partition server.
+struct RemoteStore<'m> {
+    server: Arc<PartitionServer>,
+    globals: Arc<HashMap<PartitionKey, Arc<PartitionData>>>,
+    resident: Mutex<HashMap<PartitionKey, Arc<PartitionData>>>,
+    lr: f32,
+    sim_seconds: Mutex<f64>,
+    resident_bytes: AtomicUsize,
+    peak_bytes: AtomicUsize,
+    swaps: AtomicUsize,
+    _model: std::marker::PhantomData<&'m ()>,
+}
+
+impl<'m> RemoteStore<'m> {
+    fn new(
+        server: Arc<PartitionServer>,
+        globals: Arc<HashMap<PartitionKey, Arc<PartitionData>>>,
+        model: &'m Model,
+    ) -> Self {
+        RemoteStore {
+            server,
+            globals,
+            resident: Mutex::new(HashMap::new()),
+            lr: model.config().learning_rate,
+            sim_seconds: Mutex::new(0.0),
+            resident_bytes: AtomicUsize::new(0),
+            peak_bytes: AtomicUsize::new(0),
+            swaps: AtomicUsize::new(0),
+            _model: std::marker::PhantomData,
+        }
+    }
+
+    fn sim_seconds(&self) -> f64 {
+        *self.sim_seconds.lock()
+    }
+
+    /// Checks in every resident partition not in `keep`.
+    fn release_except(&self, keep: &std::collections::HashSet<PartitionKey>) {
+        let mut resident = self.resident.lock();
+        let to_release: Vec<PartitionKey> = resident
+            .keys()
+            .filter(|k| !keep.contains(*k))
+            .copied()
+            .collect();
+        for key in to_release {
+            let data = resident.remove(&key).expect("key just listed");
+            let secs = self
+                .server
+                .checkin(key, data.embeddings.to_vec(), data.adagrad.to_vec());
+            *self.sim_seconds.lock() += secs;
+            self.resident_bytes.fetch_sub(data.bytes(), Ordering::SeqCst);
+        }
+    }
+}
+
+impl PartitionStore for RemoteStore<'_> {
+    fn load(&self, key: PartitionKey) -> Arc<PartitionData> {
+        if let Some(data) = self.globals.get(&key) {
+            return Arc::clone(data);
+        }
+        let mut resident = self.resident.lock();
+        if let Some(data) = resident.get(&key) {
+            return Arc::clone(data);
+        }
+        let (emb, acc, secs) = self.server.checkout(key);
+        *self.sim_seconds.lock() += secs;
+        self.swaps.fetch_add(1, Ordering::SeqCst);
+        let dim = self.server.layout().dim();
+        let rows = emb.len() / dim;
+        let data = Arc::new(PartitionData::from_parts(rows, dim, self.lr, emb, &acc));
+        let bytes = data.bytes();
+        let now = self.resident_bytes.fetch_add(bytes, Ordering::SeqCst) + bytes;
+        self.peak_bytes.fetch_max(now, Ordering::SeqCst);
+        resident.insert(key, Arc::clone(&data));
+        data
+    }
+
+    fn release(&self, key: PartitionKey) {
+        if self.globals.contains_key(&key) {
+            return;
+        }
+        let mut resident = self.resident.lock();
+        if let Some(data) = resident.remove(&key) {
+            let secs = self
+                .server
+                .checkin(key, data.embeddings.to_vec(), data.adagrad.to_vec());
+            *self.sim_seconds.lock() += secs;
+            self.resident_bytes.fetch_sub(data.bytes(), Ordering::SeqCst);
+        }
+    }
+
+    fn resident_bytes(&self) -> usize {
+        self.resident_bytes.load(Ordering::SeqCst)
+    }
+
+    fn peak_bytes(&self) -> usize {
+        self.peak_bytes.load(Ordering::SeqCst)
+    }
+
+    fn swap_ins(&self) -> usize {
+        self.swaps.load(Ordering::SeqCst)
+    }
+
+    fn load_all(&self) {
+        for (key, _) in self.server.layout().keys().to_vec() {
+            let _ = self.load(key);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pbg_core::eval::{CandidateSampling, LinkPredictionEval};
+    use pbg_datagen::social::SocialGraphConfig;
+    use pbg_graph::split::EdgeSplit;
+
+    fn dataset() -> (EdgeList, u32) {
+        let cfg = SocialGraphConfig {
+            num_nodes: 256,
+            num_edges: 6_000,
+            num_communities: 24,
+            intra_prob: 0.9,
+            zipf_exponent: 0.9,
+            seed: 11,
+        };
+        let (edges, _) = cfg.generate();
+        (edges, cfg.num_nodes)
+    }
+
+    fn config(epochs: usize) -> PbgConfig {
+        PbgConfig::builder()
+            .dim(16)
+            .epochs(epochs)
+            .batch_size(128)
+            .chunk_size(16)
+            .uniform_negatives(16)
+            .threads(1)
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn cluster_trains_and_reduces_loss() {
+        let (edges, n) = dataset();
+        let schema = GraphSchema::homogeneous(n, 4).unwrap();
+        let mut t = ClusterTrainer::new(
+            schema,
+            &edges,
+            config(4),
+            ClusterConfig {
+                machines: 2,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        let stats = t.train();
+        assert_eq!(stats.len(), 4);
+        assert!(
+            stats.last().unwrap().mean_loss < stats[0].mean_loss,
+            "loss: {} -> {}",
+            stats[0].mean_loss,
+            stats.last().unwrap().mean_loss
+        );
+        assert!(stats[0].network_bytes > 0, "no network traffic accounted");
+    }
+
+    #[test]
+    fn cluster_quality_matches_single_machine() {
+        let (edges, n) = dataset();
+        let split = EdgeSplit::new(&edges, 0.0, 0.25, 2);
+        let eval = LinkPredictionEval {
+            num_candidates: 64,
+            sampling: CandidateSampling::Uniform,
+            seed: 9,
+            ..Default::default()
+        };
+
+        let schema = GraphSchema::homogeneous(n, 4).unwrap();
+        let mut cluster = ClusterTrainer::new(
+            schema.clone(),
+            &split.train,
+            config(6),
+            ClusterConfig {
+                machines: 2,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        cluster.train();
+        let m_cluster = eval
+            .evaluate(&cluster.snapshot(), &split.test, &split.train, &[])
+            .mrr;
+
+        let mut single =
+            pbg_core::trainer::Trainer::new(schema, &split.train, config(6)).unwrap();
+        single.train();
+        let m_single = eval
+            .evaluate(&single.snapshot(), &split.test, &split.train, &[])
+            .mrr;
+
+        assert!(m_cluster > 0.2, "cluster mrr {m_cluster}");
+        assert!(
+            (m_single - m_cluster).abs() < 0.4 * m_single.max(m_cluster),
+            "cluster {m_cluster} vs single {m_single} diverged"
+        );
+    }
+
+    #[test]
+    fn all_edges_trained_each_epoch() {
+        let (edges, n) = dataset();
+        let schema = GraphSchema::homogeneous(n, 4).unwrap();
+        let mut t = ClusterTrainer::new(
+            schema,
+            &edges,
+            config(1),
+            ClusterConfig {
+                machines: 2,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        let stats = t.train_epoch();
+        assert_eq!(stats.edges, edges.len());
+    }
+
+    #[test]
+    fn single_machine_cluster_is_degenerate_but_works() {
+        let (edges, n) = dataset();
+        let schema = GraphSchema::homogeneous(n, 2).unwrap();
+        let mut t = ClusterTrainer::new(
+            schema,
+            &edges,
+            config(2),
+            ClusterConfig {
+                machines: 1,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        let stats = t.train();
+        assert_eq!(stats.len(), 2);
+        assert!(stats[1].mean_loss <= stats[0].mean_loss * 1.1);
+    }
+
+    #[test]
+    fn peak_machine_memory_is_two_partitions() {
+        let (edges, n) = dataset();
+        let p = 8u32;
+        let schema = GraphSchema::homogeneous(n, p).unwrap();
+        let mut t = ClusterTrainer::new(
+            schema,
+            &edges,
+            config(1),
+            ClusterConfig {
+                machines: 2,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        let stats = t.train_epoch();
+        // one partition ≈ n/p rows × (dim + 1) floats
+        let partition_bytes = (n as usize / p as usize) * (16 + 1) * 4;
+        assert!(
+            stats.peak_machine_bytes <= 3 * partition_bytes,
+            "peak {} > 3 partitions ({})",
+            stats.peak_machine_bytes,
+            3 * partition_bytes
+        );
+    }
+}

@@ -1,0 +1,385 @@
+//! Discrete-event projection of paper-scale training runs.
+//!
+//! Our real runs are scaled down ~10³×; the *time* and *memory* columns of
+//! Tables 3 and 4 (30-hour Freebase epochs, 59.6 GB peaks) are projected
+//! by simulating the bucket schedule at full scale: machines acquire
+//! buckets under the lock-server rules, pay partition transfer time
+//! (disk on one machine, network when distributed), then train at a
+//! measured edges/second throughput. This captures the paper's observed
+//! effects — I/O overhead growing with P on one machine, near-linear
+//! speedup with machines, and incomplete occupancy when `P/2 < M` or
+//! locks collide.
+
+use pbg_graph::bucket::BucketId;
+use pbg_graph::ids::Partition;
+use serde::{Deserialize, Serialize};
+use std::collections::HashSet;
+
+/// Inputs to the projector.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct EventSimConfig {
+    /// Node count (e.g. 121_216_723 for full Freebase).
+    pub nodes: u64,
+    /// Edges trained per epoch.
+    pub edges: u64,
+    /// Embedding dimension.
+    pub dim: usize,
+    /// Number of partitions `P`.
+    pub partitions: u32,
+    /// Number of machines `M` (1 = single-machine with disk swapping).
+    pub machines: usize,
+    /// Epochs to project.
+    pub epochs: usize,
+    /// Measured training throughput per machine, edges/second (all
+    /// HOGWILD threads combined).
+    pub edges_per_sec: f64,
+    /// Disk bandwidth for single-machine partition swaps, bytes/second.
+    pub disk_bandwidth: f64,
+    /// Network bandwidth for distributed transfers, bytes/second.
+    pub net_bandwidth: f64,
+    /// Fixed per-epoch overhead seconds (edge loading, checkpointing).
+    pub epoch_overhead_sec: f64,
+}
+
+impl Default for EventSimConfig {
+    fn default() -> Self {
+        EventSimConfig {
+            nodes: 121_216_723,
+            edges: 2_452_563_539, // 90% of full Freebase
+            dim: 100,
+            partitions: 1,
+            machines: 1,
+            epochs: 10,
+            edges_per_sec: 250_000.0,
+            disk_bandwidth: 500e6,
+            net_bandwidth: 1e9,
+            epoch_overhead_sec: 60.0,
+        }
+    }
+}
+
+/// Projection output.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct EventSimReport {
+    /// Projected wall-clock hours for all epochs.
+    pub total_hours: f64,
+    /// Hours spent computing (per busiest machine).
+    pub compute_hours: f64,
+    /// Hours spent moving partitions (per busiest machine).
+    pub io_hours: f64,
+    /// Peak bytes resident on one machine (two partitions + optimizer
+    /// state, or the whole model when P == 1).
+    pub peak_memory_bytes: u64,
+    /// Fraction of machine-time spent busy (1.0 = perfect occupancy).
+    pub occupancy: f64,
+    /// Total bytes swapped/transferred across the run.
+    pub moved_bytes: u64,
+}
+
+/// Bytes of one node's state: `dim` embedding floats + 1 Adagrad scalar.
+fn bytes_per_node(dim: usize) -> u64 {
+    (dim as u64 + 1) * 4
+}
+
+/// Runs the projection.
+///
+/// # Panics
+///
+/// Panics if any count or rate is zero.
+pub fn simulate(cfg: &EventSimConfig) -> EventSimReport {
+    assert!(cfg.nodes > 0 && cfg.edges > 0, "empty graph");
+    assert!(cfg.partitions > 0 && cfg.machines > 0, "empty cluster");
+    assert!(
+        cfg.edges_per_sec > 0.0 && cfg.disk_bandwidth > 0.0 && cfg.net_bandwidth > 0.0,
+        "rates must be positive"
+    );
+    let p = cfg.partitions;
+    let partition_bytes = (cfg.nodes / p as u64 + 1) * bytes_per_node(cfg.dim);
+    let model_bytes = cfg.nodes * bytes_per_node(cfg.dim);
+    let bucket_edges = cfg.edges as f64 / (p as f64 * p as f64);
+    let train_secs = bucket_edges / cfg.edges_per_sec;
+    let bandwidth = if cfg.machines == 1 {
+        cfg.disk_bandwidth
+    } else {
+        cfg.net_bandwidth
+    };
+    let load_secs = partition_bytes as f64 / bandwidth;
+
+    // unpartitioned: the whole model stays resident, no swaps
+    if p == 1 {
+        let compute = cfg.edges as f64 / cfg.edges_per_sec * cfg.epochs as f64;
+        let total = compute + cfg.epoch_overhead_sec * cfg.epochs as f64;
+        return EventSimReport {
+            total_hours: total / 3600.0,
+            compute_hours: compute / 3600.0,
+            io_hours: 0.0,
+            peak_memory_bytes: model_bytes + model_bytes / 4, // +25% runtime overhead
+            occupancy: 1.0,
+            moved_bytes: 0,
+        };
+    }
+
+    // event simulation of one epoch's bucket schedule, replayed per epoch
+    // (epoch 1's initialization ramp differs; later epochs reuse the
+    // trained set, so simulate twice and combine)
+    let first = simulate_epoch(cfg, load_secs, train_secs, false);
+    let later = simulate_epoch(cfg, load_secs, train_secs, true);
+    let epochs = cfg.epochs as f64;
+    let total_secs = first.total + later.total * (epochs - 1.0)
+        + cfg.epoch_overhead_sec * epochs;
+    let compute_secs = first.compute + later.compute * (epochs - 1.0);
+    let io_secs = first.io + later.io * (epochs - 1.0);
+    let busy = first.busy + later.busy * (epochs - 1.0);
+    let span = first.total + later.total * (epochs - 1.0);
+    // per-machine resident: 2 partitions (+ optimizer already counted)
+    // plus a modest runtime overhead, matching how peak RSS exceeds the
+    // raw parameter bytes in the paper's tables
+    let peak = 2 * partition_bytes + partition_bytes / 2;
+    EventSimReport {
+        total_hours: total_secs / 3600.0,
+        compute_hours: compute_secs / 3600.0,
+        io_hours: io_secs / 3600.0,
+        peak_memory_bytes: peak,
+        occupancy: if span > 0.0 {
+            busy / (span * cfg.machines as f64)
+        } else {
+            1.0
+        },
+        moved_bytes: (first.moved + later.moved * (cfg.epochs as u64 - 1)) as u64,
+    }
+}
+
+struct EpochSim {
+    total: f64,
+    compute: f64,
+    io: f64,
+    busy: f64,
+    moved: u64,
+}
+
+fn simulate_epoch(
+    cfg: &EventSimConfig,
+    load_secs: f64,
+    train_secs: f64,
+    pre_initialized: bool,
+) -> EpochSim {
+    let p = cfg.partitions;
+    let m = cfg.machines;
+    let partition_bytes = (cfg.nodes / p as u64 + 1) * bytes_per_node(cfg.dim);
+    let mut pending: Vec<BucketId> = (0..p)
+        .flat_map(|s| (0..p).map(move |d| BucketId::new(s, d)))
+        .collect();
+    pending.sort();
+    let mut init_src: HashSet<Partition> = HashSet::new();
+    let mut init_dst: HashSet<Partition> = HashSet::new();
+    if pre_initialized {
+        for q in 0..p {
+            init_src.insert(Partition(q));
+            init_dst.insert(Partition(q));
+        }
+    }
+    let mut clocks = vec![0.0f64; m];
+    let mut resident: Vec<Option<BucketId>> = vec![None; m];
+    // (machine, bucket, finish_time)
+    let mut active: Vec<(usize, BucketId, f64)> = Vec::new();
+    let mut busy = vec![0.0f64; m];
+    let mut compute = vec![0.0f64; m];
+    let mut io = vec![0.0f64; m];
+    let mut moved: u64 = 0;
+    let mut anything_initialized = pre_initialized;
+
+    loop {
+        if pending.is_empty() && active.is_empty() {
+            break;
+        }
+        // try to dispatch idle machines (lowest clock first)
+        let mut idle: Vec<usize> = (0..m)
+            .filter(|mi| !active.iter().any(|(am, _, _)| am == mi))
+            .collect();
+        idle.sort_by(|a, b| clocks[*a].partial_cmp(&clocks[*b]).expect("finite"));
+        let mut dispatched = false;
+        for &mi in &idle {
+            let locked: HashSet<Partition> = active
+                .iter()
+                .flat_map(|(_, b, _)| b.partitions())
+                .collect();
+            let prev = resident[mi];
+            let mut eligible: Vec<BucketId> = pending
+                .iter()
+                .copied()
+                .filter(|b| !b.partitions().any(|q| locked.contains(&q)))
+                .filter(|b| {
+                    !anything_initialized
+                        || init_src.contains(&b.src)
+                        || init_dst.contains(&b.dst)
+                })
+                .collect();
+            if eligible.is_empty() {
+                continue;
+            }
+            eligible.sort();
+            let chosen = match prev {
+                Some(pv) => eligible
+                    .iter()
+                    .copied()
+                    .find(|b| b.src == pv.src || b.dst == pv.dst)
+                    .unwrap_or(eligible[0]),
+                None => eligible[0],
+            };
+            pending.retain(|b| *b != chosen);
+            // partitions to load: those not shared with the previous bucket
+            let loads = match prev {
+                None => chosen.partitions().count(),
+                Some(pv) => chosen
+                    .partitions()
+                    .filter(|q| !pv.partitions().any(|r| r == *q))
+                    .count(),
+            };
+            // each newly loaded partition also implies saving a previous
+            // one (write-back), costing another transfer
+            let xfer = loads as f64 * 2.0 * load_secs;
+            moved += loads as u64 * 2 * partition_bytes;
+            let finish = clocks[mi] + xfer + train_secs;
+            io[mi] += xfer;
+            compute[mi] += train_secs;
+            busy[mi] += xfer + train_secs;
+            clocks[mi] = finish;
+            resident[mi] = Some(chosen);
+            anything_initialized = true;
+            init_src.insert(chosen.src);
+            init_dst.insert(chosen.dst);
+            active.push((mi, chosen, finish));
+            dispatched = true;
+            break; // recompute locked set after each grant
+        }
+        if dispatched {
+            continue;
+        }
+        // nothing dispatchable: advance time to the earliest completion
+        let (idx, &(_, _, finish)) = active
+            .iter()
+            .enumerate()
+            .min_by(|a, b| a.1 .2.partial_cmp(&b.1 .2).expect("finite"))
+            .expect("active cannot be empty when pending remains");
+        // idle machines wait until then
+        for mi in 0..m {
+            if !active.iter().any(|(am, _, _)| *am == mi) && clocks[mi] < finish {
+                clocks[mi] = finish;
+            }
+        }
+        active.remove(idx);
+    }
+    let total = clocks.iter().copied().fold(0.0, f64::max);
+    EpochSim {
+        total,
+        compute: compute.iter().copied().fold(0.0, f64::max),
+        io: io.iter().copied().fold(0.0, f64::max),
+        busy: busy.iter().sum(),
+        moved,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn base() -> EventSimConfig {
+        EventSimConfig::default()
+    }
+
+    #[test]
+    fn unpartitioned_has_no_io() {
+        let r = simulate(&base());
+        assert_eq!(r.io_hours, 0.0);
+        assert_eq!(r.moved_bytes, 0);
+        assert_eq!(r.occupancy, 1.0);
+        // 2.45B edges at 250k e/s ≈ 2.7 h/epoch ≈ 27 h total: same order
+        // as the paper's 30 h
+        assert!((20.0..40.0).contains(&r.total_hours), "{}", r.total_hours);
+        // peak ≈ 48.5 GB model + overhead ≈ paper's 59.6 GB
+        let gb = r.peak_memory_bytes as f64 / 1e9;
+        assert!((48.0..70.0).contains(&gb), "{gb} GB");
+    }
+
+    #[test]
+    fn memory_shrinks_nearly_linearly_with_partitions() {
+        let mut peaks = Vec::new();
+        for p in [1u32, 4, 8, 16] {
+            let r = simulate(&EventSimConfig {
+                partitions: p,
+                ..base()
+            });
+            peaks.push(r.peak_memory_bytes as f64 / 1e9);
+        }
+        assert!(peaks[1] < peaks[0] * 0.7, "P=4 {} vs P=1 {}", peaks[1], peaks[0]);
+        assert!(peaks[2] < peaks[1] * 0.7);
+        assert!(peaks[3] < peaks[2] * 0.7);
+    }
+
+    #[test]
+    fn single_machine_time_grows_with_partitions() {
+        // Table 3 left: 30 -> 31 -> 33 -> 40 hours as P grows
+        let t1 = simulate(&base()).total_hours;
+        let t16 = simulate(&EventSimConfig {
+            partitions: 16,
+            ..base()
+        })
+        .total_hours;
+        assert!(t16 > t1, "I/O overhead must grow: {t1} vs {t16}");
+        assert!(t16 < 2.5 * t1, "overhead too extreme: {t1} vs {t16}");
+    }
+
+    #[test]
+    fn machines_speed_up_training_nearly_linearly() {
+        // Table 3 right: 30 -> 23 -> 13 -> 7.7 hours for 1/2/4/8 machines
+        let mut times = Vec::new();
+        for (machines, parts) in [(1usize, 1u32), (2, 4), (4, 8), (8, 16)] {
+            let r = simulate(&EventSimConfig {
+                partitions: parts,
+                machines,
+                ..base()
+            });
+            times.push(r.total_hours);
+        }
+        assert!(times[1] < times[0], "{times:?}");
+        assert!(times[2] < times[1], "{times:?}");
+        assert!(times[3] < times[2], "{times:?}");
+        // 8 machines: paper sees ~4x, not 8x (I/O + occupancy overheads)
+        let speedup = times[0] / times[3];
+        assert!((2.0..8.0).contains(&speedup), "speedup {speedup}");
+    }
+
+    #[test]
+    fn occupancy_improves_with_more_partitions_per_machine() {
+        // §5.4.2: "Increasing the number of partitions relative to the
+        // number of machines will thus increase occupancy". With 8
+        // machines, P=8 caps parallelism at 4; P=32 unlocks all 8.
+        let tight = simulate(&EventSimConfig {
+            partitions: 8,
+            machines: 8,
+            ..base()
+        });
+        let loose = simulate(&EventSimConfig {
+            partitions: 32,
+            machines: 8,
+            ..base()
+        });
+        assert!(
+            loose.occupancy > tight.occupancy,
+            "tight {} vs loose {}",
+            tight.occupancy,
+            loose.occupancy
+        );
+    }
+
+    #[test]
+    fn more_machines_than_p_over_2_wastes_occupancy() {
+        let r = simulate(&EventSimConfig {
+            partitions: 4,
+            machines: 8,
+            ..base()
+        });
+        // at most P/2 = 2 of 8 machines can work
+        assert!(r.occupancy < 0.4, "occupancy {}", r.occupancy);
+    }
+}

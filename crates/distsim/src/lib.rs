@@ -1,0 +1,40 @@
+//! Simulated distributed execution for `pbg-rs`.
+//!
+//! The paper's distributed mode (§4.2, Figure 2) runs up to `P/2` machines
+//! in parallel: a **lock server** parcels out buckets with disjoint
+//! partitions (favoring partition reuse and enforcing the initialization
+//! invariant), a sharded **partition server** holds the partitioned
+//! embeddings, and a sharded **parameter server** asynchronously syncs the
+//! small set of shared parameters with throttling.
+//!
+//! We cannot ship a cluster, so this crate reproduces the *protocol* with
+//! machines-as-threads plus a **network cost model** that accounts
+//! simulated transfer time for every byte moved, and a **discrete-event
+//! projector** that predicts paper-scale wall-clock hours (the time
+//! columns of Tables 3 and 4) from measured per-edge throughput:
+//!
+//! - [`lockserver`]: bucket locking with affinity and the init invariant.
+//! - [`partitionserver`]: sharded partition storage with transfer
+//!   accounting.
+//! - [`paramserver`]: asynchronous shared-parameter sync with throttling.
+//! - [`netmodel`]: bandwidth/latency cost model (defaults match the
+//!   paper's measured ~1 GB/s TCP bandwidth).
+//! - [`cluster`]: the multi-machine training driver.
+//! - [`event`]: discrete-event projection of paper-scale training time.
+//! - [`occupancy`]: analytical occupancy (how many machines can actually
+//!   work, given P and M).
+
+pub mod cluster;
+pub mod event;
+pub mod lockserver;
+pub mod netmodel;
+pub mod occupancy;
+pub mod paramserver;
+pub mod partitionserver;
+
+pub use cluster::{ClusterConfig, ClusterTrainer};
+pub use event::{EventSimConfig, EventSimReport};
+pub use lockserver::LockServer;
+pub use netmodel::NetworkModel;
+pub use paramserver::ParameterServer;
+pub use partitionserver::PartitionServer;

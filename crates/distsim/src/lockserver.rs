@@ -1,0 +1,349 @@
+//! The centralized bucket lock server (§4.2).
+//!
+//! "The locking of partitions is handled by a centralized lock server on
+//! one machine, which parcels out buckets to the workers in order to
+//! minimize communication (i.e. favors re-using a partition). The lock
+//! server also maintains the invariant ... that only the first bucket
+//! should operate on two uninitialized partitions."
+
+use parking_lot::Mutex;
+use pbg_graph::bucket::BucketId;
+use pbg_graph::ids::Partition;
+use std::collections::{HashMap, HashSet};
+
+#[derive(Debug, Default)]
+struct LockState {
+    pending: HashSet<BucketId>,
+    /// Partitions held by in-flight buckets.
+    locked: HashSet<Partition>,
+    /// Buckets held per machine. A machine may briefly hold two: the
+    /// paper's trainers acquire the next bucket, save/load partitions,
+    /// and only then "release [their] old partitions on the lock server"
+    /// (Figure 2).
+    active: HashMap<usize, Vec<BucketId>>,
+    /// Partitions whose embeddings have been trained at least once, by
+    /// side (persists across epochs).
+    init_src: HashSet<Partition>,
+    init_dst: HashSet<Partition>,
+    anything_initialized: bool,
+}
+
+/// Centralized bucket lock server.
+#[derive(Debug, Default)]
+pub struct LockServer {
+    state: Mutex<LockState>,
+}
+
+/// Result of an acquire attempt.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Acquire {
+    /// A bucket was granted.
+    Granted(BucketId),
+    /// Buckets remain but all eligible ones conflict with active locks —
+    /// the worker should retry after someone releases.
+    Wait,
+    /// The epoch is finished.
+    Done,
+}
+
+impl LockServer {
+    /// Creates a lock server with no pending buckets.
+    pub fn new() -> Self {
+        LockServer::default()
+    }
+
+    /// Starts an epoch over the full `src_parts × dst_parts` grid.
+    pub fn start_epoch(&self, src_parts: u32, dst_parts: u32) {
+        let mut s = self.state.lock();
+        s.pending.clear();
+        for src in 0..src_parts {
+            for dst in 0..dst_parts {
+                s.pending.insert(BucketId::new(src, dst));
+            }
+        }
+        assert!(
+            s.active.is_empty(),
+            "start_epoch called while buckets are still locked"
+        );
+        s.locked.clear();
+    }
+
+    /// Number of buckets not yet granted this epoch.
+    pub fn remaining(&self) -> usize {
+        self.state.lock().pending.len()
+    }
+
+    /// Requests a bucket for `machine`; `prev` is the machine's previous
+    /// bucket (for partition-affinity).
+    pub fn acquire(&self, machine: usize, prev: Option<BucketId>) -> Acquire {
+        let mut s = self.state.lock();
+        if s.pending.is_empty() {
+            return if s.active.is_empty() {
+                Acquire::Done
+            } else {
+                // stragglers still training; nothing left to hand out
+                Acquire::Done
+            };
+        }
+        // a machine's own held partitions do not conflict with its next
+        // bucket (it can keep reusing them); everyone else's do
+        let own: HashSet<Partition> = s
+            .active
+            .get(&machine)
+            .map(|buckets| buckets.iter().flat_map(|b| b.partitions()).collect())
+            .unwrap_or_default();
+        // eligible: no partition conflict + invariant
+        let mut eligible: Vec<BucketId> = s
+            .pending
+            .iter()
+            .copied()
+            .filter(|b| {
+                !b.partitions()
+                    .any(|p| s.locked.contains(&p) && !own.contains(&p))
+            })
+            .filter(|b| {
+                !s.anything_initialized
+                    || s.init_src.contains(&b.src)
+                    || s.init_dst.contains(&b.dst)
+            })
+            .collect();
+        if eligible.is_empty() {
+            return Acquire::Wait;
+        }
+        // prefer buckets sharing a partition with the machine's previous
+        // bucket (minimizes partition-server traffic), then smallest id
+        // for determinism.
+        eligible.sort();
+        let chosen = match prev {
+            Some(p) => eligible
+                .iter()
+                .copied()
+                .find(|b| b.src == p.src || b.dst == p.dst)
+                .unwrap_or(eligible[0]),
+            None => eligible[0],
+        };
+        s.pending.remove(&chosen);
+        for p in chosen.partitions() {
+            s.locked.insert(p);
+        }
+        s.active.entry(machine).or_default().push(chosen);
+        // the very first grant unblocks the invariant for everyone else
+        s.anything_initialized = true;
+        s.init_src.insert(chosen.src);
+        s.init_dst.insert(chosen.dst);
+        Acquire::Granted(chosen)
+    }
+
+    /// Releases one specific bucket held by `machine`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the machine does not hold `bucket`.
+    pub fn release_bucket(&self, machine: usize, bucket: BucketId) {
+        let mut s = self.state.lock();
+        let held = s
+            .active
+            .get_mut(&machine)
+            .unwrap_or_else(|| panic!("machine {machine} holds no bucket"));
+        let pos = held
+            .iter()
+            .position(|b| *b == bucket)
+            .unwrap_or_else(|| panic!("machine {machine} does not hold {bucket}"));
+        held.remove(pos);
+        let keep_empty = held.is_empty();
+        // partitions still held through the machine's other bucket stay
+        // locked
+        let still_held: HashSet<Partition> = s
+            .active
+            .values()
+            .flatten()
+            .flat_map(|b| b.partitions())
+            .collect();
+        for p in bucket.partitions() {
+            if !still_held.contains(&p) {
+                s.locked.remove(&p);
+            }
+        }
+        if keep_empty {
+            s.active.remove(&machine);
+        }
+    }
+
+    /// Releases the single bucket held by `machine` (convenience for
+    /// workers that never overlap buckets).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the machine holds zero or multiple buckets.
+    pub fn release(&self, machine: usize) {
+        let bucket = {
+            let s = self.state.lock();
+            let held = s
+                .active
+                .get(&machine)
+                .unwrap_or_else(|| panic!("machine {machine} holds no bucket"));
+            assert_eq!(held.len(), 1, "machine {machine} holds multiple buckets");
+            held[0]
+        };
+        self.release_bucket(machine, bucket);
+    }
+
+    /// Buckets currently being trained.
+    pub fn active_count(&self) -> usize {
+        self.state.lock().active.values().map(|v| v.len()).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn grants_cover_all_buckets_once() {
+        let ls = LockServer::new();
+        ls.start_epoch(4, 4);
+        let mut granted = Vec::new();
+        loop {
+            match ls.acquire(0, granted.last().copied()) {
+                Acquire::Granted(b) => {
+                    granted.push(b);
+                    ls.release(0);
+                }
+                Acquire::Wait => unreachable!("single machine never waits"),
+                Acquire::Done => break,
+            }
+        }
+        assert_eq!(granted.len(), 16);
+        let set: HashSet<BucketId> = granted.iter().copied().collect();
+        assert_eq!(set.len(), 16);
+    }
+
+    #[test]
+    fn concurrent_grants_have_disjoint_partitions() {
+        let ls = LockServer::new();
+        ls.start_epoch(8, 8);
+        let a = match ls.acquire(0, None) {
+            Acquire::Granted(b) => b,
+            other => panic!("{other:?}"),
+        };
+        // machine 1 must wait until something is initialized... a is
+        // released? No: invariant allows buckets sharing a partition with
+        // an *initialized* side, and `a` initialized its partitions at
+        // grant time — but those partitions are locked. Machine 1 may get
+        // a bucket sharing a's src as... conflicts. It must Wait.
+        match ls.acquire(1, None) {
+            Acquire::Wait => {}
+            Acquire::Granted(b) => {
+                assert!(!a.conflicts_with(&b), "granted conflicting bucket {b}");
+                // and the invariant must hold: b shares an initialized side
+                assert!(b.src == a.src || b.dst == a.dst);
+            }
+            Acquire::Done => panic!("not done"),
+        }
+        ls.release(0);
+        // now plenty is available
+        let b = match ls.acquire(1, None) {
+            Acquire::Granted(b) => b,
+            other => panic!("{other:?}"),
+        };
+        assert!(!ls.state.lock().locked.is_empty());
+        let c = ls.acquire(2, None);
+        if let Acquire::Granted(c) = c {
+            assert!(!b.conflicts_with(&c));
+        }
+    }
+
+    #[test]
+    fn first_epoch_serializes_until_first_release() {
+        // With nothing initialized, only one bucket can be out at first;
+        // after it completes, buckets touching its partitions unblock.
+        let ls = LockServer::new();
+        ls.start_epoch(4, 4);
+        let first = match ls.acquire(0, None) {
+            Acquire::Granted(b) => b,
+            other => panic!("{other:?}"),
+        };
+        assert_eq!(ls.acquire(1, None), Acquire::Wait, "invariant blocks m1");
+        ls.release(0);
+        match ls.acquire(1, None) {
+            Acquire::Granted(b) => {
+                assert!(
+                    b.src == first.src || b.dst == first.dst,
+                    "{b} not aligned with {first}"
+                );
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn affinity_prefers_shared_partition() {
+        let ls = LockServer::new();
+        ls.start_epoch(4, 4);
+        let first = match ls.acquire(0, None) {
+            Acquire::Granted(b) => b,
+            other => panic!("{other:?}"),
+        };
+        ls.release(0);
+        let second = match ls.acquire(0, Some(first)) {
+            Acquire::Granted(b) => b,
+            other => panic!("{other:?}"),
+        };
+        assert!(
+            second.src == first.src || second.dst == first.dst,
+            "affinity ignored: {first} then {second}"
+        );
+    }
+
+    #[test]
+    fn up_to_p_over_2_machines_run_in_parallel() {
+        let ls = LockServer::new();
+        ls.start_epoch(8, 8);
+        // warm up: initialize all partitions
+        loop {
+            match ls.acquire(0, None) {
+                Acquire::Granted(_) => ls.release(0),
+                Acquire::Wait => continue,
+                Acquire::Done => break,
+            }
+        }
+        ls.start_epoch(8, 8);
+        let mut held = Vec::new();
+        for m in 0..8 {
+            if let Acquire::Granted(b) = ls.acquire(m, None) {
+                held.push(b);
+            }
+        }
+        assert!(
+            held.len() >= 4,
+            "only {} concurrent buckets on an 8x8 grid",
+            held.len()
+        );
+        for (i, a) in held.iter().enumerate() {
+            for b in &held[i + 1..] {
+                assert!(!a.conflicts_with(b));
+            }
+        }
+    }
+
+    #[test]
+    fn invariant_persists_across_epochs() {
+        let ls = LockServer::new();
+        ls.start_epoch(2, 2);
+        // drain epoch 1
+        loop {
+            match ls.acquire(0, None) {
+                Acquire::Granted(_) => ls.release(0),
+                Acquire::Wait => continue,
+                Acquire::Done => break,
+            }
+        }
+        ls.start_epoch(2, 2);
+        // in epoch 2 two machines can start immediately on disjoint
+        // diagonal buckets because everything is initialized
+        let a = ls.acquire(0, None);
+        let b = ls.acquire(1, None);
+        assert!(matches!(a, Acquire::Granted(_)));
+        assert!(matches!(b, Acquire::Granted(_)), "{b:?}");
+    }
+}

@@ -1,0 +1,129 @@
+//! Network cost model.
+//!
+//! The paper's cluster uses 50Gb/s ethernet with a TCP backend that "in
+//! practice achieves approximately 1 GB/s send/receive bandwidth" (§5.1).
+//! Machines-as-threads move bytes through shared memory instantly, so
+//! every transfer is *accounted*: the model accumulates the simulated
+//! seconds each machine would have spent on the wire, which the cluster
+//! trainer adds to its per-machine clock.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Bandwidth/latency accounting for simulated transfers.
+#[derive(Debug)]
+pub struct NetworkModel {
+    bandwidth_bytes_per_sec: f64,
+    latency_sec: f64,
+    total_bytes: AtomicU64,
+    total_transfers: AtomicU64,
+    // simulated seconds × 1e6, accumulated atomically
+    total_micros: AtomicU64,
+}
+
+impl NetworkModel {
+    /// Creates a model.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bandwidth_bytes_per_sec` is not positive or `latency_sec`
+    /// is negative.
+    pub fn new(bandwidth_bytes_per_sec: f64, latency_sec: f64) -> Self {
+        assert!(
+            bandwidth_bytes_per_sec > 0.0 && bandwidth_bytes_per_sec.is_finite(),
+            "bandwidth must be positive"
+        );
+        assert!(
+            latency_sec >= 0.0 && latency_sec.is_finite(),
+            "latency must be non-negative"
+        );
+        NetworkModel {
+            bandwidth_bytes_per_sec,
+            latency_sec,
+            total_bytes: AtomicU64::new(0),
+            total_transfers: AtomicU64::new(0),
+            total_micros: AtomicU64::new(0),
+        }
+    }
+
+    /// The paper's measured setup: ~1 GB/s effective TCP bandwidth,
+    /// 0.1 ms latency.
+    pub fn paper_default() -> Self {
+        NetworkModel::new(1e9, 1e-4)
+    }
+
+    /// Simulated seconds to move `bytes` (latency + bytes/bandwidth).
+    pub fn transfer_seconds(&self, bytes: usize) -> f64 {
+        self.latency_sec + bytes as f64 / self.bandwidth_bytes_per_sec
+    }
+
+    /// Records a transfer and returns its simulated duration in seconds.
+    pub fn record_transfer(&self, bytes: usize) -> f64 {
+        let secs = self.transfer_seconds(bytes);
+        self.total_bytes.fetch_add(bytes as u64, Ordering::Relaxed);
+        self.total_transfers.fetch_add(1, Ordering::Relaxed);
+        self.total_micros
+            .fetch_add((secs * 1e6) as u64, Ordering::Relaxed);
+        secs
+    }
+
+    /// Total bytes transferred so far.
+    pub fn total_bytes(&self) -> u64 {
+        self.total_bytes.load(Ordering::Relaxed)
+    }
+
+    /// Total number of transfers.
+    pub fn total_transfers(&self) -> u64 {
+        self.total_transfers.load(Ordering::Relaxed)
+    }
+
+    /// Total simulated wire seconds across all transfers.
+    pub fn total_seconds(&self) -> f64 {
+        self.total_micros.load(Ordering::Relaxed) as f64 / 1e6
+    }
+
+    /// Configured bandwidth (bytes/second).
+    pub fn bandwidth(&self) -> f64 {
+        self.bandwidth_bytes_per_sec
+    }
+
+    /// Configured latency (seconds).
+    pub fn latency(&self) -> f64 {
+        self.latency_sec
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn transfer_time_is_latency_plus_linear() {
+        let net = NetworkModel::new(1000.0, 0.5);
+        assert!((net.transfer_seconds(0) - 0.5).abs() < 1e-12);
+        assert!((net.transfer_seconds(2000) - 2.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn accounting_accumulates() {
+        let net = NetworkModel::new(1e6, 0.0);
+        net.record_transfer(500_000);
+        net.record_transfer(500_000);
+        assert_eq!(net.total_bytes(), 1_000_000);
+        assert_eq!(net.total_transfers(), 2);
+        assert!((net.total_seconds() - 1.0).abs() < 1e-3);
+    }
+
+    #[test]
+    fn paper_default_moves_a_gigabyte_per_second() {
+        let net = NetworkModel::paper_default();
+        let gb = 1_000_000_000;
+        let secs = net.transfer_seconds(gb);
+        assert!((secs - 1.0).abs() < 0.01, "{secs}");
+    }
+
+    #[test]
+    #[should_panic(expected = "bandwidth")]
+    fn zero_bandwidth_panics() {
+        let _ = NetworkModel::new(0.0, 0.0);
+    }
+}

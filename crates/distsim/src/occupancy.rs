@@ -1,0 +1,78 @@
+//! Occupancy analysis for the bucket-locking scheme.
+//!
+//! "Training can proceed in parallel on up to P/2 machines" (§4.2), and
+//! "there may not always be an available bucket with non-locked
+//! partitions for a machine to work on. Increasing the number of
+//! partitions relative to the number of machines will thus increase
+//! occupancy" (§5.4.2). These helpers quantify that tradeoff.
+
+use crate::event::{simulate, EventSimConfig};
+
+/// Maximum buckets trainable concurrently on a `P × P` grid: disjoint
+/// partition pairs, so `⌊P/2⌋` (diagonal buckets use one partition each,
+/// but pairing is the binding constraint for off-diagonal work).
+pub fn max_parallel(partitions: u32, machines: usize) -> usize {
+    ((partitions / 2).max(1) as usize).min(machines)
+}
+
+/// Expected machine occupancy over an epoch for `P` partitions and `M`
+/// machines, from the discrete-event schedule with uniform bucket sizes
+/// and negligible transfer cost.
+///
+/// # Panics
+///
+/// Panics if `partitions == 0` or `machines == 0`.
+pub fn schedule_occupancy(partitions: u32, machines: usize) -> f64 {
+    assert!(partitions > 0 && machines > 0, "empty configuration");
+    let r = simulate(&EventSimConfig {
+        nodes: partitions as u64 * 1_000,
+        edges: (partitions as u64 * partitions as u64) * 100_000,
+        dim: 4,
+        partitions,
+        machines,
+        epochs: 2,
+        edges_per_sec: 100_000.0,
+        // effectively free transfers: isolate scheduling effects
+        disk_bandwidth: 1e18,
+        net_bandwidth: 1e18,
+        epoch_overhead_sec: 0.0,
+    });
+    r.occupancy
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn max_parallel_is_half_p_capped_by_machines() {
+        assert_eq!(max_parallel(16, 4), 4);
+        assert_eq!(max_parallel(16, 100), 8);
+        assert_eq!(max_parallel(4, 8), 2);
+        assert_eq!(max_parallel(1, 8), 1);
+    }
+
+    #[test]
+    fn single_machine_is_fully_occupied() {
+        let occ = schedule_occupancy(4, 1);
+        assert!(occ > 0.95, "occupancy {occ}");
+    }
+
+    #[test]
+    fn occupancy_degrades_when_machines_exceed_half_p() {
+        let ok = schedule_occupancy(16, 4);
+        let oversubscribed = schedule_occupancy(4, 8);
+        assert!(ok > oversubscribed, "{ok} vs {oversubscribed}");
+        assert!(oversubscribed < 0.5, "{oversubscribed}");
+    }
+
+    #[test]
+    fn more_partitions_help_fixed_machines() {
+        let p8 = schedule_occupancy(8, 4);
+        let p32 = schedule_occupancy(32, 4);
+        assert!(
+            p32 >= p8 - 0.02,
+            "P=8 occ {p8} vs P=32 occ {p32}: more partitions should not hurt"
+        );
+    }
+}

@@ -1,0 +1,251 @@
+//! Sharded asynchronous parameter server for shared parameters (§4.2).
+//!
+//! "Each trainer maintains a background thread that has access to all
+//! unpartitioned model parameters. This thread asynchronously fetches the
+//! parameters from the server and updates the local model, and pushes
+//! accumulated gradients from the local model to the parameter server.
+//! This thread performs continuous synchronization with some throttling
+//! to avoid saturating network bandwidth."
+//!
+//! Clients push *deltas* (local change since the last pull), the server
+//! folds them in, and the client adopts the merged value — the standard
+//! asynchronous push/pull used for sparse training. A per-client throttle
+//! enforces a minimum interval between syncs.
+
+use crate::netmodel::NetworkModel;
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Identifier of one shared parameter block (e.g. one relation's forward
+/// operator parameters).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct ParamKey {
+    /// Relation index.
+    pub relation: u32,
+    /// 0 = forward parameters, 1 = reciprocal parameters.
+    pub side: u8,
+}
+
+/// Sharded asynchronous parameter server.
+#[derive(Debug)]
+pub struct ParameterServer {
+    shards: Vec<Mutex<HashMap<ParamKey, Vec<f32>>>>,
+    net: Arc<NetworkModel>,
+}
+
+impl ParameterServer {
+    /// Creates a server with `num_shards` shards.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `num_shards == 0`.
+    pub fn new(num_shards: usize, net: Arc<NetworkModel>) -> Self {
+        assert!(num_shards > 0, "need at least one shard");
+        ParameterServer {
+            shards: (0..num_shards).map(|_| Mutex::new(HashMap::new())).collect(),
+            net,
+        }
+    }
+
+    fn shard(&self, key: ParamKey) -> &Mutex<HashMap<ParamKey, Vec<f32>>> {
+        &self.shards[(key.relation as usize * 2 + key.side as usize) % self.shards.len()]
+    }
+
+    /// Registers a parameter block with its initial value (first writer
+    /// wins — every machine starts from the same deterministic init).
+    pub fn register(&self, key: ParamKey, init: &[f32]) {
+        let mut shard = self.shard(key).lock();
+        shard.entry(key).or_insert_with(|| init.to_vec());
+    }
+
+    /// Pushes a delta and returns the merged value (one round trip),
+    /// charging both transfers; also returns simulated seconds.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the key is unregistered or lengths disagree.
+    pub fn push_pull(&self, key: ParamKey, delta: &[f32]) -> (Vec<f32>, f64) {
+        let mut secs = self.net.record_transfer(delta.len() * 4);
+        let merged = {
+            let mut shard = self.shard(key).lock();
+            let value = shard
+                .get_mut(&key)
+                .unwrap_or_else(|| panic!("parameter {key:?} not registered"));
+            assert_eq!(value.len(), delta.len(), "push_pull: length mismatch");
+            for (v, d) in value.iter_mut().zip(delta) {
+                *v += *d;
+            }
+            value.clone()
+        };
+        secs += self.net.record_transfer(merged.len() * 4);
+        (merged, secs)
+    }
+
+    /// Reads the current value without pushing (for snapshots).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the key is unregistered.
+    pub fn pull(&self, key: ParamKey) -> Vec<f32> {
+        self.shard(key)
+            .lock()
+            .get(&key)
+            .cloned()
+            .unwrap_or_else(|| panic!("parameter {key:?} not registered"))
+    }
+
+    /// Number of registered parameter blocks.
+    pub fn len(&self) -> usize {
+        self.shards.iter().map(|s| s.lock().len()).sum()
+    }
+
+    /// `true` when no parameters are registered.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+/// Per-machine sync client with throttling.
+#[derive(Debug)]
+pub struct ParamClient {
+    server: Arc<ParameterServer>,
+    /// Value adopted at the last sync, per key (the delta base).
+    base: HashMap<ParamKey, Vec<f32>>,
+    throttle: Duration,
+    last_sync: Instant,
+    /// Simulated network seconds this client has spent syncing.
+    pub sim_seconds: f64,
+}
+
+impl ParamClient {
+    /// Creates a client; `throttle` is the minimum interval between syncs
+    /// (the paper throttles "to avoid saturating network bandwidth").
+    pub fn new(server: Arc<ParameterServer>, throttle: Duration) -> Self {
+        ParamClient {
+            server,
+            base: HashMap::new(),
+            throttle,
+            last_sync: Instant::now() - throttle * 2, // first sync is free
+            sim_seconds: 0.0,
+        }
+    }
+
+    /// Registers a block and adopts the server value as the base.
+    pub fn register(&mut self, key: ParamKey, init: &[f32]) {
+        self.server.register(key, init);
+        self.base.insert(key, self.server.pull(key));
+    }
+
+    /// Synchronizes one block if the throttle allows: pushes
+    /// `local - base`, adopts the merged value, returns it. Returns
+    /// `None` when throttled (caller keeps its local value).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the key was not registered through this client.
+    pub fn maybe_sync(&mut self, key: ParamKey, local: &[f32]) -> Option<Vec<f32>> {
+        if self.last_sync.elapsed() < self.throttle {
+            return None;
+        }
+        Some(self.force_sync(key, local))
+    }
+
+    /// Synchronizes unconditionally (used at epoch boundaries).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the key was not registered through this client.
+    pub fn force_sync(&mut self, key: ParamKey, local: &[f32]) -> Vec<f32> {
+        let base = self
+            .base
+            .get(&key)
+            .unwrap_or_else(|| panic!("parameter {key:?} not registered on this client"));
+        let delta: Vec<f32> = local.iter().zip(base).map(|(l, b)| l - b).collect();
+        let (merged, secs) = self.server.push_pull(key, &delta);
+        self.sim_seconds += secs;
+        self.base.insert(key, merged.clone());
+        self.last_sync = Instant::now();
+        merged
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn server() -> Arc<ParameterServer> {
+        Arc::new(ParameterServer::new(
+            2,
+            Arc::new(NetworkModel::new(1e9, 0.0)),
+        ))
+    }
+
+    const KEY: ParamKey = ParamKey {
+        relation: 0,
+        side: 0,
+    };
+
+    #[test]
+    fn register_is_first_writer_wins() {
+        let s = server();
+        s.register(KEY, &[1.0, 2.0]);
+        s.register(KEY, &[9.0, 9.0]);
+        assert_eq!(s.pull(KEY), vec![1.0, 2.0]);
+    }
+
+    #[test]
+    fn push_pull_merges_deltas() {
+        let s = server();
+        s.register(KEY, &[0.0, 0.0]);
+        let (v1, _) = s.push_pull(KEY, &[1.0, 0.0]);
+        assert_eq!(v1, vec![1.0, 0.0]);
+        let (v2, _) = s.push_pull(KEY, &[0.0, 2.0]);
+        assert_eq!(v2, vec![1.0, 2.0]);
+    }
+
+    #[test]
+    fn two_clients_converge_to_combined_updates() {
+        let s = server();
+        let mut a = ParamClient::new(Arc::clone(&s), Duration::ZERO);
+        let mut b = ParamClient::new(Arc::clone(&s), Duration::ZERO);
+        a.register(KEY, &[0.0]);
+        b.register(KEY, &[0.0]);
+        // each client locally adds 1.0 and syncs
+        let va = a.force_sync(KEY, &[1.0]);
+        let vb = b.force_sync(KEY, &[1.0]);
+        assert_eq!(va, vec![1.0]);
+        assert_eq!(vb, vec![2.0], "b sees a's update merged in");
+        // a syncs again with no further local change: pushes zero delta
+        let va2 = a.force_sync(KEY, &va);
+        assert_eq!(va2, vec![2.0]);
+    }
+
+    #[test]
+    fn throttling_skips_rapid_syncs() {
+        let s = server();
+        let mut c = ParamClient::new(Arc::clone(&s), Duration::from_secs(3600));
+        c.register(KEY, &[0.0]);
+        assert!(c.maybe_sync(KEY, &[1.0]).is_some(), "first sync allowed");
+        assert!(c.maybe_sync(KEY, &[2.0]).is_none(), "second sync throttled");
+    }
+
+    #[test]
+    fn sync_accounts_network_time() {
+        let net = Arc::new(NetworkModel::new(1e3, 0.0));
+        let s = Arc::new(ParameterServer::new(1, Arc::clone(&net)));
+        let mut c = ParamClient::new(Arc::clone(&s), Duration::ZERO);
+        c.register(KEY, &[0.0; 250]); // 1000 bytes
+        c.force_sync(KEY, &[1.0; 250]);
+        // push 1000 B + pull 1000 B at 1000 B/s = 2 s
+        assert!((c.sim_seconds - 2.0).abs() < 1e-6, "{}", c.sim_seconds);
+    }
+
+    #[test]
+    #[should_panic(expected = "not registered")]
+    fn unregistered_pull_panics() {
+        let s = server();
+        let _ = s.pull(KEY);
+    }
+}

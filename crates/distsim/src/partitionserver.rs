@@ -1,0 +1,205 @@
+//! Sharded partition server (§4.2).
+//!
+//! "The partitioned embeddings themselves are stored in a partition server
+//! sharded across the N training machines. A machine fetches the source
+//! and destination partitions, which are often multiple GB in size, from
+//! the partition server."
+//!
+//! Shards are hash-assigned; every checkout/checkin records its byte
+//! volume against the [`NetworkModel`] so simulated transfer time can be
+//! charged to the fetching machine.
+
+use crate::netmodel::NetworkModel;
+use parking_lot::Mutex;
+use pbg_core::storage::{PartitionKey, StoreLayout};
+use std::collections::hash_map::DefaultHasher;
+use std::collections::HashMap;
+use std::hash::{Hash, Hasher};
+use std::sync::Arc;
+
+/// One shard's stored partitions: raw embedding + accumulator floats.
+#[derive(Debug, Default)]
+struct Shard {
+    partitions: HashMap<PartitionKey, (Vec<f32>, Vec<f32>)>,
+}
+
+/// Sharded in-memory partition store with transfer accounting.
+#[derive(Debug)]
+pub struct PartitionServer {
+    shards: Vec<Mutex<Shard>>,
+    layout: StoreLayout,
+    net: Arc<NetworkModel>,
+}
+
+impl PartitionServer {
+    /// Creates a server sharded `num_shards` ways (one per machine in the
+    /// paper), initializing every partition from the layout.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `num_shards == 0`.
+    pub fn new(layout: StoreLayout, num_shards: usize, net: Arc<NetworkModel>) -> Self {
+        assert!(num_shards > 0, "need at least one shard");
+        let shards: Vec<Mutex<Shard>> = (0..num_shards).map(|_| Mutex::new(Shard::default())).collect();
+        let server = PartitionServer {
+            shards,
+            layout,
+            net,
+        };
+        // materialize initial values (identical to single-machine init) so
+        // every checkout is well-defined
+        let init_store = pbg_core::storage::InMemoryStore::new(server.layout.clone());
+        for (key, _rows) in server.layout.keys().to_vec() {
+            let data = pbg_core::storage::PartitionStore::load(&init_store, key);
+            let emb = data.embeddings.to_vec();
+            let acc = data.adagrad.to_vec();
+            server.shard(key).lock().partitions.insert(key, (emb, acc));
+        }
+        server
+    }
+
+    fn shard(&self, key: PartitionKey) -> &Mutex<Shard> {
+        let mut h = DefaultHasher::new();
+        key.hash(&mut h);
+        &self.shards[(h.finish() as usize) % self.shards.len()]
+    }
+
+    /// Number of shards.
+    pub fn num_shards(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// The layout served.
+    pub fn layout(&self) -> &StoreLayout {
+        &self.layout
+    }
+
+    /// Fetches a partition's raw floats (embeddings, accumulators),
+    /// charging the transfer; returns the simulated seconds spent.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the key is unknown or checked out elsewhere — the lock
+    /// server must guarantee exclusivity.
+    pub fn checkout(&self, key: PartitionKey) -> (Vec<f32>, Vec<f32>, f64) {
+        let mut shard = self.shard(key).lock();
+        let (emb, acc) = shard
+            .partitions
+            .remove(&key)
+            .unwrap_or_else(|| panic!("partition {key:?} not on server (double checkout?)"));
+        let bytes = (emb.len() + acc.len()) * 4;
+        let secs = self.net.record_transfer(bytes);
+        (emb, acc, secs)
+    }
+
+    /// Returns a partition's floats to the server, charging the transfer;
+    /// returns the simulated seconds spent.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the key is already present (double checkin).
+    pub fn checkin(&self, key: PartitionKey, emb: Vec<f32>, acc: Vec<f32>) -> f64 {
+        let bytes = (emb.len() + acc.len()) * 4;
+        let secs = self.net.record_transfer(bytes);
+        let mut shard = self.shard(key).lock();
+        let prev = shard.partitions.insert(key, (emb, acc));
+        assert!(prev.is_none(), "partition {key:?} checked in twice");
+        secs
+    }
+
+    /// Reads a partition without checking it out (for final snapshots).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the key is checked out.
+    pub fn peek(&self, key: PartitionKey) -> (Vec<f32>, Vec<f32>) {
+        let shard = self.shard(key).lock();
+        shard
+            .partitions
+            .get(&key)
+            .cloned()
+            .unwrap_or_else(|| panic!("partition {key:?} checked out during peek"))
+    }
+
+    /// Bytes currently stored across shards.
+    pub fn stored_bytes(&self) -> usize {
+        self.shards
+            .iter()
+            .map(|s| {
+                s.lock()
+                    .partitions
+                    .values()
+                    .map(|(e, a)| (e.len() + a.len()) * 4)
+                    .sum::<usize>()
+            })
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pbg_graph::schema::GraphSchema;
+
+    fn layout(p: u32) -> StoreLayout {
+        let schema = GraphSchema::homogeneous(64, p).unwrap();
+        StoreLayout::from_schema(&schema, 8, 0.1, 0.1, 7)
+    }
+
+    fn server(p: u32, shards: usize) -> PartitionServer {
+        PartitionServer::new(layout(p), shards, Arc::new(NetworkModel::new(1e9, 0.0)))
+    }
+
+    #[test]
+    fn checkout_checkin_roundtrip() {
+        let s = server(4, 2);
+        let key = PartitionKey::new(0u32, 2u32);
+        let (mut emb, acc, _) = s.checkout(key);
+        emb[0] = 42.0;
+        s.checkin(key, emb, acc);
+        let (emb2, _) = s.peek(key);
+        assert_eq!(emb2[0], 42.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "double checkout")]
+    fn double_checkout_panics() {
+        let s = server(4, 2);
+        let key = PartitionKey::new(0u32, 0u32);
+        let _ = s.checkout(key);
+        let _ = s.checkout(key);
+    }
+
+    #[test]
+    fn transfers_are_accounted() {
+        let net = Arc::new(NetworkModel::new(1e6, 0.0));
+        let s = PartitionServer::new(layout(4), 2, Arc::clone(&net));
+        let key = PartitionKey::new(0u32, 1u32);
+        let (emb, acc, secs) = s.checkout(key);
+        assert!(secs > 0.0);
+        let bytes = (emb.len() + acc.len()) * 4;
+        assert_eq!(net.total_bytes() as usize, bytes);
+        s.checkin(key, emb, acc);
+        assert_eq!(net.total_bytes() as usize, 2 * bytes);
+    }
+
+    #[test]
+    fn initial_values_match_single_machine_init() {
+        // the server's initial partitions are identical to what a local
+        // InMemoryStore would initialize, so distributed and single-node
+        // runs start from the same model
+        let s = server(2, 2);
+        let key = PartitionKey::new(0u32, 1u32);
+        let (emb, _) = s.peek(key);
+        let local = pbg_core::storage::InMemoryStore::new(layout(2));
+        let local_data = pbg_core::storage::PartitionStore::load(&local, key);
+        assert_eq!(emb, local_data.embeddings.to_vec());
+    }
+
+    #[test]
+    fn stored_bytes_counts_everything() {
+        let s = server(4, 3);
+        // 64 nodes × (8 dims + 1 acc) × 4 bytes
+        assert_eq!(s.stored_bytes(), 64 * 9 * 4);
+    }
+}

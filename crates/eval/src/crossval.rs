@@ -1,0 +1,100 @@
+//! K-fold cross-validation index splitting.
+//!
+//! The YouTube evaluation "run[s] a 10-fold cross validation by randomly
+//! selecting 90% of the labeled data as training data and the rest as
+//! testing data" (§5.3).
+
+use pbg_tensor::rng::Xoshiro256;
+
+/// One fold: indices for training and testing.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Fold {
+    /// Training example indices.
+    pub train: Vec<usize>,
+    /// Held-out example indices.
+    pub test: Vec<usize>,
+}
+
+/// Splits `n` examples into `k` folds after a seeded shuffle.
+///
+/// Every index appears in exactly one test set; fold sizes differ by at
+/// most one.
+///
+/// # Panics
+///
+/// Panics if `k == 0` or `k > n`.
+pub fn k_fold(n: usize, k: usize, seed: u64) -> Vec<Fold> {
+    assert!(k > 0, "k must be positive");
+    assert!(k <= n, "more folds than examples");
+    let mut rng = Xoshiro256::seed_from_u64(seed);
+    let mut idx: Vec<usize> = (0..n).collect();
+    for i in (1..n).rev() {
+        let j = rng.gen_index(i + 1);
+        idx.swap(i, j);
+    }
+    let base = n / k;
+    let rem = n % k;
+    let mut folds = Vec::with_capacity(k);
+    let mut start = 0;
+    for f in 0..k {
+        let size = base + usize::from(f < rem);
+        let test: Vec<usize> = idx[start..start + size].to_vec();
+        let train: Vec<usize> = idx[..start]
+            .iter()
+            .chain(idx[start + size..].iter())
+            .copied()
+            .collect();
+        folds.push(Fold { train, test });
+        start += size;
+    }
+    folds
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    #[test]
+    fn folds_partition_test_sets() {
+        let folds = k_fold(103, 10, 1);
+        assert_eq!(folds.len(), 10);
+        let mut seen = HashSet::new();
+        for f in &folds {
+            for &i in &f.test {
+                assert!(seen.insert(i), "index {i} in two test sets");
+            }
+        }
+        assert_eq!(seen.len(), 103);
+    }
+
+    #[test]
+    fn train_test_disjoint_and_complete() {
+        for f in k_fold(50, 5, 2) {
+            let train: HashSet<usize> = f.train.iter().copied().collect();
+            let test: HashSet<usize> = f.test.iter().copied().collect();
+            assert!(train.is_disjoint(&test));
+            assert_eq!(train.len() + test.len(), 50);
+        }
+    }
+
+    #[test]
+    fn fold_sizes_balanced() {
+        let folds = k_fold(103, 10, 3);
+        let sizes: Vec<usize> = folds.iter().map(|f| f.test.len()).collect();
+        assert_eq!(sizes.iter().sum::<usize>(), 103);
+        assert!(sizes.iter().max().unwrap() - sizes.iter().min().unwrap() <= 1);
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        assert_eq!(k_fold(20, 4, 7), k_fold(20, 4, 7));
+        assert_ne!(k_fold(20, 4, 7), k_fold(20, 4, 8));
+    }
+
+    #[test]
+    #[should_panic(expected = "more folds")]
+    fn too_many_folds_panics() {
+        let _ = k_fold(3, 10, 1);
+    }
+}

@@ -1,0 +1,134 @@
+//! Learning-curve recording for Figures 5–7.
+//!
+//! The paper plots test MRR against both epoch and wall-clock time.
+//! [`LearningCurve`] records `(elapsed seconds, epoch, metric)` points and
+//! renders the two views.
+
+use serde::{Deserialize, Serialize};
+use std::time::Instant;
+
+/// One recorded point.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CurvePoint {
+    /// Seconds since the curve was started.
+    pub seconds: f64,
+    /// Epoch index (1-based).
+    pub epoch: usize,
+    /// Metric value (e.g. test MRR).
+    pub metric: f64,
+}
+
+/// A named learning curve with its own clock.
+#[derive(Debug, Clone)]
+pub struct LearningCurve {
+    name: String,
+    started: Instant,
+    points: Vec<CurvePoint>,
+}
+
+impl LearningCurve {
+    /// Starts a curve; the clock begins now.
+    pub fn start(name: impl Into<String>) -> Self {
+        LearningCurve {
+            name: name.into(),
+            started: Instant::now(),
+            points: Vec::new(),
+        }
+    }
+
+    /// The curve's name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Records a point at the current wall-clock offset.
+    pub fn record(&mut self, epoch: usize, metric: f64) {
+        self.points.push(CurvePoint {
+            seconds: self.started.elapsed().as_secs_f64(),
+            epoch,
+            metric,
+        });
+    }
+
+    /// Records a point with an explicit timestamp (for simulated time).
+    pub fn record_at(&mut self, seconds: f64, epoch: usize, metric: f64) {
+        self.points.push(CurvePoint {
+            seconds,
+            epoch,
+            metric,
+        });
+    }
+
+    /// All recorded points in order.
+    pub fn points(&self) -> &[CurvePoint] {
+        &self.points
+    }
+
+    /// The best (maximum) metric seen.
+    pub fn best(&self) -> Option<f64> {
+        self.points
+            .iter()
+            .map(|p| p.metric)
+            .fold(None, |acc, m| Some(acc.map_or(m, |a: f64| a.max(m))))
+    }
+
+    /// Renders a `metric vs epoch` table (TSV) for plotting.
+    pub fn by_epoch_tsv(&self) -> String {
+        let mut out = format!("# {}\n# epoch\tmetric\n", self.name);
+        for p in &self.points {
+            out.push_str(&format!("{}\t{:.6}\n", p.epoch, p.metric));
+        }
+        out
+    }
+
+    /// Renders a `metric vs seconds` table (TSV) for plotting.
+    pub fn by_time_tsv(&self) -> String {
+        let mut out = format!("# {}\n# seconds\tmetric\n", self.name);
+        for p in &self.points {
+            out.push_str(&format!("{:.3}\t{:.6}\n", p.seconds, p.metric));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn records_points_in_order() {
+        let mut c = LearningCurve::start("test");
+        c.record(1, 0.1);
+        c.record(2, 0.2);
+        assert_eq!(c.points().len(), 2);
+        assert!(c.points()[0].seconds <= c.points()[1].seconds);
+        assert_eq!(c.points()[1].epoch, 2);
+    }
+
+    #[test]
+    fn best_tracks_maximum() {
+        let mut c = LearningCurve::start("test");
+        assert_eq!(c.best(), None);
+        c.record(1, 0.3);
+        c.record(2, 0.5);
+        c.record(3, 0.4);
+        assert_eq!(c.best(), Some(0.5));
+    }
+
+    #[test]
+    fn explicit_timestamps() {
+        let mut c = LearningCurve::start("sim");
+        c.record_at(100.0, 1, 0.2);
+        assert_eq!(c.points()[0].seconds, 100.0);
+    }
+
+    #[test]
+    fn tsv_outputs_contain_points() {
+        let mut c = LearningCurve::start("curve");
+        c.record_at(1.5, 1, 0.25);
+        let by_epoch = c.by_epoch_tsv();
+        assert!(by_epoch.contains("1\t0.250000"));
+        let by_time = c.by_time_tsv();
+        assert!(by_time.contains("1.500\t0.250000"));
+    }
+}

@@ -1,0 +1,136 @@
+//! Micro- and macro-averaged F1 for multi-label prediction.
+//!
+//! Table 1 (right) reports Micro-F1 and Macro-F1 on YouTube user
+//! categories. Micro-F1 pools true/false positives across classes;
+//! Macro-F1 averages per-class F1 (classes that never appear in truth or
+//! prediction contribute F1 = 0, the convention used by DeepWalk and
+//! MILE's published evaluations).
+
+use serde::{Deserialize, Serialize};
+
+/// Micro/macro F1 summary.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct F1Scores {
+    /// Pooled-count F1.
+    pub micro: f64,
+    /// Unweighted mean of per-class F1.
+    pub macro_: f64,
+}
+
+/// Computes micro/macro F1 from parallel truth/prediction label sets.
+///
+/// Each element is a sorted list of class ids for one example.
+///
+/// # Panics
+///
+/// Panics if the slices have different lengths or `num_classes == 0`.
+pub fn f1_scores(truth: &[Vec<u16>], predicted: &[Vec<u16>], num_classes: u16) -> F1Scores {
+    assert_eq!(truth.len(), predicted.len(), "truth/prediction mismatch");
+    assert!(num_classes > 0, "need at least one class");
+    let mut tp = vec![0usize; num_classes as usize];
+    let mut fp = vec![0usize; num_classes as usize];
+    let mut fn_ = vec![0usize; num_classes as usize];
+    for (t, p) in truth.iter().zip(predicted) {
+        for &class in p {
+            if t.binary_search(&class).is_ok() {
+                tp[class as usize] += 1;
+            } else {
+                fp[class as usize] += 1;
+            }
+        }
+        for &class in t {
+            if p.binary_search(&class).is_err() {
+                fn_[class as usize] += 1;
+            }
+        }
+    }
+    let micro = {
+        let tp_sum: usize = tp.iter().sum();
+        let fp_sum: usize = fp.iter().sum();
+        let fn_sum: usize = fn_.iter().sum();
+        f1(tp_sum, fp_sum, fn_sum)
+    };
+    let mut macro_sum = 0.0;
+    let mut active = 0usize;
+    for c in 0..num_classes as usize {
+        if tp[c] + fp[c] + fn_[c] > 0 {
+            macro_sum += f1(tp[c], fp[c], fn_[c]);
+            active += 1;
+        }
+    }
+    let macro_ = if active == 0 {
+        0.0
+    } else {
+        macro_sum / active as f64
+    };
+    F1Scores { micro, macro_ }
+}
+
+fn f1(tp: usize, fp: usize, fn_: usize) -> f64 {
+    if tp == 0 {
+        return 0.0;
+    }
+    let precision = tp as f64 / (tp + fp) as f64;
+    let recall = tp as f64 / (tp + fn_) as f64;
+    2.0 * precision * recall / (precision + recall)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn perfect_prediction_is_one() {
+        let truth = vec![vec![0u16], vec![1], vec![0, 1]];
+        let s = f1_scores(&truth, &truth, 2);
+        assert_eq!(s.micro, 1.0);
+        assert_eq!(s.macro_, 1.0);
+    }
+
+    #[test]
+    fn completely_wrong_is_zero() {
+        let truth = vec![vec![0u16], vec![0]];
+        let pred = vec![vec![1u16], vec![1]];
+        let s = f1_scores(&truth, &pred, 2);
+        assert_eq!(s.micro, 0.0);
+        assert_eq!(s.macro_, 0.0);
+    }
+
+    #[test]
+    fn known_counts() {
+        // class 0: tp=1, fp=1, fn=0 -> P=0.5, R=1 -> F1=2/3
+        // class 1: tp=0, fp=0, fn=1 -> F1=0
+        let truth = vec![vec![0u16], vec![0], vec![1]];
+        let pred = vec![vec![0u16], vec![0, 0], vec![]];
+        // note: pred[1] has duplicate 0s -> counted twice as tp; keep sets
+        let pred = vec![pred[0].clone(), vec![0u16], vec![]];
+        let _ = pred;
+        let pred = vec![vec![0u16], vec![0u16], vec![0u16]];
+        let s = f1_scores(&truth, &pred, 2);
+        // tp0=2, fp0=1, fn0=0; tp1=0, fp1=0, fn1=1
+        // micro: tp=2, fp=1, fn=1 -> P=2/3, R=2/3 -> F1=2/3
+        assert!((s.micro - 2.0 / 3.0).abs() < 1e-9);
+        // class0 F1 = 2*(2/3*1)/(2/3+1) = 0.8; class1 F1 = 0 -> macro 0.4
+        assert!((s.macro_ - 0.4).abs() < 1e-9);
+    }
+
+    #[test]
+    fn micro_dominated_by_frequent_class() {
+        // frequent class predicted perfectly; rare class missed
+        let mut truth = vec![vec![0u16]; 99];
+        truth.push(vec![1u16]);
+        let mut pred = vec![vec![0u16]; 99];
+        pred.push(vec![0u16]);
+        let s = f1_scores(&truth, &pred, 2);
+        assert!(s.micro > 0.95, "micro {}", s.micro);
+        assert!(s.macro_ < 0.6, "macro {}", s.macro_);
+    }
+
+    #[test]
+    fn empty_sets_ok() {
+        let truth = vec![vec![], vec![0u16]];
+        let pred = vec![vec![], vec![0u16]];
+        let s = f1_scores(&truth, &pred, 1);
+        assert_eq!(s.micro, 1.0);
+    }
+}

@@ -1,0 +1,25 @@
+//! Evaluation substrate for `pbg-rs`.
+//!
+//! The paper evaluates embeddings two ways: **link prediction** (rank the
+//! true edge among sampled corruptions — MRR, MR, Hits@10; §5.2, §5.4)
+//! and **downstream node classification** (one-vs-rest logistic regression
+//! on the embeddings, micro/macro F1 with 10-fold cross-validation; §5.3).
+//! This crate provides both, plus the learning-curve recorder behind
+//! Figures 5–7.
+//!
+//! - [`ranking`]: rank accumulation → MRR / MR / Hits@K.
+//! - [`logreg`]: L2-regularized logistic regression trained with SGD.
+//! - [`f1`]: micro- and macro-averaged F1 for multi-label prediction.
+//! - [`crossval`]: k-fold index splitting.
+//! - [`curve`]: `(wall-clock, epoch, metric)` learning curves.
+
+pub mod crossval;
+pub mod curve;
+pub mod f1;
+pub mod logreg;
+pub mod ranking;
+
+pub use curve::LearningCurve;
+pub use f1::F1Scores;
+pub use logreg::LogisticRegression;
+pub use ranking::{RankingAccumulator, RankingMetrics};

@@ -1,0 +1,99 @@
+//! Property-based tests for the evaluation substrate.
+
+use pbg_eval::crossval::k_fold;
+use pbg_eval::f1::f1_scores;
+use pbg_eval::ranking::RankingAccumulator;
+use proptest::prelude::*;
+use std::collections::HashSet;
+
+proptest! {
+    #[test]
+    fn ranking_metrics_are_bounded(ranks in proptest::collection::vec(1u32..1000, 1..200)) {
+        let mut acc = RankingAccumulator::new();
+        for &r in &ranks {
+            acc.push(r as f64);
+        }
+        let m = acc.finish();
+        prop_assert!(m.mrr > 0.0 && m.mrr <= 1.0);
+        prop_assert!(m.mr >= 1.0);
+        prop_assert!(m.hits_at_1 <= m.hits_at_10);
+        prop_assert!(m.hits_at_10 <= m.hits_at_50);
+        prop_assert_eq!(m.count, ranks.len());
+        // MRR >= 1/MR by Jensen's inequality
+        prop_assert!(m.mrr >= 1.0 / m.mr - 1e-9);
+    }
+
+    #[test]
+    fn merged_accumulators_match_sequential(
+        a in proptest::collection::vec(1u32..100, 1..50),
+        b in proptest::collection::vec(1u32..100, 1..50),
+    ) {
+        let mut merged = RankingAccumulator::new();
+        let mut left = RankingAccumulator::new();
+        let mut right = RankingAccumulator::new();
+        for &r in &a {
+            merged.push(r as f64);
+            left.push(r as f64);
+        }
+        for &r in &b {
+            merged.push(r as f64);
+            right.push(r as f64);
+        }
+        left.merge(&right);
+        let m1 = merged.finish();
+        let m2 = left.finish();
+        prop_assert!((m1.mrr - m2.mrr).abs() < 1e-12);
+        prop_assert!((m1.mr - m2.mr).abs() < 1e-12);
+        prop_assert_eq!(m1.count, m2.count);
+    }
+
+    #[test]
+    fn push_scores_rank_matches_definition(
+        pos in -5.0f32..5.0,
+        cands in proptest::collection::vec(-5.0f32..5.0, 1..100),
+    ) {
+        let mut acc = RankingAccumulator::new();
+        acc.push_scores(pos, &cands);
+        let m = acc.finish();
+        let better = cands.iter().filter(|&&c| c > pos).count() as f64;
+        let ties = cands.iter().filter(|&&c| c == pos).count() as f64;
+        prop_assert!((m.mr - (better + 1.0 + ties / 2.0)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn k_fold_partitions_exactly(n in 2usize..300, seed in 0u64..100) {
+        let k = (n / 2).clamp(2, 10);
+        let folds = k_fold(n, k, seed);
+        let mut seen = HashSet::new();
+        for f in &folds {
+            for &i in &f.test {
+                prop_assert!(seen.insert(i), "index {} repeated", i);
+            }
+            let train: HashSet<usize> = f.train.iter().copied().collect();
+            for &i in &f.test {
+                prop_assert!(!train.contains(&i));
+            }
+            prop_assert_eq!(f.train.len() + f.test.len(), n);
+        }
+        prop_assert_eq!(seen.len(), n);
+    }
+
+    #[test]
+    fn f1_is_bounded_and_perfect_on_self(
+        truth in proptest::collection::vec(
+            proptest::collection::btree_set(0u16..6, 0..4), 1..60
+        ),
+    ) {
+        let truth: Vec<Vec<u16>> = truth
+            .into_iter()
+            .map(|s| s.into_iter().collect())
+            .collect();
+        let s = f1_scores(&truth, &truth, 6);
+        prop_assert!((0.0..=1.0).contains(&s.micro));
+        prop_assert!((0.0..=1.0).contains(&s.macro_));
+        // perfect prediction: micro is 1 whenever any label exists
+        if truth.iter().any(|t| !t.is_empty()) {
+            prop_assert!((s.micro - 1.0).abs() < 1e-12);
+        }
+    }
+}

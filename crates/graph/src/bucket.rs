@@ -1,0 +1,262 @@
+//! Edge buckets: the block decomposition of the adjacency matrix.
+//!
+//! After entities are partitioned, "edges are divided into buckets based on
+//! their source and destination entities' partitions" (§4.1): an edge with
+//! source in partition `p1` and destination in `p2` lands in bucket
+//! `(p1, p2)`. Training iterates one bucket at a time so that only two
+//! embedding partitions must be resident; in distributed mode buckets with
+//! disjoint partitions run in parallel.
+
+use crate::edges::EdgeList;
+use crate::ids::Partition;
+use crate::partition::EntityPartitioning;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Identifier of one edge bucket: the partition pair of its endpoints.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+pub struct BucketId {
+    /// Partition of the source entities.
+    pub src: Partition,
+    /// Partition of the destination entities.
+    pub dst: Partition,
+}
+
+impl BucketId {
+    /// Creates a bucket id.
+    pub fn new(src: impl Into<Partition>, dst: impl Into<Partition>) -> Self {
+        BucketId {
+            src: src.into(),
+            dst: dst.into(),
+        }
+    }
+
+    /// The (at most two) distinct partitions this bucket touches.
+    pub fn partitions(&self) -> impl Iterator<Item = Partition> {
+        let same = self.src == self.dst;
+        std::iter::once(self.src).chain((!same).then_some(self.dst))
+    }
+
+    /// `true` when this bucket shares a partition with `other` — such
+    /// buckets cannot train concurrently (§4.2).
+    pub fn conflicts_with(&self, other: &BucketId) -> bool {
+        self.src == other.src
+            || self.src == other.dst
+            || self.dst == other.src
+            || self.dst == other.dst
+    }
+}
+
+impl fmt::Display for BucketId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "({}, {})", self.src, self.dst)
+    }
+}
+
+/// Edges grouped into buckets over a `P_src × P_dst` grid.
+#[derive(Debug, Clone)]
+pub struct Buckets {
+    src_parts: u32,
+    dst_parts: u32,
+    buckets: Vec<EdgeList>,
+}
+
+impl Buckets {
+    /// Groups `edges` into buckets given the partitionings of the source
+    /// and destination entity types.
+    ///
+    /// For multi-entity-type graphs, pass per-edge partitionings via
+    /// [`Buckets::from_edges_with`].
+    pub fn from_edges(
+        edges: &EdgeList,
+        src_partitioning: &EntityPartitioning,
+        dst_partitioning: &EntityPartitioning,
+    ) -> Self {
+        Self::from_edges_with(edges, |_rel| (*src_partitioning, *dst_partitioning))
+    }
+
+    /// Groups `edges` into buckets, looking up the endpoint partitionings
+    /// per relation type (multi-entity-type graphs have different source
+    /// and destination entity types per relation).
+    ///
+    /// All partitioned entity types must share the same partition count
+    /// (enforced by [`crate::schema::GraphSchema`]); unpartitioned types
+    /// map every entity to partition 0, so e.g. user→product edges bucket
+    /// only by the user partition (Figure 1, center).
+    pub fn from_edges_with(
+        edges: &EdgeList,
+        partitionings: impl Fn(u32) -> (EntityPartitioning, EntityPartitioning),
+    ) -> Self {
+        let mut src_parts = 1u32;
+        let mut dst_parts = 1u32;
+        let n = edges.len();
+        let mut assignment = Vec::with_capacity(n);
+        for i in 0..n {
+            let e = edges.get(i);
+            let (sp, dp) = partitionings(e.rel.0);
+            src_parts = src_parts.max(sp.num_partitions());
+            dst_parts = dst_parts.max(dp.num_partitions());
+            assignment.push((sp.partition_of(e.src).0, dp.partition_of(e.dst).0));
+        }
+        let mut buckets: Vec<EdgeList> =
+            vec![EdgeList::new(); (src_parts * dst_parts) as usize];
+        for (i, (ps, pd)) in assignment.into_iter().enumerate() {
+            let idx = (ps * dst_parts + pd) as usize;
+            let e = edges.get(i);
+            if edges.has_weights() {
+                buckets[idx].push_weighted(e, edges.weight(i));
+            } else {
+                buckets[idx].push(e);
+            }
+        }
+        Buckets {
+            src_parts,
+            dst_parts,
+            buckets,
+        }
+    }
+
+    /// Number of source partitions.
+    pub fn src_parts(&self) -> u32 {
+        self.src_parts
+    }
+
+    /// Number of destination partitions.
+    pub fn dst_parts(&self) -> u32 {
+        self.dst_parts
+    }
+
+    /// Total bucket count (`P_src × P_dst`).
+    pub fn len(&self) -> usize {
+        self.buckets.len()
+    }
+
+    /// `true` when the grid is empty.
+    pub fn is_empty(&self) -> bool {
+        self.buckets.is_empty()
+    }
+
+    /// The edges of bucket `id`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is outside the grid.
+    pub fn bucket(&self, id: BucketId) -> &EdgeList {
+        assert!(
+            id.src.0 < self.src_parts && id.dst.0 < self.dst_parts,
+            "bucket {id} outside {}x{} grid",
+            self.src_parts,
+            self.dst_parts
+        );
+        &self.buckets[(id.src.0 * self.dst_parts + id.dst.0) as usize]
+    }
+
+    /// Iterates over `(BucketId, &EdgeList)` in row-major order.
+    pub fn iter(&self) -> impl Iterator<Item = (BucketId, &EdgeList)> {
+        self.buckets.iter().enumerate().map(move |(i, edges)| {
+            let src = i as u32 / self.dst_parts;
+            let dst = i as u32 % self.dst_parts;
+            (BucketId::new(src, dst), edges)
+        })
+    }
+
+    /// All bucket ids in the grid, row-major.
+    pub fn ids(&self) -> Vec<BucketId> {
+        self.iter().map(|(id, _)| id).collect()
+    }
+
+    /// Total edges across buckets.
+    pub fn total_edges(&self) -> usize {
+        self.buckets.iter().map(|b| b.len()).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::edges::Edge;
+
+    fn edges_mod(n: u32) -> EdgeList {
+        (0..n).map(|i| Edge::new(i, 0u32, (i * 7 + 1) % n)).collect()
+    }
+
+    #[test]
+    fn every_edge_lands_in_matching_bucket() {
+        let edges = edges_mod(100);
+        let p = EntityPartitioning::new(100, 4);
+        let buckets = Buckets::from_edges(&edges, &p, &p);
+        assert_eq!(buckets.len(), 16);
+        assert_eq!(buckets.total_edges(), 100);
+        for (id, bucket) in buckets.iter() {
+            for e in bucket.iter() {
+                assert_eq!(p.partition_of(e.src), id.src);
+                assert_eq!(p.partition_of(e.dst), id.dst);
+            }
+        }
+    }
+
+    #[test]
+    fn unpartitioned_tail_gives_p_buckets() {
+        let edges = edges_mod(60);
+        let src_p = EntityPartitioning::new(60, 4);
+        let dst_p = EntityPartitioning::unpartitioned(60);
+        let buckets = Buckets::from_edges(&edges, &src_p, &dst_p);
+        assert_eq!(buckets.len(), 4, "P buckets when tail unpartitioned");
+    }
+
+    #[test]
+    fn single_partition_single_bucket() {
+        let edges = edges_mod(10);
+        let p = EntityPartitioning::unpartitioned(10);
+        let buckets = Buckets::from_edges(&edges, &p, &p);
+        assert_eq!(buckets.len(), 1);
+        assert_eq!(buckets.bucket(BucketId::new(0u32, 0u32)).len(), 10);
+    }
+
+    #[test]
+    fn conflicts_detect_shared_partitions() {
+        let a = BucketId::new(0u32, 1u32);
+        assert!(a.conflicts_with(&BucketId::new(1u32, 2u32)));
+        assert!(a.conflicts_with(&BucketId::new(0u32, 3u32)));
+        assert!(!a.conflicts_with(&BucketId::new(2u32, 3u32)));
+        assert!(a.conflicts_with(&a));
+    }
+
+    #[test]
+    fn partitions_iterator_dedups_diagonal() {
+        let diag = BucketId::new(2u32, 2u32);
+        assert_eq!(diag.partitions().count(), 1);
+        let off = BucketId::new(1u32, 2u32);
+        assert_eq!(off.partitions().count(), 2);
+    }
+
+    #[test]
+    fn weights_survive_bucketing() {
+        let mut edges = EdgeList::new();
+        edges.push_weighted(Edge::new(0u32, 0u32, 1u32), 5.0);
+        edges.push_weighted(Edge::new(1u32, 0u32, 0u32), 7.0);
+        let p = EntityPartitioning::new(2, 2);
+        let buckets = Buckets::from_edges(&edges, &p, &p);
+        let b01 = buckets.bucket(BucketId::new(0u32, 1u32));
+        assert_eq!(b01.len(), 1);
+        assert_eq!(b01.weight(0), 5.0);
+    }
+
+    #[test]
+    fn ids_are_row_major() {
+        let edges = edges_mod(10);
+        let p = EntityPartitioning::new(10, 2);
+        let buckets = Buckets::from_edges(&edges, &p, &p);
+        assert_eq!(
+            buckets.ids(),
+            vec![
+                BucketId::new(0u32, 0u32),
+                BucketId::new(0u32, 1u32),
+                BucketId::new(1u32, 0u32),
+                BucketId::new(1u32, 1u32),
+            ]
+        );
+    }
+}

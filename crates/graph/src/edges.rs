@@ -1,0 +1,371 @@
+//! Struct-of-arrays edge storage.
+//!
+//! PBG's input is a list of positive edges `(source, relation,
+//! destination)`. [`EdgeList`] stores the three columns separately for
+//! cache-friendly scans (training touches one column at a time when
+//! grouping by relation or corrupting one side) plus an optional
+//! per-edge weight column.
+
+use crate::ids::{EntityId, RelationTypeId};
+
+/// One edge, as a value type for iteration and construction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Edge {
+    /// Source entity (id within its entity type).
+    pub src: EntityId,
+    /// Relation type.
+    pub rel: RelationTypeId,
+    /// Destination entity (id within its entity type).
+    pub dst: EntityId,
+}
+
+impl Edge {
+    /// Creates an edge.
+    pub fn new(
+        src: impl Into<EntityId>,
+        rel: impl Into<RelationTypeId>,
+        dst: impl Into<EntityId>,
+    ) -> Self {
+        Edge {
+            src: src.into(),
+            rel: rel.into(),
+            dst: dst.into(),
+        }
+    }
+}
+
+/// A columnar list of edges.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct EdgeList {
+    src: Vec<u32>,
+    rel: Vec<u32>,
+    dst: Vec<u32>,
+    weight: Option<Vec<f32>>,
+}
+
+impl EdgeList {
+    /// Creates an empty edge list.
+    pub fn new() -> Self {
+        EdgeList::default()
+    }
+
+    /// Creates an empty edge list with reserved capacity.
+    pub fn with_capacity(cap: usize) -> Self {
+        EdgeList {
+            src: Vec::with_capacity(cap),
+            rel: Vec::with_capacity(cap),
+            dst: Vec::with_capacity(cap),
+            weight: None,
+        }
+    }
+
+    /// Builds an edge list from raw columns.
+    ///
+    /// # Panics
+    ///
+    /// Panics if column lengths differ.
+    pub fn from_columns(src: Vec<u32>, rel: Vec<u32>, dst: Vec<u32>) -> Self {
+        assert_eq!(src.len(), rel.len(), "from_columns: length mismatch");
+        assert_eq!(src.len(), dst.len(), "from_columns: length mismatch");
+        EdgeList {
+            src,
+            rel,
+            dst,
+            weight: None,
+        }
+    }
+
+    /// Appends an edge.
+    pub fn push(&mut self, edge: Edge) {
+        self.src.push(edge.src.0);
+        self.rel.push(edge.rel.0);
+        self.dst.push(edge.dst.0);
+        if let Some(w) = &mut self.weight {
+            w.push(1.0);
+        }
+    }
+
+    /// Appends an edge with an explicit weight, materializing the weight
+    /// column (backfilled with 1.0) if absent.
+    pub fn push_weighted(&mut self, edge: Edge, weight: f32) {
+        if self.weight.is_none() {
+            self.weight = Some(vec![1.0; self.src.len()]);
+        }
+        self.src.push(edge.src.0);
+        self.rel.push(edge.rel.0);
+        self.dst.push(edge.dst.0);
+        self.weight.as_mut().expect("just materialized").push(weight);
+    }
+
+    /// Number of edges.
+    pub fn len(&self) -> usize {
+        self.src.len()
+    }
+
+    /// `true` when there are no edges.
+    pub fn is_empty(&self) -> bool {
+        self.src.is_empty()
+    }
+
+    /// The edge at `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= len()`.
+    #[inline]
+    pub fn get(&self, i: usize) -> Edge {
+        Edge {
+            src: EntityId(self.src[i]),
+            rel: RelationTypeId(self.rel[i]),
+            dst: EntityId(self.dst[i]),
+        }
+    }
+
+    /// Weight of edge `i` (1.0 when no weight column exists).
+    #[inline]
+    pub fn weight(&self, i: usize) -> f32 {
+        match &self.weight {
+            Some(w) => w[i],
+            None => 1.0,
+        }
+    }
+
+    /// `true` if a weight column is present.
+    pub fn has_weights(&self) -> bool {
+        self.weight.is_some()
+    }
+
+    /// Source column.
+    pub fn sources(&self) -> &[u32] {
+        &self.src
+    }
+
+    /// Relation column.
+    pub fn relations(&self) -> &[u32] {
+        &self.rel
+    }
+
+    /// Destination column.
+    pub fn destinations(&self) -> &[u32] {
+        &self.dst
+    }
+
+    /// Iterates over edges as values.
+    pub fn iter(&self) -> impl Iterator<Item = Edge> + '_ {
+        (0..self.len()).map(move |i| self.get(i))
+    }
+
+    /// Shuffles edges in place with the Fisher–Yates algorithm.
+    pub fn shuffle(&mut self, rng: &mut pbg_tensor::rng::Xoshiro256) {
+        for i in (1..self.len()).rev() {
+            let j = rng.gen_index(i + 1);
+            self.src.swap(i, j);
+            self.rel.swap(i, j);
+            self.dst.swap(i, j);
+            if let Some(w) = &mut self.weight {
+                w.swap(i, j);
+            }
+        }
+    }
+
+    /// Returns the sub-list of edges at `indices`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any index is out of range.
+    pub fn select(&self, indices: &[usize]) -> EdgeList {
+        let mut out = EdgeList::with_capacity(indices.len());
+        if self.weight.is_some() {
+            out.weight = Some(Vec::with_capacity(indices.len()));
+        }
+        for &i in indices {
+            out.src.push(self.src[i]);
+            out.rel.push(self.rel[i]);
+            out.dst.push(self.dst[i]);
+            if let (Some(w_out), Some(w)) = (&mut out.weight, &self.weight) {
+                w_out.push(w[i]);
+            }
+        }
+        out
+    }
+
+    /// Splits the list into `n` nearly-equal contiguous chunks (for
+    /// dividing a bucket's edges among HOGWILD threads, or the stratified
+    /// sub-epoch scheme of §4.1 footnote 3).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0`.
+    pub fn chunks(&self, n: usize) -> Vec<EdgeList> {
+        assert!(n > 0, "chunks: n must be positive");
+        let total = self.len();
+        let base = total / n;
+        let rem = total % n;
+        let mut out = Vec::with_capacity(n);
+        let mut start = 0usize;
+        for k in 0..n {
+            let size = base + usize::from(k < rem);
+            let idx: Vec<usize> = (start..start + size).collect();
+            out.push(self.select(&idx));
+            start += size;
+        }
+        out
+    }
+
+    /// Appends all edges of `other`.
+    pub fn extend_from(&mut self, other: &EdgeList) {
+        for i in 0..other.len() {
+            if other.has_weights() || self.has_weights() {
+                self.push_weighted(other.get(i), other.weight(i));
+            } else {
+                self.push(other.get(i));
+            }
+        }
+    }
+
+    /// Resident bytes (for memory accounting).
+    pub fn bytes(&self) -> usize {
+        self.src.len() * 4
+            + self.rel.len() * 4
+            + self.dst.len() * 4
+            + self.weight.as_ref().map_or(0, |w| w.len() * 4)
+    }
+
+    /// Counts in-degree + out-degree per entity over `num_entities` ids
+    /// (single-entity-type graphs), used to build prevalence-based
+    /// negative samplers.
+    pub fn degree_counts(&self, num_entities: usize) -> Vec<f32> {
+        let mut counts = vec![0.0f32; num_entities];
+        for &s in &self.src {
+            counts[s as usize] += 1.0;
+        }
+        for &d in &self.dst {
+            counts[d as usize] += 1.0;
+        }
+        counts
+    }
+}
+
+impl FromIterator<Edge> for EdgeList {
+    fn from_iter<T: IntoIterator<Item = Edge>>(iter: T) -> Self {
+        let mut list = EdgeList::new();
+        for e in iter {
+            list.push(e);
+        }
+        list
+    }
+}
+
+impl Extend<Edge> for EdgeList {
+    fn extend<T: IntoIterator<Item = Edge>>(&mut self, iter: T) {
+        for e in iter {
+            self.push(e);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pbg_tensor::rng::Xoshiro256;
+
+    fn sample_list() -> EdgeList {
+        (0..10u32).map(|i| Edge::new(i, 0u32, (i + 1) % 10)).collect()
+    }
+
+    #[test]
+    fn push_and_get() {
+        let mut l = EdgeList::new();
+        l.push(Edge::new(1u32, 2u32, 3u32));
+        assert_eq!(l.len(), 1);
+        assert_eq!(l.get(0), Edge::new(1u32, 2u32, 3u32));
+        assert_eq!(l.weight(0), 1.0);
+        assert!(!l.has_weights());
+    }
+
+    #[test]
+    fn weights_backfill() {
+        let mut l = EdgeList::new();
+        l.push(Edge::new(0u32, 0u32, 1u32));
+        l.push_weighted(Edge::new(1u32, 0u32, 2u32), 3.0);
+        assert!(l.has_weights());
+        assert_eq!(l.weight(0), 1.0);
+        assert_eq!(l.weight(1), 3.0);
+    }
+
+    #[test]
+    fn shuffle_preserves_multiset() {
+        let mut l = sample_list();
+        let mut before: Vec<Edge> = l.iter().collect();
+        let mut rng = Xoshiro256::seed_from_u64(1);
+        l.shuffle(&mut rng);
+        let mut after: Vec<Edge> = l.iter().collect();
+        before.sort_by_key(|e| (e.src.0, e.dst.0));
+        after.sort_by_key(|e| (e.src.0, e.dst.0));
+        assert_eq!(before, after);
+    }
+
+    #[test]
+    fn shuffle_keeps_weight_attached() {
+        let mut l = EdgeList::new();
+        for i in 0..20u32 {
+            l.push_weighted(Edge::new(i, 0u32, i), i as f32);
+        }
+        let mut rng = Xoshiro256::seed_from_u64(2);
+        l.shuffle(&mut rng);
+        for i in 0..l.len() {
+            assert_eq!(l.get(i).src.0 as f32, l.weight(i), "weight detached from edge");
+        }
+    }
+
+    #[test]
+    fn chunks_cover_everything() {
+        let l = sample_list();
+        let chunks = l.chunks(3);
+        assert_eq!(chunks.len(), 3);
+        let total: usize = chunks.iter().map(|c| c.len()).sum();
+        assert_eq!(total, l.len());
+        // sizes differ by at most one
+        let sizes: Vec<usize> = chunks.iter().map(|c| c.len()).collect();
+        assert!(sizes.iter().max().unwrap() - sizes.iter().min().unwrap() <= 1);
+    }
+
+    #[test]
+    fn chunks_more_than_edges() {
+        let l = sample_list();
+        let chunks = l.chunks(20);
+        let total: usize = chunks.iter().map(|c| c.len()).sum();
+        assert_eq!(total, 10);
+        assert_eq!(chunks.len(), 20);
+    }
+
+    #[test]
+    fn select_picks_rows() {
+        let l = sample_list();
+        let s = l.select(&[0, 5]);
+        assert_eq!(s.len(), 2);
+        assert_eq!(s.get(1), l.get(5));
+    }
+
+    #[test]
+    fn degree_counts_sum_to_twice_edges() {
+        let l = sample_list();
+        let deg = l.degree_counts(10);
+        let total: f32 = deg.iter().sum();
+        assert_eq!(total, 20.0);
+    }
+
+    #[test]
+    fn extend_from_merges() {
+        let mut a = sample_list();
+        let b = sample_list();
+        a.extend_from(&b);
+        assert_eq!(a.len(), 20);
+    }
+
+    #[test]
+    fn bytes_accounting() {
+        let l = sample_list();
+        assert_eq!(l.bytes(), 10 * 12);
+    }
+}

@@ -1,0 +1,289 @@
+//! Edge-list serialization: a compact binary format and TSV interchange.
+//!
+//! PBG reads edges from a shared filesystem (Figure 2) and checkpoints
+//! partitioned data to disk. The binary format here is what the
+//! disk-swapped storage and the distributed trainer's shared filesystem
+//! use; TSV matches the common `source<TAB>relation<TAB>dest` interchange
+//! of knowledge-graph datasets like FB15k.
+
+use crate::edges::{Edge, EdgeList};
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+use std::fmt;
+use std::io::{self, Read, Write};
+
+const MAGIC: &[u8; 4] = b"PBGE";
+const VERSION: u8 = 1;
+const FLAG_WEIGHTS: u8 = 1;
+
+/// Errors from edge-list (de)serialization.
+#[derive(Debug)]
+pub enum IoError {
+    /// Underlying I/O failure.
+    Io(io::Error),
+    /// The input is not a PBG edge file or is corrupt.
+    BadFormat(String),
+}
+
+impl fmt::Display for IoError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            IoError::Io(e) => write!(f, "i/o error: {e}"),
+            IoError::BadFormat(msg) => write!(f, "bad edge file: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for IoError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            IoError::Io(e) => Some(e),
+            IoError::BadFormat(_) => None,
+        }
+    }
+}
+
+impl From<io::Error> for IoError {
+    fn from(e: io::Error) -> Self {
+        IoError::Io(e)
+    }
+}
+
+/// Encodes an edge list into the binary format.
+pub fn encode_edges(edges: &EdgeList) -> Bytes {
+    let mut buf = BytesMut::with_capacity(16 + edges.len() * 16);
+    buf.put_slice(MAGIC);
+    buf.put_u8(VERSION);
+    buf.put_u8(if edges.has_weights() { FLAG_WEIGHTS } else { 0 });
+    buf.put_u16(0); // reserved
+    buf.put_u64(edges.len() as u64);
+    for &s in edges.sources() {
+        buf.put_u32(s);
+    }
+    for &r in edges.relations() {
+        buf.put_u32(r);
+    }
+    for &d in edges.destinations() {
+        buf.put_u32(d);
+    }
+    if edges.has_weights() {
+        for i in 0..edges.len() {
+            buf.put_f32(edges.weight(i));
+        }
+    }
+    buf.freeze()
+}
+
+/// Decodes an edge list from the binary format.
+///
+/// # Errors
+///
+/// Returns [`IoError::BadFormat`] on a bad magic number, unsupported
+/// version, or truncated payload.
+pub fn decode_edges(mut data: &[u8]) -> Result<EdgeList, IoError> {
+    if data.remaining() < 16 {
+        return Err(IoError::BadFormat("header truncated".into()));
+    }
+    let mut magic = [0u8; 4];
+    data.copy_to_slice(&mut magic);
+    if &magic != MAGIC {
+        return Err(IoError::BadFormat("bad magic".into()));
+    }
+    let version = data.get_u8();
+    if version != VERSION {
+        return Err(IoError::BadFormat(format!("unsupported version {version}")));
+    }
+    let flags = data.get_u8();
+    let _reserved = data.get_u16();
+    let n = data.get_u64() as usize;
+    let has_weights = flags & FLAG_WEIGHTS != 0;
+    let need = n * 12 + if has_weights { n * 4 } else { 0 };
+    if data.remaining() < need {
+        return Err(IoError::BadFormat(format!(
+            "payload truncated: need {need} bytes, have {}",
+            data.remaining()
+        )));
+    }
+    let read_col = |data: &mut &[u8]| -> Vec<u32> {
+        (0..n).map(|_| data.get_u32()).collect()
+    };
+    let src = read_col(&mut data);
+    let rel = read_col(&mut data);
+    let dst = read_col(&mut data);
+    let mut edges = EdgeList::from_columns(src, rel, dst);
+    if has_weights {
+        let weights: Vec<f32> = (0..n).map(|_| data.get_f32()).collect();
+        let mut weighted = EdgeList::new();
+        for (i, e) in edges.iter().enumerate() {
+            weighted.push_weighted(e, weights[i]);
+        }
+        edges = weighted;
+    }
+    Ok(edges)
+}
+
+/// Writes an edge list in binary format.
+///
+/// # Errors
+///
+/// Propagates I/O failures from `writer`. A `&mut` reference can be passed
+/// as the writer.
+pub fn write_edges<W: Write>(mut writer: W, edges: &EdgeList) -> Result<(), IoError> {
+    writer.write_all(&encode_edges(edges))?;
+    Ok(())
+}
+
+/// Reads an edge list in binary format.
+///
+/// # Errors
+///
+/// Propagates I/O failures and format errors. A `&mut` reference can be
+/// passed as the reader.
+pub fn read_edges<R: Read>(mut reader: R) -> Result<EdgeList, IoError> {
+    let mut data = Vec::new();
+    reader.read_to_end(&mut data)?;
+    decode_edges(&data)
+}
+
+/// Writes edges as TSV lines `src\trel\tdst[\tweight]`.
+///
+/// # Errors
+///
+/// Propagates I/O failures from `writer`.
+pub fn write_tsv<W: Write>(mut writer: W, edges: &EdgeList) -> Result<(), IoError> {
+    for i in 0..edges.len() {
+        let e = edges.get(i);
+        if edges.has_weights() {
+            writeln!(writer, "{}\t{}\t{}\t{}", e.src, e.rel, e.dst, edges.weight(i))?;
+        } else {
+            writeln!(writer, "{}\t{}\t{}", e.src, e.rel, e.dst)?;
+        }
+    }
+    Ok(())
+}
+
+/// Parses TSV lines `src\trel\tdst[\tweight]`; blank lines and `#`
+/// comments are skipped.
+///
+/// # Errors
+///
+/// Returns [`IoError::BadFormat`] on unparseable lines.
+pub fn read_tsv<R: Read>(mut reader: R) -> Result<EdgeList, IoError> {
+    let mut text = String::new();
+    reader.read_to_string(&mut text)?;
+    let mut edges = EdgeList::new();
+    for (lineno, line) in text.lines().enumerate() {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let fields: Vec<&str> = line.split('\t').collect();
+        if fields.len() != 3 && fields.len() != 4 {
+            return Err(IoError::BadFormat(format!(
+                "line {}: expected 3 or 4 tab-separated fields, got {}",
+                lineno + 1,
+                fields.len()
+            )));
+        }
+        let parse_u32 = |s: &str| -> Result<u32, IoError> {
+            s.parse()
+                .map_err(|_| IoError::BadFormat(format!("line {}: bad integer `{s}`", lineno + 1)))
+        };
+        let edge = Edge::new(parse_u32(fields[0])?, parse_u32(fields[1])?, parse_u32(fields[2])?);
+        if fields.len() == 4 {
+            let w: f32 = fields[3].parse().map_err(|_| {
+                IoError::BadFormat(format!("line {}: bad weight `{}`", lineno + 1, fields[3]))
+            })?;
+            edges.push_weighted(edge, w);
+        } else {
+            edges.push(edge);
+        }
+    }
+    Ok(edges)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> EdgeList {
+        (0..50u32)
+            .map(|i| Edge::new(i, i % 3, (i * 13 + 1) % 50))
+            .collect()
+    }
+
+    #[test]
+    fn binary_roundtrip() {
+        let edges = sample();
+        let bytes = encode_edges(&edges);
+        let back = decode_edges(&bytes).unwrap();
+        assert_eq!(edges, back);
+    }
+
+    #[test]
+    fn binary_roundtrip_with_weights() {
+        let mut edges = EdgeList::new();
+        edges.push_weighted(Edge::new(1u32, 2u32, 3u32), 0.5);
+        edges.push_weighted(Edge::new(4u32, 5u32, 6u32), 2.5);
+        let back = decode_edges(&encode_edges(&edges)).unwrap();
+        assert_eq!(edges, back);
+        assert_eq!(back.weight(1), 2.5);
+    }
+
+    #[test]
+    fn empty_list_roundtrip() {
+        let edges = EdgeList::new();
+        let back = decode_edges(&encode_edges(&edges)).unwrap();
+        assert!(back.is_empty());
+    }
+
+    #[test]
+    fn bad_magic_rejected() {
+        let err = decode_edges(b"NOPE0000000000000000").unwrap_err();
+        assert!(matches!(err, IoError::BadFormat(_)));
+    }
+
+    #[test]
+    fn truncated_payload_rejected() {
+        let edges = sample();
+        let bytes = encode_edges(&edges);
+        let err = decode_edges(&bytes[..bytes.len() - 4]).unwrap_err();
+        assert!(matches!(err, IoError::BadFormat(_)));
+    }
+
+    #[test]
+    fn tsv_roundtrip() {
+        let edges = sample();
+        let mut buf = Vec::new();
+        write_tsv(&mut buf, &edges).unwrap();
+        let back = read_tsv(&buf[..]).unwrap();
+        assert_eq!(edges, back);
+    }
+
+    #[test]
+    fn tsv_skips_comments_and_blanks() {
+        let text = b"# comment\n\n1\t0\t2\n";
+        let edges = read_tsv(&text[..]).unwrap();
+        assert_eq!(edges.len(), 1);
+        assert_eq!(edges.get(0), Edge::new(1u32, 0u32, 2u32));
+    }
+
+    #[test]
+    fn tsv_bad_line_reports_lineno() {
+        let text = b"1\t0\t2\nbogus line\n";
+        let err = read_tsv(&text[..]).unwrap_err();
+        let msg = err.to_string();
+        assert!(msg.contains("line 2"), "{msg}");
+    }
+
+    #[test]
+    fn file_roundtrip() {
+        let dir = std::env::temp_dir().join("pbg_io_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("edges.bin");
+        let edges = sample();
+        write_edges(std::fs::File::create(&path).unwrap(), &edges).unwrap();
+        let back = read_edges(std::fs::File::open(&path).unwrap()).unwrap();
+        assert_eq!(edges, back);
+        std::fs::remove_file(&path).ok();
+    }
+}

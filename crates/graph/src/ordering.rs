@@ -1,0 +1,296 @@
+//! Bucket iteration orders.
+//!
+//! "For each edge bucket `(p1, p2)` except the first, it is important that
+//! an edge bucket `(p1, *)` or `(*, p2)` was trained in a previous
+//! iteration" (§4.1) — otherwise embeddings in different partitions are
+//! not aligned in the same space. The paper's *inside-out* ordering
+//! satisfies this invariant while also minimizing partition swaps to disk.
+//! This module implements inside-out plus the alternatives used in the
+//! ordering ablation (random, row-major, and a swap-greedy chained order),
+//! an invariant checker, and a disk-swap counter.
+
+use crate::bucket::BucketId;
+use crate::ids::Partition;
+use pbg_tensor::rng::Xoshiro256;
+use serde::{Deserialize, Serialize};
+use std::collections::HashSet;
+
+/// Strategy for ordering the `P_src × P_dst` bucket grid within an epoch.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+pub enum BucketOrdering {
+    /// The paper's ordering (Figure 1, right): start at `(0, 0)` and grow
+    /// the trained-partition set one partition at a time, sweeping each
+    /// new partition's row and column. Always satisfies the invariant and
+    /// reuses one resident partition between consecutive buckets.
+    #[default]
+    InsideOut,
+    /// Row-major `(0,0), (0,1), …` — satisfies the invariant but swaps
+    /// more.
+    RowMajor,
+    /// Uniformly random permutation — violates the invariant with high
+    /// probability; the "bad" arm of the ordering ablation.
+    Random,
+    /// Greedy chain: each next bucket shares a partition with the previous
+    /// one when possible — satisfies the invariant, used to separate
+    /// "invariant satisfied" from "inside-out specifically" in ablations.
+    Chained,
+}
+
+impl BucketOrdering {
+    /// Produces the epoch's bucket sequence for a `src_parts × dst_parts`
+    /// grid.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either dimension is zero.
+    pub fn order(self, src_parts: u32, dst_parts: u32, rng: &mut Xoshiro256) -> Vec<BucketId> {
+        assert!(src_parts > 0 && dst_parts > 0, "empty bucket grid");
+        match self {
+            BucketOrdering::InsideOut => inside_out(src_parts, dst_parts),
+            BucketOrdering::RowMajor => row_major(src_parts, dst_parts),
+            BucketOrdering::Random => {
+                let mut ids = row_major(src_parts, dst_parts);
+                for i in (1..ids.len()).rev() {
+                    let j = rng.gen_index(i + 1);
+                    ids.swap(i, j);
+                }
+                ids
+            }
+            BucketOrdering::Chained => chained(src_parts, dst_parts),
+        }
+    }
+}
+
+fn row_major(src_parts: u32, dst_parts: u32) -> Vec<BucketId> {
+    let mut out = Vec::with_capacity((src_parts * dst_parts) as usize);
+    for s in 0..src_parts {
+        for d in 0..dst_parts {
+            out.push(BucketId::new(s, d));
+        }
+    }
+    out
+}
+
+/// Inside-out: for k = 0..max(P_s, P_d), visit the new column top-to-bottom
+/// then the new row right-to-left:
+/// `(0,0); (0,1),(1,1),(1,0); (0,2),(1,2),(2,2),(2,1),(2,0); …`
+/// Every bucket (after the first) shares a partition index with an earlier
+/// bucket, and consecutive buckets share a partition (minimal swapping).
+fn inside_out(src_parts: u32, dst_parts: u32) -> Vec<BucketId> {
+    let k_max = src_parts.max(dst_parts);
+    let mut out = Vec::with_capacity((src_parts * dst_parts) as usize);
+    for k in 0..k_max {
+        // new column k (if it exists): rows 0..=k top-down
+        if k < dst_parts {
+            for s in 0..=k.min(src_parts - 1) {
+                out.push(BucketId::new(s, k));
+            }
+        }
+        // new row k (if it exists): columns k-1..0 right-to-left
+        if k < src_parts {
+            for d in (0..k.min(dst_parts)).rev() {
+                out.push(BucketId::new(k, d));
+            }
+        }
+    }
+    out
+}
+
+/// Greedy chain: repeatedly pick an unvisited bucket sharing a partition
+/// with the previous bucket (preferring ones that keep one side fixed);
+/// fall back to any bucket sharing a partition with the *trained set* to
+/// preserve the invariant.
+fn chained(src_parts: u32, dst_parts: u32) -> Vec<BucketId> {
+    let all = row_major(src_parts, dst_parts);
+    let mut remaining: HashSet<BucketId> = all.iter().copied().collect();
+    let mut out = Vec::with_capacity(all.len());
+    let mut trained_src: HashSet<Partition> = HashSet::new();
+    let mut trained_dst: HashSet<Partition> = HashSet::new();
+    let mut current = BucketId::new(0u32, 0u32);
+    while !remaining.is_empty() {
+        let next = if out.is_empty() {
+            BucketId::new(0u32, 0u32)
+        } else {
+            // prefer: share a partition with `current`; fallback: share
+            // with trained set; last resort: lexicographically smallest.
+            let mut candidates: Vec<BucketId> = remaining
+                .iter()
+                .copied()
+                .filter(|b| b.conflicts_with(&current))
+                .collect();
+            if candidates.is_empty() {
+                candidates = remaining
+                    .iter()
+                    .copied()
+                    .filter(|b| trained_src.contains(&b.src) || trained_dst.contains(&b.dst))
+                    .collect();
+            }
+            if candidates.is_empty() {
+                candidates = remaining.iter().copied().collect();
+            }
+            candidates.sort();
+            candidates[0]
+        };
+        remaining.remove(&next);
+        trained_src.insert(next.src);
+        trained_dst.insert(next.dst);
+        out.push(next);
+        current = next;
+    }
+    out
+}
+
+/// Counts buckets (beyond the first) violating the alignment invariant:
+/// neither their source partition has appeared as a source, nor their
+/// destination partition as a destination, in any earlier bucket.
+pub fn invariant_violations(order: &[BucketId]) -> usize {
+    let mut seen_src: HashSet<Partition> = HashSet::new();
+    let mut seen_dst: HashSet<Partition> = HashSet::new();
+    let mut violations = 0;
+    for (i, b) in order.iter().enumerate() {
+        if i > 0 && !seen_src.contains(&b.src) && !seen_dst.contains(&b.dst) {
+            violations += 1;
+        }
+        seen_src.insert(b.src);
+        seen_dst.insert(b.dst);
+    }
+    violations
+}
+
+/// Counts partition loads ("swaps from disk") for an order, assuming two
+/// resident partition slots: one for the source side, one for the
+/// destination side. A load is counted whenever the needed partition is
+/// not already resident on its side.
+pub fn swap_count(order: &[BucketId]) -> usize {
+    let mut resident_src: Option<Partition> = None;
+    let mut resident_dst: Option<Partition> = None;
+    let mut swaps = 0;
+    for b in order {
+        if resident_src != Some(b.src) {
+            swaps += 1;
+            resident_src = Some(b.src);
+        }
+        if resident_dst != Some(b.dst) {
+            swaps += 1;
+            resident_dst = Some(b.dst);
+        }
+    }
+    swaps
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn covers_grid(order: &[BucketId], p: u32) -> bool {
+        let set: HashSet<BucketId> = order.iter().copied().collect();
+        set.len() == (p * p) as usize && order.len() == (p * p) as usize
+    }
+
+    #[test]
+    fn inside_out_small_sequence_matches_figure() {
+        let mut rng = Xoshiro256::seed_from_u64(0);
+        let order = BucketOrdering::InsideOut.order(3, 3, &mut rng);
+        let expect: Vec<BucketId> = [
+            (0, 0),
+            (0, 1),
+            (1, 1),
+            (1, 0),
+            (0, 2),
+            (1, 2),
+            (2, 2),
+            (2, 1),
+            (2, 0),
+        ]
+        .iter()
+        .map(|&(s, d)| BucketId::new(s as u32, d as u32))
+        .collect();
+        assert_eq!(order, expect);
+    }
+
+    #[test]
+    fn all_orderings_cover_grid() {
+        let mut rng = Xoshiro256::seed_from_u64(1);
+        for p in [1u32, 2, 3, 4, 7] {
+            for ord in [
+                BucketOrdering::InsideOut,
+                BucketOrdering::RowMajor,
+                BucketOrdering::Random,
+                BucketOrdering::Chained,
+            ] {
+                let order = ord.order(p, p, &mut rng);
+                assert!(covers_grid(&order, p), "{ord:?} P={p} misses buckets");
+            }
+        }
+    }
+
+    #[test]
+    fn inside_out_satisfies_invariant() {
+        let mut rng = Xoshiro256::seed_from_u64(2);
+        for p in [2u32, 4, 8, 16] {
+            let order = BucketOrdering::InsideOut.order(p, p, &mut rng);
+            assert_eq!(invariant_violations(&order), 0, "P={p}");
+        }
+    }
+
+    #[test]
+    fn row_major_and_chained_satisfy_invariant() {
+        let mut rng = Xoshiro256::seed_from_u64(3);
+        for p in [2u32, 4, 8] {
+            for ord in [BucketOrdering::RowMajor, BucketOrdering::Chained] {
+                let order = ord.order(p, p, &mut rng);
+                assert_eq!(invariant_violations(&order), 0, "{ord:?} P={p}");
+            }
+        }
+    }
+
+    #[test]
+    fn random_usually_violates_invariant() {
+        // Over several seeds and P=8, a random order should violate at
+        // least once (probability of accidental validity is tiny).
+        let mut total = 0;
+        for seed in 0..10 {
+            let mut rng = Xoshiro256::seed_from_u64(seed);
+            let order = BucketOrdering::Random.order(8, 8, &mut rng);
+            total += invariant_violations(&order);
+        }
+        assert!(total > 0, "random ordering never violated the invariant");
+    }
+
+    #[test]
+    fn inside_out_swaps_fewer_than_row_major() {
+        let mut rng = Xoshiro256::seed_from_u64(4);
+        for p in [4u32, 8, 16] {
+            let io = swap_count(&BucketOrdering::InsideOut.order(p, p, &mut rng));
+            let rm = swap_count(&BucketOrdering::RowMajor.order(p, p, &mut rng));
+            assert!(io < rm, "P={p}: inside-out {io} vs row-major {rm}");
+        }
+    }
+
+    #[test]
+    fn rectangular_grids_covered() {
+        let mut rng = Xoshiro256::seed_from_u64(5);
+        // P buckets when tail is unpartitioned: 4x1 grid
+        let order = BucketOrdering::InsideOut.order(4, 1, &mut rng);
+        assert_eq!(order.len(), 4);
+        let set: HashSet<BucketId> = order.iter().copied().collect();
+        assert_eq!(set.len(), 4);
+        assert_eq!(invariant_violations(&order), 0);
+
+        let order = BucketOrdering::InsideOut.order(2, 5, &mut rng);
+        assert_eq!(order.len(), 10);
+        let set: HashSet<BucketId> = order.iter().copied().collect();
+        assert_eq!(set.len(), 10);
+    }
+
+    #[test]
+    fn swap_count_single_bucket() {
+        let order = [BucketId::new(0u32, 0u32)];
+        assert_eq!(swap_count(&order), 2, "initial loads count");
+    }
+
+    #[test]
+    fn first_bucket_never_violates() {
+        assert_eq!(invariant_violations(&[BucketId::new(3u32, 4u32)]), 0);
+    }
+}

@@ -1,0 +1,165 @@
+//! Entity partitioning: the global-id ↔ (partition, offset) mapping.
+//!
+//! PBG partitions each (partitioned) entity type "uniformly into different
+//! numbers of partitions" (§5.4.2). We use the modulo mapping
+//! `partition = id mod P`, `offset = id div P`, which spreads heavy-tailed
+//! node ids evenly across partitions regardless of id assignment order and
+//! is invertible without lookup tables.
+
+use crate::ids::{EntityId, Partition};
+
+/// Uniform partitioning of `num_entities` ids into `num_partitions` parts.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EntityPartitioning {
+    num_entities: u32,
+    num_partitions: u32,
+}
+
+impl EntityPartitioning {
+    /// Creates a partitioning.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `num_partitions == 0`.
+    pub fn new(num_entities: u32, num_partitions: u32) -> Self {
+        assert!(num_partitions > 0, "num_partitions must be positive");
+        EntityPartitioning {
+            num_entities,
+            num_partitions,
+        }
+    }
+
+    /// Trivial partitioning (everything in partition 0).
+    pub fn unpartitioned(num_entities: u32) -> Self {
+        EntityPartitioning::new(num_entities, 1)
+    }
+
+    /// Total entity count.
+    pub fn num_entities(&self) -> u32 {
+        self.num_entities
+    }
+
+    /// Partition count `P`.
+    pub fn num_partitions(&self) -> u32 {
+        self.num_partitions
+    }
+
+    /// The partition containing `id`.
+    #[inline]
+    pub fn partition_of(&self, id: EntityId) -> Partition {
+        Partition(id.0 % self.num_partitions)
+    }
+
+    /// The offset of `id` within its partition.
+    #[inline]
+    pub fn offset_of(&self, id: EntityId) -> u32 {
+        id.0 / self.num_partitions
+    }
+
+    /// The global id at `(partition, offset)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the pair does not name a valid entity.
+    #[inline]
+    pub fn global_of(&self, partition: Partition, offset: u32) -> EntityId {
+        let id = offset * self.num_partitions + partition.0;
+        assert!(
+            partition.0 < self.num_partitions && id < self.num_entities,
+            "global_of: ({partition}, {offset}) out of range"
+        );
+        EntityId(id)
+    }
+
+    /// Number of entities in `partition`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `partition` is out of range.
+    pub fn partition_size(&self, partition: Partition) -> u32 {
+        assert!(partition.0 < self.num_partitions, "partition out of range");
+        let p = self.num_partitions;
+        let full = self.num_entities / p;
+        // partitions with index < (num_entities mod P) hold one extra id
+        full + u32::from(partition.0 < self.num_entities % p)
+    }
+
+    /// Largest partition size (buffer sizing for swaps).
+    pub fn max_partition_size(&self) -> u32 {
+        if self.num_partitions == 0 {
+            return 0;
+        }
+        self.partition_size(Partition(0))
+    }
+
+    /// Iterates over all partitions.
+    pub fn partitions(&self) -> impl Iterator<Item = Partition> {
+        (0..self.num_partitions).map(Partition)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_mapping() {
+        let p = EntityPartitioning::new(103, 4);
+        for id in 0..103u32 {
+            let id = EntityId(id);
+            let part = p.partition_of(id);
+            let off = p.offset_of(id);
+            assert_eq!(p.global_of(part, off), id);
+        }
+    }
+
+    #[test]
+    fn partition_sizes_sum_to_total() {
+        let p = EntityPartitioning::new(103, 4);
+        let total: u32 = p.partitions().map(|q| p.partition_size(q)).sum();
+        assert_eq!(total, 103);
+    }
+
+    #[test]
+    fn partition_sizes_balanced() {
+        let p = EntityPartitioning::new(103, 4);
+        let sizes: Vec<u32> = p.partitions().map(|q| p.partition_size(q)).collect();
+        assert_eq!(sizes, vec![26, 26, 26, 25]);
+        assert_eq!(p.max_partition_size(), 26);
+    }
+
+    #[test]
+    fn unpartitioned_is_single_part() {
+        let p = EntityPartitioning::unpartitioned(50);
+        assert_eq!(p.num_partitions(), 1);
+        assert_eq!(p.partition_of(EntityId(49)), Partition(0));
+        assert_eq!(p.offset_of(EntityId(49)), 49);
+    }
+
+    #[test]
+    fn offsets_are_dense_within_partition() {
+        let p = EntityPartitioning::new(100, 4);
+        for part in p.partitions() {
+            let size = p.partition_size(part);
+            for off in 0..size {
+                let id = p.global_of(part, off);
+                assert_eq!(p.partition_of(id), part);
+                assert_eq!(p.offset_of(id), off);
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn global_of_rejects_overflow() {
+        let p = EntityPartitioning::new(10, 4);
+        // partition 3 holds ids 3, 7 -> offsets 0, 1; offset 2 would be id 11
+        let _ = p.global_of(Partition(3), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_partitions_panics() {
+        let _ = EntityPartitioning::new(10, 0);
+    }
+}

@@ -1,0 +1,146 @@
+//! SNAP edge-list import.
+//!
+//! The paper's LiveJournal and Twitter graphs ship from the SNAP
+//! collection (Leskovec & Krevl, 2014) as whitespace-separated
+//! `FromNodeId ToNodeId` lines with `#` comment headers. Node ids in the
+//! raw files are arbitrary (sparse, sometimes huge), so the importer
+//! densifies them to `0..N` and returns the mapping — exactly the
+//! preprocessing PBG's importers perform.
+
+use crate::edges::{Edge, EdgeList};
+use crate::io::IoError;
+use std::collections::HashMap;
+use std::io::Read;
+
+/// Result of a SNAP import: densified edges and the raw-id vocabulary.
+#[derive(Debug, Clone)]
+pub struct SnapGraph {
+    /// Edges over dense ids `0..num_nodes`.
+    pub edges: EdgeList,
+    /// `vocab[dense_id] = raw SNAP node id`.
+    pub vocab: Vec<u64>,
+}
+
+impl SnapGraph {
+    /// Number of distinct nodes.
+    pub fn num_nodes(&self) -> u32 {
+        self.vocab.len() as u32
+    }
+
+    /// Dense id of a raw SNAP id, if present.
+    pub fn dense_id(&self, raw: u64) -> Option<u32> {
+        // vocab is ordered by first appearance; build lookup lazily would
+        // need interior mutability, so scan — callers needing bulk lookup
+        // should invert `vocab` themselves.
+        self.vocab.iter().position(|&v| v == raw).map(|i| i as u32)
+    }
+}
+
+/// Parses SNAP `FromNodeId<ws>ToNodeId` lines; `#` lines and blanks are
+/// skipped; ids are densified in order of first appearance. All edges get
+/// relation 0.
+///
+/// # Errors
+///
+/// Returns [`IoError::BadFormat`] on malformed lines and propagates I/O
+/// failures. A `&mut` reference can be passed as the reader.
+pub fn read_snap<R: Read>(mut reader: R) -> Result<SnapGraph, IoError> {
+    let mut text = String::new();
+    reader.read_to_string(&mut text)?;
+    let mut ids: HashMap<u64, u32> = HashMap::new();
+    let mut vocab: Vec<u64> = Vec::new();
+    let mut edges = EdgeList::new();
+    let dense = |raw: u64, ids: &mut HashMap<u64, u32>, vocab: &mut Vec<u64>| -> u32 {
+        *ids.entry(raw).or_insert_with(|| {
+            vocab.push(raw);
+            (vocab.len() - 1) as u32
+        })
+    };
+    for (lineno, line) in text.lines().enumerate() {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let mut fields = line.split_whitespace();
+        let (a, b) = match (fields.next(), fields.next()) {
+            (Some(a), Some(b)) => (a, b),
+            _ => {
+                return Err(IoError::BadFormat(format!(
+                    "line {}: expected two node ids",
+                    lineno + 1
+                )))
+            }
+        };
+        if fields.next().is_some() {
+            return Err(IoError::BadFormat(format!(
+                "line {}: more than two fields",
+                lineno + 1
+            )));
+        }
+        let parse = |s: &str| -> Result<u64, IoError> {
+            s.parse().map_err(|_| {
+                IoError::BadFormat(format!("line {}: bad node id `{s}`", lineno + 1))
+            })
+        };
+        let src = dense(parse(a)?, &mut ids, &mut vocab);
+        let dst = dense(parse(b)?, &mut ids, &mut vocab);
+        edges.push(Edge::new(src, 0u32, dst));
+    }
+    Ok(SnapGraph { edges, vocab })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SAMPLE: &str = "\
+# Directed graph (each unordered pair of nodes is saved once)
+# FromNodeId\tToNodeId
+0\t4847570
+4847570\t12
+12\t0
+";
+
+    #[test]
+    fn parses_and_densifies() {
+        let g = read_snap(SAMPLE.as_bytes()).unwrap();
+        assert_eq!(g.num_nodes(), 3);
+        assert_eq!(g.edges.len(), 3);
+        assert_eq!(g.vocab, vec![0, 4_847_570, 12]);
+        // first edge: raw 0 -> raw 4847570 becomes dense 0 -> 1
+        let e = g.edges.get(0);
+        assert_eq!((e.src.0, e.dst.0), (0, 1));
+    }
+
+    #[test]
+    fn dense_id_lookup() {
+        let g = read_snap(SAMPLE.as_bytes()).unwrap();
+        assert_eq!(g.dense_id(4_847_570), Some(1));
+        assert_eq!(g.dense_id(999), None);
+    }
+
+    #[test]
+    fn space_separated_also_accepted() {
+        let g = read_snap("1 2\n2 3\n".as_bytes()).unwrap();
+        assert_eq!(g.edges.len(), 2);
+        assert_eq!(g.num_nodes(), 3);
+    }
+
+    #[test]
+    fn bad_line_reports_position() {
+        let err = read_snap("1 2\nnot numbers\n".as_bytes()).unwrap_err();
+        assert!(err.to_string().contains("line 2"), "{err}");
+    }
+
+    #[test]
+    fn three_fields_rejected() {
+        let err = read_snap("1 2 3\n".as_bytes()).unwrap_err();
+        assert!(err.to_string().contains("more than two"), "{err}");
+    }
+
+    #[test]
+    fn comments_and_blanks_skipped() {
+        let g = read_snap("# header\n\n#x\n5 6\n".as_bytes()).unwrap();
+        assert_eq!(g.edges.len(), 1);
+    }
+}

@@ -1,0 +1,132 @@
+//! Train / validation / test edge splits.
+//!
+//! The paper evaluates with held-out edge splits: 75/25 for LiveJournal
+//! (§5.2) and 90/5/5 for full Freebase and Twitter (§5.4.2, §5.5). Splits
+//! are by uniform assignment of edges, seeded for reproducibility.
+
+use crate::edges::EdgeList;
+use pbg_tensor::rng::Xoshiro256;
+
+/// A train/validation/test split of an edge list.
+#[derive(Debug, Clone)]
+pub struct EdgeSplit {
+    /// Training edges.
+    pub train: EdgeList,
+    /// Validation edges (may be empty).
+    pub valid: EdgeList,
+    /// Test edges.
+    pub test: EdgeList,
+}
+
+impl EdgeSplit {
+    /// Splits `edges` into train/valid/test by the given fractions.
+    ///
+    /// The fractions must be in `[0, 1]` and sum to at most 1; any
+    /// remainder goes to train.
+    ///
+    /// # Panics
+    ///
+    /// Panics if fractions are negative, non-finite, or sum above 1 + ε.
+    pub fn new(edges: &EdgeList, valid_frac: f64, test_frac: f64, seed: u64) -> Self {
+        assert!(
+            valid_frac.is_finite() && test_frac.is_finite(),
+            "fractions must be finite"
+        );
+        assert!(
+            (0.0..=1.0).contains(&valid_frac) && (0.0..=1.0).contains(&test_frac),
+            "fractions must be within [0, 1]"
+        );
+        assert!(
+            valid_frac + test_frac <= 1.0 + 1e-9,
+            "valid + test fractions exceed 1"
+        );
+        let mut rng = Xoshiro256::seed_from_u64(seed);
+        let n = edges.len();
+        let mut idx: Vec<usize> = (0..n).collect();
+        // Fisher–Yates so the split is exact, not merely expected
+        for i in (1..n).rev() {
+            let j = rng.gen_index(i + 1);
+            idx.swap(i, j);
+        }
+        let n_valid = (n as f64 * valid_frac).round() as usize;
+        let n_test = (n as f64 * test_frac).round() as usize;
+        let n_test = n_test.min(n - n_valid);
+        let valid = edges.select(&idx[..n_valid]);
+        let test = edges.select(&idx[n_valid..n_valid + n_test]);
+        let train = edges.select(&idx[n_valid + n_test..]);
+        EdgeSplit { train, valid, test }
+    }
+
+    /// The paper's LiveJournal split: 75% train / 25% test (§5.2).
+    pub fn seventy_five_twenty_five(edges: &EdgeList, seed: u64) -> Self {
+        EdgeSplit::new(edges, 0.0, 0.25, seed)
+    }
+
+    /// The paper's large-graph split: 90% train / 5% valid / 5% test
+    /// (§5.4.2, §5.5).
+    pub fn ninety_five_five(edges: &EdgeList, seed: u64) -> Self {
+        EdgeSplit::new(edges, 0.05, 0.05, seed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::edges::Edge;
+
+    fn edges(n: u32) -> EdgeList {
+        (0..n).map(|i| Edge::new(i, 0u32, (i + 1) % n)).collect()
+    }
+
+    #[test]
+    fn split_sizes_match_fractions() {
+        let e = edges(1000);
+        let s = EdgeSplit::new(&e, 0.05, 0.05, 1);
+        assert_eq!(s.valid.len(), 50);
+        assert_eq!(s.test.len(), 50);
+        assert_eq!(s.train.len(), 900);
+    }
+
+    #[test]
+    fn split_partitions_edges_exactly() {
+        let e = edges(200);
+        let s = EdgeSplit::new(&e, 0.1, 0.2, 2);
+        let mut all: Vec<Edge> = s
+            .train
+            .iter()
+            .chain(s.valid.iter())
+            .chain(s.test.iter())
+            .collect();
+        let mut orig: Vec<Edge> = e.iter().collect();
+        all.sort_by_key(|e| (e.src.0, e.dst.0));
+        orig.sort_by_key(|e| (e.src.0, e.dst.0));
+        assert_eq!(all, orig);
+    }
+
+    #[test]
+    fn split_is_deterministic_per_seed() {
+        let e = edges(100);
+        let a = EdgeSplit::new(&e, 0.0, 0.25, 7);
+        let b = EdgeSplit::new(&e, 0.0, 0.25, 7);
+        assert_eq!(a.test, b.test);
+        let c = EdgeSplit::new(&e, 0.0, 0.25, 8);
+        assert_ne!(a.test, c.test, "different seed, different split");
+    }
+
+    #[test]
+    fn presets_match_paper() {
+        let e = edges(1000);
+        let lj = EdgeSplit::seventy_five_twenty_five(&e, 1);
+        assert_eq!(lj.test.len(), 250);
+        assert!(lj.valid.is_empty());
+        let fb = EdgeSplit::ninety_five_five(&e, 1);
+        assert_eq!(fb.train.len(), 900);
+    }
+
+    #[test]
+    #[should_panic(expected = "exceed 1")]
+    fn overfull_fractions_panic() {
+        let e = edges(10);
+        let _ = EdgeSplit::new(&e, 0.7, 0.7, 1);
+    }
+}

@@ -1,0 +1,43 @@
+//! `pbg` — facade crate for the pbg-rs workspace, a Rust reproduction of
+//! *PyTorch-BigGraph: A Large-scale Graph Embedding System* (Lerer et
+//! al., SysML 2019).
+//!
+//! Re-exports every workspace crate under one roof:
+//!
+//! - [`tensor`]: dense kernels, HOGWILD storage, Adagrad, samplers.
+//! - [`graph`]: schemas, edge lists, partitioning, buckets, orderings.
+//! - [`datagen`]: synthetic stand-ins for the paper's datasets.
+//! - [`core`]: the PBG training system (models, batched negatives,
+//!   bucketed HOGWILD training, evaluation, checkpoints).
+//! - [`distsim`]: simulated distributed execution (lock server,
+//!   partition/parameter servers, event-based paper-scale projection).
+//! - [`baselines`]: DeepWalk and MILE.
+//! - [`eval`]: ranking metrics, downstream classification, curves.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use pbg::core::config::PbgConfig;
+//! use pbg::core::trainer::Trainer;
+//! use pbg::datagen::presets;
+//! use pbg::graph::split::EdgeSplit;
+//!
+//! # fn main() -> Result<(), pbg::core::error::PbgError> {
+//! let dataset = presets::livejournal_like(0.0001, 7);
+//! let split = EdgeSplit::seventy_five_twenty_five(&dataset.edges, 7);
+//! let config = PbgConfig::builder().dim(16).epochs(1).threads(2).build()?;
+//! let mut trainer = Trainer::new(dataset.schema.clone(), &split.train, config)?;
+//! trainer.train();
+//! let model = trainer.snapshot();
+//! assert_eq!(model.embeddings[0].rows() as u32, dataset.num_nodes());
+//! # Ok(())
+//! # }
+//! ```
+
+pub use pbg_baselines as baselines;
+pub use pbg_core as core;
+pub use pbg_datagen as datagen;
+pub use pbg_distsim as distsim;
+pub use pbg_eval as eval;
+pub use pbg_graph as graph;
+pub use pbg_tensor as tensor;

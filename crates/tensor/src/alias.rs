@@ -1,0 +1,197 @@
+//! Alias-method sampling from empirical distributions.
+//!
+//! PBG samples a fraction `α` of negatives "according to their prevalence
+//! in the training data" (§3.1) and evaluation candidates by prevalence as
+//! well (§5.4.2). With hundreds of millions of nodes that requires O(1)
+//! draws from an arbitrary discrete distribution; Walker's alias method
+//! gives exactly that after O(n) preprocessing.
+
+use crate::rng::Xoshiro256;
+
+/// Walker alias table for O(1) sampling from a discrete distribution.
+#[derive(Debug, Clone)]
+pub struct AliasTable {
+    prob: Vec<f32>,
+    alias: Vec<u32>,
+}
+
+impl AliasTable {
+    /// Builds a table from non-negative weights.
+    ///
+    /// Weights need not be normalized. Zero-weight entries are never
+    /// sampled (unless all weights are zero, in which case sampling is
+    /// uniform).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `weights` is empty, contains a negative or non-finite
+    /// value, or has more than `u32::MAX` entries.
+    pub fn new(weights: &[f32]) -> Self {
+        assert!(!weights.is_empty(), "alias table needs at least one weight");
+        assert!(weights.len() <= u32::MAX as usize, "too many weights");
+        let mut total = 0.0f64;
+        for &w in weights {
+            assert!(w.is_finite() && w >= 0.0, "weights must be finite and non-negative");
+            total += w as f64;
+        }
+        let n = weights.len();
+        if total == 0.0 {
+            // degenerate: uniform
+            return AliasTable {
+                prob: vec![1.0; n],
+                alias: (0..n as u32).collect(),
+            };
+        }
+        let scale = n as f64 / total;
+        let mut prob: Vec<f64> = weights.iter().map(|&w| w as f64 * scale).collect();
+        let mut alias = vec![0u32; n];
+        let mut small: Vec<u32> = Vec::new();
+        let mut large: Vec<u32> = Vec::new();
+        for (i, &p) in prob.iter().enumerate() {
+            if p < 1.0 {
+                small.push(i as u32);
+            } else {
+                large.push(i as u32);
+            }
+        }
+        while let (Some(&s), Some(&l)) = (small.last(), large.last()) {
+            small.pop();
+            alias[s as usize] = l;
+            prob[l as usize] -= 1.0 - prob[s as usize];
+            if prob[l as usize] < 1.0 {
+                large.pop();
+                small.push(l);
+            }
+        }
+        // leftovers are numerically 1.0
+        for &i in small.iter().chain(large.iter()) {
+            prob[i as usize] = 1.0;
+            alias[i as usize] = i;
+        }
+        AliasTable {
+            prob: prob.into_iter().map(|p| p as f32).collect(),
+            alias,
+        }
+    }
+
+    /// Builds a table over `n` items from sparse counts `(index, count)`.
+    ///
+    /// Items not mentioned get weight zero.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any index is out of range or `n == 0`.
+    pub fn from_counts(n: usize, counts: impl IntoIterator<Item = (usize, f32)>) -> Self {
+        let mut weights = vec![0.0f32; n];
+        for (i, c) in counts {
+            assert!(i < n, "count index {i} out of range");
+            weights[i] += c;
+        }
+        AliasTable::new(&weights)
+    }
+
+    /// Number of items in the distribution.
+    pub fn len(&self) -> usize {
+        self.prob.len()
+    }
+
+    /// `true` when the table is empty (never constructible; for API
+    /// completeness).
+    pub fn is_empty(&self) -> bool {
+        self.prob.is_empty()
+    }
+
+    /// Draws one index.
+    #[inline]
+    pub fn sample(&self, rng: &mut Xoshiro256) -> usize {
+        let i = rng.gen_index(self.prob.len());
+        if rng.gen_f32() < self.prob[i] {
+            i
+        } else {
+            self.alias[i] as usize
+        }
+    }
+
+    /// Resident bytes (for memory accounting).
+    pub fn bytes(&self) -> usize {
+        self.prob.len() * 4 + self.alias.len() * 4
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn empirical(table: &AliasTable, draws: usize, seed: u64) -> Vec<f64> {
+        let mut rng = Xoshiro256::seed_from_u64(seed);
+        let mut counts = vec![0usize; table.len()];
+        for _ in 0..draws {
+            counts[table.sample(&mut rng)] += 1;
+        }
+        counts.iter().map(|&c| c as f64 / draws as f64).collect()
+    }
+
+    #[test]
+    fn uniform_weights_sample_uniformly() {
+        let t = AliasTable::new(&[1.0, 1.0, 1.0, 1.0]);
+        let freq = empirical(&t, 100_000, 1);
+        for f in freq {
+            assert!((f - 0.25).abs() < 0.01, "{f}");
+        }
+    }
+
+    #[test]
+    fn skewed_weights_match_distribution() {
+        let t = AliasTable::new(&[1.0, 2.0, 3.0, 4.0]);
+        let freq = empirical(&t, 200_000, 2);
+        let expect = [0.1, 0.2, 0.3, 0.4];
+        for (f, e) in freq.iter().zip(expect) {
+            assert!((f - e).abs() < 0.01, "{f} vs {e}");
+        }
+    }
+
+    #[test]
+    fn zero_weight_never_sampled() {
+        let t = AliasTable::new(&[0.0, 1.0, 0.0, 1.0]);
+        let freq = empirical(&t, 50_000, 3);
+        assert_eq!(freq[0], 0.0);
+        assert_eq!(freq[2], 0.0);
+    }
+
+    #[test]
+    fn single_item_always_sampled() {
+        let t = AliasTable::new(&[5.0]);
+        let mut rng = Xoshiro256::seed_from_u64(4);
+        for _ in 0..100 {
+            assert_eq!(t.sample(&mut rng), 0);
+        }
+    }
+
+    #[test]
+    fn all_zero_weights_fall_back_to_uniform() {
+        let t = AliasTable::new(&[0.0, 0.0]);
+        let freq = empirical(&t, 50_000, 5);
+        assert!((freq[0] - 0.5).abs() < 0.02);
+    }
+
+    #[test]
+    fn from_counts_accumulates() {
+        let t = AliasTable::from_counts(3, [(0, 1.0), (2, 1.0), (2, 2.0)]);
+        let freq = empirical(&t, 100_000, 6);
+        assert!((freq[0] - 0.25).abs() < 0.01);
+        assert_eq!(freq[1], 0.0);
+        assert!((freq[2] - 0.75).abs() < 0.01);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one weight")]
+    fn empty_panics() {
+        let _ = AliasTable::new(&[]);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-negative")]
+    fn negative_weight_panics() {
+        let _ = AliasTable::new(&[1.0, -1.0]);
+    }
+}

@@ -1,0 +1,124 @@
+//! Complex-vector kernels for the ComplEx relation operator.
+//!
+//! ComplEx (Trouillon et al., 2016) embeds entities in `C^{d/2}` and scores
+//! an edge as `Re{<θ_s ⊙ θ_r, conj(θ_d)>}`. PBG stores a complex vector of
+//! dimension `d/2` as an interleaved real f32 vector of dimension `d`:
+//! `[re_0, im_0, re_1, im_1, ...]`. The complex-diagonal operator is then a
+//! complex Hadamard product over that layout.
+
+/// Complex Hadamard product `out = a ⊙ b` over interleaved `[re, im]` pairs.
+///
+/// # Panics
+///
+/// Panics if lengths differ or are odd.
+#[inline]
+pub fn complex_hadamard(a: &[f32], b: &[f32], out: &mut [f32]) {
+    check_layout(a, b, out);
+    for i in (0..a.len()).step_by(2) {
+        let (ar, ai) = (a[i], a[i + 1]);
+        let (br, bi) = (b[i], b[i + 1]);
+        out[i] = ar * br - ai * bi;
+        out[i + 1] = ar * bi + ai * br;
+    }
+}
+
+/// Complex Hadamard product with the conjugate of `b`: `out = a ⊙ conj(b)`.
+///
+/// This is the adjoint of [`complex_hadamard`] with respect to the real dot
+/// product, used in backpropagation through the ComplEx operator.
+///
+/// # Panics
+///
+/// Panics if lengths differ or are odd.
+#[inline]
+pub fn complex_hadamard_conj(a: &[f32], b: &[f32], out: &mut [f32]) {
+    check_layout(a, b, out);
+    for i in (0..a.len()).step_by(2) {
+        let (ar, ai) = (a[i], a[i + 1]);
+        let (br, bi) = (b[i], b[i + 1]);
+        out[i] = ar * br + ai * bi;
+        out[i + 1] = ai * br - ar * bi;
+    }
+}
+
+/// Real part of the complex inner product `Re{<a, conj(b)>}` over the
+/// interleaved layout — this equals the plain real dot product of the
+/// interleaved vectors, which is why ComplEx scoring reduces to `dot` after
+/// the operator is applied.
+///
+/// # Panics
+///
+/// Panics if lengths differ or are odd.
+#[inline]
+pub fn complex_re_inner(a: &[f32], b: &[f32]) -> f32 {
+    assert_eq!(a.len(), b.len(), "complex_re_inner: length mismatch");
+    assert_eq!(a.len() % 2, 0, "complex_re_inner: odd length");
+    crate::vecmath::dot(a, b)
+}
+
+#[inline]
+fn check_layout(a: &[f32], b: &[f32], out: &[f32]) {
+    assert_eq!(a.len(), b.len(), "complex op: length mismatch");
+    assert_eq!(a.len(), out.len(), "complex op: output length mismatch");
+    assert_eq!(a.len() % 2, 0, "complex op: interleaved layout needs even length");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hadamard_matches_complex_arithmetic() {
+        // (1 + 2i) * (3 + 4i) = 3 + 4i + 6i + 8i^2 = -5 + 10i
+        let mut out = [0.0; 2];
+        complex_hadamard(&[1.0, 2.0], &[3.0, 4.0], &mut out);
+        assert_eq!(out, [-5.0, 10.0]);
+    }
+
+    #[test]
+    fn hadamard_conj_matches_complex_arithmetic() {
+        // (1 + 2i) * conj(3 + 4i) = (1 + 2i)(3 - 4i) = 3 - 4i + 6i + 8 = 11 + 2i
+        let mut out = [0.0; 2];
+        complex_hadamard_conj(&[1.0, 2.0], &[3.0, 4.0], &mut out);
+        assert_eq!(out, [11.0, 2.0]);
+    }
+
+    #[test]
+    fn identity_relation_is_one_plus_zero_i() {
+        let a = [0.5, -0.25, 2.0, 1.0];
+        let one = [1.0, 0.0, 1.0, 0.0];
+        let mut out = [0.0; 4];
+        complex_hadamard(&a, &one, &mut out);
+        assert_eq!(out, a);
+    }
+
+    #[test]
+    fn re_inner_is_dot() {
+        let a = [1.0, 2.0, 3.0, 4.0];
+        let b = [5.0, 6.0, 7.0, 8.0];
+        assert_eq!(complex_re_inner(&a, &b), crate::vecmath::dot(&a, &b));
+    }
+
+    #[test]
+    #[should_panic(expected = "even length")]
+    fn odd_length_panics() {
+        let mut out = [0.0; 3];
+        complex_hadamard(&[1.0, 2.0, 3.0], &[1.0, 2.0, 3.0], &mut out);
+    }
+
+    #[test]
+    fn conj_is_adjoint_of_hadamard() {
+        // <a ⊙ r, d> == <a, d ⊙ conj(r)> for the real inner product,
+        // the identity the ComplEx backward pass relies on.
+        let a = [0.3, -1.2, 0.7, 2.0];
+        let r = [1.5, 0.25, -0.5, 1.0];
+        let d = [2.0, 0.1, -1.0, 0.4];
+        let mut ar = [0.0; 4];
+        complex_hadamard(&a, &r, &mut ar);
+        let mut dr = [0.0; 4];
+        complex_hadamard_conj(&d, &r, &mut dr);
+        let lhs = crate::vecmath::dot(&ar, &d);
+        let rhs = crate::vecmath::dot(&a, &dr);
+        assert!((lhs - rhs).abs() < 1e-5, "{lhs} != {rhs}");
+    }
+}

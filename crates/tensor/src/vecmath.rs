@@ -1,0 +1,215 @@
+//! Dense f32 vector kernels.
+//!
+//! These are the elementwise building blocks for scoring and gradient
+//! computation. All functions panic if slice lengths differ, because a
+//! length mismatch is always a logic error in the calling code.
+
+/// Dot product `<a, b>`.
+///
+/// # Panics
+///
+/// Panics if `a.len() != b.len()`.
+#[inline]
+pub fn dot(a: &[f32], b: &[f32]) -> f32 {
+    assert_eq!(a.len(), b.len(), "dot: length mismatch");
+    // Eight independent lanes: the loop body is a straight-line SIMD
+    // pattern LLVM vectorizes to packed mul-adds; order is deterministic.
+    let n8 = a.len() - a.len() % 8;
+    let (a8, a_tail) = a.split_at(n8);
+    let (b8, b_tail) = b.split_at(n8);
+    let mut acc = [0.0f32; 8];
+    for (xa, xb) in a8.chunks_exact(8).zip(b8.chunks_exact(8)) {
+        acc[0] += xa[0] * xb[0];
+        acc[1] += xa[1] * xb[1];
+        acc[2] += xa[2] * xb[2];
+        acc[3] += xa[3] * xb[3];
+        acc[4] += xa[4] * xb[4];
+        acc[5] += xa[5] * xb[5];
+        acc[6] += xa[6] * xb[6];
+        acc[7] += xa[7] * xb[7];
+    }
+    let mut tail = 0.0f32;
+    for (xa, xb) in a_tail.iter().zip(b_tail) {
+        tail += xa * xb;
+    }
+    ((acc[0] + acc[4]) + (acc[1] + acc[5])) + ((acc[2] + acc[6]) + (acc[3] + acc[7])) + tail
+}
+
+/// Squared L2 norm `||a||²`.
+#[inline]
+pub fn norm_sq(a: &[f32]) -> f32 {
+    dot(a, a)
+}
+
+/// L2 norm `||a||`.
+#[inline]
+pub fn norm(a: &[f32]) -> f32 {
+    norm_sq(a).sqrt()
+}
+
+/// Cosine similarity `<a,b> / (||a|| ||b||)`; `0.0` when either norm is 0.
+///
+/// # Panics
+///
+/// Panics if `a.len() != b.len()`.
+#[inline]
+pub fn cosine(a: &[f32], b: &[f32]) -> f32 {
+    let na = norm(a);
+    let nb = norm(b);
+    if na == 0.0 || nb == 0.0 {
+        return 0.0;
+    }
+    dot(a, b) / (na * nb)
+}
+
+/// `y += alpha * x`.
+///
+/// # Panics
+///
+/// Panics if `x.len() != y.len()`.
+#[inline]
+pub fn axpy(alpha: f32, x: &[f32], y: &mut [f32]) {
+    assert_eq!(x.len(), y.len(), "axpy: length mismatch");
+    for (yi, xi) in y.iter_mut().zip(x.iter()) {
+        *yi += alpha * *xi;
+    }
+}
+
+/// `y *= alpha`.
+#[inline]
+pub fn scale(alpha: f32, y: &mut [f32]) {
+    for yi in y.iter_mut() {
+        *yi *= alpha;
+    }
+}
+
+/// Elementwise product into `out`: `out[i] = a[i] * b[i]`.
+///
+/// # Panics
+///
+/// Panics if lengths differ.
+#[inline]
+pub fn hadamard(a: &[f32], b: &[f32], out: &mut [f32]) {
+    assert_eq!(a.len(), b.len(), "hadamard: length mismatch");
+    assert_eq!(a.len(), out.len(), "hadamard: output length mismatch");
+    for i in 0..a.len() {
+        out[i] = a[i] * b[i];
+    }
+}
+
+/// Elementwise sum into `out`: `out[i] = a[i] + b[i]`.
+///
+/// # Panics
+///
+/// Panics if lengths differ.
+#[inline]
+pub fn add(a: &[f32], b: &[f32], out: &mut [f32]) {
+    assert_eq!(a.len(), b.len(), "add: length mismatch");
+    assert_eq!(a.len(), out.len(), "add: output length mismatch");
+    for i in 0..a.len() {
+        out[i] = a[i] + b[i];
+    }
+}
+
+/// Normalizes `a` to unit L2 norm in place; leaves a zero vector unchanged.
+#[inline]
+pub fn normalize(a: &mut [f32]) {
+    let n = norm(a);
+    if n > 0.0 {
+        scale(1.0 / n, a);
+    }
+}
+
+/// Mean of squared entries — the quantity folded into the paper's row-wise
+/// Adagrad accumulator.
+#[inline]
+pub fn mean_sq(a: &[f32]) -> f32 {
+    if a.is_empty() {
+        return 0.0;
+    }
+    norm_sq(a) / a.len() as f32
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn assert_close(a: f32, b: f32) {
+        assert!((a - b).abs() < 1e-5, "{a} != {b}");
+    }
+
+    #[test]
+    fn dot_basic() {
+        assert_close(dot(&[1.0, 2.0, 3.0], &[4.0, 5.0, 6.0]), 32.0);
+    }
+
+    #[test]
+    fn dot_empty() {
+        assert_close(dot(&[], &[]), 0.0);
+    }
+
+    #[test]
+    fn dot_unroll_tail() {
+        // length 7 exercises both the unrolled body and the tail
+        let a = [1.0, 1.0, 1.0, 1.0, 1.0, 1.0, 1.0];
+        assert_close(dot(&a, &a), 7.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn dot_mismatch_panics() {
+        dot(&[1.0], &[1.0, 2.0]);
+    }
+
+    #[test]
+    fn cosine_parallel_is_one() {
+        let a = [3.0, 4.0];
+        assert_close(cosine(&a, &a), 1.0);
+    }
+
+    #[test]
+    fn cosine_orthogonal_is_zero() {
+        assert_close(cosine(&[1.0, 0.0], &[0.0, 2.0]), 0.0);
+    }
+
+    #[test]
+    fn cosine_zero_vector_is_zero() {
+        assert_close(cosine(&[0.0, 0.0], &[1.0, 1.0]), 0.0);
+    }
+
+    #[test]
+    fn axpy_accumulates() {
+        let mut y = [1.0, 1.0];
+        axpy(2.0, &[3.0, 4.0], &mut y);
+        assert_eq!(y, [7.0, 9.0]);
+    }
+
+    #[test]
+    fn normalize_unit_norm() {
+        let mut a = [3.0, 4.0];
+        normalize(&mut a);
+        assert_close(norm(&a), 1.0);
+    }
+
+    #[test]
+    fn normalize_zero_noop() {
+        let mut a = [0.0, 0.0];
+        normalize(&mut a);
+        assert_eq!(a, [0.0, 0.0]);
+    }
+
+    #[test]
+    fn hadamard_and_add() {
+        let mut out = [0.0; 3];
+        hadamard(&[1.0, 2.0, 3.0], &[4.0, 5.0, 6.0], &mut out);
+        assert_eq!(out, [4.0, 10.0, 18.0]);
+        add(&[1.0, 2.0, 3.0], &[4.0, 5.0, 6.0], &mut out);
+        assert_eq!(out, [5.0, 7.0, 9.0]);
+    }
+
+    #[test]
+    fn mean_sq_basic() {
+        assert_close(mean_sq(&[2.0, 4.0]), 10.0);
+        assert_close(mean_sq(&[]), 0.0);
+    }
+}

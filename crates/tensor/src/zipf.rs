@@ -1,0 +1,202 @@
+//! Bounded Zipf sampling for heavy-tailed synthetic graphs.
+//!
+//! Real web graphs have power-law degree distributions; the paper's
+//! datasets (LiveJournal, Twitter, Freebase) are all heavy-tailed, and the
+//! full-Freebase evaluation explicitly notes the long tail (§5.4.2
+//! footnote 10). Our dataset generators draw node popularity ranks from a
+//! bounded Zipf(s) distribution.
+
+use crate::rng::Xoshiro256;
+
+/// Zipf distribution over `{0, 1, ..., n-1}` with exponent `s`:
+/// `P(k) ∝ 1 / (k+1)^s`.
+///
+/// Sampling uses rejection-inversion (Hörmann & Derflinger, 1996), which
+/// is O(1) per draw regardless of `n`.
+#[derive(Debug, Clone)]
+pub struct Zipf {
+    n: u64,
+    s: f64,
+    h_integral_x1: f64,
+    h_integral_n: f64,
+    dividing_point: f64,
+}
+
+impl Zipf {
+    /// Creates a Zipf distribution over `n` items with exponent `s`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0` or `s` is not finite and positive.
+    pub fn new(n: u64, s: f64) -> Self {
+        assert!(n > 0, "zipf: n must be positive");
+        assert!(s.is_finite() && s > 0.0, "zipf: exponent must be positive");
+        let h_integral_x1 = Self::h_integral(1.5, s) - 1.0;
+        let h_integral_n = Self::h_integral(n as f64 + 0.5, s);
+        let dividing_point = 2.0
+            - Self::h_integral_inverse(Self::h_integral(2.5, s) - Self::h(2.0, s), s);
+        Zipf {
+            n,
+            s,
+            h_integral_x1,
+            h_integral_n,
+            dividing_point,
+        }
+    }
+
+    /// Number of items.
+    pub fn items(&self) -> u64 {
+        self.n
+    }
+
+    /// The exponent `s`.
+    pub fn exponent(&self) -> f64 {
+        self.s
+    }
+
+    /// `H(x) = ∫ t^{-s} dt`, the integral of the unnormalized density.
+    #[inline]
+    fn h_integral(x: f64, s: f64) -> f64 {
+        let log_x = x.ln();
+        helper2((1.0 - s) * log_x) * log_x
+    }
+
+    /// The unnormalized density `h(x) = x^{-s}`.
+    #[inline]
+    fn h(x: f64, s: f64) -> f64 {
+        (-s * x.ln()).exp()
+    }
+
+    /// Inverse of [`Zipf::h_integral`].
+    #[inline]
+    fn h_integral_inverse(x: f64, s: f64) -> f64 {
+        let mut t = x * (1.0 - s);
+        if t < -1.0 {
+            // numerical safeguard: clamp to the domain of the inverse
+            t = -1.0;
+        }
+        (helper1(t) * x).exp()
+    }
+
+    /// Draws one rank in `[0, n)`; rank 0 is the most popular.
+    #[inline]
+    pub fn sample(&self, rng: &mut Xoshiro256) -> u64 {
+        loop {
+            let u = self.h_integral_n
+                + rng.gen_f64() * (self.h_integral_x1 - self.h_integral_n);
+            let x = Self::h_integral_inverse(u, self.s);
+            let k64 = x.clamp(1.0, self.n as f64);
+            let k = (k64 + 0.5) as u64;
+            let k64_rounded = k as f64;
+            if k64_rounded - x <= self.dividing_point
+                || u >= Self::h_integral(k64_rounded + 0.5, self.s)
+                    - Self::h(k64_rounded, self.s)
+            {
+                return k - 1;
+            }
+        }
+    }
+}
+
+/// `helper1(x) = ln(1+x)/x`, stable near zero.
+#[inline]
+fn helper1(x: f64) -> f64 {
+    if x.abs() > 1e-8 {
+        x.ln_1p() / x
+    } else {
+        1.0 - x * (0.5 - x * (1.0 / 3.0 - 0.25 * x))
+    }
+}
+
+/// `helper2(x) = (exp(x)-1)/x`, stable near zero.
+#[inline]
+fn helper2(x: f64) -> f64 {
+    if x.abs() > 1e-8 {
+        x.exp_m1() / x
+    } else {
+        1.0 + x * 0.5 * (1.0 + x / 3.0 * (1.0 + 0.25 * x))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn samples_in_range() {
+        let z = Zipf::new(100, 1.2);
+        let mut rng = Xoshiro256::seed_from_u64(1);
+        for _ in 0..10_000 {
+            assert!(z.sample(&mut rng) < 100);
+        }
+    }
+
+    #[test]
+    fn rank_zero_is_most_frequent() {
+        let z = Zipf::new(1000, 1.0);
+        let mut rng = Xoshiro256::seed_from_u64(2);
+        let mut counts = vec![0usize; 1000];
+        for _ in 0..100_000 {
+            counts[z.sample(&mut rng) as usize] += 1;
+        }
+        assert!(counts[0] > counts[1]);
+        assert!(counts[0] > counts[10]);
+        assert!(counts[0] > counts[100]);
+    }
+
+    #[test]
+    fn frequencies_follow_power_law() {
+        let z = Zipf::new(10_000, 1.0);
+        let mut rng = Xoshiro256::seed_from_u64(3);
+        let mut counts = vec![0usize; 10_000];
+        let n = 1_000_000;
+        for _ in 0..n {
+            counts[z.sample(&mut rng) as usize] += 1;
+        }
+        // P(0)/P(9) should be about 10 for s=1
+        let ratio = counts[0] as f64 / counts[9].max(1) as f64;
+        assert!((5.0..20.0).contains(&ratio), "ratio {ratio}");
+    }
+
+    #[test]
+    fn higher_exponent_concentrates_more() {
+        let mut rng = Xoshiro256::seed_from_u64(4);
+        let head_mass = |s: f64, rng: &mut Xoshiro256| {
+            let z = Zipf::new(1000, s);
+            let mut head = 0usize;
+            for _ in 0..50_000 {
+                if z.sample(rng) < 10 {
+                    head += 1;
+                }
+            }
+            head
+        };
+        let light = head_mass(0.8, &mut rng);
+        let heavy = head_mass(1.5, &mut rng);
+        assert!(heavy > light, "{heavy} <= {light}");
+    }
+
+    #[test]
+    fn works_near_s_equals_one() {
+        let z = Zipf::new(50, 1.0 + 1e-12);
+        let mut rng = Xoshiro256::seed_from_u64(4);
+        for _ in 0..1000 {
+            assert!(z.sample(&mut rng) < 50);
+        }
+    }
+
+    #[test]
+    fn single_item_always_zero() {
+        let z = Zipf::new(1, 2.0);
+        let mut rng = Xoshiro256::seed_from_u64(5);
+        for _ in 0..100 {
+            assert_eq!(z.sample(&mut rng), 0);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "n must be positive")]
+    fn zero_items_panics() {
+        let _ = Zipf::new(0, 1.0);
+    }
+}

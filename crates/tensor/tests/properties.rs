@@ -1,0 +1,117 @@
+//! Property-based tests for the numeric substrate.
+
+use pbg_tensor::alias::AliasTable;
+use pbg_tensor::complex;
+use pbg_tensor::matrix::Matrix;
+use pbg_tensor::rng::Xoshiro256;
+use pbg_tensor::vecmath;
+use proptest::prelude::*;
+
+fn vec_f32(len: usize) -> impl Strategy<Value = Vec<f32>> {
+    proptest::collection::vec(-10.0f32..10.0, len)
+}
+
+proptest! {
+    #[test]
+    fn dot_is_commutative(a in vec_f32(16), b in vec_f32(16)) {
+        let ab = vecmath::dot(&a, &b);
+        let ba = vecmath::dot(&b, &a);
+        prop_assert!((ab - ba).abs() <= 1e-3 * (1.0 + ab.abs()));
+    }
+
+    #[test]
+    fn dot_is_bilinear(a in vec_f32(8), b in vec_f32(8), alpha in -5.0f32..5.0) {
+        let scaled: Vec<f32> = a.iter().map(|x| x * alpha).collect();
+        let lhs = vecmath::dot(&scaled, &b);
+        let rhs = alpha * vecmath::dot(&a, &b);
+        prop_assert!((lhs - rhs).abs() <= 1e-2 * (1.0 + rhs.abs()));
+    }
+
+    #[test]
+    fn cosine_is_bounded(a in vec_f32(12), b in vec_f32(12)) {
+        let c = vecmath::cosine(&a, &b);
+        prop_assert!((-1.0001..=1.0001).contains(&c), "cosine {c}");
+    }
+
+    #[test]
+    fn cosine_is_scale_invariant(a in vec_f32(8), b in vec_f32(8), alpha in 0.1f32..10.0) {
+        let scaled: Vec<f32> = a.iter().map(|x| x * alpha).collect();
+        let c1 = vecmath::cosine(&a, &b);
+        let c2 = vecmath::cosine(&scaled, &b);
+        prop_assert!((c1 - c2).abs() < 1e-3, "{c1} vs {c2}");
+    }
+
+    #[test]
+    fn normalize_yields_unit_or_zero(mut a in vec_f32(8)) {
+        vecmath::normalize(&mut a);
+        let n = vecmath::norm(&a);
+        prop_assert!(n == 0.0 || (n - 1.0).abs() < 1e-4, "norm {n}");
+    }
+
+    #[test]
+    fn matmul_is_associative_with_vector(
+        a in proptest::collection::vec(-2.0f32..2.0, 12),
+        b in proptest::collection::vec(-2.0f32..2.0, 12),
+        x in proptest::collection::vec(-2.0f32..2.0, 4),
+    ) {
+        // (A * B) * x == A * (B * x) for 3x4, 4x3 shapes
+        let a = Matrix::from_vec(3, 4, a);
+        let b = Matrix::from_vec(4, 3, b);
+        let x = Matrix::from_vec(3, 1, {
+            let mut v = x; v.truncate(3); while v.len() < 3 { v.push(0.0); } v
+        });
+        let lhs = a.matmul(&b).matmul(&x);
+        let rhs = a.matmul(&b.matmul(&x));
+        for i in 0..3 {
+            prop_assert!((lhs.row(i)[0] - rhs.row(i)[0]).abs() < 1e-2);
+        }
+    }
+
+    #[test]
+    fn matmul_nt_entry_is_row_dot(
+        a in proptest::collection::vec(-3.0f32..3.0, 6),
+        b in proptest::collection::vec(-3.0f32..3.0, 9),
+    ) {
+        let a = Matrix::from_vec(2, 3, a);
+        let b = Matrix::from_vec(3, 3, b);
+        let c = a.matmul_nt(&b);
+        for i in 0..2 {
+            for j in 0..3 {
+                let expect = vecmath::dot(a.row(i), b.row(j));
+                prop_assert!((c.row(i)[j] - expect).abs() < 1e-3);
+            }
+        }
+    }
+
+    #[test]
+    fn complex_hadamard_norm_is_product_of_norms(
+        a in vec_f32(8), b in vec_f32(8),
+    ) {
+        // |a ⊙ b|_k = |a|_k |b|_k per complex element
+        let mut out = vec![0.0; 8];
+        complex::complex_hadamard(&a, &b, &mut out);
+        for k in (0..8).step_by(2) {
+            let na = (a[k] * a[k] + a[k+1] * a[k+1]).sqrt();
+            let nb = (b[k] * b[k] + b[k+1] * b[k+1]).sqrt();
+            let no = (out[k] * out[k] + out[k+1] * out[k+1]).sqrt();
+            prop_assert!((no - na * nb).abs() < 1e-2 * (1.0 + na * nb));
+        }
+    }
+
+    #[test]
+    fn alias_table_only_samples_positive_weights(
+        weights in proptest::collection::vec(0.0f32..5.0, 1..40),
+        seed in 0u64..1000,
+    ) {
+        let table = AliasTable::new(&weights);
+        let total: f32 = weights.iter().sum();
+        let mut rng = Xoshiro256::seed_from_u64(seed);
+        for _ in 0..200 {
+            let i = table.sample(&mut rng);
+            prop_assert!(i < weights.len());
+            if total > 0.0 {
+                prop_assert!(weights[i] > 0.0, "sampled zero-weight index {i}");
+            }
+        }
+    }
+}

@@ -1,0 +1,95 @@
+//! Multi-relation knowledge-graph embedding: the FB15k protocol (§5.4.1).
+//!
+//! Trains TransE-style (translation + margin ranking) and ComplEx-style
+//! (complex diagonal + softmax + reciprocal relations) models on an
+//! FB15k-shaped synthetic knowledge graph and reports raw and filtered
+//! MRR / Hits@10, mirroring Table 2's setup.
+//!
+//! ```sh
+//! cargo run --release --example knowledge_graph
+//! ```
+
+use pbg::core::config::{LossKind, PbgConfig, SimilarityKind};
+use pbg::core::eval::{CandidateSampling, LinkPredictionEval};
+use pbg::core::trainer::Trainer;
+use pbg::datagen::knowledge::KnowledgeGraphConfig;
+use pbg::graph::schema::OperatorKind;
+use pbg::graph::split::EdgeSplit;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let base = KnowledgeGraphConfig {
+        num_entities: 3_000,
+        num_relations: 60,
+        num_edges: 60_000,
+        num_communities: 120,
+        intra_prob: 0.9,
+        seed: 99,
+        ..Default::default()
+    };
+
+    for (name, operator, loss, similarity, reciprocal) in [
+        (
+            "TransE-like ",
+            OperatorKind::Translation,
+            LossKind::MarginRanking,
+            SimilarityKind::Cosine,
+            false,
+        ),
+        (
+            "ComplEx-like",
+            OperatorKind::ComplexDiagonal,
+            LossKind::Softmax,
+            SimilarityKind::Dot,
+            true,
+        ),
+    ] {
+        let kg = KnowledgeGraphConfig { operator, ..base.clone() };
+        let (edges, _) = kg.generate();
+        let split = EdgeSplit::new(&edges, 0.05, 0.05, 5);
+        let config = PbgConfig::builder()
+            .dim(64)
+            .epochs(6)
+            .batch_size(1000)
+            .chunk_size(50)
+            .uniform_negatives(50)
+            .loss(loss)
+            .similarity(similarity)
+            .reciprocal_relations(reciprocal)
+            .margin(0.1)
+            .threads(4)
+            .build()?;
+        let mut trainer = Trainer::new(kg.schema(1), &split.train, config)?;
+        trainer.train();
+        let model = trainer.snapshot();
+
+        let raw = LinkPredictionEval {
+            num_candidates: 500,
+            sampling: CandidateSampling::Uniform,
+            filtered: false,
+            ..Default::default()
+        }
+        .evaluate(&model, &split.test, &split.train, &[]);
+        let filtered = LinkPredictionEval {
+            num_candidates: 500,
+            sampling: CandidateSampling::Uniform,
+            filtered: true,
+            ..Default::default()
+        }
+        .evaluate(
+            &model,
+            &split.test,
+            &split.train,
+            &[&split.train, &split.valid, &split.test],
+        );
+        println!(
+            "{name}: raw MRR {:.3} | filtered MRR {:.3} | filtered Hits@10 {:.3}",
+            raw.mrr, filtered.mrr, filtered.hits_at_10
+        );
+    }
+    println!(
+        "\nAs in Table 2, filtered metrics exceed raw (true edges no longer \
+         count as ranking errors), and both operator families train in the \
+         same framework."
+    );
+    Ok(())
+}

@@ -1,0 +1,135 @@
+//! Distributed (simulated cluster) training through the public API:
+//! Table 3/4 (right) in miniature.
+
+use pbg::core::config::PbgConfig;
+use pbg::core::eval::{CandidateSampling, LinkPredictionEval};
+use pbg::datagen::presets;
+use pbg::distsim::cluster::{ClusterConfig, ClusterTrainer};
+use pbg::distsim::event::{simulate, EventSimConfig};
+use pbg::graph::split::EdgeSplit;
+
+fn config(epochs: usize) -> PbgConfig {
+    PbgConfig::builder()
+        .dim(16)
+        .epochs(epochs)
+        .batch_size(250)
+        .chunk_size(25)
+        .uniform_negatives(25)
+        .threads(1)
+        .build()
+        .unwrap()
+}
+
+#[test]
+fn multi_machine_quality_matches_and_uses_network() {
+    let dataset = presets::twitter_like(0.00001, 4); // ~420 nodes
+    let split = EdgeSplit::ninety_five_five(&dataset.edges, 4);
+    let eval = LinkPredictionEval {
+        num_candidates: 100,
+        sampling: CandidateSampling::Prevalence,
+        ..Default::default()
+    };
+    let mut mrrs = Vec::new();
+    for machines in [1usize, 2, 4] {
+        let schema = dataset.schema_with_partitions(2 * machines as u32);
+        let mut cluster = ClusterTrainer::new(
+            schema,
+            &split.train,
+            config(5),
+            ClusterConfig {
+                machines,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        let stats = cluster.train();
+        assert_eq!(stats[0].edges, split.train.len(), "epoch covers all edges");
+        if machines > 1 {
+            assert!(stats[0].network_bytes > 0);
+        }
+        let m = eval
+            .evaluate(&cluster.snapshot(), &split.test, &split.train, &[])
+            .mrr;
+        mrrs.push(m);
+    }
+    let best = mrrs.iter().cloned().fold(f64::MIN, f64::max);
+    for (i, &m) in mrrs.iter().enumerate() {
+        assert!(
+            m > 0.4 * best,
+            "machines={}: MRR {m} collapsed (best {best})",
+            [1, 2, 4][i]
+        );
+    }
+}
+
+#[test]
+fn event_projection_reproduces_table3_shape() {
+    let base = EventSimConfig::default(); // full Freebase numbers
+    // single machine: time grows mildly with P, memory falls ~linearly
+    let t: Vec<_> = [1u32, 4, 8, 16]
+        .iter()
+        .map(|&p| {
+            simulate(&EventSimConfig {
+                partitions: p,
+                ..base.clone()
+            })
+        })
+        .collect();
+    assert!(t[3].total_hours > t[0].total_hours);
+    assert!(t[3].peak_memory_bytes < t[0].peak_memory_bytes / 4);
+    // distributed: monotone speedup
+    let d: Vec<_> = [(1usize, 1u32), (2, 4), (4, 8), (8, 16)]
+        .iter()
+        .map(|&(m, p)| {
+            simulate(&EventSimConfig {
+                machines: m,
+                partitions: p,
+                ..base.clone()
+            })
+        })
+        .collect();
+    for w in d.windows(2) {
+        assert!(
+            w[1].total_hours < w[0].total_hours,
+            "{} !< {}",
+            w[1].total_hours,
+            w[0].total_hours
+        );
+    }
+}
+
+#[test]
+fn cluster_handles_unpartitioned_entity_types() {
+    // user -> item graph: items unpartitioned (shared across machines)
+    use pbg::graph::edges::{Edge, EdgeList};
+    use pbg::graph::schema::{EntityTypeDef, GraphSchema, RelationTypeDef};
+    use pbg::tensor::rng::Xoshiro256;
+    let mut rng = Xoshiro256::seed_from_u64(8);
+    let mut edges = EdgeList::new();
+    for _ in 0..4000 {
+        let user = rng.gen_index(200) as u32;
+        let item = (user % 20 + (rng.gen_index(3) as u32) * 20) % 40;
+        edges.push(Edge::new(user, 0u32, item));
+    }
+    let schema = GraphSchema::builder()
+        .entity_type(EntityTypeDef::new("user", 200).with_partitions(4))
+        .entity_type(EntityTypeDef::new("item", 40))
+        .relation_type(RelationTypeDef::new("clicks", 0u32, 1u32))
+        .build()
+        .unwrap();
+    let mut cluster = ClusterTrainer::new(
+        schema,
+        &edges,
+        config(3),
+        ClusterConfig {
+            machines: 2,
+            ..Default::default()
+        },
+    )
+    .unwrap();
+    let stats = cluster.train();
+    assert!(stats.last().unwrap().mean_loss < stats[0].mean_loss);
+    let snap = cluster.snapshot();
+    assert_eq!(snap.embeddings.len(), 2);
+    assert_eq!(snap.embeddings[1].rows(), 40);
+}

@@ -1,0 +1,126 @@
+//! Partitioned / disk-swapped training across the public API: Table 3
+//! (left) in miniature — quality flat in P, memory falling in P.
+
+use pbg::core::config::PbgConfig;
+use pbg::core::eval::{CandidateSampling, LinkPredictionEval};
+use pbg::core::trainer::{Storage, Trainer};
+use pbg::datagen::presets;
+use pbg::graph::ordering::BucketOrdering;
+use pbg::graph::split::EdgeSplit;
+
+fn config(epochs: usize) -> PbgConfig {
+    PbgConfig::builder()
+        .dim(32)
+        .epochs(epochs)
+        .batch_size(500)
+        .chunk_size(50)
+        .uniform_negatives(50)
+        .threads(2)
+        .build()
+        .unwrap()
+}
+
+fn mrr_of(trainer: &Trainer, split: &EdgeSplit) -> f64 {
+    LinkPredictionEval {
+        num_candidates: 100,
+        sampling: CandidateSampling::Prevalence,
+        ..Default::default()
+    }
+    .evaluate(&trainer.snapshot(), &split.test, &split.train, &[])
+    .mrr
+}
+
+#[test]
+fn quality_flat_and_memory_falls_with_partitions() {
+    let dataset = presets::freebase_like(0.000005, 9); // ~600 entities
+    let split = EdgeSplit::ninety_five_five(&dataset.edges, 9);
+    let mut results = Vec::new();
+    for p in [1u32, 4, 8] {
+        let schema = dataset.schema_with_partitions(p);
+        let dir = std::env::temp_dir().join(format!(
+            "pbg_int_part_{p}_{}",
+            std::process::id()
+        ));
+        let storage = if p == 1 {
+            Storage::InMemory
+        } else {
+            Storage::Disk(dir.clone())
+        };
+        let mut t = Trainer::with_storage(schema, &split.train, config(5), storage).unwrap();
+        t.train();
+        results.push((p, mrr_of(&t, &split), t.store().peak_bytes()));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+    let (_, mrr1, mem1) = results[0];
+    for &(p, mrr, mem) in &results[1..] {
+        assert!(
+            mem < mem1,
+            "P={p}: peak {mem} not below unpartitioned {mem1}"
+        );
+        assert!(
+            mrr > 0.5 * mrr1,
+            "P={p}: MRR {mrr} collapsed vs P=1 {mrr1}"
+        );
+    }
+    // P=8 peak must be well under half of the full model
+    let (_, _, mem8) = results[2];
+    assert!(
+        (mem8 as f64) < 0.45 * mem1 as f64,
+        "P=8 peak {mem8} vs full {mem1}"
+    );
+}
+
+#[test]
+fn all_invariant_satisfying_orderings_work() {
+    let dataset = presets::livejournal_like(0.0001, 10); // ~500 nodes
+    let split = EdgeSplit::seventy_five_twenty_five(&dataset.edges, 10);
+    for ordering in [
+        BucketOrdering::InsideOut,
+        BucketOrdering::RowMajor,
+        BucketOrdering::Chained,
+    ] {
+        let cfg = PbgConfig::builder()
+            .dim(16)
+            .epochs(4)
+            .batch_size(200)
+            .chunk_size(25)
+            .uniform_negatives(25)
+            .threads(2)
+            .bucket_ordering(ordering)
+            .build()
+            .unwrap();
+        let schema = dataset.schema_with_partitions(4);
+        let mut t = Trainer::new(schema, &split.train, cfg).unwrap();
+        t.train();
+        let mrr = mrr_of(&t, &split);
+        assert!(mrr > 0.05, "{ordering:?}: MRR {mrr}");
+    }
+}
+
+#[test]
+fn stratified_bucket_passes_match_plain_epochs() {
+    let dataset = presets::livejournal_like(0.0001, 12);
+    let split = EdgeSplit::seventy_five_twenty_five(&dataset.edges, 12);
+    let schema = dataset.schema_with_partitions(2);
+    let plain = {
+        let mut t = Trainer::new(schema.clone(), &split.train, config(4)).unwrap();
+        t.train();
+        mrr_of(&t, &split)
+    };
+    let stratified = {
+        let cfg = PbgConfig::builder()
+            .dim(32)
+            .epochs(4)
+            .batch_size(500)
+            .chunk_size(50)
+            .uniform_negatives(50)
+            .threads(2)
+            .bucket_passes(3)
+            .build()
+            .unwrap();
+        let mut t = Trainer::new(schema, &split.train, cfg).unwrap();
+        t.train();
+        mrr_of(&t, &split)
+    };
+    assert!(stratified > 0.5 * plain, "stratified {stratified} vs plain {plain}");
+}
