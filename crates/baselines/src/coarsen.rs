@@ -40,7 +40,7 @@ pub fn coarsen_once(graph: &Adjacency, rng: &mut Xoshiro256) -> CoarseLevel {
             if u == v || matched[u as usize] != UNMATCHED {
                 continue;
             }
-            if best.map_or(true, |(_, bw)| w > bw) {
+            if best.is_none_or(|(_, bw)| w > bw) {
                 best = Some((u, w));
             }
         }

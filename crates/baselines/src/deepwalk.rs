@@ -14,21 +14,12 @@ use pbg_tensor::matrix::Matrix;
 use std::time::Instant;
 
 /// DeepWalk configuration.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone, PartialEq, Default)]
 pub struct DeepWalkConfig {
     /// Walk generation.
     pub walks: WalkConfig,
     /// Skip-gram training.
     pub sgns: SgnsConfig,
-}
-
-impl Default for DeepWalkConfig {
-    fn default() -> Self {
-        DeepWalkConfig {
-            walks: WalkConfig::default(),
-            sgns: SgnsConfig::default(),
-        }
-    }
 }
 
 /// DeepWalk runner.

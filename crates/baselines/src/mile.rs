@@ -81,8 +81,8 @@ impl Mile {
         // base embedding on the coarsest graph
         let coarsest = levels.last().map(|l| &l.graph).unwrap_or(&fine);
         let coarse_edges = adjacency_to_edges(coarsest);
-        let base = DeepWalk::new(self.config.base.clone())
-            .embed(&coarse_edges, coarsest.num_nodes());
+        let base =
+            DeepWalk::new(self.config.base.clone()).embed(&coarse_edges, coarsest.num_nodes());
         let mut emb = base.embeddings;
         // refine back up, coarsest to finest
         let graphs_fine_side: Vec<&Adjacency> = std::iter::once(&fine)
@@ -203,8 +203,7 @@ mod tests {
     fn communities_separate_after_refinement() {
         let (edges, n) = communities(8, 4, 2);
         let emb = Mile::new(small_config(2)).embed(&edges, n).embeddings;
-        let cos =
-            |a: usize, b: usize| pbg_tensor::vecmath::cosine(emb.row(a), emb.row(b));
+        let cos = |a: usize, b: usize| pbg_tensor::vecmath::cosine(emb.row(a), emb.row(b));
         let mut intra = 0.0f32;
         let mut inter = 0.0f32;
         let mut ni = 0;
@@ -235,9 +234,7 @@ mod tests {
         let fine = Adjacency::from_edges(&edges, n);
         let l1 = coarsen(&fine, 1, 0);
         let l3 = coarsen(&fine, 3, 0);
-        assert!(
-            l3.last().unwrap().graph.num_nodes() < l1.last().unwrap().graph.num_nodes()
-        );
+        assert!(l3.last().unwrap().graph.num_nodes() < l1.last().unwrap().graph.num_nodes());
     }
 
     #[test]

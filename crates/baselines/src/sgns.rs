@@ -88,11 +88,7 @@ impl Sgns {
 
     /// Trains on the corpus; `on_epoch` runs after each pass (return
     /// `false` to stop early).
-    pub fn train_with(
-        &self,
-        corpus: &WalkCorpus,
-        mut on_epoch: impl FnMut(usize, &Sgns) -> bool,
-    ) {
+    pub fn train_with(&self, corpus: &WalkCorpus, mut on_epoch: impl FnMut(usize, &Sgns) -> bool) {
         let total_epochs = self.config.epochs;
         for epoch in 1..=total_epochs {
             self.train_epoch(corpus, epoch);
@@ -134,7 +130,8 @@ impl Sgns {
         let mut center_grad = vec![0.0f32; dim];
         // linear decay across epochs
         let progress = (epoch - 1) as f32 / self.config.epochs as f32;
-        let lr = (self.config.learning_rate * (1.0 - progress)).max(self.config.learning_rate * 1e-4);
+        let lr =
+            (self.config.learning_rate * (1.0 - progress)).max(self.config.learning_rate * 1e-4);
         for walk in walks {
             for (i, &center) in walk.iter().enumerate() {
                 let window = 1 + rng.gen_index(self.config.window);
@@ -147,7 +144,14 @@ impl Sgns {
                         continue;
                     }
                     // positive pair + negatives on the output layer
-                    self.pair_update(&center_buf, &mut center_grad, context, 1.0, lr, &mut ctx_buf);
+                    self.pair_update(
+                        &center_buf,
+                        &mut center_grad,
+                        context,
+                        1.0,
+                        lr,
+                        &mut ctx_buf,
+                    );
                     for _ in 0..self.config.negatives {
                         let neg = self.table.sample(rng) as u32;
                         if neg == context {
@@ -253,9 +257,7 @@ mod tests {
         sgns.train(&corpus);
         let emb = sgns.embeddings();
         // average intra-clique cosine must beat inter-clique
-        let cos = |a: usize, b: usize| {
-            pbg_tensor::vecmath::cosine(emb.row(a), emb.row(b))
-        };
+        let cos = |a: usize, b: usize| pbg_tensor::vecmath::cosine(emb.row(a), emb.row(b));
         let mut intra = 0.0;
         let mut inter = 0.0;
         let mut n_intra = 0;
@@ -272,10 +274,7 @@ mod tests {
         }
         let intra = intra / n_intra as f32;
         let inter = inter / n_inter as f32;
-        assert!(
-            intra > inter + 0.1,
-            "intra {intra} not above inter {inter}"
-        );
+        assert!(intra > inter + 0.1, "intra {intra} not above inter {inter}");
     }
 
     #[test]

@@ -14,7 +14,11 @@ fn random_matrix(rows: usize, cols: usize, seed: u64) -> Matrix {
 
 fn bench_matmul(c: &mut Criterion) {
     let mut group = c.benchmark_group("score_matmul_nt");
-    for &(rows, cands, dim) in &[(50usize, 100usize, 100usize), (50, 200, 100), (1000, 100, 100)] {
+    for &(rows, cands, dim) in &[
+        (50usize, 100usize, 100usize),
+        (50, 200, 100),
+        (1000, 100, 100),
+    ] {
         let a = random_matrix(rows, dim, 1);
         let b = random_matrix(cands, dim, 2);
         group.throughput(Throughput::Elements((rows * cands * dim) as u64));

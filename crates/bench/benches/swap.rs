@@ -1,0 +1,100 @@
+//! Partition swap throughput: synchronous vs pipelined (prefetched)
+//! bucket transitions on a [`DiskStore`] (§4.1's swap pipeline).
+//!
+//! Each iteration walks a row-major bucket order over a P×P grid,
+//! loading the two partitions a bucket needs, touching their
+//! embeddings (stand-in compute), and releasing what the next bucket
+//! does not reuse. The pipelined variant additionally issues
+//! background prefetches for the next bucket's partitions before the
+//! compute phase, so disk I/O overlaps it.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pbg_core::storage::{DiskStore, PartitionKey, PartitionStore, StoreLayout};
+use pbg_core::trainer::EpochPlan;
+use pbg_graph::bucket::BucketId;
+use pbg_graph::schema::{EntityTypeDef, GraphSchema, RelationTypeDef};
+use std::collections::HashSet;
+
+const NODES: u32 = 40_000;
+const DIM: usize = 32;
+
+fn layout(p: u32) -> StoreLayout {
+    let schema = GraphSchema::builder()
+        .entity_type(EntityTypeDef::new("node", NODES).with_partitions(p))
+        .relation_type(RelationTypeDef::new("edge", 0u32, 0u32))
+        .build()
+        .unwrap();
+    StoreLayout::from_schema(&schema, DIM, 0.1, 0.1, 7)
+}
+
+fn grid_needed(b: BucketId) -> HashSet<PartitionKey> {
+    [
+        PartitionKey::new(0u32, b.src.0),
+        PartitionKey::new(0u32, b.dst.0),
+    ]
+    .into_iter()
+    .collect()
+}
+
+fn plan(p: u32) -> EpochPlan {
+    let order: Vec<BucketId> = (0..p)
+        .flat_map(|s| (0..p).map(move |d| BucketId::new(s, d)))
+        .collect();
+    EpochPlan::new(&order, grid_needed)
+}
+
+/// Stand-in for bucket compute: touch every embedding row once.
+fn touch(data: &pbg_core::storage::PartitionData) -> f32 {
+    let mut acc = 0.0f32;
+    for r in 0..data.embeddings.rows() {
+        acc += data.embeddings.get(r, 0);
+    }
+    acc
+}
+
+/// Walks one epoch of bucket transitions through `store`, issuing
+/// prefetches when `prefetch` is set (they are no-ops on a synchronous
+/// store anyway, but skipping them keeps the baseline honest).
+fn run_epoch(store: &DiskStore, plan: &EpochPlan, prefetch: bool) -> f32 {
+    let mut acc = 0.0f32;
+    for step in plan.steps() {
+        if prefetch {
+            for &key in &step.prefetch {
+                store.prefetch(key);
+            }
+        }
+        for &key in &step.needed {
+            acc += touch(&store.load(key));
+        }
+        for &key in &step.release {
+            store.release(key);
+        }
+    }
+    acc
+}
+
+fn bench_swap(c: &mut Criterion) {
+    let mut group = c.benchmark_group("bucket_swap");
+    group.sample_size(10);
+    for &p in &[4u32, 8] {
+        let epoch_plan = plan(p);
+        let dir = std::env::temp_dir().join(format!("pbg_bench_swap_p{p}_{}", std::process::id()));
+        group.bench_with_input(BenchmarkId::new("synchronous", p), &p, |b, _| {
+            let store = DiskStore::new_sync(layout(p), dir.join("sync")).unwrap();
+            b.iter(|| run_epoch(&store, &epoch_plan, false));
+        });
+        group.bench_with_input(BenchmarkId::new("pipelined", p), &p, |b, _| {
+            let store = DiskStore::new(layout(p), dir.join("pipe")).unwrap();
+            b.iter(|| run_epoch(&store, &epoch_plan, true));
+        });
+        std::fs::remove_dir_all(&dir).ok();
+    }
+    group.finish();
+}
+
+criterion_group!(
+    name = benches;
+    config = Criterion::default();
+    targets = bench_swap
+);
+criterion_main!(benches);

@@ -22,7 +22,9 @@ use serde_json::json;
 
 fn main() {
     let args = ExpArgs::parse();
-    let scale = args.scale.unwrap_or(if args.quick { 0.000004 } else { 0.00004 });
+    let scale = args
+        .scale
+        .unwrap_or(if args.quick { 0.000004 } else { 0.00004 });
     let epochs = args.epochs.unwrap_or(if args.quick { 4 } else { 8 });
     let p = 8u32;
     let dataset = presets::freebase_like(scale, 103);
@@ -38,7 +40,13 @@ fn main() {
 
     let mut table = Table::new(
         "Ordering ablation (Figure 1 claim)",
-        &["ordering", "MRR", "Hits@10", "swaps/epoch", "invariant violations"],
+        &[
+            "ordering",
+            "MRR",
+            "Hits@10",
+            "swaps/epoch",
+            "invariant violations",
+        ],
     );
     let mut results = Vec::new();
     for ordering in [
@@ -68,7 +76,12 @@ fn main() {
                 config,
                 None,
             );
-            let m = link_prediction(&run.model, &split, candidates, CandidateSampling::Prevalence);
+            let m = link_prediction(
+                &run.model,
+                &split,
+                candidates,
+                CandidateSampling::Prevalence,
+            );
             mrr_sum += m.mrr;
             hits_sum += m.hits_at_10;
         }
@@ -119,7 +132,12 @@ fn main() {
             config,
             None,
         );
-        let m = link_prediction(&run.model, &split, candidates, CandidateSampling::Prevalence);
+        let m = link_prediction(
+            &run.model,
+            &split,
+            candidates,
+            CandidateSampling::Prevalence,
+        );
         strat.row(&[
             passes.to_string(),
             format!("{:.3}", m.mrr),

@@ -97,13 +97,16 @@ fn run_epoch(
         .epochs(1)
         .batch_size(1000.max(chunk))
         .chunk_size(chunk)
-        .uniform_negatives(uniform.max(if mode == NegativeMode::Unbatched { 1 } else { 0 }))
+        .uniform_negatives(uniform.max(if mode == NegativeMode::Unbatched {
+            1
+        } else {
+            0
+        }))
         .negative_mode(mode)
         .threads(4)
         .build()
         .expect("valid config");
-    let mut trainer =
-        Trainer::new(schema.clone(), edges, config).expect("valid trainer");
+    let mut trainer = Trainer::new(schema.clone(), edges, config).expect("valid trainer");
     let stats = trainer.train_epoch();
     stats.edges as f64 / stats.seconds.max(1e-9)
 }

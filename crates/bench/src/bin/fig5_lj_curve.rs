@@ -23,7 +23,9 @@ use pbg_graph::split::EdgeSplit;
 
 fn main() {
     let args = ExpArgs::parse();
-    let scale = args.scale.unwrap_or(if args.quick { 0.0001 } else { 0.0003 });
+    let scale = args
+        .scale
+        .unwrap_or(if args.quick { 0.0001 } else { 0.0003 });
     let epochs = args.epochs.unwrap_or(if args.quick { 4 } else { 10 });
     let dataset = presets::livejournal_like(scale, 71);
     let n = dataset.num_nodes() as usize;
@@ -49,10 +51,15 @@ fn main() {
         .threads(4)
         .build()
         .expect("valid config");
-    train_pbg_with_curve(dataset.schema.clone(), &split.train, config, |epoch, secs, snap| {
-        let m = link_prediction(snap, &split, candidates, CandidateSampling::Uniform);
-        pbg_curve.record_at(secs, epoch, m.mrr);
-    });
+    train_pbg_with_curve(
+        dataset.schema.clone(),
+        &split.train,
+        config,
+        |epoch, secs, snap| {
+            let m = link_prediction(snap, &split, candidates, CandidateSampling::Uniform);
+            pbg_curve.record_at(secs, epoch, m.mrr);
+        },
+    );
 
     // DeepWalk curve (per SGNS epoch)
     let mut dw_curve = LearningCurve::start("DeepWalk");

@@ -20,7 +20,9 @@ use pbg_graph::split::EdgeSplit;
 
 fn main() {
     let args = ExpArgs::parse();
-    let scale = args.scale.unwrap_or(if args.quick { 0.000004 } else { 0.00004 });
+    let scale = args
+        .scale
+        .unwrap_or(if args.quick { 0.000004 } else { 0.00004 });
     let epochs = args.epochs.unwrap_or(if args.quick { 4 } else { 8 });
     let dataset = presets::freebase_like(scale, 83);
     let split = EdgeSplit::ninety_five_five(&dataset.edges, 83);

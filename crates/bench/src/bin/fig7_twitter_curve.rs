@@ -19,7 +19,9 @@ use pbg_graph::split::EdgeSplit;
 
 fn main() {
     let args = ExpArgs::parse();
-    let scale = args.scale.unwrap_or(if args.quick { 0.00001 } else { 0.00003 });
+    let scale = args
+        .scale
+        .unwrap_or(if args.quick { 0.00001 } else { 0.00003 });
     let epochs = args.epochs.unwrap_or(if args.quick { 4 } else { 8 });
     let dataset = presets::twitter_like(scale, 97);
     let split = EdgeSplit::ninety_five_five(&dataset.edges, 97);

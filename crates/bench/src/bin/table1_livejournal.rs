@@ -31,7 +31,9 @@ use serde_json::json;
 
 fn main() {
     let args = ExpArgs::parse();
-    let scale = args.scale.unwrap_or(if args.quick { 0.0001 } else { 0.0005 });
+    let scale = args
+        .scale
+        .unwrap_or(if args.quick { 0.0001 } else { 0.0005 });
     let epochs = args.epochs.unwrap_or(if args.quick { 3 } else { 8 });
     let dataset = presets::livejournal_like(scale, 17);
     let n = dataset.num_nodes() as usize;
@@ -51,11 +53,11 @@ fn main() {
     );
     let mut results = Vec::new();
     let push = |table: &mut Table,
-                    results: &mut Vec<serde_json::Value>,
-                    name: &str,
-                    m: pbg_eval::ranking::RankingMetrics,
-                    bytes: usize,
-                    secs: f64| {
+                results: &mut Vec<serde_json::Value>,
+                name: &str,
+                m: pbg_eval::ranking::RankingMetrics,
+                bytes: usize,
+                secs: f64| {
         table.row(&[
             name.into(),
             format!("{:.3}", m.mrr),
@@ -90,7 +92,14 @@ fn main() {
         candidates,
         CandidateSampling::Uniform,
     );
-    push(&mut table, &mut results, "DeepWalk", m, dw.peak_bytes, dw.seconds);
+    push(
+        &mut table,
+        &mut results,
+        "DeepWalk",
+        m,
+        dw.peak_bytes,
+        dw.seconds,
+    );
 
     // MILE at 1 and 5 levels
     for levels in [1usize, 5] {

@@ -33,11 +33,7 @@ use pbg_tensor::matrix::Matrix;
 use serde_json::json;
 
 /// 10-fold CV micro/macro F1 of one-vs-rest logreg on `embeddings`.
-fn classify(
-    embeddings: &Matrix,
-    labels: &pbg_datagen::labels::Labels,
-    folds: usize,
-) -> (f64, f64) {
+fn classify(embeddings: &Matrix, labels: &pbg_datagen::labels::Labels, folds: usize) -> (f64, f64) {
     let nodes = labels.labeled_nodes();
     // L2-normalized features: MILE's refinement emits unit vectors, so
     // normalizing every system keeps the logreg comparison fair
@@ -107,7 +103,11 @@ fn main() {
 
     let dw = DeepWalk::new(dw_config.clone()).embed(&dataset.edges, n);
     let (micro, macro_) = classify(&dw.embeddings, labels, folds);
-    table.row(&["DeepWalk".into(), format!("{:.1}%", micro * 100.0), format!("{:.1}%", macro_ * 100.0)]);
+    table.row(&[
+        "DeepWalk".into(),
+        format!("{:.1}%", micro * 100.0),
+        format!("{:.1}%", macro_ * 100.0),
+    ]);
     results.push(json!({"method": "DeepWalk", "micro_f1": micro, "macro_f1": macro_}));
 
     for levels in [2usize, 6] {
@@ -119,7 +119,11 @@ fn main() {
         .embed(&dataset.edges, n);
         let (micro, macro_) = classify(&mile.embeddings, labels, folds);
         let name = format!("MILE ({levels} levels)");
-        table.row(&[name.clone(), format!("{:.1}%", micro * 100.0), format!("{:.1}%", macro_ * 100.0)]);
+        table.row(&[
+            name.clone(),
+            format!("{:.1}%", micro * 100.0),
+            format!("{:.1}%", macro_ * 100.0),
+        ]);
         results.push(json!({"method": name, "micro_f1": micro, "macro_f1": macro_}));
     }
 
@@ -137,7 +141,11 @@ fn main() {
         .expect("valid config");
     let run = train_pbg(dataset.schema.clone(), &dataset.edges, config, None);
     let (micro, macro_) = classify(&run.model.embeddings[0], labels, folds);
-    table.row(&["PBG (1 partition)".into(), format!("{:.1}%", micro * 100.0), format!("{:.1}%", macro_ * 100.0)]);
+    table.row(&[
+        "PBG (1 partition)".into(),
+        format!("{:.1}%", micro * 100.0),
+        format!("{:.1}%", macro_ * 100.0),
+    ]);
     results.push(json!({"method": "PBG (1 partition)", "micro_f1": micro, "macro_f1": macro_}));
 
     table.print();

@@ -32,9 +32,33 @@ use serde_json::json;
 const PAPER_NODES: u64 = 41_652_230;
 const PAPER_TRAIN_EDGES: u64 = 1_321_528_664;
 
+/// Paper-scale projection; `pipelined: false` reproduces the paper's
+/// synchronous swapping (the published hour columns), `true` projects
+/// the pipelined swap implementation.
+fn project(
+    partitions: u32,
+    machines: usize,
+    edges_per_sec: f64,
+    pipelined: bool,
+) -> pbg_distsim::event::EventSimReport {
+    simulate(&EventSimConfig {
+        nodes: PAPER_NODES,
+        edges: PAPER_TRAIN_EDGES,
+        dim: 100,
+        partitions,
+        machines,
+        epochs: 10,
+        edges_per_sec,
+        pipelined,
+        ..Default::default()
+    })
+}
+
 fn main() {
     let args = ExpArgs::parse();
-    let scale = args.scale.unwrap_or(if args.quick { 0.00001 } else { 0.00003 });
+    let scale = args
+        .scale
+        .unwrap_or(if args.quick { 0.00001 } else { 0.00003 });
     let epochs = args.epochs.unwrap_or(if args.quick { 4 } else { 10 });
     let dataset = presets::twitter_like(scale, 53);
     println!(
@@ -61,50 +85,66 @@ fn main() {
     if !args.distributed {
         let mut table = Table::new(
             "Table 4 (left) — Twitter, single machine, partition sweep",
-            &["P", "MRR", "Hits@10", "measured s", "peak mem", "projected h"],
+            &[
+                "P",
+                "MRR",
+                "Hits@10",
+                "measured s",
+                "peak mem",
+                "prefetch hits",
+                "swap wait s",
+                "projected h",
+                "pipelined h",
+            ],
         );
         let mut measured_eps = 2_000_000.0;
         for p in [1u32, 4, 8, 16] {
             let schema = dataset.schema_with_partitions(p);
-            let dir = (p > 1).then(|| {
-                std::env::temp_dir().join(format!("pbg_t4_p{p}_{}", std::process::id()))
-            });
+            let dir = (p > 1)
+                .then(|| std::env::temp_dir().join(format!("pbg_t4_p{p}_{}", std::process::id())));
             let run = train_pbg(schema, &split.train, config_base.clone(), dir.clone());
             if let Some(d) = dir {
                 std::fs::remove_dir_all(&d).ok();
             }
-            let m = link_prediction(&run.model, &split, candidates, CandidateSampling::Prevalence);
+            let m = link_prediction(
+                &run.model,
+                &split,
+                candidates,
+                CandidateSampling::Prevalence,
+            );
             let total_train_secs: f64 = run.epochs.iter().map(|e| e.seconds).sum();
             let eps = split.train.len() as f64 * epochs as f64 / total_train_secs.max(1e-9);
             if p == 1 {
                 measured_eps = eps;
             }
-            let projection = simulate(&EventSimConfig {
-                nodes: PAPER_NODES,
-                edges: PAPER_TRAIN_EDGES,
-                dim: 100,
-                partitions: p,
-                machines: 1,
-                epochs: 10,
-                edges_per_sec: measured_eps,
-                ..Default::default()
-            });
+            let projection = project(p, 1, measured_eps, false);
+            let overlapped = project(p, 1, measured_eps, true);
+            let prefetch_hits: usize = run.epochs.iter().map(|e| e.prefetch_hits).sum();
+            let swap_wait: f64 = run.epochs.iter().map(|e| e.swap_wait_seconds).sum();
+            let written_back: u64 = run.epochs.iter().map(|e| e.bytes_written_back).sum();
             table.row(&[
                 p.to_string(),
                 format!("{:.3}", m.mrr),
                 format!("{:.3}", m.hits_at_10),
                 format!("{:.1}", run.seconds),
                 format_bytes(run.peak_bytes),
+                prefetch_hits.to_string(),
+                format!("{swap_wait:.3}"),
                 format!(
                     "{:.0} h / {}",
                     projection.total_hours,
                     format_bytes(projection.peak_memory_bytes as usize)
                 ),
+                format!("{:.0}", overlapped.total_hours),
             ]);
             results.push(json!({
                 "partitions": p, "mrr": m.mrr, "hits_at_10": m.hits_at_10,
                 "measured_seconds": run.seconds, "peak_bytes": run.peak_bytes,
+                "prefetch_hits": prefetch_hits,
+                "swap_wait_seconds": swap_wait,
+                "bytes_written_back": written_back,
                 "projected_hours": projection.total_hours,
+                "projected_pipelined_hours": overlapped.total_hours,
                 "projected_peak_bytes": projection.peak_memory_bytes,
             }));
         }
@@ -114,7 +154,17 @@ fn main() {
     } else {
         let mut table = Table::new(
             "Table 4 (right) — Twitter, distributed, machine sweep (P = 2M)",
-            &["M", "P", "MRR", "Hits@10", "measured s", "peak/machine", "projected h"],
+            &[
+                "M",
+                "P",
+                "MRR",
+                "Hits@10",
+                "measured s",
+                "peak/machine",
+                "prefetch hits",
+                "projected h",
+                "pipelined h",
+            ],
         );
         // per-machine throughput calibrated once from the M=1 run: at
         // paper scale each machine trains at the single-machine rate and
@@ -146,21 +196,15 @@ fn main() {
                 calibrated_eps = split.train.len() as f64 * epochs as f64
                     / stats.iter().map(|e| e.seconds).sum::<f64>().max(1e-9);
             }
-            let projection = simulate(&EventSimConfig {
-                nodes: PAPER_NODES,
-                edges: PAPER_TRAIN_EDGES,
-                dim: 100,
-                partitions: p.max(1),
-                machines,
-                epochs: 10,
-                edges_per_sec: calibrated_eps.max(1.0),
-                ..Default::default()
-            });
+            let projection = project(p.max(1), machines, calibrated_eps.max(1.0), false);
+            let overlapped = project(p.max(1), machines, calibrated_eps.max(1.0), true);
             let peak = stats
                 .iter()
                 .map(|e| e.peak_machine_bytes)
                 .max()
                 .unwrap_or(0);
+            let prefetch_hits: usize = stats.iter().map(|e| e.prefetch_hits).sum();
+            let sim_pipelined: f64 = stats.iter().map(|e| e.sim_pipelined_seconds).sum();
             table.row(&[
                 machines.to_string(),
                 p.to_string(),
@@ -168,13 +212,18 @@ fn main() {
                 format!("{:.3}", m.hits_at_10),
                 format!("{seconds:.1}"),
                 format_bytes(peak),
+                prefetch_hits.to_string(),
                 format!("{:.0}", projection.total_hours),
+                format!("{:.0}", overlapped.total_hours),
             ]);
             results.push(json!({
                 "machines": machines, "partitions": p, "mrr": m.mrr,
                 "hits_at_10": m.hits_at_10, "measured_seconds": seconds,
                 "peak_machine_bytes": peak,
+                "prefetch_hits": prefetch_hits,
+                "sim_pipelined_seconds": sim_pipelined,
                 "projected_hours": projection.total_hours,
+                "projected_pipelined_hours": overlapped.total_hours,
             }));
         }
         table.print();

@@ -24,6 +24,25 @@ pub struct PbgRun {
     pub seconds: f64,
 }
 
+impl PbgRun {
+    /// Loads served by a completed background prefetch, summed over
+    /// epochs (0 for in-memory runs).
+    pub fn total_prefetch_hits(&self) -> usize {
+        self.epochs.iter().map(|e| e.prefetch_hits).sum()
+    }
+
+    /// Seconds the training hot path spent blocked on partition I/O,
+    /// summed over epochs.
+    pub fn total_swap_wait_seconds(&self) -> f64 {
+        self.epochs.iter().map(|e| e.swap_wait_seconds).sum()
+    }
+
+    /// Bytes written back to backing storage, summed over epochs.
+    pub fn total_bytes_written_back(&self) -> u64 {
+        self.epochs.iter().map(|e| e.bytes_written_back).sum()
+    }
+}
+
 /// Trains PBG on `train` with `partitions` partitions; disk-swapped when
 /// `partitions > 1` and `disk` is set.
 ///
@@ -172,6 +191,35 @@ mod tests {
         let wrapped = wrap_embeddings(run.model.embeddings[0].clone(), dataset.schema.clone());
         let m2 = link_prediction(&wrapped, &split, 20, CandidateSampling::Uniform);
         assert!(m2.mrr > 0.0);
+    }
+
+    #[test]
+    fn disk_swapped_run_reports_prefetch_traffic() {
+        let dataset = presets::livejournal_like(0.00005, 3);
+        let split = EdgeSplit::seventy_five_twenty_five(&dataset.edges, 3);
+        let config = PbgConfig::builder()
+            .dim(8)
+            .epochs(2)
+            .batch_size(100)
+            .chunk_size(10)
+            .uniform_negatives(10)
+            .threads(1)
+            .build()
+            .unwrap();
+        let dir = std::env::temp_dir().join(format!("pbg_harness_io_{}", std::process::id()));
+        let run = train_pbg(
+            dataset.schema_with_partitions(4),
+            &split.train,
+            config,
+            Some(dir.clone()),
+        );
+        std::fs::remove_dir_all(&dir).ok();
+        assert!(
+            run.total_prefetch_hits() > 0,
+            "pipelined store must prefetch"
+        );
+        assert!(run.total_bytes_written_back() > 0);
+        assert!(run.total_swap_wait_seconds() >= 0.0);
     }
 
     #[test]

@@ -33,9 +33,7 @@ pub fn relation_batches(edges: &EdgeList, batch_size: usize) -> Vec<Batch> {
     while start < order.len() {
         let rel = edges.relations()[order[start]];
         let mut end = start;
-        while end < order.len()
-            && edges.relations()[order[end]] == rel
-            && end - start < batch_size
+        while end < order.len() && edges.relations()[order[end]] == rel && end - start < batch_size
         {
             end += 1;
         }

@@ -94,7 +94,8 @@ pub fn load(dir: impl AsRef<Path>) -> Result<TrainedEmbeddings> {
             .map_err(|e| PbgError::Checkpoint(format!("bad schema.json: {e}")))?;
     let dim = meta["dim"]
         .as_u64()
-        .ok_or_else(|| PbgError::Checkpoint("meta.json missing dim".into()))? as usize;
+        .ok_or_else(|| PbgError::Checkpoint("meta.json missing dim".into()))?
+        as usize;
     let similarity: crate::config::SimilarityKind =
         serde_json::from_value(meta["similarity"].clone())
             .map_err(|e| PbgError::Checkpoint(format!("bad similarity: {e}")))?;
@@ -129,7 +130,9 @@ fn read_header(data: &mut &[u8]) -> Result<u8> {
     }
     let version = data.get_u8();
     if version != VERSION {
-        return Err(PbgError::Checkpoint(format!("unsupported version {version}")));
+        return Err(PbgError::Checkpoint(format!(
+            "unsupported version {version}"
+        )));
     }
     let kind = data.get_u8();
     let _reserved = data.get_u16();
@@ -238,9 +241,7 @@ pub fn save_config(config: &PbgConfig, dir: impl AsRef<Path>) -> Result<()> {
 ///
 /// Returns an error when the file is missing or invalid.
 pub fn load_config(dir: impl AsRef<Path>) -> Result<PbgConfig> {
-    PbgConfig::from_json(&std::fs::read_to_string(
-        dir.as_ref().join("config.json"),
-    )?)
+    PbgConfig::from_json(&std::fs::read_to_string(dir.as_ref().join("config.json"))?)
 }
 
 #[cfg(test)]

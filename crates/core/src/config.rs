@@ -380,8 +380,10 @@ mod tests {
     fn bad_json_rejected() {
         assert!(PbgConfig::from_json("{").is_err());
         // valid JSON but invalid config
-        let mut c = PbgConfig::default();
-        c.dim = 0;
+        let c = PbgConfig {
+            dim: 0,
+            ..Default::default()
+        };
         let json = serde_json::to_string(&c).unwrap();
         assert!(PbgConfig::from_json(&json).is_err());
     }

@@ -91,8 +91,7 @@ impl LinkPredictionEval {
             {
                 let et = rdef.dest_type().index();
                 let cands = self.draw(&samplers[et], model, et, &mut rng);
-                let mut scores =
-                    model.score_against_destinations(e.src.0, rel, &cands);
+                let mut scores = model.score_against_destinations(e.src.0, rel, &cands);
                 self.apply_filter_dst(&known, e.src.0, rel, &cands, &mut scores);
                 let pos = model.score(e.src.0, rel, e.dst.0);
                 acc.push_scores(pos, &scores);

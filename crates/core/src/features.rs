@@ -187,10 +187,7 @@ mod tests {
 
     fn assignment() -> FeatureAssignment {
         // 4 entities over 3 features; entity 3 shares features with 0
-        FeatureAssignment::new(
-            &[vec![0], vec![1], vec![2], vec![0, 1]],
-            3,
-        )
+        FeatureAssignment::new(&[vec![0], vec![1], vec![2], vec![0, 1]], 3)
     }
 
     #[test]

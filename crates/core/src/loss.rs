@@ -130,7 +130,11 @@ pub fn compute(
 mod tests {
     use super::*;
 
-    const LOSSES: [LossKind; 3] = [LossKind::MarginRanking, LossKind::Logistic, LossKind::Softmax];
+    const LOSSES: [LossKind; 3] = [
+        LossKind::MarginRanking,
+        LossKind::Logistic,
+        LossKind::Softmax,
+    ];
 
     fn neg_matrix(rows: &[&[f32]]) -> Matrix {
         Matrix::from_rows(rows)

@@ -63,7 +63,7 @@ impl Model {
     pub fn new(schema: GraphSchema, config: PbgConfig) -> Result<Self> {
         config.validate()?;
         for r in schema.relation_types() {
-            if r.operator() == OperatorKind::ComplexDiagonal && config.dim % 2 != 0 {
+            if r.operator() == OperatorKind::ComplexDiagonal && !config.dim.is_multiple_of(2) {
                 return Err(PbgError::Config(format!(
                     "relation `{}` uses the complex operator; dim must be even, got {}",
                     r.name(),
@@ -310,11 +310,7 @@ impl TrainedEmbeddings {
 
     /// Total bytes of the dense snapshot.
     pub fn bytes(&self) -> usize {
-        let emb: usize = self
-            .embeddings
-            .iter()
-            .map(|m| m.as_slice().len() * 4)
-            .sum();
+        let emb: usize = self.embeddings.iter().map(|m| m.as_slice().len() * 4).sum();
         let rel: usize = self
             .relations
             .iter()
@@ -352,7 +348,10 @@ mod tests {
     fn model_builds_and_exposes_relations() {
         let m = Model::new(schema(OperatorKind::Translation), config(8)).unwrap();
         assert_eq!(m.num_relations(), 1);
-        assert_eq!(m.relation(RelationTypeId(0)).op(), OperatorKind::Translation);
+        assert_eq!(
+            m.relation(RelationTypeId(0)).op(),
+            OperatorKind::Translation
+        );
         assert_eq!(m.relation(RelationTypeId(0)).forward.len(), 8);
         assert!(m.relation(RelationTypeId(0)).reciprocal.is_none());
     }

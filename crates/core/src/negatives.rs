@@ -61,8 +61,7 @@ pub fn mask_induced_positives(
 ) {
     assert_eq!(scores.rows(), true_offsets.len(), "mask: row mismatch");
     assert_eq!(scores.cols(), candidate_offsets.len(), "mask: col mismatch");
-    for i in 0..true_offsets.len() {
-        let truth = true_offsets[i];
+    for (i, &truth) in true_offsets.iter().enumerate() {
         let row = scores.row_mut(i);
         for (j, &cand) in candidate_offsets.iter().enumerate() {
             if cand == truth {
@@ -78,10 +77,7 @@ pub fn mask_induced_positives(
 /// # Panics
 ///
 /// Panics if any offset is out of bounds.
-pub fn gather(
-    array: &pbg_tensor::hogwild::HogwildArray,
-    offsets: &[u32],
-) -> Matrix {
+pub fn gather(array: &pbg_tensor::hogwild::HogwildArray, offsets: &[u32]) -> Matrix {
     let dim = array.cols();
     let mut out = Matrix::zeros(offsets.len(), dim);
     for (i, &off) in offsets.iter().enumerate() {

@@ -67,9 +67,7 @@ pub fn top_destinations(
     let rdef = model.schema.relation_type(relation);
     let n = model.schema.entity_type(rdef.dest_type()).num_entities();
     let same_type = rdef.source_type() == rdef.dest_type();
-    let candidates: Vec<u32> = (0..n)
-        .filter(|&d| !(same_type && d == source))
-        .collect();
+    let candidates: Vec<u32> = (0..n).filter(|&d| !(same_type && d == source)).collect();
     let scores = model.score_against_destinations(source, relation, &candidates);
     top_k(
         candidates

@@ -23,7 +23,7 @@ pub fn init_params(op: OperatorKind, dim: usize) -> Vec<f32> {
         OperatorKind::Translation => vec![0.0; dim],
         OperatorKind::Diagonal => vec![1.0; dim],
         OperatorKind::ComplexDiagonal => {
-            assert!(dim % 2 == 0, "complex operator needs even dim");
+            assert!(dim.is_multiple_of(2), "complex operator needs even dim");
             let mut p = vec![0.0; dim];
             for i in (0..dim).step_by(2) {
                 p[i] = 1.0; // 1 + 0i
@@ -166,7 +166,9 @@ mod tests {
     }
 
     fn random_params(op: OperatorKind, dim: usize, rng: &mut Xoshiro256) -> Vec<f32> {
-        (0..op.param_count(dim)).map(|_| rng.gen_normal() * 0.5).collect()
+        (0..op.param_count(dim))
+            .map(|_| rng.gen_normal() * 0.5)
+            .collect()
     }
 
     /// Scalar objective for gradient checking: sum of (out ⊙ probe).

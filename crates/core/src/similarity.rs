@@ -58,14 +58,14 @@ pub fn backward_pairs(
     let mut gb = Matrix::zeros(b.rows(), b.cols());
     match sim {
         SimilarityKind::Dot => {
-            for i in 0..a.rows() {
-                vecmath::axpy(grad[i], b.row(i), ga.row_mut(i));
-                vecmath::axpy(grad[i], a.row(i), gb.row_mut(i));
+            for (i, &g) in grad.iter().enumerate() {
+                vecmath::axpy(g, b.row(i), ga.row_mut(i));
+                vecmath::axpy(g, a.row(i), gb.row_mut(i));
             }
         }
         SimilarityKind::Cosine => {
-            for i in 0..a.rows() {
-                let (gai, gbi) = cosine_pair_backward(a.row(i), b.row(i), grad[i]);
+            for (i, &g) in grad.iter().enumerate() {
+                let (gai, gbi) = cosine_pair_backward(a.row(i), b.row(i), g);
                 ga.row_mut(i).copy_from_slice(&gai);
                 gb.row_mut(i).copy_from_slice(&gbi);
             }
@@ -184,9 +184,9 @@ mod tests {
         for sim in [SimilarityKind::Dot, SimilarityKind::Cosine] {
             let pairs = score_pairs(sim, &a, &b);
             let matrix = score_matrix(sim, &a, &b);
-            for i in 0..4 {
+            for (i, &p) in pairs.iter().enumerate() {
                 assert!(
-                    (pairs[i] - matrix.row(i)[i]).abs() < 1e-4,
+                    (p - matrix.row(i)[i]).abs() < 1e-4,
                     "{sim:?}: diag mismatch at {i}"
                 );
             }

@@ -47,6 +47,43 @@ pub struct EpochStats {
     pub swap_ins: usize,
     /// Peak resident embedding bytes so far.
     pub peak_bytes: usize,
+    /// Loads served by a completed background prefetch (pipelined
+    /// stores; 0 for in-memory or synchronous storage).
+    pub prefetch_hits: usize,
+    /// Seconds the training hot path spent blocked on partition I/O.
+    pub swap_wait_seconds: f64,
+    /// Bytes written back to backing storage by partition releases.
+    pub bytes_written_back: u64,
+}
+
+/// Per-epoch I/O counter deltas, taken from a
+/// [`crate::storage::PartitionStore`] before and after the epoch.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct IoStats {
+    /// Partition loads that went to backing storage.
+    pub swap_ins: usize,
+    /// Loads served by a completed background prefetch.
+    pub prefetch_hits: usize,
+    /// Seconds the hot path spent blocked on partition I/O.
+    pub swap_wait_seconds: f64,
+    /// Bytes written back on release.
+    pub bytes_written_back: u64,
+    /// Peak resident embedding bytes.
+    pub peak_bytes: usize,
+}
+
+impl IoStats {
+    /// Delta of the monotonic counters relative to an `earlier`
+    /// snapshot; `peak_bytes` is a high-water mark and kept absolute.
+    pub fn delta_since(&self, earlier: &IoStats) -> IoStats {
+        IoStats {
+            swap_ins: self.swap_ins - earlier.swap_ins,
+            prefetch_hits: self.prefetch_hits - earlier.prefetch_hits,
+            swap_wait_seconds: self.swap_wait_seconds - earlier.swap_wait_seconds,
+            bytes_written_back: self.bytes_written_back - earlier.bytes_written_back,
+            peak_bytes: self.peak_bytes,
+        }
+    }
 }
 
 /// Aggregates bucket stats into an epoch.
@@ -72,8 +109,8 @@ impl EpochAccumulator {
         self.buckets += 1;
     }
 
-    /// Finalizes the epoch.
-    pub fn finish(self, epoch: usize, swap_ins: usize, peak_bytes: usize) -> EpochStats {
+    /// Finalizes the epoch with the store's I/O counter deltas.
+    pub fn finish(self, epoch: usize, io: IoStats) -> EpochStats {
         EpochStats {
             epoch,
             edges: self.edges,
@@ -84,8 +121,11 @@ impl EpochAccumulator {
             },
             seconds: self.seconds,
             buckets: self.buckets,
-            swap_ins,
-            peak_bytes,
+            swap_ins: io.swap_ins,
+            peak_bytes: io.peak_bytes,
+            prefetch_hits: io.prefetch_hits,
+            swap_wait_seconds: io.swap_wait_seconds,
+            bytes_written_back: io.bytes_written_back,
         }
     }
 }
@@ -180,17 +220,29 @@ mod tests {
             loss: 30.0,
             seconds: 2.0,
         });
-        let e = acc.finish(1, 4, 1234);
+        let e = acc.finish(
+            1,
+            IoStats {
+                swap_ins: 4,
+                prefetch_hits: 3,
+                swap_wait_seconds: 0.25,
+                bytes_written_back: 4096,
+                peak_bytes: 1234,
+            },
+        );
         assert_eq!(e.edges, 400);
         assert_eq!(e.buckets, 2);
         assert!((e.mean_loss - 0.1).abs() < 1e-12);
         assert_eq!(e.swap_ins, 4);
         assert_eq!(e.peak_bytes, 1234);
+        assert_eq!(e.prefetch_hits, 3);
+        assert_eq!(e.swap_wait_seconds, 0.25);
+        assert_eq!(e.bytes_written_back, 4096);
     }
 
     #[test]
     fn empty_epoch_has_zero_loss() {
-        let e = EpochAccumulator::new().finish(1, 0, 0);
+        let e = EpochAccumulator::new().finish(1, IoStats::default());
         assert_eq!(e.mean_loss, 0.0);
     }
 

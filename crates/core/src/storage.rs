@@ -7,23 +7,28 @@
 //! bucket needs and releases the ones it no longer uses.
 //! [`DiskStore`] writes released partitions to files and reloads them on
 //! demand, tracking resident and peak bytes — the numbers behind the
-//! memory columns of Tables 3 and 4.
+//! memory columns of Tables 3 and 4. In its default pipelined mode a
+//! background I/O thread double-buffers the next bucket's partitions
+//! ([`PartitionStore::prefetch`]) and writes released ones back off the
+//! hot path, so bucket `k+1`'s swap overlaps bucket `k`'s compute.
 
 use crate::error::{PbgError, Result};
+use crossbeam::channel;
+use parking_lot::{Condvar, Mutex};
 use pbg_graph::ids::{EntityTypeId, Partition};
 use pbg_graph::partition::EntityPartitioning;
 use pbg_graph::schema::GraphSchema;
 use pbg_tensor::adagrad::AdagradRow;
 use pbg_tensor::hogwild::HogwildArray;
 use pbg_tensor::rng::Xoshiro256;
-use parking_lot::Mutex;
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 use std::path::PathBuf;
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
+use std::time::Instant;
 
 /// Key of one embedding partition.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct PartitionKey {
     /// The entity type.
     pub entity_type: EntityTypeId,
@@ -103,6 +108,24 @@ pub trait PartitionStore: Send + Sync {
     fn swap_ins(&self) -> usize;
     /// Forces everything resident (used before evaluation snapshots).
     fn load_all(&self);
+    /// Hints that `key` will be loaded soon; implementations may fetch
+    /// it in the background so the later [`PartitionStore::load`] does
+    /// not block. Callers must not prefetch keys of the bucket currently
+    /// training (see [`crate::trainer::plan::EpochPlan`]). Default: no-op.
+    fn prefetch(&self, _key: PartitionKey) {}
+    /// Loads served by a completed prefetch instead of blocking I/O.
+    fn prefetch_hits(&self) -> usize {
+        0
+    }
+    /// Nanoseconds the hot path spent blocked on backing-storage I/O
+    /// (synchronous reads plus waits for in-flight prefetches).
+    fn swap_wait_nanos(&self) -> u64 {
+        0
+    }
+    /// Bytes written back to backing storage by releases.
+    fn bytes_written_back(&self) -> u64 {
+        0
+    }
 }
 
 /// Shape metadata shared by store implementations.
@@ -117,7 +140,13 @@ pub struct StoreLayout {
 
 impl StoreLayout {
     /// Derives the layout from a schema and training hyperparameters.
-    pub fn from_schema(schema: &GraphSchema, dim: usize, lr: f32, init_scale: f32, seed: u64) -> Self {
+    pub fn from_schema(
+        schema: &GraphSchema,
+        dim: usize,
+        lr: f32,
+        init_scale: f32,
+        seed: u64,
+    ) -> Self {
         let mut keys = Vec::new();
         for (t, def) in schema.entity_types().iter().enumerate() {
             let partitioning = EntityPartitioning::new(def.num_entities(), def.num_partitions());
@@ -224,37 +253,49 @@ impl PartitionStore for InMemoryStore {
     fn load_all(&self) {}
 }
 
-/// Swaps partitions to files under a directory, keeping only loaded ones
-/// resident.
-#[derive(Debug)]
-pub struct DiskStore {
+/// Requests handled by the [`DiskStore`] background I/O thread.
+enum IoMsg {
+    /// Read `key` from disk (or initialize it) into the prefetch buffer.
+    Prefetch(PartitionKey),
+    /// Write a released partition back to its file.
+    WriteBack(PartitionKey, Arc<PartitionData>),
+    /// Drain remaining messages were already processed (FIFO); exit.
+    Shutdown,
+}
+
+/// Map state of a [`DiskStore`], guarded by one mutex.
+#[derive(Default)]
+struct SwapState {
+    /// Partitions checked out by the trainer (the logical resident set).
+    resident: HashMap<PartitionKey, Arc<PartitionData>>,
+    /// Completed prefetches not yet claimed by a `load`.
+    prefetched: HashMap<PartitionKey, Arc<PartitionData>>,
+    /// Prefetches requested but not yet completed.
+    inflight: HashSet<PartitionKey>,
+    /// Released partitions whose write-back has not finished; consulted
+    /// before any disk read so correctness never depends on flush timing.
+    dirty: HashMap<PartitionKey, Arc<PartitionData>>,
+    /// Queued-or-in-progress write-backs per key. A file is only read
+    /// when its key has no pending writes, so reads never race writes.
+    pending_writes: HashMap<PartitionKey, usize>,
+}
+
+/// State shared between the front end and the background I/O thread.
+struct DiskShared {
     layout: StoreLayout,
     dir: PathBuf,
-    resident: Mutex<HashMap<PartitionKey, Arc<PartitionData>>>,
+    state: Mutex<SwapState>,
+    /// Signaled by the I/O thread when an in-flight prefetch completes.
+    ready: Condvar,
     resident_bytes: AtomicUsize,
     peak_bytes: AtomicUsize,
     swap_ins: AtomicUsize,
+    prefetch_hits: AtomicUsize,
+    swap_wait_nanos: AtomicU64,
+    bytes_written_back: AtomicU64,
 }
 
-impl DiskStore {
-    /// Creates a disk-backed store under `dir` (created if missing).
-    ///
-    /// # Errors
-    ///
-    /// Returns an error if the directory cannot be created.
-    pub fn new(layout: StoreLayout, dir: impl Into<PathBuf>) -> Result<Self> {
-        let dir = dir.into();
-        std::fs::create_dir_all(&dir)?;
-        Ok(DiskStore {
-            layout,
-            dir,
-            resident: Mutex::new(HashMap::new()),
-            resident_bytes: AtomicUsize::new(0),
-            peak_bytes: AtomicUsize::new(0),
-            swap_ins: AtomicUsize::new(0),
-        })
-    }
-
+impl DiskShared {
     fn path_of(&self, key: PartitionKey) -> PathBuf {
         self.dir
             .join(format!("et{}_p{}.emb", key.entity_type, key.partition))
@@ -290,6 +331,16 @@ impl DiskStore {
         )))
     }
 
+    fn read_or_init(&self, key: PartitionKey) -> PartitionData {
+        match self
+            .read_from_disk(key)
+            .expect("disk store read failed; inspect the store directory")
+        {
+            Some(d) => d,
+            None => self.layout.init(key),
+        }
+    }
+
     fn write_to_disk(&self, key: PartitionKey, data: &PartitionData) -> Result<()> {
         let mut floats = data.embeddings.to_vec();
         floats.extend(data.adagrad.to_vec());
@@ -307,50 +358,267 @@ impl DiskStore {
     }
 }
 
+/// Background loop: prefetch reads and write-backs, strictly FIFO.
+///
+/// FIFO matters: a `WriteBack(k)` enqueued before a `Prefetch(k)` is
+/// always written before the prefetch reads the file, so a prefetch
+/// after a release observes the released data.
+fn io_loop(shared: Arc<DiskShared>, rx: channel::Receiver<IoMsg>) {
+    while let Ok(msg) = rx.recv() {
+        match msg {
+            IoMsg::Shutdown => break,
+            IoMsg::WriteBack(key, data) => {
+                shared
+                    .write_to_disk(key, &data)
+                    .expect("disk store write failed; inspect the store directory");
+                shared
+                    .bytes_written_back
+                    .fetch_add(data.bytes() as u64, Ordering::SeqCst);
+                let mut st = shared.state.lock();
+                let count = st
+                    .pending_writes
+                    .get_mut(&key)
+                    .expect("write-back without pending counter");
+                *count -= 1;
+                if *count == 0 {
+                    // No newer write-back queued: the file now holds the
+                    // latest released contents, the memory copy can go.
+                    st.pending_writes.remove(&key);
+                    st.dirty.remove(&key);
+                }
+            }
+            IoMsg::Prefetch(key) => {
+                if !shared.state.lock().inflight.contains(&key) {
+                    continue; // satisfied or canceled in the meantime
+                }
+                let data = Arc::new(shared.read_or_init(key));
+                let mut st = shared.state.lock();
+                if st.inflight.remove(&key) {
+                    st.prefetched.insert(key, data);
+                }
+                drop(st);
+                shared.ready.notify_all();
+            }
+        }
+    }
+}
+
+/// Swaps partitions to files under a directory, keeping only loaded ones
+/// resident.
+///
+/// In the default *pipelined* mode a background I/O thread serves
+/// [`PartitionStore::prefetch`] requests and write-backs, double-buffering
+/// the next bucket's partitions while the current one trains. The
+/// *synchronous* mode ([`DiskStore::new_sync`]) performs all I/O on the
+/// calling thread, exactly like the pre-pipeline implementation; both
+/// modes produce bit-identical training results (the only difference is
+/// *when* bytes move, never *which* bytes a `load` observes).
+///
+/// `resident_bytes`/`peak_bytes` gauge the partitions checked out by the
+/// trainer; transient double-buffers (completed prefetches, write-back
+/// queue) are excluded so the metric keeps meaning "working set of the
+/// training loop" across both modes.
+pub struct DiskStore {
+    shared: Arc<DiskShared>,
+    /// `Some` in pipelined mode: request channel + thread handle.
+    io: Option<(channel::Sender<IoMsg>, std::thread::JoinHandle<()>)>,
+}
+
+impl std::fmt::Debug for DiskStore {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("DiskStore")
+            .field("dir", &self.shared.dir)
+            .field("pipelined", &self.io.is_some())
+            .finish()
+    }
+}
+
+impl DiskStore {
+    /// Creates a pipelined disk-backed store under `dir` (created if
+    /// missing), spawning the background I/O thread.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the directory cannot be created.
+    pub fn new(layout: StoreLayout, dir: impl Into<PathBuf>) -> Result<Self> {
+        let mut store = Self::new_sync(layout, dir)?;
+        let (tx, rx) = channel::unbounded();
+        let shared = Arc::clone(&store.shared);
+        let thread = std::thread::Builder::new()
+            .name("pbg-disk-io".into())
+            .spawn(move || io_loop(shared, rx))
+            .expect("spawn disk I/O thread");
+        store.io = Some((tx, thread));
+        Ok(store)
+    }
+
+    /// Creates a synchronous store: every read and write-back happens on
+    /// the calling thread ([`PartitionStore::prefetch`] is a no-op).
+    /// Kept as the reference implementation for equivalence tests and
+    /// the swap benchmark.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the directory cannot be created.
+    pub fn new_sync(layout: StoreLayout, dir: impl Into<PathBuf>) -> Result<Self> {
+        let dir = dir.into();
+        std::fs::create_dir_all(&dir)?;
+        Ok(DiskStore {
+            shared: Arc::new(DiskShared {
+                layout,
+                dir,
+                state: Mutex::new(SwapState::default()),
+                ready: Condvar::new(),
+                resident_bytes: AtomicUsize::new(0),
+                peak_bytes: AtomicUsize::new(0),
+                swap_ins: AtomicUsize::new(0),
+                prefetch_hits: AtomicUsize::new(0),
+                swap_wait_nanos: AtomicU64::new(0),
+                bytes_written_back: AtomicU64::new(0),
+            }),
+            io: None,
+        })
+    }
+
+    /// `true` when the background I/O thread is active.
+    pub fn is_pipelined(&self) -> bool {
+        self.io.is_some()
+    }
+}
+
+impl Drop for DiskStore {
+    fn drop(&mut self) {
+        if let Some((tx, thread)) = self.io.take() {
+            // FIFO: all queued write-backs flush before Shutdown lands.
+            let _ = tx.send(IoMsg::Shutdown);
+            let _ = thread.join();
+        }
+    }
+}
+
 impl PartitionStore for DiskStore {
     fn load(&self, key: PartitionKey) -> Arc<PartitionData> {
-        let mut resident = self.resident.lock();
-        if let Some(data) = resident.get(&key) {
+        let shared = &self.shared;
+        let mut st = shared.state.lock();
+        if let Some(data) = st.resident.get(&key) {
             return Arc::clone(data);
         }
-        self.swap_ins.fetch_add(1, Ordering::SeqCst);
-        let data = match self
-            .read_from_disk(key)
-            .expect("disk store read failed; inspect the store directory")
-        {
-            Some(d) => d,
-            None => self.layout.init(key),
-        };
-        self.track_load(data.bytes());
-        let data = Arc::new(data);
-        resident.insert(key, Arc::clone(&data));
+        // Not logically resident: a swap-in however it gets served.
+        shared.swap_ins.fetch_add(1, Ordering::SeqCst);
+        if let Some(data) = st.prefetched.remove(&key) {
+            shared.prefetch_hits.fetch_add(1, Ordering::SeqCst);
+            shared.track_load(data.bytes());
+            st.resident.insert(key, Arc::clone(&data));
+            return data;
+        }
+        if st.inflight.contains(&key) {
+            // The I/O thread is already reading it; waiting beats
+            // issuing a duplicate read.
+            let start = Instant::now();
+            while st.inflight.contains(&key) {
+                shared.ready.wait(&mut st);
+            }
+            shared
+                .swap_wait_nanos
+                .fetch_add(start.elapsed().as_nanos() as u64, Ordering::SeqCst);
+            if let Some(data) = st.prefetched.remove(&key) {
+                shared.prefetch_hits.fetch_add(1, Ordering::SeqCst);
+                shared.track_load(data.bytes());
+                st.resident.insert(key, Arc::clone(&data));
+                return data;
+            }
+        }
+        if let Some(data) = st.dirty.remove(&key) {
+            // Steal back a partition still queued for write-back: its
+            // memory copy is authoritative, no disk round-trip needed.
+            shared.track_load(data.bytes());
+            st.resident.insert(key, Arc::clone(&data));
+            return data;
+        }
+        // Synchronous fallback: the hot path pays for the read.
+        let start = Instant::now();
+        let data = Arc::new(shared.read_or_init(key));
+        shared
+            .swap_wait_nanos
+            .fetch_add(start.elapsed().as_nanos() as u64, Ordering::SeqCst);
+        shared.track_load(data.bytes());
+        st.resident.insert(key, Arc::clone(&data));
         data
     }
 
     fn release(&self, key: PartitionKey) {
-        let mut resident = self.resident.lock();
-        if let Some(data) = resident.remove(&key) {
-            self.write_to_disk(key, &data)
-                .expect("disk store write failed; inspect the store directory");
-            self.resident_bytes
+        let shared = &self.shared;
+        let mut st = shared.state.lock();
+        if let Some(data) = st.resident.remove(&key) {
+            shared
+                .resident_bytes
                 .fetch_sub(data.bytes(), Ordering::SeqCst);
+            match &self.io {
+                Some((tx, _)) => {
+                    st.dirty.insert(key, Arc::clone(&data));
+                    *st.pending_writes.entry(key).or_insert(0) += 1;
+                    tx.send(IoMsg::WriteBack(key, data))
+                        .expect("disk I/O thread alive");
+                }
+                None => {
+                    shared
+                        .write_to_disk(key, &data)
+                        .expect("disk store write failed; inspect the store directory");
+                    shared
+                        .bytes_written_back
+                        .fetch_add(data.bytes() as u64, Ordering::SeqCst);
+                }
+            }
         }
     }
 
+    fn prefetch(&self, key: PartitionKey) {
+        let Some((tx, _)) = &self.io else {
+            return; // synchronous mode: loads do the work
+        };
+        let mut st = self.shared.state.lock();
+        if st.resident.contains_key(&key)
+            || st.prefetched.contains_key(&key)
+            || st.inflight.contains(&key)
+        {
+            return;
+        }
+        if let Some(data) = st.dirty.remove(&key) {
+            // Still in memory awaiting write-back: claim it directly.
+            st.prefetched.insert(key, data);
+            return;
+        }
+        st.inflight.insert(key);
+        tx.send(IoMsg::Prefetch(key))
+            .expect("disk I/O thread alive");
+    }
+
     fn resident_bytes(&self) -> usize {
-        self.resident_bytes.load(Ordering::SeqCst)
+        self.shared.resident_bytes.load(Ordering::SeqCst)
     }
 
     fn peak_bytes(&self) -> usize {
-        self.peak_bytes.load(Ordering::SeqCst)
+        self.shared.peak_bytes.load(Ordering::SeqCst)
     }
 
     fn swap_ins(&self) -> usize {
-        self.swap_ins.load(Ordering::SeqCst)
+        self.shared.swap_ins.load(Ordering::SeqCst)
+    }
+
+    fn prefetch_hits(&self) -> usize {
+        self.shared.prefetch_hits.load(Ordering::SeqCst)
+    }
+
+    fn swap_wait_nanos(&self) -> u64 {
+        self.shared.swap_wait_nanos.load(Ordering::SeqCst)
+    }
+
+    fn bytes_written_back(&self) -> u64 {
+        self.shared.bytes_written_back.load(Ordering::SeqCst)
     }
 
     fn load_all(&self) {
-        for (key, _) in self.layout.keys().to_vec() {
+        for (key, _) in self.shared.layout.keys().to_vec() {
             let _ = self.load(key);
         }
     }
@@ -454,6 +722,77 @@ mod tests {
         // idempotent
         store.load_all();
         assert_eq!(store.swap_ins(), 4);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn prefetch_serves_later_load() {
+        let dir = std::env::temp_dir().join(format!("pbg_disk_pf_{}", std::process::id()));
+        let store = DiskStore::new(layout(4), &dir).unwrap();
+        assert!(store.is_pipelined());
+        let key = PartitionKey::new(0u32, 2u32);
+        store.prefetch(key);
+        let data = store.load(key);
+        assert_eq!(store.prefetch_hits(), 1, "load served by the prefetch");
+        assert_eq!(store.swap_ins(), 1, "prefetch hits still count as swap-ins");
+        assert!(data.bytes() > 0);
+        // duplicate prefetch of a resident key is a no-op
+        store.prefetch(key);
+        let again = store.load(key);
+        assert!(Arc::ptr_eq(&data, &again));
+        assert_eq!(store.swap_ins(), 1);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn async_write_back_preserves_data() {
+        let dir = std::env::temp_dir().join(format!("pbg_disk_wb_{}", std::process::id()));
+        let store = DiskStore::new(layout(2), &dir).unwrap();
+        let key = PartitionKey::new(0u32, 0u32);
+        let data = store.load(key);
+        data.embeddings.set(1, 1, -3.25);
+        drop(data);
+        store.release(key);
+        assert_eq!(store.resident_bytes(), 0);
+        // the released copy is found again whether or not the
+        // background write has landed yet
+        let back = store.load(key);
+        assert_eq!(back.embeddings.get(1, 1), -3.25);
+        assert_eq!(store.swap_ins(), 2);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn drop_flushes_write_backs_to_disk() {
+        let dir = std::env::temp_dir().join(format!("pbg_disk_fl_{}", std::process::id()));
+        let key = PartitionKey::new(0u32, 1u32);
+        {
+            let store = DiskStore::new(layout(2), &dir).unwrap();
+            let data = store.load(key);
+            data.embeddings.set(0, 3, 9.75);
+            drop(data);
+            store.release(key);
+        } // drop joins the I/O thread after the queue drains
+        let store = DiskStore::new_sync(layout(2), &dir).unwrap();
+        assert!(!store.is_pipelined());
+        assert_eq!(store.load(key).embeddings.get(0, 3), 9.75);
+        assert_eq!(store.prefetch_hits(), 0, "sync mode never prefetches");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn released_then_prefetched_key_keeps_latest_contents() {
+        let dir = std::env::temp_dir().join(format!("pbg_disk_st_{}", std::process::id()));
+        let store = DiskStore::new(layout(4), &dir).unwrap();
+        let key = PartitionKey::new(0u32, 3u32);
+        let data = store.load(key);
+        data.embeddings.set(2, 0, 1.5);
+        drop(data);
+        store.release(key);
+        // prefetch immediately after release: claims the in-memory copy
+        store.prefetch(key);
+        let back = store.load(key);
+        assert_eq!(back.embeddings.get(2, 0), 1.5);
         std::fs::remove_dir_all(&dir).ok();
     }
 

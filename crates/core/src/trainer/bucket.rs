@@ -119,14 +119,11 @@ pub fn train_bucket(
                             relation: model.relation(rel_id),
                             src_data,
                             dst_data,
-                            src_partition_size: src_part.partition_size(src_key.partition)
-                                as usize,
-                            dst_partition_size: dst_part.partition_size(dst_key.partition)
-                                as usize,
+                            src_partition_size: src_part.partition_size(src_key.partition) as usize,
+                            dst_partition_size: dst_part.partition_size(dst_key.partition) as usize,
                         };
                         let rel_weight = model.relation(rel_id).weight();
-                        let mut param_grads =
-                            ParamGradAccum::for_relation(model.relation(rel_id));
+                        let mut param_grads = ParamGradAccum::for_relation(model.relation(rel_id));
                         for chunk in batch::chunks(&b, effective_chunk) {
                             let mut src_off = Vec::with_capacity(chunk.len());
                             let mut dst_off = Vec::with_capacity(chunk.len());
@@ -154,7 +151,10 @@ pub fn train_bucket(
                 })
             })
             .collect();
-        handles.into_iter().map(|h| h.join().expect("trainer thread panicked")).sum()
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("trainer thread panicked"))
+            .sum()
     })
     .expect("trainer scope panicked");
     BucketStats {
@@ -233,7 +233,10 @@ mod tests {
         let model = Model::new(schema, config).unwrap();
         let keys = needed_keys(&model, BucketId::new(2u32, 0u32));
         assert!(keys.contains(&PartitionKey::new(0u32, 2u32)));
-        assert!(keys.contains(&PartitionKey::new(1u32, 0u32)), "item type pins partition 0");
+        assert!(
+            keys.contains(&PartitionKey::new(1u32, 0u32)),
+            "item type pins partition 0"
+        );
     }
 
     #[test]

@@ -9,12 +9,13 @@
 //! (footnote 3) re-visits buckets `N` times on `1/N` of their edges.
 
 pub mod bucket;
+pub mod plan;
 pub mod step;
 
 use crate::config::PbgConfig;
 use crate::error::Result;
 use crate::model::{Model, TrainedEmbeddings};
-use crate::stats::{EpochAccumulator, EpochStats};
+use crate::stats::{EpochAccumulator, EpochStats, IoStats};
 use crate::storage::{DiskStore, InMemoryStore, PartitionStore, StoreLayout};
 use pbg_graph::bucket::Buckets;
 use pbg_graph::edges::EdgeList;
@@ -22,18 +23,24 @@ use pbg_graph::partition::EntityPartitioning;
 use pbg_graph::schema::GraphSchema;
 use pbg_graph::RelationTypeId;
 use pbg_tensor::rng::Xoshiro256;
-use std::collections::HashSet;
 use std::path::Path;
 
 pub use bucket::{needed_keys, train_bucket};
+pub use plan::{EpochPlan, EpochStep, SwapPlanner};
 
 /// Where embedding partitions live during training.
 #[derive(Debug)]
 pub enum Storage {
     /// Everything resident (paper's unpartitioned / 1-partition regime).
     InMemory,
-    /// Partitions swapped to files under the given directory (§4.1).
+    /// Partitions swapped to files under the given directory (§4.1),
+    /// with a background I/O thread prefetching the next bucket's
+    /// partitions while the current one trains.
     Disk(std::path::PathBuf),
+    /// Like [`Storage::Disk`] but fully synchronous: every swap blocks
+    /// the training loop. The reference path for equivalence tests and
+    /// the swap benchmark.
+    DiskSync(std::path::PathBuf),
 }
 
 /// High-level trainer owning the model, storage, and bucketed edges.
@@ -101,6 +108,13 @@ impl Trainer {
     }
 
     /// Trains a single epoch and returns its stats.
+    ///
+    /// The epoch's partition traffic is planned up front
+    /// ([`EpochPlan`]): each step's prefetch set is handed to the store
+    /// *before* the bucket trains, so a pipelined store loads bucket
+    /// `k+1`'s non-resident partitions while bucket `k` computes, and
+    /// releases happen after the step. Single-threaded fixed-seed runs
+    /// are bit-identical whether or not the store pipelines.
     pub fn train_epoch(&mut self) -> EpochStats {
         self.epoch += 1;
         let config = self.model.config().clone();
@@ -109,47 +123,61 @@ impl Trainer {
             self.buckets.dst_parts(),
             &mut self.rng,
         );
+        let plan = EpochPlan::new(&order, |b| needed_keys(&self.model, b));
         let mut acc = EpochAccumulator::new();
-        let swap_ins_before = self.store.swap_ins();
+        let io_before = self.io_counters();
         let passes = config.bucket_passes;
         for pass in 0..passes {
-            let mut previously_needed: Option<HashSet<crate::storage::PartitionKey>> = None;
-            for (step, &bucket_id) in order.iter().enumerate() {
-                let full = self.buckets.bucket(bucket_id);
-                // stratified sub-epoch: train 1/N of the bucket per pass
-                let edges = if passes == 1 {
-                    shuffled(full, &mut self.rng)
-                } else {
-                    let parts = full.chunks(passes);
-                    shuffled(&parts[pass], &mut self.rng)
-                };
-                let needed = needed_keys(&self.model, bucket_id);
-                // release partitions the new bucket does not reuse
-                if let Some(prev) = previously_needed.take() {
-                    for key in prev.difference(&needed) {
-                        self.store.release(*key);
-                    }
+            for (step, plan_step) in plan.steps().iter().enumerate() {
+                let bucket_id = plan_step.bucket;
+                // overlap: next step's partitions start loading now
+                for &key in &plan_step.prefetch {
+                    self.store.prefetch(key);
                 }
                 let seed = config
                     .seed
                     .wrapping_add((self.epoch as u64) << 32)
                     .wrapping_add((pass as u64) << 16)
                     .wrapping_add(step as u64);
-                let stats = train_bucket(&self.model, self.store.as_ref(), bucket_id, &edges, seed);
+                let stats = if passes == 1 {
+                    // shuffle in place: no per-epoch clone of the bucket
+                    self.buckets.bucket_mut(bucket_id).shuffle(&mut self.rng);
+                    train_bucket(
+                        &self.model,
+                        self.store.as_ref(),
+                        bucket_id,
+                        self.buckets.bucket(bucket_id),
+                        seed,
+                    )
+                } else {
+                    // stratified sub-epoch: train 1/N of the bucket per
+                    // pass (the chunk split is the one unavoidable copy)
+                    let mut part = self
+                        .buckets
+                        .bucket(bucket_id)
+                        .chunks(passes)
+                        .swap_remove(pass);
+                    part.shuffle(&mut self.rng);
+                    train_bucket(&self.model, self.store.as_ref(), bucket_id, &part, seed)
+                };
                 acc.add(&stats);
-                previously_needed = Some(needed);
-            }
-            if let Some(prev) = previously_needed {
-                for key in prev {
+                for &key in &plan_step.release {
                     self.store.release(key);
                 }
             }
         }
-        acc.finish(
-            self.epoch,
-            self.store.swap_ins() - swap_ins_before,
-            self.store.peak_bytes(),
-        )
+        acc.finish(self.epoch, self.io_counters().delta_since(&io_before))
+    }
+
+    /// Snapshot of the store's monotonic I/O counters.
+    fn io_counters(&self) -> IoStats {
+        IoStats {
+            swap_ins: self.store.swap_ins(),
+            prefetch_hits: self.store.prefetch_hits(),
+            swap_wait_seconds: self.store.swap_wait_nanos() as f64 * 1e-9,
+            bytes_written_back: self.store.bytes_written_back(),
+            peak_bytes: self.store.peak_bytes(),
+        }
     }
 
     /// Trains the configured number of epochs, invoking `on_epoch` after
@@ -198,6 +226,7 @@ fn build_store(model: &Model, storage: Storage) -> Result<Box<dyn PartitionStore
     Ok(match storage {
         Storage::InMemory => Box::new(InMemoryStore::new(layout)),
         Storage::Disk(dir) => Box::new(DiskStore::new(layout, dir.as_path() as &Path)?),
+        Storage::DiskSync(dir) => Box::new(DiskStore::new_sync(layout, dir.as_path() as &Path)?),
     })
 }
 
@@ -216,12 +245,6 @@ pub fn bucketize(schema: &GraphSchema, edges: &EdgeList) -> Buckets {
             partitionings[rdef.dest_type().index()],
         )
     })
-}
-
-fn shuffled(edges: &EdgeList, rng: &mut Xoshiro256) -> EdgeList {
-    let mut out = edges.clone();
-    out.shuffle(rng);
-    out
 }
 
 #[cfg(test)]
@@ -272,13 +295,9 @@ mod tests {
     fn disk_storage_swaps_and_converges() {
         let dir = std::env::temp_dir().join(format!("pbg_trainer_{}", std::process::id()));
         let schema = GraphSchema::homogeneous(64, 4).unwrap();
-        let mut t = Trainer::with_storage(
-            schema,
-            &ring(64),
-            config(2, 3),
-            Storage::Disk(dir.clone()),
-        )
-        .unwrap();
+        let mut t =
+            Trainer::with_storage(schema, &ring(64), config(2, 3), Storage::Disk(dir.clone()))
+                .unwrap();
         let stats = t.train();
         assert!(stats[0].swap_ins > 0, "disk store must swap partitions in");
         // with 4 partitions only 2 are ever resident: peak < full size
@@ -344,11 +363,49 @@ mod tests {
     fn deterministic_given_seed_and_single_thread() {
         let schema = GraphSchema::homogeneous(32, 2).unwrap();
         let run = || {
-            let mut t =
-                Trainer::new(schema.clone(), &ring(32), config(1, 2)).unwrap();
+            let mut t = Trainer::new(schema.clone(), &ring(32), config(1, 2)).unwrap();
             t.train();
             t.snapshot().embeddings[0].as_slice().to_vec()
         };
         assert_eq!(run(), run(), "single-thread training must be reproducible");
+    }
+
+    #[test]
+    fn pipelined_disk_store_is_bit_identical_to_synchronous() {
+        let base = std::env::temp_dir().join(format!("pbg_equiv_{}", std::process::id()));
+        let schema = GraphSchema::homogeneous(64, 4).unwrap();
+        let run = |storage: Storage| {
+            let mut t =
+                Trainer::with_storage(schema.clone(), &ring(64), config(1, 3), storage).unwrap();
+            t.train();
+            t.snapshot().embeddings[0].as_slice().to_vec()
+        };
+        let pipelined = run(Storage::Disk(base.join("pipelined")));
+        let synchronous = run(Storage::DiskSync(base.join("sync")));
+        assert_eq!(
+            pipelined, synchronous,
+            "prefetching must only change when bytes move, not the math"
+        );
+        std::fs::remove_dir_all(&base).ok();
+    }
+
+    #[test]
+    fn pipelined_epoch_reports_prefetch_traffic() {
+        let dir = std::env::temp_dir().join(format!("pbg_pf_stats_{}", std::process::id()));
+        let schema = GraphSchema::homogeneous(64, 4).unwrap();
+        let mut t =
+            Trainer::with_storage(schema, &ring(64), config(1, 2), Storage::Disk(dir.clone()))
+                .unwrap();
+        let stats = t.train();
+        let total_hits: usize = stats.iter().map(|e| e.prefetch_hits).sum();
+        let total_written: u64 = stats.iter().map(|e| e.bytes_written_back).sum();
+        assert!(total_hits > 0, "plan must route loads through prefetches");
+        assert!(total_written > 0, "releases must write back asynchronously");
+        let total_swaps: usize = stats.iter().map(|e| e.swap_ins).sum();
+        assert!(
+            total_hits <= total_swaps,
+            "every prefetch hit is also a swap-in"
+        );
+        std::fs::remove_dir_all(&dir).ok();
     }
 }

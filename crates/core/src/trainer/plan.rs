@@ -1,0 +1,282 @@
+//! Epoch swap planning: precomputed acquire / prefetch / release sets.
+//!
+//! The bucket order for an epoch is known up front, so the partition
+//! traffic it implies can be planned before any training happens instead
+//! of being re-derived ad hoc with set differences inside the epoch loop.
+//! [`EpochPlan`] walks the order once and emits one [`EpochStep`] per
+//! bucket: which partitions must be acquired before training, which can
+//! be prefetched *during* training (they belong to the next bucket only,
+//! so I/O overlaps compute — §4.1's swap pipeline), and which can be
+//! released afterwards.
+//!
+//! The incremental flavor of the same bookkeeping is [`SwapPlanner`],
+//! used where the bucket sequence is not known in advance (the cluster
+//! simulator's machines discover their next bucket from the lock server).
+//! Both the single-machine [`crate::trainer::Trainer`] and
+//! `distsim`'s cluster run on this module, so swap planning lives in
+//! exactly one place.
+
+use crate::storage::PartitionKey;
+use pbg_graph::bucket::BucketId;
+use std::collections::HashSet;
+
+/// One step of an [`EpochPlan`]: a bucket plus its partition traffic.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EpochStep {
+    /// The bucket trained at this step.
+    pub bucket: BucketId,
+    /// Every partition this bucket touches (sorted).
+    pub needed: Vec<PartitionKey>,
+    /// Partitions not resident before this step; they must be loaded
+    /// before training starts (sorted).
+    pub acquire: Vec<PartitionKey>,
+    /// Partitions the *next* step needs but this one does not: safe to
+    /// load in the background while this bucket trains (sorted, disjoint
+    /// from `needed` by construction).
+    pub prefetch: Vec<PartitionKey>,
+    /// Partitions no later step in this pass reuses directly; released
+    /// (written back) after training (sorted).
+    pub release: Vec<PartitionKey>,
+}
+
+/// A full epoch's worth of [`EpochStep`]s for a fixed bucket order.
+///
+/// Invariants (checked by the property tests in `tests/properties.rs`):
+///
+/// - `prefetch ∩ needed = ∅` at every step, so background I/O never
+///   touches a partition the current bucket is training;
+/// - the resident set after the final step is empty (every acquired
+///   partition is eventually released);
+/// - at no point are more than `max(needed) + max(prefetch)` partitions
+///   logically held, i.e. the plan double-buffers, never more.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EpochPlan {
+    steps: Vec<EpochStep>,
+}
+
+impl EpochPlan {
+    /// Plans the epoch for `order`, with `needed` mapping each bucket to
+    /// the partitions it touches (see
+    /// [`crate::trainer::bucket::needed_keys`]).
+    pub fn new(order: &[BucketId], needed: impl Fn(BucketId) -> HashSet<PartitionKey>) -> Self {
+        let needed_sets: Vec<HashSet<PartitionKey>> = order.iter().map(|&b| needed(b)).collect();
+        let mut planner = SwapPlanner::new();
+        let mut steps = Vec::with_capacity(order.len());
+        for (i, &bucket) in order.iter().enumerate() {
+            let transition = planner.step(&needed_sets[i]);
+            let release = match needed_sets.get(i + 1) {
+                // keep what the next bucket reuses
+                Some(next) => sorted(needed_sets[i].difference(next).copied()),
+                None => planner.finish(),
+            };
+            if !release.is_empty() && i + 1 < order.len() {
+                planner.forget(&release);
+            }
+            let prefetch = match needed_sets.get(i + 1) {
+                Some(next) => sorted(next.difference(&needed_sets[i]).copied()),
+                None => Vec::new(),
+            };
+            steps.push(EpochStep {
+                bucket,
+                needed: sorted(needed_sets[i].iter().copied()),
+                acquire: transition.acquire,
+                prefetch,
+                release,
+            });
+        }
+        EpochPlan { steps }
+    }
+
+    /// The planned steps, in training order.
+    pub fn steps(&self) -> &[EpochStep] {
+        &self.steps
+    }
+
+    /// Number of steps (buckets) in the plan.
+    pub fn len(&self) -> usize {
+        self.steps.len()
+    }
+
+    /// `true` for an empty plan.
+    pub fn is_empty(&self) -> bool {
+        self.steps.is_empty()
+    }
+
+    /// Total partition loads the plan implies (acquires across all
+    /// steps) — the swap-in count a cold store will observe.
+    pub fn total_acquires(&self) -> usize {
+        self.steps.iter().map(|s| s.acquire.len()).sum()
+    }
+
+    /// Total partition loads that are prefetchable (overlap-eligible).
+    pub fn total_prefetches(&self) -> usize {
+        self.steps.iter().map(|s| s.prefetch.len()).sum()
+    }
+}
+
+/// The acquire/release delta for one step of a [`SwapPlanner`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SwapTransition {
+    /// Partitions to load: needed now, not resident (sorted).
+    pub acquire: Vec<PartitionKey>,
+    /// Partitions to evict: resident, no longer needed (sorted).
+    pub release: Vec<PartitionKey>,
+}
+
+/// Incremental swap planning over an evolving resident set.
+///
+/// Feed it each bucket's needed set as the bucket is discovered;
+/// [`SwapPlanner::step`] returns what to load and what to evict, keeping
+/// the resident set equal to the needed set afterwards. This is the
+/// online counterpart of [`EpochPlan`] for consumers that learn their
+/// bucket sequence one step at a time (the cluster simulator's
+/// machines).
+#[derive(Debug, Clone, Default)]
+pub struct SwapPlanner {
+    resident: HashSet<PartitionKey>,
+}
+
+impl SwapPlanner {
+    /// Creates a planner with an empty resident set.
+    pub fn new() -> Self {
+        SwapPlanner::default()
+    }
+
+    /// The partitions currently planned as resident.
+    pub fn resident(&self) -> &HashSet<PartitionKey> {
+        &self.resident
+    }
+
+    /// Advances to a bucket needing `needed`; returns the load/evict
+    /// delta and updates the resident set to `needed`.
+    pub fn step(&mut self, needed: &HashSet<PartitionKey>) -> SwapTransition {
+        let acquire = sorted(needed.difference(&self.resident).copied());
+        let release = sorted(self.resident.difference(needed).copied());
+        self.resident = needed.clone();
+        SwapTransition { acquire, release }
+    }
+
+    /// Drops `keys` from the resident set without a full transition
+    /// (used when a caller releases early, e.g. at the end of a pass).
+    pub fn forget(&mut self, keys: &[PartitionKey]) {
+        for k in keys {
+            self.resident.remove(k);
+        }
+    }
+
+    /// Releases everything still resident (end of epoch / lock wait).
+    pub fn finish(&mut self) -> Vec<PartitionKey> {
+        let out = sorted(self.resident.drain());
+        out
+    }
+}
+
+fn sorted(keys: impl IntoIterator<Item = PartitionKey>) -> Vec<PartitionKey> {
+    let mut v: Vec<PartitionKey> = keys.into_iter().collect();
+    v.sort_unstable();
+    v
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn key(p: u32) -> PartitionKey {
+        PartitionKey::new(0u32, p)
+    }
+
+    /// needed-set function for a homogeneous P×P grid: {src, dst}.
+    fn grid_needed(b: BucketId) -> HashSet<PartitionKey> {
+        [key(b.src.0), key(b.dst.0)].into_iter().collect()
+    }
+
+    fn row_major(p: u32) -> Vec<BucketId> {
+        (0..p)
+            .flat_map(|s| (0..p).map(move |d| BucketId::new(s, d)))
+            .collect()
+    }
+
+    #[test]
+    fn plan_first_step_acquires_everything_it_needs() {
+        let plan = EpochPlan::new(&row_major(3), grid_needed);
+        let first = &plan.steps()[0];
+        assert_eq!(first.acquire, first.needed);
+    }
+
+    #[test]
+    fn plan_prefetch_is_disjoint_from_current_bucket() {
+        let plan = EpochPlan::new(&row_major(4), grid_needed);
+        for step in plan.steps() {
+            for k in &step.prefetch {
+                assert!(
+                    !step.needed.contains(k),
+                    "prefetch {k:?} collides with bucket {} partitions",
+                    step.bucket
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn plan_releases_everything_by_the_end() {
+        let plan = EpochPlan::new(&row_major(3), grid_needed);
+        let mut resident: HashSet<PartitionKey> = HashSet::new();
+        for step in plan.steps() {
+            for &k in &step.acquire {
+                assert!(resident.insert(k), "{k:?} acquired twice");
+            }
+            for &k in &step.needed {
+                assert!(resident.contains(&k), "{k:?} needed but not resident");
+            }
+            for &k in &step.release {
+                assert!(resident.remove(&k), "{k:?} released but not resident");
+            }
+        }
+        assert!(resident.is_empty(), "leaked partitions: {resident:?}");
+    }
+
+    #[test]
+    fn plan_prefetch_matches_next_acquire() {
+        // whatever step i prefetches, step i+1 must not re-acquire more
+        // than that (the store already has it or it was kept resident)
+        let plan = EpochPlan::new(&row_major(4), grid_needed);
+        for pair in plan.steps().windows(2) {
+            assert_eq!(
+                pair[0].prefetch, pair[1].acquire,
+                "prefetch at step for {} must equal acquire at {}",
+                pair[0].bucket, pair[1].bucket
+            );
+        }
+    }
+
+    #[test]
+    fn plan_on_diagonal_reuses_partitions() {
+        // order (0,0) -> (0,1): partition 0 stays resident
+        let order = vec![BucketId::new(0u32, 0u32), BucketId::new(0u32, 1u32)];
+        let plan = EpochPlan::new(&order, grid_needed);
+        assert_eq!(plan.steps()[0].release, vec![]);
+        assert_eq!(plan.steps()[0].prefetch, vec![key(1)]);
+        assert_eq!(plan.steps()[1].acquire, vec![key(1)]);
+        assert_eq!(plan.steps()[1].release, vec![key(0), key(1)]);
+    }
+
+    #[test]
+    fn swap_planner_tracks_resident_set() {
+        let mut p = SwapPlanner::new();
+        let t1 = p.step(&[key(0), key(1)].into_iter().collect());
+        assert_eq!(t1.acquire, vec![key(0), key(1)]);
+        assert_eq!(t1.release, vec![]);
+        let t2 = p.step(&[key(1), key(2)].into_iter().collect());
+        assert_eq!(t2.acquire, vec![key(2)]);
+        assert_eq!(t2.release, vec![key(0)]);
+        assert_eq!(p.finish(), vec![key(1), key(2)]);
+        assert!(p.resident().is_empty());
+    }
+
+    #[test]
+    fn empty_plan() {
+        let plan = EpochPlan::new(&[], grid_needed);
+        assert!(plan.is_empty());
+        assert_eq!(plan.total_acquires(), 0);
+    }
+}

@@ -35,10 +35,7 @@ impl ParamGradAccum {
     pub fn for_relation(relation: &RelationParams) -> Self {
         ParamGradAccum {
             forward: vec![0.0; relation.forward.len()],
-            reciprocal: vec![
-                0.0;
-                relation.reciprocal.as_ref().map_or(0, |r| r.len())
-            ],
+            reciprocal: vec![0.0; relation.reciprocal.as_ref().map_or(0, |r| r.len())],
         }
     }
 
@@ -90,7 +87,11 @@ pub fn train_chunk(
     param_grads: &mut ParamGradAccum,
     rng: &mut Xoshiro256,
 ) -> f64 {
-    assert_eq!(src_offsets.len(), dst_offsets.len(), "chunk: offset mismatch");
+    assert_eq!(
+        src_offsets.len(),
+        dst_offsets.len(),
+        "chunk: offset mismatch"
+    );
     assert_eq!(src_offsets.len(), weights.len(), "chunk: weight mismatch");
     if src_offsets.is_empty() {
         return 0.0;
@@ -109,7 +110,12 @@ pub fn train_chunk(
 
     // destination corruption: candidates = (chunk dsts +) uniform
     let cand_dst_offsets = if include_chunk {
-        candidate_offsets(dst_offsets, cfg.uniform_negatives, ctx.dst_partition_size, rng)
+        candidate_offsets(
+            dst_offsets,
+            cfg.uniform_negatives,
+            ctx.dst_partition_size,
+            rng,
+        )
     } else {
         candidate_offsets(&[], cfg.uniform_negatives, ctx.dst_partition_size, rng)
     };
@@ -128,7 +134,12 @@ pub fn train_chunk(
     let mut src_side: Option<SrcSideGrads> = None;
     if cfg.corrupt_sources {
         let cand_src_offsets = if include_chunk {
-            candidate_offsets(src_offsets, cfg.uniform_negatives, ctx.src_partition_size, rng)
+            candidate_offsets(
+                src_offsets,
+                cfg.uniform_negatives,
+                ctx.src_partition_size,
+                rng,
+            )
         } else {
             candidate_offsets(&[], cfg.uniform_negatives, ctx.src_partition_size, rng)
         };
@@ -140,8 +151,7 @@ pub fn train_chunk(
             let pos2 = score_pairs(cfg.similarity, &t_dst, &src);
             let mut neg_src_scores = score_matrix(cfg.similarity, &t_dst, &cand_src);
             mask_induced_positives(&mut neg_src_scores, src_offsets, &cand_src_offsets);
-            let src_loss =
-                loss::compute(cfg.loss, cfg.margin, &pos2, &neg_src_scores, weights);
+            let src_loss = loss::compute(cfg.loss, cfg.margin, &pos2, &neg_src_scores, weights);
             total_loss += src_loss.loss;
             // backward through the reciprocal path
             let (g_tdst_pos, g_src_pos) =
@@ -278,7 +288,7 @@ mod tests {
         let src: Vec<u32> = (0..4).collect();
         let dst: Vec<u32> = (1..5).collect();
         let w = vec![1.0f32; 4];
-        let mut step = |rng: &mut Xoshiro256, pg: &mut ParamGradAccum| {
+        let step = |rng: &mut Xoshiro256, pg: &mut ParamGradAccum| {
             let loss = train_chunk(&ctx, &src, &dst, &w, pg, rng);
             pg.apply(ctx.relation);
             loss

@@ -84,8 +84,7 @@ fn disk_swapped_training_learns_with_less_memory() {
     let dir = std::env::temp_dir().join(format!("pbg_learn_disk_{}", std::process::id()));
     let schema = pbg_graph::schema::GraphSchema::homogeneous(n, 8).unwrap();
     let mut t =
-        Trainer::with_storage(schema, &split.train, config(8), Storage::Disk(dir.clone()))
-            .unwrap();
+        Trainer::with_storage(schema, &split.train, config(8), Storage::Disk(dir.clone())).unwrap();
     t.train();
     let peak = t.store().peak_bytes();
     let m = mrr(&t.snapshot(), &split);

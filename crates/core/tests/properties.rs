@@ -5,14 +5,28 @@ use pbg_core::loss;
 use pbg_core::negatives::{candidate_offsets, mask_induced_positives};
 use pbg_core::operator;
 use pbg_core::similarity::{score_matrix, score_pairs};
+use pbg_core::storage::PartitionKey;
+use pbg_core::trainer::EpochPlan;
+use pbg_graph::bucket::BucketId;
 use pbg_graph::schema::OperatorKind;
 use pbg_tensor::matrix::Matrix;
 use pbg_tensor::rng::Xoshiro256;
 use proptest::prelude::*;
+use std::collections::HashSet;
 
 fn arb_matrix(rows: usize, cols: usize) -> impl Strategy<Value = Matrix> {
     proptest::collection::vec(-3.0f32..3.0, rows * cols)
         .prop_map(move |v| Matrix::from_vec(rows, cols, v))
+}
+
+/// Needed-set function for a homogeneous P×P bucket grid: {src, dst}.
+fn grid_needed(b: BucketId) -> HashSet<PartitionKey> {
+    [
+        PartitionKey::new(0u32, b.src.0),
+        PartitionKey::new(0u32, b.dst.0),
+    ]
+    .into_iter()
+    .collect()
 }
 
 proptest! {
@@ -66,8 +80,8 @@ proptest! {
         for sim in [SimilarityKind::Dot, SimilarityKind::Cosine] {
             let pairs = score_pairs(sim, &a, &b);
             let matrix = score_matrix(sim, &a, &b);
-            for i in 0..4 {
-                prop_assert!((pairs[i] - matrix.row(i)[i]).abs() < 1e-3);
+            for (i, &p) in pairs.iter().enumerate() {
+                prop_assert!((p - matrix.row(i)[i]).abs() < 1e-3);
             }
         }
     }
@@ -107,10 +121,10 @@ proptest! {
         let mut scores = Matrix::zeros(4, cands.len());
         scores.fill_with(|_, _| 1.0);
         mask_induced_positives(&mut scores, &true_offsets, &cands);
-        for i in 0..4 {
+        for (i, &truth) in true_offsets.iter().enumerate() {
             for (j, &c) in cands.iter().enumerate() {
                 let masked = scores.row(i)[j] == f32::NEG_INFINITY;
-                prop_assert_eq!(masked, c == true_offsets[i]);
+                prop_assert_eq!(masked, c == truth);
             }
         }
     }
@@ -126,6 +140,58 @@ proptest! {
         prop_assert_eq!(cands.len(), chunk.len() + uniform);
         prop_assert_eq!(&cands[..chunk.len()], &chunk[..]);
         prop_assert!(cands.iter().all(|&c| c < 50));
+    }
+
+    #[test]
+    fn epoch_plan_prefetch_never_touches_the_training_bucket(
+        pairs in proptest::collection::vec((0u32..8, 0u32..8), 1..25),
+    ) {
+        // arbitrary bucket order (repeats and diagonals included): no
+        // step's background prefetch may overlap the partitions the
+        // bucket currently training uses
+        let order: Vec<BucketId> =
+            pairs.iter().map(|&(s, d)| BucketId::new(s, d)).collect();
+        let plan = EpochPlan::new(&order, grid_needed);
+        for step in plan.steps() {
+            for k in &step.prefetch {
+                prop_assert!(
+                    !step.needed.contains(k),
+                    "prefetch {:?} collides with bucket {}",
+                    k,
+                    step.bucket
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn epoch_plan_replay_holds_resident_invariants(
+        pairs in proptest::collection::vec((0u32..8, 0u32..8), 1..25),
+    ) {
+        // replaying the plan against a simulated resident set: acquires
+        // are always new, needed partitions are always resident while
+        // training, releases are always resident, and nothing leaks past
+        // the final step
+        let order: Vec<BucketId> =
+            pairs.iter().map(|&(s, d)| BucketId::new(s, d)).collect();
+        let plan = EpochPlan::new(&order, grid_needed);
+        prop_assert_eq!(plan.len(), order.len());
+        let mut resident: HashSet<PartitionKey> = HashSet::new();
+        for step in plan.steps() {
+            for &k in &step.acquire {
+                prop_assert!(resident.insert(k), "{:?} acquired while resident", k);
+            }
+            for &k in &step.needed {
+                prop_assert!(resident.contains(&k), "{:?} needed but absent", k);
+            }
+            // the plan double-buffers: current bucket + next bucket's
+            // prefetches, never more
+            prop_assert!(resident.len() <= step.needed.len() + step.prefetch.len() + 2);
+            for &k in &step.release {
+                prop_assert!(resident.remove(&k), "{:?} released but absent", k);
+            }
+        }
+        prop_assert!(resident.is_empty(), "leaked: {:?}", resident);
     }
 
     #[test]

@@ -174,7 +174,10 @@ mod tests {
         sorted.sort_unstable_by(|a, b| b.cmp(a));
         // top 1% of nodes should carry a large share of draws
         let top: u32 = sorted[..100].iter().sum();
-        assert!(top as f64 > 0.3 * 100_000.0, "top-1% share too small: {top}");
+        assert!(
+            top as f64 > 0.3 * 100_000.0,
+            "top-1% share too small: {top}"
+        );
     }
 
     #[test]

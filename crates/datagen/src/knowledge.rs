@@ -125,13 +125,11 @@ impl KnowledgeGraphConfig {
     ///
     /// Panics if `p == 0`.
     pub fn schema(&self, p: u32) -> GraphSchema {
-        let mut builder = GraphSchema::builder().entity_type(
-            EntityTypeDef::new("entity", self.num_entities).with_partitions(p),
-        );
+        let mut builder = GraphSchema::builder()
+            .entity_type(EntityTypeDef::new("entity", self.num_entities).with_partitions(p));
         for r in 0..self.num_relations {
             builder = builder.relation_type(
-                RelationTypeDef::new(format!("rel_{r}"), 0u32, 0u32)
-                    .with_operator(self.operator),
+                RelationTypeDef::new(format!("rel_{r}"), 0u32, 0u32).with_operator(self.operator),
             );
         }
         builder.build().expect("generated schema is always valid")
@@ -160,7 +158,7 @@ mod tests {
     #[test]
     fn relations_in_range_and_skewed() {
         let (edges, _) = small().generate();
-        let mut counts = vec![0usize; 10];
+        let mut counts = [0usize; 10];
         for e in edges.iter() {
             counts[e.rel.index()] += 1;
         }

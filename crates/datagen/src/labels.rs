@@ -55,7 +55,10 @@ impl Labels {
                 set
             })
             .collect();
-        Labels { labels, num_classes }
+        Labels {
+            labels,
+            num_classes,
+        }
     }
 
     /// Number of label classes.

@@ -105,7 +105,12 @@ pub fn youtube_like(scale: f64, seed: u64) -> Dataset {
     let mut rng = Xoshiro256::seed_from_u64(seed ^ 0x9e37_79b9);
     // the real dataset labels ~31k of 1.1M users with 47 groups; we label
     // a larger fraction so scaled-down runs still have enough train data
-    d.labels = Some(Labels::from_communities(&d.communities, 0.3, 0.05, &mut rng));
+    d.labels = Some(Labels::from_communities(
+        &d.communities,
+        0.3,
+        0.05,
+        &mut rng,
+    ));
     d
 }
 
@@ -189,7 +194,7 @@ fn knowledge_preset(
         operator,
         scale,
         seed,
-        |entities| community_count(entities),
+        community_count,
         0.85,
     )
 }

@@ -21,7 +21,7 @@ use pbg_core::config::PbgConfig;
 use pbg_core::error::{PbgError, Result};
 use pbg_core::model::{Model, TrainedEmbeddings};
 use pbg_core::storage::{PartitionData, PartitionKey, PartitionStore};
-use pbg_core::trainer::{bucketize, needed_keys, train_bucket};
+use pbg_core::trainer::{bucketize, needed_keys, train_bucket, SwapPlanner};
 use pbg_graph::bucket::{BucketId, Buckets};
 use pbg_graph::edges::EdgeList;
 use pbg_graph::schema::GraphSchema;
@@ -66,8 +66,13 @@ pub struct ClusterEpochStats {
     /// slowest machine's compute).
     pub seconds: f64,
     /// Maximum simulated network seconds across machines (added to
-    /// compute time when projecting cluster wall-clock).
+    /// compute time when projecting cluster wall-clock serially).
     pub sim_network_seconds: f64,
+    /// Maximum simulated seconds across machines when partition I/O
+    /// overlaps compute: each bucket costs `max(compute, I/O)` instead
+    /// of their sum (the pipelined projection; ≤ `seconds +
+    /// sim_network_seconds`).
+    pub sim_pipelined_seconds: f64,
     /// Edges trained.
     pub edges: usize,
     /// Mean loss per edge.
@@ -78,6 +83,9 @@ pub struct ClusterEpochStats {
     pub peak_machine_bytes: usize,
     /// Number of times a machine polled the lock server and had to wait.
     pub lock_waits: usize,
+    /// Loads served by an ahead-of-use partition checkout (the cluster
+    /// counterpart of disk prefetch hits).
+    pub prefetch_hits: usize,
 }
 
 /// Multi-machine trainer.
@@ -108,7 +116,10 @@ impl ClusterTrainer {
         if cluster.machines == 0 {
             return Err(PbgError::Config("machines must be positive".into()));
         }
-        let net = Arc::new(NetworkModel::new(cluster.net_bandwidth, cluster.net_latency));
+        let net = Arc::new(NetworkModel::new(
+            cluster.net_bandwidth,
+            cluster.net_latency,
+        ));
         // one model per machine; deterministic init keeps them identical
         let models: Vec<Model> = (0..cluster.machines)
             .map(|_| Model::new(schema.clone(), config.clone()))
@@ -140,9 +151,9 @@ impl ClusterTrainer {
         drop(full_store);
         let params = Arc::new(ParameterServer::new(cluster.machines, Arc::clone(&net)));
         // register relation params once (identical across machines)
-        for (r, rel) in (0..models[0].num_relations()).map(|r| {
-            (r, models[0].relation(RelationTypeId(r as u32)))
-        }) {
+        for (r, rel) in (0..models[0].num_relations())
+            .map(|r| (r, models[0].relation(RelationTypeId(r as u32))))
+        {
             params.register(
                 ParamKey {
                     relation: r as u32,
@@ -194,8 +205,10 @@ impl ClusterTrainer {
         let start = Instant::now();
         let total_edges = AtomicUsize::new(0);
         let lock_waits = AtomicUsize::new(0);
+        let total_prefetch_hits = AtomicUsize::new(0);
         let loss_sum = Mutex::new(0.0f64);
         let max_sim_secs = Mutex::new(0.0f64);
+        let max_pipelined_secs = Mutex::new(0.0f64);
         let max_peak = AtomicUsize::new(0);
         crossbeam::thread::scope(|scope| {
             for (machine, model) in self.models.iter().enumerate() {
@@ -207,28 +220,43 @@ impl ClusterTrainer {
                 let cluster = &self.cluster;
                 let total_edges = &total_edges;
                 let lock_waits = &lock_waits;
+                let total_prefetch_hits = &total_prefetch_hits;
                 let loss_sum = &loss_sum;
                 let max_sim_secs = &max_sim_secs;
+                let max_pipelined_secs = &max_pipelined_secs;
                 let max_peak = &max_peak;
                 scope.spawn(move |_| {
-                    let store = RemoteStore::new(pserver, globals, model);
-                    let mut client =
-                        ParamClient::new(params, cluster.param_sync_throttle);
+                    let store = MachineStore::new(pserver, globals, model);
+                    // swap planning shared with the single-machine
+                    // trainer: the planner tracks this machine's
+                    // resident set and emits load/evict deltas
+                    let mut planner = SwapPlanner::new();
+                    let mut client = ParamClient::new(params, cluster.param_sync_throttle);
                     register_params(&mut client, model);
-                    let mut rng = Xoshiro256::seed_from_u64(
-                        (epoch as u64) << 32 | machine as u64,
-                    );
+                    let mut rng = Xoshiro256::seed_from_u64((epoch as u64) << 32 | machine as u64);
                     let mut prev: Option<BucketId> = None;
                     let mut machine_loss = 0.0f64;
+                    // per-bucket max(compute, I/O): the pipelined
+                    // wall-clock projection for this machine
+                    let mut pipelined_secs = 0.0f64;
                     loop {
                         match lock.acquire(machine, prev) {
                             Acquire::Granted(bucket) => {
                                 // save partitions the new bucket does not
                                 // need, then release the old locks
                                 let needed = needed_keys(model, bucket);
-                                store.release_except(&needed);
+                                let transition = planner.step(&needed);
+                                for &key in &transition.release {
+                                    store.release(key);
+                                }
                                 if let Some(p) = prev.take() {
                                     lock.release_bucket(machine, p);
+                                }
+                                // checkout through the prefetch path:
+                                // this step's I/O, overlappable with the
+                                // previous bucket's compute
+                                for &key in &transition.acquire {
+                                    store.prefetch(key);
                                 }
                                 let mut edges = buckets.bucket(bucket).clone();
                                 edges.shuffle(&mut rng);
@@ -237,10 +265,14 @@ impl ClusterTrainer {
                                     &store,
                                     bucket,
                                     &edges,
-                                    (epoch as u64) << 40
-                                        | (machine as u64) << 20
-                                        | bucket.src.0 as u64 * 1000
+                                    ((epoch as u64) << 40)
+                                        | ((machine as u64) << 20)
+                                        | (bucket.src.0 as u64 * 1000)
                                         | bucket.dst.0 as u64,
+                                );
+                                pipelined_secs += NetworkModel::pipelined_step_seconds(
+                                    stats.seconds,
+                                    store.take_step_io(),
                                 );
                                 machine_loss += stats.loss;
                                 total_edges.fetch_add(stats.edges, Ordering::Relaxed);
@@ -250,7 +282,9 @@ impl ClusterTrainer {
                             Acquire::Wait => {
                                 // avoid deadlock: give up held partitions
                                 // and locks while waiting
-                                store.release_except(&Default::default());
+                                for key in planner.finish() {
+                                    store.release(key);
+                                }
                                 if let Some(p) = prev.take() {
                                     lock.release_bucket(machine, p);
                                 }
@@ -260,17 +294,29 @@ impl ClusterTrainer {
                             Acquire::Done => break,
                         }
                     }
-                    store.release_except(&Default::default());
+                    for key in planner.finish() {
+                        store.release(key);
+                    }
                     if let Some(p) = prev {
                         lock.release_bucket(machine, p);
                     }
                     sync_params(&mut client, model, true);
+                    // trailing write-backs and param syncs have no
+                    // compute left to hide behind
+                    pipelined_secs += store.take_step_io() + client.sim_seconds;
                     *loss_sum.lock() += machine_loss;
                     let sim = store.sim_seconds() + client.sim_seconds;
                     let mut max = max_sim_secs.lock();
                     if sim > *max {
                         *max = sim;
                     }
+                    drop(max);
+                    let mut max_pipe = max_pipelined_secs.lock();
+                    if pipelined_secs > *max_pipe {
+                        *max_pipe = pipelined_secs;
+                    }
+                    drop(max_pipe);
+                    total_prefetch_hits.fetch_add(store.prefetch_hits(), Ordering::Relaxed);
                     max_peak.fetch_max(store.peak_bytes(), Ordering::Relaxed);
                 });
             }
@@ -278,11 +324,13 @@ impl ClusterTrainer {
         .expect("cluster scope panicked");
         let edges = total_edges.load(Ordering::Relaxed);
         let sim_network_seconds = *max_sim_secs.lock();
+        let sim_pipelined_seconds = *max_pipelined_secs.lock();
         let total_loss = *loss_sum.lock();
         ClusterEpochStats {
             epoch,
             seconds: start.elapsed().as_secs_f64(),
             sim_network_seconds,
+            sim_pipelined_seconds,
             edges,
             mean_loss: if edges > 0 {
                 total_loss / edges as f64
@@ -292,6 +340,7 @@ impl ClusterTrainer {
             network_bytes: self.net.total_bytes() - bytes_before,
             peak_machine_bytes: max_peak.load(Ordering::Relaxed),
             lock_waits: lock_waits.load(Ordering::Relaxed),
+            prefetch_hits: total_prefetch_hits.load(Ordering::Relaxed),
         }
     }
 
@@ -346,13 +395,11 @@ impl ClusterTrainer {
                 }
             }
         }
-        let store = RemoteStore::new(
-            Arc::clone(&self.pserver),
-            Arc::clone(&self.globals),
-            model,
-        );
+        let store = MachineStore::new(Arc::clone(&self.pserver), Arc::clone(&self.globals), model);
         let snap = model.snapshot(&store);
-        store.release_except(&Default::default());
+        for (key, _) in store.server.layout().keys().to_vec() {
+            store.release(key);
+        }
         snap
     }
 }
@@ -437,33 +484,51 @@ fn sync_one(
 }
 
 /// Machine-local partition cache backed by the partition server.
-struct RemoteStore<'m> {
+///
+/// Implements [`PartitionStore`] including [`PartitionStore::prefetch`],
+/// so the cluster driver consumes the same swap machinery as the
+/// single-machine trainer: the [`SwapPlanner`] decides *what* moves, the
+/// store charges simulated transfer seconds for *moving* it. I/O charged
+/// between [`MachineStore::take_step_io`] calls is attributed to the
+/// current bucket, which the driver overlaps with compute in the
+/// pipelined projection.
+struct MachineStore<'m> {
     server: Arc<PartitionServer>,
     globals: Arc<HashMap<PartitionKey, Arc<PartitionData>>>,
     resident: Mutex<HashMap<PartitionKey, Arc<PartitionData>>>,
+    /// Keys checked out ahead of use; a later `load` of one is a
+    /// prefetch hit.
+    prefetched: Mutex<std::collections::HashSet<PartitionKey>>,
     lr: f32,
+    /// Total simulated transfer seconds (serial accounting).
     sim_seconds: Mutex<f64>,
+    /// Simulated transfer seconds since the last `take_step_io`.
+    step_io: Mutex<f64>,
     resident_bytes: AtomicUsize,
     peak_bytes: AtomicUsize,
     swaps: AtomicUsize,
+    prefetch_hits: AtomicUsize,
     _model: std::marker::PhantomData<&'m ()>,
 }
 
-impl<'m> RemoteStore<'m> {
+impl<'m> MachineStore<'m> {
     fn new(
         server: Arc<PartitionServer>,
         globals: Arc<HashMap<PartitionKey, Arc<PartitionData>>>,
         model: &'m Model,
     ) -> Self {
-        RemoteStore {
+        MachineStore {
             server,
             globals,
             resident: Mutex::new(HashMap::new()),
+            prefetched: Mutex::new(std::collections::HashSet::new()),
             lr: model.config().learning_rate,
             sim_seconds: Mutex::new(0.0),
+            step_io: Mutex::new(0.0),
             resident_bytes: AtomicUsize::new(0),
             peak_bytes: AtomicUsize::new(0),
             swaps: AtomicUsize::new(0),
+            prefetch_hits: AtomicUsize::new(0),
             _model: std::marker::PhantomData,
         }
     }
@@ -472,36 +537,24 @@ impl<'m> RemoteStore<'m> {
         *self.sim_seconds.lock()
     }
 
-    /// Checks in every resident partition not in `keep`.
-    fn release_except(&self, keep: &std::collections::HashSet<PartitionKey>) {
-        let mut resident = self.resident.lock();
-        let to_release: Vec<PartitionKey> = resident
-            .keys()
-            .filter(|k| !keep.contains(*k))
-            .copied()
-            .collect();
-        for key in to_release {
-            let data = resident.remove(&key).expect("key just listed");
-            let secs = self
-                .server
-                .checkin(key, data.embeddings.to_vec(), data.adagrad.to_vec());
-            *self.sim_seconds.lock() += secs;
-            self.resident_bytes.fetch_sub(data.bytes(), Ordering::SeqCst);
-        }
+    /// Drains the simulated I/O seconds charged since the last call.
+    fn take_step_io(&self) -> f64 {
+        std::mem::take(&mut *self.step_io.lock())
     }
-}
 
-impl PartitionStore for RemoteStore<'_> {
-    fn load(&self, key: PartitionKey) -> Arc<PartitionData> {
-        if let Some(data) = self.globals.get(&key) {
-            return Arc::clone(data);
-        }
-        let mut resident = self.resident.lock();
-        if let Some(data) = resident.get(&key) {
-            return Arc::clone(data);
-        }
-        let (emb, acc, secs) = self.server.checkout(key);
+    fn prefetch_hits(&self) -> usize {
+        self.prefetch_hits.load(Ordering::SeqCst)
+    }
+
+    fn charge(&self, secs: f64) {
         *self.sim_seconds.lock() += secs;
+        *self.step_io.lock() += secs;
+    }
+
+    /// Checks `key` out of the partition server into the local cache.
+    fn checkout(&self, key: PartitionKey) -> Arc<PartitionData> {
+        let (emb, acc, secs) = self.server.checkout(key);
+        self.charge(secs);
         self.swaps.fetch_add(1, Ordering::SeqCst);
         let dim = self.server.layout().dim();
         let rows = emb.len() / dim;
@@ -509,6 +562,23 @@ impl PartitionStore for RemoteStore<'_> {
         let bytes = data.bytes();
         let now = self.resident_bytes.fetch_add(bytes, Ordering::SeqCst) + bytes;
         self.peak_bytes.fetch_max(now, Ordering::SeqCst);
+        data
+    }
+}
+
+impl PartitionStore for MachineStore<'_> {
+    fn load(&self, key: PartitionKey) -> Arc<PartitionData> {
+        if let Some(data) = self.globals.get(&key) {
+            return Arc::clone(data);
+        }
+        let mut resident = self.resident.lock();
+        if let Some(data) = resident.get(&key) {
+            if self.prefetched.lock().remove(&key) {
+                self.prefetch_hits.fetch_add(1, Ordering::SeqCst);
+            }
+            return Arc::clone(data);
+        }
+        let data = self.checkout(key);
         resident.insert(key, Arc::clone(&data));
         data
     }
@@ -519,12 +589,27 @@ impl PartitionStore for RemoteStore<'_> {
         }
         let mut resident = self.resident.lock();
         if let Some(data) = resident.remove(&key) {
+            self.prefetched.lock().remove(&key);
             let secs = self
                 .server
                 .checkin(key, data.embeddings.to_vec(), data.adagrad.to_vec());
-            *self.sim_seconds.lock() += secs;
-            self.resident_bytes.fetch_sub(data.bytes(), Ordering::SeqCst);
+            self.charge(secs);
+            self.resident_bytes
+                .fetch_sub(data.bytes(), Ordering::SeqCst);
         }
+    }
+
+    fn prefetch(&self, key: PartitionKey) {
+        if self.globals.contains_key(&key) {
+            return;
+        }
+        let mut resident = self.resident.lock();
+        if resident.contains_key(&key) {
+            return;
+        }
+        let data = self.checkout(key);
+        resident.insert(key, data);
+        self.prefetched.lock().insert(key);
     }
 
     fn resident_bytes(&self) -> usize {
@@ -537,6 +622,10 @@ impl PartitionStore for RemoteStore<'_> {
 
     fn swap_ins(&self) -> usize {
         self.swaps.load(Ordering::SeqCst)
+    }
+
+    fn prefetch_hits(&self) -> usize {
+        self.prefetch_hits.load(Ordering::SeqCst)
     }
 
     fn load_all(&self) {
@@ -630,8 +719,7 @@ mod tests {
             .evaluate(&cluster.snapshot(), &split.test, &split.train, &[])
             .mrr;
 
-        let mut single =
-            pbg_core::trainer::Trainer::new(schema, &split.train, config(6)).unwrap();
+        let mut single = pbg_core::trainer::Trainer::new(schema, &split.train, config(6)).unwrap();
         single.train();
         let m_single = eval
             .evaluate(&single.snapshot(), &split.test, &split.train, &[])
@@ -679,6 +767,35 @@ mod tests {
         let stats = t.train();
         assert_eq!(stats.len(), 2);
         assert!(stats[1].mean_loss <= stats[0].mean_loss * 1.1);
+    }
+
+    #[test]
+    fn pipelined_projection_is_bounded_by_serial_time() {
+        let (edges, n) = dataset();
+        let schema = GraphSchema::homogeneous(n, 4).unwrap();
+        let mut t = ClusterTrainer::new(
+            schema,
+            &edges,
+            config(1),
+            ClusterConfig {
+                machines: 2,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        let stats = t.train_epoch();
+        assert!(
+            stats.prefetch_hits > 0,
+            "bucket acquisitions must flow through the prefetch path"
+        );
+        assert!(stats.sim_pipelined_seconds > 0.0);
+        assert!(
+            stats.sim_pipelined_seconds <= stats.seconds + stats.sim_network_seconds + 1e-6,
+            "overlapping I/O with compute cannot be slower than summing them \
+             (pipelined {} vs serial {})",
+            stats.sim_pipelined_seconds,
+            stats.seconds + stats.sim_network_seconds
+        );
     }
 
     #[test]

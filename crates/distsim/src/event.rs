@@ -10,6 +10,7 @@
 //! speedup with machines, and incomplete occupancy when `P/2 < M` or
 //! locks collide.
 
+use crate::netmodel::NetworkModel;
 use pbg_graph::bucket::BucketId;
 use pbg_graph::ids::Partition;
 use serde::{Deserialize, Serialize};
@@ -39,6 +40,12 @@ pub struct EventSimConfig {
     pub net_bandwidth: f64,
     /// Fixed per-epoch overhead seconds (edge loading, checkpointing).
     pub epoch_overhead_sec: f64,
+    /// When `true`, partition I/O overlaps the previous bucket's compute
+    /// (the pipelined swap implementation): each dispatch after a
+    /// machine's first costs `max(transfer, train)` instead of their
+    /// sum. `false` models the paper's synchronous swapping, whose I/O
+    /// overhead grows Table 3's epoch time from 30 h to 40 h.
+    pub pipelined: bool,
 }
 
 impl Default for EventSimConfig {
@@ -54,6 +61,7 @@ impl Default for EventSimConfig {
             disk_bandwidth: 500e6,
             net_bandwidth: 1e9,
             epoch_overhead_sec: 60.0,
+            pipelined: true,
         }
     }
 }
@@ -125,8 +133,7 @@ pub fn simulate(cfg: &EventSimConfig) -> EventSimReport {
     let first = simulate_epoch(cfg, load_secs, train_secs, false);
     let later = simulate_epoch(cfg, load_secs, train_secs, true);
     let epochs = cfg.epochs as f64;
-    let total_secs = first.total + later.total * (epochs - 1.0)
-        + cfg.epoch_overhead_sec * epochs;
+    let total_secs = first.total + later.total * (epochs - 1.0) + cfg.epoch_overhead_sec * epochs;
     let compute_secs = first.compute + later.compute * (epochs - 1.0);
     let io_secs = first.io + later.io * (epochs - 1.0);
     let busy = first.busy + later.busy * (epochs - 1.0);
@@ -145,7 +152,7 @@ pub fn simulate(cfg: &EventSimConfig) -> EventSimReport {
         } else {
             1.0
         },
-        moved_bytes: (first.moved + later.moved * (cfg.epochs as u64 - 1)) as u64,
+        moved_bytes: first.moved + later.moved * (cfg.epochs as u64 - 1),
     }
 }
 
@@ -199,19 +206,15 @@ fn simulate_epoch(
         idle.sort_by(|a, b| clocks[*a].partial_cmp(&clocks[*b]).expect("finite"));
         let mut dispatched = false;
         for &mi in &idle {
-            let locked: HashSet<Partition> = active
-                .iter()
-                .flat_map(|(_, b, _)| b.partitions())
-                .collect();
+            let locked: HashSet<Partition> =
+                active.iter().flat_map(|(_, b, _)| b.partitions()).collect();
             let prev = resident[mi];
             let mut eligible: Vec<BucketId> = pending
                 .iter()
                 .copied()
                 .filter(|b| !b.partitions().any(|q| locked.contains(&q)))
                 .filter(|b| {
-                    !anything_initialized
-                        || init_src.contains(&b.src)
-                        || init_dst.contains(&b.dst)
+                    !anything_initialized || init_src.contains(&b.src) || init_dst.contains(&b.dst)
                 })
                 .collect();
             if eligible.is_empty() {
@@ -239,10 +242,18 @@ fn simulate_epoch(
             // one (write-back), costing another transfer
             let xfer = loads as f64 * 2.0 * load_secs;
             moved += loads as u64 * 2 * partition_bytes;
-            let finish = clocks[mi] + xfer + train_secs;
+            // pipelined swapping: after a machine's first bucket, the
+            // swap overlaps the previous bucket's compute, so the step
+            // costs max(transfer, train) rather than their sum
+            let step = if cfg.pipelined && resident[mi].is_some() {
+                NetworkModel::pipelined_step_seconds(train_secs, xfer)
+            } else {
+                NetworkModel::serial_step_seconds(train_secs, xfer)
+            };
+            let finish = clocks[mi] + step;
             io[mi] += xfer;
             compute[mi] += train_secs;
-            busy[mi] += xfer + train_secs;
+            busy[mi] += step;
             clocks[mi] = finish;
             resident[mi] = Some(chosen);
             anything_initialized = true;
@@ -262,9 +273,9 @@ fn simulate_epoch(
             .min_by(|a, b| a.1 .2.partial_cmp(&b.1 .2).expect("finite"))
             .expect("active cannot be empty when pending remains");
         // idle machines wait until then
-        for mi in 0..m {
-            if !active.iter().any(|(am, _, _)| *am == mi) && clocks[mi] < finish {
-                clocks[mi] = finish;
+        for (mi, clock) in clocks.iter_mut().enumerate() {
+            if !active.iter().any(|(am, _, _)| *am == mi) && *clock < finish {
+                *clock = finish;
             }
         }
         active.remove(idx);
@@ -283,8 +294,12 @@ fn simulate_epoch(
 mod tests {
     use super::*;
 
+    /// The paper's synchronous-swap regime (Tables 3/4 shapes).
     fn base() -> EventSimConfig {
-        EventSimConfig::default()
+        EventSimConfig {
+            pipelined: false,
+            ..EventSimConfig::default()
+        }
     }
 
     #[test]
@@ -311,7 +326,12 @@ mod tests {
             });
             peaks.push(r.peak_memory_bytes as f64 / 1e9);
         }
-        assert!(peaks[1] < peaks[0] * 0.7, "P=4 {} vs P=1 {}", peaks[1], peaks[0]);
+        assert!(
+            peaks[1] < peaks[0] * 0.7,
+            "P=4 {} vs P=1 {}",
+            peaks[1],
+            peaks[0]
+        );
         assert!(peaks[2] < peaks[1] * 0.7);
         assert!(peaks[3] < peaks[2] * 0.7);
     }
@@ -347,6 +367,59 @@ mod tests {
         // 8 machines: paper sees ~4x, not 8x (I/O + occupancy overheads)
         let speedup = times[0] / times[3];
         assert!((2.0..8.0).contains(&speedup), "speedup {speedup}");
+    }
+
+    #[test]
+    fn pipelining_hides_single_machine_io_overhead() {
+        // with swap I/O overlapped, epoch time at P=16 falls back toward
+        // the P=1 compute-only time instead of Table 3's 40 h
+        let serial = simulate(&EventSimConfig {
+            partitions: 16,
+            ..base()
+        });
+        let pipelined = simulate(&EventSimConfig {
+            partitions: 16,
+            pipelined: true,
+            ..base()
+        });
+        let compute_only = simulate(&base()).total_hours;
+        assert!(
+            pipelined.total_hours < serial.total_hours,
+            "pipelined {} vs serial {}",
+            pipelined.total_hours,
+            serial.total_hours
+        );
+        assert!(
+            pipelined.total_hours < compute_only * 1.15,
+            "overlap must hide most I/O: {} vs compute-only {}",
+            pipelined.total_hours,
+            compute_only
+        );
+        // the same bytes still move; only the schedule changes
+        assert_eq!(pipelined.moved_bytes, serial.moved_bytes);
+    }
+
+    #[test]
+    fn pipelining_never_slows_a_projection() {
+        for (machines, parts) in [(1usize, 4u32), (2, 4), (4, 8), (8, 16)] {
+            let serial = simulate(&EventSimConfig {
+                partitions: parts,
+                machines,
+                ..base()
+            });
+            let pipelined = simulate(&EventSimConfig {
+                partitions: parts,
+                machines,
+                pipelined: true,
+                ..base()
+            });
+            assert!(
+                pipelined.total_hours <= serial.total_hours + 1e-9,
+                "m={machines} p={parts}: {} > {}",
+                pipelined.total_hours,
+                serial.total_hours
+            );
+        }
     }
 
     #[test]

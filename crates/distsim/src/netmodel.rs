@@ -90,6 +90,20 @@ impl NetworkModel {
     pub fn latency(&self) -> f64 {
         self.latency_sec
     }
+
+    /// Simulated duration of one bucket step when partition transfers
+    /// overlap the previous bucket's compute (the pipelined swap
+    /// implementation): the slower of the two hides the faster.
+    pub fn pipelined_step_seconds(compute_secs: f64, io_secs: f64) -> f64 {
+        compute_secs.max(io_secs)
+    }
+
+    /// Simulated duration of one bucket step with synchronous swapping
+    /// (the paper's implementation): transfers stall compute, so the
+    /// costs add.
+    pub fn serial_step_seconds(compute_secs: f64, io_secs: f64) -> f64 {
+        compute_secs + io_secs
+    }
 }
 
 #[cfg(test)]
@@ -125,5 +139,19 @@ mod tests {
     #[should_panic(expected = "bandwidth")]
     fn zero_bandwidth_panics() {
         let _ = NetworkModel::new(0.0, 0.0);
+    }
+
+    #[test]
+    fn pipelined_step_is_max_serial_is_sum() {
+        assert_eq!(NetworkModel::pipelined_step_seconds(3.0, 2.0), 3.0);
+        assert_eq!(NetworkModel::pipelined_step_seconds(1.0, 2.5), 2.5);
+        assert_eq!(NetworkModel::serial_step_seconds(3.0, 2.0), 5.0);
+        // overlap never loses to stalling
+        for (c, io) in [(0.0, 0.0), (1.0, 4.0), (4.0, 1.0)] {
+            assert!(
+                NetworkModel::pipelined_step_seconds(c, io)
+                    <= NetworkModel::serial_step_seconds(c, io)
+            );
+        }
     }
 }

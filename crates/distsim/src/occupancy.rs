@@ -36,6 +36,7 @@ pub fn schedule_occupancy(partitions: u32, machines: usize) -> f64 {
         disk_bandwidth: 1e18,
         net_bandwidth: 1e18,
         epoch_overhead_sec: 0.0,
+        pipelined: false,
     });
     r.occupancy
 }

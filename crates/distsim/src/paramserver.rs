@@ -44,7 +44,9 @@ impl ParameterServer {
     pub fn new(num_shards: usize, net: Arc<NetworkModel>) -> Self {
         assert!(num_shards > 0, "need at least one shard");
         ParameterServer {
-            shards: (0..num_shards).map(|_| Mutex::new(HashMap::new())).collect(),
+            shards: (0..num_shards)
+                .map(|_| Mutex::new(HashMap::new()))
+                .collect(),
             net,
         }
     }

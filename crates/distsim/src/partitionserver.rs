@@ -40,7 +40,9 @@ impl PartitionServer {
     /// Panics if `num_shards == 0`.
     pub fn new(layout: StoreLayout, num_shards: usize, net: Arc<NetworkModel>) -> Self {
         assert!(num_shards > 0, "need at least one shard");
-        let shards: Vec<Mutex<Shard>> = (0..num_shards).map(|_| Mutex::new(Shard::default())).collect();
+        let shards: Vec<Mutex<Shard>> = (0..num_shards)
+            .map(|_| Mutex::new(Shard::default()))
+            .collect();
         let server = PartitionServer {
             shards,
             layout,

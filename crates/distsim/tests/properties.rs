@@ -64,8 +64,8 @@ proptest! {
                             break;
                         }
                         // drain stragglers
-                        for mi in 0..machines {
-                            if let Some(b) = held[mi].take() {
+                        for (mi, h) in held.iter_mut().enumerate() {
+                            if let Some(b) = h.take() {
                                 ls.release_bucket(mi, b);
                             }
                         }

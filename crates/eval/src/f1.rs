@@ -101,7 +101,7 @@ mod tests {
         // class 0: tp=1, fp=1, fn=0 -> P=0.5, R=1 -> F1=2/3
         // class 1: tp=0, fp=0, fn=1 -> F1=0
         let truth = vec![vec![0u16], vec![0], vec![1]];
-        let pred = vec![vec![0u16], vec![0, 0], vec![]];
+        let pred = [vec![0u16], vec![0, 0], vec![]];
         // note: pred[1] has duplicate 0s -> counted twice as tp; keep sets
         let pred = vec![pred[0].clone(), vec![0u16], vec![]];
         let _ = pred;

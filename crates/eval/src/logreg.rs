@@ -78,9 +78,8 @@ impl LogisticRegression {
                 let p = self.predict_proba(x);
                 let err = p - y;
                 // w -= lr * (err * x + l2 * w)
-                for k in 0..self.weights.len() {
-                    self.weights[k] -=
-                        self.learning_rate * (err * x[k] + self.l2 * self.weights[k]);
+                for (w, &xk) in self.weights.iter_mut().zip(x) {
+                    *w -= self.learning_rate * (err * xk + self.l2 * *w);
                 }
                 self.bias -= self.learning_rate * err;
             }

@@ -100,8 +100,7 @@ impl Buckets {
             dst_parts = dst_parts.max(dp.num_partitions());
             assignment.push((sp.partition_of(e.src).0, dp.partition_of(e.dst).0));
         }
-        let mut buckets: Vec<EdgeList> =
-            vec![EdgeList::new(); (src_parts * dst_parts) as usize];
+        let mut buckets: Vec<EdgeList> = vec![EdgeList::new(); (src_parts * dst_parts) as usize];
         for (i, (ps, pd)) in assignment.into_iter().enumerate() {
             let idx = (ps * dst_parts + pd) as usize;
             let e = edges.get(i);
@@ -153,6 +152,22 @@ impl Buckets {
         &self.buckets[(id.src.0 * self.dst_parts + id.dst.0) as usize]
     }
 
+    /// Mutable access to the edges of bucket `id`, e.g. to shuffle them
+    /// in place instead of cloning the bucket each epoch.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is outside the grid.
+    pub fn bucket_mut(&mut self, id: BucketId) -> &mut EdgeList {
+        assert!(
+            id.src.0 < self.src_parts && id.dst.0 < self.dst_parts,
+            "bucket {id} outside {}x{} grid",
+            self.src_parts,
+            self.dst_parts
+        );
+        &mut self.buckets[(id.src.0 * self.dst_parts + id.dst.0) as usize]
+    }
+
     /// Iterates over `(BucketId, &EdgeList)` in row-major order.
     pub fn iter(&self) -> impl Iterator<Item = (BucketId, &EdgeList)> {
         self.buckets.iter().enumerate().map(move |(i, edges)| {
@@ -179,7 +194,9 @@ mod tests {
     use crate::edges::Edge;
 
     fn edges_mod(n: u32) -> EdgeList {
-        (0..n).map(|i| Edge::new(i, 0u32, (i * 7 + 1) % n)).collect()
+        (0..n)
+            .map(|i| Edge::new(i, 0u32, (i * 7 + 1) % n))
+            .collect()
     }
 
     #[test]

@@ -94,7 +94,10 @@ impl EdgeList {
         self.src.push(edge.src.0);
         self.rel.push(edge.rel.0);
         self.dst.push(edge.dst.0);
-        self.weight.as_mut().expect("just materialized").push(weight);
+        self.weight
+            .as_mut()
+            .expect("just materialized")
+            .push(weight);
     }
 
     /// Number of edges.
@@ -270,7 +273,9 @@ mod tests {
     use pbg_tensor::rng::Xoshiro256;
 
     fn sample_list() -> EdgeList {
-        (0..10u32).map(|i| Edge::new(i, 0u32, (i + 1) % 10)).collect()
+        (0..10u32)
+            .map(|i| Edge::new(i, 0u32, (i + 1) % 10))
+            .collect()
     }
 
     #[test]
@@ -314,7 +319,11 @@ mod tests {
         let mut rng = Xoshiro256::seed_from_u64(2);
         l.shuffle(&mut rng);
         for i in 0..l.len() {
-            assert_eq!(l.get(i).src.0 as f32, l.weight(i), "weight detached from edge");
+            assert_eq!(
+                l.get(i).src.0 as f32,
+                l.weight(i),
+                "weight detached from edge"
+            );
         }
     }
 

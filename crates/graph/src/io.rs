@@ -103,9 +103,7 @@ pub fn decode_edges(mut data: &[u8]) -> Result<EdgeList, IoError> {
             data.remaining()
         )));
     }
-    let read_col = |data: &mut &[u8]| -> Vec<u32> {
-        (0..n).map(|_| data.get_u32()).collect()
-    };
+    let read_col = |data: &mut &[u8]| -> Vec<u32> { (0..n).map(|_| data.get_u32()).collect() };
     let src = read_col(&mut data);
     let rel = read_col(&mut data);
     let dst = read_col(&mut data);
@@ -153,7 +151,14 @@ pub fn write_tsv<W: Write>(mut writer: W, edges: &EdgeList) -> Result<(), IoErro
     for i in 0..edges.len() {
         let e = edges.get(i);
         if edges.has_weights() {
-            writeln!(writer, "{}\t{}\t{}\t{}", e.src, e.rel, e.dst, edges.weight(i))?;
+            writeln!(
+                writer,
+                "{}\t{}\t{}\t{}",
+                e.src,
+                e.rel,
+                e.dst,
+                edges.weight(i)
+            )?;
         } else {
             writeln!(writer, "{}\t{}\t{}", e.src, e.rel, e.dst)?;
         }
@@ -188,7 +193,11 @@ pub fn read_tsv<R: Read>(mut reader: R) -> Result<EdgeList, IoError> {
             s.parse()
                 .map_err(|_| IoError::BadFormat(format!("line {}: bad integer `{s}`", lineno + 1)))
         };
-        let edge = Edge::new(parse_u32(fields[0])?, parse_u32(fields[1])?, parse_u32(fields[2])?);
+        let edge = Edge::new(
+            parse_u32(fields[0])?,
+            parse_u32(fields[1])?,
+            parse_u32(fields[2])?,
+        );
         if fields.len() == 4 {
             let w: f32 = fields[3].parse().map_err(|_| {
                 IoError::BadFormat(format!("line {}: bad weight `{}`", lineno + 1, fields[3]))

@@ -234,7 +234,10 @@ impl fmt::Display for SchemaError {
                 "partitioned entity types `{first}` and `{second}` disagree on partition count"
             ),
             SchemaError::BadWeight(name) => {
-                write!(f, "relation `{name}` has a non-positive or non-finite weight")
+                write!(
+                    f,
+                    "relation `{name}` has a non-positive or non-finite weight"
+                )
             }
         }
     }

@@ -78,9 +78,8 @@ pub fn read_snap<R: Read>(mut reader: R) -> Result<SnapGraph, IoError> {
             )));
         }
         let parse = |s: &str| -> Result<u64, IoError> {
-            s.parse().map_err(|_| {
-                IoError::BadFormat(format!("line {}: bad node id `{s}`", lineno + 1))
-            })
+            s.parse()
+                .map_err(|_| IoError::BadFormat(format!("line {}: bad node id `{s}`", lineno + 1)))
         };
         let src = dense(parse(a)?, &mut ids, &mut vocab);
         let dst = dense(parse(b)?, &mut ids, &mut vocab);

@@ -148,8 +148,11 @@ fn cmd_train(flags: &Flags) -> Result<(), String> {
         pbg::graph::schema::EntityTypeDef::new("node", num_nodes).with_partitions(partitions),
     );
     for r in 0..num_relations {
-        builder = builder
-            .relation_type(pbg::graph::schema::RelationTypeDef::new(format!("rel_{r}"), 0u32, 0u32));
+        builder = builder.relation_type(pbg::graph::schema::RelationTypeDef::new(
+            format!("rel_{r}"),
+            0u32,
+            0u32,
+        ));
     }
     let schema = builder.build().map_err(|e| e.to_string())?;
     let storage = match flags.get("disk") {
@@ -221,7 +224,9 @@ fn cmd_neighbors(flags: &Flags) -> Result<(), String> {
     let k: usize = flags.parse("k", 10usize)?;
     let neighbors = match flags.get("relation") {
         Some(r) => {
-            let rel: u32 = r.parse().map_err(|_| "flag --relation: not an id".to_string())?;
+            let rel: u32 = r
+                .parse()
+                .map_err(|_| "flag --relation: not an id".to_string())?;
             top_destinations(&model, entity, RelationTypeId(rel), k)
         }
         None => nearest_entities(&model, 0, entity, k),

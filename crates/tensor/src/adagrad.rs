@@ -142,7 +142,11 @@ impl AdagradDense {
     ///
     /// Panics if `params.len() != len()` or `grad.len() != len()`.
     pub fn update(&mut self, params: &mut [f32], grad: &[f32]) {
-        assert_eq!(params.len(), self.acc.len(), "update: params length mismatch");
+        assert_eq!(
+            params.len(),
+            self.acc.len(),
+            "update: params length mismatch"
+        );
         assert_eq!(grad.len(), self.acc.len(), "update: grad length mismatch");
         for i in 0..grad.len() {
             self.acc[i] += grad[i] * grad[i];
@@ -209,7 +213,10 @@ mod tests {
         opt.step_size(0, &[10.0, 10.0]);
         // row 1 untouched: its first step matches a fresh optimizer
         let fresh = AdagradRow::new(1, 0.1);
-        assert_eq!(opt.step_size(1, &[1.0, 1.0]), fresh.step_size(0, &[1.0, 1.0]));
+        assert_eq!(
+            opt.step_size(1, &[1.0, 1.0]),
+            fresh.step_size(0, &[1.0, 1.0])
+        );
     }
 
     #[test]

@@ -31,7 +31,10 @@ impl AliasTable {
         assert!(weights.len() <= u32::MAX as usize, "too many weights");
         let mut total = 0.0f64;
         for &w in weights {
-            assert!(w.is_finite() && w >= 0.0, "weights must be finite and non-negative");
+            assert!(
+                w.is_finite() && w >= 0.0,
+                "weights must be finite and non-negative"
+            );
             total += w as f64;
         }
         let n = weights.len();

@@ -60,7 +60,11 @@ pub fn complex_re_inner(a: &[f32], b: &[f32]) -> f32 {
 fn check_layout(a: &[f32], b: &[f32], out: &[f32]) {
     assert_eq!(a.len(), b.len(), "complex op: length mismatch");
     assert_eq!(a.len(), out.len(), "complex op: output length mismatch");
-    assert_eq!(a.len() % 2, 0, "complex op: interleaved layout needs even length");
+    assert_eq!(
+        a.len() % 2,
+        0,
+        "complex op: interleaved layout needs even length"
+    );
 }
 
 #[cfg(test)]

@@ -149,7 +149,10 @@ impl HogwildArray {
     /// Panics if out of bounds.
     #[inline]
     pub fn fetch_add(&self, row: usize, col: usize, delta: f32) -> f32 {
-        assert!(row < self.rows && col < self.cols, "fetch_add: out of bounds");
+        assert!(
+            row < self.rows && col < self.cols,
+            "fetch_add: out of bounds"
+        );
         let cell = &self.data[row * self.cols + col];
         let mut cur = cell.load(Ordering::Relaxed);
         loop {
@@ -175,7 +178,11 @@ impl HogwildArray {
     ///
     /// Panics if `values.len() != len()`.
     pub fn copy_from_slice(&self, values: &[f32]) {
-        assert_eq!(values.len(), self.data.len(), "copy_from_slice: size mismatch");
+        assert_eq!(
+            values.len(),
+            self.data.len(),
+            "copy_from_slice: size mismatch"
+        );
         for (cell, v) in self.data.iter().zip(values) {
             cell.store(v.to_bits(), Ordering::Relaxed);
         }

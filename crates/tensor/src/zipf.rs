@@ -33,8 +33,8 @@ impl Zipf {
         assert!(s.is_finite() && s > 0.0, "zipf: exponent must be positive");
         let h_integral_x1 = Self::h_integral(1.5, s) - 1.0;
         let h_integral_n = Self::h_integral(n as f64 + 0.5, s);
-        let dividing_point = 2.0
-            - Self::h_integral_inverse(Self::h_integral(2.5, s) - Self::h(2.0, s), s);
+        let dividing_point =
+            2.0 - Self::h_integral_inverse(Self::h_integral(2.5, s) - Self::h(2.0, s), s);
         Zipf {
             n,
             s,
@@ -82,15 +82,13 @@ impl Zipf {
     #[inline]
     pub fn sample(&self, rng: &mut Xoshiro256) -> u64 {
         loop {
-            let u = self.h_integral_n
-                + rng.gen_f64() * (self.h_integral_x1 - self.h_integral_n);
+            let u = self.h_integral_n + rng.gen_f64() * (self.h_integral_x1 - self.h_integral_n);
             let x = Self::h_integral_inverse(u, self.s);
             let k64 = x.clamp(1.0, self.n as f64);
             let k = (k64 + 0.5) as u64;
             let k64_rounded = k as f64;
             if k64_rounded - x <= self.dividing_point
-                || u >= Self::h_integral(k64_rounded + 0.5, self.s)
-                    - Self::h(k64_rounded, self.s)
+                || u >= Self::h_integral(k64_rounded + 0.5, self.s) - Self::h(k64_rounded, self.s)
             {
                 return k - 1;
             }

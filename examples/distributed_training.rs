@@ -9,9 +9,9 @@
 use pbg::core::config::PbgConfig;
 use pbg::core::eval::{CandidateSampling, LinkPredictionEval};
 use pbg::core::stats::format_bytes;
+use pbg::datagen::presets;
 use pbg::distsim::cluster::{ClusterConfig, ClusterTrainer};
 use pbg::distsim::event::{simulate, EventSimConfig};
-use pbg::datagen::presets;
 use pbg::graph::split::EdgeSplit;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {

@@ -43,7 +43,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             true,
         ),
     ] {
-        let kg = KnowledgeGraphConfig { operator, ..base.clone() };
+        let kg = KnowledgeGraphConfig {
+            operator,
+            ..base.clone()
+        };
         let (edges, _) = kg.generate();
         let split = EdgeSplit::new(&edges, 0.05, 0.05, 5);
         let config = PbgConfig::builder()

@@ -23,7 +23,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         seed: 42,
     };
     let (edges, _) = graph.generate();
-    println!("generated {} edges over {} nodes", edges.len(), graph.num_nodes);
+    println!(
+        "generated {} edges over {} nodes",
+        edges.len(),
+        graph.num_nodes
+    );
 
     // 2. 75/25 train/test split (the paper's LiveJournal protocol).
     let split = EdgeSplit::seventy_five_twenty_five(&edges, 7);

@@ -47,8 +47,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         } else {
             Storage::Disk(std::env::temp_dir().join("pbg_social_example"))
         };
-        let mut trainer =
-            Trainer::with_storage(schema, &split.train, config.clone(), storage)?;
+        let mut trainer = Trainer::with_storage(schema, &split.train, config.clone(), storage)?;
         let stats = trainer.train();
         let last = stats.last().expect("at least one epoch");
         let model = trainer.snapshot();

@@ -64,8 +64,7 @@ fn edges_roundtrip_through_shared_filesystem_format() {
     let dir = tmp("edges");
     std::fs::create_dir_all(&dir).unwrap();
     let path = dir.join("edges.bin");
-    pbg::graph::io::write_edges(std::fs::File::create(&path).unwrap(), &dataset.edges)
-        .unwrap();
+    pbg::graph::io::write_edges(std::fs::File::create(&path).unwrap(), &dataset.edges).unwrap();
     let back = pbg::graph::io::read_edges(std::fs::File::open(&path).unwrap()).unwrap();
     std::fs::remove_dir_all(&dir).ok();
     assert_eq!(dataset.edges, back);

@@ -65,7 +65,7 @@ fn multi_machine_quality_matches_and_uses_network() {
 #[test]
 fn event_projection_reproduces_table3_shape() {
     let base = EventSimConfig::default(); // full Freebase numbers
-    // single machine: time grows mildly with P, memory falls ~linearly
+                                          // single machine: time grows mildly with P, memory falls ~linearly
     let t: Vec<_> = [1u32, 4, 8, 16]
         .iter()
         .map(|&p| {

@@ -37,10 +37,7 @@ fn quality_flat_and_memory_falls_with_partitions() {
     let mut results = Vec::new();
     for p in [1u32, 4, 8] {
         let schema = dataset.schema_with_partitions(p);
-        let dir = std::env::temp_dir().join(format!(
-            "pbg_int_part_{p}_{}",
-            std::process::id()
-        ));
+        let dir = std::env::temp_dir().join(format!("pbg_int_part_{p}_{}", std::process::id()));
         let storage = if p == 1 {
             Storage::InMemory
         } else {
@@ -57,10 +54,7 @@ fn quality_flat_and_memory_falls_with_partitions() {
             mem < mem1,
             "P={p}: peak {mem} not below unpartitioned {mem1}"
         );
-        assert!(
-            mrr > 0.5 * mrr1,
-            "P={p}: MRR {mrr} collapsed vs P=1 {mrr1}"
-        );
+        assert!(mrr > 0.5 * mrr1, "P={p}: MRR {mrr} collapsed vs P=1 {mrr1}");
     }
     // P=8 peak must be well under half of the full model
     let (_, _, mem8) = results[2];
@@ -122,5 +116,8 @@ fn stratified_bucket_passes_match_plain_epochs() {
         t.train();
         mrr_of(&t, &split)
     };
-    assert!(stratified > 0.5 * plain, "stratified {stratified} vs plain {plain}");
+    assert!(
+        stratified > 0.5 * plain,
+        "stratified {stratified} vs plain {plain}"
+    );
 }

@@ -49,8 +49,7 @@ fn youtube_like_downstream_classification_beats_chance() {
         .threads(2)
         .build()
         .unwrap();
-    let mut trainer =
-        Trainer::new(dataset.schema.clone(), &dataset.edges, config).unwrap();
+    let mut trainer = Trainer::new(dataset.schema.clone(), &dataset.edges, config).unwrap();
     trainer.train();
     let model = trainer.snapshot();
 

@@ -1,0 +1,45 @@
+//! Minimal offline stand-in for the `rand` crate.
+//!
+//! The workspace vendors its external dependencies because the build
+//! environment has no network access to crates.io. Only the surface
+//! pbg-rs actually uses is provided: the [`RngCore`] trait (implemented
+//! by `pbg_tensor::rng::Xoshiro256`) and the [`Error`] type.
+
+use std::fmt;
+
+/// Core random-number-generator interface (API-compatible subset of
+/// `rand::RngCore` 0.8).
+pub trait RngCore {
+    /// Next 32 random bits.
+    fn next_u32(&mut self) -> u32;
+    /// Next 64 random bits.
+    fn next_u64(&mut self) -> u64;
+    /// Fills `dest` with random bytes.
+    fn fill_bytes(&mut self, dest: &mut [u8]);
+    /// Fallible [`RngCore::fill_bytes`].
+    fn try_fill_bytes(&mut self, dest: &mut [u8]) -> Result<(), Error> {
+        self.fill_bytes(dest);
+        Ok(())
+    }
+}
+
+/// RNG error type (never produced by the in-tree generators).
+#[derive(Debug)]
+pub struct Error {
+    msg: &'static str,
+}
+
+impl Error {
+    /// Creates an error with a static message.
+    pub fn new(msg: &'static str) -> Self {
+        Error { msg }
+    }
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.msg)
+    }
+}
+
+impl std::error::Error for Error {}

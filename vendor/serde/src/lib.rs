@@ -1,0 +1,509 @@
+//! Minimal offline stand-in for the `serde` crate.
+//!
+//! The workspace vendors its external dependencies because the build
+//! environment has no network access to crates.io. Instead of serde's
+//! visitor-based zero-copy architecture, this stand-in routes every type
+//! through one self-describing value tree, [`Content`] — the same shape
+//! `serde_json::Value` exposes. `#[derive(Serialize, Deserialize)]`
+//! (re-exported from the companion `serde_derive`) covers the shapes the
+//! workspace uses: named-field structs, newtype structs, and unit-only
+//! enums.
+
+use std::fmt;
+use std::time::Duration;
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Self-describing value tree: the data model every `Serialize` /
+/// `Deserialize` implementation converts through. Maps preserve
+/// insertion order so emitted JSON matches declaration order.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Content {
+    /// JSON `null` (also the encoding of `None`).
+    Null,
+    /// Boolean.
+    Bool(bool),
+    /// Non-negative integer.
+    U64(u64),
+    /// Negative integer (positives normalize to [`Content::U64`]).
+    I64(i64),
+    /// Floating point number.
+    F64(f64),
+    /// String.
+    Str(String),
+    /// Sequence (`Vec`, tuple).
+    Seq(Vec<Content>),
+    /// Ordered key-value map (structs, `Duration`).
+    Map(Vec<(String, Content)>),
+}
+
+static NULL_CONTENT: Content = Content::Null;
+
+impl Content {
+    /// Integer value if non-negative integral.
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            Content::U64(v) => Some(*v),
+            Content::I64(v) if *v >= 0 => Some(*v as u64),
+            _ => None,
+        }
+    }
+
+    /// Signed integer value if integral and in range.
+    pub fn as_i64(&self) -> Option<i64> {
+        match self {
+            Content::U64(v) => i64::try_from(*v).ok(),
+            Content::I64(v) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// Numeric value as f64.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Content::U64(v) => Some(*v as f64),
+            Content::I64(v) => Some(*v as f64),
+            Content::F64(v) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// String contents, if a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Content::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Boolean value, if a bool.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Content::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// Sequence elements, if a sequence.
+    pub fn as_array(&self) -> Option<&Vec<Content>> {
+        match self {
+            Content::Seq(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    /// Map entry by key, if a map containing it.
+    pub fn get(&self, key: &str) -> Option<&Content> {
+        match self {
+            Content::Map(entries) => entries.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// `true` for [`Content::Null`].
+    pub fn is_null(&self) -> bool {
+        matches!(self, Content::Null)
+    }
+
+    /// Compact JSON rendering.
+    pub fn to_json(&self) -> String {
+        let mut out = String::new();
+        self.write_json(&mut out, None, 0);
+        out
+    }
+
+    /// Pretty JSON rendering (two-space indent).
+    pub fn to_json_pretty(&self) -> String {
+        let mut out = String::new();
+        self.write_json(&mut out, Some(2), 0);
+        out
+    }
+
+    fn write_json(&self, out: &mut String, indent: Option<usize>, depth: usize) {
+        match self {
+            Content::Null => out.push_str("null"),
+            Content::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            Content::U64(v) => out.push_str(&v.to_string()),
+            Content::I64(v) => out.push_str(&v.to_string()),
+            Content::F64(v) => {
+                if v.is_finite() {
+                    // {:?} keeps the shortest roundtrip form and a
+                    // trailing .0 on integral floats, like serde_json.
+                    out.push_str(&format!("{:?}", v));
+                } else {
+                    out.push_str("null");
+                }
+            }
+            Content::Str(s) => write_json_string(out, s),
+            Content::Seq(items) => {
+                if items.is_empty() {
+                    out.push_str("[]");
+                    return;
+                }
+                out.push('[');
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    write_newline_indent(out, indent, depth + 1);
+                    item.write_json(out, indent, depth + 1);
+                }
+                write_newline_indent(out, indent, depth);
+                out.push(']');
+            }
+            Content::Map(entries) => {
+                if entries.is_empty() {
+                    out.push_str("{}");
+                    return;
+                }
+                out.push('{');
+                for (i, (key, value)) in entries.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    write_newline_indent(out, indent, depth + 1);
+                    write_json_string(out, key);
+                    out.push(':');
+                    if indent.is_some() {
+                        out.push(' ');
+                    }
+                    value.write_json(out, indent, depth + 1);
+                }
+                write_newline_indent(out, indent, depth);
+                out.push('}');
+            }
+        }
+    }
+}
+
+fn write_newline_indent(out: &mut String, indent: Option<usize>, depth: usize) {
+    if let Some(width) = indent {
+        out.push('\n');
+        for _ in 0..width * depth {
+            out.push(' ');
+        }
+    }
+}
+
+fn write_json_string(out: &mut String, s: &str) {
+    out.push('"');
+    for ch in s.chars() {
+        match ch {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+impl fmt::Display for Content {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.to_json())
+    }
+}
+
+impl std::ops::Index<&str> for Content {
+    type Output = Content;
+
+    fn index(&self, key: &str) -> &Content {
+        self.get(key).unwrap_or(&NULL_CONTENT)
+    }
+}
+
+impl std::ops::Index<usize> for Content {
+    type Output = Content;
+
+    fn index(&self, idx: usize) -> &Content {
+        match self {
+            Content::Seq(items) => items.get(idx).unwrap_or(&NULL_CONTENT),
+            _ => &NULL_CONTENT,
+        }
+    }
+}
+
+/// Serialization/deserialization failure: a message describing the
+/// mismatch between the value tree and the target type.
+#[derive(Debug, Clone)]
+pub struct Error {
+    msg: String,
+}
+
+impl Error {
+    /// Creates an error from any displayable message.
+    pub fn custom<T: fmt::Display>(msg: T) -> Self {
+        Error {
+            msg: msg.to_string(),
+        }
+    }
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.msg)
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Converts a value into the [`Content`] data model.
+pub trait Serialize {
+    /// Builds the value tree for `self`.
+    fn serialize(&self) -> Content;
+}
+
+/// Reconstructs a value from the [`Content`] data model.
+pub trait Deserialize: Sized {
+    /// Parses `content` into `Self`.
+    ///
+    /// # Errors
+    ///
+    /// Fails when the tree's shape does not match `Self`.
+    fn deserialize(content: &Content) -> Result<Self, Error>;
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn serialize(&self) -> Content {
+        (**self).serialize()
+    }
+}
+
+impl Serialize for Content {
+    fn serialize(&self) -> Content {
+        self.clone()
+    }
+}
+
+impl Deserialize for Content {
+    fn deserialize(content: &Content) -> Result<Self, Error> {
+        Ok(content.clone())
+    }
+}
+
+impl Serialize for bool {
+    fn serialize(&self) -> Content {
+        Content::Bool(*self)
+    }
+}
+
+impl Deserialize for bool {
+    fn deserialize(content: &Content) -> Result<Self, Error> {
+        content
+            .as_bool()
+            .ok_or_else(|| Error::custom("expected bool"))
+    }
+}
+
+macro_rules! impl_serde_unsigned {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn serialize(&self) -> Content {
+                Content::U64(*self as u64)
+            }
+        }
+
+        impl Deserialize for $t {
+            fn deserialize(content: &Content) -> Result<Self, Error> {
+                let v = content
+                    .as_u64()
+                    .ok_or_else(|| Error::custom(concat!("expected ", stringify!($t))))?;
+                <$t>::try_from(v)
+                    .map_err(|_| Error::custom(concat!("integer out of range for ", stringify!($t))))
+            }
+        }
+    )*};
+}
+
+impl_serde_unsigned!(u8, u16, u32, u64, usize);
+
+macro_rules! impl_serde_signed {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn serialize(&self) -> Content {
+                let v = *self as i64;
+                if v >= 0 {
+                    Content::U64(v as u64)
+                } else {
+                    Content::I64(v)
+                }
+            }
+        }
+
+        impl Deserialize for $t {
+            fn deserialize(content: &Content) -> Result<Self, Error> {
+                let v = content
+                    .as_i64()
+                    .ok_or_else(|| Error::custom(concat!("expected ", stringify!($t))))?;
+                <$t>::try_from(v)
+                    .map_err(|_| Error::custom(concat!("integer out of range for ", stringify!($t))))
+            }
+        }
+    )*};
+}
+
+impl_serde_signed!(i8, i16, i32, i64, isize);
+
+impl Serialize for f64 {
+    fn serialize(&self) -> Content {
+        Content::F64(*self)
+    }
+}
+
+impl Deserialize for f64 {
+    fn deserialize(content: &Content) -> Result<Self, Error> {
+        content
+            .as_f64()
+            .ok_or_else(|| Error::custom("expected f64"))
+    }
+}
+
+impl Serialize for f32 {
+    fn serialize(&self) -> Content {
+        // Route through the f32's shortest decimal form so JSON shows
+        // "0.1" rather than the widened f64 0.10000000149011612.
+        let shortest: f64 = format!("{:?}", self).parse().unwrap_or(f64::from(*self));
+        Content::F64(shortest)
+    }
+}
+
+impl Deserialize for f32 {
+    fn deserialize(content: &Content) -> Result<Self, Error> {
+        content
+            .as_f64()
+            .map(|v| v as f32)
+            .ok_or_else(|| Error::custom("expected f32"))
+    }
+}
+
+impl Serialize for String {
+    fn serialize(&self) -> Content {
+        Content::Str(self.clone())
+    }
+}
+
+impl Deserialize for String {
+    fn deserialize(content: &Content) -> Result<Self, Error> {
+        content
+            .as_str()
+            .map(str::to_string)
+            .ok_or_else(|| Error::custom("expected string"))
+    }
+}
+
+impl Serialize for str {
+    fn serialize(&self) -> Content {
+        Content::Str(self.to_string())
+    }
+}
+
+impl Serialize for std::path::PathBuf {
+    fn serialize(&self) -> Content {
+        Content::Str(self.to_string_lossy().into_owned())
+    }
+}
+
+impl Deserialize for std::path::PathBuf {
+    fn deserialize(content: &Content) -> Result<Self, Error> {
+        content
+            .as_str()
+            .map(std::path::PathBuf::from)
+            .ok_or_else(|| Error::custom("expected path string"))
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn serialize(&self) -> Content {
+        Content::Seq(self.iter().map(Serialize::serialize).collect())
+    }
+}
+
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn serialize(&self) -> Content {
+        self.as_slice().serialize()
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn serialize(&self) -> Content {
+        Content::Seq(self.iter().map(Serialize::serialize).collect())
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn deserialize(content: &Content) -> Result<Self, Error> {
+        content
+            .as_array()
+            .ok_or_else(|| Error::custom("expected array"))?
+            .iter()
+            .map(T::deserialize)
+            .collect()
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn serialize(&self) -> Content {
+        match self {
+            Some(v) => v.serialize(),
+            None => Content::Null,
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn deserialize(content: &Content) -> Result<Self, Error> {
+        match content {
+            Content::Null => Ok(None),
+            other => T::deserialize(other).map(Some),
+        }
+    }
+}
+
+impl Serialize for Duration {
+    fn serialize(&self) -> Content {
+        Content::Map(vec![
+            ("secs".to_string(), Content::U64(self.as_secs())),
+            (
+                "nanos".to_string(),
+                Content::U64(self.subsec_nanos().into()),
+            ),
+        ])
+    }
+}
+
+impl Deserialize for Duration {
+    fn deserialize(content: &Content) -> Result<Self, Error> {
+        let secs = content
+            .get("secs")
+            .and_then(Content::as_u64)
+            .ok_or_else(|| Error::custom("expected duration map with `secs`"))?;
+        let nanos = content
+            .get("nanos")
+            .and_then(Content::as_u64)
+            .ok_or_else(|| Error::custom("expected duration map with `nanos`"))?;
+        Ok(Duration::new(secs, nanos as u32))
+    }
+}
+
+/// Looks up a struct field by name for derived `Deserialize` impls.
+/// Missing fields deserialize from `Null` so `Option` fields default to
+/// `None`; other types report the field as missing.
+///
+/// # Errors
+///
+/// Fails when the field is absent (for non-optional types) or its value
+/// has the wrong shape.
+pub fn get_field<T: Deserialize>(fields: &[(String, Content)], name: &str) -> Result<T, Error> {
+    match fields.iter().find(|(k, _)| k == name) {
+        Some((_, value)) => {
+            T::deserialize(value).map_err(|e| Error::custom(format!("field `{}`: {}", name, e)))
+        }
+        None => T::deserialize(&Content::Null)
+            .map_err(|_| Error::custom(format!("missing field `{}`", name))),
+    }
+}

@@ -1,0 +1,297 @@
+//! Minimal offline stand-in for `serde_derive`.
+//!
+//! Real serde_derive parses items with `syn`; neither `syn` nor `quote`
+//! is available offline, so this macro walks the raw `TokenStream`
+//! directly and emits impls as parsed strings. It supports exactly the
+//! item shapes the workspace derives on:
+//!
+//! - named-field structs       -> JSON objects in declaration order
+//! - single-field tuple structs -> transparent newtypes
+//! - enums with unit variants   -> variant-name strings
+//!
+//! Anything else (generics, data-carrying enums, unions) produces a
+//! `compile_error!` naming the unsupported shape.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+enum Item {
+    NamedStruct { name: String, fields: Vec<String> },
+    NewtypeStruct { name: String },
+    UnitEnum { name: String, variants: Vec<String> },
+}
+
+/// Derives the vendored `serde::Serialize` for supported item shapes.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    expand(input, gen_serialize)
+}
+
+/// Derives the vendored `serde::Deserialize` for supported item shapes.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    expand(input, gen_deserialize)
+}
+
+fn expand(input: TokenStream, gen: fn(&Item) -> String) -> TokenStream {
+    let code = match parse_item(input) {
+        Ok(item) => gen(&item),
+        Err(msg) => format!("compile_error!(\"{}\");", msg.replace('"', "\\\"")),
+    };
+    code.parse()
+        .expect("vendored serde_derive produced unparseable code")
+}
+
+fn parse_item(input: TokenStream) -> Result<Item, String> {
+    let mut tokens: Vec<TokenTree> = input.into_iter().collect();
+    strip_attrs_and_vis(&mut tokens);
+    let mut iter = tokens.into_iter();
+
+    let keyword = match iter.next() {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => {
+            return Err(format!(
+                "expected `struct` or `enum`, got {:?}",
+                other.map(|t| t.to_string())
+            ))
+        }
+    };
+    let name = match iter.next() {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => {
+            return Err(format!(
+                "expected item name, got {:?}",
+                other.map(|t| t.to_string())
+            ))
+        }
+    };
+    let body = match iter.next() {
+        Some(TokenTree::Punct(p)) if p.as_char() == '<' => {
+            return Err(format!(
+                "derive on generic type `{}` is not supported by the vendored serde_derive",
+                name
+            ));
+        }
+        Some(TokenTree::Group(g)) => g,
+        Some(other) => return Err(format!("unexpected token `{}` after `{}`", other, name)),
+        None => return Err(format!("`{}` has no body (unit structs unsupported)", name)),
+    };
+
+    match (keyword.as_str(), body.delimiter()) {
+        ("struct", Delimiter::Brace) => Ok(Item::NamedStruct {
+            name,
+            fields: parse_named_fields(body.stream())?,
+        }),
+        ("struct", Delimiter::Parenthesis) => {
+            let arity = count_top_level_fields(body.stream());
+            if arity == 1 {
+                Ok(Item::NewtypeStruct { name })
+            } else {
+                Err(format!(
+                    "tuple struct `{}` has {} fields; only newtypes are supported",
+                    name, arity
+                ))
+            }
+        }
+        ("enum", Delimiter::Brace) => Ok(Item::UnitEnum {
+            name: name.clone(),
+            variants: parse_unit_variants(body.stream(), &name)?,
+        }),
+        _ => Err(format!("unsupported item shape for `{}`", name)),
+    }
+}
+
+/// Drops leading `#[...]` attributes and `pub` / `pub(...)` visibility.
+fn strip_attrs_and_vis(tokens: &mut Vec<TokenTree>) {
+    let mut start = 0;
+    loop {
+        match tokens.get(start) {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => start += 2,
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                start += 1;
+                if let Some(TokenTree::Group(g)) = tokens.get(start) {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        start += 1;
+                    }
+                }
+            }
+            _ => break,
+        }
+    }
+    tokens.drain(..start);
+}
+
+/// Splits a brace-group token stream into per-field token runs at
+/// top-level commas. Angle brackets (`Option<Vec<f32>>`) are the only
+/// nesting that hides commas in field types: parens/brackets/braces
+/// arrive as single `Group` trees.
+fn split_top_level(stream: TokenStream) -> Vec<Vec<TokenTree>> {
+    let mut out = Vec::new();
+    let mut current = Vec::new();
+    let mut angle_depth = 0usize;
+    for tt in stream {
+        match &tt {
+            TokenTree::Punct(p) if p.as_char() == '<' => angle_depth += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => {
+                angle_depth = angle_depth.saturating_sub(1);
+            }
+            TokenTree::Punct(p) if p.as_char() == ',' && angle_depth == 0 => {
+                out.push(std::mem::take(&mut current));
+                continue;
+            }
+            _ => {}
+        }
+        current.push(tt);
+    }
+    if !current.is_empty() {
+        out.push(current);
+    }
+    out
+}
+
+fn count_top_level_fields(stream: TokenStream) -> usize {
+    split_top_level(stream).len()
+}
+
+fn parse_named_fields(stream: TokenStream) -> Result<Vec<String>, String> {
+    let mut fields = Vec::new();
+    for mut run in split_top_level(stream) {
+        strip_attrs_and_vis(&mut run);
+        if run.is_empty() {
+            continue;
+        }
+        match (&run[0], run.get(1)) {
+            (TokenTree::Ident(id), Some(TokenTree::Punct(p))) if p.as_char() == ':' => {
+                fields.push(id.to_string());
+            }
+            _ => {
+                let text: String = run.iter().map(ToString::to_string).collect();
+                return Err(format!("cannot parse struct field `{}`", text));
+            }
+        }
+    }
+    Ok(fields)
+}
+
+fn parse_unit_variants(stream: TokenStream, enum_name: &str) -> Result<Vec<String>, String> {
+    let mut variants = Vec::new();
+    for mut run in split_top_level(stream) {
+        strip_attrs_and_vis(&mut run);
+        if run.is_empty() {
+            continue;
+        }
+        match (&run[0], run.len()) {
+            (TokenTree::Ident(id), 1) => variants.push(id.to_string()),
+            (TokenTree::Ident(id), _) => {
+                return Err(format!(
+                    "variant `{}::{}` carries data; only unit variants are supported",
+                    enum_name, id
+                ));
+            }
+            _ => {
+                return Err(format!("cannot parse variant of enum `{}`", enum_name));
+            }
+        }
+    }
+    Ok(variants)
+}
+
+fn gen_serialize(item: &Item) -> String {
+    match item {
+        Item::NamedStruct { name, fields } => {
+            let entries: String = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "(\"{f}\".to_string(), ::serde::Serialize::serialize(&self.{f})),",
+                        f = f
+                    )
+                })
+                .collect();
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                     fn serialize(&self) -> ::serde::Content {{\n\
+                         ::serde::Content::Map(vec![{entries}])\n\
+                     }}\n\
+                 }}",
+                name = name,
+                entries = entries
+            )
+        }
+        Item::NewtypeStruct { name } => format!(
+            "impl ::serde::Serialize for {name} {{\n\
+                 fn serialize(&self) -> ::serde::Content {{\n\
+                     ::serde::Serialize::serialize(&self.0)\n\
+                 }}\n\
+             }}",
+            name = name
+        ),
+        Item::UnitEnum { name, variants } => {
+            let arms: String = variants
+                .iter()
+                .map(|v| format!("{name}::{v} => \"{v}\",", name = name, v = v))
+                .collect();
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                     fn serialize(&self) -> ::serde::Content {{\n\
+                         ::serde::Content::Str((match self {{ {arms} }}).to_string())\n\
+                     }}\n\
+                 }}",
+                name = name,
+                arms = arms
+            )
+        }
+    }
+}
+
+fn gen_deserialize(item: &Item) -> String {
+    match item {
+        Item::NamedStruct { name, fields } => {
+            let inits: String = fields
+                .iter()
+                .map(|f| format!("{f}: ::serde::get_field(__fields, \"{f}\")?,", f = f))
+                .collect();
+            format!(
+                "impl ::serde::Deserialize for {name} {{\n\
+                     fn deserialize(__content: &::serde::Content) -> ::std::result::Result<Self, ::serde::Error> {{\n\
+                         match __content {{\n\
+                             ::serde::Content::Map(__fields) => Ok({name} {{ {inits} }}),\n\
+                             _ => Err(::serde::Error::custom(\"expected map for struct {name}\")),\n\
+                         }}\n\
+                     }}\n\
+                 }}",
+                name = name,
+                inits = inits
+            )
+        }
+        Item::NewtypeStruct { name } => format!(
+            "impl ::serde::Deserialize for {name} {{\n\
+                 fn deserialize(__content: &::serde::Content) -> ::std::result::Result<Self, ::serde::Error> {{\n\
+                     Ok({name}(::serde::Deserialize::deserialize(__content)?))\n\
+                 }}\n\
+             }}",
+            name = name
+        ),
+        Item::UnitEnum { name, variants } => {
+            let arms: String = variants
+                .iter()
+                .map(|v| format!("\"{v}\" => Ok({name}::{v}),", name = name, v = v))
+                .collect();
+            format!(
+                "impl ::serde::Deserialize for {name} {{\n\
+                     fn deserialize(__content: &::serde::Content) -> ::std::result::Result<Self, ::serde::Error> {{\n\
+                         match __content {{\n\
+                             ::serde::Content::Str(__s) => match __s.as_str() {{\n\
+                                 {arms}\n\
+                                 __other => Err(::serde::Error::custom(format!(\n\
+                                     \"unknown variant `{{}}` for enum {name}\", __other))),\n\
+                             }},\n\
+                             _ => Err(::serde::Error::custom(\"expected string for enum {name}\")),\n\
+                         }}\n\
+                     }}\n\
+                 }}",
+                name = name,
+                arms = arms
+            )
+        }
+    }
+}

@@ -1,0 +1,353 @@
+//! Minimal offline stand-in for the `serde_json` crate.
+//!
+//! The workspace vendors its external dependencies because the build
+//! environment has no network access to crates.io. [`Value`] is the
+//! vendored serde's `Content` tree; this crate adds JSON text parsing,
+//! printing, and the `json!` macro subset the workspace uses
+//! (object/array literals with expression values).
+
+use std::fmt;
+
+pub use serde::Content as Value;
+
+/// JSON (de)serialization failure.
+#[derive(Debug, Clone)]
+pub struct Error {
+    msg: String,
+}
+
+impl Error {
+    fn new(msg: impl Into<String>) -> Self {
+        Error { msg: msg.into() }
+    }
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.msg)
+    }
+}
+
+impl std::error::Error for Error {}
+
+impl From<serde::Error> for Error {
+    fn from(e: serde::Error) -> Self {
+        Error::new(e.to_string())
+    }
+}
+
+/// Result alias matching serde_json's.
+pub type Result<T> = std::result::Result<T, Error>;
+
+/// Serializes a value to compact JSON.
+///
+/// # Errors
+///
+/// Never fails for the vendored data model; the `Result` is kept for
+/// serde_json API compatibility.
+pub fn to_string<T: serde::Serialize>(value: &T) -> Result<String> {
+    Ok(value.serialize().to_json())
+}
+
+/// Serializes a value to pretty-printed JSON (two-space indent).
+///
+/// # Errors
+///
+/// Never fails for the vendored data model.
+pub fn to_string_pretty<T: serde::Serialize>(value: &T) -> Result<String> {
+    Ok(value.serialize().to_json_pretty())
+}
+
+/// Parses JSON text into any deserializable type.
+///
+/// # Errors
+///
+/// Fails on malformed JSON or a shape mismatch with `T`.
+pub fn from_str<T: serde::Deserialize>(s: &str) -> Result<T> {
+    let value = parse_value(s)?;
+    Ok(T::deserialize(&value)?)
+}
+
+/// Converts a [`Value`] tree into a concrete type.
+///
+/// # Errors
+///
+/// Fails when the tree's shape does not match `T`.
+pub fn from_value<T: serde::Deserialize>(value: Value) -> Result<T> {
+    Ok(T::deserialize(&value)?)
+}
+
+/// Converts any serializable value into a [`Value`] tree.
+///
+/// # Errors
+///
+/// Never fails for the vendored data model.
+pub fn to_value<T: serde::Serialize>(value: T) -> Result<Value> {
+    Ok(value.serialize())
+}
+
+#[doc(hidden)]
+pub fn __json_to_value<T: serde::Serialize>(value: T) -> Value {
+    value.serialize()
+}
+
+/// Builds a [`Value`] from a JSON-shaped literal. Supports the subset
+/// the workspace uses: `null`, object literals with string-literal keys,
+/// array literals, and plain serializable expressions.
+#[macro_export]
+macro_rules! json {
+    (null) => { $crate::Value::Null };
+    ({ $($key:literal : $value:expr),* $(,)? }) => {
+        $crate::Value::Map(vec![
+            $( (($key).to_string(), $crate::__json_to_value(&$value)) ),*
+        ])
+    };
+    ([ $($value:expr),* $(,)? ]) => {
+        $crate::Value::Seq(vec![ $( $crate::__json_to_value(&$value) ),* ])
+    };
+    ($other:expr) => { $crate::__json_to_value(&$other) };
+}
+
+// ---------------------------------------------------------------------
+// JSON text parser (recursive descent over a char buffer).
+// ---------------------------------------------------------------------
+
+fn parse_value(text: &str) -> Result<Value> {
+    let chars: Vec<char> = text.chars().collect();
+    let mut parser = Parser { chars, pos: 0 };
+    parser.skip_ws();
+    let value = parser.value()?;
+    parser.skip_ws();
+    if parser.pos != parser.chars.len() {
+        return Err(Error::new(format!(
+            "trailing characters at offset {}",
+            parser.pos
+        )));
+    }
+    Ok(value)
+}
+
+struct Parser {
+    chars: Vec<char>,
+    pos: usize,
+}
+
+impl Parser {
+    fn peek(&self) -> Option<char> {
+        self.chars.get(self.pos).copied()
+    }
+
+    fn bump(&mut self) -> Result<char> {
+        let c = self
+            .peek()
+            .ok_or_else(|| Error::new("unexpected end of JSON input"))?;
+        self.pos += 1;
+        Ok(c)
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.peek(), Some(' ' | '\t' | '\n' | '\r')) {
+            self.pos += 1;
+        }
+    }
+
+    fn expect(&mut self, c: char) -> Result<()> {
+        let got = self.bump()?;
+        if got == c {
+            Ok(())
+        } else {
+            Err(Error::new(format!("expected `{}`, found `{}`", c, got)))
+        }
+    }
+
+    fn expect_keyword(&mut self, word: &str) -> Result<()> {
+        for expected in word.chars() {
+            self.expect(expected)?;
+        }
+        Ok(())
+    }
+
+    fn value(&mut self) -> Result<Value> {
+        self.skip_ws();
+        match self.peek() {
+            Some('n') => {
+                self.expect_keyword("null")?;
+                Ok(Value::Null)
+            }
+            Some('t') => {
+                self.expect_keyword("true")?;
+                Ok(Value::Bool(true))
+            }
+            Some('f') => {
+                self.expect_keyword("false")?;
+                Ok(Value::Bool(false))
+            }
+            Some('"') => Ok(Value::Str(self.string()?)),
+            Some('[') => self.array(),
+            Some('{') => self.object(),
+            Some(c) if c == '-' || c.is_ascii_digit() => self.number(),
+            Some(c) => Err(Error::new(format!("unexpected character `{}`", c))),
+            None => Err(Error::new("unexpected end of JSON input")),
+        }
+    }
+
+    fn array(&mut self) -> Result<Value> {
+        self.expect('[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(']') {
+            self.pos += 1;
+            return Ok(Value::Seq(items));
+        }
+        loop {
+            items.push(self.value()?);
+            self.skip_ws();
+            match self.bump()? {
+                ',' => continue,
+                ']' => return Ok(Value::Seq(items)),
+                c => return Err(Error::new(format!("expected `,` or `]`, found `{}`", c))),
+            }
+        }
+    }
+
+    fn object(&mut self) -> Result<Value> {
+        self.expect('{')?;
+        let mut entries = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some('}') {
+            self.pos += 1;
+            return Ok(Value::Map(entries));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            self.expect(':')?;
+            let value = self.value()?;
+            entries.push((key, value));
+            self.skip_ws();
+            match self.bump()? {
+                ',' => continue,
+                '}' => return Ok(Value::Map(entries)),
+                c => return Err(Error::new(format!("expected `,` or `}}`, found `{}`", c))),
+            }
+        }
+    }
+
+    fn string(&mut self) -> Result<String> {
+        self.expect('"')?;
+        let mut out = String::new();
+        loop {
+            match self.bump()? {
+                '"' => return Ok(out),
+                '\\' => match self.bump()? {
+                    '"' => out.push('"'),
+                    '\\' => out.push('\\'),
+                    '/' => out.push('/'),
+                    'b' => out.push('\u{0008}'),
+                    'f' => out.push('\u{000C}'),
+                    'n' => out.push('\n'),
+                    'r' => out.push('\r'),
+                    't' => out.push('\t'),
+                    'u' => {
+                        let first = self.hex4()?;
+                        let code = if (0xD800..0xDC00).contains(&first) {
+                            // Surrogate pair: the low half must follow.
+                            self.expect('\\')?;
+                            self.expect('u')?;
+                            let low = self.hex4()?;
+                            0x10000 + ((first - 0xD800) << 10) + (low - 0xDC00)
+                        } else {
+                            first
+                        };
+                        out.push(
+                            char::from_u32(code).ok_or_else(|| Error::new("invalid \\u escape"))?,
+                        );
+                    }
+                    c => return Err(Error::new(format!("invalid escape `\\{}`", c))),
+                },
+                c => out.push(c),
+            }
+        }
+    }
+
+    fn hex4(&mut self) -> Result<u32> {
+        let mut code = 0u32;
+        for _ in 0..4 {
+            let c = self.bump()?;
+            let digit = c
+                .to_digit(16)
+                .ok_or_else(|| Error::new(format!("invalid hex digit `{}`", c)))?;
+            code = code * 16 + digit;
+        }
+        Ok(code)
+    }
+
+    fn number(&mut self) -> Result<Value> {
+        let start = self.pos;
+        if self.peek() == Some('-') {
+            self.pos += 1;
+        }
+        let mut is_float = false;
+        while let Some(c) = self.peek() {
+            match c {
+                '0'..='9' => self.pos += 1,
+                '.' | 'e' | 'E' | '+' | '-' => {
+                    is_float = true;
+                    self.pos += 1;
+                }
+                _ => break,
+            }
+        }
+        let text: String = self.chars[start..self.pos].iter().collect();
+        if !is_float {
+            if let Ok(v) = text.parse::<u64>() {
+                return Ok(Value::U64(v));
+            }
+            if let Ok(v) = text.parse::<i64>() {
+                return Ok(Value::I64(v));
+            }
+        }
+        text.parse::<f64>()
+            .map(Value::F64)
+            .map_err(|_| Error::new(format!("invalid number `{}`", text)))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_nested_document() {
+        let text =
+            r#"{"name":"pbg","dims":[16,32],"lr":0.1,"nested":{"ok":true,"none":null},"neg":-3}"#;
+        let value: Value = from_str(text).unwrap();
+        assert_eq!(value["name"].as_str(), Some("pbg"));
+        assert_eq!(value["dims"][1].as_u64(), Some(32));
+        assert_eq!(value["nested"]["ok"].as_bool(), Some(true));
+        assert!(value["nested"]["none"].is_null());
+        assert_eq!(value["neg"].as_i64(), Some(-3));
+        let reparsed: Value = from_str(&to_string(&value).unwrap()).unwrap();
+        assert_eq!(reparsed, value);
+        let repretty: Value = from_str(&to_string_pretty(&value).unwrap()).unwrap();
+        assert_eq!(repretty, value);
+    }
+
+    #[test]
+    fn json_macro_builds_objects() {
+        let v = json!({ "a": 1u32, "b": [1.5f64, 2.0], "s": "x" });
+        assert_eq!(v["a"].as_u64(), Some(1));
+        assert_eq!(v["b"][0].as_f64(), Some(1.5));
+        assert_eq!(v["s"].as_str(), Some("x"));
+    }
+
+    #[test]
+    fn string_escapes_roundtrip() {
+        let original = Value::Str("line\nquote\"backslash\\tab\tunicode\u{1F600}".to_string());
+        let reparsed: Value = from_str(&to_string(&original).unwrap()).unwrap();
+        assert_eq!(reparsed, original);
+        let escaped: Value = from_str(r#""smile 😀""#).unwrap();
+        assert_eq!(escaped.as_str(), Some("smile \u{1F600}"));
+    }
+}
