@@ -21,7 +21,7 @@
 //! cargo run --release -p pbg-bench --bin table3_freebase [-- --distributed --quick]
 //! ```
 
-use pbg_bench::harness::{link_prediction, train_pbg};
+use pbg_bench::harness::{arm_trace_path, link_prediction, train_pbg_traced};
 use pbg_bench::report::{save_json, ExpArgs, Table};
 use pbg_core::config::PbgConfig;
 use pbg_core::eval::CandidateSampling;
@@ -106,7 +106,17 @@ fn main() {
             let schema = dataset.schema_with_partitions(p);
             let dir = (p > 1)
                 .then(|| std::env::temp_dir().join(format!("pbg_t3_p{p}_{}", std::process::id())));
-            let run = train_pbg(schema, &split.train, config_base.clone(), dir.clone());
+            let trace = args
+                .telemetry
+                .as_ref()
+                .map(|base| arm_trace_path(base, &format!("p{p}")));
+            let run = train_pbg_traced(
+                schema,
+                &split.train,
+                config_base.clone(),
+                dir.clone(),
+                trace.as_deref(),
+            );
             if let Some(d) = dir {
                 std::fs::remove_dir_all(&d).ok();
             }

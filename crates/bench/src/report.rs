@@ -112,6 +112,9 @@ pub struct ExpArgs {
     pub quick: bool,
     /// Run the distributed arm (table3/table4).
     pub distributed: bool,
+    /// Base path for JSONL span traces (`--telemetry PATH`); experiment
+    /// arms derive per-arm files from it.
+    pub telemetry: Option<String>,
 }
 
 impl ExpArgs {
@@ -128,6 +131,7 @@ impl ExpArgs {
             epochs: value_of("--epochs").and_then(|v| v.parse().ok()),
             quick: args.iter().any(|a| a == "--quick"),
             distributed: args.iter().any(|a| a == "--distributed"),
+            telemetry: value_of("--telemetry"),
         }
     }
 }

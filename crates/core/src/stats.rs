@@ -75,13 +75,35 @@ pub struct IoStats {
 impl IoStats {
     /// Delta of the monotonic counters relative to an `earlier`
     /// snapshot; `peak_bytes` is a high-water mark and kept absolute.
+    ///
+    /// Subtraction saturates at zero: a counter that regressed (a store
+    /// recreated between snapshots, a restored checkpoint) yields zero
+    /// for the interval instead of panicking on underflow.
     pub fn delta_since(&self, earlier: &IoStats) -> IoStats {
         IoStats {
-            swap_ins: self.swap_ins - earlier.swap_ins,
-            prefetch_hits: self.prefetch_hits - earlier.prefetch_hits,
-            swap_wait_seconds: self.swap_wait_seconds - earlier.swap_wait_seconds,
-            bytes_written_back: self.bytes_written_back - earlier.bytes_written_back,
+            swap_ins: self.swap_ins.saturating_sub(earlier.swap_ins),
+            prefetch_hits: self.prefetch_hits.saturating_sub(earlier.prefetch_hits),
+            swap_wait_seconds: (self.swap_wait_seconds - earlier.swap_wait_seconds).max(0.0),
+            bytes_written_back: self
+                .bytes_written_back
+                .saturating_sub(earlier.bytes_written_back),
             peak_bytes: self.peak_bytes,
+        }
+    }
+
+    /// Reads the store's I/O counters out of a telemetry snapshot (the
+    /// metric names of [`pbg_telemetry::metrics::names`]). [`EpochStats`]
+    /// aggregates are derived from deltas of these snapshots, so the
+    /// epoch report is a view of the same registry the trace and the
+    /// Prometheus dump read.
+    pub fn from_snapshot(snap: &pbg_telemetry::Snapshot) -> IoStats {
+        use pbg_telemetry::metrics::names;
+        IoStats {
+            swap_ins: snap.counter(names::STORE_SWAP_INS) as usize,
+            prefetch_hits: snap.counter(names::STORE_PREFETCH_HITS) as usize,
+            swap_wait_seconds: snap.counter(names::STORE_SWAP_WAIT_NS) as f64 * 1e-9,
+            bytes_written_back: snap.counter(names::STORE_BYTES_WRITTEN_BACK),
+            peak_bytes: snap.gauge(names::STORE_RESIDENT_BYTES).peak as usize,
         }
     }
 }
@@ -131,6 +153,16 @@ impl EpochAccumulator {
 }
 
 /// Thread-safe byte accounting with a high-water mark.
+///
+/// All operations use `Relaxed` ordering: the tracker is a pure
+/// statistic — no other memory is published or acquired through it, each
+/// field is a single atomic (so it is internally consistent on its own),
+/// and the readers that need exact totals (epoch reports, test
+/// assertions) run after the writing threads joined, where the join
+/// itself provides the synchronization. The only cross-field laxity is
+/// that `peak` may momentarily lag a concurrent `current` spike by
+/// another thread, which `SeqCst` would not fix either: the window
+/// between `fetch_add` and `fetch_max` is a race at any ordering.
 #[derive(Debug, Default)]
 pub struct MemoryTracker {
     current: AtomicUsize,
@@ -145,8 +177,8 @@ impl MemoryTracker {
 
     /// Registers an allocation of `bytes`.
     pub fn add(&self, bytes: usize) {
-        let now = self.current.fetch_add(bytes, Ordering::SeqCst) + bytes;
-        self.peak.fetch_max(now, Ordering::SeqCst);
+        let now = self.current.fetch_add(bytes, Ordering::Relaxed) + bytes;
+        self.peak.fetch_max(now, Ordering::Relaxed);
     }
 
     /// Registers a release of `bytes`.
@@ -155,18 +187,18 @@ impl MemoryTracker {
     ///
     /// Panics (in debug builds) if more is released than allocated.
     pub fn remove(&self, bytes: usize) {
-        let prev = self.current.fetch_sub(bytes, Ordering::SeqCst);
+        let prev = self.current.fetch_sub(bytes, Ordering::Relaxed);
         debug_assert!(prev >= bytes, "memory tracker underflow");
     }
 
     /// Currently tracked bytes.
     pub fn current(&self) -> usize {
-        self.current.load(Ordering::SeqCst)
+        self.current.load(Ordering::Relaxed)
     }
 
     /// High-water mark.
     pub fn peak(&self) -> usize {
-        self.peak.load(Ordering::SeqCst)
+        self.peak.load(Ordering::Relaxed)
     }
 }
 
@@ -238,6 +270,46 @@ mod tests {
         assert_eq!(e.prefetch_hits, 3);
         assert_eq!(e.swap_wait_seconds, 0.25);
         assert_eq!(e.bytes_written_back, 4096);
+    }
+
+    #[test]
+    fn io_delta_saturates_on_counter_regression() {
+        let fresh = IoStats {
+            swap_ins: 1,
+            prefetch_hits: 0,
+            swap_wait_seconds: 0.1,
+            bytes_written_back: 100,
+            peak_bytes: 50,
+        };
+        let earlier = IoStats {
+            swap_ins: 9,
+            prefetch_hits: 4,
+            swap_wait_seconds: 2.0,
+            bytes_written_back: 900,
+            peak_bytes: 10,
+        };
+        // a store recreated between snapshots restarts its counters;
+        // the interval clamps to zero instead of panicking
+        let d = fresh.delta_since(&earlier);
+        assert_eq!(d.swap_ins, 0);
+        assert_eq!(d.prefetch_hits, 0);
+        assert_eq!(d.swap_wait_seconds, 0.0);
+        assert_eq!(d.bytes_written_back, 0);
+        assert_eq!(d.peak_bytes, 50, "peak stays absolute");
+    }
+
+    #[test]
+    fn io_stats_read_back_from_registry_snapshot() {
+        use pbg_telemetry::metrics::names;
+        let reg = pbg_telemetry::Registry::new();
+        reg.counter(names::STORE_SWAP_INS).add(5);
+        reg.counter(names::STORE_SWAP_WAIT_NS).add(2_500_000_000);
+        reg.gauge(names::STORE_RESIDENT_BYTES).add(4096);
+        reg.gauge(names::STORE_RESIDENT_BYTES).sub(4096);
+        let io = IoStats::from_snapshot(&reg.snapshot());
+        assert_eq!(io.swap_ins, 5);
+        assert!((io.swap_wait_seconds - 2.5).abs() < 1e-12);
+        assert_eq!(io.peak_bytes, 4096);
     }
 
     #[test]

@@ -18,14 +18,15 @@ use parking_lot::{Condvar, Mutex};
 use pbg_graph::ids::{EntityTypeId, Partition};
 use pbg_graph::partition::EntityPartitioning;
 use pbg_graph::schema::GraphSchema;
+use pbg_telemetry::metrics::names as metric;
+use pbg_telemetry::trace::names as span_name;
+use pbg_telemetry::{Counter, Gauge, Registry};
 use pbg_tensor::adagrad::AdagradRow;
 use pbg_tensor::hogwild::HogwildArray;
 use pbg_tensor::rng::Xoshiro256;
 use std::collections::{HashMap, HashSet};
 use std::path::PathBuf;
-use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
-use std::time::Instant;
 
 /// Key of one embedding partition.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
@@ -207,6 +208,13 @@ pub struct InMemoryStore {
 impl InMemoryStore {
     /// Allocates and initializes all partitions.
     pub fn new(layout: StoreLayout) -> Self {
+        Self::with_telemetry(layout, &Registry::new())
+    }
+
+    /// Allocates all partitions, publishing resident bytes into
+    /// `telemetry` so epoch reports derived from registry snapshots see
+    /// this store's footprint.
+    pub fn with_telemetry(layout: StoreLayout, telemetry: &Registry) -> Self {
         let mut partitions = HashMap::new();
         let mut bytes = 0;
         for (key, _) in layout.keys().to_vec() {
@@ -214,6 +222,9 @@ impl InMemoryStore {
             bytes += data.bytes();
             partitions.insert(key, data);
         }
+        telemetry
+            .gauge(metric::STORE_RESIDENT_BYTES)
+            .set(bytes as u64);
         InMemoryStore {
             layout,
             partitions,
@@ -281,18 +292,24 @@ struct SwapState {
 }
 
 /// State shared between the front end and the background I/O thread.
+///
+/// The I/O counters are telemetry handles registered under the
+/// [`pbg_telemetry::metrics::names`] metric names: the store's own
+/// accessors, the trainer's epoch reports, the Prometheus dump, and the
+/// JSONL trace all read the same atomics.
 struct DiskShared {
     layout: StoreLayout,
     dir: PathBuf,
     state: Mutex<SwapState>,
     /// Signaled by the I/O thread when an in-flight prefetch completes.
     ready: Condvar,
-    resident_bytes: AtomicUsize,
-    peak_bytes: AtomicUsize,
-    swap_ins: AtomicUsize,
-    prefetch_hits: AtomicUsize,
-    swap_wait_nanos: AtomicU64,
-    bytes_written_back: AtomicU64,
+    telemetry: Registry,
+    resident_bytes: Gauge,
+    io_queue_depth: Gauge,
+    swap_ins: Counter,
+    prefetch_hits: Counter,
+    swap_wait_ns: Counter,
+    bytes_written_back: Counter,
 }
 
 impl DiskShared {
@@ -353,8 +370,15 @@ impl DiskShared {
     }
 
     fn track_load(&self, bytes: usize) {
-        let now = self.resident_bytes.fetch_add(bytes, Ordering::SeqCst) + bytes;
-        self.peak_bytes.fetch_max(now, Ordering::SeqCst);
+        self.resident_bytes.add(bytes as u64);
+    }
+
+    /// Field list identifying a partition in trace events.
+    fn key_fields(key: PartitionKey) -> Vec<(&'static str, pbg_telemetry::FieldValue)> {
+        vec![
+            ("et", key.entity_type.0.into()),
+            ("part", key.partition.0.into()),
+        ]
     }
 }
 
@@ -368,12 +392,23 @@ fn io_loop(shared: Arc<DiskShared>, rx: channel::Receiver<IoMsg>) {
         match msg {
             IoMsg::Shutdown => break,
             IoMsg::WriteBack(key, data) => {
+                let mut span = if shared.telemetry.tracing() {
+                    let mut s = shared
+                        .telemetry
+                        .span_with(span_name::WRITE_BACK, DiskShared::key_fields(key));
+                    s.field("queue", shared.io_queue_depth.get());
+                    s
+                } else {
+                    pbg_telemetry::SpanGuard::noop()
+                };
                 shared
                     .write_to_disk(key, &data)
                     .expect("disk store write failed; inspect the store directory");
-                shared
-                    .bytes_written_back
-                    .fetch_add(data.bytes() as u64, Ordering::SeqCst);
+                let bytes = data.bytes() as u64;
+                span.field("bytes", bytes);
+                drop(span);
+                shared.bytes_written_back.add(bytes);
+                shared.io_queue_depth.sub(1);
                 let mut st = shared.state.lock();
                 let count = st
                     .pending_writes
@@ -389,9 +424,20 @@ fn io_loop(shared: Arc<DiskShared>, rx: channel::Receiver<IoMsg>) {
             }
             IoMsg::Prefetch(key) => {
                 if !shared.state.lock().inflight.contains(&key) {
+                    shared.io_queue_depth.sub(1);
                     continue; // satisfied or canceled in the meantime
                 }
+                let mut span = if shared.telemetry.tracing() {
+                    shared
+                        .telemetry
+                        .span_with(span_name::PREFETCH_READ, DiskShared::key_fields(key))
+                } else {
+                    pbg_telemetry::SpanGuard::noop()
+                };
                 let data = Arc::new(shared.read_or_init(key));
+                span.field("bytes", data.bytes() as u64);
+                drop(span);
+                shared.io_queue_depth.sub(1);
                 let mut st = shared.state.lock();
                 if st.inflight.remove(&key) {
                     st.prefetched.insert(key, data);
@@ -441,7 +487,21 @@ impl DiskStore {
     ///
     /// Returns an error if the directory cannot be created.
     pub fn new(layout: StoreLayout, dir: impl Into<PathBuf>) -> Result<Self> {
-        let mut store = Self::new_sync(layout, dir)?;
+        Self::with_telemetry(layout, dir, &Registry::new())
+    }
+
+    /// Like [`DiskStore::new`], with I/O counters registered in (and
+    /// trace events recorded into) `telemetry`.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the directory cannot be created.
+    pub fn with_telemetry(
+        layout: StoreLayout,
+        dir: impl Into<PathBuf>,
+        telemetry: &Registry,
+    ) -> Result<Self> {
+        let mut store = Self::new_sync_with_telemetry(layout, dir, telemetry)?;
         let (tx, rx) = channel::unbounded();
         let shared = Arc::clone(&store.shared);
         let thread = std::thread::Builder::new()
@@ -461,6 +521,20 @@ impl DiskStore {
     ///
     /// Returns an error if the directory cannot be created.
     pub fn new_sync(layout: StoreLayout, dir: impl Into<PathBuf>) -> Result<Self> {
+        Self::new_sync_with_telemetry(layout, dir, &Registry::new())
+    }
+
+    /// Like [`DiskStore::new_sync`], with I/O counters registered in
+    /// `telemetry`.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the directory cannot be created.
+    pub fn new_sync_with_telemetry(
+        layout: StoreLayout,
+        dir: impl Into<PathBuf>,
+        telemetry: &Registry,
+    ) -> Result<Self> {
         let dir = dir.into();
         std::fs::create_dir_all(&dir)?;
         Ok(DiskStore {
@@ -469,12 +543,13 @@ impl DiskStore {
                 dir,
                 state: Mutex::new(SwapState::default()),
                 ready: Condvar::new(),
-                resident_bytes: AtomicUsize::new(0),
-                peak_bytes: AtomicUsize::new(0),
-                swap_ins: AtomicUsize::new(0),
-                prefetch_hits: AtomicUsize::new(0),
-                swap_wait_nanos: AtomicU64::new(0),
-                bytes_written_back: AtomicU64::new(0),
+                telemetry: telemetry.clone(),
+                resident_bytes: telemetry.gauge(metric::STORE_RESIDENT_BYTES),
+                io_queue_depth: telemetry.gauge(metric::STORE_IO_QUEUE_DEPTH),
+                swap_ins: telemetry.counter(metric::STORE_SWAP_INS),
+                prefetch_hits: telemetry.counter(metric::STORE_PREFETCH_HITS),
+                swap_wait_ns: telemetry.counter(metric::STORE_SWAP_WAIT_NS),
+                bytes_written_back: telemetry.counter(metric::STORE_BYTES_WRITTEN_BACK),
             }),
             io: None,
         })
@@ -504,25 +579,33 @@ impl PartitionStore for DiskStore {
             return Arc::clone(data);
         }
         // Not logically resident: a swap-in however it gets served.
-        shared.swap_ins.fetch_add(1, Ordering::SeqCst);
+        shared.swap_ins.inc();
         if let Some(data) = st.prefetched.remove(&key) {
-            shared.prefetch_hits.fetch_add(1, Ordering::SeqCst);
+            shared.prefetch_hits.inc();
             shared.track_load(data.bytes());
             st.resident.insert(key, Arc::clone(&data));
             return data;
         }
         if st.inflight.contains(&key) {
             // The I/O thread is already reading it; waiting beats
-            // issuing a duplicate read.
-            let start = Instant::now();
+            // issuing a duplicate read. One measurement feeds both the
+            // counter and the span, so trace and epoch totals reconcile.
+            let t0 = shared.telemetry.now_ns();
             while st.inflight.contains(&key) {
                 shared.ready.wait(&mut st);
             }
-            shared
-                .swap_wait_nanos
-                .fetch_add(start.elapsed().as_nanos() as u64, Ordering::SeqCst);
+            let waited = shared.telemetry.now_ns().saturating_sub(t0);
+            shared.swap_wait_ns.add(waited);
+            if shared.telemetry.tracing() {
+                shared.telemetry.record_span(
+                    span_name::SWAP_WAIT,
+                    t0,
+                    waited,
+                    DiskShared::key_fields(key),
+                );
+            }
             if let Some(data) = st.prefetched.remove(&key) {
-                shared.prefetch_hits.fetch_add(1, Ordering::SeqCst);
+                shared.prefetch_hits.inc();
                 shared.track_load(data.bytes());
                 st.resident.insert(key, Arc::clone(&data));
                 return data;
@@ -536,11 +619,18 @@ impl PartitionStore for DiskStore {
             return data;
         }
         // Synchronous fallback: the hot path pays for the read.
-        let start = Instant::now();
+        let t0 = shared.telemetry.now_ns();
         let data = Arc::new(shared.read_or_init(key));
-        shared
-            .swap_wait_nanos
-            .fetch_add(start.elapsed().as_nanos() as u64, Ordering::SeqCst);
+        let waited = shared.telemetry.now_ns().saturating_sub(t0);
+        shared.swap_wait_ns.add(waited);
+        if shared.telemetry.tracing() {
+            shared.telemetry.record_span(
+                span_name::SWAP_WAIT,
+                t0,
+                waited,
+                DiskShared::key_fields(key),
+            );
+        }
         shared.track_load(data.bytes());
         st.resident.insert(key, Arc::clone(&data));
         data
@@ -550,23 +640,28 @@ impl PartitionStore for DiskStore {
         let shared = &self.shared;
         let mut st = shared.state.lock();
         if let Some(data) = st.resident.remove(&key) {
-            shared
-                .resident_bytes
-                .fetch_sub(data.bytes(), Ordering::SeqCst);
+            shared.resident_bytes.sub(data.bytes() as u64);
             match &self.io {
                 Some((tx, _)) => {
                     st.dirty.insert(key, Arc::clone(&data));
                     *st.pending_writes.entry(key).or_insert(0) += 1;
+                    shared.io_queue_depth.add(1);
                     tx.send(IoMsg::WriteBack(key, data))
                         .expect("disk I/O thread alive");
                 }
                 None => {
+                    let mut span = if shared.telemetry.tracing() {
+                        shared
+                            .telemetry
+                            .span_with(span_name::WRITE_BACK, DiskShared::key_fields(key))
+                    } else {
+                        pbg_telemetry::SpanGuard::noop()
+                    };
                     shared
                         .write_to_disk(key, &data)
                         .expect("disk store write failed; inspect the store directory");
-                    shared
-                        .bytes_written_back
-                        .fetch_add(data.bytes() as u64, Ordering::SeqCst);
+                    span.field("bytes", data.bytes() as u64);
+                    shared.bytes_written_back.add(data.bytes() as u64);
                 }
             }
         }
@@ -589,32 +684,38 @@ impl PartitionStore for DiskStore {
             return;
         }
         st.inflight.insert(key);
+        self.shared.io_queue_depth.add(1);
+        if self.shared.telemetry.tracing() {
+            self.shared
+                .telemetry
+                .point(span_name::PREFETCH_ISSUE, DiskShared::key_fields(key));
+        }
         tx.send(IoMsg::Prefetch(key))
             .expect("disk I/O thread alive");
     }
 
     fn resident_bytes(&self) -> usize {
-        self.shared.resident_bytes.load(Ordering::SeqCst)
+        self.shared.resident_bytes.get() as usize
     }
 
     fn peak_bytes(&self) -> usize {
-        self.shared.peak_bytes.load(Ordering::SeqCst)
+        self.shared.resident_bytes.peak() as usize
     }
 
     fn swap_ins(&self) -> usize {
-        self.shared.swap_ins.load(Ordering::SeqCst)
+        self.shared.swap_ins.get() as usize
     }
 
     fn prefetch_hits(&self) -> usize {
-        self.shared.prefetch_hits.load(Ordering::SeqCst)
+        self.shared.prefetch_hits.get() as usize
     }
 
     fn swap_wait_nanos(&self) -> u64 {
-        self.shared.swap_wait_nanos.load(Ordering::SeqCst)
+        self.shared.swap_wait_ns.get()
     }
 
     fn bytes_written_back(&self) -> u64 {
-        self.shared.bytes_written_back.load(Ordering::SeqCst)
+        self.shared.bytes_written_back.get()
     }
 
     fn load_all(&self) {

@@ -9,17 +9,19 @@
 use crate::model::Model;
 use crate::stats::BucketStats;
 use crate::storage::{PartitionData, PartitionKey, PartitionStore};
-use crate::trainer::step::{train_chunk, ChunkContext, ParamGradAccum};
+use crate::trainer::step::{train_chunk, ChunkContext, ParamGradAccum, PhaseClock, PhaseTotals};
 use crate::{batch, config::NegativeMode};
 use pbg_graph::bucket::BucketId;
 use pbg_graph::edges::EdgeList;
 use pbg_graph::ids::{EntityTypeId, Partition};
 use pbg_graph::partition::EntityPartitioning;
 use pbg_graph::RelationTypeId;
+use pbg_telemetry::metrics::names as metric;
+use pbg_telemetry::trace::names as span_name;
+use pbg_telemetry::Registry;
 use pbg_tensor::rng::Xoshiro256;
 use std::collections::{HashMap, HashSet};
 use std::sync::Arc;
-use std::time::Instant;
 
 /// The partition keys a bucket needs resident, given the schema.
 pub fn needed_keys(model: &Model, bucket: BucketId) -> HashSet<PartitionKey> {
@@ -61,21 +63,30 @@ pub fn partitionings(model: &Model) -> Vec<EntityPartitioning> {
 /// Trains one bucket with `config.threads` HOGWILD threads; returns
 /// aggregate stats. Loads (and leaves loaded) the partitions the bucket
 /// needs — the caller decides when to release them.
+///
+/// When tracing is enabled on `telemetry`, records a `bucket_train` span
+/// whose duration is the *same* measurement as the returned
+/// [`BucketStats::seconds`], carrying the per-phase breakdown (compute /
+/// sampling / optimizer, CPU-time summed over threads). The partition
+/// `load`s happen on the calling thread before the workers spawn, so a
+/// store's `swap_wait` spans nest inside this bucket's span.
 pub fn train_bucket(
     model: &Model,
     store: &dyn PartitionStore,
     bucket: BucketId,
     edges: &EdgeList,
     seed: u64,
+    telemetry: &Registry,
 ) -> BucketStats {
-    let start = Instant::now();
+    let t0 = telemetry.now_ns();
     if edges.is_empty() {
         return BucketStats {
             edges: 0,
             loss: 0.0,
-            seconds: start.elapsed().as_secs_f64(),
+            seconds: telemetry.now_ns().saturating_sub(t0) as f64 * 1e-9,
         };
     }
+    let tracing = telemetry.tracing();
     let config = model.config();
     // resident set for this bucket
     let mut resident: HashMap<PartitionKey, Arc<PartitionData>> = HashMap::new();
@@ -85,7 +96,7 @@ pub fn train_bucket(
     let parts = partitionings(model);
     let schema = model.schema();
     let thread_chunks = edges.chunks(config.threads);
-    let total_loss: f64 = crossbeam::thread::scope(|scope| {
+    let results: Vec<(f64, PhaseTotals)> = crossbeam::thread::scope(|scope| {
         let handles: Vec<_> = thread_chunks
             .iter()
             .enumerate()
@@ -93,6 +104,11 @@ pub fn train_bucket(
                 let resident = &resident;
                 let parts = &parts;
                 scope.spawn(move |_| {
+                    let phases = if tracing {
+                        Some(PhaseClock::new())
+                    } else {
+                        None
+                    };
                     let mut rng = Xoshiro256::seed_from_u64(
                         seed.wrapping_mul(0x2545F4914F6CDD1D)
                             .wrapping_add(tid as u64),
@@ -121,6 +137,7 @@ pub fn train_bucket(
                             dst_data,
                             src_partition_size: src_part.partition_size(src_key.partition) as usize,
                             dst_partition_size: dst_part.partition_size(dst_key.partition) as usize,
+                            phases: phases.as_ref(),
                         };
                         let rel_weight = model.relation(rel_id).weight();
                         let mut param_grads = ParamGradAccum::for_relation(model.relation(rel_id));
@@ -134,33 +151,72 @@ pub fn train_bucket(
                                 dst_off.push(dst_part.offset_of(e.dst));
                                 weights.push(rel_weight * thread_edges.weight(i));
                             }
-                            loss += train_chunk(
-                                &ctx,
-                                &src_off,
-                                &dst_off,
-                                &weights,
-                                &mut param_grads,
-                                &mut rng,
-                            );
+                            let mut step = || {
+                                train_chunk(
+                                    &ctx,
+                                    &src_off,
+                                    &dst_off,
+                                    &weights,
+                                    &mut param_grads,
+                                    &mut rng,
+                                )
+                            };
+                            loss += match &phases {
+                                Some(clock) => clock.chunk(step),
+                                None => step(),
+                            };
                         }
                         // shared parameters update once per batch (§4.3's
                         // relation-grouped batches make this one fetch/update)
-                        param_grads.apply(model.relation(rel_id));
+                        match &phases {
+                            Some(clock) => {
+                                clock.optimizer(|| param_grads.apply(model.relation(rel_id)));
+                            }
+                            None => param_grads.apply(model.relation(rel_id)),
+                        }
                     }
-                    loss
+                    (loss, phases.map(|clock| clock.totals()).unwrap_or_default())
                 })
             })
             .collect();
         handles
             .into_iter()
             .map(|h| h.join().expect("trainer thread panicked"))
-            .sum()
+            .collect()
     })
     .expect("trainer scope panicked");
+    let total_loss: f64 = results.iter().map(|(loss, _)| loss).sum();
+    let mut phase_totals = PhaseTotals::default();
+    for (_, totals) in &results {
+        phase_totals.merge(totals);
+    }
+    telemetry
+        .counter(metric::TRAINER_EDGES)
+        .add(edges.len() as u64);
+    telemetry.counter(metric::TRAINER_BUCKETS).inc();
+    // one measurement for both the span and the returned stats, so the
+    // trace timeline reconciles with EpochStats.seconds
+    let dur_ns = telemetry.now_ns().saturating_sub(t0);
+    if tracing {
+        telemetry.record_span(
+            span_name::BUCKET_TRAIN,
+            t0,
+            dur_ns,
+            vec![
+                ("src", bucket.src.0.into()),
+                ("dst", bucket.dst.0.into()),
+                ("edges", (edges.len() as u64).into()),
+                ("loss", total_loss.into()),
+                ("compute_ns", phase_totals.compute_ns.into()),
+                ("sampling_ns", phase_totals.sampling_ns.into()),
+                ("optimizer_ns", phase_totals.optimizer_ns.into()),
+            ],
+        );
+    }
     BucketStats {
         edges: edges.len(),
         loss: total_loss,
-        seconds: start.elapsed().as_secs_f64(),
+        seconds: dur_ns as f64 * 1e-9,
     }
 }
 
@@ -245,10 +301,10 @@ mod tests {
         let store = InMemoryStore::new(model.store_layout());
         let edges = ring_edges(64);
         let bucket = BucketId::new(0u32, 0u32);
-        let first = train_bucket(&model, &store, bucket, &edges, 1);
+        let first = train_bucket(&model, &store, bucket, &edges, 1, Registry::disabled());
         let mut last = first;
         for s in 2..20 {
-            last = train_bucket(&model, &store, bucket, &edges, s);
+            last = train_bucket(&model, &store, bucket, &edges, s, Registry::disabled());
         }
         assert_eq!(first.edges, 64);
         assert!(
@@ -265,16 +321,70 @@ mod tests {
         let store = InMemoryStore::new(model.store_layout());
         let edges = ring_edges(64);
         let bucket = BucketId::new(0u32, 0u32);
-        let first = train_bucket(&model, &store, bucket, &edges, 1);
+        let first = train_bucket(&model, &store, bucket, &edges, 1, Registry::disabled());
         let mut last = first;
         for s in 2..20 {
-            last = train_bucket(&model, &store, bucket, &edges, s);
+            last = train_bucket(&model, &store, bucket, &edges, s, Registry::disabled());
         }
         assert!(
             last.loss < first.loss,
             "HOGWILD loss did not fall: {} -> {}",
             first.loss,
             last.loss
+        );
+    }
+
+    #[test]
+    fn traced_bucket_records_span_with_phase_breakdown() {
+        let model = small_model(1, 2);
+        let store = InMemoryStore::new(model.store_layout());
+        let reg = Registry::new();
+        reg.set_tracing(true);
+        let stats = train_bucket(
+            &model,
+            &store,
+            BucketId::new(0u32, 0u32),
+            &ring_edges(64),
+            1,
+            &reg,
+        );
+        let events = reg.drain();
+        let span = events
+            .iter()
+            .find(|e| e.name == span_name::BUCKET_TRAIN)
+            .expect("bucket span recorded");
+        assert_eq!(span.field_u64("edges"), Some(64));
+        assert_eq!(span.field_u64("src"), Some(0));
+        let dur_s = span.dur_ns as f64 * 1e-9;
+        assert!(
+            (dur_s - stats.seconds).abs() < 1e-12,
+            "span duration is the same measurement as BucketStats.seconds"
+        );
+        let phases = span.field_u64("compute_ns").unwrap()
+            + span.field_u64("sampling_ns").unwrap()
+            + span.field_u64("optimizer_ns").unwrap();
+        assert!(phases > 0, "phase clock accumulated time");
+        assert_eq!(reg.snapshot().counter(metric::TRAINER_EDGES), 64);
+    }
+
+    #[test]
+    fn untraced_bucket_records_no_events() {
+        let model = small_model(1, 1);
+        let store = InMemoryStore::new(model.store_layout());
+        let reg = Registry::new();
+        train_bucket(
+            &model,
+            &store,
+            BucketId::new(0u32, 0u32),
+            &ring_edges(64),
+            1,
+            &reg,
+        );
+        assert!(reg.drain().is_empty(), "tracing off: no span events");
+        assert_eq!(
+            reg.snapshot().counter(metric::TRAINER_EDGES),
+            64,
+            "metrics stay on"
         );
     }
 
@@ -288,6 +398,7 @@ mod tests {
             BucketId::new(0u32, 1u32),
             &EdgeList::new(),
             1,
+            Registry::disabled(),
         );
         assert_eq!(stats.edges, 0);
         assert_eq!(stats.loss, 0.0);
@@ -304,7 +415,14 @@ mod tests {
             let dst = (i * 2 + 1) % 64; // odd -> partition 1
             edges.push(Edge::new(src, 0u32, dst));
         }
-        let stats = train_bucket(&model, &store, BucketId::new(0u32, 1u32), &edges, 3);
+        let stats = train_bucket(
+            &model,
+            &store,
+            BucketId::new(0u32, 1u32),
+            &edges,
+            3,
+            Registry::disabled(),
+        );
         assert_eq!(stats.edges, 16);
         assert!(stats.loss.is_finite());
     }

@@ -22,6 +22,8 @@ use pbg_graph::edges::EdgeList;
 use pbg_graph::partition::EntityPartitioning;
 use pbg_graph::schema::GraphSchema;
 use pbg_graph::RelationTypeId;
+use pbg_telemetry::trace::names as span_name;
+use pbg_telemetry::{span, Registry};
 use pbg_tensor::rng::Xoshiro256;
 use std::path::Path;
 
@@ -50,6 +52,7 @@ pub struct Trainer {
     buckets: Buckets,
     rng: Xoshiro256,
     epoch: usize,
+    telemetry: Registry,
 }
 
 impl Trainer {
@@ -62,7 +65,8 @@ impl Trainer {
         Self::with_storage(schema, edges, config, Storage::InMemory)
     }
 
-    /// Builds a trainer with explicit storage.
+    /// Builds a trainer with explicit storage and a private telemetry
+    /// registry (tracing off).
     ///
     /// # Errors
     ///
@@ -74,8 +78,28 @@ impl Trainer {
         config: PbgConfig,
         storage: Storage,
     ) -> Result<Self> {
+        Self::with_telemetry(schema, edges, config, storage, Registry::new())
+    }
+
+    /// Builds a trainer recording metrics (and, when enabled, trace
+    /// events) into `telemetry`. The store's I/O counters register in the
+    /// same registry, so [`Trainer::train_epoch`]'s [`EpochStats`] — and
+    /// any Prometheus dump or JSONL trace taken from the registry — are
+    /// views of one set of atomics.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error for invalid configs, schema/config mismatches, or
+    /// an unusable disk directory.
+    pub fn with_telemetry(
+        schema: GraphSchema,
+        edges: &EdgeList,
+        config: PbgConfig,
+        storage: Storage,
+        telemetry: Registry,
+    ) -> Result<Self> {
         let model = Model::new(schema, config)?;
-        let store = build_store(&model, storage)?;
+        let store = build_store(&model, storage, &telemetry)?;
         let buckets = bucketize(model.schema(), edges);
         let rng = Xoshiro256::seed_from_u64(model.config().seed ^ 0xB0C4_E77E);
         Ok(Trainer {
@@ -84,12 +108,18 @@ impl Trainer {
             buckets,
             rng,
             epoch: 0,
+            telemetry,
         })
     }
 
     /// The model (relation parameters, schema, config).
     pub fn model(&self) -> &Model {
         &self.model
+    }
+
+    /// The telemetry registry this trainer records into.
+    pub fn telemetry(&self) -> &Registry {
+        &self.telemetry
     }
 
     /// The partition store (for memory inspection).
@@ -117,6 +147,7 @@ impl Trainer {
     /// are bit-identical whether or not the store pipelines.
     pub fn train_epoch(&mut self) -> EpochStats {
         self.epoch += 1;
+        let _epoch_span = span!(self.telemetry, span_name::EPOCH, epoch = self.epoch as u64);
         let config = self.model.config().clone();
         let order = config.bucket_ordering.order(
             self.buckets.src_parts(),
@@ -148,6 +179,7 @@ impl Trainer {
                         bucket_id,
                         self.buckets.bucket(bucket_id),
                         seed,
+                        &self.telemetry,
                     )
                 } else {
                     // stratified sub-epoch: train 1/N of the bucket per
@@ -158,7 +190,14 @@ impl Trainer {
                         .chunks(passes)
                         .swap_remove(pass);
                     part.shuffle(&mut self.rng);
-                    train_bucket(&self.model, self.store.as_ref(), bucket_id, &part, seed)
+                    train_bucket(
+                        &self.model,
+                        self.store.as_ref(),
+                        bucket_id,
+                        &part,
+                        seed,
+                        &self.telemetry,
+                    )
                 };
                 acc.add(&stats);
                 for &key in &plan_step.release {
@@ -169,14 +208,20 @@ impl Trainer {
         acc.finish(self.epoch, self.io_counters().delta_since(&io_before))
     }
 
-    /// Snapshot of the store's monotonic I/O counters.
+    /// Snapshot of the store's monotonic I/O counters, read from the
+    /// telemetry registry: epoch aggregates are a *view* of the same
+    /// atomics the trace and the Prometheus dump expose. The in-memory
+    /// store registers no counters, so its snapshot reads fall back to
+    /// the store's own accessors (its resident gauge is set once at
+    /// construction).
     fn io_counters(&self) -> IoStats {
+        let io = IoStats::from_snapshot(&self.telemetry.snapshot());
         IoStats {
-            swap_ins: self.store.swap_ins(),
-            prefetch_hits: self.store.prefetch_hits(),
-            swap_wait_seconds: self.store.swap_wait_nanos() as f64 * 1e-9,
-            bytes_written_back: self.store.bytes_written_back(),
-            peak_bytes: self.store.peak_bytes(),
+            // a store built without telemetry (not reachable through the
+            // public constructors, but cheap to keep honest) or an
+            // InMemoryStore reports its footprint through the trait
+            peak_bytes: io.peak_bytes.max(self.store.peak_bytes()),
+            ..io
         }
     }
 
@@ -221,12 +266,24 @@ impl std::fmt::Debug for Trainer {
     }
 }
 
-fn build_store(model: &Model, storage: Storage) -> Result<Box<dyn PartitionStore>> {
+fn build_store(
+    model: &Model,
+    storage: Storage,
+    telemetry: &Registry,
+) -> Result<Box<dyn PartitionStore>> {
     let layout: StoreLayout = model.store_layout();
     Ok(match storage {
-        Storage::InMemory => Box::new(InMemoryStore::new(layout)),
-        Storage::Disk(dir) => Box::new(DiskStore::new(layout, dir.as_path() as &Path)?),
-        Storage::DiskSync(dir) => Box::new(DiskStore::new_sync(layout, dir.as_path() as &Path)?),
+        Storage::InMemory => Box::new(InMemoryStore::with_telemetry(layout, telemetry)),
+        Storage::Disk(dir) => Box::new(DiskStore::with_telemetry(
+            layout,
+            dir.as_path() as &Path,
+            telemetry,
+        )?),
+        Storage::DiskSync(dir) => Box::new(DiskStore::new_sync_with_telemetry(
+            layout,
+            dir.as_path() as &Path,
+            telemetry,
+        )?),
     })
 }
 
@@ -387,6 +444,35 @@ mod tests {
             "prefetching must only change when bytes move, not the math"
         );
         std::fs::remove_dir_all(&base).ok();
+    }
+
+    #[test]
+    fn epoch_stats_from_registry_match_store_counters() {
+        // fixed-seed disk run: the registry-derived epoch aggregates must
+        // agree with the store's own trait accessors — same atomics, two
+        // views
+        let dir = std::env::temp_dir().join(format!("pbg_reg_equiv_{}", std::process::id()));
+        let schema = GraphSchema::homogeneous(64, 4).unwrap();
+        let mut t =
+            Trainer::with_storage(schema, &ring(64), config(1, 3), Storage::Disk(dir.clone()))
+                .unwrap();
+        let stats = t.train();
+        let swap_ins: usize = stats.iter().map(|e| e.swap_ins).sum();
+        let hits: usize = stats.iter().map(|e| e.prefetch_hits).sum();
+        assert_eq!(swap_ins, t.store().swap_ins());
+        assert_eq!(hits, t.store().prefetch_hits());
+        let snap = t.telemetry().snapshot();
+        use pbg_telemetry::metrics::names;
+        assert_eq!(snap.counter(names::STORE_SWAP_INS) as usize, swap_ins);
+        assert_eq!(
+            snap.gauge(names::STORE_RESIDENT_BYTES).peak as usize,
+            t.store().peak_bytes()
+        );
+        assert_eq!(
+            snap.counter(names::TRAINER_EDGES) as usize,
+            stats.iter().map(|e| e.edges).sum::<usize>()
+        );
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

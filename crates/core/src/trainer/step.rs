@@ -16,6 +16,105 @@ use crate::similarity::{backward_matrix, backward_pairs, score_matrix, score_pai
 use crate::storage::PartitionData;
 use pbg_tensor::matrix::Matrix;
 use pbg_tensor::rng::Xoshiro256;
+use std::cell::Cell;
+use std::time::Instant;
+
+/// Per-thread accounting of where a HOGWILD thread's time goes:
+/// negative sampling, optimizer scatter, and (by subtraction) forward /
+/// backward compute. `Cell`-based and single-threaded by design — each
+/// trainer thread owns one clock, so accumulation is free of atomics;
+/// the bucket trainer sums the per-thread totals afterwards. Only
+/// allocated when tracing is enabled, so the phase `Instant` reads never
+/// touch an untraced run.
+#[derive(Debug, Default)]
+pub struct PhaseClock {
+    chunk_ns: Cell<u64>,
+    sampling_ns: Cell<u64>,
+    optimizer_ns: Cell<u64>,
+}
+
+/// Summed phase durations, reported on the `bucket_train` span. Totals
+/// are CPU time summed over HOGWILD threads, so they can exceed the
+/// bucket's wall-clock duration.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct PhaseTotals {
+    /// Forward/backward compute nanoseconds.
+    pub compute_ns: u64,
+    /// Negative-sampling (candidate draw + gather) nanoseconds.
+    pub sampling_ns: u64,
+    /// Optimizer (Adagrad scatter + parameter apply) nanoseconds.
+    pub optimizer_ns: u64,
+}
+
+impl PhaseTotals {
+    /// Accumulates another thread's totals.
+    pub fn merge(&mut self, other: &PhaseTotals) {
+        self.compute_ns += other.compute_ns;
+        self.sampling_ns += other.sampling_ns;
+        self.optimizer_ns += other.optimizer_ns;
+    }
+}
+
+impl PhaseClock {
+    /// A clock at zero.
+    pub fn new() -> Self {
+        PhaseClock::default()
+    }
+
+    fn bump<T>(cell: &Cell<u64>, f: impl FnOnce() -> T) -> T {
+        let t0 = Instant::now();
+        let out = f();
+        cell.set(cell.get() + t0.elapsed().as_nanos() as u64);
+        out
+    }
+
+    /// Times one whole chunk step.
+    pub fn chunk<T>(&self, f: impl FnOnce() -> T) -> T {
+        Self::bump(&self.chunk_ns, f)
+    }
+
+    /// Times a negative-sampling section (nested inside a chunk).
+    fn sampling<T>(&self, f: impl FnOnce() -> T) -> T {
+        Self::bump(&self.sampling_ns, f)
+    }
+
+    /// Times an optimizer section (scatter or parameter apply).
+    pub fn optimizer<T>(&self, f: impl FnOnce() -> T) -> T {
+        Self::bump(&self.optimizer_ns, f)
+    }
+
+    /// Final totals; compute is the chunk remainder after sampling and
+    /// optimizer time.
+    pub fn totals(&self) -> PhaseTotals {
+        let sampling = self.sampling_ns.get();
+        let optimizer = self.optimizer_ns.get();
+        PhaseTotals {
+            compute_ns: self
+                .chunk_ns
+                .get()
+                .saturating_sub(sampling)
+                .saturating_sub(optimizer),
+            sampling_ns: sampling,
+            optimizer_ns: optimizer,
+        }
+    }
+}
+
+/// Runs `f`, charged to `phases`'s sampling time when a clock is active.
+fn sampled<T>(phases: Option<&PhaseClock>, f: impl FnOnce() -> T) -> T {
+    match phases {
+        Some(clock) => clock.sampling(f),
+        None => f(),
+    }
+}
+
+/// Runs `f`, charged to `phases`'s optimizer time when a clock is active.
+fn optimized<T>(phases: Option<&PhaseClock>, f: impl FnOnce() -> T) -> T {
+    match phases {
+        Some(clock) => clock.optimizer(f),
+        None => f(),
+    }
+}
 
 /// Accumulated relation-parameter gradients, applied once per batch
 /// rather than per chunk: shared-parameter updates are the one contended
@@ -68,6 +167,9 @@ pub struct ChunkContext<'a> {
     pub src_partition_size: usize,
     /// Rows in the destination partition (for uniform sampling).
     pub dst_partition_size: usize,
+    /// Phase accounting for the owning thread; `None` (zero overhead)
+    /// unless tracing is enabled.
+    pub phases: Option<&'a PhaseClock>,
 }
 
 /// Trains one chunk; returns the summed loss.
@@ -109,17 +211,20 @@ pub fn train_chunk(
     let pos_scores = score_pairs(cfg.similarity, &t_src, &dst);
 
     // destination corruption: candidates = (chunk dsts +) uniform
-    let cand_dst_offsets = if include_chunk {
-        candidate_offsets(
-            dst_offsets,
-            cfg.uniform_negatives,
-            ctx.dst_partition_size,
-            rng,
-        )
-    } else {
-        candidate_offsets(&[], cfg.uniform_negatives, ctx.dst_partition_size, rng)
-    };
-    let cand_dst = gather(&ctx.dst_data.embeddings, &cand_dst_offsets);
+    let (cand_dst_offsets, cand_dst) = sampled(ctx.phases, || {
+        let offsets = if include_chunk {
+            candidate_offsets(
+                dst_offsets,
+                cfg.uniform_negatives,
+                ctx.dst_partition_size,
+                rng,
+            )
+        } else {
+            candidate_offsets(&[], cfg.uniform_negatives, ctx.dst_partition_size, rng)
+        };
+        let rows = gather(&ctx.dst_data.embeddings, &offsets);
+        (offsets, rows)
+    });
     let mut neg_dst_scores = score_matrix(cfg.similarity, &t_src, &cand_dst);
     mask_induced_positives(&mut neg_dst_scores, dst_offsets, &cand_dst_offsets);
     let dst_loss = loss::compute(cfg.loss, cfg.margin, &pos_scores, &neg_dst_scores, weights);
@@ -133,17 +238,20 @@ pub fn train_chunk(
     // source corruption
     let mut src_side: Option<SrcSideGrads> = None;
     if cfg.corrupt_sources {
-        let cand_src_offsets = if include_chunk {
-            candidate_offsets(
-                src_offsets,
-                cfg.uniform_negatives,
-                ctx.src_partition_size,
-                rng,
-            )
-        } else {
-            candidate_offsets(&[], cfg.uniform_negatives, ctx.src_partition_size, rng)
-        };
-        let cand_src = gather(&ctx.src_data.embeddings, &cand_src_offsets);
+        let (cand_src_offsets, cand_src) = sampled(ctx.phases, || {
+            let offsets = if include_chunk {
+                candidate_offsets(
+                    src_offsets,
+                    cfg.uniform_negatives,
+                    ctx.src_partition_size,
+                    rng,
+                )
+            } else {
+                candidate_offsets(&[], cfg.uniform_negatives, ctx.src_partition_size, rng)
+            };
+            let rows = gather(&ctx.src_data.embeddings, &offsets);
+            (offsets, rows)
+        });
         if let Some(recip) = &rel.reciprocal {
             // reciprocal: score candidates against g_inv(dst)
             let inv_params = recip.snapshot();
@@ -212,15 +320,17 @@ pub fn train_chunk(
     grad_dst_rows.add_scaled(1.0, &g_dst_pos);
 
     // ---- scatter updates (HOGWILD row-wise Adagrad) ----
-    scatter(ctx.src_data, src_offsets, &g_src, None);
-    scatter(ctx.dst_data, dst_offsets, &grad_dst_rows, None);
-    scatter_rows(ctx.dst_data, &cand_dst_offsets, &g_cand_dst);
-    if let Some(side) = src_side {
-        scatter_rows(ctx.src_data, &side.cand_src_offsets, &side.g_cand_src);
-        if let Some(extra) = side.g_src_extra {
-            scatter(ctx.src_data, src_offsets, &extra, None);
+    optimized(ctx.phases, || {
+        scatter(ctx.src_data, src_offsets, &g_src, None);
+        scatter(ctx.dst_data, dst_offsets, &grad_dst_rows, None);
+        scatter_rows(ctx.dst_data, &cand_dst_offsets, &g_cand_dst);
+        if let Some(side) = src_side {
+            scatter_rows(ctx.src_data, &side.cand_src_offsets, &side.g_cand_src);
+            if let Some(extra) = side.g_src_extra {
+                scatter(ctx.src_data, src_offsets, &extra, None);
+            }
         }
-    }
+    });
     total_loss
 }
 
@@ -281,6 +391,7 @@ mod tests {
             dst_data: &data,
             src_partition_size: 32,
             dst_partition_size: 32,
+            phases: None,
         };
         let mut rng = Xoshiro256::seed_from_u64(3);
         let mut pg = ParamGradAccum::for_relation(ctx.relation);
@@ -334,6 +445,7 @@ mod tests {
             dst_data: &data,
             src_partition_size: 32,
             dst_partition_size: 32,
+            phases: None,
         };
         let mut rng = Xoshiro256::seed_from_u64(1);
         let mut pg = ParamGradAccum::for_relation(ctx.relation);
@@ -350,6 +462,7 @@ mod tests {
             dst_data: &data,
             src_partition_size: 32,
             dst_partition_size: 32,
+            phases: None,
         };
         let mut rng = Xoshiro256::seed_from_u64(5);
         let mut pg = ParamGradAccum::for_relation(ctx.relation);
@@ -395,6 +508,7 @@ mod tests {
             dst_data: &data,
             src_partition_size: 32,
             dst_partition_size: 32,
+            phases: None,
         };
         let mut rng = Xoshiro256::seed_from_u64(2);
         let mut pg = ParamGradAccum::for_relation(ctx.relation);
@@ -434,6 +548,7 @@ mod tests {
                 dst_data: &data,
                 src_partition_size: 32,
                 dst_partition_size: 32,
+                phases: None,
             };
             let mut rng = Xoshiro256::seed_from_u64(4);
             let mut pg = ParamGradAccum::for_relation(ctx.relation);

@@ -26,6 +26,9 @@ use pbg_graph::bucket::{BucketId, Buckets};
 use pbg_graph::edges::EdgeList;
 use pbg_graph::schema::GraphSchema;
 use pbg_graph::RelationTypeId;
+use pbg_telemetry::metrics::names as metric;
+use pbg_telemetry::trace::names as span_name;
+use pbg_telemetry::{span, Gauge, Registry};
 use pbg_tensor::rng::Xoshiro256;
 use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
@@ -99,6 +102,13 @@ pub struct ClusterTrainer {
     buckets: Buckets,
     globals: Arc<HashMap<PartitionKey, Arc<PartitionData>>>,
     epoch: usize,
+    telemetry: Registry,
+}
+
+/// Name of machine `m`'s resident-bytes gauge (peak = per-epoch
+/// high-water mark after [`pbg_telemetry::Gauge::reset_peak`]).
+fn machine_gauge_name(machine: usize) -> String {
+    format!("machine{machine}.resident_bytes")
 }
 
 impl ClusterTrainer {
@@ -182,7 +192,16 @@ impl ClusterTrainer {
             buckets,
             globals: Arc::new(globals),
             epoch: 0,
+            telemetry: Registry::new(),
         })
+    }
+
+    /// The cluster's telemetry registry: `cluster.*` metrics, per-machine
+    /// resident gauges, and (when tracing is enabled via
+    /// [`pbg_telemetry::Registry::set_tracing`]) `bucket_train` /
+    /// `acquire_wait` / `param_sync` spans.
+    pub fn telemetry(&self) -> &Registry {
+        &self.telemetry
     }
 
     /// The bucketed training edges.
@@ -196,20 +215,30 @@ impl ClusterTrainer {
     }
 
     /// Trains one epoch across all machines.
+    ///
+    /// Epoch counters (`edges`, `lock_waits`, `prefetch_hits`,
+    /// `network_bytes`, `peak_machine_bytes`) are derived from
+    /// [`Registry::snapshot`] deltas of [`ClusterTrainer::telemetry`] —
+    /// the report is a view of the same registry the trace and the
+    /// Prometheus dump read.
     pub fn train_epoch(&mut self) -> ClusterEpochStats {
         self.epoch += 1;
         let epoch = self.epoch;
         let bytes_before = self.net.total_bytes();
         self.lock
             .start_epoch(self.buckets.src_parts(), self.buckets.dst_parts());
+        // per-epoch machine peaks restart from the current residency
+        for machine in 0..self.cluster.machines {
+            self.telemetry
+                .gauge(&machine_gauge_name(machine))
+                .reset_peak();
+        }
+        let before = self.telemetry.snapshot();
+        let _epoch_span = span!(self.telemetry, span_name::EPOCH, epoch = epoch as u64);
         let start = Instant::now();
-        let total_edges = AtomicUsize::new(0);
-        let lock_waits = AtomicUsize::new(0);
-        let total_prefetch_hits = AtomicUsize::new(0);
         let loss_sum = Mutex::new(0.0f64);
         let max_sim_secs = Mutex::new(0.0f64);
         let max_pipelined_secs = Mutex::new(0.0f64);
-        let max_peak = AtomicUsize::new(0);
         crossbeam::thread::scope(|scope| {
             for (machine, model) in self.models.iter().enumerate() {
                 let lock = Arc::clone(&self.lock);
@@ -218,15 +247,21 @@ impl ClusterTrainer {
                 let globals = Arc::clone(&self.globals);
                 let buckets = &self.buckets;
                 let cluster = &self.cluster;
-                let total_edges = &total_edges;
-                let lock_waits = &lock_waits;
-                let total_prefetch_hits = &total_prefetch_hits;
+                let telemetry = &self.telemetry;
                 let loss_sum = &loss_sum;
                 let max_sim_secs = &max_sim_secs;
                 let max_pipelined_secs = &max_pipelined_secs;
-                let max_peak = &max_peak;
                 scope.spawn(move |_| {
-                    let store = MachineStore::new(pserver, globals, model);
+                    let store = MachineStore::new(
+                        pserver,
+                        globals,
+                        model,
+                        telemetry.gauge(&machine_gauge_name(machine)),
+                    );
+                    let edges_total = telemetry.counter(metric::CLUSTER_EDGES);
+                    let lock_waits = telemetry.counter(metric::CLUSTER_LOCK_WAITS);
+                    let idle_ns = telemetry.counter(metric::CLUSTER_IDLE_NS);
+                    let acquire_wait = telemetry.histogram(metric::CLUSTER_ACQUIRE_WAIT_NS);
                     // swap planning shared with the single-machine
                     // trainer: the planner tracks this machine's
                     // resident set and emits load/evict deltas
@@ -239,9 +274,25 @@ impl ClusterTrainer {
                     // per-bucket max(compute, I/O): the pipelined
                     // wall-clock projection for this machine
                     let mut pipelined_secs = 0.0f64;
+                    // start of the oldest unanswered acquire attempt
+                    let mut wait_start: Option<u64> = None;
                     loop {
+                        let t_req = wait_start.unwrap_or_else(|| telemetry.now_ns());
                         match lock.acquire(machine, prev) {
                             Acquire::Granted(bucket) => {
+                                let waited = telemetry.now_ns().saturating_sub(t_req);
+                                acquire_wait.observe(waited);
+                                if wait_start.take().is_some() {
+                                    // only waits that actually idled the
+                                    // machine earn a span; instant grants
+                                    // would drown the trace
+                                    telemetry.record_span(
+                                        span_name::ACQUIRE_WAIT,
+                                        t_req,
+                                        waited,
+                                        vec![("machine", (machine as u64).into())],
+                                    );
+                                }
                                 // save partitions the new bucket does not
                                 // need, then release the old locks
                                 let needed = needed_keys(model, bucket);
@@ -269,17 +320,19 @@ impl ClusterTrainer {
                                         | ((machine as u64) << 20)
                                         | (bucket.src.0 as u64 * 1000)
                                         | bucket.dst.0 as u64,
+                                    telemetry,
                                 );
                                 pipelined_secs += NetworkModel::pipelined_step_seconds(
                                     stats.seconds,
                                     store.take_step_io(),
                                 );
                                 machine_loss += stats.loss;
-                                total_edges.fetch_add(stats.edges, Ordering::Relaxed);
-                                sync_params(&mut client, model, false);
+                                edges_total.add(stats.edges as u64);
+                                sync_params(&mut client, model, false, telemetry);
                                 prev = Some(bucket);
                             }
                             Acquire::Wait => {
+                                wait_start = Some(t_req);
                                 // avoid deadlock: give up held partitions
                                 // and locks while waiting
                                 for key in planner.finish() {
@@ -288,8 +341,10 @@ impl ClusterTrainer {
                                 if let Some(p) = prev.take() {
                                     lock.release_bucket(machine, p);
                                 }
-                                lock_waits.fetch_add(1, Ordering::Relaxed);
+                                lock_waits.inc();
+                                let sleep_start = telemetry.now_ns();
                                 std::thread::sleep(Duration::from_micros(200));
+                                idle_ns.add(telemetry.now_ns().saturating_sub(sleep_start));
                             }
                             Acquire::Done => break,
                         }
@@ -300,7 +355,7 @@ impl ClusterTrainer {
                     if let Some(p) = prev {
                         lock.release_bucket(machine, p);
                     }
-                    sync_params(&mut client, model, true);
+                    sync_params(&mut client, model, true, telemetry);
                     // trailing write-backs and param syncs have no
                     // compute left to hide behind
                     pipelined_secs += store.take_step_io() + client.sim_seconds;
@@ -316,13 +371,18 @@ impl ClusterTrainer {
                         *max_pipe = pipelined_secs;
                     }
                     drop(max_pipe);
-                    total_prefetch_hits.fetch_add(store.prefetch_hits(), Ordering::Relaxed);
-                    max_peak.fetch_max(store.peak_bytes(), Ordering::Relaxed);
+                    telemetry
+                        .counter(metric::CLUSTER_PREFETCH_HITS)
+                        .add(store.prefetch_hits() as u64);
                 });
             }
         })
         .expect("cluster scope panicked");
-        let edges = total_edges.load(Ordering::Relaxed);
+        self.telemetry
+            .counter(metric::CLUSTER_NET_BYTES)
+            .add(self.net.total_bytes() - bytes_before);
+        let delta = self.telemetry.snapshot().delta_since(&before);
+        let edges = delta.counter(metric::CLUSTER_EDGES) as usize;
         let sim_network_seconds = *max_sim_secs.lock();
         let sim_pipelined_seconds = *max_pipelined_secs.lock();
         let total_loss = *loss_sum.lock();
@@ -337,10 +397,10 @@ impl ClusterTrainer {
             } else {
                 0.0
             },
-            network_bytes: self.net.total_bytes() - bytes_before,
-            peak_machine_bytes: max_peak.load(Ordering::Relaxed),
-            lock_waits: lock_waits.load(Ordering::Relaxed),
-            prefetch_hits: total_prefetch_hits.load(Ordering::Relaxed),
+            network_bytes: delta.counter(metric::CLUSTER_NET_BYTES),
+            peak_machine_bytes: delta.max_gauge_peak("machine") as usize,
+            lock_waits: delta.counter(metric::CLUSTER_LOCK_WAITS) as usize,
+            prefetch_hits: delta.counter(metric::CLUSTER_PREFETCH_HITS) as usize,
         }
     }
 
@@ -395,7 +455,14 @@ impl ClusterTrainer {
                 }
             }
         }
-        let store = MachineStore::new(Arc::clone(&self.pserver), Arc::clone(&self.globals), model);
+        // snapshotting is not training: account residency on a throwaway
+        // gauge so it does not distort any machine's epoch peak
+        let store = MachineStore::new(
+            Arc::clone(&self.pserver),
+            Arc::clone(&self.globals),
+            model,
+            Gauge::new(),
+        );
         let snap = model.snapshot(&store);
         for (key, _) in store.server.layout().keys().to_vec() {
             store.release(key);
@@ -436,10 +503,12 @@ fn register_params(client: &mut ParamClient, model: &Model) {
     }
 }
 
-fn sync_params(client: &mut ParamClient, model: &Model, force: bool) {
+fn sync_params(client: &mut ParamClient, model: &Model, force: bool, telemetry: &Registry) {
+    let t0 = telemetry.now_ns();
+    let mut bytes = 0u64;
     for r in 0..model.num_relations() {
         let rel = model.relation(RelationTypeId(r as u32));
-        sync_one(
+        bytes += sync_one(
             client,
             ParamKey {
                 relation: r as u32,
@@ -449,7 +518,7 @@ fn sync_params(client: &mut ParamClient, model: &Model, force: bool) {
             force,
         );
         if let Some(recip) = &rel.reciprocal {
-            sync_one(
+            bytes += sync_one(
                 client,
                 ParamKey {
                     relation: r as u32,
@@ -460,16 +529,27 @@ fn sync_params(client: &mut ParamClient, model: &Model, force: bool) {
             );
         }
     }
+    if bytes > 0 {
+        telemetry.counter(metric::CLUSTER_SYNC_BYTES).add(bytes);
+        telemetry.record_span(
+            span_name::PARAM_SYNC,
+            t0,
+            telemetry.now_ns().saturating_sub(t0),
+            vec![("bytes", bytes.into())],
+        );
+    }
 }
 
+/// Syncs one parameter block; returns the bytes moved over the simulated
+/// wire (push + pull), or 0 when throttled or empty.
 fn sync_one(
     client: &mut ParamClient,
     key: ParamKey,
     params: &pbg_core::optimizer::HogwildAdagradDense,
     force: bool,
-) {
+) -> u64 {
     if params.is_empty() {
-        return;
+        return 0;
     }
     let local = params.snapshot();
     let merged = if force {
@@ -477,9 +557,14 @@ fn sync_one(
     } else {
         client.maybe_sync(key, &local)
     };
-    if let Some(merged) = merged {
-        let acc = params.accumulator_snapshot();
-        params.restore(&merged, &acc);
+    match merged {
+        Some(merged) => {
+            let acc = params.accumulator_snapshot();
+            params.restore(&merged, &acc);
+            // one push (delta) + one pull (merged), 4 bytes per f32
+            (local.len() as u64 + merged.len() as u64) * 4
+        }
+        None => 0,
     }
 }
 
@@ -504,8 +589,9 @@ struct MachineStore<'m> {
     sim_seconds: Mutex<f64>,
     /// Simulated transfer seconds since the last `take_step_io`.
     step_io: Mutex<f64>,
-    resident_bytes: AtomicUsize,
-    peak_bytes: AtomicUsize,
+    /// This machine's `machine{m}.resident_bytes` telemetry gauge; its
+    /// peak is the per-epoch high-water mark the epoch report uses.
+    resident_bytes: Gauge,
     swaps: AtomicUsize,
     prefetch_hits: AtomicUsize,
     _model: std::marker::PhantomData<&'m ()>,
@@ -516,6 +602,7 @@ impl<'m> MachineStore<'m> {
         server: Arc<PartitionServer>,
         globals: Arc<HashMap<PartitionKey, Arc<PartitionData>>>,
         model: &'m Model,
+        resident_bytes: Gauge,
     ) -> Self {
         MachineStore {
             server,
@@ -525,8 +612,7 @@ impl<'m> MachineStore<'m> {
             lr: model.config().learning_rate,
             sim_seconds: Mutex::new(0.0),
             step_io: Mutex::new(0.0),
-            resident_bytes: AtomicUsize::new(0),
-            peak_bytes: AtomicUsize::new(0),
+            resident_bytes,
             swaps: AtomicUsize::new(0),
             prefetch_hits: AtomicUsize::new(0),
             _model: std::marker::PhantomData,
@@ -559,9 +645,7 @@ impl<'m> MachineStore<'m> {
         let dim = self.server.layout().dim();
         let rows = emb.len() / dim;
         let data = Arc::new(PartitionData::from_parts(rows, dim, self.lr, emb, &acc));
-        let bytes = data.bytes();
-        let now = self.resident_bytes.fetch_add(bytes, Ordering::SeqCst) + bytes;
-        self.peak_bytes.fetch_max(now, Ordering::SeqCst);
+        self.resident_bytes.add(data.bytes() as u64);
         data
     }
 }
@@ -594,8 +678,7 @@ impl PartitionStore for MachineStore<'_> {
                 .server
                 .checkin(key, data.embeddings.to_vec(), data.adagrad.to_vec());
             self.charge(secs);
-            self.resident_bytes
-                .fetch_sub(data.bytes(), Ordering::SeqCst);
+            self.resident_bytes.sub(data.bytes() as u64);
         }
     }
 
@@ -613,11 +696,11 @@ impl PartitionStore for MachineStore<'_> {
     }
 
     fn resident_bytes(&self) -> usize {
-        self.resident_bytes.load(Ordering::SeqCst)
+        self.resident_bytes.get() as usize
     }
 
     fn peak_bytes(&self) -> usize {
-        self.peak_bytes.load(Ordering::SeqCst)
+        self.resident_bytes.peak() as usize
     }
 
     fn swap_ins(&self) -> usize {
@@ -795,6 +878,72 @@ mod tests {
              (pipelined {} vs serial {})",
             stats.sim_pipelined_seconds,
             stats.seconds + stats.sim_network_seconds
+        );
+    }
+
+    #[test]
+    fn traced_cluster_epoch_emits_spans_and_counters() {
+        use pbg_graph::schema::{EntityTypeDef, OperatorKind, RelationTypeDef};
+        let (edges, n) = dataset();
+        // a parameterized operator so relation syncs actually move bytes
+        let schema = GraphSchema::builder()
+            .entity_type(EntityTypeDef::new("node", n).with_partitions(4))
+            .relation_type(
+                RelationTypeDef::new("edge", 0u32, 0u32).with_operator(OperatorKind::Translation),
+            )
+            .build()
+            .unwrap();
+        let mut t = ClusterTrainer::new(
+            schema,
+            &edges,
+            config(1),
+            ClusterConfig {
+                machines: 2,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        t.telemetry().set_tracing(true);
+        let stats = t.train_epoch();
+        let snap = t.telemetry().snapshot();
+        assert_eq!(snap.counter(metric::CLUSTER_EDGES) as usize, stats.edges);
+        assert_eq!(
+            snap.counter(metric::CLUSTER_NET_BYTES),
+            stats.network_bytes,
+            "first epoch: counter delta equals the absolute counter"
+        );
+        assert!(
+            snap.counter(metric::CLUSTER_SYNC_BYTES) > 0,
+            "param syncs move bytes"
+        );
+        assert!(
+            snap.histogram(metric::CLUSTER_ACQUIRE_WAIT_NS).count >= 16,
+            "every granted bucket observes an acquire latency"
+        );
+        let events = t.telemetry().drain();
+        assert!(events.iter().any(|e| e.name == span_name::EPOCH));
+        assert!(events.iter().any(|e| e.name == span_name::PARAM_SYNC));
+        // per-bucket spans account for every edge the epoch trained
+        let span_edges: u64 = events
+            .iter()
+            .filter(|e| e.name == span_name::BUCKET_TRAIN)
+            .filter_map(|e| e.field_u64("edges"))
+            .sum();
+        assert_eq!(span_edges as usize, stats.edges);
+    }
+
+    #[test]
+    fn untraced_cluster_epoch_records_no_events() {
+        let (edges, n) = dataset();
+        let schema = GraphSchema::homogeneous(n, 2).unwrap();
+        let mut t =
+            ClusterTrainer::new(schema, &edges, config(1), ClusterConfig::default()).unwrap();
+        let stats = t.train_epoch();
+        assert!(t.telemetry().drain().is_empty());
+        // metrics stay on regardless
+        assert_eq!(
+            t.telemetry().snapshot().counter(metric::CLUSTER_EDGES) as usize,
+            stats.edges
         );
     }
 

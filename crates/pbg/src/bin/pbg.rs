@@ -3,15 +3,19 @@
 //! ```text
 //! pbg train     --edges E [--format tsv|snap] [--config C.json]
 //!               [--partitions P] [--disk DIR] --output CKPT
+//!               [--telemetry TRACE.jsonl] [--log-format json|pretty]
 //! pbg eval      --checkpoint CKPT --test E [--train E]
 //!               [--candidates N] [--filtered] [--prevalence]
 //! pbg neighbors --checkpoint CKPT --entity ID [--relation R] [--k K]
+//! pbg trace     summarize TRACE.jsonl
 //! ```
 //!
 //! Edge files are tab-separated `src\trel\tdst[\tweight]` (`--format tsv`,
 //! default) or SNAP two-column lists (`--format snap`). Training without
 //! `--config` uses the paper's defaults (d=100, margin ranking, batched
-//! negatives).
+//! negatives). `--telemetry` enables span tracing and writes the run's
+//! event trace as JSONL; `pbg trace summarize` renders it as a per-bucket
+//! timeline (compute / sampling / optimizer / swap-wait / prefetch).
 
 use pbg::core::checkpoint;
 use pbg::core::config::PbgConfig;
@@ -30,6 +34,7 @@ fn main() -> ExitCode {
         Some("train") => cmd_train(&parse_flags(&args[1..])),
         Some("eval") => cmd_eval(&parse_flags(&args[1..])),
         Some("neighbors") => cmd_neighbors(&parse_flags(&args[1..])),
+        Some("trace") => cmd_trace(&args[1..]),
         Some("--help") | Some("-h") | None => {
             eprintln!("{}", USAGE);
             return ExitCode::SUCCESS;
@@ -48,9 +53,11 @@ fn main() -> ExitCode {
 const USAGE: &str = "usage:
   pbg train     --edges E [--format tsv|snap] [--config C.json]
                 [--partitions P] [--disk DIR] --output CKPT
+                [--telemetry TRACE.jsonl] [--log-format json|pretty]
   pbg eval      --checkpoint CKPT --test E [--train E]
                 [--candidates N] [--filtered] [--prevalence]
-  pbg neighbors --checkpoint CKPT --entity ID [--relation R] [--k K]";
+  pbg neighbors --checkpoint CKPT --entity ID [--relation R] [--k K]
+  pbg trace     summarize TRACE.jsonl";
 
 #[derive(Debug, Default)]
 struct Flags {
@@ -164,21 +171,67 @@ fn cmd_train(flags: &Flags) -> Result<(), String> {
         edges.len(),
         config.epochs
     );
+    let log_format = flags.get("log-format").unwrap_or("pretty");
+    if !matches!(log_format, "pretty" | "json") {
+        return Err(format!("unknown log format `{log_format}` (json|pretty)"));
+    }
     let mut trainer =
         Trainer::with_storage(schema, &edges, config, storage).map_err(|e| e.to_string())?;
+    let trace_path = flags.get("telemetry");
+    if trace_path.is_some() {
+        trainer.telemetry().set_tracing(true);
+    }
     for stats in trainer.train() {
-        eprintln!(
-            "epoch {:>3}: loss {:.4}  {:>8.0} edges/s  peak {}",
-            stats.epoch,
-            stats.mean_loss,
-            stats.edges as f64 / stats.seconds.max(1e-9),
-            pbg::core::stats::format_bytes(stats.peak_bytes),
-        );
+        if log_format == "json" {
+            println!(
+                "{}",
+                serde_json::to_string(&stats).map_err(|e| e.to_string())?
+            );
+        } else {
+            eprintln!(
+                "epoch {:>3}: loss {:.4}  {:>8.0} edges/s  peak {}",
+                stats.epoch,
+                stats.mean_loss,
+                stats.edges as f64 / stats.seconds.max(1e-9),
+                pbg::core::stats::format_bytes(stats.peak_bytes),
+            );
+        }
+    }
+    if let Some(path) = trace_path {
+        write_trace(trainer.telemetry(), path)?;
+        eprintln!("trace written to {path}");
     }
     let out = flags.require("output")?;
     checkpoint::save(&trainer.snapshot(), out).map_err(|e| e.to_string())?;
     eprintln!("checkpoint written to {out}");
     Ok(())
+}
+
+/// Drains a registry's buffered span events to `path` as JSONL.
+fn write_trace(telemetry: &pbg::telemetry::Registry, path: &str) -> Result<(), String> {
+    let file = std::fs::File::create(path).map_err(|e| format!("{path}: {e}"))?;
+    let mut sink = pbg::telemetry::JsonlSink::new(std::io::BufWriter::new(file));
+    telemetry
+        .drain_into(&mut sink)
+        .map_err(|e| format!("{path}: {e}"))
+}
+
+fn cmd_trace(args: &[String]) -> Result<(), String> {
+    match args.first().map(String::as_str) {
+        Some("summarize") => {
+            let path = args
+                .get(1)
+                .ok_or("usage: pbg trace summarize TRACE.jsonl")?;
+            let file = std::fs::File::open(path).map_err(|e| format!("{path}: {e}"))?;
+            let events = pbg::telemetry::trace::read_jsonl(std::io::BufReader::new(file))
+                .map_err(|e| format!("{path}: {e}"))?;
+            let summary = pbg::telemetry::trace::summarize(&events);
+            print!("{}", summary.render());
+            Ok(())
+        }
+        Some(other) => Err(format!("unknown trace subcommand `{other}`\n{USAGE}")),
+        None => Err(format!("missing trace subcommand\n{USAGE}")),
+    }
 }
 
 fn cmd_eval(flags: &Flags) -> Result<(), String> {

@@ -13,6 +13,7 @@
 //!   partition/parameter servers, event-based paper-scale projection).
 //! - [`baselines`]: DeepWalk and MILE.
 //! - [`eval`]: ranking metrics, downstream classification, curves.
+//! - [`telemetry`]: counters, gauges, histograms, spans, JSONL traces.
 //!
 //! # Quickstart
 //!
@@ -40,4 +41,5 @@ pub use pbg_datagen as datagen;
 pub use pbg_distsim as distsim;
 pub use pbg_eval as eval;
 pub use pbg_graph as graph;
+pub use pbg_telemetry as telemetry;
 pub use pbg_tensor as tensor;

@@ -1,0 +1,288 @@
+//! Metric primitives: counters, gauges, log-bucketed histograms.
+//!
+//! All three are thin wrappers over shared atomics, so handles can be
+//! cloned into hot loops once and updated without touching the registry
+//! again. Every operation uses `Relaxed` ordering: each metric is an
+//! independent statistic — no other memory access is published or
+//! acquired through it, readers only need eventual per-metric totals,
+//! and every snapshot happens after the threads that wrote it joined
+//! (the join provides the synchronization, not the counter).
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Canonical metric names used by the instrumented layers. Centralized
+/// (like [`crate::trace::names`]) so producers and snapshot consumers
+/// cannot drift apart.
+pub mod names {
+    /// Counter: partition loads that went to backing storage.
+    pub const STORE_SWAP_INS: &str = "store.swap_ins";
+    /// Counter: loads served by a completed background prefetch.
+    pub const STORE_PREFETCH_HITS: &str = "store.prefetch_hits";
+    /// Counter: nanoseconds the hot path blocked on partition I/O.
+    pub const STORE_SWAP_WAIT_NS: &str = "store.swap_wait_ns";
+    /// Counter: bytes written back to backing storage on release.
+    pub const STORE_BYTES_WRITTEN_BACK: &str = "store.bytes_written_back";
+    /// Gauge: resident embedding bytes (peak = high-water mark).
+    pub const STORE_RESIDENT_BYTES: &str = "store.resident_bytes";
+    /// Gauge: requests queued to the background I/O thread.
+    pub const STORE_IO_QUEUE_DEPTH: &str = "store.io_queue_depth";
+    /// Counter: edges trained.
+    pub const TRAINER_EDGES: &str = "trainer.edges";
+    /// Counter: buckets trained.
+    pub const TRAINER_BUCKETS: &str = "trainer.buckets";
+    /// Counter: distsim edges trained across machines.
+    pub const CLUSTER_EDGES: &str = "cluster.edges";
+    /// Counter: distsim bucket-acquire attempts that had to wait.
+    pub const CLUSTER_LOCK_WAITS: &str = "cluster.lock_waits";
+    /// Counter: distsim loads served by a machine's prefetched partition.
+    pub const CLUSTER_PREFETCH_HITS: &str = "cluster.prefetch_hits";
+    /// Counter: bytes moved over the simulated network.
+    pub const CLUSTER_NET_BYTES: &str = "cluster.net_bytes";
+    /// Counter: bytes of relation-parameter sync traffic.
+    pub const CLUSTER_SYNC_BYTES: &str = "cluster.sync_bytes";
+    /// Counter: nanoseconds machines spent idle waiting for a bucket.
+    pub const CLUSTER_IDLE_NS: &str = "cluster.idle_ns";
+    /// Histogram: per-acquire lock-server wait, nanoseconds.
+    pub const CLUSTER_ACQUIRE_WAIT_NS: &str = "cluster.acquire_wait_ns";
+}
+
+/// A monotonically increasing counter.
+#[derive(Clone, Debug, Default)]
+pub struct Counter(Arc<AtomicU64>);
+
+impl Counter {
+    /// Creates a counter at zero, unattached to any registry.
+    pub fn new() -> Self {
+        Counter::default()
+    }
+
+    /// Adds `n`.
+    #[inline]
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Adds one.
+    #[inline]
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Current value.
+    #[inline]
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// A value that moves both ways, with a high-water mark — resident
+/// bytes, queue depths.
+#[derive(Clone, Debug, Default)]
+pub struct Gauge {
+    value: Arc<GaugeState>,
+}
+
+#[derive(Debug, Default)]
+struct GaugeState {
+    current: AtomicU64,
+    peak: AtomicU64,
+}
+
+impl Gauge {
+    /// Creates a gauge at zero.
+    pub fn new() -> Self {
+        Gauge::default()
+    }
+
+    /// Raises the gauge by `n`, updating the high-water mark.
+    #[inline]
+    pub fn add(&self, n: u64) {
+        let now = self.value.current.fetch_add(n, Ordering::Relaxed) + n;
+        self.value.peak.fetch_max(now, Ordering::Relaxed);
+    }
+
+    /// Lowers the gauge by `n`.
+    ///
+    /// # Panics
+    ///
+    /// Panics (in debug builds) when lowering below zero.
+    #[inline]
+    pub fn sub(&self, n: u64) {
+        let prev = self.value.current.fetch_sub(n, Ordering::Relaxed);
+        debug_assert!(prev >= n, "gauge underflow: {prev} - {n}");
+    }
+
+    /// Sets the gauge to an absolute value, updating the high-water mark.
+    pub fn set(&self, v: u64) {
+        self.value.current.store(v, Ordering::Relaxed);
+        self.value.peak.fetch_max(v, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    #[inline]
+    pub fn get(&self) -> u64 {
+        self.value.current.load(Ordering::Relaxed)
+    }
+
+    /// High-water mark since creation (or the last [`Gauge::reset_peak`]).
+    #[inline]
+    pub fn peak(&self) -> u64 {
+        self.value.peak.load(Ordering::Relaxed)
+    }
+
+    /// Restarts the high-water mark from the current value (used by
+    /// per-epoch peak accounting over long-lived gauges).
+    pub fn reset_peak(&self) {
+        self.value.peak.store(
+            self.value.current.load(Ordering::Relaxed),
+            Ordering::Relaxed,
+        );
+    }
+}
+
+/// Number of histogram buckets: bucket `i` (for `i >= 1`) counts values
+/// `v` with `2^(i-1) <= v < 2^i`; bucket 0 counts zeros. u64 values up
+/// to `2^63` land in bucket 64.
+pub const HISTOGRAM_BUCKETS: usize = 65;
+
+/// A log2-bucketed histogram of `u64` samples (typically nanoseconds).
+///
+/// Power-of-two buckets keep `observe` allocation-free and branch-free
+/// (one `leading_zeros`), while still resolving "was this swap-wait 1µs
+/// or 1ms" — the question per-bucket timing attribution actually asks.
+#[derive(Clone, Debug, Default)]
+pub struct Histogram {
+    state: Arc<HistogramState>,
+}
+
+#[derive(Debug)]
+struct HistogramState {
+    buckets: [AtomicU64; HISTOGRAM_BUCKETS],
+    count: AtomicU64,
+    sum: AtomicU64,
+}
+
+impl Default for HistogramState {
+    fn default() -> Self {
+        HistogramState {
+            buckets: [(); HISTOGRAM_BUCKETS].map(|()| AtomicU64::new(0)),
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+        }
+    }
+}
+
+/// Bucket index for a sample: 0 for 0, else `floor(log2(v)) + 1`.
+#[inline]
+pub fn bucket_index(v: u64) -> usize {
+    (64 - v.leading_zeros()) as usize
+}
+
+/// Exclusive upper bound of bucket `i` (`None` for the last, unbounded
+/// bucket).
+pub fn bucket_upper_bound(i: usize) -> Option<u64> {
+    if i + 1 >= HISTOGRAM_BUCKETS {
+        None
+    } else {
+        Some(1u64 << i)
+    }
+}
+
+impl Histogram {
+    /// Creates an empty histogram.
+    pub fn new() -> Self {
+        Histogram::default()
+    }
+
+    /// Records one sample.
+    #[inline]
+    pub fn observe(&self, v: u64) {
+        self.state.buckets[bucket_index(v)].fetch_add(1, Ordering::Relaxed);
+        self.state.count.fetch_add(1, Ordering::Relaxed);
+        self.state.sum.fetch_add(v, Ordering::Relaxed);
+    }
+
+    /// Number of samples.
+    pub fn count(&self) -> u64 {
+        self.state.count.load(Ordering::Relaxed)
+    }
+
+    /// Sum of all samples.
+    pub fn sum(&self) -> u64 {
+        self.state.sum.load(Ordering::Relaxed)
+    }
+
+    /// Per-bucket counts.
+    pub fn buckets(&self) -> Vec<u64> {
+        self.state
+            .buckets
+            .iter()
+            .map(|b| b.load(Ordering::Relaxed))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_counts() {
+        let c = Counter::new();
+        c.inc();
+        c.add(41);
+        assert_eq!(c.get(), 42);
+    }
+
+    #[test]
+    fn gauge_tracks_peak() {
+        let g = Gauge::new();
+        g.add(100);
+        g.add(50);
+        g.sub(120);
+        g.add(10);
+        assert_eq!(g.get(), 40);
+        assert_eq!(g.peak(), 150);
+        g.reset_peak();
+        assert_eq!(g.peak(), 40);
+    }
+
+    #[test]
+    fn bucket_index_boundaries() {
+        assert_eq!(bucket_index(0), 0);
+        assert_eq!(bucket_index(1), 1);
+        assert_eq!(bucket_index(2), 2);
+        assert_eq!(bucket_index(3), 2);
+        assert_eq!(bucket_index(4), 3);
+        assert_eq!(bucket_index(1023), 10);
+        assert_eq!(bucket_index(1024), 11);
+        assert_eq!(bucket_index(u64::MAX), 64);
+    }
+
+    #[test]
+    fn upper_bounds_cover_the_index_map() {
+        // every value below bucket i's upper bound maps to a bucket <= i
+        for i in 0..HISTOGRAM_BUCKETS - 1 {
+            let ub = bucket_upper_bound(i).unwrap();
+            assert_eq!(bucket_index(ub - 1).max(i), i, "bound for bucket {i}");
+            assert_eq!(bucket_index(ub), i + 1);
+        }
+        assert_eq!(bucket_upper_bound(HISTOGRAM_BUCKETS - 1), None);
+    }
+
+    #[test]
+    fn histogram_totals() {
+        let h = Histogram::new();
+        for v in [0, 1, 2, 3, 1024] {
+            h.observe(v);
+        }
+        assert_eq!(h.count(), 5);
+        assert_eq!(h.sum(), 1030);
+        let b = h.buckets();
+        assert_eq!(b[0], 1); // 0
+        assert_eq!(b[1], 1); // 1
+        assert_eq!(b[2], 2); // 2, 3
+        assert_eq!(b[11], 1); // 1024
+    }
+}

@@ -1,0 +1,179 @@
+//! Pluggable trace sinks and the JSONL wire format.
+//!
+//! One event per line:
+//!
+//! ```json
+//! {"type":"span","name":"bucket_train","t_ns":1200,"dur_ns":3400,"thread":0,"fields":{"src":0,"dst":1}}
+//! ```
+//!
+//! The format is deliberately flat (one level of nesting, under
+//! `fields`) so [`crate::trace`] can parse it back without a JSON
+//! dependency.
+
+use crate::span::{EventKind, FieldValue, SpanEvent};
+use std::io::Write;
+
+/// A consumer of drained trace events.
+pub trait Sink {
+    /// Handles one event.
+    ///
+    /// # Errors
+    ///
+    /// Returns the sink's I/O error, if any.
+    fn record(&mut self, event: &SpanEvent) -> std::io::Result<()>;
+
+    /// Flushes buffered output.
+    ///
+    /// # Errors
+    ///
+    /// Returns the sink's I/O error, if any.
+    fn flush(&mut self) -> std::io::Result<()> {
+        Ok(())
+    }
+}
+
+/// Appends a JSON string literal (with escaping) to `out`.
+pub(crate) fn push_json_str(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+fn push_field_value(out: &mut String, v: &FieldValue) {
+    match v {
+        FieldValue::U64(n) => out.push_str(&n.to_string()),
+        FieldValue::I64(n) => out.push_str(&n.to_string()),
+        FieldValue::F64(x) => {
+            if x.is_finite() {
+                out.push_str(&format!("{x:?}"));
+            } else {
+                out.push_str("null");
+            }
+        }
+        FieldValue::Str(s) => push_json_str(out, s),
+    }
+}
+
+/// Renders one event as a single JSONL line (no trailing newline).
+pub fn event_to_json(event: &SpanEvent) -> String {
+    let mut out = String::with_capacity(96);
+    out.push_str("{\"type\":");
+    out.push_str(match event.kind {
+        EventKind::Span => "\"span\"",
+        EventKind::Point => "\"point\"",
+    });
+    out.push_str(",\"name\":");
+    push_json_str(&mut out, event.name);
+    out.push_str(&format!(
+        ",\"t_ns\":{},\"dur_ns\":{},\"thread\":{}",
+        event.t_ns, event.dur_ns, event.thread
+    ));
+    if !event.fields.is_empty() {
+        out.push_str(",\"fields\":{");
+        for (i, (k, v)) in event.fields.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            push_json_str(&mut out, k);
+            out.push(':');
+            push_field_value(&mut out, v);
+        }
+        out.push('}');
+    }
+    out.push('}');
+    out
+}
+
+/// Writes events as JSON Lines to any [`Write`].
+#[derive(Debug)]
+pub struct JsonlSink<W: Write> {
+    writer: W,
+}
+
+impl<W: Write> JsonlSink<W> {
+    /// Wraps a writer.
+    pub fn new(writer: W) -> Self {
+        JsonlSink { writer }
+    }
+
+    /// Unwraps the inner writer.
+    pub fn into_inner(self) -> W {
+        self.writer
+    }
+}
+
+impl<W: Write> Sink for JsonlSink<W> {
+    fn record(&mut self, event: &SpanEvent) -> std::io::Result<()> {
+        self.writer.write_all(event_to_json(event).as_bytes())?;
+        self.writer.write_all(b"\n")
+    }
+
+    fn flush(&mut self) -> std::io::Result<()> {
+        self.writer.flush()
+    }
+}
+
+/// Collects events in memory (tests, in-process inspection).
+#[derive(Debug, Default)]
+pub struct VecSink {
+    /// The recorded events, in drain order.
+    pub events: Vec<SpanEvent>,
+}
+
+impl VecSink {
+    /// Creates an empty sink.
+    pub fn new() -> Self {
+        VecSink::default()
+    }
+}
+
+impl Sink for VecSink {
+    fn record(&mut self, event: &SpanEvent) -> std::io::Result<()> {
+        self.events.push(event.clone());
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn json_escapes_strings() {
+        let event = SpanEvent {
+            kind: EventKind::Point,
+            name: "note",
+            t_ns: 5,
+            dur_ns: 0,
+            thread: 1,
+            fields: vec![("msg", FieldValue::Str("a\"b\\c\nd".into()))],
+        };
+        let json = event_to_json(&event);
+        assert!(json.contains(r#""msg":"a\"b\\c\nd""#), "{json}");
+    }
+
+    #[test]
+    fn jsonl_sink_writes_lines() {
+        let reg = crate::Registry::new();
+        reg.set_tracing(true);
+        reg.point("a", vec![("n", FieldValue::U64(1))]);
+        reg.point("b", vec![]);
+        let mut sink = JsonlSink::new(Vec::new());
+        reg.drain_into(&mut sink).unwrap();
+        let text = String::from_utf8(sink.into_inner()).unwrap();
+        assert_eq!(text.lines().count(), 2);
+        assert!(text.lines().all(|l| l.starts_with('{') && l.ends_with('}')));
+    }
+}

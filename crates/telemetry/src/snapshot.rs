@@ -1,0 +1,254 @@
+//! Point-in-time metric snapshots and the Prometheus-style text dump.
+//!
+//! Epoch aggregates are built as *deltas between snapshots*: the trainer
+//! snapshots its registry before and after an epoch and subtracts. All
+//! counter subtraction saturates — a counter that regressed (a store
+//! recreated mid-epoch, a registry swapped out) yields zero for the
+//! interval instead of a panic.
+
+use crate::metrics::{bucket_upper_bound, Counter, Gauge, Histogram};
+use std::collections::BTreeMap;
+
+/// Snapshot of one gauge.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct GaugeSnapshot {
+    /// Value at snapshot time.
+    pub value: u64,
+    /// High-water mark at snapshot time.
+    pub peak: u64,
+}
+
+/// Snapshot of one histogram.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct HistogramSnapshot {
+    /// Number of samples.
+    pub count: u64,
+    /// Sum of samples.
+    pub sum: u64,
+    /// Per-bucket counts (see [`crate::metrics::bucket_index`]).
+    pub buckets: Vec<u64>,
+}
+
+impl HistogramSnapshot {
+    /// Mean sample value (0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+}
+
+/// A point-in-time copy of every metric in a registry.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Snapshot {
+    /// Counter values by name.
+    pub counters: BTreeMap<String, u64>,
+    /// Gauge values by name.
+    pub gauges: BTreeMap<String, GaugeSnapshot>,
+    /// Histogram states by name.
+    pub histograms: BTreeMap<String, HistogramSnapshot>,
+}
+
+impl Snapshot {
+    pub(crate) fn collect(
+        counters: &BTreeMap<String, Counter>,
+        gauges: &BTreeMap<String, Gauge>,
+        histograms: &BTreeMap<String, Histogram>,
+    ) -> Self {
+        Snapshot {
+            counters: counters.iter().map(|(k, c)| (k.clone(), c.get())).collect(),
+            gauges: gauges
+                .iter()
+                .map(|(k, g)| {
+                    (
+                        k.clone(),
+                        GaugeSnapshot {
+                            value: g.get(),
+                            peak: g.peak(),
+                        },
+                    )
+                })
+                .collect(),
+            histograms: histograms
+                .iter()
+                .map(|(k, h)| {
+                    (
+                        k.clone(),
+                        HistogramSnapshot {
+                            count: h.count(),
+                            sum: h.sum(),
+                            buckets: h.buckets(),
+                        },
+                    )
+                })
+                .collect(),
+        }
+    }
+
+    /// Value of a counter (0 when absent).
+    pub fn counter(&self, name: &str) -> u64 {
+        self.counters.get(name).copied().unwrap_or(0)
+    }
+
+    /// State of a gauge (zeros when absent).
+    pub fn gauge(&self, name: &str) -> GaugeSnapshot {
+        self.gauges.get(name).copied().unwrap_or_default()
+    }
+
+    /// State of a histogram (empty when absent).
+    pub fn histogram(&self, name: &str) -> HistogramSnapshot {
+        self.histograms.get(name).cloned().unwrap_or_default()
+    }
+
+    /// Largest gauge high-water mark among gauges whose name starts with
+    /// `prefix` (0 when none match). Used for "peak across machines".
+    pub fn max_gauge_peak(&self, prefix: &str) -> u64 {
+        self.gauges
+            .iter()
+            .filter(|(name, _)| name.starts_with(prefix))
+            .map(|(_, g)| g.peak)
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Counters and histogram totals as deltas relative to `earlier`;
+    /// gauges stay absolute (value and peak are states, not rates).
+    /// Subtraction saturates at zero.
+    pub fn delta_since(&self, earlier: &Snapshot) -> Snapshot {
+        let counters = self
+            .counters
+            .iter()
+            .map(|(name, &v)| (name.clone(), v.saturating_sub(earlier.counter(name))))
+            .collect();
+        let histograms = self
+            .histograms
+            .iter()
+            .map(|(name, h)| {
+                let before = earlier.histogram(name);
+                let buckets = h
+                    .buckets
+                    .iter()
+                    .enumerate()
+                    .map(|(i, &b)| b.saturating_sub(before.buckets.get(i).copied().unwrap_or(0)))
+                    .collect();
+                (
+                    name.clone(),
+                    HistogramSnapshot {
+                        count: h.count.saturating_sub(before.count),
+                        sum: h.sum.saturating_sub(before.sum),
+                        buckets,
+                    },
+                )
+            })
+            .collect();
+        Snapshot {
+            counters,
+            gauges: self.gauges.clone(),
+            histograms,
+        }
+    }
+
+    /// Renders the snapshot in Prometheus text exposition format.
+    /// Metric names are sanitized (`.` and `-` become `_`) and prefixed
+    /// with `pbg_`.
+    pub fn to_prometheus(&self) -> String {
+        let mut out = String::new();
+        let sanitize = |name: &str| {
+            let body: String = name
+                .chars()
+                .map(|c| if c.is_ascii_alphanumeric() { c } else { '_' })
+                .collect();
+            format!("pbg_{body}")
+        };
+        for (name, value) in &self.counters {
+            let m = sanitize(name);
+            out.push_str(&format!("# TYPE {m} counter\n{m} {value}\n"));
+        }
+        for (name, g) in &self.gauges {
+            let m = sanitize(name);
+            out.push_str(&format!("# TYPE {m} gauge\n{m} {}\n", g.value));
+            out.push_str(&format!("# TYPE {m}_peak gauge\n{m}_peak {}\n", g.peak));
+        }
+        for (name, h) in &self.histograms {
+            let m = sanitize(name);
+            out.push_str(&format!("# TYPE {m} histogram\n"));
+            let mut cumulative = 0u64;
+            for (i, &count) in h.buckets.iter().enumerate() {
+                cumulative += count;
+                // only materialize populated and boundary buckets: 65
+                // lines per histogram would drown the dump
+                if count == 0 {
+                    continue;
+                }
+                match bucket_upper_bound(i) {
+                    Some(ub) => {
+                        out.push_str(&format!("{m}_bucket{{le=\"{ub}\"}} {cumulative}\n"));
+                    }
+                    None => out.push_str(&format!("{m}_bucket{{le=\"+Inf\"}} {cumulative}\n")),
+                }
+            }
+            out.push_str(&format!("{m}_bucket{{le=\"+Inf\"}} {}\n", h.count));
+            out.push_str(&format!("{m}_sum {}\n{m}_count {}\n", h.sum, h.count));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::Registry;
+
+    #[test]
+    fn delta_subtracts_counters_and_keeps_gauges() {
+        let reg = Registry::new();
+        let c = reg.counter("edges");
+        let g = reg.gauge("resident");
+        c.add(10);
+        g.add(100);
+        let before = reg.snapshot();
+        c.add(5);
+        g.sub(40);
+        let delta = reg.snapshot().delta_since(&before);
+        assert_eq!(delta.counter("edges"), 5);
+        assert_eq!(delta.gauge("resident").value, 60);
+        assert_eq!(delta.gauge("resident").peak, 100);
+    }
+
+    #[test]
+    fn delta_saturates_on_regression() {
+        let reg = Registry::new();
+        reg.counter("c").add(7);
+        let high = reg.snapshot();
+        // a fresh registry (store recreated mid-epoch) restarts at zero
+        let reg2 = Registry::new();
+        reg2.counter("c").add(2);
+        let delta = reg2.snapshot().delta_since(&high);
+        assert_eq!(delta.counter("c"), 0, "regressed counter saturates");
+    }
+
+    #[test]
+    fn max_gauge_peak_scans_prefix() {
+        let reg = Registry::new();
+        reg.gauge("machine0.resident_bytes").add(10);
+        reg.gauge("machine1.resident_bytes").add(30);
+        reg.gauge("other").add(99);
+        let snap = reg.snapshot();
+        assert_eq!(snap.max_gauge_peak("machine"), 30);
+        assert_eq!(snap.max_gauge_peak("nope"), 0);
+    }
+
+    #[test]
+    fn prometheus_dump_renders() {
+        let reg = Registry::new();
+        reg.counter("store.swap_ins").add(3);
+        reg.gauge("store.resident_bytes").add(4096);
+        reg.histogram("store.swap_wait_ns").observe(1500);
+        let text = reg.snapshot().to_prometheus();
+        assert!(text.contains("pbg_store_swap_ins 3"));
+        assert!(text.contains("pbg_store_resident_bytes 4096"));
+        assert!(text.contains("pbg_store_swap_wait_ns_count 1"));
+        assert!(text.contains("le=\"2048\""));
+    }
+}

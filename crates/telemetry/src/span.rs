@@ -1,0 +1,279 @@
+//! Span and point events, recorded into per-thread buffers.
+//!
+//! The hot path never takes a shared lock: each `(thread, registry)`
+//! pair owns one [`ThreadBuffer`], cached in a thread-local, whose mutex
+//! is only ever contended when [`crate::Registry::drain`] sweeps the
+//! buffers. Recording is therefore an uncontended lock (a single CAS on
+//! every platform that matters) plus a `Vec` push.
+
+use crate::Registry;
+use std::cell::RefCell;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, Weak};
+
+/// A typed field value attached to an event.
+#[derive(Debug, Clone, PartialEq)]
+pub enum FieldValue {
+    /// Unsigned integer (ids, counts, byte sizes, nanoseconds).
+    U64(u64),
+    /// Signed integer.
+    I64(i64),
+    /// Floating point (losses, seconds).
+    F64(f64),
+    /// Short label.
+    Str(String),
+}
+
+macro_rules! field_from {
+    ($($ty:ty => $variant:ident as $cast:ty),+ $(,)?) => {
+        $(impl From<$ty> for FieldValue {
+            fn from(v: $ty) -> Self {
+                FieldValue::$variant(v as $cast)
+            }
+        })+
+    };
+}
+
+field_from! {
+    u64 => U64 as u64,
+    u32 => U64 as u64,
+    usize => U64 as u64,
+    i64 => I64 as i64,
+    i32 => I64 as i64,
+    f64 => F64 as f64,
+    f32 => F64 as f64,
+}
+
+impl From<&str> for FieldValue {
+    fn from(v: &str) -> Self {
+        FieldValue::Str(v.to_string())
+    }
+}
+
+impl From<String> for FieldValue {
+    fn from(v: String) -> Self {
+        FieldValue::Str(v)
+    }
+}
+
+/// Whether an event covers a duration or an instant.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EventKind {
+    /// A region with a start and a duration.
+    Span,
+    /// An instantaneous marker.
+    Point,
+}
+
+/// One recorded trace event.
+#[derive(Debug, Clone)]
+pub struct SpanEvent {
+    /// Span or point.
+    pub kind: EventKind,
+    /// Event name (static: instrumentation sites name their events).
+    pub name: &'static str,
+    /// Start, nanoseconds since the registry's creation.
+    pub t_ns: u64,
+    /// Duration in nanoseconds (0 for points).
+    pub dur_ns: u64,
+    /// Recording thread (process-wide dense id, not the OS tid).
+    pub thread: u64,
+    /// Attached fields.
+    pub fields: Vec<(&'static str, FieldValue)>,
+}
+
+impl SpanEvent {
+    /// Looks up an unsigned-integer field.
+    pub fn field_u64(&self, name: &str) -> Option<u64> {
+        self.fields
+            .iter()
+            .find(|(k, _)| *k == name)
+            .and_then(|(_, v)| match v {
+                FieldValue::U64(n) => Some(*n),
+                FieldValue::I64(n) if *n >= 0 => Some(*n as u64),
+                _ => None,
+            })
+    }
+}
+
+/// Per-thread event buffer; shared with the registry for draining.
+#[derive(Debug, Default)]
+pub(crate) struct ThreadBuffer {
+    events: Mutex<Vec<SpanEvent>>,
+}
+
+impl ThreadBuffer {
+    pub(crate) fn take(&self) -> Vec<SpanEvent> {
+        std::mem::take(&mut *self.events.lock().expect("thread buffer"))
+    }
+
+    fn push(&self, event: SpanEvent) {
+        self.events.lock().expect("thread buffer").push(event);
+    }
+}
+
+static NEXT_THREAD_ID: AtomicU64 = AtomicU64::new(0);
+
+thread_local! {
+    static THREAD_ID: u64 = NEXT_THREAD_ID.fetch_add(1, Ordering::Relaxed);
+    /// Cache of this thread's buffers, keyed by registry id. Weak, so a
+    /// dropped registry's buffers free instead of leaking per thread.
+    static BUFFERS: RefCell<Vec<(u64, Weak<ThreadBuffer>)>> = const { RefCell::new(Vec::new()) };
+}
+
+/// Process-wide dense id of the calling thread.
+pub(crate) fn current_thread_id() -> u64 {
+    THREAD_ID.with(|id| *id)
+}
+
+/// Appends `event` to the calling thread's buffer for `registry`,
+/// registering a fresh buffer on first use.
+pub(crate) fn record_in_thread_buffer(registry: &Registry, event: SpanEvent) {
+    let inner = registry.inner();
+    BUFFERS.with(|cache| {
+        let mut cache = cache.borrow_mut();
+        if let Some((_, weak)) = cache.iter().find(|(id, _)| *id == inner.id) {
+            if let Some(buf) = weak.upgrade() {
+                buf.push(event);
+                return;
+            }
+        }
+        let buf = Arc::new(ThreadBuffer::default());
+        buf.push(event);
+        inner
+            .buffers
+            .lock()
+            .expect("trace buffers")
+            .push(Arc::clone(&buf));
+        cache.retain(|(id, weak)| *id != inner.id && weak.strong_count() > 0);
+        cache.push((inner.id, Arc::downgrade(&buf)));
+    });
+}
+
+/// RAII guard for an open span: records the event on drop. Obtained from
+/// [`crate::span!`] or [`Registry::span`]; a no-op guard (tracing off)
+/// holds nothing and does nothing.
+#[must_use = "a span measures the region until the guard drops"]
+#[derive(Debug)]
+pub struct SpanGuard {
+    open: Option<OpenSpan>,
+}
+
+#[derive(Debug)]
+struct OpenSpan {
+    registry: Registry,
+    name: &'static str,
+    start_ns: u64,
+    fields: Vec<(&'static str, FieldValue)>,
+}
+
+impl SpanGuard {
+    /// A guard that records nothing.
+    pub fn noop() -> Self {
+        SpanGuard { open: None }
+    }
+
+    pub(crate) fn begin(
+        registry: &Registry,
+        name: &'static str,
+        fields: Vec<(&'static str, FieldValue)>,
+    ) -> Self {
+        SpanGuard {
+            open: Some(OpenSpan {
+                registry: registry.clone(),
+                name,
+                start_ns: registry.now_ns(),
+                fields,
+            }),
+        }
+    }
+
+    /// Attaches a field to the span after creation (e.g. a result
+    /// computed inside the region). No-op on a disabled guard.
+    pub fn field(&mut self, key: &'static str, value: impl Into<FieldValue>) {
+        if let Some(open) = &mut self.open {
+            open.fields.push((key, value.into()));
+        }
+    }
+}
+
+impl Drop for SpanGuard {
+    fn drop(&mut self) {
+        if let Some(open) = self.open.take() {
+            let end = open.registry.now_ns();
+            let event = SpanEvent {
+                kind: EventKind::Span,
+                name: open.name,
+                t_ns: open.start_ns,
+                dur_ns: end.saturating_sub(open.start_ns),
+                thread: current_thread_id(),
+                fields: open.fields,
+            };
+            record_in_thread_buffer(&open.registry, event);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn nested_spans_are_contained() {
+        let reg = Registry::new();
+        reg.set_tracing(true);
+        {
+            let mut outer = reg.span("outer");
+            outer.field("edges", 10u64);
+            {
+                let _inner = reg.span("inner");
+                std::thread::sleep(std::time::Duration::from_millis(1));
+            }
+        }
+        let events = reg.drain();
+        assert_eq!(events.len(), 2);
+        // drain orders by start time: outer opened first
+        let (outer, inner) = (&events[0], &events[1]);
+        assert_eq!(outer.name, "outer");
+        assert_eq!(inner.name, "inner");
+        assert!(outer.t_ns <= inner.t_ns);
+        assert!(
+            inner.t_ns + inner.dur_ns <= outer.t_ns + outer.dur_ns,
+            "inner span must close before its parent"
+        );
+        assert_eq!(outer.field_u64("edges"), Some(10));
+    }
+
+    #[test]
+    fn spans_from_many_threads_all_arrive() {
+        let reg = Registry::new();
+        reg.set_tracing(true);
+        std::thread::scope(|scope| {
+            for t in 0..4 {
+                let reg = reg.clone();
+                scope.spawn(move || {
+                    for _ in 0..50 {
+                        let _g = crate::span!(reg, "worker", t = t as u64);
+                    }
+                });
+            }
+        });
+        let events = reg.drain();
+        assert_eq!(events.len(), 200);
+        let threads: std::collections::HashSet<u64> = events.iter().map(|e| e.thread).collect();
+        assert_eq!(threads.len(), 4, "one buffer per thread");
+    }
+
+    #[test]
+    fn dropped_registry_buffers_are_pruned_from_cache() {
+        let reg = Registry::new();
+        reg.set_tracing(true);
+        reg.point("x", vec![]);
+        drop(reg);
+        // a new registry on the same thread gets a fresh buffer
+        let reg2 = Registry::new();
+        reg2.set_tracing(true);
+        reg2.point("y", vec![]);
+        assert_eq!(reg2.drain().len(), 1);
+    }
+}

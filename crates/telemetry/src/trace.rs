@@ -1,0 +1,583 @@
+//! Reading JSONL traces back, and the per-bucket timeline summary
+//! behind `pbg trace summarize`.
+//!
+//! The parser accepts exactly the flat format [`crate::sink`] emits
+//! (scalar values, one `fields` object) — enough for round-tripping
+//! without a JSON dependency.
+
+use std::collections::BTreeMap;
+use std::io::BufRead;
+
+/// Span names used by the instrumented trainer/storage/distsim layers.
+/// Centralized so producers (pbg-core, pbg-distsim) and consumers (the
+/// summarizer, CI smoke assertions) cannot drift apart.
+pub mod names {
+    /// One trained bucket (fields: `src`, `dst`, `edges`,
+    /// `loss`, `compute_ns`, `sampling_ns`, `optimizer_ns`).
+    pub const BUCKET_TRAIN: &str = "bucket_train";
+    /// One training epoch (field: `epoch`).
+    pub const EPOCH: &str = "epoch";
+    /// Hot path blocked on partition I/O (fields: `et`, `part`).
+    pub const SWAP_WAIT: &str = "swap_wait";
+    /// Background prefetch read (fields: `et`, `part`, `bytes`).
+    pub const PREFETCH_READ: &str = "prefetch_read";
+    /// Background write-back (fields: `et`, `part`, `bytes`, `queue`).
+    pub const WRITE_BACK: &str = "write_back";
+    /// Point event: prefetch request issued (fields: `et`, `part`).
+    pub const PREFETCH_ISSUE: &str = "prefetch_issue";
+    /// distsim: waiting for the lock server to grant a bucket
+    /// (fields: `machine`).
+    pub const ACQUIRE_WAIT: &str = "acquire_wait";
+    /// distsim: relation-parameter sync (fields: `machine`, `bytes`).
+    pub const PARAM_SYNC: &str = "param_sync";
+}
+
+/// A parsed field value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TraceValue {
+    /// Integer (no fraction/exponent in the source text).
+    Int(i64),
+    /// Floating point.
+    Float(f64),
+    /// String.
+    Str(String),
+    /// JSON null (non-finite floats serialize as null).
+    Null,
+}
+
+impl TraceValue {
+    /// The value as i64, when integral.
+    pub fn as_i64(&self) -> Option<i64> {
+        match self {
+            TraceValue::Int(n) => Some(*n),
+            _ => None,
+        }
+    }
+
+    /// The value as f64 (ints widen).
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            TraceValue::Int(n) => Some(*n as f64),
+            TraceValue::Float(x) => Some(*x),
+            _ => None,
+        }
+    }
+}
+
+/// One event read back from a JSONL trace.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TraceEvent {
+    /// `"span"` or `"point"`.
+    pub kind: String,
+    /// Event name.
+    pub name: String,
+    /// Start, nanoseconds since trace start.
+    pub t_ns: u64,
+    /// Duration in nanoseconds.
+    pub dur_ns: u64,
+    /// Recording thread id.
+    pub thread: u64,
+    /// Attached fields.
+    pub fields: Vec<(String, TraceValue)>,
+}
+
+impl TraceEvent {
+    /// Looks up a field.
+    pub fn field(&self, name: &str) -> Option<&TraceValue> {
+        self.fields.iter().find(|(k, _)| k == name).map(|(_, v)| v)
+    }
+
+    /// Integer field shortcut.
+    pub fn field_i64(&self, name: &str) -> Option<i64> {
+        self.field(name).and_then(TraceValue::as_i64)
+    }
+
+    /// Float field shortcut (ints widen).
+    pub fn field_f64(&self, name: &str) -> Option<f64> {
+        self.field(name).and_then(TraceValue::as_f64)
+    }
+
+    /// End time (`t_ns + dur_ns`).
+    pub fn end_ns(&self) -> u64 {
+        self.t_ns + self.dur_ns
+    }
+}
+
+/// Parses one JSONL line.
+///
+/// # Errors
+///
+/// Returns a description of the first syntax problem, with its byte
+/// offset in the line.
+pub fn parse_line(line: &str) -> Result<TraceEvent, String> {
+    let mut p = Parser {
+        bytes: line.as_bytes(),
+        pos: 0,
+    };
+    p.skip_ws();
+    let top = p.object()?;
+    p.skip_ws();
+    if p.pos != p.bytes.len() {
+        return Err(format!("trailing garbage at byte {}", p.pos));
+    }
+    let take_str = |map: &BTreeMap<String, Json>, key: &str| -> Result<String, String> {
+        match map.get(key) {
+            Some(Json::Str(s)) => Ok(s.clone()),
+            _ => Err(format!("missing string field `{key}`")),
+        }
+    };
+    let take_u64 = |map: &BTreeMap<String, Json>, key: &str| -> Result<u64, String> {
+        match map.get(key) {
+            Some(Json::Int(n)) if *n >= 0 => Ok(*n as u64),
+            _ => Err(format!("missing non-negative integer field `{key}`")),
+        }
+    };
+    let fields = match top.get("fields") {
+        None => Vec::new(),
+        Some(Json::Object(map)) => map
+            .iter()
+            .map(|(k, v)| {
+                let value = match v {
+                    Json::Int(n) => TraceValue::Int(*n),
+                    Json::Float(x) => TraceValue::Float(*x),
+                    Json::Str(s) => TraceValue::Str(s.clone()),
+                    Json::Null => TraceValue::Null,
+                    Json::Object(_) => return Err("nested object in fields".to_string()),
+                };
+                Ok((k.clone(), value))
+            })
+            .collect::<Result<_, _>>()?,
+        Some(_) => return Err("`fields` must be an object".to_string()),
+    };
+    Ok(TraceEvent {
+        kind: take_str(&top, "type")?,
+        name: take_str(&top, "name")?,
+        t_ns: take_u64(&top, "t_ns")?,
+        dur_ns: take_u64(&top, "dur_ns")?,
+        thread: take_u64(&top, "thread")?,
+        fields,
+    })
+}
+
+/// Parses a whole JSONL stream, skipping blank lines.
+///
+/// # Errors
+///
+/// Returns the failing line number and parse error, or the underlying
+/// read error.
+pub fn read_jsonl<R: BufRead>(reader: R) -> Result<Vec<TraceEvent>, String> {
+    let mut events = Vec::new();
+    for (i, line) in reader.lines().enumerate() {
+        let line = line.map_err(|e| format!("line {}: {e}", i + 1))?;
+        if line.trim().is_empty() {
+            continue;
+        }
+        events.push(parse_line(&line).map_err(|e| format!("line {}: {e}", i + 1))?);
+    }
+    Ok(events)
+}
+
+#[derive(Debug, Clone, PartialEq)]
+enum Json {
+    Int(i64),
+    Float(f64),
+    Str(String),
+    Object(BTreeMap<String, Json>),
+    Null,
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl Parser<'_> {
+    fn skip_ws(&mut self) {
+        while self.pos < self.bytes.len() && self.bytes[self.pos].is_ascii_whitespace() {
+            self.pos += 1;
+        }
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), String> {
+        if self.bytes.get(self.pos) == Some(&b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(format!("expected `{}` at byte {}", b as char, self.pos))
+        }
+    }
+
+    fn object(&mut self) -> Result<BTreeMap<String, Json>, String> {
+        self.expect(b'{')?;
+        let mut map = BTreeMap::new();
+        self.skip_ws();
+        if self.bytes.get(self.pos) == Some(&b'}') {
+            self.pos += 1;
+            return Ok(map);
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            self.expect(b':')?;
+            self.skip_ws();
+            let value = self.value()?;
+            map.insert(key, value);
+            self.skip_ws();
+            match self.bytes.get(self.pos) {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(map);
+                }
+                _ => return Err(format!("expected `,` or `}}` at byte {}", self.pos)),
+            }
+        }
+    }
+
+    fn value(&mut self) -> Result<Json, String> {
+        match self.bytes.get(self.pos) {
+            Some(b'"') => Ok(Json::Str(self.string()?)),
+            Some(b'{') => Ok(Json::Object(self.object()?)),
+            Some(b'n') => {
+                if self.bytes[self.pos..].starts_with(b"null") {
+                    self.pos += 4;
+                    Ok(Json::Null)
+                } else {
+                    Err(format!("bad literal at byte {}", self.pos))
+                }
+            }
+            Some(_) => self.number(),
+            None => Err("unexpected end of line".to_string()),
+        }
+    }
+
+    fn string(&mut self) -> Result<String, String> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.bytes.get(self.pos) {
+                None => return Err("unterminated string".to_string()),
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    match self.bytes.get(self.pos) {
+                        Some(b'"') => out.push('"'),
+                        Some(b'\\') => out.push('\\'),
+                        Some(b'/') => out.push('/'),
+                        Some(b'n') => out.push('\n'),
+                        Some(b'r') => out.push('\r'),
+                        Some(b't') => out.push('\t'),
+                        Some(b'u') => {
+                            let hex = self
+                                .bytes
+                                .get(self.pos + 1..self.pos + 5)
+                                .ok_or("truncated \\u escape")?;
+                            let code = u32::from_str_radix(
+                                std::str::from_utf8(hex).map_err(|_| "bad \\u escape")?,
+                                16,
+                            )
+                            .map_err(|_| "bad \\u escape")?;
+                            out.push(char::from_u32(code).ok_or("bad \\u code point")?);
+                            self.pos += 4;
+                        }
+                        _ => return Err(format!("bad escape at byte {}", self.pos)),
+                    }
+                    self.pos += 1;
+                }
+                Some(_) => {
+                    // consume one UTF-8 scalar (the input is a &str, so
+                    // boundaries are valid)
+                    let rest = &self.bytes[self.pos..];
+                    let s = unsafe { std::str::from_utf8_unchecked(rest) };
+                    let c = s.chars().next().unwrap();
+                    out.push(c);
+                    self.pos += c.len_utf8();
+                }
+            }
+        }
+    }
+
+    fn number(&mut self) -> Result<Json, String> {
+        let start = self.pos;
+        let mut fractional = false;
+        while let Some(&b) = self.bytes.get(self.pos) {
+            match b {
+                b'0'..=b'9' | b'-' | b'+' => self.pos += 1,
+                b'.' | b'e' | b'E' => {
+                    fractional = true;
+                    self.pos += 1;
+                }
+                _ => break,
+            }
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos]).expect("ascii number");
+        if fractional {
+            text.parse::<f64>()
+                .map(Json::Float)
+                .map_err(|_| format!("bad number `{text}`"))
+        } else {
+            text.parse::<i64>()
+                .map(Json::Int)
+                .map_err(|_| format!("bad number `{text}`"))
+        }
+    }
+}
+
+/// One `bucket_train` occurrence in the timeline, with attributed time.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BucketRow {
+    /// Source partition.
+    pub src: i64,
+    /// Destination partition.
+    pub dst: i64,
+    /// Start offset in seconds from trace start.
+    pub start_s: f64,
+    /// Bucket wall-clock seconds.
+    pub total_s: f64,
+    /// Forward/backward compute seconds (from the bucket span fields,
+    /// summed over HOGWILD threads).
+    pub compute_s: f64,
+    /// Negative-sampling seconds.
+    pub sampling_s: f64,
+    /// Optimizer (Adagrad scatter) seconds.
+    pub optimizer_s: f64,
+    /// Seconds the hot path blocked on partition I/O during this bucket
+    /// (same-thread `swap_wait` spans contained in the bucket span).
+    pub swap_wait_s: f64,
+    /// Background prefetch-read seconds overlapping this bucket.
+    pub prefetch_s: f64,
+    /// Background write-back seconds overlapping this bucket.
+    pub write_back_s: f64,
+    /// Edges trained.
+    pub edges: i64,
+}
+
+/// Aggregated view of one trace.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct TraceSummary {
+    /// Per-bucket rows, in start order.
+    pub rows: Vec<BucketRow>,
+    /// Total bucket wall-clock seconds.
+    pub total_bucket_s: f64,
+    /// Total hot-path swap-wait seconds (all `swap_wait` spans).
+    pub total_swap_wait_s: f64,
+    /// Total background prefetch-read seconds.
+    pub total_prefetch_s: f64,
+    /// Total background write-back seconds.
+    pub total_write_back_s: f64,
+    /// Total distsim lock-server acquire-wait seconds.
+    pub total_acquire_wait_s: f64,
+    /// Total distsim parameter-sync seconds.
+    pub total_param_sync_s: f64,
+    /// Total edges across bucket rows.
+    pub total_edges: i64,
+}
+
+const NS: f64 = 1e-9;
+
+/// Builds the per-bucket timeline from parsed events.
+///
+/// Hot-path waits (`swap_wait`) are attributed to the bucket span that
+/// contains them on the same thread; background I/O (`prefetch_read`,
+/// `write_back`) is attributed to the bucket whose time range contains
+/// its start, which is exactly the compute it overlapped with.
+pub fn summarize(events: &[TraceEvent]) -> TraceSummary {
+    let mut summary = TraceSummary::default();
+    let buckets: Vec<&TraceEvent> = events
+        .iter()
+        .filter(|e| e.name == names::BUCKET_TRAIN)
+        .collect();
+    let mut rows: Vec<BucketRow> = buckets
+        .iter()
+        .map(|b| BucketRow {
+            src: b.field_i64("src").unwrap_or(-1),
+            dst: b.field_i64("dst").unwrap_or(-1),
+            start_s: b.t_ns as f64 * NS,
+            total_s: b.dur_ns as f64 * NS,
+            compute_s: b.field_f64("compute_ns").unwrap_or(0.0) * NS,
+            sampling_s: b.field_f64("sampling_ns").unwrap_or(0.0) * NS,
+            optimizer_s: b.field_f64("optimizer_ns").unwrap_or(0.0) * NS,
+            swap_wait_s: 0.0,
+            prefetch_s: 0.0,
+            write_back_s: 0.0,
+            edges: b.field_i64("edges").unwrap_or(0),
+        })
+        .collect();
+    for event in events {
+        let dur_s = event.dur_ns as f64 * NS;
+        match event.name.as_str() {
+            names::SWAP_WAIT => {
+                summary.total_swap_wait_s += dur_s;
+                if let Some(i) = buckets.iter().position(|b| {
+                    b.thread == event.thread && b.t_ns <= event.t_ns && event.end_ns() <= b.end_ns()
+                }) {
+                    rows[i].swap_wait_s += dur_s;
+                }
+            }
+            names::PREFETCH_READ | names::WRITE_BACK => {
+                if event.name == names::PREFETCH_READ {
+                    summary.total_prefetch_s += dur_s;
+                } else {
+                    summary.total_write_back_s += dur_s;
+                }
+                if let Some(i) = buckets
+                    .iter()
+                    .position(|b| b.t_ns <= event.t_ns && event.t_ns < b.end_ns())
+                {
+                    if event.name == names::PREFETCH_READ {
+                        rows[i].prefetch_s += dur_s;
+                    } else {
+                        rows[i].write_back_s += dur_s;
+                    }
+                }
+            }
+            names::ACQUIRE_WAIT => summary.total_acquire_wait_s += dur_s,
+            names::PARAM_SYNC => summary.total_param_sync_s += dur_s,
+            _ => {}
+        }
+    }
+    summary.total_bucket_s = rows.iter().map(|r| r.total_s).sum();
+    summary.total_edges = rows.iter().map(|r| r.edges).sum();
+    summary.rows = rows;
+    summary
+}
+
+impl TraceSummary {
+    /// Renders the timeline as an aligned text table.
+    pub fn render(&self) -> String {
+        let ms = |s: f64| format!("{:.3}", s * 1e3);
+        let headers = [
+            "bucket",
+            "start_ms",
+            "total_ms",
+            "compute_ms",
+            "sampling_ms",
+            "optim_ms",
+            "swapwait_ms",
+            "prefetch_ms",
+            "writeback_ms",
+            "edges",
+        ];
+        let mut cells: Vec<Vec<String>> = vec![headers.iter().map(|h| h.to_string()).collect()];
+        for r in &self.rows {
+            cells.push(vec![
+                format!("({},{})", r.src, r.dst),
+                ms(r.start_s),
+                ms(r.total_s),
+                ms(r.compute_s),
+                ms(r.sampling_s),
+                ms(r.optimizer_s),
+                ms(r.swap_wait_s),
+                ms(r.prefetch_s),
+                ms(r.write_back_s),
+                r.edges.to_string(),
+            ]);
+        }
+        let widths: Vec<usize> = (0..headers.len())
+            .map(|c| cells.iter().map(|row| row[c].len()).max().unwrap_or(0))
+            .collect();
+        let mut out = String::from("per-bucket timeline\n");
+        for (i, row) in cells.iter().enumerate() {
+            let line: Vec<String> = row
+                .iter()
+                .zip(&widths)
+                .map(|(cell, w)| format!("{cell:>w$}", w = w))
+                .collect();
+            out.push_str(&line.join("  "));
+            out.push('\n');
+            if i == 0 {
+                out.push_str(&"-".repeat(widths.iter().sum::<usize>() + 2 * (widths.len() - 1)));
+                out.push('\n');
+            }
+        }
+        out.push_str(&format!(
+            "totals: buckets {:.3}s  swap-wait {:.3}s  prefetch {:.3}s  write-back {:.3}s  \
+             acquire-wait {:.3}s  param-sync {:.3}s  edges {}\n",
+            self.total_bucket_s,
+            self.total_swap_wait_s,
+            self.total_prefetch_s,
+            self.total_write_back_s,
+            self.total_acquire_wait_s,
+            self.total_param_sync_s,
+            self.total_edges
+        ));
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn span(name: &str, t: u64, dur: u64, thread: u64, fields: &[(&str, i64)]) -> TraceEvent {
+        TraceEvent {
+            kind: "span".into(),
+            name: name.into(),
+            t_ns: t,
+            dur_ns: dur,
+            thread,
+            fields: fields
+                .iter()
+                .map(|(k, v)| (k.to_string(), TraceValue::Int(*v)))
+                .collect(),
+        }
+    }
+
+    #[test]
+    fn parse_minimal_line() {
+        let e = parse_line(
+            r#"{"type":"span","name":"bucket_train","t_ns":12,"dur_ns":34,"thread":0,"fields":{"src":1,"loss":0.5,"tag":"x"}}"#,
+        )
+        .unwrap();
+        assert_eq!(e.name, "bucket_train");
+        assert_eq!(e.field_i64("src"), Some(1));
+        assert_eq!(e.field_f64("loss"), Some(0.5));
+        assert_eq!(e.field("tag"), Some(&TraceValue::Str("x".into())));
+    }
+
+    #[test]
+    fn parse_rejects_garbage() {
+        assert!(parse_line("not json").is_err());
+        assert!(parse_line(r#"{"type":"span"}"#).is_err(), "missing keys");
+        assert!(
+            parse_line(r#"{"type":"span","name":"a","t_ns":-1,"dur_ns":0,"thread":0}"#).is_err()
+        );
+    }
+
+    #[test]
+    fn summarize_attributes_contained_waits() {
+        let events = vec![
+            span(
+                names::BUCKET_TRAIN,
+                1000,
+                10_000,
+                0,
+                &[("src", 0), ("dst", 1), ("edges", 64)],
+            ),
+            span(names::SWAP_WAIT, 2000, 500, 0, &[]),
+            span(names::SWAP_WAIT, 3000, 250, 9, &[]), // other thread: unattributed
+            span(names::PREFETCH_READ, 4000, 1000, 7, &[]), // io thread, overlaps
+            span(
+                names::BUCKET_TRAIN,
+                20_000,
+                5_000,
+                0,
+                &[("src", 1), ("dst", 1), ("edges", 32)],
+            ),
+        ];
+        let s = summarize(&events);
+        assert_eq!(s.rows.len(), 2);
+        assert!((s.rows[0].swap_wait_s - 500e-9).abs() < 1e-15);
+        assert!((s.rows[0].prefetch_s - 1000e-9).abs() < 1e-15);
+        assert_eq!(s.rows[1].swap_wait_s, 0.0);
+        assert!((s.total_swap_wait_s - 750e-9).abs() < 1e-15);
+        assert_eq!(s.total_edges, 96);
+        let table = s.render();
+        assert!(table.contains("(0,1)"));
+        assert!(table.contains("edges"));
+    }
+}

@@ -1,0 +1,156 @@
+//! Integration tests for pbg-telemetry: concurrency, bucket boundaries,
+//! span nesting, and the JSONL round trip.
+
+use pbg_telemetry::metrics::{bucket_index, bucket_upper_bound, HISTOGRAM_BUCKETS};
+use pbg_telemetry::trace::{self, TraceValue};
+use pbg_telemetry::{span, FieldValue, JsonlSink, Registry};
+
+#[test]
+fn concurrent_counter_increments_from_many_threads() {
+    let reg = Registry::new();
+    let threads = 8;
+    let per_thread = 10_000u64;
+    std::thread::scope(|scope| {
+        for _ in 0..threads {
+            let c = reg.counter("test.hits");
+            let h = reg.histogram("test.lat");
+            let g = reg.gauge("test.depth");
+            scope.spawn(move || {
+                for i in 0..per_thread {
+                    c.inc();
+                    h.observe(i);
+                    g.add(1);
+                    g.sub(1);
+                }
+            });
+        }
+    });
+    let snap = reg.snapshot();
+    assert_eq!(snap.counter("test.hits"), threads * per_thread);
+    assert_eq!(snap.histogram("test.lat").count, threads * per_thread);
+    assert_eq!(snap.gauge("test.depth").value, 0);
+    assert!(snap.gauge("test.depth").peak >= 1);
+}
+
+#[test]
+fn histogram_bucket_boundaries_are_powers_of_two() {
+    // exhaustive walk of every boundary: the value just below each upper
+    // bound stays in the bucket, the bound itself moves to the next
+    for i in 1..HISTOGRAM_BUCKETS - 1 {
+        let ub = bucket_upper_bound(i).unwrap();
+        assert_eq!(bucket_index(ub - 1), i, "below bound of bucket {i}");
+        assert_eq!(bucket_index(ub), i + 1, "at bound of bucket {i}");
+    }
+    assert_eq!(bucket_index(0), 0);
+    assert_eq!(bucket_index(u64::MAX), HISTOGRAM_BUCKETS - 1);
+
+    let reg = Registry::new();
+    let h = reg.histogram("b");
+    for v in [0u64, 1, 127, 128, 129, 1 << 40] {
+        h.observe(v);
+    }
+    let snap = reg.snapshot().histogram("b");
+    assert_eq!(snap.buckets[0], 1); // 0
+    assert_eq!(snap.buckets[1], 1); // 1
+    assert_eq!(snap.buckets[7], 1); // 127 in [64, 128)
+    assert_eq!(snap.buckets[8], 2); // 128, 129 in [128, 256)
+    assert_eq!(snap.buckets[41], 1); // 2^40 in [2^40, 2^41)
+}
+
+#[test]
+fn span_nesting_is_preserved_in_the_trace() {
+    let reg = Registry::new();
+    reg.set_tracing(true);
+    {
+        let _outer = span!(reg, "epoch", epoch = 0u32);
+        for b in 0..3u32 {
+            let _bucket = span!(reg, "bucket_train", src = b, dst = b);
+            let _wait = span!(reg, "swap_wait");
+        }
+    }
+    let events = reg.drain();
+    assert_eq!(events.len(), 7);
+    let epoch = events.iter().find(|e| e.name == "epoch").unwrap();
+    for child in events.iter().filter(|e| e.name != "epoch") {
+        assert!(
+            epoch.t_ns <= child.t_ns,
+            "{} starts inside epoch",
+            child.name
+        );
+        assert!(
+            child.t_ns + child.dur_ns <= epoch.t_ns + epoch.dur_ns,
+            "{} ends inside epoch",
+            child.name
+        );
+        assert_eq!(child.thread, epoch.thread);
+    }
+    let bucket = events.iter().find(|e| e.name == "bucket_train").unwrap();
+    let wait = events
+        .iter()
+        .filter(|e| e.name == "swap_wait")
+        .min_by_key(|e| e.t_ns)
+        .unwrap();
+    assert!(bucket.t_ns <= wait.t_ns && wait.t_ns + wait.dur_ns <= bucket.t_ns + bucket.dur_ns);
+}
+
+#[test]
+fn jsonl_round_trip_preserves_events() {
+    let reg = Registry::new();
+    reg.set_tracing(true);
+    {
+        let mut g = span!(reg, "bucket_train", src = 3u32, dst = 5u32, label = "fwd");
+        g.field("loss", 0.125f64);
+        g.field("edges", 4096u64);
+    }
+    reg.point("prefetch_issue", vec![("part", FieldValue::U64(7))]);
+
+    let mut sink = JsonlSink::new(Vec::new());
+    reg.drain_into(&mut sink).unwrap();
+    let bytes = sink.into_inner();
+
+    let parsed = trace::read_jsonl(&bytes[..]).unwrap();
+    assert_eq!(parsed.len(), 2);
+    let bucket = &parsed[0];
+    assert_eq!(bucket.kind, "span");
+    assert_eq!(bucket.name, "bucket_train");
+    assert_eq!(bucket.field_i64("src"), Some(3));
+    assert_eq!(bucket.field_i64("dst"), Some(5));
+    assert_eq!(bucket.field_i64("edges"), Some(4096));
+    assert_eq!(bucket.field_f64("loss"), Some(0.125));
+    assert_eq!(bucket.field("label"), Some(&TraceValue::Str("fwd".into())));
+    let point = &parsed[1];
+    assert_eq!(point.kind, "point");
+    assert_eq!(point.name, "prefetch_issue");
+    assert_eq!(point.dur_ns, 0);
+    assert_eq!(point.field_i64("part"), Some(7));
+}
+
+#[test]
+fn summarize_reconciles_with_metric_totals() {
+    // the single-measurement contract: sites feed the same elapsed value
+    // to the counter and the span, so trace totals match metric totals
+    let reg = Registry::new();
+    reg.set_tracing(true);
+    let wait_ns = reg.counter("store.swap_wait_ns");
+    for (t, dur) in [(1_000u64, 500u64), (10_000, 1_500)] {
+        wait_ns.add(dur);
+        reg.record(pbg_telemetry::SpanEvent {
+            kind: pbg_telemetry::EventKind::Span,
+            name: "swap_wait",
+            t_ns: t,
+            dur_ns: dur,
+            thread: 0,
+            fields: vec![],
+        });
+    }
+    let mut sink = JsonlSink::new(Vec::new());
+    reg.drain_into(&mut sink).unwrap();
+    let events = trace::read_jsonl(&sink.into_inner()[..]).unwrap();
+    let summary = trace::summarize(&events);
+    let trace_total_ns = summary.total_swap_wait_s * 1e9;
+    let metric_total_ns = reg.snapshot().counter("store.swap_wait_ns") as f64;
+    assert!(
+        (trace_total_ns - metric_total_ns).abs() <= 1e-3 * metric_total_ns,
+        "trace {trace_total_ns} vs metric {metric_total_ns}"
+    );
+}
