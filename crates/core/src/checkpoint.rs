@@ -1,9 +1,21 @@
-//! Model checkpointing.
+//! Crash-consistent model checkpointing (v2).
 //!
 //! "Model checkpoints are occasionally written to the shared filesystem
 //! from the trainers" (Figure 2). A checkpoint directory holds the schema
 //! and config as JSON plus one binary file per entity type (embeddings)
 //! and one for all relation parameters.
+//!
+//! Checkpoints are the only recovery mechanism a multi-day training run
+//! has, so every file is written crash-consistently: bytes go to a
+//! sibling temp file, the file is fsynced, atomically renamed into
+//! place, and the directory is fsynced so the rename is durable. A
+//! `MANIFEST.json` is written *last* (also atomically) recording the
+//! training progress at save time and a content checksum for every data
+//! file. [`load`] refuses any checkpoint whose manifest is missing or
+//! whose checksums or shapes disagree with the manifest and schema — a
+//! crash at any write point therefore yields either the previous
+//! complete checkpoint or a clean [`PbgError::Checkpoint`], never a
+//! mixed-version load.
 
 use crate::config::PbgConfig;
 use crate::error::{PbgError, Result};
@@ -11,31 +23,181 @@ use crate::model::{RelationSnapshot, TrainedEmbeddings};
 use bytes::{Buf, BufMut, BytesMut};
 use pbg_graph::schema::GraphSchema;
 use pbg_tensor::matrix::Matrix;
+use serde::{Deserialize, Serialize};
+use std::io::Write;
 use std::path::Path;
 
 const MAGIC: &[u8; 4] = b"PBGC";
 const VERSION: u8 = 1;
+/// Manifest schema version (the "checkpoint v2" format marker).
+pub const MANIFEST_VERSION: u32 = 2;
+/// Name of the manifest file, written last during [`save`].
+pub const MANIFEST_NAME: &str = "MANIFEST.json";
 
-/// Writes a checkpoint under `dir` (created if missing).
+/// Training progress recorded in the manifest: how far the run that
+/// wrote the checkpoint had gotten, in whole epochs plus bucket-steps
+/// into the next (in-progress) epoch.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct TrainProgress {
+    /// Fully completed epochs.
+    pub epochs_done: usize,
+    /// Bucket-steps completed in the in-progress epoch (flat index over
+    /// `passes × buckets`); 0 means the checkpoint sits on an epoch
+    /// boundary.
+    pub steps_done: usize,
+}
+
+/// One data file's manifest entry.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ManifestFile {
+    /// File name relative to the checkpoint directory.
+    pub name: String,
+    /// Exact size in bytes.
+    pub bytes: u64,
+    /// FNV-1a 64-bit content checksum, lowercase hex.
+    pub checksum: String,
+}
+
+/// The checkpoint manifest: written last, so its presence certifies that
+/// every listed file landed completely.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Manifest {
+    /// Manifest schema version ([`MANIFEST_VERSION`]).
+    pub version: u32,
+    /// Training progress at save time.
+    pub progress: TrainProgress,
+    /// Every data file with its size and checksum.
+    pub files: Vec<ManifestFile>,
+}
+
+/// FNV-1a 64-bit checksum of `bytes` (no external hash dependency; the
+/// adversary here is a torn write, not an attacker forging collisions).
+pub fn checksum(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// How checkpoint bytes reach the filesystem. The production
+/// implementation is [`AtomicIo`]; tests substitute fault-injecting
+/// implementations to simulate crashes between (or inside) file
+/// operations.
+pub trait CheckpointIo {
+    /// Durably persists `bytes` at `path`, atomically with respect to
+    /// crashes: after a crash, `path` holds either its previous content
+    /// or `bytes`, never a prefix or mixture.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O failures (a fault-injecting implementation returns
+    /// an error at its kill point).
+    fn persist(&mut self, path: &Path, bytes: &[u8]) -> Result<()>;
+}
+
+/// Temp-file + fsync + rename + directory-fsync writer.
+#[derive(Debug, Default)]
+pub struct AtomicIo;
+
+impl CheckpointIo for AtomicIo {
+    fn persist(&mut self, path: &Path, bytes: &[u8]) -> Result<()> {
+        write_atomic(path, bytes)
+    }
+}
+
+/// Writes `bytes` to `path` via a sibling `.tmp` file, fsyncing both the
+/// file and its directory so a crash never exposes a partial file under
+/// the final name.
+pub fn write_atomic(path: &Path, bytes: &[u8]) -> Result<()> {
+    let file_name = path
+        .file_name()
+        .and_then(|n| n.to_str())
+        .ok_or_else(|| PbgError::Checkpoint(format!("bad checkpoint path {}", path.display())))?;
+    let tmp = path.with_file_name(format!("{file_name}.tmp"));
+    {
+        let mut f = std::fs::File::create(&tmp)?;
+        f.write_all(bytes)?;
+        f.sync_all()?;
+    }
+    std::fs::rename(&tmp, path)?;
+    // fsync the directory so the rename itself survives a crash
+    if let Some(parent) = path.parent() {
+        if !parent.as_os_str().is_empty() {
+            std::fs::File::open(parent)?.sync_all()?;
+        }
+    }
+    Ok(())
+}
+
+/// Writes a checkpoint under `dir` (created if missing) with progress
+/// recorded as "nothing in flight" — use [`save_with_progress`] from a
+/// trainer that knows where it is.
 ///
 /// # Errors
 ///
 /// Propagates I/O failures.
 pub fn save(model: &TrainedEmbeddings, dir: impl AsRef<Path>) -> Result<()> {
+    save_with_progress(model, dir, TrainProgress::default())
+}
+
+/// Writes a checkpoint under `dir`, recording `progress` in the
+/// manifest so a resumed run knows which epoch/bucket to restart from.
+///
+/// # Errors
+///
+/// Propagates I/O failures.
+pub fn save_with_progress(
+    model: &TrainedEmbeddings,
+    dir: impl AsRef<Path>,
+    progress: TrainProgress,
+) -> Result<()> {
+    save_with_io(model, dir, progress, &mut AtomicIo)
+}
+
+/// [`save_with_progress`] with an explicit [`CheckpointIo`] — the
+/// fault-injection seam the kill-point crash-consistency tests drive.
+///
+/// # Errors
+///
+/// Propagates I/O failures (including injected ones).
+pub fn save_with_io(
+    model: &TrainedEmbeddings,
+    dir: impl AsRef<Path>,
+    progress: TrainProgress,
+    io: &mut dyn CheckpointIo,
+) -> Result<()> {
     let dir = dir.as_ref();
     std::fs::create_dir_all(dir)?;
+    let mut files: Vec<ManifestFile> = Vec::new();
+    let mut put = |io: &mut dyn CheckpointIo, name: String, bytes: &[u8]| -> Result<()> {
+        io.persist(&dir.join(&name), bytes)?;
+        files.push(ManifestFile {
+            name,
+            bytes: bytes.len() as u64,
+            checksum: format!("{:016x}", checksum(bytes)),
+        });
+        Ok(())
+    };
     let meta = serde_json::json!({
         "dim": model.dim,
         "similarity": model.similarity,
         "num_entity_types": model.embeddings.len(),
     });
-    std::fs::write(
-        dir.join("meta.json"),
-        serde_json::to_string_pretty(&meta).expect("meta serializes"),
+    put(
+        io,
+        "meta.json".into(),
+        serde_json::to_string_pretty(&meta)
+            .expect("meta serializes")
+            .as_bytes(),
     )?;
-    std::fs::write(
-        dir.join("schema.json"),
-        serde_json::to_string_pretty(&model.schema).expect("schema serializes"),
+    put(
+        io,
+        "schema.json".into(),
+        serde_json::to_string_pretty(&model.schema)
+            .expect("schema serializes")
+            .as_bytes(),
     )?;
     for (t, emb) in model.embeddings.iter().enumerate() {
         let mut buf = BytesMut::new();
@@ -48,7 +210,7 @@ pub fn save(model: &TrainedEmbeddings, dir: impl AsRef<Path>) -> Result<()> {
         for &v in emb.as_slice() {
             buf.put_f32(v);
         }
-        std::fs::write(dir.join(format!("embeddings_{t}.bin")), &buf)?;
+        put(io, format!("embeddings_{t}.bin"), &buf)?;
     }
     let mut buf = BytesMut::new();
     buf.put_slice(MAGIC);
@@ -74,24 +236,129 @@ pub fn save(model: &TrainedEmbeddings, dir: impl AsRef<Path>) -> Result<()> {
             None => buf.put_u8(0),
         }
     }
-    std::fs::write(dir.join("relations.bin"), &buf)?;
+    put(io, "relations.bin".into(), &buf)?;
+    // the manifest lands last: its atomic rename is the commit point
+    let manifest = Manifest {
+        version: MANIFEST_VERSION,
+        progress,
+        files,
+    };
+    io.persist(
+        &dir.join(MANIFEST_NAME),
+        serde_json::to_string_pretty(&manifest)
+            .expect("manifest serializes")
+            .as_bytes(),
+    )?;
     Ok(())
+}
+
+/// Reads and parses the manifest of the checkpoint at `dir`.
+///
+/// # Errors
+///
+/// Returns [`PbgError::Checkpoint`] when the manifest is missing from an
+/// otherwise-present checkpoint (a torn save or a pre-v2 directory) or
+/// malformed; a directory with no checkpoint at all surfaces as
+/// [`PbgError::Io`].
+pub fn read_manifest(dir: impl AsRef<Path>) -> Result<Manifest> {
+    let dir = dir.as_ref();
+    let text = match std::fs::read_to_string(dir.join(MANIFEST_NAME)) {
+        Ok(text) => text,
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => {
+            // distinguish "no checkpoint here" (plain I/O error) from
+            // "data files without a manifest" (torn or pre-v2: refuse)
+            return if dir.join("meta.json").exists() {
+                Err(PbgError::Checkpoint(
+                    "MANIFEST.json missing (incomplete save or pre-v2 checkpoint)".into(),
+                ))
+            } else {
+                Err(PbgError::Io(e))
+            };
+        }
+        Err(e) => return Err(e.into()),
+    };
+    let manifest: Manifest = serde_json::from_str(&text)
+        .map_err(|e| PbgError::Checkpoint(format!("bad {MANIFEST_NAME}: {e}")))?;
+    if manifest.version != MANIFEST_VERSION {
+        return Err(PbgError::Checkpoint(format!(
+            "unsupported manifest version {}",
+            manifest.version
+        )));
+    }
+    Ok(manifest)
 }
 
 /// Loads a checkpoint from `dir`.
 ///
 /// # Errors
 ///
-/// Returns [`PbgError::Checkpoint`] for corrupt or incomplete
-/// checkpoints, and propagates I/O failures.
+/// Returns [`PbgError::Checkpoint`] for corrupt, incomplete, or
+/// shape-inconsistent checkpoints, and propagates I/O failures.
 pub fn load(dir: impl AsRef<Path>) -> Result<TrainedEmbeddings> {
+    Ok(load_with_manifest(dir)?.0)
+}
+
+/// Loads a checkpoint plus its manifest (for mid-epoch resume).
+///
+/// Every file listed in the manifest is verified against its recorded
+/// size and checksum before any parsing, and every parsed shape is
+/// verified against the schema — so stale files left by an older save
+/// over the same directory are detected instead of silently loaded.
+///
+/// # Errors
+///
+/// Returns [`PbgError::Checkpoint`] for corrupt, incomplete, or
+/// shape-inconsistent checkpoints, and propagates I/O failures.
+pub fn load_with_manifest(dir: impl AsRef<Path>) -> Result<(TrainedEmbeddings, Manifest)> {
     let dir = dir.as_ref();
-    let meta: serde_json::Value =
-        serde_json::from_str(&std::fs::read_to_string(dir.join("meta.json"))?)
-            .map_err(|e| PbgError::Checkpoint(format!("bad meta.json: {e}")))?;
-    let schema: GraphSchema =
-        serde_json::from_str(&std::fs::read_to_string(dir.join("schema.json"))?)
-            .map_err(|e| PbgError::Checkpoint(format!("bad schema.json: {e}")))?;
+    let manifest = read_manifest(dir)?;
+    let mut verified: std::collections::HashMap<&str, Vec<u8>> = std::collections::HashMap::new();
+    for f in &manifest.files {
+        let bytes = match std::fs::read(dir.join(&f.name)) {
+            Ok(bytes) => bytes,
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => {
+                return Err(PbgError::Checkpoint(format!(
+                    "{} listed in manifest but missing",
+                    f.name
+                )));
+            }
+            Err(e) => return Err(e.into()),
+        };
+        if bytes.len() as u64 != f.bytes {
+            return Err(PbgError::Checkpoint(format!(
+                "{}: size {} != manifest {}",
+                f.name,
+                bytes.len(),
+                f.bytes
+            )));
+        }
+        let sum = format!("{:016x}", checksum(&bytes));
+        if sum != f.checksum {
+            return Err(PbgError::Checkpoint(format!(
+                "{}: checksum {sum} != manifest {}",
+                f.name, f.checksum
+            )));
+        }
+        verified.insert(f.name.as_str(), bytes);
+    }
+    let take = |name: &str, verified: &mut std::collections::HashMap<&str, Vec<u8>>| {
+        verified
+            .remove(name)
+            .ok_or_else(|| PbgError::Checkpoint(format!("{name} not listed in manifest")))
+    };
+    let meta_bytes = take("meta.json", &mut verified)?;
+    let meta: serde_json::Value = std::str::from_utf8(&meta_bytes)
+        .map_err(|e| PbgError::Checkpoint(format!("bad meta.json: {e}")))
+        .and_then(|s| {
+            serde_json::from_str(s).map_err(|e| PbgError::Checkpoint(format!("bad meta.json: {e}")))
+        })?;
+    let schema_bytes = take("schema.json", &mut verified)?;
+    let schema: GraphSchema = std::str::from_utf8(&schema_bytes)
+        .map_err(|e| PbgError::Checkpoint(format!("bad schema.json: {e}")))
+        .and_then(|s| {
+            serde_json::from_str(s)
+                .map_err(|e| PbgError::Checkpoint(format!("bad schema.json: {e}")))
+        })?;
     let dim = meta["dim"]
         .as_u64()
         .ok_or_else(|| PbgError::Checkpoint("meta.json missing dim".into()))?
@@ -103,20 +370,52 @@ pub fn load(dir: impl AsRef<Path>) -> Result<TrainedEmbeddings> {
         .as_u64()
         .ok_or_else(|| PbgError::Checkpoint("meta.json missing num_entity_types".into()))?
         as usize;
-    let mut embeddings = Vec::with_capacity(num_types);
-    for t in 0..num_types {
-        let bytes = std::fs::read(dir.join(format!("embeddings_{t}.bin")))?;
-        embeddings.push(read_matrix(&bytes)?);
+    if num_types != schema.entity_types().len() {
+        return Err(PbgError::Checkpoint(format!(
+            "meta lists {num_types} entity types, schema has {}",
+            schema.entity_types().len()
+        )));
     }
-    let rel_bytes = std::fs::read(dir.join("relations.bin"))?;
+    let mut embeddings = Vec::with_capacity(num_types.min(schema.entity_types().len()));
+    for (t, def) in schema.entity_types().iter().enumerate() {
+        let bytes = take(&format!("embeddings_{t}.bin"), &mut verified)?;
+        let m = read_matrix(&bytes)?;
+        // stale-file guard: shapes must match the schema this checkpoint
+        // claims to describe, not whatever an older save left behind
+        if m.cols() != dim {
+            return Err(PbgError::Checkpoint(format!(
+                "embeddings_{t}.bin: {} cols != dim {dim}",
+                m.cols()
+            )));
+        }
+        if m.rows() != def.num_entities() as usize {
+            return Err(PbgError::Checkpoint(format!(
+                "embeddings_{t}.bin: {} rows != {} entities in schema",
+                m.rows(),
+                def.num_entities()
+            )));
+        }
+        embeddings.push(m);
+    }
+    let rel_bytes = take("relations.bin", &mut verified)?;
     let relations = read_relations(&rel_bytes)?;
-    Ok(TrainedEmbeddings {
-        dim,
-        similarity,
-        schema,
-        embeddings,
-        relations,
-    })
+    if relations.len() != schema.num_relation_types() {
+        return Err(PbgError::Checkpoint(format!(
+            "relations.bin has {} relations, schema has {}",
+            relations.len(),
+            schema.num_relation_types()
+        )));
+    }
+    Ok((
+        TrainedEmbeddings {
+            dim,
+            similarity,
+            schema,
+            embeddings,
+            relations,
+        },
+        manifest,
+    ))
 }
 
 fn read_header(data: &mut &[u8]) -> Result<u8> {
@@ -140,16 +439,29 @@ fn read_header(data: &mut &[u8]) -> Result<u8> {
 }
 
 fn read_matrix(mut data: &[u8]) -> Result<Matrix> {
-    read_header(&mut data)?;
+    let kind = read_header(&mut data)?;
+    if kind != 0 {
+        return Err(PbgError::Checkpoint("not a matrix payload".into()));
+    }
     if data.remaining() < 16 {
         return Err(PbgError::Checkpoint("matrix header truncated".into()));
     }
     let rows = data.get_u64() as usize;
     let cols = data.get_u64() as usize;
-    if data.remaining() < rows * cols * 4 {
+    // checked: rows and cols come off the wire, so `rows * cols * 4` is
+    // attacker-influenced and must not wrap past the bounds check
+    let payload = rows
+        .checked_mul(cols)
+        .and_then(|n| n.checked_mul(4))
+        .ok_or_else(|| PbgError::Checkpoint("matrix dimensions overflow".into()))?;
+    if data.remaining() < payload {
         return Err(PbgError::Checkpoint("matrix payload truncated".into()));
     }
-    let values: Vec<f32> = (0..rows * cols).map(|_| data.get_f32()).collect();
+    let count = rows * cols;
+    let mut values = Vec::with_capacity(count.min(data.remaining() / 4));
+    for _ in 0..count {
+        values.push(data.get_f32());
+    }
     Ok(Matrix::from_vec(rows, cols, values))
 }
 
@@ -162,7 +474,9 @@ fn read_relations(mut data: &[u8]) -> Result<Vec<RelationSnapshot>> {
         return Err(PbgError::Checkpoint("relations header truncated".into()));
     }
     let n = data.get_u64() as usize;
-    let mut out = Vec::with_capacity(n);
+    // capacity capped by what the buffer could possibly hold (each entry
+    // is at least 14 bytes): a forged count cannot drive allocation
+    let mut out = Vec::with_capacity(n.min(data.remaining() / 14));
     for _ in 0..n {
         if data.remaining() < 13 {
             return Err(PbgError::Checkpoint("relation entry truncated".into()));
@@ -170,7 +484,11 @@ fn read_relations(mut data: &[u8]) -> Result<Vec<RelationSnapshot>> {
         let op = op_from_code(data.get_u8())?;
         let weight = data.get_f32();
         let flen = data.get_u64() as usize;
-        if data.remaining() < flen * 4 + 1 {
+        let fbytes = flen
+            .checked_mul(4)
+            .and_then(|b| b.checked_add(1))
+            .ok_or_else(|| PbgError::Checkpoint("relation param length overflow".into()))?;
+        if data.remaining() < fbytes {
             return Err(PbgError::Checkpoint("relation params truncated".into()));
         }
         let forward: Vec<f32> = (0..flen).map(|_| data.get_f32()).collect();
@@ -179,7 +497,10 @@ fn read_relations(mut data: &[u8]) -> Result<Vec<RelationSnapshot>> {
                 return Err(PbgError::Checkpoint("reciprocal header truncated".into()));
             }
             let ilen = data.get_u64() as usize;
-            if data.remaining() < ilen * 4 {
+            let ibytes = ilen
+                .checked_mul(4)
+                .ok_or_else(|| PbgError::Checkpoint("reciprocal length overflow".into()))?;
+            if data.remaining() < ibytes {
                 return Err(PbgError::Checkpoint("reciprocal params truncated".into()));
             }
             Some((0..ilen).map(|_| data.get_f32()).collect())
@@ -224,15 +545,19 @@ fn op_from_code(code: u8) -> Result<pbg_graph::schema::OperatorKind> {
 }
 
 /// Saves a config alongside a checkpoint (convenience for experiment
-/// harnesses).
+/// harnesses; `pbg train --resume` picks it up). Written atomically like
+/// every other checkpoint file, but outside the manifest: the config
+/// describes the *run*, not the model state the manifest certifies.
 ///
 /// # Errors
 ///
 /// Propagates I/O failures.
 pub fn save_config(config: &PbgConfig, dir: impl AsRef<Path>) -> Result<()> {
     std::fs::create_dir_all(dir.as_ref())?;
-    std::fs::write(dir.as_ref().join("config.json"), config.to_json())?;
-    Ok(())
+    write_atomic(
+        &dir.as_ref().join("config.json"),
+        config.to_json().as_bytes(),
+    )
 }
 
 /// Loads a config saved by [`save_config`].
@@ -325,6 +650,236 @@ mod tests {
     fn missing_checkpoint_is_io_error() {
         let err = load(tmp("missing_nonexistent")).unwrap_err();
         assert!(matches!(err, PbgError::Io(_)));
+    }
+
+    #[test]
+    fn missing_manifest_is_checkpoint_error() {
+        let dir = tmp("no_manifest");
+        let snap = snapshot();
+        save(&snap, &dir).unwrap();
+        std::fs::remove_file(dir.join(MANIFEST_NAME)).unwrap();
+        assert!(matches!(load(&dir), Err(PbgError::Checkpoint(_))));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn manifest_records_progress_and_files() {
+        let dir = tmp("progress");
+        let snap = snapshot();
+        save_with_progress(
+            &snap,
+            &dir,
+            TrainProgress {
+                epochs_done: 3,
+                steps_done: 7,
+            },
+        )
+        .unwrap();
+        let manifest = read_manifest(&dir).unwrap();
+        assert_eq!(manifest.version, MANIFEST_VERSION);
+        assert_eq!(manifest.progress.epochs_done, 3);
+        assert_eq!(manifest.progress.steps_done, 7);
+        // meta + schema + 2 embedding files + relations
+        assert_eq!(manifest.files.len(), 5);
+        let (_, m) = load_with_manifest(&dir).unwrap();
+        assert_eq!(m.progress.steps_done, 7);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn no_tmp_files_left_behind() {
+        let dir = tmp("tmpclean");
+        save(&snapshot(), &dir).unwrap();
+        let leftovers: Vec<_> = std::fs::read_dir(&dir)
+            .unwrap()
+            .filter_map(|e| e.ok())
+            .filter(|e| e.file_name().to_string_lossy().ends_with(".tmp"))
+            .collect();
+        assert!(leftovers.is_empty(), "temp files left: {leftovers:?}");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn stale_embedding_file_rejected() {
+        // a checkpoint whose embeddings file disagrees with the schema's
+        // entity count (e.g. left over from a save of a smaller graph)
+        // must be refused even if internally well-formed
+        let dir = tmp("stale");
+        let snap = snapshot();
+        save(&snap, &dir).unwrap();
+        // forge embeddings_0.bin with the wrong row count but matching
+        // checksum bookkeeping (re-point the manifest at the forged file)
+        let mut buf = BytesMut::new();
+        buf.put_slice(MAGIC);
+        buf.put_u8(VERSION);
+        buf.put_u8(0);
+        buf.put_u16(0);
+        buf.put_u64(3); // schema says 10 entities
+        buf.put_u64(snap.dim as u64);
+        for _ in 0..3 * snap.dim {
+            buf.put_f32(0.5);
+        }
+        std::fs::write(dir.join("embeddings_0.bin"), &buf).unwrap();
+        let mut manifest = read_manifest(&dir).unwrap();
+        for f in &mut manifest.files {
+            if f.name == "embeddings_0.bin" {
+                f.bytes = buf.len() as u64;
+                f.checksum = format!("{:016x}", checksum(&buf));
+            }
+        }
+        std::fs::write(
+            dir.join(MANIFEST_NAME),
+            serde_json::to_string(&manifest).unwrap(),
+        )
+        .unwrap();
+        match load(&dir) {
+            Err(PbgError::Checkpoint(msg)) => assert!(msg.contains("rows"), "{msg}"),
+            other => panic!("stale file accepted: {other:?}"),
+        }
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn wrong_dim_rejected() {
+        let dir = tmp("wrongdim");
+        let snap = snapshot();
+        save(&snap, &dir).unwrap();
+        // meta claiming a different dim must not load matrices of the old
+        // dim; rewrite meta.json (and its manifest entry) with dim+1
+        let meta = format!(
+            "{{\"dim\": {}, \"similarity\": \"Dot\", \"num_entity_types\": 2}}",
+            snap.dim + 1
+        );
+        std::fs::write(dir.join("meta.json"), &meta).unwrap();
+        let mut manifest = read_manifest(&dir).unwrap();
+        for f in &mut manifest.files {
+            if f.name == "meta.json" {
+                f.bytes = meta.len() as u64;
+                f.checksum = format!("{:016x}", checksum(meta.as_bytes()));
+            }
+        }
+        std::fs::write(
+            dir.join(MANIFEST_NAME),
+            serde_json::to_string(&manifest).unwrap(),
+        )
+        .unwrap();
+        match load(&dir) {
+            Err(PbgError::Checkpoint(msg)) => assert!(msg.contains("cols"), "{msg}"),
+            other => panic!("dim mismatch accepted: {other:?}"),
+        }
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    fn matrix_payload(rows: u64, cols: u64, floats: usize) -> Vec<u8> {
+        let mut buf = BytesMut::new();
+        buf.put_slice(MAGIC);
+        buf.put_u8(VERSION);
+        buf.put_u8(0);
+        buf.put_u16(0);
+        buf.put_u64(rows);
+        buf.put_u64(cols);
+        for _ in 0..floats {
+            buf.put_f32(1.0);
+        }
+        buf.to_vec()
+    }
+
+    #[test]
+    fn overflowing_matrix_dims_rejected() {
+        // rows * cols * 4 wraps to something tiny on 64-bit if unchecked
+        let huge = (u64::MAX / 2) + 1;
+        let bytes = matrix_payload(huge, 8, 0);
+        match read_matrix(&bytes) {
+            Err(PbgError::Checkpoint(msg)) => assert!(msg.contains("overflow"), "{msg}"),
+            other => panic!("overflow accepted: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn oversized_matrix_count_rejected_without_allocating() {
+        // a huge-but-not-overflowing count must fail the bounds check
+        // before any proportional allocation
+        let bytes = matrix_payload(1 << 40, 4, 2);
+        assert!(matches!(read_matrix(&bytes), Err(PbgError::Checkpoint(_))));
+    }
+
+    #[test]
+    fn forged_relation_count_rejected_without_allocating() {
+        let mut buf = BytesMut::new();
+        buf.put_slice(MAGIC);
+        buf.put_u8(VERSION);
+        buf.put_u8(1);
+        buf.put_u16(0);
+        buf.put_u64(u64::MAX); // count an attacker controls
+        let bytes = buf.to_vec();
+        assert!(matches!(
+            read_relations(&bytes),
+            Err(PbgError::Checkpoint(_))
+        ));
+    }
+
+    #[test]
+    fn forged_relation_param_length_rejected() {
+        for flen in [u64::MAX, u64::MAX / 4, 1 << 40] {
+            let mut buf = BytesMut::new();
+            buf.put_slice(MAGIC);
+            buf.put_u8(VERSION);
+            buf.put_u8(1);
+            buf.put_u16(0);
+            buf.put_u64(1);
+            buf.put_u8(1); // op: translation
+            buf.put_f32(1.0);
+            buf.put_u64(flen);
+            let bytes = buf.to_vec();
+            assert!(
+                matches!(read_relations(&bytes), Err(PbgError::Checkpoint(_))),
+                "flen {flen} accepted"
+            );
+        }
+    }
+
+    #[test]
+    fn forged_reciprocal_length_rejected() {
+        let mut buf = BytesMut::new();
+        buf.put_slice(MAGIC);
+        buf.put_u8(VERSION);
+        buf.put_u8(1);
+        buf.put_u16(0);
+        buf.put_u64(1);
+        buf.put_u8(0); // identity, zero forward params
+        buf.put_f32(1.0);
+        buf.put_u64(0);
+        buf.put_u8(1); // claims a reciprocal follows
+        buf.put_u64(u64::MAX / 4 + 1); // ilen * 4 overflows
+        let bytes = buf.to_vec();
+        match read_relations(&bytes) {
+            Err(PbgError::Checkpoint(msg)) => assert!(msg.contains("overflow"), "{msg}"),
+            other => panic!("reciprocal overflow accepted: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn truncated_fields_rejected_at_each_boundary() {
+        // progressively truncate a valid relations payload: every prefix
+        // must be cleanly rejected, never OOB-read or mis-parsed
+        let dir = tmp("trunc_fields");
+        save(&snapshot(), &dir).unwrap();
+        let full = std::fs::read(dir.join("relations.bin")).unwrap();
+        for cut in 0..full.len() {
+            let r = read_relations(&full[..cut]);
+            assert!(
+                matches!(r, Err(PbgError::Checkpoint(_))),
+                "truncation at {cut} not rejected"
+            );
+        }
+        assert!(read_relations(&full).is_ok());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn checksum_is_stable() {
+        assert_eq!(checksum(b""), 0xcbf2_9ce4_8422_2325);
+        assert_ne!(checksum(b"a"), checksum(b"b"));
     }
 
     #[test]

@@ -51,7 +51,7 @@ pub enum NegativeMode {
 
 /// Complete training configuration (validated; construct via
 /// [`PbgConfig::builder`]).
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Serialize)]
 pub struct PbgConfig {
     /// Embedding dimension `d`.
     pub dim: usize,
@@ -91,6 +91,44 @@ pub struct PbgConfig {
     pub init_scale: f32,
     /// RNG seed.
     pub seed: u64,
+    /// Checkpoint every `N` trained buckets (at bucket boundaries), in
+    /// addition to the end-of-run checkpoint. 0 = off.
+    pub checkpoint_interval_buckets: usize,
+}
+
+// Hand-written (the vendored serde_derive supports no field attributes):
+// every field is required except `checkpoint_interval_buckets`, which
+// defaults to 0 so configs saved before it existed keep loading.
+impl serde::Deserialize for PbgConfig {
+    fn deserialize(content: &serde::Content) -> std::result::Result<Self, serde::Error> {
+        let serde::Content::Map(fields) = content else {
+            return Err(serde::Error::custom("expected map for struct PbgConfig"));
+        };
+        Ok(PbgConfig {
+            dim: serde::get_field(fields, "dim")?,
+            learning_rate: serde::get_field(fields, "learning_rate")?,
+            margin: serde::get_field(fields, "margin")?,
+            similarity: serde::get_field(fields, "similarity")?,
+            loss: serde::get_field(fields, "loss")?,
+            batch_size: serde::get_field(fields, "batch_size")?,
+            chunk_size: serde::get_field(fields, "chunk_size")?,
+            uniform_negatives: serde::get_field(fields, "uniform_negatives")?,
+            negative_mode: serde::get_field(fields, "negative_mode")?,
+            corrupt_sources: serde::get_field(fields, "corrupt_sources")?,
+            reciprocal_relations: serde::get_field(fields, "reciprocal_relations")?,
+            epochs: serde::get_field(fields, "epochs")?,
+            threads: serde::get_field(fields, "threads")?,
+            bucket_ordering: serde::get_field(fields, "bucket_ordering")?,
+            bucket_passes: serde::get_field(fields, "bucket_passes")?,
+            init_scale: serde::get_field(fields, "init_scale")?,
+            seed: serde::get_field(fields, "seed")?,
+            checkpoint_interval_buckets: serde::get_field::<Option<usize>>(
+                fields,
+                "checkpoint_interval_buckets",
+            )?
+            .unwrap_or(0),
+        })
+    }
 }
 
 impl Default for PbgConfig {
@@ -113,6 +151,7 @@ impl Default for PbgConfig {
             bucket_passes: 1,
             init_scale: 0.1,
             seed: 0,
+            checkpoint_interval_buckets: 0,
         }
     }
 }
@@ -307,6 +346,12 @@ impl PbgConfigBuilder {
         self
     }
 
+    /// Sets the mid-epoch checkpoint interval in buckets (0 = off).
+    pub fn checkpoint_interval_buckets(mut self, n: usize) -> Self {
+        self.config.checkpoint_interval_buckets = n;
+        self
+    }
+
     /// Validates and returns the config.
     ///
     /// # Errors
@@ -374,6 +419,18 @@ mod tests {
         let c = PbgConfig::builder().dim(32).seed(7).build().unwrap();
         let back = PbgConfig::from_json(&c.to_json()).unwrap();
         assert_eq!(c, back);
+    }
+
+    #[test]
+    fn config_json_without_checkpoint_interval_still_loads() {
+        // configs saved before the field existed must keep parsing
+        let mut v: serde_json::Value =
+            serde_json::from_str(&PbgConfig::default().to_json()).unwrap();
+        if let serde_json::Value::Map(fields) = &mut v {
+            fields.retain(|(k, _)| k != "checkpoint_interval_buckets");
+        }
+        let c = PbgConfig::from_json(&serde_json::to_string(&v).unwrap()).unwrap();
+        assert_eq!(c.checkpoint_interval_buckets, 0);
     }
 
     #[test]

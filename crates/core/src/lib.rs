@@ -79,4 +79,4 @@ pub use eval::{CandidateSampling, LinkPredictionEval};
 pub use model::{Model, TrainedEmbeddings};
 pub use stats::{BucketStats, EpochStats, MemoryTracker};
 pub use storage::{DiskStore, InMemoryStore, PartitionStore};
-pub use trainer::{Storage, Trainer};
+pub use trainer::{CheckpointPolicy, Storage, Trainer};

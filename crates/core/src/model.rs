@@ -185,6 +185,91 @@ impl Model {
             relations,
         }
     }
+
+    /// Restores a trained snapshot into this model and `store` — the
+    /// inverse of [`Model::snapshot`], used by checkpoint resume. Entity
+    /// embeddings are scattered back to their partitions one at a time
+    /// (load, overwrite, release); relation parameters overwrite the live
+    /// values. Adagrad accumulators are not part of the snapshot format
+    /// and keep whatever values they currently have.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PbgError::Checkpoint`] when the snapshot's schema or
+    /// shapes disagree with this model.
+    pub fn restore(&self, snap: &TrainedEmbeddings, store: &dyn PartitionStore) -> Result<()> {
+        if snap.schema != self.schema {
+            return Err(PbgError::Checkpoint(
+                "checkpoint schema does not match the model schema".into(),
+            ));
+        }
+        if snap.dim != self.config.dim {
+            return Err(PbgError::Checkpoint(format!(
+                "checkpoint dim {} != config dim {}",
+                snap.dim, self.config.dim
+            )));
+        }
+        if snap.relations.len() != self.relations.len() {
+            return Err(PbgError::Checkpoint(format!(
+                "checkpoint has {} relations, model has {}",
+                snap.relations.len(),
+                self.relations.len()
+            )));
+        }
+        for (t, def) in self.schema.entity_types().iter().enumerate() {
+            let m = &snap.embeddings[t];
+            if m.rows() != def.num_entities() as usize || m.cols() != snap.dim {
+                return Err(PbgError::Checkpoint(format!(
+                    "checkpoint embeddings for type {t} are {}x{}, expected {}x{}",
+                    m.rows(),
+                    m.cols(),
+                    def.num_entities(),
+                    snap.dim
+                )));
+            }
+            let partitioning = pbg_graph::partition::EntityPartitioning::new(
+                def.num_entities(),
+                def.num_partitions(),
+            );
+            for p in partitioning.partitions() {
+                let key = crate::storage::PartitionKey::new(t as u32, p);
+                let data = store.load(key);
+                for off in 0..partitioning.partition_size(p) {
+                    let global = partitioning.global_of(p, off);
+                    data.embeddings
+                        .write_row(off as usize, m.row(global.index()));
+                }
+                drop(data);
+                store.release(key);
+            }
+        }
+        for (r, rs) in self.relations.iter().zip(&snap.relations) {
+            if rs.forward.len() != r.forward.len() {
+                return Err(PbgError::Checkpoint(
+                    "relation parameter length mismatch".into(),
+                ));
+            }
+            r.forward
+                .restore(&rs.forward, &r.forward.accumulator_snapshot());
+            match (&r.reciprocal, &rs.reciprocal) {
+                (Some(live), Some(saved)) => {
+                    if saved.len() != live.len() {
+                        return Err(PbgError::Checkpoint(
+                            "reciprocal parameter length mismatch".into(),
+                        ));
+                    }
+                    live.restore(saved, &live.accumulator_snapshot());
+                }
+                (None, None) => {}
+                _ => {
+                    return Err(PbgError::Checkpoint(
+                        "reciprocal parameter presence mismatch".into(),
+                    ));
+                }
+            }
+        }
+        Ok(())
+    }
 }
 
 /// Immutable snapshot of one relation's parameters.

@@ -365,7 +365,16 @@ impl DiskShared {
         for f in floats {
             bytes.extend_from_slice(&f.to_le_bytes());
         }
-        std::fs::write(self.path_of(key), bytes)?;
+        // write-then-rename so a crash mid-swap leaves the old complete
+        // partition file, never a torn one (`read_from_disk`'s size check
+        // would otherwise abort a restarted run pointed at this dir). No
+        // fsync: swap files are scratch state — durability is the
+        // checkpoint's job, and syncing every write-back would serialize
+        // the pipelined I/O thread on the disk.
+        let path = self.path_of(key);
+        let tmp = path.with_extension("emb.tmp");
+        std::fs::write(&tmp, bytes)?;
+        std::fs::rename(&tmp, &path)?;
         Ok(())
     }
 

@@ -12,8 +12,9 @@ pub mod bucket;
 pub mod plan;
 pub mod step;
 
+use crate::checkpoint::{self, TrainProgress};
 use crate::config::PbgConfig;
-use crate::error::Result;
+use crate::error::{PbgError, Result};
 use crate::model::{Model, TrainedEmbeddings};
 use crate::stats::{EpochAccumulator, EpochStats, IoStats};
 use crate::storage::{DiskStore, InMemoryStore, PartitionStore, StoreLayout};
@@ -22,8 +23,9 @@ use pbg_graph::edges::EdgeList;
 use pbg_graph::partition::EntityPartitioning;
 use pbg_graph::schema::GraphSchema;
 use pbg_graph::RelationTypeId;
+use pbg_telemetry::metrics::names as metric_name;
 use pbg_telemetry::trace::names as span_name;
-use pbg_telemetry::{span, Registry};
+use pbg_telemetry::{span, FieldValue, Registry};
 use pbg_tensor::rng::Xoshiro256;
 use std::path::Path;
 
@@ -45,14 +47,31 @@ pub enum Storage {
     DiskSync(std::path::PathBuf),
 }
 
+/// Where and how often the trainer checkpoints mid-run.
+#[derive(Debug, Clone)]
+pub struct CheckpointPolicy {
+    /// Checkpoint directory (created on first save).
+    pub dir: std::path::PathBuf,
+    /// Checkpoint after every `N` trained bucket-steps (at bucket
+    /// boundaries). 0 disables periodic saves.
+    pub every_buckets: usize,
+}
+
 /// High-level trainer owning the model, storage, and bucketed edges.
 pub struct Trainer {
     model: Model,
     store: Box<dyn PartitionStore>,
     buckets: Buckets,
-    rng: Xoshiro256,
     epoch: usize,
     telemetry: Registry,
+    checkpoint: Option<CheckpointPolicy>,
+    checkpoint_error: Option<PbgError>,
+    /// Bucket-steps of the next epoch already trained before the
+    /// checkpoint this trainer resumed from; consumed by `train_epoch`.
+    resume_skip: usize,
+    /// Injected fault: stop training after this many more bucket-steps.
+    crash_after: Option<usize>,
+    crashed: bool,
 }
 
 impl Trainer {
@@ -101,15 +120,78 @@ impl Trainer {
         let model = Model::new(schema, config)?;
         let store = build_store(&model, storage, &telemetry)?;
         let buckets = bucketize(model.schema(), edges);
-        let rng = Xoshiro256::seed_from_u64(model.config().seed ^ 0xB0C4_E77E);
         Ok(Trainer {
             model,
             store,
             buckets,
-            rng,
             epoch: 0,
             telemetry,
+            checkpoint: None,
+            checkpoint_error: None,
+            resume_skip: 0,
+            crash_after: None,
+            crashed: false,
         })
+    }
+
+    /// Rebuilds a trainer from a crash-consistent checkpoint written by
+    /// [`checkpoint::save_with_progress`]: model state is restored from
+    /// the verified snapshot and the next [`Trainer::train_epoch`] skips
+    /// the bucket-steps the manifest records as already trained. Bucket
+    /// order within an epoch is a pure function of `(seed, epoch)`, so
+    /// the resumed epoch replays the original schedule and the skipped
+    /// prefix is exactly the set of buckets trained before the save.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PbgError::Checkpoint`] when the checkpoint is corrupt,
+    /// incomplete, or disagrees with `schema`/`config`, and any
+    /// constructor error from [`Trainer::with_telemetry`].
+    pub fn resume(
+        schema: GraphSchema,
+        edges: &EdgeList,
+        config: PbgConfig,
+        storage: Storage,
+        telemetry: Registry,
+        dir: impl AsRef<Path>,
+    ) -> Result<Self> {
+        let (snap, manifest) = checkpoint::load_with_manifest(dir)?;
+        if snap.schema != schema {
+            return Err(PbgError::Checkpoint(
+                "checkpoint schema does not match the training schema".into(),
+            ));
+        }
+        let mut t = Self::with_telemetry(schema, edges, config, storage, telemetry)?;
+        t.model.restore(&snap, t.store.as_ref())?;
+        t.epoch = manifest.progress.epochs_done;
+        t.resume_skip = manifest.progress.steps_done;
+        t.telemetry.counter(metric_name::TRAINER_RESUMES).inc();
+        Ok(t)
+    }
+
+    /// Enables periodic mid-run checkpointing at bucket boundaries.
+    pub fn set_checkpoint_policy(&mut self, policy: CheckpointPolicy) {
+        self.checkpoint = Some(policy);
+    }
+
+    /// Injects a simulated crash: training stops (and [`Trainer::crashed`]
+    /// reports `true`) after `n` more trained bucket-steps — the hook the
+    /// crash-recovery smoke test drives through `pbg train
+    /// --inject-crash-after`.
+    pub fn inject_crash_after_buckets(&mut self, n: usize) {
+        self.crash_after = Some(n);
+    }
+
+    /// `true` once an injected crash has stopped training.
+    pub fn crashed(&self) -> bool {
+        self.crashed
+    }
+
+    /// The first error hit by a periodic checkpoint save, if any
+    /// (training continues past checkpoint failures; callers that need
+    /// durability check this after the run).
+    pub fn checkpoint_error(&self) -> Option<&PbgError> {
+        self.checkpoint_error.as_ref()
     }
 
     /// The model (relation parameters, schema, config).
@@ -149,17 +231,33 @@ impl Trainer {
         self.epoch += 1;
         let _epoch_span = span!(self.telemetry, span_name::EPOCH, epoch = self.epoch as u64);
         let config = self.model.config().clone();
+        // bucket order is a pure function of (seed, epoch): a resumed run
+        // replays the interrupted epoch's schedule, so skipping the first
+        // `resume_skip` steps skips exactly the already-trained buckets
+        let mut order_rng = epoch_rng(config.seed, self.epoch);
         let order = config.bucket_ordering.order(
             self.buckets.src_parts(),
             self.buckets.dst_parts(),
-            &mut self.rng,
+            &mut order_rng,
         );
         let plan = EpochPlan::new(&order, |b| needed_keys(&self.model, b));
         let mut acc = EpochAccumulator::new();
         let io_before = self.io_counters();
         let passes = config.bucket_passes;
-        for pass in 0..passes {
+        let total_steps = passes * plan.steps().len();
+        let policy = self.checkpoint.clone();
+        let skip = std::mem::take(&mut self.resume_skip).min(total_steps);
+        if skip > 0 {
+            self.telemetry
+                .counter(metric_name::TRAINER_RESUME_SKIPPED_STEPS)
+                .add(skip as u64);
+        }
+        'epoch: for pass in 0..passes {
             for (step, plan_step) in plan.steps().iter().enumerate() {
+                let flat = pass * plan.steps().len() + step;
+                if flat < skip {
+                    continue;
+                }
                 let bucket_id = plan_step.bucket;
                 // overlap: next step's partitions start loading now
                 for &key in &plan_step.prefetch {
@@ -170,9 +268,13 @@ impl Trainer {
                     .wrapping_add((self.epoch as u64) << 32)
                     .wrapping_add((pass as u64) << 16)
                     .wrapping_add(step as u64);
+                // per-step shuffle rng (not threaded across steps) so a
+                // resumed epoch shuffles later buckets independently of
+                // whether the earlier ones were replayed or skipped
+                let mut shuffle_rng = Xoshiro256::seed_from_u64(seed ^ 0x5EED_CAFE);
                 let stats = if passes == 1 {
                     // shuffle in place: no per-epoch clone of the bucket
-                    self.buckets.bucket_mut(bucket_id).shuffle(&mut self.rng);
+                    self.buckets.bucket_mut(bucket_id).shuffle(&mut shuffle_rng);
                     train_bucket(
                         &self.model,
                         self.store.as_ref(),
@@ -189,7 +291,7 @@ impl Trainer {
                         .bucket(bucket_id)
                         .chunks(passes)
                         .swap_remove(pass);
-                    part.shuffle(&mut self.rng);
+                    part.shuffle(&mut shuffle_rng);
                     train_bucket(
                         &self.model,
                         self.store.as_ref(),
@@ -203,9 +305,63 @@ impl Trainer {
                 for &key in &plan_step.release {
                     self.store.release(key);
                 }
+                let done = flat + 1;
+                if let Some(policy) = &policy {
+                    if policy.every_buckets > 0 && done.is_multiple_of(policy.every_buckets) {
+                        let progress = if done == total_steps {
+                            TrainProgress {
+                                epochs_done: self.epoch,
+                                steps_done: 0,
+                            }
+                        } else {
+                            TrainProgress {
+                                epochs_done: self.epoch - 1,
+                                steps_done: done,
+                            }
+                        };
+                        if let Err(e) = self.write_checkpoint(policy, progress) {
+                            self.checkpoint_error.get_or_insert(e);
+                        }
+                    }
+                }
+                if let Some(n) = self.crash_after.as_mut() {
+                    *n = n.saturating_sub(1);
+                    if *n == 0 {
+                        self.crash_after = None;
+                        self.crashed = true;
+                        break 'epoch;
+                    }
+                }
             }
         }
         acc.finish(self.epoch, self.io_counters().delta_since(&io_before))
+    }
+
+    /// Snapshots the model and writes a manifest-committed checkpoint,
+    /// emitting a `checkpoint_write` span and bumping the checkpoint
+    /// counter. Partitions the snapshot touches are released back to the
+    /// store (the next step reloads what it needs — correctness never
+    /// depends on residency, only the swap counters do).
+    fn write_checkpoint(&self, policy: &CheckpointPolicy, progress: TrainProgress) -> Result<()> {
+        let t0 = self.telemetry.now_ns();
+        let snap = self.model.snapshot(self.store.as_ref());
+        let bytes = snap.bytes() as u64;
+        checkpoint::save_with_progress(&snap, &policy.dir, progress)?;
+        self.telemetry
+            .counter(metric_name::TRAINER_CHECKPOINTS)
+            .inc();
+        let dur = self.telemetry.now_ns().saturating_sub(t0);
+        self.telemetry.record_span(
+            span_name::CHECKPOINT_WRITE,
+            t0,
+            dur,
+            vec![
+                ("epoch", FieldValue::from(progress.epochs_done as u64)),
+                ("step", FieldValue::from(progress.steps_done as u64)),
+                ("bytes", FieldValue::from(bytes)),
+            ],
+        );
+        Ok(())
     }
 
     /// Snapshot of the store's monotonic I/O counters, read from the
@@ -233,9 +389,17 @@ impl Trainer {
         mut on_epoch: impl FnMut(&EpochStats, &Trainer) -> bool,
     ) -> Vec<EpochStats> {
         let epochs = self.model.config().epochs;
-        let mut all = Vec::with_capacity(epochs);
-        for _ in 0..epochs {
+        let mut all = Vec::with_capacity(epochs.saturating_sub(self.epoch));
+        // a resumed trainer starts at the checkpoint's epoch and trains
+        // only the remainder
+        while self.epoch < epochs {
             let stats = self.train_epoch();
+            if self.crashed {
+                // partial-epoch stats from an injected crash: report them
+                // but skip the callback (the epoch did not complete)
+                all.push(stats);
+                break;
+            }
             let keep_going = on_epoch(&stats, self);
             all.push(stats);
             if !keep_going {
@@ -264,6 +428,15 @@ impl std::fmt::Debug for Trainer {
             .field("config", self.model.config())
             .finish()
     }
+}
+
+/// Bucket-order rng for one epoch, derived (not threaded): epoch `k`'s
+/// schedule is reproducible in isolation, which is what lets a resumed
+/// run replay an interrupted epoch's order.
+fn epoch_rng(seed: u64, epoch: usize) -> Xoshiro256 {
+    Xoshiro256::seed_from_u64(
+        seed ^ 0xB0C4_E77E ^ (epoch as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15),
+    )
 }
 
 fn build_store(
@@ -472,6 +645,148 @@ mod tests {
             snap.counter(names::TRAINER_EDGES) as usize,
             stats.iter().map(|e| e.edges).sum::<usize>()
         );
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn crash_injection_stops_training_at_a_bucket_boundary() {
+        let schema = GraphSchema::homogeneous(32, 2).unwrap();
+        let mut t = Trainer::new(schema, &ring(32), config(1, 3)).unwrap();
+        t.inject_crash_after_buckets(2);
+        let stats = t.train();
+        assert!(t.crashed());
+        assert_eq!(stats.len(), 1, "crash lands inside the first epoch");
+        assert_eq!(stats[0].buckets, 2, "exactly 2 buckets trained");
+    }
+
+    #[test]
+    fn periodic_checkpoint_records_progress() {
+        let dir = std::env::temp_dir().join(format!("pbg_ckpt_prog_{}", std::process::id()));
+        let schema = GraphSchema::homogeneous(32, 2).unwrap(); // 4 buckets
+        let mut t = Trainer::new(schema, &ring(32), config(1, 1)).unwrap();
+        t.set_checkpoint_policy(CheckpointPolicy {
+            dir: dir.clone(),
+            every_buckets: 3,
+        });
+        t.train();
+        assert!(t.checkpoint_error().is_none());
+        let manifest = crate::checkpoint::read_manifest(&dir).unwrap();
+        // saved at bucket 3 of 4: mid-epoch progress
+        assert_eq!(manifest.progress.epochs_done, 0);
+        assert_eq!(manifest.progress.steps_done, 3);
+        assert_eq!(
+            t.telemetry()
+                .snapshot()
+                .counter(metric_name::TRAINER_CHECKPOINTS),
+            1
+        );
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn resume_skips_trained_buckets_and_completes_the_run() {
+        let dir = std::env::temp_dir().join(format!("pbg_resume_{}", std::process::id()));
+        let schema = GraphSchema::homogeneous(32, 2).unwrap(); // 4 buckets/epoch
+        let edges = ring(32);
+        // uninterrupted reference: bucket count per epoch
+        let mut reference = Trainer::new(schema.clone(), &edges, config(1, 2)).unwrap();
+        let ref_stats = reference.train();
+        let ref_buckets: usize = ref_stats.iter().map(|s| s.buckets).sum();
+        // crashing run: checkpoint every bucket, die 5 buckets in (one
+        // bucket into epoch 2)
+        let mut t = Trainer::new(schema.clone(), &edges, config(1, 2)).unwrap();
+        t.set_checkpoint_policy(CheckpointPolicy {
+            dir: dir.clone(),
+            every_buckets: 1,
+        });
+        t.inject_crash_after_buckets(5);
+        let crashed_stats = t.train();
+        assert!(t.crashed());
+        let crashed_buckets: usize = crashed_stats.iter().map(|s| s.buckets).sum();
+        assert_eq!(crashed_buckets, 5);
+        let manifest = crate::checkpoint::read_manifest(&dir).unwrap();
+        assert_eq!(manifest.progress.epochs_done, 1);
+        assert_eq!(manifest.progress.steps_done, 1);
+        // resume and finish
+        let mut r = Trainer::resume(
+            schema,
+            &edges,
+            config(1, 2),
+            Storage::InMemory,
+            Registry::new(),
+            &dir,
+        )
+        .unwrap();
+        assert_eq!(r.epochs_done(), 1);
+        let resumed_stats = r.train();
+        assert!(!r.crashed());
+        let resumed_buckets: usize = resumed_stats.iter().map(|s| s.buckets).sum();
+        assert_eq!(
+            crashed_buckets + resumed_buckets,
+            ref_buckets,
+            "crashed + resumed runs together train exactly one run's buckets"
+        );
+        assert_eq!(r.epochs_done(), 2);
+        let snap = r.telemetry().snapshot();
+        assert_eq!(snap.counter(metric_name::TRAINER_RESUMES), 1);
+        assert_eq!(snap.counter(metric_name::TRAINER_RESUME_SKIPPED_STEPS), 1);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn resume_restores_model_state_exactly() {
+        let dir = std::env::temp_dir().join(format!("pbg_resume_state_{}", std::process::id()));
+        let schema = GraphSchema::homogeneous(32, 2).unwrap();
+        let edges = ring(32);
+        let mut t = Trainer::new(schema.clone(), &edges, config(1, 1)).unwrap();
+        t.train();
+        let snap = t.snapshot();
+        crate::checkpoint::save_with_progress(
+            &snap,
+            &dir,
+            TrainProgress {
+                epochs_done: 1,
+                steps_done: 0,
+            },
+        )
+        .unwrap();
+        let r = Trainer::resume(
+            schema,
+            &edges,
+            config(1, 1),
+            Storage::InMemory,
+            Registry::new(),
+            &dir,
+        )
+        .unwrap();
+        let restored = r.snapshot();
+        assert_eq!(
+            restored.embeddings[0].as_slice(),
+            snap.embeddings[0].as_slice(),
+            "restored embeddings must be bit-identical"
+        );
+        assert_eq!(restored.relations, snap.relations);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn resume_rejects_mismatched_schema() {
+        let dir = std::env::temp_dir().join(format!("pbg_resume_schema_{}", std::process::id()));
+        let schema = GraphSchema::homogeneous(32, 2).unwrap();
+        let edges = ring(32);
+        let t = Trainer::new(schema, &edges, config(1, 1)).unwrap();
+        crate::checkpoint::save(&t.snapshot(), &dir).unwrap();
+        let other = GraphSchema::homogeneous(64, 2).unwrap();
+        let err = Trainer::resume(
+            other,
+            &ring(64),
+            config(1, 1),
+            Storage::InMemory,
+            Registry::new(),
+            &dir,
+        )
+        .unwrap_err();
+        assert!(matches!(err, crate::error::PbgError::Checkpoint(_)));
         std::fs::remove_dir_all(&dir).ok();
     }
 

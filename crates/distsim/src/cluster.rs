@@ -12,6 +12,7 @@
 //! machines — the in-process equivalent of the paper's parameter-server
 //! placement for such types.
 
+use crate::fault::{backoff, FaultPlan};
 use crate::lockserver::{Acquire, LockServer};
 use crate::netmodel::NetworkModel;
 use crate::paramserver::{ParamClient, ParamKey, ParameterServer};
@@ -28,7 +29,7 @@ use pbg_graph::schema::GraphSchema;
 use pbg_graph::RelationTypeId;
 use pbg_telemetry::metrics::names as metric;
 use pbg_telemetry::trace::names as span_name;
-use pbg_telemetry::{span, Gauge, Registry};
+use pbg_telemetry::{span, Counter, Gauge, Registry};
 use pbg_tensor::rng::Xoshiro256;
 use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
@@ -47,6 +48,13 @@ pub struct ClusterConfig {
     pub net_latency: f64,
     /// Minimum interval between parameter-server syncs per machine.
     pub param_sync_throttle: Duration,
+    /// How long a bucket grant stays valid without a release before the
+    /// lock server reaps it and hands the bucket to another machine.
+    /// Generous by default so fault-free runs never reap a slow but
+    /// live trainer.
+    pub lease_ttl: Duration,
+    /// Injected faults (none by default).
+    pub faults: FaultPlan,
 }
 
 impl Default for ClusterConfig {
@@ -56,6 +64,8 @@ impl Default for ClusterConfig {
             net_bandwidth: 1e9,
             net_latency: 1e-4,
             param_sync_throttle: Duration::from_millis(10),
+            lease_ttl: Duration::from_secs(60),
+            faults: FaultPlan::none(),
         }
     }
 }
@@ -89,6 +99,12 @@ pub struct ClusterEpochStats {
     /// Loads served by an ahead-of-use partition checkout (the cluster
     /// counterpart of disk prefetch hits).
     pub prefetch_hits: usize,
+    /// Buckets whose lease expired (holder crashed) and were reassigned
+    /// to, and retrained by, another machine.
+    pub recovered_buckets: usize,
+    /// Retries of failed partition transfers and timed-out parameter
+    /// syncs (each with exponential backoff).
+    pub retries: usize,
 }
 
 /// Multi-machine trainer.
@@ -182,12 +198,13 @@ impl ClusterTrainer {
             }
         }
         let buckets = bucketize(&schema, edges);
+        let lock = Arc::new(LockServer::with_lease(cluster.lease_ttl));
         Ok(ClusterTrainer {
             cluster,
             models,
             pserver,
             params,
-            lock: Arc::new(LockServer::new()),
+            lock,
             net,
             buckets,
             globals: Arc::new(globals),
@@ -252,15 +269,21 @@ impl ClusterTrainer {
                 let max_sim_secs = &max_sim_secs;
                 let max_pipelined_secs = &max_pipelined_secs;
                 scope.spawn(move |_| {
+                    let retries_total = telemetry.counter(metric::CLUSTER_RETRIES);
                     let store = MachineStore::new(
                         pserver,
                         globals,
                         model,
                         telemetry.gauge(&machine_gauge_name(machine)),
+                        cluster.faults.clone(),
+                        machine,
+                        retries_total.clone(),
+                        telemetry.counter(metric::CLUSTER_STALE_CHECKINS),
                     );
                     let edges_total = telemetry.counter(metric::CLUSTER_EDGES);
                     let lock_waits = telemetry.counter(metric::CLUSTER_LOCK_WAITS);
                     let idle_ns = telemetry.counter(metric::CLUSTER_IDLE_NS);
+                    let recovered = telemetry.counter(metric::CLUSTER_RECOVERED_BUCKETS);
                     let acquire_wait = telemetry.histogram(metric::CLUSTER_ACQUIRE_WAIT_NS);
                     // swap planning shared with the single-machine
                     // trainer: the planner tracks this machine's
@@ -271,6 +294,10 @@ impl ClusterTrainer {
                     let mut rng = Xoshiro256::seed_from_u64((epoch as u64) << 32 | machine as u64);
                     let mut prev: Option<BucketId> = None;
                     let mut machine_loss = 0.0f64;
+                    let mut buckets_done = 0usize;
+                    // monotonically numbers this machine's param-sync
+                    // attempts for the fault plan's timeout decisions
+                    let mut sync_seq = 0u64;
                     // per-bucket max(compute, I/O): the pipelined
                     // wall-clock projection for this machine
                     let mut pipelined_secs = 0.0f64;
@@ -309,6 +336,21 @@ impl ClusterTrainer {
                                 for &key in &transition.acquire {
                                     store.prefetch(key);
                                 }
+                                if cluster.faults.machine_crashes(epoch, machine, buckets_done) {
+                                    // simulated hard crash at the worst
+                                    // point: the bucket is locked and its
+                                    // partitions checked out, and nothing
+                                    // is released or checked back in. The
+                                    // lease reaper and fencing tokens
+                                    // must clean up. The simulator's
+                                    // books still get this machine's
+                                    // pre-crash measurements.
+                                    *loss_sum.lock() += machine_loss;
+                                    telemetry
+                                        .counter(metric::CLUSTER_PREFETCH_HITS)
+                                        .add(store.prefetch_hits() as u64);
+                                    return;
+                                }
                                 let mut edges = buckets.bucket(bucket).clone();
                                 edges.shuffle(&mut rng);
                                 let stats = train_bucket(
@@ -328,7 +370,17 @@ impl ClusterTrainer {
                                 );
                                 machine_loss += stats.loss;
                                 edges_total.add(stats.edges as u64);
-                                sync_params(&mut client, model, false, telemetry);
+                                buckets_done += 1;
+                                sync_params(
+                                    &mut client,
+                                    model,
+                                    false,
+                                    telemetry,
+                                    &cluster.faults,
+                                    machine,
+                                    &mut sync_seq,
+                                    &retries_total,
+                                );
                                 prev = Some(bucket);
                             }
                             Acquire::Wait => {
@@ -340,6 +392,20 @@ impl ClusterTrainer {
                                 }
                                 if let Some(p) = prev.take() {
                                     lock.release_bucket(machine, p);
+                                }
+                                // a crashed machine never releases: once
+                                // its lease lapses, return its bucket to
+                                // the pool and fence its partition
+                                // checkouts so the retrainer starts from
+                                // the last committed versions
+                                let reaped = lock.reap_expired();
+                                for &bucket in &reaped {
+                                    recovered.inc();
+                                    for key in needed_keys(model, bucket) {
+                                        if !store.is_global(key) {
+                                            store.revoke(key);
+                                        }
+                                    }
                                 }
                                 lock_waits.inc();
                                 let sleep_start = telemetry.now_ns();
@@ -355,7 +421,16 @@ impl ClusterTrainer {
                     if let Some(p) = prev {
                         lock.release_bucket(machine, p);
                     }
-                    sync_params(&mut client, model, true, telemetry);
+                    sync_params(
+                        &mut client,
+                        model,
+                        true,
+                        telemetry,
+                        &cluster.faults,
+                        machine,
+                        &mut sync_seq,
+                        &retries_total,
+                    );
                     // trailing write-backs and param syncs have no
                     // compute left to hide behind
                     pipelined_secs += store.take_step_io() + client.sim_seconds;
@@ -401,6 +476,8 @@ impl ClusterTrainer {
             peak_machine_bytes: delta.max_gauge_peak("machine") as usize,
             lock_waits: delta.counter(metric::CLUSTER_LOCK_WAITS) as usize,
             prefetch_hits: delta.counter(metric::CLUSTER_PREFETCH_HITS) as usize,
+            recovered_buckets: delta.counter(metric::CLUSTER_RECOVERED_BUCKETS) as usize,
+            retries: delta.counter(metric::CLUSTER_RETRIES) as usize,
         }
     }
 
@@ -455,13 +532,18 @@ impl ClusterTrainer {
                 }
             }
         }
-        // snapshotting is not training: account residency on a throwaway
-        // gauge so it does not distort any machine's epoch peak
+        // snapshotting is not training: account residency on throwaway
+        // gauges/counters so it distorts neither any machine's epoch peak
+        // nor the fault/retry bookkeeping
         let store = MachineStore::new(
             Arc::clone(&self.pserver),
             Arc::clone(&self.globals),
             model,
             Gauge::new(),
+            FaultPlan::none(),
+            usize::MAX,
+            Counter::new(),
+            Counter::new(),
         );
         let snap = model.snapshot(&store);
         for (key, _) in store.server.layout().keys().to_vec() {
@@ -481,29 +563,64 @@ impl std::fmt::Debug for ClusterTrainer {
     }
 }
 
+/// Registers every relation block and installs the server's canonical
+/// values into the local model: a machine (re)joining an epoch — fresh,
+/// or rebooted after a crash — must start from the cluster's state, not
+/// whatever its local copy last saw, or its first delta push would
+/// revert other machines' progress.
 fn register_params(client: &mut ParamClient, model: &Model) {
     for r in 0..model.num_relations() {
         let rel = model.relation(RelationTypeId(r as u32));
-        client.register(
+        let canonical = client.register(
             ParamKey {
                 relation: r as u32,
                 side: 0,
             },
             &rel.forward.snapshot(),
         );
+        if !rel.forward.is_empty() {
+            rel.forward
+                .restore(&canonical, &rel.forward.accumulator_snapshot());
+        }
         if let Some(recip) = &rel.reciprocal {
-            client.register(
+            let canonical = client.register(
                 ParamKey {
                     relation: r as u32,
                     side: 1,
                 },
                 &recip.snapshot(),
             );
+            if !recip.is_empty() {
+                recip.restore(&canonical, &recip.accumulator_snapshot());
+            }
         }
     }
 }
 
-fn sync_params(client: &mut ParamClient, model: &Model, force: bool, telemetry: &Registry) {
+#[allow(clippy::too_many_arguments)]
+fn sync_params(
+    client: &mut ParamClient,
+    model: &Model,
+    force: bool,
+    telemetry: &Registry,
+    faults: &FaultPlan,
+    machine: usize,
+    sync_seq: &mut u64,
+    retries: &Counter,
+) {
+    // injected parameter-server timeouts: retry with exponential backoff
+    // until an attempt goes through
+    let mut attempt = 0u32;
+    loop {
+        let nth = *sync_seq;
+        *sync_seq += 1;
+        if !faults.param_sync_times_out(machine, nth) {
+            break;
+        }
+        retries.inc();
+        std::thread::sleep(backoff(attempt));
+        attempt += 1;
+    }
     let t0 = telemetry.now_ns();
     let mut bytes = 0u64;
     for r in 0..model.num_relations() {
@@ -581,6 +698,9 @@ struct MachineStore<'m> {
     server: Arc<PartitionServer>,
     globals: Arc<HashMap<PartitionKey, Arc<PartitionData>>>,
     resident: Mutex<HashMap<PartitionKey, Arc<PartitionData>>>,
+    /// Fencing token of each resident partition's checkout, presented at
+    /// check-in.
+    tokens: Mutex<HashMap<PartitionKey, u64>>,
     /// Keys checked out ahead of use; a later `load` of one is a
     /// prefetch hit.
     prefetched: Mutex<std::collections::HashSet<PartitionKey>>,
@@ -594,20 +714,33 @@ struct MachineStore<'m> {
     resident_bytes: Gauge,
     swaps: AtomicUsize,
     prefetch_hits: AtomicUsize,
+    faults: FaultPlan,
+    machine: usize,
+    /// Monotonically numbers this machine's transfer attempts for the
+    /// fault plan (a retry re-rolls with a fresh number).
+    xfer_seq: std::sync::atomic::AtomicU64,
+    retries: Counter,
+    stale_checkins: Counter,
     _model: std::marker::PhantomData<&'m ()>,
 }
 
 impl<'m> MachineStore<'m> {
+    #[allow(clippy::too_many_arguments)]
     fn new(
         server: Arc<PartitionServer>,
         globals: Arc<HashMap<PartitionKey, Arc<PartitionData>>>,
         model: &'m Model,
         resident_bytes: Gauge,
+        faults: FaultPlan,
+        machine: usize,
+        retries: Counter,
+        stale_checkins: Counter,
     ) -> Self {
         MachineStore {
             server,
             globals,
             resident: Mutex::new(HashMap::new()),
+            tokens: Mutex::new(HashMap::new()),
             prefetched: Mutex::new(std::collections::HashSet::new()),
             lr: model.config().learning_rate,
             sim_seconds: Mutex::new(0.0),
@@ -615,6 +748,11 @@ impl<'m> MachineStore<'m> {
             resident_bytes,
             swaps: AtomicUsize::new(0),
             prefetch_hits: AtomicUsize::new(0),
+            faults,
+            machine,
+            xfer_seq: std::sync::atomic::AtomicU64::new(0),
+            retries,
+            stale_checkins,
             _model: std::marker::PhantomData,
         }
     }
@@ -632,14 +770,41 @@ impl<'m> MachineStore<'m> {
         self.prefetch_hits.load(Ordering::SeqCst)
     }
 
+    fn is_global(&self, key: PartitionKey) -> bool {
+        self.globals.contains_key(&key)
+    }
+
+    /// Fences out any outstanding checkout of `key` on the server (used
+    /// when reaping a dead machine's bucket lease).
+    fn revoke(&self, key: PartitionKey) {
+        self.server.revoke(key);
+    }
+
     fn charge(&self, secs: f64) {
         *self.sim_seconds.lock() += secs;
         *self.step_io.lock() += secs;
     }
 
+    /// Blocks until the fault plan lets a transfer through, backing off
+    /// exponentially on each injected failure.
+    fn retry_transfer_faults(&self) {
+        let mut attempt = 0u32;
+        loop {
+            let nth = self.xfer_seq.fetch_add(1, Ordering::SeqCst);
+            if !self.faults.transfer_fails(self.machine, nth) {
+                return;
+            }
+            self.retries.inc();
+            std::thread::sleep(backoff(attempt));
+            attempt += 1;
+        }
+    }
+
     /// Checks `key` out of the partition server into the local cache.
     fn checkout(&self, key: PartitionKey) -> Arc<PartitionData> {
-        let (emb, acc, secs) = self.server.checkout(key);
+        self.retry_transfer_faults();
+        let (emb, acc, token, secs) = self.server.checkout(key);
+        self.tokens.lock().insert(key, token);
         self.charge(secs);
         self.swaps.fetch_add(1, Ordering::SeqCst);
         let dim = self.server.layout().dim();
@@ -674,9 +839,16 @@ impl PartitionStore for MachineStore<'_> {
         let mut resident = self.resident.lock();
         if let Some(data) = resident.remove(&key) {
             self.prefetched.lock().remove(&key);
-            let secs = self
-                .server
-                .checkin(key, data.embeddings.to_vec(), data.adagrad.to_vec());
+            self.retry_transfer_faults();
+            let token = self.tokens.lock().remove(&key).unwrap_or(u64::MAX);
+            let (secs, committed) =
+                self.server
+                    .checkin(key, data.embeddings.to_vec(), data.adagrad.to_vec(), token);
+            if !committed {
+                // fenced out: our lease was reaped and someone else owns
+                // this partition now — the server kept their version
+                self.stale_checkins.inc();
+            }
             self.charge(secs);
             self.resident_bytes.sub(data.bytes() as u64);
         }
@@ -945,6 +1117,117 @@ mod tests {
             t.telemetry().snapshot().counter(metric::CLUSTER_EDGES) as usize,
             stats.edges
         );
+    }
+
+    #[test]
+    fn machine_crash_is_recovered_via_lease_reassignment() {
+        use crate::fault::{CrashFault, FaultPlan};
+        let (edges, n) = dataset();
+        let schema = GraphSchema::homogeneous(n, 4).unwrap();
+        let faulty_cluster = ClusterConfig {
+            machines: 2,
+            // short lease so the dead machine's bucket comes back fast;
+            // live machines release within microseconds of finishing, so
+            // 250ms never reaps a healthy trainer on this tiny dataset
+            lease_ttl: Duration::from_millis(250),
+            faults: FaultPlan {
+                seed: 1,
+                crash: Some(CrashFault {
+                    machine: 1,
+                    buckets: 0,
+                    epoch: 1,
+                }),
+                ..FaultPlan::none()
+            },
+            ..Default::default()
+        };
+        let mut t = ClusterTrainer::new(schema.clone(), &edges, config(2), faulty_cluster).unwrap();
+        let stats = t.train();
+        assert_eq!(stats.len(), 2, "both epochs complete despite the crash");
+        // the abandoned bucket was reassigned and retrained, so the epoch
+        // still covers every edge exactly once
+        assert_eq!(stats[0].edges, edges.len());
+        assert!(
+            stats[0].recovered_buckets >= 1,
+            "the crashed machine's bucket must be reaped and recovered"
+        );
+        assert_eq!(
+            stats[1].recovered_buckets, 0,
+            "the machine reboots for epoch 2; nothing to recover"
+        );
+        assert_eq!(stats[1].edges, edges.len());
+
+        // recovery must not wreck the model: loss stays in the same
+        // ballpark as an identically-configured fault-free run
+        let mut clean = ClusterTrainer::new(
+            schema,
+            &edges,
+            config(2),
+            ClusterConfig {
+                machines: 2,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        let clean_stats = clean.train();
+        assert_eq!(clean_stats[1].recovered_buckets, 0);
+        let faulty_loss = stats[1].mean_loss;
+        let clean_loss = clean_stats[1].mean_loss;
+        assert!(
+            (faulty_loss - clean_loss).abs() < 0.5 * clean_loss.max(faulty_loss),
+            "crash recovery diverged: faulty loss {faulty_loss} vs clean {clean_loss}"
+        );
+    }
+
+    #[test]
+    fn transfer_failures_are_retried_to_completion() {
+        use crate::fault::FaultPlan;
+        let (edges, n) = dataset();
+        let schema = GraphSchema::homogeneous(n, 4).unwrap();
+        let mut t = ClusterTrainer::new(
+            schema,
+            &edges,
+            config(1),
+            ClusterConfig {
+                machines: 2,
+                faults: FaultPlan {
+                    seed: 9,
+                    transfer_failure_rate: 0.3,
+                    ..FaultPlan::none()
+                },
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        let stats = t.train_epoch();
+        assert_eq!(stats.edges, edges.len(), "every bucket still trains");
+        assert!(stats.retries > 0, "a 30% failure rate must force retries");
+        assert_eq!(stats.recovered_buckets, 0, "no machine died");
+    }
+
+    #[test]
+    fn param_sync_timeouts_are_retried_to_completion() {
+        use crate::fault::FaultPlan;
+        let (edges, n) = dataset();
+        let schema = GraphSchema::homogeneous(n, 4).unwrap();
+        let mut t = ClusterTrainer::new(
+            schema,
+            &edges,
+            config(1),
+            ClusterConfig {
+                machines: 2,
+                faults: FaultPlan {
+                    seed: 4,
+                    param_timeout_rate: 0.5,
+                    ..FaultPlan::none()
+                },
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        let stats = t.train_epoch();
+        assert_eq!(stats.edges, edges.len());
+        assert!(stats.retries > 0, "timeouts must be retried, not ignored");
     }
 
     #[test]

@@ -13,12 +13,15 @@
 //! projector** that predicts paper-scale wall-clock hours (the time
 //! columns of Tables 3 and 4) from measured per-edge throughput:
 //!
-//! - [`lockserver`]: bucket locking with affinity and the init invariant.
+//! - [`lockserver`]: bucket locking with affinity, the init invariant,
+//!   and lease expiry for crash recovery.
 //! - [`partitionserver`]: sharded partition storage with transfer
-//!   accounting.
+//!   accounting, committed versions, and fencing tokens.
 //! - [`paramserver`]: asynchronous shared-parameter sync with throttling.
 //! - [`netmodel`]: bandwidth/latency cost model (defaults match the
 //!   paper's measured ~1 GB/s TCP bandwidth).
+//! - [`fault`]: seeded fault injection (machine crashes, transfer
+//!   failures, sync timeouts) driving the recovery paths.
 //! - [`cluster`]: the multi-machine training driver.
 //! - [`event`]: discrete-event projection of paper-scale training time.
 //! - [`occupancy`]: analytical occupancy (how many machines can actually
@@ -26,6 +29,7 @@
 
 pub mod cluster;
 pub mod event;
+pub mod fault;
 pub mod lockserver;
 pub mod netmodel;
 pub mod occupancy;
@@ -34,6 +38,7 @@ pub mod partitionserver;
 
 pub use cluster::{ClusterConfig, ClusterTrainer};
 pub use event::{EventSimConfig, EventSimReport};
+pub use fault::{CrashFault, FaultPlan};
 pub use lockserver::LockServer;
 pub use netmodel::NetworkModel;
 pub use paramserver::ParameterServer;

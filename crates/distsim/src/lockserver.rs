@@ -5,22 +5,36 @@
 //! minimize communication (i.e. favors re-using a partition). The lock
 //! server also maintains the invariant ... that only the first bucket
 //! should operate on two uninitialized partitions."
+//!
+//! Grants are *leases*: a bucket granted to a machine that never
+//! releases it (a crash) expires after the configured TTL and
+//! [`LockServer::reap_expired`] returns it to the pending pool so
+//! another machine can retrain it. Without a TTL (the default) leases
+//! never expire and the behavior is the original blocking protocol.
 
 use parking_lot::Mutex;
 use pbg_graph::bucket::BucketId;
 use pbg_graph::ids::Partition;
 use std::collections::{HashMap, HashSet};
+use std::time::{Duration, Instant};
+
+/// One granted bucket and when its lease lapses (`None` = never).
+#[derive(Debug, Clone, Copy)]
+struct Lease {
+    bucket: BucketId,
+    expires: Option<Instant>,
+}
 
 #[derive(Debug, Default)]
 struct LockState {
     pending: HashSet<BucketId>,
     /// Partitions held by in-flight buckets.
     locked: HashSet<Partition>,
-    /// Buckets held per machine. A machine may briefly hold two: the
+    /// Leases held per machine. A machine may briefly hold two: the
     /// paper's trainers acquire the next bucket, save/load partitions,
     /// and only then "release [their] old partitions on the lock server"
     /// (Figure 2).
-    active: HashMap<usize, Vec<BucketId>>,
+    active: HashMap<usize, Vec<Lease>>,
     /// Partitions whose embeddings have been trained at least once, by
     /// side (persists across epochs).
     init_src: HashSet<Partition>,
@@ -28,10 +42,29 @@ struct LockState {
     anything_initialized: bool,
 }
 
+impl LockState {
+    /// Drops `locked` entries for `bucket`'s partitions unless another
+    /// active lease still covers them.
+    fn unlock_partitions(&mut self, bucket: BucketId) {
+        let still_held: HashSet<Partition> = self
+            .active
+            .values()
+            .flatten()
+            .flat_map(|l| l.bucket.partitions())
+            .collect();
+        for p in bucket.partitions() {
+            if !still_held.contains(&p) {
+                self.locked.remove(&p);
+            }
+        }
+    }
+}
+
 /// Centralized bucket lock server.
 #[derive(Debug, Default)]
 pub struct LockServer {
     state: Mutex<LockState>,
+    lease_ttl: Option<Duration>,
 }
 
 /// Result of an acquire attempt.
@@ -47,9 +80,19 @@ pub enum Acquire {
 }
 
 impl LockServer {
-    /// Creates a lock server with no pending buckets.
+    /// Creates a lock server with no pending buckets and no lease expiry.
     pub fn new() -> Self {
         LockServer::default()
+    }
+
+    /// Creates a lock server whose grants expire `ttl` after being made
+    /// unless released; expired leases are reclaimed by
+    /// [`LockServer::reap_expired`].
+    pub fn with_lease(ttl: Duration) -> Self {
+        LockServer {
+            state: Mutex::new(LockState::default()),
+            lease_ttl: Some(ttl),
+        }
     }
 
     /// Starts an epoch over the full `src_parts × dst_parts` grid.
@@ -81,8 +124,11 @@ impl LockServer {
             return if s.active.is_empty() {
                 Acquire::Done
             } else {
-                // stragglers still training; nothing left to hand out
-                Acquire::Done
+                // buckets are still out: a straggler may finish them, or
+                // a crashed machine's lease may expire and return them to
+                // pending — either way the epoch is not over yet, so the
+                // worker must keep polling (and reaping)
+                Acquire::Wait
             };
         }
         // a machine's own held partitions do not conflict with its next
@@ -90,7 +136,7 @@ impl LockServer {
         let own: HashSet<Partition> = s
             .active
             .get(&machine)
-            .map(|buckets| buckets.iter().flat_map(|b| b.partitions()).collect())
+            .map(|leases| leases.iter().flat_map(|l| l.bucket.partitions()).collect())
             .unwrap_or_default();
         // eligible: no partition conflict + invariant
         let mut eligible: Vec<BucketId> = s
@@ -126,7 +172,11 @@ impl LockServer {
         for p in chosen.partitions() {
             s.locked.insert(p);
         }
-        s.active.entry(machine).or_default().push(chosen);
+        let expires = self.lease_ttl.map(|ttl| Instant::now() + ttl);
+        s.active.entry(machine).or_default().push(Lease {
+            bucket: chosen,
+            expires,
+        });
         // the very first grant unblocks the invariant for everyone else
         s.anything_initialized = true;
         s.init_src.insert(chosen.src);
@@ -134,39 +184,24 @@ impl LockServer {
         Acquire::Granted(chosen)
     }
 
-    /// Releases one specific bucket held by `machine`.
-    ///
-    /// # Panics
-    ///
-    /// Panics if the machine does not hold `bucket`.
+    /// Releases one specific bucket held by `machine`. A no-op when the
+    /// machine no longer holds it — its lease may have expired and been
+    /// reaped while it was working, in which case the bucket is someone
+    /// else's problem now and the late release must not corrupt their
+    /// lock.
     pub fn release_bucket(&self, machine: usize, bucket: BucketId) {
         let mut s = self.state.lock();
-        let held = s
-            .active
-            .get_mut(&machine)
-            .unwrap_or_else(|| panic!("machine {machine} holds no bucket"));
-        let pos = held
-            .iter()
-            .position(|b| *b == bucket)
-            .unwrap_or_else(|| panic!("machine {machine} does not hold {bucket}"));
+        let Some(held) = s.active.get_mut(&machine) else {
+            return;
+        };
+        let Some(pos) = held.iter().position(|l| l.bucket == bucket) else {
+            return;
+        };
         held.remove(pos);
-        let keep_empty = held.is_empty();
-        // partitions still held through the machine's other bucket stay
-        // locked
-        let still_held: HashSet<Partition> = s
-            .active
-            .values()
-            .flatten()
-            .flat_map(|b| b.partitions())
-            .collect();
-        for p in bucket.partitions() {
-            if !still_held.contains(&p) {
-                s.locked.remove(&p);
-            }
-        }
-        if keep_empty {
+        if held.is_empty() {
             s.active.remove(&machine);
         }
+        s.unlock_partitions(bucket);
     }
 
     /// Releases the single bucket held by `machine` (convenience for
@@ -183,9 +218,40 @@ impl LockServer {
                 .get(&machine)
                 .unwrap_or_else(|| panic!("machine {machine} holds no bucket"));
             assert_eq!(held.len(), 1, "machine {machine} holds multiple buckets");
-            held[0]
+            held[0].bucket
         };
         self.release_bucket(machine, bucket);
+    }
+
+    /// Reclaims every lease past its expiry: the bucket returns to the
+    /// pending pool (its partitions unlock) and is reported so the
+    /// caller can fence out the dead holder's state elsewhere. Returns
+    /// an empty vec when leases are disabled or nothing has expired.
+    pub fn reap_expired(&self) -> Vec<BucketId> {
+        let now = Instant::now();
+        let mut s = self.state.lock();
+        let mut reaped = Vec::new();
+        let machines: Vec<usize> = s.active.keys().copied().collect();
+        for m in machines {
+            let held = s.active.get_mut(&m).unwrap();
+            let mut i = 0;
+            while i < held.len() {
+                match held[i].expires {
+                    Some(deadline) if deadline <= now => {
+                        reaped.push(held.remove(i).bucket);
+                    }
+                    _ => i += 1,
+                }
+            }
+            if s.active.get(&m).is_some_and(|h| h.is_empty()) {
+                s.active.remove(&m);
+            }
+        }
+        for &bucket in &reaped {
+            s.unlock_partitions(bucket);
+            s.pending.insert(bucket);
+        }
+        reaped
     }
 
     /// Buckets currently being trained.
@@ -323,6 +389,87 @@ mod tests {
             for b in &held[i + 1..] {
                 assert!(!a.conflicts_with(b));
             }
+        }
+    }
+
+    #[test]
+    fn acquire_waits_for_stragglers_instead_of_reporting_done() {
+        let ls = LockServer::new();
+        ls.start_epoch(1, 1);
+        let b = match ls.acquire(0, None) {
+            Acquire::Granted(b) => b,
+            other => panic!("{other:?}"),
+        };
+        // the epoch is not over while a bucket is still out: its holder
+        // may crash and the bucket would need retraining
+        assert_eq!(ls.acquire(1, None), Acquire::Wait);
+        ls.release_bucket(0, b);
+        assert_eq!(ls.acquire(1, None), Acquire::Done);
+    }
+
+    #[test]
+    fn expired_lease_is_reaped_and_regranted() {
+        let ls = LockServer::with_lease(Duration::from_millis(5));
+        ls.start_epoch(2, 2);
+        let b = match ls.acquire(0, None) {
+            Acquire::Granted(b) => b,
+            other => panic!("{other:?}"),
+        };
+        // machine 0 crashes: no release ever comes
+        std::thread::sleep(Duration::from_millis(10));
+        let reaped = ls.reap_expired();
+        assert_eq!(reaped, vec![b]);
+        assert_eq!(ls.active_count(), 0);
+        // the abandoned bucket is grantable again
+        let mut granted = Vec::new();
+        loop {
+            match ls.acquire(1, granted.last().copied()) {
+                Acquire::Granted(g) => {
+                    granted.push(g);
+                    ls.release(1);
+                }
+                Acquire::Wait => std::thread::yield_now(),
+                Acquire::Done => break,
+            }
+        }
+        assert_eq!(granted.len(), 4, "all buckets including the reaped one");
+        assert_eq!(granted.iter().filter(|g| **g == b).count(), 1);
+    }
+
+    #[test]
+    fn unexpired_leases_are_not_reaped() {
+        let ls = LockServer::with_lease(Duration::from_secs(3600));
+        ls.start_epoch(2, 2);
+        let _ = ls.acquire(0, None);
+        assert!(ls.reap_expired().is_empty());
+        assert_eq!(ls.active_count(), 1);
+    }
+
+    #[test]
+    fn late_release_after_reap_is_harmless() {
+        let ls = LockServer::with_lease(Duration::from_millis(5));
+        ls.start_epoch(2, 2);
+        let b = match ls.acquire(0, None) {
+            Acquire::Granted(b) => b,
+            other => panic!("{other:?}"),
+        };
+        std::thread::sleep(Duration::from_millis(10));
+        assert_eq!(ls.reap_expired(), vec![b]);
+        // the bucket now belongs to machine 1
+        let regrant = loop {
+            match ls.acquire(1, None) {
+                Acquire::Granted(g) => break g,
+                Acquire::Wait => std::thread::yield_now(),
+                Acquire::Done => panic!("nothing pending"),
+            }
+        };
+        // the zombie's release arrives late: must not disturb the new
+        // holder's lock
+        ls.release_bucket(0, b);
+        assert_eq!(ls.active_count(), 1);
+        let s = ls.state.lock();
+        for p in regrant.partitions() {
+            assert!(s.locked.contains(&p), "{p:?} unlocked by zombie release");
         }
     }
 

@@ -116,31 +116,40 @@ pub struct ParamClient {
     /// Value adopted at the last sync, per key (the delta base).
     base: HashMap<ParamKey, Vec<f32>>,
     throttle: Duration,
-    last_sync: Instant,
+    /// Last sync time per key. Throttling is per parameter block: one
+    /// relation syncing must not starve every other relation of its own
+    /// sync window. A key with no entry has never synced and is free.
+    last_sync: HashMap<ParamKey, Instant>,
     /// Simulated network seconds this client has spent syncing.
     pub sim_seconds: f64,
 }
 
 impl ParamClient {
     /// Creates a client; `throttle` is the minimum interval between syncs
-    /// (the paper throttles "to avoid saturating network bandwidth").
+    /// of the *same* key (the paper throttles "to avoid saturating
+    /// network bandwidth").
     pub fn new(server: Arc<ParameterServer>, throttle: Duration) -> Self {
         ParamClient {
             server,
             base: HashMap::new(),
             throttle,
-            last_sync: Instant::now() - throttle * 2, // first sync is free
+            last_sync: HashMap::new(),
             sim_seconds: 0.0,
         }
     }
 
-    /// Registers a block and adopts the server value as the base.
-    pub fn register(&mut self, key: ParamKey, init: &[f32]) {
+    /// Registers a block and adopts the server value as the base,
+    /// returning that canonical value so the caller can install it
+    /// locally (a machine joining mid-training must start from the
+    /// server's state, not its own stale copy).
+    pub fn register(&mut self, key: ParamKey, init: &[f32]) -> Vec<f32> {
         self.server.register(key, init);
-        self.base.insert(key, self.server.pull(key));
+        let canonical = self.server.pull(key);
+        self.base.insert(key, canonical.clone());
+        canonical
     }
 
-    /// Synchronizes one block if the throttle allows: pushes
+    /// Synchronizes one block if its throttle allows: pushes
     /// `local - base`, adopts the merged value, returns it. Returns
     /// `None` when throttled (caller keeps its local value).
     ///
@@ -148,8 +157,10 @@ impl ParamClient {
     ///
     /// Panics if the key was not registered through this client.
     pub fn maybe_sync(&mut self, key: ParamKey, local: &[f32]) -> Option<Vec<f32>> {
-        if self.last_sync.elapsed() < self.throttle {
-            return None;
+        if let Some(last) = self.last_sync.get(&key) {
+            if last.elapsed() < self.throttle {
+                return None;
+            }
         }
         Some(self.force_sync(key, local))
     }
@@ -168,7 +179,7 @@ impl ParamClient {
         let (merged, secs) = self.server.push_pull(key, &delta);
         self.sim_seconds += secs;
         self.base.insert(key, merged.clone());
-        self.last_sync = Instant::now();
+        self.last_sync.insert(key, Instant::now());
         merged
     }
 }
@@ -231,6 +242,40 @@ mod tests {
         c.register(KEY, &[0.0]);
         assert!(c.maybe_sync(KEY, &[1.0]).is_some(), "first sync allowed");
         assert!(c.maybe_sync(KEY, &[2.0]).is_none(), "second sync throttled");
+    }
+
+    #[test]
+    fn throttle_is_per_key_not_global() {
+        // regression: a single shared `last_sync` meant one relation's
+        // sync silently starved every other relation until the window
+        // passed — in a multi-relation model most blocks never synced
+        let s = server();
+        let other = ParamKey {
+            relation: 1,
+            side: 0,
+        };
+        let mut c = ParamClient::new(Arc::clone(&s), Duration::from_secs(3600));
+        c.register(KEY, &[0.0]);
+        c.register(other, &[0.0]);
+        assert!(c.maybe_sync(KEY, &[1.0]).is_some());
+        assert!(
+            c.maybe_sync(other, &[1.0]).is_some(),
+            "syncing one key must not throttle a different key"
+        );
+        assert!(c.maybe_sync(KEY, &[2.0]).is_none(), "same key throttled");
+        assert!(c.maybe_sync(other, &[2.0]).is_none());
+    }
+
+    #[test]
+    fn register_returns_canonical_server_value() {
+        let s = server();
+        let mut a = ParamClient::new(Arc::clone(&s), Duration::ZERO);
+        let first = a.register(KEY, &[1.0, 2.0]);
+        assert_eq!(first, vec![1.0, 2.0]);
+        a.force_sync(KEY, &[2.0, 2.0]); // server now [2.0, 2.0]
+        let mut b = ParamClient::new(Arc::clone(&s), Duration::ZERO);
+        let adopted = b.register(KEY, &[9.0, 9.0]);
+        assert_eq!(adopted, vec![2.0, 2.0], "late joiner adopts server state");
     }
 
     #[test]

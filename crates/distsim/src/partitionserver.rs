@@ -8,6 +8,14 @@
 //! Shards are hash-assigned; every checkout/checkin records its byte
 //! volume against the [`NetworkModel`] so simulated transfer time can be
 //! charged to the fetching machine.
+//!
+//! The server always retains the **last committed version** of every
+//! partition: a checkout hands the client a *copy* together with a
+//! fencing token, and a check-in only commits when it presents the most
+//! recently issued token. If a client dies mid-bucket the server still
+//! serves the committed version to whoever retrains the bucket, and
+//! [`PartitionServer::revoke`] invalidates the dead client's token so a
+//! zombie check-in is discarded instead of clobbering newer state.
 
 use crate::netmodel::NetworkModel;
 use parking_lot::Mutex;
@@ -17,10 +25,23 @@ use std::collections::HashMap;
 use std::hash::{Hash, Hasher};
 use std::sync::Arc;
 
-/// One shard's stored partitions: raw embedding + accumulator floats.
+/// One stored partition: last committed floats plus fencing state.
+#[derive(Debug)]
+struct Stored {
+    emb: Vec<f32>,
+    acc: Vec<f32>,
+    /// Monotonic source of fencing tokens (never reused).
+    next_token: u64,
+    /// Token of the one outstanding checkout allowed to commit, if any.
+    /// A newer checkout or a [`PartitionServer::revoke`] replaces or
+    /// clears it, fencing the previous holder out.
+    valid_token: Option<u64>,
+}
+
+/// One shard's stored partitions.
 #[derive(Debug, Default)]
 struct Shard {
-    partitions: HashMap<PartitionKey, (Vec<f32>, Vec<f32>)>,
+    partitions: HashMap<PartitionKey, Stored>,
 }
 
 /// Sharded in-memory partition store with transfer accounting.
@@ -55,7 +76,15 @@ impl PartitionServer {
             let data = pbg_core::storage::PartitionStore::load(&init_store, key);
             let emb = data.embeddings.to_vec();
             let acc = data.adagrad.to_vec();
-            server.shard(key).lock().partitions.insert(key, (emb, acc));
+            server.shard(key).lock().partitions.insert(
+                key,
+                Stored {
+                    emb,
+                    acc,
+                    next_token: 0,
+                    valid_token: None,
+                },
+            );
         }
         server
     }
@@ -76,51 +105,87 @@ impl PartitionServer {
         &self.layout
     }
 
-    /// Fetches a partition's raw floats (embeddings, accumulators),
-    /// charging the transfer; returns the simulated seconds spent.
+    /// Fetches a copy of a partition's last committed floats
+    /// (embeddings, accumulators) plus a fencing token, charging the
+    /// transfer; returns the simulated seconds spent. Any previously
+    /// issued token for this key is invalidated — the lock server
+    /// normally guarantees exclusivity, and when it reassigns an
+    /// expired lease the new checkout fences the old holder out.
     ///
     /// # Panics
     ///
-    /// Panics if the key is unknown or checked out elsewhere — the lock
-    /// server must guarantee exclusivity.
-    pub fn checkout(&self, key: PartitionKey) -> (Vec<f32>, Vec<f32>, f64) {
+    /// Panics if the key is unknown.
+    pub fn checkout(&self, key: PartitionKey) -> (Vec<f32>, Vec<f32>, u64, f64) {
         let mut shard = self.shard(key).lock();
-        let (emb, acc) = shard
+        let stored = shard
             .partitions
-            .remove(&key)
-            .unwrap_or_else(|| panic!("partition {key:?} not on server (double checkout?)"));
+            .get_mut(&key)
+            .unwrap_or_else(|| panic!("partition {key:?} not on server"));
+        let token = stored.next_token;
+        stored.next_token += 1;
+        stored.valid_token = Some(token);
+        let (emb, acc) = (stored.emb.clone(), stored.acc.clone());
+        drop(shard);
         let bytes = (emb.len() + acc.len()) * 4;
         let secs = self.net.record_transfer(bytes);
-        (emb, acc, secs)
+        (emb, acc, token, secs)
     }
 
-    /// Returns a partition's floats to the server, charging the transfer;
-    /// returns the simulated seconds spent.
+    /// Returns a partition's floats to the server, charging the
+    /// transfer; returns the simulated seconds spent and whether the
+    /// write committed. A check-in whose token is no longer valid (the
+    /// holder's lease expired and the partition was re-checked-out or
+    /// revoked) is discarded: the committed version stays as it was.
     ///
     /// # Panics
     ///
-    /// Panics if the key is already present (double checkin).
-    pub fn checkin(&self, key: PartitionKey, emb: Vec<f32>, acc: Vec<f32>) -> f64 {
+    /// Panics if the key is unknown.
+    pub fn checkin(
+        &self,
+        key: PartitionKey,
+        emb: Vec<f32>,
+        acc: Vec<f32>,
+        token: u64,
+    ) -> (f64, bool) {
+        // bytes cross the wire before the server can judge the token
         let bytes = (emb.len() + acc.len()) * 4;
         let secs = self.net.record_transfer(bytes);
         let mut shard = self.shard(key).lock();
-        let prev = shard.partitions.insert(key, (emb, acc));
-        assert!(prev.is_none(), "partition {key:?} checked in twice");
-        secs
+        let stored = shard
+            .partitions
+            .get_mut(&key)
+            .unwrap_or_else(|| panic!("partition {key:?} not on server"));
+        if stored.valid_token != Some(token) {
+            return (secs, false);
+        }
+        stored.emb = emb;
+        stored.acc = acc;
+        stored.valid_token = None;
+        (secs, true)
     }
 
-    /// Reads a partition without checking it out (for final snapshots).
+    /// Invalidates any outstanding checkout token for `key`, so a dead
+    /// holder's eventual check-in is discarded. Called when a bucket
+    /// lease is reaped.
+    pub fn revoke(&self, key: PartitionKey) {
+        if let Some(stored) = self.shard(key).lock().partitions.get_mut(&key) {
+            stored.valid_token = None;
+        }
+    }
+
+    /// Reads a partition's last committed floats without checking it out
+    /// (for final snapshots).
     ///
     /// # Panics
     ///
-    /// Panics if the key is checked out.
+    /// Panics if the key is unknown.
     pub fn peek(&self, key: PartitionKey) -> (Vec<f32>, Vec<f32>) {
         let shard = self.shard(key).lock();
-        shard
+        let stored = shard
             .partitions
             .get(&key)
-            .cloned()
-            .unwrap_or_else(|| panic!("partition {key:?} checked out during peek"))
+            .unwrap_or_else(|| panic!("partition {key:?} not on server"));
+        (stored.emb.clone(), stored.acc.clone())
     }
 
     /// Bytes currently stored across shards.
@@ -131,7 +196,7 @@ impl PartitionServer {
                 s.lock()
                     .partitions
                     .values()
-                    .map(|(e, a)| (e.len() + a.len()) * 4)
+                    .map(|s| (s.emb.len() + s.acc.len()) * 4)
                     .sum::<usize>()
             })
             .sum()
@@ -156,20 +221,53 @@ mod tests {
     fn checkout_checkin_roundtrip() {
         let s = server(4, 2);
         let key = PartitionKey::new(0u32, 2u32);
-        let (mut emb, acc, _) = s.checkout(key);
+        let (mut emb, acc, token, _) = s.checkout(key);
         emb[0] = 42.0;
-        s.checkin(key, emb, acc);
+        let (_, committed) = s.checkin(key, emb, acc, token);
+        assert!(committed);
         let (emb2, _) = s.peek(key);
         assert_eq!(emb2[0], 42.0);
     }
 
     #[test]
-    #[should_panic(expected = "double checkout")]
-    fn double_checkout_panics() {
+    fn checkout_serves_last_committed_version_after_a_crash() {
+        // a client checks out, mutates its copy, and dies without
+        // checking in: the server still serves the committed version
         let s = server(4, 2);
-        let key = PartitionKey::new(0u32, 0u32);
-        let _ = s.checkout(key);
-        let _ = s.checkout(key);
+        let key = PartitionKey::new(0u32, 2u32);
+        let before = s.peek(key).0;
+        let (mut emb, _acc, _token, _) = s.checkout(key);
+        emb[0] = 999.0; // dies here; emb is the client's private copy
+        let (emb2, _, _, _) = s.checkout(key);
+        assert_eq!(emb2, before, "recovery must see the committed version");
+    }
+
+    #[test]
+    fn stale_checkin_is_discarded() {
+        // holder A's lease expires; B re-checks-out (fencing A out) and
+        // commits; A's zombie check-in must not clobber B's work
+        let s = server(4, 2);
+        let key = PartitionKey::new(0u32, 2u32);
+        let (mut emb_a, acc_a, token_a, _) = s.checkout(key);
+        let (mut emb_b, acc_b, token_b, _) = s.checkout(key);
+        emb_b[0] = 7.0;
+        let (_, committed) = s.checkin(key, emb_b, acc_b, token_b);
+        assert!(committed);
+        emb_a[0] = -1.0;
+        let (_, committed) = s.checkin(key, emb_a, acc_a, token_a);
+        assert!(!committed, "stale token must not commit");
+        assert_eq!(s.peek(key).0[0], 7.0);
+    }
+
+    #[test]
+    fn revoke_fences_out_the_dead_holder() {
+        let s = server(4, 2);
+        let key = PartitionKey::new(0u32, 2u32);
+        let (mut emb, acc, token, _) = s.checkout(key);
+        s.revoke(key);
+        emb[0] = -1.0;
+        let (_, committed) = s.checkin(key, emb, acc, token);
+        assert!(!committed);
     }
 
     #[test]
@@ -177,11 +275,11 @@ mod tests {
         let net = Arc::new(NetworkModel::new(1e6, 0.0));
         let s = PartitionServer::new(layout(4), 2, Arc::clone(&net));
         let key = PartitionKey::new(0u32, 1u32);
-        let (emb, acc, secs) = s.checkout(key);
+        let (emb, acc, token, secs) = s.checkout(key);
         assert!(secs > 0.0);
         let bytes = (emb.len() + acc.len()) * 4;
         assert_eq!(net.total_bytes() as usize, bytes);
-        s.checkin(key, emb, acc);
+        s.checkin(key, emb, acc, token);
         assert_eq!(net.total_bytes() as usize, 2 * bytes);
     }
 

@@ -3,6 +3,8 @@
 //! ```text
 //! pbg train     --edges E [--format tsv|snap] [--config C.json]
 //!               [--partitions P] [--disk DIR] --output CKPT
+//!               [--checkpoint-every N] [--resume DIR]
+//!               [--inject-crash-after N]
 //!               [--telemetry TRACE.jsonl] [--log-format json|pretty]
 //! pbg eval      --checkpoint CKPT --test E [--train E]
 //!               [--candidates N] [--filtered] [--prevalence]
@@ -16,6 +18,13 @@
 //! negatives). `--telemetry` enables span tracing and writes the run's
 //! event trace as JSONL; `pbg trace summarize` renders it as a per-bucket
 //! timeline (compute / sampling / optimizer / swap-wait / prefetch).
+//!
+//! `--checkpoint-every N` writes a crash-consistent checkpoint to the
+//! output directory after every `N` trained buckets; an interrupted run
+//! restarts from the last one with `--resume DIR`, skipping the buckets
+//! the manifest records as already trained. `--inject-crash-after N`
+//! simulates a mid-run crash after `N` buckets (for recovery drills and
+//! the CI crash-recovery smoke test).
 
 use pbg::core::checkpoint;
 use pbg::core::config::PbgConfig;
@@ -53,6 +62,8 @@ fn main() -> ExitCode {
 const USAGE: &str = "usage:
   pbg train     --edges E [--format tsv|snap] [--config C.json]
                 [--partitions P] [--disk DIR] --output CKPT
+                [--checkpoint-every N] [--resume DIR]
+                [--inject-crash-after N]
                 [--telemetry TRACE.jsonl] [--log-format json|pretty]
   pbg eval      --checkpoint CKPT --test E [--train E]
                 [--candidates N] [--filtered] [--prevalence]
@@ -141,12 +152,20 @@ fn cmd_train(flags: &Flags) -> Result<(), String> {
     let format = flags.get("format").unwrap_or("tsv");
     let (edges, num_nodes, num_relations) = load_edges(flags.require("edges")?, format)?;
     let partitions: u32 = flags.parse("partitions", 1)?;
+    let resume_dir = flags.get("resume");
     let config = match flags.get("config") {
         Some(path) => {
             let json = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
             PbgConfig::from_json(&json).map_err(|e| e.to_string())?
         }
-        None => PbgConfig::default(),
+        // a resumed run reuses the interrupted run's config so the
+        // replayed schedule matches the manifest's progress
+        None => match resume_dir {
+            Some(dir) if std::path::Path::new(dir).join("config.json").exists() => {
+                checkpoint::load_config(dir).map_err(|e| e.to_string())?
+            }
+            _ => PbgConfig::default(),
+        },
     };
     // homogeneous schema over the observed ids; relation operators default
     // to identity (configure through a custom config + schema in library
@@ -175,8 +194,37 @@ fn cmd_train(flags: &Flags) -> Result<(), String> {
     if !matches!(log_format, "pretty" | "json") {
         return Err(format!("unknown log format `{log_format}` (json|pretty)"));
     }
-    let mut trainer =
-        Trainer::with_storage(schema, &edges, config, storage).map_err(|e| e.to_string())?;
+    let out = flags.require("output")?;
+    let mut trainer = match resume_dir {
+        Some(dir) => {
+            let t = Trainer::resume(
+                schema,
+                &edges,
+                config.clone(),
+                storage,
+                pbg::telemetry::Registry::new(),
+                dir,
+            )
+            .map_err(|e| e.to_string())?;
+            eprintln!("resuming from {dir} at epoch {}", t.epochs_done() + 1);
+            t
+        }
+        None => Trainer::with_storage(schema, &edges, config.clone(), storage)
+            .map_err(|e| e.to_string())?,
+    };
+    let every: usize = flags.parse("checkpoint-every", config.checkpoint_interval_buckets)?;
+    if every > 0 {
+        trainer.set_checkpoint_policy(pbg::core::CheckpointPolicy {
+            dir: out.into(),
+            every_buckets: every,
+        });
+    }
+    if let Some(n) = flags.get("inject-crash-after") {
+        let n: usize = n
+            .parse()
+            .map_err(|_| format!("flag --inject-crash-after: cannot parse `{n}`"))?;
+        trainer.inject_crash_after_buckets(n);
+    }
     let trace_path = flags.get("telemetry");
     if trace_path.is_some() {
         trainer.telemetry().set_tracing(true);
@@ -197,12 +245,30 @@ fn cmd_train(flags: &Flags) -> Result<(), String> {
             );
         }
     }
+    // the trace lands on disk before any crash-driven exit so an
+    // interrupted run still leaves a parsable telemetry record
     if let Some(path) = trace_path {
         write_trace(trainer.telemetry(), path)?;
         eprintln!("trace written to {path}");
     }
-    let out = flags.require("output")?;
-    checkpoint::save(&trainer.snapshot(), out).map_err(|e| e.to_string())?;
+    if let Some(e) = trainer.checkpoint_error() {
+        return Err(format!("periodic checkpoint failed: {e}"));
+    }
+    if trainer.crashed() {
+        return Err(format!(
+            "training interrupted by injected crash; resume with --resume {out}"
+        ));
+    }
+    checkpoint::save_with_progress(
+        &trainer.snapshot(),
+        out,
+        pbg::core::checkpoint::TrainProgress {
+            epochs_done: trainer.epochs_done(),
+            steps_done: 0,
+        },
+    )
+    .map_err(|e| e.to_string())?;
+    checkpoint::save_config(trainer.model().config(), out).map_err(|e| e.to_string())?;
     eprintln!("checkpoint written to {out}");
     Ok(())
 }

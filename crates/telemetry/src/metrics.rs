@@ -45,6 +45,21 @@ pub mod names {
     pub const CLUSTER_IDLE_NS: &str = "cluster.idle_ns";
     /// Histogram: per-acquire lock-server wait, nanoseconds.
     pub const CLUSTER_ACQUIRE_WAIT_NS: &str = "cluster.acquire_wait_ns";
+    /// Counter: checkpoints written by the trainer.
+    pub const TRAINER_CHECKPOINTS: &str = "trainer.checkpoints";
+    /// Counter: training runs restarted from a checkpoint.
+    pub const TRAINER_RESUMES: &str = "trainer.resumes";
+    /// Counter: bucket-steps skipped on resume (already trained before
+    /// the checkpoint being resumed from).
+    pub const TRAINER_RESUME_SKIPPED_STEPS: &str = "trainer.resume_skipped_steps";
+    /// Counter: distsim buckets reassigned after a lease expired.
+    pub const CLUSTER_RECOVERED_BUCKETS: &str = "cluster.recovered_buckets";
+    /// Counter: distsim client operations retried after an injected
+    /// transfer failure or parameter-server timeout.
+    pub const CLUSTER_RETRIES: &str = "cluster.retries";
+    /// Counter: partition check-ins discarded because the holder's lease
+    /// was revoked (fencing-token mismatch).
+    pub const CLUSTER_STALE_CHECKINS: &str = "cluster.stale_checkins";
 }
 
 /// A monotonically increasing counter.

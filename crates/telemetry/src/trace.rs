@@ -30,6 +30,8 @@ pub mod names {
     pub const ACQUIRE_WAIT: &str = "acquire_wait";
     /// distsim: relation-parameter sync (fields: `machine`, `bytes`).
     pub const PARAM_SYNC: &str = "param_sync";
+    /// A checkpoint written to disk (fields: `epoch`, `step`, `bytes`).
+    pub const CHECKPOINT_WRITE: &str = "checkpoint_write";
 }
 
 /// A parsed field value.

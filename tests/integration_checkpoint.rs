@@ -69,3 +69,220 @@ fn edges_roundtrip_through_shared_filesystem_format() {
     std::fs::remove_dir_all(&dir).ok();
     assert_eq!(dataset.edges, back);
 }
+
+// ---------------------------------------------------------------------
+// Crash consistency: kill-point harness over checkpoint v2.
+// ---------------------------------------------------------------------
+
+use pbg::core::checkpoint::{CheckpointIo, TrainProgress};
+use pbg::core::error::{PbgError, Result as PbgResult};
+use pbg::core::model::TrainedEmbeddings;
+use pbg::graph::edges::{Edge, EdgeList};
+use pbg::graph::schema::GraphSchema;
+
+fn ring(n: u32) -> EdgeList {
+    (0..n).map(|i| Edge::new(i, 0u32, (i + 1) % n)).collect()
+}
+
+/// Two snapshots of the same model one epoch apart: same schema and
+/// shapes, different values — the worst case for mixed-state detection.
+fn two_snapshots() -> (TrainedEmbeddings, TrainedEmbeddings) {
+    let schema = GraphSchema::homogeneous(32, 2).unwrap();
+    let config = PbgConfig::builder()
+        .dim(8)
+        .batch_size(16)
+        .chunk_size(4)
+        .uniform_negatives(4)
+        .threads(1)
+        .epochs(2)
+        .build()
+        .unwrap();
+    let mut t = Trainer::new(schema, &ring(32), config).unwrap();
+    t.train_epoch();
+    let a = t.snapshot();
+    t.train_epoch();
+    let b = t.snapshot();
+    assert_ne!(
+        a.embeddings[0].as_slice(),
+        b.embeddings[0].as_slice(),
+        "snapshots must differ for the harness to mean anything"
+    );
+    (a, b)
+}
+
+/// A [`CheckpointIo`] that completes the first `survive` file operations
+/// atomically, then dies — leaving the in-flight file's temp sibling
+/// truncated at `partial` bytes, as a crash mid-`write` would.
+struct KillAfter {
+    survive: usize,
+    done: usize,
+    partial: Option<usize>,
+}
+
+impl CheckpointIo for KillAfter {
+    fn persist(&mut self, path: &std::path::Path, bytes: &[u8]) -> PbgResult<()> {
+        if self.done == self.survive {
+            if let Some(n) = self.partial {
+                let name = path.file_name().unwrap().to_str().unwrap();
+                let tmp = path.with_file_name(format!("{name}.tmp"));
+                std::fs::write(&tmp, &bytes[..n.min(bytes.len())]).unwrap();
+            }
+            return Err(PbgError::Checkpoint("injected crash".into()));
+        }
+        self.done += 1;
+        checkpoint::write_atomic(path, bytes)
+    }
+}
+
+fn assert_is_exactly(loaded: &TrainedEmbeddings, expect: &TrainedEmbeddings, ctx: &str) {
+    assert_eq!(loaded.dim, expect.dim, "{ctx}: dim");
+    assert_eq!(loaded.schema, expect.schema, "{ctx}: schema");
+    for (t, (l, e)) in loaded.embeddings.iter().zip(&expect.embeddings).enumerate() {
+        assert_eq!(
+            l.as_slice(),
+            e.as_slice(),
+            "{ctx}: embeddings_{t} mixed state"
+        );
+    }
+    assert_eq!(loaded.relations, expect.relations, "{ctx}: relations");
+}
+
+#[test]
+fn kill_point_at_every_file_operation_never_yields_mixed_state() {
+    let (snap_a, snap_b) = two_snapshots();
+    let prog_a = TrainProgress {
+        epochs_done: 1,
+        steps_done: 0,
+    };
+    let prog_b = TrainProgress {
+        epochs_done: 2,
+        steps_done: 0,
+    };
+    // several in-flight truncation offsets per kill point, including
+    // "temp never created" and "temp fully written but never renamed"
+    for partial in [None, Some(0), Some(7), Some(usize::MAX)] {
+        let mut kill = 0;
+        loop {
+            let dir = tmp(&format!("kill_{kill}_{partial:?}"));
+            std::fs::remove_dir_all(&dir).ok();
+            checkpoint::save_with_progress(&snap_a, &dir, prog_a).unwrap();
+            let mut io = KillAfter {
+                survive: kill,
+                done: 0,
+                partial,
+            };
+            let result = checkpoint::save_with_io(&snap_b, &dir, prog_b, &mut io);
+            match result {
+                Ok(()) => {
+                    // past the last operation: save completed, B is live
+                    let (loaded, m) = checkpoint::load_with_manifest(&dir).unwrap();
+                    assert_eq!(m.progress, prog_b);
+                    assert_is_exactly(&loaded, &snap_b, "completed save");
+                    std::fs::remove_dir_all(&dir).ok();
+                    break;
+                }
+                Err(_) => match checkpoint::load_with_manifest(&dir) {
+                    Ok((loaded, m)) => {
+                        // acceptable only if it is exactly checkpoint A
+                        assert_eq!(m.progress, prog_a, "kill {kill}: manifest not A's");
+                        assert_is_exactly(&loaded, &snap_a, &format!("kill {kill}"));
+                    }
+                    Err(PbgError::Checkpoint(_)) => {} // clean refusal
+                    Err(e) => panic!("kill {kill}: unexpected error kind {e:?}"),
+                },
+            }
+            std::fs::remove_dir_all(&dir).ok();
+            kill += 1;
+            assert!(kill < 64, "save never completed");
+        }
+    }
+}
+
+#[test]
+fn truncated_final_files_are_always_rejected() {
+    // belt-and-braces beyond rename atomicity: if a final file does end
+    // up short (lost dir entry, non-atomic filesystem), checksums must
+    // catch it at every offset
+    let (snap, _) = two_snapshots();
+    let dir = tmp("trunc_final");
+    std::fs::remove_dir_all(&dir).ok();
+    checkpoint::save(&snap, &dir).unwrap();
+    let manifest = checkpoint::read_manifest(&dir).unwrap();
+    let mut names: Vec<String> = manifest.files.iter().map(|f| f.name.clone()).collect();
+    names.push(checkpoint::MANIFEST_NAME.to_string());
+    for name in names {
+        let original = std::fs::read(dir.join(&name)).unwrap();
+        for cut in [0, 1, original.len() / 2, original.len() - 1] {
+            std::fs::write(dir.join(&name), &original[..cut]).unwrap();
+            match checkpoint::load(&dir) {
+                Err(PbgError::Checkpoint(_)) => {}
+                other => panic!("{name} truncated at {cut} not rejected: {other:?}"),
+            }
+        }
+        std::fs::write(dir.join(&name), &original).unwrap();
+    }
+    // restored in full: loads again
+    checkpoint::load(&dir).unwrap();
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn resumed_run_matches_uninterrupted_bucket_count() {
+    // acceptance: `--resume` restarted at a bucket boundary skips
+    // already-trained buckets and the combined run trains exactly the
+    // bucket count of an uninterrupted run
+    let schema = GraphSchema::homogeneous(48, 3).unwrap(); // 9 buckets/epoch
+    let edges = ring(48);
+    let config = PbgConfig::builder()
+        .dim(8)
+        .batch_size(16)
+        .chunk_size(4)
+        .uniform_negatives(4)
+        .threads(1)
+        .epochs(2)
+        .seed(5)
+        .build()
+        .unwrap();
+    let mut reference = Trainer::new(schema.clone(), &edges, config.clone()).unwrap();
+    let ref_buckets: usize = reference.train().iter().map(|s| s.buckets).sum();
+    assert_eq!(ref_buckets, 18);
+
+    let dir = tmp("resume_equiv");
+    std::fs::remove_dir_all(&dir).ok();
+    let mut interrupted = Trainer::new(schema.clone(), &edges, config.clone()).unwrap();
+    interrupted.set_checkpoint_policy(pbg::core::CheckpointPolicy {
+        dir: dir.clone(),
+        every_buckets: 4,
+    });
+    interrupted.inject_crash_after_buckets(14); // dies 5 buckets into epoch 2
+    let crashed_stats = interrupted.train();
+    assert!(interrupted.crashed());
+    let crashed_buckets: usize = crashed_stats.iter().map(|s| s.buckets).sum();
+    assert_eq!(crashed_buckets, 14);
+    let manifest = checkpoint::read_manifest(&dir).unwrap();
+    // last periodic save: 4 buckets into the in-progress second epoch
+    assert_eq!(manifest.progress.epochs_done, 1);
+    assert_eq!(manifest.progress.steps_done, 4);
+
+    let mut resumed = Trainer::resume(
+        schema,
+        &edges,
+        config,
+        pbg::core::trainer::Storage::InMemory,
+        pbg::telemetry::Registry::new(),
+        &dir,
+    )
+    .unwrap();
+    let resumed_stats = resumed.train();
+    assert_eq!(resumed_stats.len(), 1, "only the interrupted epoch remains");
+    // the resumed epoch skips the 4 checkpointed buckets and trains the
+    // other 5 — together exactly one uninterrupted epoch's bucket count
+    assert_eq!(resumed_stats[0].buckets, 5);
+    assert_eq!(
+        manifest.progress.steps_done + resumed_stats[0].buckets,
+        ref_buckets / 2,
+        "skipped + retrained must equal one full epoch"
+    );
+    assert_eq!(resumed.epochs_done(), 2);
+    std::fs::remove_dir_all(&dir).ok();
+}
