@@ -48,8 +48,15 @@ pub fn relation_batches(edges: &EdgeList, batch_size: usize) -> Vec<Batch> {
 
 /// Cuts a batch's indices into chunks of at most `chunk_size` for
 /// negative sampling.
+///
+/// # Panics
+///
+/// Panics if `chunk_size == 0`. A zero chunk size is a config error that
+/// [`crate::config::PbgConfig::validate`] rejects up front; silently
+/// clamping it here would hide the misconfiguration from the caller.
 pub fn chunks(batch: &Batch, chunk_size: usize) -> impl Iterator<Item = &[usize]> {
-    batch.indices.chunks(chunk_size.max(1))
+    assert!(chunk_size > 0, "chunks: chunk_size must be positive");
+    batch.indices.chunks(chunk_size)
 }
 
 #[cfg(test)]
@@ -111,5 +118,13 @@ mod tests {
     fn empty_edges_no_batches() {
         let edges = EdgeList::new();
         assert!(relation_batches(&edges, 4).is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "chunk_size must be positive")]
+    fn zero_chunk_size_panics_instead_of_clamping() {
+        let edges = mixed_edges();
+        let batches = relation_batches(&edges, 10);
+        let _ = chunks(&batches[0], 0);
     }
 }

@@ -405,6 +405,8 @@ mod tests {
             .chunk_size(20)
             .build()
             .is_err());
+        assert!(PbgConfig::builder().chunk_size(0).build().is_err());
+        assert!(PbgConfig::builder().batch_size(0).build().is_err());
         assert!(PbgConfig::builder().epochs(0).build().is_err());
         assert!(PbgConfig::builder().threads(0).build().is_err());
         assert!(PbgConfig::builder()

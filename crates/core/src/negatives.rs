@@ -124,6 +124,20 @@ mod tests {
     }
 
     #[test]
+    #[should_panic(expected = "mask: row mismatch")]
+    fn mask_rejects_row_mismatch() {
+        let mut scores = Matrix::zeros(2, 3);
+        mask_induced_positives(&mut scores, &[1u32, 2, 3], &[0u32, 1, 2]);
+    }
+
+    #[test]
+    #[should_panic(expected = "mask: col mismatch")]
+    fn mask_rejects_col_mismatch() {
+        let mut scores = Matrix::zeros(2, 3);
+        mask_induced_positives(&mut scores, &[1u32, 2], &[0u32, 1]);
+    }
+
+    #[test]
     fn gather_reads_rows() {
         let arr = HogwildArray::from_vec(3, 2, vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0]);
         let m = gather(&arr, &[2, 0]);

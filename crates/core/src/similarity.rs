@@ -3,8 +3,14 @@
 //! The batched form (`score_matrix`) is the heart of §4.3: all scores of a
 //! chunk's positives against its candidate negatives are computed as one
 //! `C × N` matrix product instead of `C · N` independent dot products.
+//!
+//! The training hot path goes through [`BatchScorer`], which packs the
+//! candidate side once (see [`pbg_tensor::kernels`]) and serves both the
+//! forward score matrix and the fused backward — scoring and both gradient
+//! products share one packing and one pass over the loss gradient.
 
 use crate::config::SimilarityKind;
+use pbg_tensor::kernels::ScoreGrad;
 use pbg_tensor::matrix::Matrix;
 use pbg_tensor::vecmath;
 
@@ -77,6 +83,10 @@ pub fn backward_pairs(
 /// Backward of [`score_matrix`]: `grad` is dL/dS (`a.rows × b.rows`);
 /// returns (dL/da, dL/db).
 ///
+/// Both similarity kinds route through the fused
+/// [`pbg_tensor::kernels::score_grads`] kernel, which computes `G·B` and
+/// `Gᵀ·A` in a single pass over `G`.
+///
 /// # Panics
 ///
 /// Panics if shapes are inconsistent.
@@ -86,40 +96,92 @@ pub fn backward_matrix(
     b: &Matrix,
     grad: &Matrix,
 ) -> (Matrix, Matrix) {
-    assert_eq!(grad.rows(), a.rows(), "backward_matrix: grad rows");
-    assert_eq!(grad.cols(), b.rows(), "backward_matrix: grad cols");
-    match sim {
-        SimilarityKind::Dot => {
-            // S = A Bᵀ: dA = G B, dB = Gᵀ A (computed without
-            // materializing Gᵀ — this runs once per training chunk)
-            let ga = grad.matmul(b);
-            let mut gb = Matrix::zeros(b.rows(), b.cols());
-            for i in 0..a.rows() {
-                let grow = grad.row(i);
-                let arow = a.row(i);
-                for (j, &gij) in grow.iter().enumerate() {
-                    if gij != 0.0 {
-                        vecmath::axpy(gij, arow, gb.row_mut(j));
-                    }
+    BatchScorer::new(sim, a, b).backward(grad)
+}
+
+/// The §4.3 hot-path object: packs the candidate side once and serves the
+/// forward score matrix plus the fused backward from the same packing.
+///
+/// One `BatchScorer` per (chunk, corruption side) replaces a
+/// [`score_matrix`] / [`backward_matrix`] pair, which would otherwise pack
+/// the candidates twice and make two passes over the loss gradient.
+#[derive(Debug, Clone)]
+pub struct BatchScorer {
+    sim: SimilarityKind,
+    /// Left side: `a` for dot, row-normalized `a` for cosine.
+    lhs: Matrix,
+    /// Packed right side: `b` for dot, row-normalized `b` for cosine.
+    fused: ScoreGrad,
+    /// Original row norms (cosine only; empty for dot).
+    a_norms: Vec<f32>,
+    b_norms: Vec<f32>,
+}
+
+impl BatchScorer {
+    /// Builds a scorer for `score(a_i, b_j)`; packs `b` (normalizing both
+    /// sides first under cosine).
+    ///
+    /// # Panics
+    ///
+    /// Panics if column counts differ.
+    pub fn new(sim: SimilarityKind, a: &Matrix, b: &Matrix) -> Self {
+        assert_eq!(a.cols(), b.cols(), "BatchScorer: col mismatch");
+        match sim {
+            SimilarityKind::Dot => BatchScorer {
+                sim,
+                lhs: a.clone(),
+                fused: ScoreGrad::new(b),
+                a_norms: Vec::new(),
+                b_norms: Vec::new(),
+            },
+            SimilarityKind::Cosine => {
+                let an = normalized(a);
+                let bn = normalized(b);
+                let a_norms = (0..a.rows()).map(|i| vecmath::norm(a.row(i))).collect();
+                let b_norms = (0..b.rows()).map(|j| vecmath::norm(b.row(j))).collect();
+                BatchScorer {
+                    sim,
+                    lhs: an,
+                    fused: ScoreGrad::new(&bn),
+                    a_norms,
+                    b_norms,
                 }
             }
-            (ga, gb)
         }
-        SimilarityKind::Cosine => {
-            let an = normalized(a);
-            let bn = normalized(b);
-            // W_i = Σ_j G_ij b̂_j; dA_i = (W_i - (W_i·â_i) â_i) / |a_i|
-            let w = grad.matmul(&bn);
-            let z = grad.transpose().matmul(&an);
-            let mut ga = Matrix::zeros(a.rows(), a.cols());
-            for i in 0..a.rows() {
-                tangent_project(w.row(i), an.row(i), vecmath::norm(a.row(i)), ga.row_mut(i));
+    }
+
+    /// Forward: the full `a.rows × b.rows` score matrix as one blocked
+    /// product against the packed candidates.
+    pub fn scores(&self) -> Matrix {
+        self.fused.scores(&self.lhs)
+    }
+
+    /// Backward: `grad` is dL/dS; returns (dL/da, dL/db), computed by the
+    /// fused kernel in one pass over `grad` with no re-packing.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `grad` is not `a.rows × b.rows`.
+    pub fn backward(&self, grad: &Matrix) -> (Matrix, Matrix) {
+        match self.sim {
+            SimilarityKind::Dot => self.fused.backward(&self.lhs, grad),
+            SimilarityKind::Cosine => {
+                // W_i = Σ_j G_ij b̂_j and Z_j = Σ_i G_ij â_i in one pass,
+                // then the tangent-space projections:
+                // dA_i = (W_i - (W_i·â_i) â_i) / |a_i|
+                let (w, z) = self.fused.backward(&self.lhs, grad);
+                let an = &self.lhs;
+                let bn = self.fused.candidates();
+                let mut ga = Matrix::zeros(an.rows(), an.cols());
+                for i in 0..an.rows() {
+                    tangent_project(w.row(i), an.row(i), self.a_norms[i], ga.row_mut(i));
+                }
+                let mut gb = Matrix::zeros(bn.rows(), bn.cols());
+                for j in 0..bn.rows() {
+                    tangent_project(z.row(j), bn.row(j), self.b_norms[j], gb.row_mut(j));
+                }
+                (ga, gb)
             }
-            let mut gb = Matrix::zeros(b.rows(), b.cols());
-            for j in 0..b.rows() {
-                tangent_project(z.row(j), bn.row(j), vecmath::norm(b.row(j)), gb.row_mut(j));
-            }
-            (ga, gb)
         }
     }
 }
@@ -300,6 +362,35 @@ mod tests {
                         "{sim:?} pair grad_b: fd={fd} an={an}"
                     );
                 }
+            }
+        }
+    }
+
+    #[test]
+    fn batch_scorer_matches_unfused_path() {
+        let mut rng = Xoshiro256::seed_from_u64(9);
+        for sim in [SimilarityKind::Dot, SimilarityKind::Cosine] {
+            let a = random_matrix(6, 12, &mut rng);
+            let b = random_matrix(9, 12, &mut rng);
+            let g = random_matrix(6, 9, &mut rng);
+            let scorer = BatchScorer::new(sim, &a, &b);
+            let s_fused = scorer.scores();
+            let s_plain = score_matrix(sim, &a, &b);
+            for i in 0..6 {
+                for j in 0..9 {
+                    assert!(
+                        (s_fused.row(i)[j] - s_plain.row(i)[j]).abs() < 1e-5,
+                        "{sim:?} score [{i}][{j}]"
+                    );
+                }
+            }
+            let (ga_f, gb_f) = scorer.backward(&g);
+            let (ga_p, gb_p) = backward_matrix(sim, &a, &b, &g);
+            for (x, y) in ga_f.as_slice().iter().zip(ga_p.as_slice()) {
+                assert!((x - y).abs() < 1e-5, "{sim:?} ga: {x} vs {y}");
+            }
+            for (x, y) in gb_f.as_slice().iter().zip(gb_p.as_slice()) {
+                assert!((x - y).abs() < 1e-5, "{sim:?} gb: {x} vs {y}");
             }
         }
     }

@@ -12,7 +12,7 @@ use crate::loss;
 use crate::model::RelationParams;
 use crate::negatives::{candidate_offsets, gather, mask_induced_positives};
 use crate::operator;
-use crate::similarity::{backward_matrix, backward_pairs, score_matrix, score_pairs};
+use crate::similarity::{backward_pairs, score_pairs, BatchScorer};
 use crate::storage::PartitionData;
 use pbg_tensor::matrix::Matrix;
 use pbg_tensor::rng::Xoshiro256;
@@ -225,7 +225,10 @@ pub fn train_chunk(
         let rows = gather(&ctx.dst_data.embeddings, &offsets);
         (offsets, rows)
     });
-    let mut neg_dst_scores = score_matrix(cfg.similarity, &t_src, &cand_dst);
+    // the fused §4.3 hot path: pack the candidates once, reuse the packing
+    // for the score matrix now and both gradient products in the backward
+    let dst_scorer = BatchScorer::new(cfg.similarity, &t_src, &cand_dst);
+    let mut neg_dst_scores = dst_scorer.scores();
     mask_induced_positives(&mut neg_dst_scores, dst_offsets, &cand_dst_offsets);
     let dst_loss = loss::compute(cfg.loss, cfg.margin, &pos_scores, &neg_dst_scores, weights);
     let mut total_loss = dst_loss.loss;
@@ -257,15 +260,15 @@ pub fn train_chunk(
             let inv_params = recip.snapshot();
             let t_dst = operator::apply(op, &inv_params, &dst);
             let pos2 = score_pairs(cfg.similarity, &t_dst, &src);
-            let mut neg_src_scores = score_matrix(cfg.similarity, &t_dst, &cand_src);
+            let src_scorer = BatchScorer::new(cfg.similarity, &t_dst, &cand_src);
+            let mut neg_src_scores = src_scorer.scores();
             mask_induced_positives(&mut neg_src_scores, src_offsets, &cand_src_offsets);
             let src_loss = loss::compute(cfg.loss, cfg.margin, &pos2, &neg_src_scores, weights);
             total_loss += src_loss.loss;
             // backward through the reciprocal path
             let (g_tdst_pos, g_src_pos) =
                 backward_pairs(cfg.similarity, &t_dst, &src, &src_loss.grad_pos);
-            let (g_tdst_neg, g_cand_src) =
-                backward_matrix(cfg.similarity, &t_dst, &cand_src, &src_loss.grad_neg);
+            let (g_tdst_neg, g_cand_src) = src_scorer.backward(&src_loss.grad_neg);
             let mut g_tdst = g_tdst_pos;
             g_tdst.add_scaled(1.0, &g_tdst_neg);
             let (g_dst_inv, g_inv_params) = operator::backward(op, &inv_params, &dst, &g_tdst);
@@ -284,7 +287,8 @@ pub fn train_chunk(
             // the destination side, so its gradient folds into
             // `grad_pos_shared`.
             let t_cand = operator::apply(op, &fwd_params, &cand_src);
-            let mut neg_src_scores = score_matrix(cfg.similarity, &dst, &t_cand);
+            let src_scorer = BatchScorer::new(cfg.similarity, &dst, &t_cand);
+            let mut neg_src_scores = src_scorer.scores();
             mask_induced_positives(&mut neg_src_scores, src_offsets, &cand_src_offsets);
             let src_loss =
                 loss::compute(cfg.loss, cfg.margin, &pos_scores, &neg_src_scores, weights);
@@ -292,8 +296,7 @@ pub fn train_chunk(
             for (gp, g) in grad_pos_shared.iter_mut().zip(&src_loss.grad_pos) {
                 *gp += *g;
             }
-            let (g_dst_neg, g_tcand) =
-                backward_matrix(cfg.similarity, &dst, &t_cand, &src_loss.grad_neg);
+            let (g_dst_neg, g_tcand) = src_scorer.backward(&src_loss.grad_neg);
             grad_dst_rows.add_scaled(1.0, &g_dst_neg);
             let (g_cand_src, g_params2) = operator::backward(op, &fwd_params, &cand_src, &g_tcand);
             for (gp, g) in grad_fwd_params.iter_mut().zip(&g_params2) {
@@ -309,8 +312,7 @@ pub fn train_chunk(
 
     // ---- backward through the shared positive pair and dst negatives ----
     let (g_tsrc_pos, g_dst_pos) = backward_pairs(cfg.similarity, &t_src, &dst, &grad_pos_shared);
-    let (g_tsrc_neg, g_cand_dst) =
-        backward_matrix(cfg.similarity, &t_src, &cand_dst, &dst_loss.grad_neg);
+    let (g_tsrc_neg, g_cand_dst) = dst_scorer.backward(&dst_loss.grad_neg);
     let mut g_tsrc = g_tsrc_pos;
     g_tsrc.add_scaled(1.0, &g_tsrc_neg);
     let (g_src, g_params1) = operator::backward(op, &fwd_params, &src, &g_tsrc);

@@ -1,0 +1,888 @@
+//! Cache-blocked, panel-packed, autovectorization-friendly matmul kernels.
+//!
+//! The paper's core performance claim (§4.3) is that batched negative
+//! sampling turns `B · B_n` independent dot products into one `C × (C+U)`
+//! matrix product. That only pays off if the matrix product itself keeps
+//! the hardware busy, so this module provides the real kernels behind
+//! [`crate::matrix::Matrix`]:
+//!
+//! - **Blocked `A·Bᵀ`** ([`matmul_nt`]): the score-matrix kernel. `B` is
+//!   packed once into `NR`-wide k-major panels, `A` into `MR`-wide panels
+//!   per row group, and an `MR × NR` register-tile microkernel walks both
+//!   packed panels with no bounds checks in the hot loop — a shape LLVM
+//!   autovectorizes to packed FMAs. No intrinsics, no dependencies.
+//! - **Blocked `A·B`** ([`matmul`]): k-unrolled row-accumulator form used
+//!   by gradient products and the RESCAL operator.
+//! - **Fused score+grad** ([`score_grads`]): given the loss gradient `G`
+//!   w.r.t. a score matrix `S = A·Bᵀ`, computes *both* gradient products
+//!   `dA = G·B` and `dB = Gᵀ·A` in a single pass over `G`, so `G` is read
+//!   once and `A`'s rows are hot in cache while they feed `dB`.
+//! - **Scoped-thread row split** ([`matmul_nt_packed_threaded`]): for large
+//!   shapes, output row groups are split across `std::thread::scope`
+//!   threads. Each `(i, j)` element is computed by exactly one thread in
+//!   exactly the same order as the serial kernel, so results are
+//!   bit-identical for every thread count.
+//! - **[`reference`]**: the naive triple-loop kernels, kept as the oracle
+//!   the differential test harness (`tests/kernel_diff.rs`) compares
+//!   against.
+//!
+//! All kernels take raw slices with explicit row strides (`ld*`, in
+//! elements, BLAS-style), so sub-matrices and padded layouts are testable;
+//! [`crate::matrix::Matrix`] calls them with `ld = cols`.
+
+// Stride-explicit BLAS-style signatures (m, n, k, a, lda, b, ldb, ...)
+// necessarily exceed clippy's argument-count lint.
+#![allow(clippy::too_many_arguments)]
+
+/// Rows of `A` per microkernel tile.
+pub const MR: usize = 4;
+/// Rows of `B` (columns of the output) per packed panel.
+pub const NR: usize = 8;
+/// Row-group size for the A-side cache block: one block of packed A
+/// (`MC × k` at the dimensions PBG uses) stays resident in L2 while every
+/// B panel streams past it.
+pub const MC: usize = 64;
+/// Flop threshold (`m·n·k`) above which [`auto_threads`] engages the
+/// scoped-thread row split. Training chunks (`C = 50`, `N ≈ 100`,
+/// `d ≈ 100` → 5·10⁵ flops) stay far below it, so HOGWILD threads never
+/// nest their own thread pools; evaluation- and benchmark-sized products
+/// (≥ ~16M flops) fan out.
+pub const THREAD_FLOP_THRESHOLD: usize = 1 << 24;
+
+// ---------------------------------------------------------------------------
+// Reference kernels (the differential-test oracle)
+// ---------------------------------------------------------------------------
+
+/// Naive triple-loop kernels, the oracle for the differential harness.
+///
+/// These are deliberately the simplest correct implementations: a single
+/// sequential accumulator per output element, no blocking, no packing, no
+/// unrolling. The blocked kernels reassociate the k-sum (8-lane
+/// accumulators, register tiles), so blocked and reference results agree
+/// to a few ULPs, not bit-for-bit — exactly what the ULP-aware comparator
+/// in `tests/kernel_diff.rs` checks.
+pub mod reference {
+    /// `out[m×n] = a[m×k] · b[k×n]`, all row-major with explicit strides.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any slice is too short for its shape/stride.
+    pub fn matmul(
+        m: usize,
+        n: usize,
+        k: usize,
+        a: &[f32],
+        lda: usize,
+        b: &[f32],
+        ldb: usize,
+        out: &mut [f32],
+        ldo: usize,
+    ) {
+        super::check_dims(m, k, a.len(), lda, "reference::matmul a");
+        super::check_dims(k, n, b.len(), ldb, "reference::matmul b");
+        super::check_dims(m, n, out.len(), ldo, "reference::matmul out");
+        for i in 0..m {
+            for j in 0..n {
+                let mut acc = 0.0f32;
+                for kk in 0..k {
+                    acc += a[i * lda + kk] * b[kk * ldb + j];
+                }
+                out[i * ldo + j] = acc;
+            }
+        }
+    }
+
+    /// `out[m×n] = a[m×k] · b[n×k]ᵀ`, all row-major with explicit strides.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any slice is too short for its shape/stride.
+    pub fn matmul_nt(
+        m: usize,
+        n: usize,
+        k: usize,
+        a: &[f32],
+        lda: usize,
+        b: &[f32],
+        ldb: usize,
+        out: &mut [f32],
+        ldo: usize,
+    ) {
+        super::check_dims(m, k, a.len(), lda, "reference::matmul_nt a");
+        super::check_dims(n, k, b.len(), ldb, "reference::matmul_nt b");
+        super::check_dims(m, n, out.len(), ldo, "reference::matmul_nt out");
+        for i in 0..m {
+            for j in 0..n {
+                let mut acc = 0.0f32;
+                for kk in 0..k {
+                    acc += a[i * lda + kk] * b[j * ldb + kk];
+                }
+                out[i * ldo + j] = acc;
+            }
+        }
+    }
+
+    /// `out[n×m] = a[m×n]ᵀ`, row-major with explicit strides.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any slice is too short for its shape/stride.
+    pub fn transpose(m: usize, n: usize, a: &[f32], lda: usize, out: &mut [f32], ldo: usize) {
+        super::check_dims(m, n, a.len(), lda, "reference::transpose a");
+        super::check_dims(n, m, out.len(), ldo, "reference::transpose out");
+        for i in 0..m {
+            for j in 0..n {
+                out[j * ldo + i] = a[i * lda + j];
+            }
+        }
+    }
+
+    /// Reference fused score-gradient: `ga = g·b`, `gb = gᵀ·a` where
+    /// `g` is `m×n`, `a` is `m×k`, `b` is `n×k` (see
+    /// [`super::score_grads`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if any slice is too short for its shape/stride.
+    #[allow(clippy::too_many_arguments)]
+    pub fn score_grads(
+        m: usize,
+        n: usize,
+        k: usize,
+        a: &[f32],
+        lda: usize,
+        b: &[f32],
+        ldb: usize,
+        g: &[f32],
+        ldg: usize,
+        ga: &mut [f32],
+        ldga: usize,
+        gb: &mut [f32],
+        ldgb: usize,
+    ) {
+        super::check_dims(m, k, a.len(), lda, "reference::score_grads a");
+        super::check_dims(n, k, b.len(), ldb, "reference::score_grads b");
+        super::check_dims(m, n, g.len(), ldg, "reference::score_grads g");
+        super::check_dims(m, k, ga.len(), ldga, "reference::score_grads ga");
+        super::check_dims(n, k, gb.len(), ldgb, "reference::score_grads gb");
+        // ga = g · b
+        matmul(m, k, n, g, ldg, b, ldb, ga, ldga);
+        // gb = gᵀ · a (sequential over i per output element)
+        for j in 0..n {
+            for kk in 0..k {
+                let mut acc = 0.0f32;
+                for i in 0..m {
+                    acc += g[i * ldg + j] * a[i * lda + kk];
+                }
+                gb[j * ldgb + kk] = acc;
+            }
+        }
+    }
+}
+
+/// Panics unless a `rows × cols` row-major view with stride `ld` fits in a
+/// slice of length `len`. Empty views (0 rows or cols) are always fine.
+fn check_dims(rows: usize, cols: usize, len: usize, ld: usize, what: &str) {
+    if rows == 0 || cols == 0 {
+        return;
+    }
+    assert!(ld >= cols, "{what}: stride {ld} < row length {cols}");
+    let needed = (rows - 1) * ld + cols;
+    assert!(
+        len >= needed,
+        "{what}: slice length {len} < required {needed} ({rows}x{cols}, stride {ld})"
+    );
+}
+
+// ---------------------------------------------------------------------------
+// Packing
+// ---------------------------------------------------------------------------
+
+/// `B` (`n × k`, row-major) repacked for the `A·Bᵀ` kernel: rows are
+/// grouped into panels of [`NR`], each panel stored k-major
+/// (`panel[kk * NR + j]` = `B[j0 + j][kk]`), zero-padded past `n`.
+///
+/// Packing is O(n·k) — one pass over `B` — and is what lets the
+/// microkernel load [`NR`] output columns' worth of `B` as one contiguous
+/// vector per k step. A packed matrix is reusable across any number of
+/// products against it, which is how the fused trainer path packs a
+/// chunk's candidate negatives exactly once.
+#[derive(Debug, Clone)]
+pub struct PackedNt {
+    n: usize,
+    k: usize,
+    panels: Vec<f32>,
+}
+
+impl PackedNt {
+    /// Packs `b` (`n × k`, stride `ldb`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `b` is too short for the shape/stride.
+    pub fn pack(n: usize, k: usize, b: &[f32], ldb: usize) -> Self {
+        check_dims(n, k, b.len(), ldb, "PackedNt::pack b");
+        if k == 0 {
+            return PackedNt {
+                n,
+                k,
+                panels: Vec::new(),
+            };
+        }
+        let n_panels = n.div_ceil(NR);
+        let mut panels = vec![0.0f32; n_panels * k * NR];
+        for p in 0..n_panels {
+            let j0 = p * NR;
+            let jn = NR.min(n - j0);
+            let panel = &mut panels[p * k * NR..(p + 1) * k * NR];
+            for jj in 0..jn {
+                let row = &b[(j0 + jj) * ldb..(j0 + jj) * ldb + k];
+                for (kk, &v) in row.iter().enumerate() {
+                    panel[kk * NR + jj] = v;
+                }
+            }
+        }
+        PackedNt { n, k, panels }
+    }
+
+    /// Number of packed rows of `B` (output columns).
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// Inner (k) dimension.
+    pub fn k(&self) -> usize {
+        self.k
+    }
+
+    fn panel(&self, p: usize) -> &[f32] {
+        &self.panels[p * self.k * NR..(p + 1) * self.k * NR]
+    }
+}
+
+/// Packs rows `[i0, i0+rows)` of `a` (stride `lda`, row length `k`) into an
+/// MR-interleaved panel: `dst[kk * MR + r] = a[(i0 + r), kk]`, zero-padded
+/// past `rows`.
+fn pack_a_group(a: &[f32], lda: usize, k: usize, i0: usize, rows: usize, dst: &mut [f32]) {
+    debug_assert!(rows <= MR && dst.len() == k * MR);
+    dst.iter_mut().for_each(|v| *v = 0.0);
+    for r in 0..rows {
+        let row = &a[(i0 + r) * lda..(i0 + r) * lda + k];
+        for (kk, &v) in row.iter().enumerate() {
+            dst[kk * MR + r] = v;
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Blocked A·Bᵀ (the negative-scoring kernel)
+// ---------------------------------------------------------------------------
+
+/// The `MR × NR` register-tile microkernel: `acc[r][j] += apanel ⊗ bpanel`
+/// over the full k extent. Both panels are contiguous and walked with
+/// `chunks_exact`, so the inner loop is bounds-check-free straight-line
+/// code over fixed-size arrays — the exact shape LLVM turns into packed
+/// FMAs.
+#[inline]
+fn micro_nt(k: usize, apanel: &[f32], bpanel: &[f32]) -> [[f32; NR]; MR] {
+    debug_assert!(apanel.len() >= k * MR && bpanel.len() >= k * NR);
+    let mut acc = [[0.0f32; NR]; MR];
+    for (ar, br) in apanel.chunks_exact(MR).take(k).zip(bpanel.chunks_exact(NR)) {
+        for r in 0..MR {
+            let av = ar[r];
+            for j in 0..NR {
+                acc[r][j] += av * br[j];
+            }
+        }
+    }
+    acc
+}
+
+/// `out[m×n] = a[m×k] · b[n×k]ᵀ` against a pre-packed `B`.
+///
+/// Blocking: `A` rows are processed in [`MC`]-row cache blocks; within a
+/// block each [`MR`]-row group is packed once and then swept against every
+/// `B` panel, so packed A stays in L1/L2 while `B` panels stream.
+///
+/// # Panics
+///
+/// Panics if `a`/`out` are too short or `packed.k() != k`.
+pub fn matmul_nt_packed(
+    m: usize,
+    k: usize,
+    a: &[f32],
+    lda: usize,
+    packed: &PackedNt,
+    out: &mut [f32],
+    ldo: usize,
+) {
+    assert_eq!(packed.k(), k, "matmul_nt_packed: k mismatch");
+    let n = packed.n();
+    check_dims(m, k, a.len(), lda, "matmul_nt_packed a");
+    check_dims(m, n, out.len(), ldo, "matmul_nt_packed out");
+    if m == 0 || n == 0 {
+        return;
+    }
+    if k == 0 {
+        for i in 0..m {
+            out[i * ldo..i * ldo + n].iter_mut().for_each(|v| *v = 0.0);
+        }
+        return;
+    }
+    let n_panels = n.div_ceil(NR);
+    let mut apanel = vec![0.0f32; k * MR];
+    let mut ic = 0;
+    while ic < m {
+        let mc = MC.min(m - ic);
+        let mut ig = 0;
+        while ig < mc {
+            let i0 = ic + ig;
+            let mr = MR.min(m - i0);
+            pack_a_group(a, lda, k, i0, mr, &mut apanel);
+            for p in 0..n_panels {
+                let acc = micro_nt(k, &apanel, packed.panel(p));
+                let j0 = p * NR;
+                let jn = NR.min(n - j0);
+                for (r, acc_row) in acc.iter().enumerate().take(mr) {
+                    let orow = &mut out[(i0 + r) * ldo + j0..(i0 + r) * ldo + j0 + jn];
+                    orow.copy_from_slice(&acc_row[..jn]);
+                }
+            }
+            ig += MR;
+        }
+        ic += MC;
+    }
+}
+
+/// `out[m×n] = a[m×k] · b[n×k]ᵀ` — packs `b` and runs the blocked kernel.
+///
+/// # Panics
+///
+/// Panics if any slice is too short for its shape/stride.
+pub fn matmul_nt(
+    m: usize,
+    n: usize,
+    k: usize,
+    a: &[f32],
+    lda: usize,
+    b: &[f32],
+    ldb: usize,
+    out: &mut [f32],
+    ldo: usize,
+) {
+    let packed = PackedNt::pack(n, k, b, ldb);
+    matmul_nt_packed(m, k, a, lda, &packed, out, ldo);
+}
+
+/// Threads the serial kernel would use for an `m×n×k` product: 1 below
+/// [`THREAD_FLOP_THRESHOLD`], otherwise up to `available_parallelism`,
+/// capped so each thread gets at least one [`MC`] row block.
+pub fn auto_threads(m: usize, n: usize, k: usize) -> usize {
+    let flops = m.saturating_mul(n).saturating_mul(k);
+    if flops < THREAD_FLOP_THRESHOLD {
+        return 1;
+    }
+    let cores = std::thread::available_parallelism().map_or(1, |c| c.get());
+    cores.min(m.div_ceil(MC)).max(1)
+}
+
+/// [`matmul_nt_packed`] with output rows split across `threads` scoped
+/// threads (contiguous output only: `ldo == n`).
+///
+/// Each thread runs the identical serial kernel on a disjoint row range,
+/// so the result is bit-identical to the single-threaded kernel for every
+/// thread count — verified by `tests/kernel_diff.rs`.
+///
+/// # Panics
+///
+/// Panics if `threads == 0`, `ldo != packed.n()`, or slices are too short.
+pub fn matmul_nt_packed_threaded(
+    m: usize,
+    k: usize,
+    a: &[f32],
+    lda: usize,
+    packed: &PackedNt,
+    out: &mut [f32],
+    ldo: usize,
+    threads: usize,
+) {
+    assert!(threads > 0, "matmul_nt_packed_threaded: zero threads");
+    let n = packed.n();
+    assert_eq!(
+        ldo, n,
+        "matmul_nt_packed_threaded: threaded split needs contiguous output"
+    );
+    let threads = threads.min(m.div_ceil(MC)).max(1);
+    if threads == 1 {
+        matmul_nt_packed(m, k, a, lda, packed, out, ldo);
+        return;
+    }
+    check_dims(m, k, a.len(), lda, "matmul_nt_packed_threaded a");
+    check_dims(m, n, out.len(), ldo, "matmul_nt_packed_threaded out");
+    // Split output rows into `threads` runs of whole MC blocks.
+    let blocks = m.div_ceil(MC);
+    let per = blocks.div_ceil(threads);
+    std::thread::scope(|scope| {
+        let mut rest = &mut out[..m * n];
+        let mut row0 = 0usize;
+        while row0 < m {
+            let rows = (per * MC).min(m - row0);
+            let (mine, tail) = rest.split_at_mut(rows * n);
+            rest = tail;
+            let i0 = row0;
+            scope.spawn(move || {
+                matmul_nt_packed(rows, k, &a[i0 * lda..], lda, packed, mine, n);
+            });
+            row0 += rows;
+        }
+    });
+}
+
+/// `out = a · bᵀ` choosing the thread split via [`auto_threads`]
+/// (serial for training-chunk shapes, row-split for eval/bench shapes).
+///
+/// # Panics
+///
+/// Panics if any slice is too short for its shape/stride.
+pub fn matmul_nt_auto(
+    m: usize,
+    n: usize,
+    k: usize,
+    a: &[f32],
+    lda: usize,
+    b: &[f32],
+    ldb: usize,
+    out: &mut [f32],
+    ldo: usize,
+) {
+    let threads = if ldo == n { auto_threads(m, n, k) } else { 1 };
+    let packed = PackedNt::pack(n, k, b, ldb);
+    if threads > 1 {
+        matmul_nt_packed_threaded(m, k, a, lda, &packed, out, ldo, threads);
+    } else {
+        matmul_nt_packed(m, k, a, lda, &packed, out, ldo);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Blocked A·B
+// ---------------------------------------------------------------------------
+
+/// `out[m×n] = a[m×k] · b[k×n]`, k-unrolled row-accumulator form.
+///
+/// For each output row, four k-steps are fused per pass so each `out[j]`
+/// is loaded/stored once per four multiply-adds; the inner loop runs over
+/// four contiguous `B` rows and one contiguous output row, which LLVM
+/// vectorizes across `j`.
+///
+/// # Panics
+///
+/// Panics if any slice is too short for its shape/stride.
+pub fn matmul(
+    m: usize,
+    n: usize,
+    k: usize,
+    a: &[f32],
+    lda: usize,
+    b: &[f32],
+    ldb: usize,
+    out: &mut [f32],
+    ldo: usize,
+) {
+    check_dims(m, k, a.len(), lda, "matmul a");
+    check_dims(k, n, b.len(), ldb, "matmul b");
+    check_dims(m, n, out.len(), ldo, "matmul out");
+    if m == 0 || n == 0 {
+        return;
+    }
+    let k4 = k - k % 4;
+    for i in 0..m {
+        let arow = &a[i * lda..i * lda + k];
+        let orow = &mut out[i * ldo..i * ldo + n];
+        orow.iter_mut().for_each(|v| *v = 0.0);
+        let mut kk = 0;
+        while kk < k4 {
+            let (a0, a1, a2, a3) = (arow[kk], arow[kk + 1], arow[kk + 2], arow[kk + 3]);
+            let b0 = &b[kk * ldb..kk * ldb + n];
+            let b1 = &b[(kk + 1) * ldb..(kk + 1) * ldb + n];
+            let b2 = &b[(kk + 2) * ldb..(kk + 2) * ldb + n];
+            let b3 = &b[(kk + 3) * ldb..(kk + 3) * ldb + n];
+            for (j, o) in orow.iter_mut().enumerate() {
+                *o += a0 * b0[j] + a1 * b1[j] + a2 * b2[j] + a3 * b3[j];
+            }
+            kk += 4;
+        }
+        for kk in k4..k {
+            let av = arow[kk];
+            if av == 0.0 {
+                continue;
+            }
+            let brow = &b[kk * ldb..kk * ldb + n];
+            for (o, &bv) in orow.iter_mut().zip(brow) {
+                *o += av * bv;
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Blocked transpose
+// ---------------------------------------------------------------------------
+
+/// Tile edge for the blocked transpose.
+const TR: usize = 8;
+
+/// `out[n×m] = a[m×n]ᵀ` in `TR × TR` tiles, so both the source rows and
+/// the destination rows are touched a cache line at a time instead of one
+/// column stride per element.
+///
+/// # Panics
+///
+/// Panics if any slice is too short for its shape/stride.
+pub fn transpose(m: usize, n: usize, a: &[f32], lda: usize, out: &mut [f32], ldo: usize) {
+    check_dims(m, n, a.len(), lda, "transpose a");
+    check_dims(n, m, out.len(), ldo, "transpose out");
+    let mut i0 = 0;
+    while i0 < m {
+        let im = TR.min(m - i0);
+        let mut j0 = 0;
+        while j0 < n {
+            let jn = TR.min(n - j0);
+            for di in 0..im {
+                let arow = &a[(i0 + di) * lda + j0..(i0 + di) * lda + j0 + jn];
+                for (dj, &v) in arow.iter().enumerate() {
+                    out[(j0 + dj) * ldo + (i0 + di)] = v;
+                }
+            }
+            j0 += TR;
+        }
+        i0 += TR;
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Fused score + gradient path
+// ---------------------------------------------------------------------------
+
+/// Backward of a score product `S = A·Bᵀ` in one pass: given `g = dL/dS`
+/// (`m×n`), computes `ga = g·b` (`m×k`) and `gb = gᵀ·a` (`n×k`) together.
+///
+/// The fusion win: each row of `g` is loaded exactly once and feeds both
+/// products, and `a`'s row `i` is still hot in cache when it is scattered
+/// into `gb`. Rows of `g` that are entirely zero (fully satisfied margins,
+/// fully masked candidates) are skipped.
+///
+/// `ga`/`gb` are overwritten.
+///
+/// # Panics
+///
+/// Panics if any slice is too short for its shape/stride.
+#[allow(clippy::too_many_arguments)]
+pub fn score_grads(
+    m: usize,
+    n: usize,
+    k: usize,
+    a: &[f32],
+    lda: usize,
+    b: &[f32],
+    ldb: usize,
+    g: &[f32],
+    ldg: usize,
+    ga: &mut [f32],
+    ldga: usize,
+    gb: &mut [f32],
+    ldgb: usize,
+) {
+    check_dims(m, k, a.len(), lda, "score_grads a");
+    check_dims(n, k, b.len(), ldb, "score_grads b");
+    check_dims(m, n, g.len(), ldg, "score_grads g");
+    check_dims(m, k, ga.len(), ldga, "score_grads ga");
+    check_dims(n, k, gb.len(), ldgb, "score_grads gb");
+    for j in 0..n {
+        gb[j * ldgb..j * ldgb + k].iter_mut().for_each(|v| *v = 0.0);
+    }
+    for i in 0..m {
+        let grow = &g[i * ldg..i * ldg + n];
+        let garow = &mut ga[i * ldga..i * ldga + k];
+        garow.iter_mut().for_each(|v| *v = 0.0);
+        let arow = &a[i * lda..i * lda + k];
+        for (j, &gij) in grow.iter().enumerate() {
+            if gij == 0.0 {
+                continue;
+            }
+            // ga[i] += g[i][j] * b[j]  and  gb[j] += g[i][j] * a[i]:
+            // two contiguous axpys sharing the scalar — both vectorize.
+            let brow = &b[j * ldb..j * ldb + k];
+            for (o, &bv) in garow.iter_mut().zip(brow) {
+                *o += gij * bv;
+            }
+            let gbrow = &mut gb[j * ldgb..j * ldgb + k];
+            for (o, &av) in gbrow.iter_mut().zip(arow) {
+                *o += gij * av;
+            }
+        }
+    }
+}
+
+/// A scoring context that packs the candidate side once and serves both
+/// the forward score matrix and the fused backward — the §4.3 hot path as
+/// one object.
+///
+/// ```
+/// use pbg_tensor::kernels::ScoreGrad;
+/// use pbg_tensor::matrix::Matrix;
+///
+/// let pos = Matrix::from_rows(&[&[1.0, 0.0], &[0.0, 1.0]]); // C × d
+/// let cand = Matrix::from_rows(&[&[1.0, 1.0], &[2.0, 0.0], &[0.0, 3.0]]);
+/// let fused = ScoreGrad::new(&cand);
+/// let scores = fused.scores(&pos); // C × N, one blocked product
+/// assert_eq!(scores.row(0), &[1.0, 2.0, 0.0]);
+/// let grad = Matrix::from_rows(&[&[1.0, 0.0, 0.0], &[0.0, 0.0, 1.0]]);
+/// let (d_pos, d_cand) = fused.backward(&pos, &grad);
+/// assert_eq!(d_pos.row(0), &[1.0, 1.0]);
+/// assert_eq!(d_cand.row(2), &[0.0, 1.0]);
+/// ```
+#[derive(Debug, Clone)]
+pub struct ScoreGrad {
+    packed: PackedNt,
+    cand: crate::matrix::Matrix,
+}
+
+impl ScoreGrad {
+    /// Packs the candidate matrix (`N × d`) once.
+    pub fn new(candidates: &crate::matrix::Matrix) -> Self {
+        ScoreGrad {
+            packed: PackedNt::pack(
+                candidates.rows(),
+                candidates.cols(),
+                candidates.as_slice(),
+                candidates.cols().max(1),
+            ),
+            cand: candidates.clone(),
+        }
+    }
+
+    /// The candidate matrix this context was built from.
+    pub fn candidates(&self) -> &crate::matrix::Matrix {
+        &self.cand
+    }
+
+    /// Forward: `S = pos · candᵀ` (`C × N`) via the blocked packed kernel.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pos.cols() != candidates.cols()`.
+    pub fn scores(&self, pos: &crate::matrix::Matrix) -> crate::matrix::Matrix {
+        assert_eq!(
+            pos.cols(),
+            self.packed.k(),
+            "ScoreGrad::scores: dim mismatch"
+        );
+        let m = pos.rows();
+        let n = self.packed.n();
+        let mut out = crate::matrix::Matrix::zeros(m, n);
+        matmul_nt_packed(
+            m,
+            self.packed.k(),
+            pos.as_slice(),
+            pos.cols().max(1),
+            &self.packed,
+            out.as_mut_slice(),
+            n.max(1),
+        );
+        out
+    }
+
+    /// Fused backward: given `grad = dL/dS`, returns
+    /// `(dL/d pos, dL/d cand)` computed in one pass over `grad`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if shapes are inconsistent.
+    pub fn backward(
+        &self,
+        pos: &crate::matrix::Matrix,
+        grad: &crate::matrix::Matrix,
+    ) -> (crate::matrix::Matrix, crate::matrix::Matrix) {
+        let (m, n, k) = (pos.rows(), self.cand.rows(), self.cand.cols());
+        assert_eq!(pos.cols(), k, "ScoreGrad::backward: dim mismatch");
+        assert_eq!(grad.rows(), m, "ScoreGrad::backward: grad rows");
+        assert_eq!(grad.cols(), n, "ScoreGrad::backward: grad cols");
+        let mut ga = crate::matrix::Matrix::zeros(m, k);
+        let mut gb = crate::matrix::Matrix::zeros(n, k);
+        score_grads(
+            m,
+            n,
+            k,
+            pos.as_slice(),
+            k.max(1),
+            self.cand.as_slice(),
+            k.max(1),
+            grad.as_slice(),
+            n.max(1),
+            ga.as_mut_slice(),
+            k.max(1),
+            gb.as_mut_slice(),
+            k.max(1),
+        );
+        (ga, gb)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::matrix::Matrix;
+    use crate::rng::Xoshiro256;
+
+    fn random(rows: usize, cols: usize, seed: u64) -> Vec<f32> {
+        let mut rng = Xoshiro256::seed_from_u64(seed);
+        (0..rows * cols).map(|_| rng.gen_normal()).collect()
+    }
+
+    fn close(a: &[f32], b: &[f32], tol: f32) {
+        assert_eq!(a.len(), b.len());
+        for (i, (x, y)) in a.iter().zip(b).enumerate() {
+            assert!((x - y).abs() <= tol * (1.0 + x.abs()), "[{i}]: {x} vs {y}");
+        }
+    }
+
+    #[test]
+    fn blocked_nt_matches_reference_odd_shapes() {
+        for &(m, n, k) in &[
+            (1, 1, 1),
+            (3, 5, 7),
+            (17, 9, 33),
+            (50, 100, 64),
+            (65, 13, 12),
+        ] {
+            let a = random(m, k, 1);
+            let b = random(n, k, 2);
+            let mut got = vec![0.0; m * n];
+            let mut want = vec![0.0; m * n];
+            matmul_nt(m, n, k, &a, k, &b, k, &mut got, n);
+            reference::matmul_nt(m, n, k, &a, k, &b, k, &mut want, n);
+            close(&got, &want, 1e-5);
+        }
+    }
+
+    #[test]
+    fn blocked_nn_matches_reference() {
+        for &(m, n, k) in &[(2, 3, 4), (13, 17, 19), (50, 100, 100)] {
+            let a = random(m, k, 3);
+            let b = random(k, n, 4);
+            let mut got = vec![0.0; m * n];
+            let mut want = vec![0.0; m * n];
+            matmul(m, n, k, &a, k, &b, n, &mut got, n);
+            reference::matmul(m, n, k, &a, k, &b, n, &mut want, n);
+            close(&got, &want, 1e-5);
+        }
+    }
+
+    #[test]
+    fn strided_views_work() {
+        // 3x4 views embedded in wider buffers
+        let (m, n, k) = (3, 4, 5);
+        let (lda, ldb, ldo) = (9, 7, 6);
+        let a = random(m, lda, 5);
+        let b = random(n, ldb, 6);
+        let mut got = vec![f32::NAN; m * ldo];
+        let mut want = vec![f32::NAN; m * ldo];
+        matmul_nt(m, n, k, &a, lda, &b, ldb, &mut got, ldo);
+        reference::matmul_nt(m, n, k, &a, lda, &b, ldb, &mut want, ldo);
+        for i in 0..m {
+            close(
+                &got[i * ldo..i * ldo + n],
+                &want[i * ldo..i * ldo + n],
+                1e-5,
+            );
+            // padding untouched
+            assert!(got[i * ldo + n..i * ldo + ldo].iter().all(|v| v.is_nan()));
+        }
+    }
+
+    #[test]
+    fn threaded_split_is_bit_identical() {
+        let (m, n, k) = (200, 37, 29);
+        let a = random(m, k, 7);
+        let b = random(n, k, 8);
+        let packed = PackedNt::pack(n, k, &b, k);
+        let mut serial = vec![0.0; m * n];
+        matmul_nt_packed(m, k, &a, k, &packed, &mut serial, n);
+        for threads in [2, 3, 5] {
+            let mut par = vec![0.0; m * n];
+            matmul_nt_packed_threaded(m, k, &a, k, &packed, &mut par, n, threads);
+            assert!(
+                serial
+                    .iter()
+                    .zip(&par)
+                    .all(|(x, y)| x.to_bits() == y.to_bits()),
+                "threads={threads} not bit-identical"
+            );
+        }
+    }
+
+    #[test]
+    fn fused_grads_match_reference() {
+        let (m, n, k) = (11, 23, 15);
+        let a = random(m, k, 9);
+        let b = random(n, k, 10);
+        let g = random(m, n, 11);
+        let (mut ga, mut gb) = (vec![0.0; m * k], vec![0.0; n * k]);
+        let (mut rga, mut rgb) = (vec![0.0; m * k], vec![0.0; n * k]);
+        score_grads(m, n, k, &a, k, &b, k, &g, n, &mut ga, k, &mut gb, k);
+        reference::score_grads(m, n, k, &a, k, &b, k, &g, n, &mut rga, k, &mut rgb, k);
+        close(&ga, &rga, 1e-4);
+        close(&gb, &rgb, 1e-4);
+    }
+
+    #[test]
+    fn score_grad_object_roundtrip() {
+        let mut cand = Matrix::zeros(13, 6);
+        let vals = random(13, 6, 12);
+        cand.as_mut_slice().copy_from_slice(&vals);
+        let mut pos = Matrix::zeros(5, 6);
+        pos.as_mut_slice().copy_from_slice(&random(5, 6, 13));
+        let fused = ScoreGrad::new(&cand);
+        let s = fused.scores(&pos);
+        let want = pos.matmul_nt(&cand);
+        close(s.as_slice(), want.as_slice(), 1e-5);
+    }
+
+    #[test]
+    fn empty_shapes_are_fine() {
+        let mut out = vec![0.0; 0];
+        matmul_nt(0, 0, 0, &[], 1, &[], 1, &mut out, 1);
+        matmul(0, 5, 3, &[], 3, &[0.0; 15], 5, &mut out, 5);
+        let mut o2 = vec![1.0f32; 4];
+        // k == 0: product of (2x0)·(2x0)ᵀ is a zero 2x2
+        matmul_nt(2, 2, 0, &[], 1, &[], 1, &mut o2, 2);
+        assert_eq!(o2, [0.0; 4]);
+    }
+
+    #[test]
+    fn transpose_blocked_matches_reference() {
+        let (m, n) = (13, 21);
+        let a = random(m, n, 14);
+        let mut got = vec![0.0; n * m];
+        let mut want = vec![0.0; n * m];
+        transpose(m, n, &a, n, &mut got, m);
+        reference::transpose(m, n, &a, n, &mut want, m);
+        assert_eq!(got, want);
+    }
+
+    #[test]
+    #[should_panic(expected = "slice length")]
+    fn short_slice_panics() {
+        let mut out = vec![0.0; 4];
+        matmul_nt(2, 2, 3, &[0.0; 5], 3, &[0.0; 6], 3, &mut out, 2);
+    }
+
+    #[test]
+    fn auto_threads_stays_serial_for_training_chunks() {
+        // paper-default chunk geometry: C=50, N=100, d=100
+        assert_eq!(auto_threads(50, 100, 100), 1);
+        // a large eval-sized product may fan out (>= 1 either way)
+        assert!(auto_threads(4096, 4096, 400) >= 1);
+    }
+}

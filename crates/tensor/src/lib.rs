@@ -6,6 +6,11 @@
 //! - [`vecmath`]: vector kernels (dot, cosine, axpy, norms).
 //! - [`matrix`]: a row-major f32 [`matrix::Matrix`] with the batched
 //!   matrix products used by batched negative sampling (§4.3 of the paper).
+//! - [`kernels`]: the cache-blocked, panel-packed matmul kernels behind
+//!   [`matrix::Matrix`], a fused score+gradient path
+//!   ([`kernels::ScoreGrad`]), an optional scoped-thread row split for
+//!   large shapes, and the naive [`kernels::reference`] oracle the
+//!   differential test harness diffs against.
 //! - [`complex`]: complex Hadamard products for the ComplEx operator.
 //! - [`hogwild`]: [`hogwild::HogwildArray`], a lock-free shared f32 store
 //!   backed by `AtomicU32` with relaxed ordering — the sound Rust
@@ -32,6 +37,7 @@ pub mod adagrad;
 pub mod alias;
 pub mod complex;
 pub mod hogwild;
+pub mod kernels;
 pub mod matrix;
 pub mod rng;
 pub mod vecmath;

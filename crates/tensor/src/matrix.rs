@@ -2,8 +2,11 @@
 //!
 //! PBG's batched negative sampling (§4.3) computes all chunk-vs-chunk edge
 //! scores as one `B × B_n` matrix product; the linear (RESCAL) relation
-//! operator is also a matmul. This module provides exactly those kernels.
+//! operator is also a matmul. The products delegate to the cache-blocked,
+//! panel-packed kernels in [`crate::kernels`]; the naive loops live on as
+//! [`crate::kernels::reference`], the differential-test oracle.
 
+use crate::kernels;
 use crate::vecmath;
 
 /// A dense row-major matrix of `f32`.
@@ -127,8 +130,8 @@ impl Matrix {
 
     /// Standard product `self * other` (`m×k · k×n = m×n`).
     ///
-    /// Implemented as an ikj loop so the inner loop streams over contiguous
-    /// rows of `other`.
+    /// Delegates to the k-unrolled blocked kernel
+    /// ([`crate::kernels::matmul`]).
     ///
     /// # Panics
     ///
@@ -140,16 +143,17 @@ impl Matrix {
             self.rows, self.cols, other.rows, other.cols
         );
         let mut out = Matrix::zeros(self.rows, other.cols);
-        for i in 0..self.rows {
-            let arow = self.row(i);
-            let orow = out.row_mut(i);
-            for (k, &aik) in arow.iter().enumerate() {
-                if aik == 0.0 {
-                    continue;
-                }
-                vecmath::axpy(aik, other.row(k), orow);
-            }
-        }
+        kernels::matmul(
+            self.rows,
+            other.cols,
+            self.cols,
+            &self.data,
+            self.cols.max(1),
+            &other.data,
+            other.cols.max(1),
+            &mut out.data,
+            other.cols.max(1),
+        );
         out
     }
 
@@ -158,7 +162,9 @@ impl Matrix {
     ///
     /// This is the score-matrix kernel of batched negative sampling: rows of
     /// `self` are transformed positives, rows of `other` are candidate
-    /// negatives, and entry `(i, j)` is their dot product.
+    /// negatives, and entry `(i, j)` is their dot product. Delegates to the
+    /// blocked panel-packed kernel ([`crate::kernels::matmul_nt_auto`]),
+    /// which engages the scoped-thread row split for large shapes.
     ///
     /// # Panics
     ///
@@ -170,12 +176,17 @@ impl Matrix {
             self.rows, self.cols, other.rows, other.cols
         );
         let mut out = Matrix::zeros(self.rows, other.rows);
-        for i in 0..self.rows {
-            let arow = self.row(i);
-            for j in 0..other.rows {
-                out.data[i * other.rows + j] = vecmath::dot(arow, other.row(j));
-            }
-        }
+        kernels::matmul_nt_auto(
+            self.rows,
+            other.rows,
+            self.cols,
+            &self.data,
+            self.cols.max(1),
+            &other.data,
+            other.cols.max(1),
+            &mut out.data,
+            other.rows.max(1),
+        );
         out
     }
 
@@ -190,14 +201,17 @@ impl Matrix {
         vecmath::axpy(alpha, &other.data, &mut self.data);
     }
 
-    /// Returns the transpose as a new matrix.
+    /// Returns the transpose as a new matrix (tile-blocked copy).
     pub fn transpose(&self) -> Matrix {
         let mut out = Matrix::zeros(self.cols, self.rows);
-        for i in 0..self.rows {
-            for j in 0..self.cols {
-                out.data[j * self.rows + i] = self.data[i * self.cols + j];
-            }
-        }
+        kernels::transpose(
+            self.rows,
+            self.cols,
+            &self.data,
+            self.cols.max(1),
+            &mut out.data,
+            self.rows.max(1),
+        );
         out
     }
 
