@@ -432,8 +432,10 @@ impl std::fmt::Debug for Trainer {
 
 /// Bucket-order rng for one epoch, derived (not threaded): epoch `k`'s
 /// schedule is reproducible in isolation, which is what lets a resumed
-/// run replay an interrupted epoch's order.
-fn epoch_rng(seed: u64, epoch: usize) -> Xoshiro256 {
+/// run replay an interrupted epoch's order — and what lets a networked
+/// trainer rank (`pbg-net`) reconstruct the exact single-machine
+/// schedule without sharing rng state.
+pub fn epoch_rng(seed: u64, epoch: usize) -> Xoshiro256 {
     Xoshiro256::seed_from_u64(
         seed ^ 0xB0C4_E77E ^ (epoch as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15),
     )

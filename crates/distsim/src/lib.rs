@@ -26,6 +26,9 @@
 //! - [`event`]: discrete-event projection of paper-scale training time.
 //! - [`occupancy`]: analytical occupancy (how many machines can actually
 //!   work, given P and M).
+//! - [`service`]: transport-neutral traits over the three servers, so the
+//!   real TCP runtime (`pbg-net`) and this simulation share one logic
+//!   core.
 
 pub mod cluster;
 pub mod event;
@@ -35,11 +38,13 @@ pub mod netmodel;
 pub mod occupancy;
 pub mod paramserver;
 pub mod partitionserver;
+pub mod service;
 
 pub use cluster::{ClusterConfig, ClusterTrainer};
 pub use event::{EventSimConfig, EventSimReport};
 pub use fault::{CrashFault, FaultPlan};
-pub use lockserver::LockServer;
+pub use lockserver::{EpochLock, LockServer};
 pub use netmodel::NetworkModel;
 pub use paramserver::ParameterServer;
 pub use partitionserver::PartitionServer;
+pub use service::{LockService, ParamService, PartitionService, ServiceError};

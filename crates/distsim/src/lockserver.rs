@@ -260,6 +260,111 @@ impl LockServer {
     }
 }
 
+#[derive(Debug)]
+struct EpochState {
+    /// Current epoch being granted, 1-based (0 until the first epoch
+    /// starts, which only happens when `total_epochs == 0`).
+    epoch: usize,
+    total_epochs: usize,
+    src_parts: u32,
+    dst_parts: u32,
+}
+
+/// A [`LockServer`] that also sequences epochs, so independent trainer
+/// processes need no out-of-band barrier: whichever rank drains the last
+/// bucket of an epoch rolls the server over to the next one, and every
+/// grant is labeled with the epoch it belongs to (ranks need the epoch to
+/// derive deterministic shuffle seeds).
+///
+/// In the in-process simulation the cluster driver calls
+/// [`LockServer::start_epoch`] itself between epochs; over the network
+/// there is no such coordinator, so the lock *server* owns the epoch
+/// counter.
+#[derive(Debug)]
+pub struct EpochLock {
+    inner: LockServer,
+    state: Mutex<EpochState>,
+}
+
+impl EpochLock {
+    /// Wraps `inner`, scheduling `total_epochs` epochs over the
+    /// `src_parts × dst_parts` grid. Starts the first epoch immediately
+    /// (unless `total_epochs == 0`, in which case every acquire reports
+    /// `Done`).
+    pub fn new(inner: LockServer, total_epochs: usize, src_parts: u32, dst_parts: u32) -> Self {
+        let epoch = if total_epochs > 0 {
+            inner.start_epoch(src_parts, dst_parts);
+            1
+        } else {
+            0
+        };
+        EpochLock {
+            inner,
+            state: Mutex::new(EpochState {
+                epoch,
+                total_epochs,
+                src_parts,
+                dst_parts,
+            }),
+        }
+    }
+
+    /// Requests a bucket, returning the epoch the result belongs to.
+    ///
+    /// Epoch labeling is race-free for grants: the epoch cannot advance
+    /// while any lease is active (advance requires the inner server to
+    /// report `Done`, which requires an empty active set), so reading the
+    /// counter after a `Granted` result always observes the epoch the
+    /// grant was made in. `Done` means all epochs are finished.
+    pub fn acquire(&self, machine: usize, prev: Option<BucketId>) -> (usize, Acquire) {
+        loop {
+            match self.inner.acquire(machine, prev) {
+                result @ (Acquire::Granted(_) | Acquire::Wait) => {
+                    return (self.state.lock().epoch, result);
+                }
+                Acquire::Done => {
+                    let mut st = self.state.lock();
+                    if st.epoch >= st.total_epochs {
+                        return (st.epoch, Acquire::Done);
+                    }
+                    // Double-check under the state lock: another rank may
+                    // have rolled the epoch over between our two calls,
+                    // in which case the fresh epoch has pending buckets.
+                    match self.inner.acquire(machine, prev) {
+                        Acquire::Done => {
+                            st.epoch += 1;
+                            self.inner.start_epoch(st.src_parts, st.dst_parts);
+                            // loop: acquire from the fresh epoch
+                        }
+                        result => return (st.epoch, result),
+                    }
+                }
+            }
+        }
+    }
+
+    /// See [`LockServer::release_bucket`].
+    pub fn release_bucket(&self, machine: usize, bucket: BucketId) {
+        self.inner.release_bucket(machine, bucket);
+    }
+
+    /// See [`LockServer::reap_expired`].
+    pub fn reap_expired(&self) -> Vec<BucketId> {
+        self.inner.reap_expired()
+    }
+
+    /// The epoch currently being granted (1-based; 0 when scheduled for
+    /// zero epochs).
+    pub fn current_epoch(&self) -> usize {
+        self.state.lock().epoch
+    }
+
+    /// Buckets currently being trained.
+    pub fn active_count(&self) -> usize {
+        self.inner.active_count()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -471,6 +576,78 @@ mod tests {
         for p in regrant.partitions() {
             assert!(s.locked.contains(&p), "{p:?} unlocked by zombie release");
         }
+    }
+
+    #[test]
+    fn epoch_lock_drains_every_epoch_in_order() {
+        let el = EpochLock::new(LockServer::new(), 2, 2, 2);
+        let mut grants: Vec<(usize, BucketId)> = Vec::new();
+        let mut prev = None;
+        loop {
+            match el.acquire(0, prev) {
+                (epoch, Acquire::Granted(b)) => {
+                    grants.push((epoch, b));
+                    el.release_bucket(0, b);
+                    prev = Some(b);
+                }
+                (_, Acquire::Wait) => unreachable!("single machine never waits"),
+                (epoch, Acquire::Done) => {
+                    assert_eq!(epoch, 2);
+                    break;
+                }
+            }
+        }
+        assert_eq!(grants.len(), 8, "2 epochs × 4 buckets");
+        for (epoch, want) in [(1usize, 4usize), (2, 4)] {
+            let in_epoch: HashSet<BucketId> = grants
+                .iter()
+                .filter(|(e, _)| *e == epoch)
+                .map(|(_, b)| *b)
+                .collect();
+            assert_eq!(in_epoch.len(), want, "epoch {epoch} must cover the grid");
+        }
+        // epochs are non-decreasing
+        for pair in grants.windows(2) {
+            assert!(pair[0].0 <= pair[1].0);
+        }
+    }
+
+    #[test]
+    fn epoch_lock_zero_epochs_is_immediately_done() {
+        let el = EpochLock::new(LockServer::new(), 0, 2, 2);
+        assert_eq!(el.acquire(0, None), (0, Acquire::Done));
+    }
+
+    #[test]
+    fn epoch_lock_two_machines_cover_everything_exactly_once() {
+        let el = std::sync::Arc::new(EpochLock::new(LockServer::new(), 3, 2, 2));
+        let mut handles = Vec::new();
+        for m in 0..2usize {
+            let el = std::sync::Arc::clone(&el);
+            handles.push(std::thread::spawn(move || {
+                let mut grants = Vec::new();
+                let mut prev = None;
+                loop {
+                    match el.acquire(m, prev) {
+                        (epoch, Acquire::Granted(b)) => {
+                            grants.push((epoch, b));
+                            el.release_bucket(m, b);
+                            prev = Some(b);
+                        }
+                        (_, Acquire::Wait) => std::thread::yield_now(),
+                        (_, Acquire::Done) => break,
+                    }
+                }
+                grants
+            }));
+        }
+        let mut all: Vec<(usize, BucketId)> = Vec::new();
+        for h in handles {
+            all.extend(h.join().unwrap());
+        }
+        assert_eq!(all.len(), 12, "3 epochs × 4 buckets, no duplicates");
+        let unique: HashSet<(usize, BucketId)> = all.iter().copied().collect();
+        assert_eq!(unique.len(), 12, "every (epoch, bucket) trained once");
     }
 
     #[test]

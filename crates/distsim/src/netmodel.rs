@@ -9,6 +9,88 @@
 
 use std::sync::atomic::{AtomicU64, Ordering};
 
+/// Byte costs of the real framed wire protocol (`pbg-net`), so the
+/// simulation charges what actually crosses a TCP connection instead of
+/// dead-reckoning with raw payload sizes.
+///
+/// The constants here mirror `pbg-net`'s frame layout exactly — a
+/// versioned 20-byte header (magic, version, reserved, payload length,
+/// FNV-1a-64 payload checksum) followed by a tagged payload — and are
+/// pinned against measured loopback traffic by the table-driven
+/// reconciliation test in `crates/net/tests/netmodel_recon.rs` (the
+/// dependency points net → distsim, so the cross-check lives there).
+pub mod wirecost {
+    /// Frame header: magic u32 + version u16 + reserved u16 +
+    /// payload-length u32 + FNV-1a-64 checksum u64.
+    pub const FRAME_HEADER_BYTES: usize = 20;
+    /// Floats per `PartChunk` frame when streaming a partition.
+    pub const CHUNK_FLOATS: usize = 65_536;
+
+    /// Bytes of one frame carrying `payload` payload bytes.
+    pub const fn frame_bytes(payload: usize) -> usize {
+        FRAME_HEADER_BYTES + payload
+    }
+
+    /// Bytes of the chunk-frame stream carrying `floats` f32 values
+    /// (each chunk payload: tag u8 + count u32 + data). Zero floats
+    /// stream zero chunks.
+    pub fn chunk_stream_bytes(floats: usize) -> usize {
+        let chunks = floats.div_ceil(CHUNK_FLOATS);
+        chunks * frame_bytes(1 + 4) + 4 * floats
+    }
+
+    /// `PartCheckout` request: tag + PartitionKey (u32 + u32).
+    pub const CHECKOUT_REQUEST_BYTES: usize = frame_bytes(1 + 8);
+    /// `PartCheckinResp` response: tag + committed flag.
+    pub const CHECKIN_RESPONSE_BYTES: usize = frame_bytes(1 + 1);
+
+    /// `PartData` header frame plus the chunk stream for a checkout (or
+    /// peek) response carrying `emb_floats` + `acc_floats` values.
+    pub fn part_data_bytes(emb_floats: usize, acc_floats: usize) -> usize {
+        frame_bytes(1 + 8 + 4 + 4) + chunk_stream_bytes(emb_floats + acc_floats)
+    }
+
+    /// Full checkout RPC: request frame + data response.
+    pub fn checkout_rpc_bytes(emb_floats: usize, acc_floats: usize) -> usize {
+        CHECKOUT_REQUEST_BYTES + part_data_bytes(emb_floats, acc_floats)
+    }
+
+    /// `PartCheckin` request frames: header (tag + key + token + lens)
+    /// plus the chunk stream.
+    pub fn checkin_request_bytes(emb_floats: usize, acc_floats: usize) -> usize {
+        frame_bytes(1 + 8 + 8 + 4 + 4) + chunk_stream_bytes(emb_floats + acc_floats)
+    }
+
+    /// Full check-in RPC: streamed request + commit/reject response.
+    pub fn checkin_rpc_bytes(emb_floats: usize, acc_floats: usize) -> usize {
+        checkin_request_bytes(emb_floats, acc_floats) + CHECKIN_RESPONSE_BYTES
+    }
+
+    /// `ParamPushPull`/`ParamRegister` request: tag + ParamKey (u32 +
+    /// u8) + vec length u32 + data.
+    pub fn param_push_bytes(floats: usize) -> usize {
+        frame_bytes(1 + 5 + 4 + 4 * floats)
+    }
+
+    /// `ParamValue` response: tag + vec length u32 + data.
+    pub fn param_value_bytes(floats: usize) -> usize {
+        frame_bytes(1 + 4 + 4 * floats)
+    }
+
+    /// Full push/pull (or register) RPC: delta up, merged value down.
+    pub fn push_pull_rpc_bytes(floats: usize) -> usize {
+        param_push_bytes(floats) + param_value_bytes(floats)
+    }
+
+    /// `ParamPull` request: tag + ParamKey.
+    pub const PULL_REQUEST_BYTES: usize = frame_bytes(1 + 5);
+
+    /// Full pull RPC.
+    pub fn pull_rpc_bytes(floats: usize) -> usize {
+        PULL_REQUEST_BYTES + param_value_bytes(floats)
+    }
+}
+
 /// Bandwidth/latency accounting for simulated transfers.
 #[derive(Debug)]
 pub struct NetworkModel {
@@ -61,6 +143,19 @@ impl NetworkModel {
         let secs = self.transfer_seconds(bytes);
         self.total_bytes.fetch_add(bytes as u64, Ordering::Relaxed);
         self.total_transfers.fetch_add(1, Ordering::Relaxed);
+        self.total_micros
+            .fetch_add((secs * 1e6) as u64, Ordering::Relaxed);
+        secs
+    }
+
+    /// Records a request/response round trip and returns its simulated
+    /// duration in seconds: one latency each way plus the serialized
+    /// bytes over the link. Counts as two transfers (two directions).
+    pub fn record_rpc(&self, request_bytes: usize, response_bytes: usize) -> f64 {
+        let bytes = request_bytes + response_bytes;
+        let secs = 2.0 * self.latency_sec + bytes as f64 / self.bandwidth_bytes_per_sec;
+        self.total_bytes.fetch_add(bytes as u64, Ordering::Relaxed);
+        self.total_transfers.fetch_add(2, Ordering::Relaxed);
         self.total_micros
             .fetch_add((secs * 1e6) as u64, Ordering::Relaxed);
         secs
@@ -139,6 +234,34 @@ mod tests {
     #[should_panic(expected = "bandwidth")]
     fn zero_bandwidth_panics() {
         let _ = NetworkModel::new(0.0, 0.0);
+    }
+
+    #[test]
+    fn rpc_charges_both_directions_and_two_latencies() {
+        let net = NetworkModel::new(1000.0, 0.25);
+        let secs = net.record_rpc(300, 700);
+        assert!((secs - (0.5 + 1.0)).abs() < 1e-12, "{secs}");
+        assert_eq!(net.total_bytes(), 1000);
+        assert_eq!(net.total_transfers(), 2);
+    }
+
+    #[test]
+    fn chunk_stream_bytes_matches_framing() {
+        use super::wirecost::*;
+        // Empty stream sends nothing.
+        assert_eq!(chunk_stream_bytes(0), 0);
+        // One partial chunk: one frame header + tag + count + data.
+        assert_eq!(chunk_stream_bytes(10), frame_bytes(5) + 40);
+        // Exactly one full chunk.
+        assert_eq!(
+            chunk_stream_bytes(CHUNK_FLOATS),
+            frame_bytes(5) + 4 * CHUNK_FLOATS
+        );
+        // One full chunk plus one float spills into a second frame.
+        assert_eq!(
+            chunk_stream_bytes(CHUNK_FLOATS + 1),
+            2 * frame_bytes(5) + 4 * (CHUNK_FLOATS + 1)
+        );
     }
 
     #[test]

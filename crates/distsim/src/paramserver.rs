@@ -12,7 +12,7 @@
 //! asynchronous push/pull used for sparse training. A per-client throttle
 //! enforces a minimum interval between syncs.
 
-use crate::netmodel::NetworkModel;
+use crate::netmodel::{wirecost, NetworkModel};
 use parking_lot::Mutex;
 use std::collections::HashMap;
 use std::sync::Arc;
@@ -69,7 +69,6 @@ impl ParameterServer {
     ///
     /// Panics if the key is unregistered or lengths disagree.
     pub fn push_pull(&self, key: ParamKey, delta: &[f32]) -> (Vec<f32>, f64) {
-        let mut secs = self.net.record_transfer(delta.len() * 4);
         let merged = {
             let mut shard = self.shard(key).lock();
             let value = shard
@@ -81,7 +80,10 @@ impl ParameterServer {
             }
             value.clone()
         };
-        secs += self.net.record_transfer(merged.len() * 4);
+        let secs = self.net.record_rpc(
+            wirecost::param_push_bytes(delta.len()),
+            wirecost::param_value_bytes(merged.len()),
+        );
         (merged, secs)
     }
 
@@ -109,31 +111,87 @@ impl ParameterServer {
     }
 }
 
+/// Delta-base and throttle bookkeeping shared by every parameter-server
+/// client — the in-process [`ParamClient`] and the networked rank driver
+/// use the same logic core, so sim and net agree on what gets pushed and
+/// when.
+///
+/// Tracks, per key, the value adopted at the last sync (the delta base)
+/// and the last sync time. Throttling is per parameter block: one
+/// relation syncing must not starve every other relation of its own sync
+/// window. A key with no entry has never synced and is free.
+#[derive(Debug)]
+pub struct DeltaTracker {
+    base: HashMap<ParamKey, Vec<f32>>,
+    throttle: Duration,
+    last_sync: HashMap<ParamKey, Instant>,
+}
+
+impl DeltaTracker {
+    /// Creates a tracker; `throttle` is the minimum interval between
+    /// syncs of the *same* key (the paper throttles "to avoid saturating
+    /// network bandwidth").
+    pub fn new(throttle: Duration) -> Self {
+        DeltaTracker {
+            base: HashMap::new(),
+            throttle,
+            last_sync: HashMap::new(),
+        }
+    }
+
+    /// Adopts `value` as the new delta base for `key`.
+    pub fn adopt(&mut self, key: ParamKey, value: Vec<f32>) {
+        self.base.insert(key, value);
+    }
+
+    /// `true` when `key` synced more recently than the throttle allows.
+    pub fn throttled(&self, key: ParamKey) -> bool {
+        self.last_sync
+            .get(&key)
+            .is_some_and(|last| last.elapsed() < self.throttle)
+    }
+
+    /// Computes `local - base` for `key`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the key was never adopted or lengths disagree.
+    pub fn delta(&self, key: ParamKey, local: &[f32]) -> Vec<f32> {
+        let base = self
+            .base
+            .get(&key)
+            .unwrap_or_else(|| panic!("parameter {key:?} not registered on this client"));
+        assert_eq!(base.len(), local.len(), "delta: length mismatch");
+        local.iter().zip(base).map(|(l, b)| l - b).collect()
+    }
+
+    /// Records that `key` just synced (restarts its throttle window).
+    pub fn mark_synced(&mut self, key: ParamKey) {
+        self.last_sync.insert(key, Instant::now());
+    }
+
+    /// Keys with an adopted base, in unspecified order.
+    pub fn keys(&self) -> impl Iterator<Item = ParamKey> + '_ {
+        self.base.keys().copied()
+    }
+}
+
 /// Per-machine sync client with throttling.
 #[derive(Debug)]
 pub struct ParamClient {
     server: Arc<ParameterServer>,
-    /// Value adopted at the last sync, per key (the delta base).
-    base: HashMap<ParamKey, Vec<f32>>,
-    throttle: Duration,
-    /// Last sync time per key. Throttling is per parameter block: one
-    /// relation syncing must not starve every other relation of its own
-    /// sync window. A key with no entry has never synced and is free.
-    last_sync: HashMap<ParamKey, Instant>,
+    tracker: DeltaTracker,
     /// Simulated network seconds this client has spent syncing.
     pub sim_seconds: f64,
 }
 
 impl ParamClient {
     /// Creates a client; `throttle` is the minimum interval between syncs
-    /// of the *same* key (the paper throttles "to avoid saturating
-    /// network bandwidth").
+    /// of the *same* key.
     pub fn new(server: Arc<ParameterServer>, throttle: Duration) -> Self {
         ParamClient {
             server,
-            base: HashMap::new(),
-            throttle,
-            last_sync: HashMap::new(),
+            tracker: DeltaTracker::new(throttle),
             sim_seconds: 0.0,
         }
     }
@@ -145,7 +203,7 @@ impl ParamClient {
     pub fn register(&mut self, key: ParamKey, init: &[f32]) -> Vec<f32> {
         self.server.register(key, init);
         let canonical = self.server.pull(key);
-        self.base.insert(key, canonical.clone());
+        self.tracker.adopt(key, canonical.clone());
         canonical
     }
 
@@ -157,10 +215,8 @@ impl ParamClient {
     ///
     /// Panics if the key was not registered through this client.
     pub fn maybe_sync(&mut self, key: ParamKey, local: &[f32]) -> Option<Vec<f32>> {
-        if let Some(last) = self.last_sync.get(&key) {
-            if last.elapsed() < self.throttle {
-                return None;
-            }
+        if self.tracker.throttled(key) {
+            return None;
         }
         Some(self.force_sync(key, local))
     }
@@ -171,15 +227,11 @@ impl ParamClient {
     ///
     /// Panics if the key was not registered through this client.
     pub fn force_sync(&mut self, key: ParamKey, local: &[f32]) -> Vec<f32> {
-        let base = self
-            .base
-            .get(&key)
-            .unwrap_or_else(|| panic!("parameter {key:?} not registered on this client"));
-        let delta: Vec<f32> = local.iter().zip(base).map(|(l, b)| l - b).collect();
+        let delta = self.tracker.delta(key, local);
         let (merged, secs) = self.server.push_pull(key, &delta);
         self.sim_seconds += secs;
-        self.base.insert(key, merged.clone());
-        self.last_sync.insert(key, Instant::now());
+        self.tracker.adopt(key, merged.clone());
+        self.tracker.mark_synced(key);
         merged
     }
 }
@@ -283,10 +335,15 @@ mod tests {
         let net = Arc::new(NetworkModel::new(1e3, 0.0));
         let s = Arc::new(ParameterServer::new(1, Arc::clone(&net)));
         let mut c = ParamClient::new(Arc::clone(&s), Duration::ZERO);
-        c.register(KEY, &[0.0; 250]); // 1000 bytes
+        c.register(KEY, &[0.0; 250]);
         c.force_sync(KEY, &[1.0; 250]);
-        // push 1000 B + pull 1000 B at 1000 B/s = 2 s
-        assert!((c.sim_seconds - 2.0).abs() < 1e-6, "{}", c.sim_seconds);
+        // one framed push/pull round trip at 1000 B/s, zero latency
+        let want = wirecost::push_pull_rpc_bytes(250) as f64 / 1e3;
+        assert!((c.sim_seconds - want).abs() < 1e-6, "{}", c.sim_seconds);
+        assert_eq!(
+            net.total_bytes() as usize,
+            wirecost::push_pull_rpc_bytes(250)
+        );
     }
 
     #[test]

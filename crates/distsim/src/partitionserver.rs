@@ -17,7 +17,7 @@
 //! [`PartitionServer::revoke`] invalidates the dead client's token so a
 //! zombie check-in is discarded instead of clobbering newer state.
 
-use crate::netmodel::NetworkModel;
+use crate::netmodel::{wirecost, NetworkModel};
 use parking_lot::Mutex;
 use pbg_core::storage::{PartitionKey, StoreLayout};
 use std::collections::hash_map::DefaultHasher;
@@ -126,8 +126,10 @@ impl PartitionServer {
         stored.valid_token = Some(token);
         let (emb, acc) = (stored.emb.clone(), stored.acc.clone());
         drop(shard);
-        let bytes = (emb.len() + acc.len()) * 4;
-        let secs = self.net.record_transfer(bytes);
+        let secs = self.net.record_rpc(
+            wirecost::CHECKOUT_REQUEST_BYTES,
+            wirecost::part_data_bytes(emb.len(), acc.len()),
+        );
         (emb, acc, token, secs)
     }
 
@@ -148,8 +150,10 @@ impl PartitionServer {
         token: u64,
     ) -> (f64, bool) {
         // bytes cross the wire before the server can judge the token
-        let bytes = (emb.len() + acc.len()) * 4;
-        let secs = self.net.record_transfer(bytes);
+        let secs = self.net.record_rpc(
+            wirecost::checkin_request_bytes(emb.len(), acc.len()),
+            wirecost::CHECKIN_RESPONSE_BYTES,
+        );
         let mut shard = self.shard(key).lock();
         let stored = shard
             .partitions
@@ -272,15 +276,20 @@ mod tests {
 
     #[test]
     fn transfers_are_accounted() {
+        // charged bytes are the full framed wire cost of the RPCs, not
+        // the raw float payload (see netmodel::wirecost)
         let net = Arc::new(NetworkModel::new(1e6, 0.0));
         let s = PartitionServer::new(layout(4), 2, Arc::clone(&net));
         let key = PartitionKey::new(0u32, 1u32);
         let (emb, acc, token, secs) = s.checkout(key);
         assert!(secs > 0.0);
-        let bytes = (emb.len() + acc.len()) * 4;
-        assert_eq!(net.total_bytes() as usize, bytes);
+        let checkout = wirecost::checkout_rpc_bytes(emb.len(), acc.len());
+        assert_eq!(net.total_bytes() as usize, checkout);
+        assert_eq!(net.total_transfers(), 2, "request + response");
+        let checkin = wirecost::checkin_rpc_bytes(emb.len(), acc.len());
         s.checkin(key, emb, acc, token);
-        assert_eq!(net.total_bytes() as usize, 2 * bytes);
+        assert_eq!(net.total_bytes() as usize, checkout + checkin);
+        assert_eq!(net.total_transfers(), 4);
     }
 
     #[test]

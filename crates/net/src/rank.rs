@@ -1,0 +1,701 @@
+//! The networked trainer rank: one process's training loop against
+//! remote lock/partition/parameter services.
+//!
+//! Mirrors the in-process cluster driver (`distsim::cluster`) bucket for
+//! bucket — acquire, swap partitions, train, sync parameters, release —
+//! but with two differences:
+//!
+//! 1. Services are reached through the `distsim::service` traits, so the
+//!    same driver runs against in-process state machines (tests) and TCP
+//!    clients (production).
+//! 2. Seeding replays the **single-machine schedule**: the per-bucket
+//!    train seed and shuffle are the exact ones `Trainer::train_epoch`
+//!    would use at `threads = 1`, derived from `(seed, epoch, step)`
+//!    where `step` is the bucket's position in that epoch's deterministic
+//!    order. Which *rank* trains a bucket therefore does not affect the
+//!    numbers — on a diagonal (conflict-free) bucket grid a 2-rank
+//!    cluster run is bit-identical to the single-machine run.
+//!
+//! Limitation: every entity type must be partitioned. Unpartitioned
+//! types live in shared memory in the in-process simulation; across real
+//! process boundaries there is no shared memory, and hosting them on the
+//! parameter server is future work. [`train_rank`] rejects such schemas.
+
+use parking_lot::Mutex;
+use pbg_core::config::PbgConfig;
+use pbg_core::model::{Model, TrainedEmbeddings};
+use pbg_core::storage::{PartitionData, PartitionKey, PartitionStore};
+use pbg_core::trainer::{bucketize, epoch_rng, needed_keys, train_bucket, SwapPlanner};
+use pbg_distsim::fault::{backoff, FaultPlan};
+use pbg_distsim::lockserver::Acquire;
+use pbg_distsim::paramserver::{DeltaTracker, ParamKey};
+use pbg_distsim::service::{LockService, ParamService, PartitionService, ServiceError};
+use pbg_graph::bucket::{BucketId, Buckets};
+use pbg_graph::edges::EdgeList;
+use pbg_graph::schema::GraphSchema;
+use pbg_graph::RelationTypeId;
+use pbg_telemetry::metrics::names as metric;
+use pbg_telemetry::{Counter, Gauge, Registry};
+use pbg_tensor::rng::Xoshiro256;
+use std::collections::{HashMap, HashSet};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::time::Duration;
+
+/// Per-rank run parameters (everything not in the shared [`PbgConfig`]).
+#[derive(Debug, Clone)]
+pub struct RankConfig {
+    /// This rank's id (the lock server's `machine` — unique per rank).
+    pub rank: usize,
+    /// Injected faults (none in production).
+    pub faults: FaultPlan,
+    /// Minimum interval between parameter-server syncs of the same key.
+    pub param_sync_throttle: Duration,
+}
+
+impl RankConfig {
+    /// A fault-free rank with no sync throttling.
+    pub fn new(rank: usize) -> Self {
+        RankConfig {
+            rank,
+            faults: FaultPlan::none(),
+            param_sync_throttle: Duration::ZERO,
+        }
+    }
+}
+
+/// The three services a rank trains against — in-process state machines
+/// or TCP clients, anything implementing the `distsim::service` traits.
+#[derive(Debug)]
+pub struct RankServices<L, P, Q> {
+    /// Lock server (epoch-sequencing bucket leases).
+    pub lock: L,
+    /// Partition server (fenced partition checkout/check-in).
+    pub partitions: P,
+    /// Parameter server (async shared-parameter push/pull).
+    pub params: Q,
+}
+
+/// What one rank did during [`train_rank`].
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct RankStats {
+    /// Buckets this rank trained.
+    pub buckets_trained: usize,
+    /// Edges this rank trained.
+    pub edges: usize,
+    /// Summed training loss over this rank's buckets.
+    pub loss: f64,
+    /// Highest epoch this rank participated in.
+    pub epochs_seen: usize,
+    /// Buckets whose expired lease this rank reaped (crashed peers).
+    pub recovered_buckets: usize,
+    /// `true` when an injected crash fault terminated the rank
+    /// mid-bucket (nothing was released — the lease reaper cleans up).
+    pub crashed: bool,
+}
+
+/// Trains this rank's share of the cluster workload to completion.
+///
+/// Blocks until the lock server reports all epochs done (or an injected
+/// crash fires). Every rank must be started with the same `schema`,
+/// `edges`, and `config`.
+///
+/// # Errors
+///
+/// Returns [`ServiceError::Protocol`] for invalid inputs (unpartitioned
+/// entity types, `bucket_passes != 1`, bad config) and propagates
+/// transport failures from the parameter and lock services. Partition
+/// transfers retry internally (checkout is idempotent; check-in is
+/// at-most-once thanks to fencing tokens) and only give up after
+/// repeated failures.
+pub fn train_rank<L, P, Q>(
+    schema: &GraphSchema,
+    edges: &EdgeList,
+    config: PbgConfig,
+    services: &RankServices<L, P, Q>,
+    run: &RankConfig,
+    telemetry: &Registry,
+) -> Result<RankStats, ServiceError>
+where
+    L: LockService,
+    P: PartitionService + Sync,
+    Q: ParamService,
+{
+    for def in schema.entity_types() {
+        if !def.is_partitioned() {
+            return Err(ServiceError::Protocol(format!(
+                "entity type {:?} is unpartitioned: networked training requires every \
+                 entity type to be partitioned (unpartitioned types need shared memory)",
+                def.name()
+            )));
+        }
+    }
+    if config.bucket_passes != 1 {
+        return Err(ServiceError::Protocol(
+            "networked training supports bucket_passes = 1 only".into(),
+        ));
+    }
+    let model = Model::new(schema.clone(), config.clone())
+        .map_err(|e| ServiceError::Protocol(e.to_string()))?;
+    let buckets = bucketize(schema, edges);
+    let mut schedule = Schedule::new(&config, buckets);
+    let layout = model.store_layout();
+    let store = NetStore {
+        service: &services.partitions,
+        resident: Mutex::new(HashMap::new()),
+        tokens: Mutex::new(HashMap::new()),
+        prefetched: Mutex::new(HashSet::new()),
+        all_keys: layout.keys().iter().map(|(k, _)| *k).collect(),
+        dim: layout.dim(),
+        lr: config.learning_rate,
+        resident_bytes: telemetry.gauge(&format!("rank{}.resident_bytes", run.rank)),
+        swaps: AtomicUsize::new(0),
+        prefetch_hits: AtomicUsize::new(0),
+        faults: run.faults.clone(),
+        rank: run.rank,
+        xfer_seq: AtomicU64::new(0),
+        retries: telemetry.counter(metric::NET_RPC_RETRIES),
+        stale_checkins: telemetry.counter(metric::CLUSTER_STALE_CHECKINS),
+    };
+    let recovered_counter = telemetry.counter(metric::CLUSTER_RECOVERED_BUCKETS);
+    let mut params = RankParams {
+        service: &services.params,
+        tracker: DeltaTracker::new(run.param_sync_throttle),
+    };
+    register_params(&mut params, &model)?;
+
+    let mut planner = SwapPlanner::new();
+    let mut stats = RankStats::default();
+    let mut prev: Option<BucketId> = None;
+    let mut cur_epoch = 0usize;
+    let mut buckets_done_in_epoch = 0usize;
+    let mut sync_seq = 0u64;
+    loop {
+        match services.lock.acquire(run.rank, prev)? {
+            (epoch, Acquire::Granted(bucket)) => {
+                if epoch != cur_epoch {
+                    cur_epoch = epoch;
+                    buckets_done_in_epoch = 0;
+                }
+                stats.epochs_seen = stats.epochs_seen.max(epoch);
+                let needed = needed_keys(&model, bucket);
+                let transition = planner.step(&needed);
+                for &key in &transition.release {
+                    store.release(key);
+                }
+                if let Some(p) = prev.take() {
+                    services.lock.release_bucket(run.rank, p)?;
+                }
+                for &key in &transition.acquire {
+                    store.prefetch(key);
+                }
+                if run
+                    .faults
+                    .machine_crashes(epoch, run.rank, buckets_done_in_epoch)
+                {
+                    // hard crash at the worst point: bucket locked,
+                    // partitions checked out, nothing released — the
+                    // lease reaper and fencing tokens must clean up
+                    stats.crashed = true;
+                    return Ok(stats);
+                }
+                let (seed, bucket_edges) = schedule.prepare(epoch, bucket);
+                let bstats = train_bucket(&model, &store, bucket, bucket_edges, seed, telemetry);
+                stats.buckets_trained += 1;
+                stats.edges += bstats.edges;
+                stats.loss += bstats.loss;
+                buckets_done_in_epoch += 1;
+                sync_params(
+                    &mut params,
+                    &model,
+                    false,
+                    run,
+                    &mut sync_seq,
+                    &store.retries,
+                )?;
+                prev = Some(bucket);
+            }
+            (_, Acquire::Wait) => {
+                // give up held partitions and locks while waiting (the
+                // granted bucket another rank needs may overlap ours)
+                for key in planner.finish() {
+                    store.release(key);
+                }
+                if let Some(p) = prev.take() {
+                    services.lock.release_bucket(run.rank, p)?;
+                }
+                // a crashed rank never releases: reap its lease and
+                // fence its checkouts so the retrainer starts from the
+                // last committed versions
+                let reaped = services.lock.reap_expired()?;
+                for &bucket in &reaped {
+                    stats.recovered_buckets += 1;
+                    recovered_counter.inc();
+                    for key in needed_keys(&model, bucket) {
+                        services.partitions.revoke(key)?;
+                    }
+                }
+                std::thread::sleep(Duration::from_micros(200));
+            }
+            (epoch, Acquire::Done) => {
+                stats.epochs_seen = stats.epochs_seen.max(epoch);
+                break;
+            }
+        }
+    }
+    for key in planner.finish() {
+        store.release(key);
+    }
+    if let Some(p) = prev {
+        services.lock.release_bucket(run.rank, p)?;
+    }
+    sync_params(
+        &mut params,
+        &model,
+        true,
+        run,
+        &mut sync_seq,
+        &store.retries,
+    )?;
+    Ok(stats)
+}
+
+/// Gathers the trained model from the servers: canonical relation
+/// parameters from the parameter service, final embeddings peeked from
+/// the partition service. Call after every rank finished.
+///
+/// # Errors
+///
+/// Propagates service failures and invalid configs.
+pub fn snapshot_model<P, Q>(
+    schema: &GraphSchema,
+    config: PbgConfig,
+    partitions: &P,
+    params: &Q,
+) -> Result<TrainedEmbeddings, ServiceError>
+where
+    P: PartitionService + Sync,
+    Q: ParamService,
+{
+    let model =
+        Model::new(schema.clone(), config).map_err(|e| ServiceError::Protocol(e.to_string()))?;
+    for r in 0..model.num_relations() {
+        let rel = model.relation(RelationTypeId(r as u32));
+        if !rel.forward.is_empty() {
+            let v = params.pull(ParamKey {
+                relation: r as u32,
+                side: 0,
+            })?;
+            rel.forward.restore(&v, &rel.forward.accumulator_snapshot());
+        }
+        if let Some(recip) = &rel.reciprocal {
+            if !recip.is_empty() {
+                let v = params.pull(ParamKey {
+                    relation: r as u32,
+                    side: 1,
+                })?;
+                recip.restore(&v, &recip.accumulator_snapshot());
+            }
+        }
+    }
+    let layout = model.store_layout();
+    let store = PeekStore {
+        service: partitions,
+        dim: layout.dim(),
+        lr: model.config().learning_rate,
+    };
+    Ok(model.snapshot(&store))
+}
+
+/// Stateless replay of the single-machine training schedule.
+///
+/// The single-machine trainer shuffles each bucket's edges **in place**
+/// every epoch, so epoch `e`'s edge order is the composition of shuffles
+/// `1..=e`. A rank may train a bucket in epoch 3 having never touched it
+/// before; to reproduce the exact floats it clones the pristine bucket
+/// and applies every missed epoch's shuffle (each derived from `(seed,
+/// epoch, step-in-epoch)`) before training.
+struct Schedule {
+    seed: u64,
+    ordering: pbg_graph::ordering::BucketOrdering,
+    buckets: Buckets,
+    /// Per-bucket replay state: epochs applied so far + current order.
+    state: HashMap<BucketId, (usize, EdgeList)>,
+    /// Cache of each epoch's bucket → step-index map.
+    orders: HashMap<usize, HashMap<BucketId, usize>>,
+}
+
+impl Schedule {
+    fn new(config: &PbgConfig, buckets: Buckets) -> Self {
+        Schedule {
+            seed: config.seed,
+            ordering: config.bucket_ordering,
+            buckets,
+            state: HashMap::new(),
+            orders: HashMap::new(),
+        }
+    }
+
+    /// Step index of `bucket` in epoch `epoch`'s deterministic order.
+    fn step_index(&mut self, epoch: usize, bucket: BucketId) -> usize {
+        let src = self.buckets.src_parts();
+        let dst = self.buckets.dst_parts();
+        let (seed, ordering) = (self.seed, self.ordering);
+        let order = self.orders.entry(epoch).or_insert_with(|| {
+            let mut rng = epoch_rng(seed, epoch);
+            ordering
+                .order(src, dst, &mut rng)
+                .into_iter()
+                .enumerate()
+                .map(|(i, b)| (b, i))
+                .collect()
+        });
+        order[&bucket]
+    }
+
+    /// The exact `(train_seed, shuffled_edges)` the single-machine
+    /// trainer would use for `bucket` in `epoch` (1-based).
+    fn prepare(&mut self, epoch: usize, bucket: BucketId) -> (u64, &EdgeList) {
+        let applied = self.state.get(&bucket).map_or(0, |(e, _)| *e);
+        // per-epoch shuffle seeds for every epoch not yet applied
+        let shuffle_seeds: Vec<u64> = (applied + 1..=epoch)
+            .map(|e| self.train_seed(e, bucket) ^ 0x5EED_CAFE)
+            .collect();
+        let train_seed = self.train_seed(epoch, bucket);
+        let entry = self
+            .state
+            .entry(bucket)
+            .or_insert_with(|| (0, self.buckets.bucket(bucket).clone()));
+        for seed in shuffle_seeds {
+            let mut rng = Xoshiro256::seed_from_u64(seed);
+            entry.1.shuffle(&mut rng);
+            entry.0 += 1;
+        }
+        debug_assert_eq!(entry.0, epoch);
+        (train_seed, &self.state[&bucket].1)
+    }
+
+    /// `Trainer::train_epoch`'s per-step seed (pass fixed at 0).
+    fn train_seed(&mut self, epoch: usize, bucket: BucketId) -> u64 {
+        let step = self.step_index(epoch, bucket) as u64;
+        self.seed
+            .wrapping_add((epoch as u64) << 32)
+            .wrapping_add(step)
+    }
+}
+
+/// Rank-local partition cache over a [`PartitionService`] — the
+/// networked analogue of the cluster simulation's machine store.
+struct NetStore<'a, P: PartitionService + Sync> {
+    service: &'a P,
+    resident: Mutex<HashMap<PartitionKey, Arc<PartitionData>>>,
+    tokens: Mutex<HashMap<PartitionKey, u64>>,
+    prefetched: Mutex<HashSet<PartitionKey>>,
+    all_keys: Vec<PartitionKey>,
+    dim: usize,
+    lr: f32,
+    resident_bytes: Gauge,
+    swaps: AtomicUsize,
+    prefetch_hits: AtomicUsize,
+    faults: FaultPlan,
+    rank: usize,
+    xfer_seq: AtomicU64,
+    retries: Counter,
+    stale_checkins: Counter,
+}
+
+use std::sync::Arc;
+
+impl<P: PartitionService + Sync> NetStore<'_, P> {
+    /// Blocks until the fault plan lets a transfer through (injected
+    /// failures are decided before anything is sent).
+    fn retry_transfer_faults(&self) {
+        let mut attempt = 0u32;
+        loop {
+            let nth = self.xfer_seq.fetch_add(1, Ordering::SeqCst);
+            if !self.faults.transfer_fails(self.rank, nth) {
+                return;
+            }
+            self.retries.inc();
+            std::thread::sleep(backoff(attempt));
+            attempt += 1;
+        }
+    }
+
+    /// Retries a transport-failed partition RPC with backoff. Safe for
+    /// both directions: checkout is idempotent (a re-checkout fences
+    /// only our own previous token), and check-in is at-most-once — if
+    /// the first attempt committed and the response was lost, the retry
+    /// presents a consumed token and is discarded as stale.
+    fn with_retry<T>(&self, what: &str, mut f: impl FnMut() -> Result<T, ServiceError>) -> T {
+        let mut attempt = 0u32;
+        loop {
+            match f() {
+                Ok(v) => return v,
+                Err(e) => {
+                    attempt += 1;
+                    assert!(
+                        attempt < 8,
+                        "rank {}: {what} failed permanently after {attempt} attempts: {e}",
+                        self.rank
+                    );
+                    self.retries.inc();
+                    std::thread::sleep(backoff(attempt));
+                }
+            }
+        }
+    }
+
+    fn checkout(&self, key: PartitionKey) -> Arc<PartitionData> {
+        self.retry_transfer_faults();
+        let (emb, acc, token) = self.with_retry("checkout", || self.service.checkout(key));
+        self.tokens.lock().insert(key, token);
+        self.swaps.fetch_add(1, Ordering::SeqCst);
+        let rows = emb.len() / self.dim;
+        let data = Arc::new(PartitionData::from_parts(
+            rows, self.dim, self.lr, emb, &acc,
+        ));
+        self.resident_bytes.add(data.bytes() as u64);
+        data
+    }
+}
+
+impl<P: PartitionService + Sync> PartitionStore for NetStore<'_, P> {
+    fn load(&self, key: PartitionKey) -> Arc<PartitionData> {
+        let mut resident = self.resident.lock();
+        if let Some(data) = resident.get(&key) {
+            if self.prefetched.lock().remove(&key) {
+                self.prefetch_hits.fetch_add(1, Ordering::SeqCst);
+            }
+            return Arc::clone(data);
+        }
+        let data = self.checkout(key);
+        resident.insert(key, Arc::clone(&data));
+        data
+    }
+
+    fn release(&self, key: PartitionKey) {
+        let mut resident = self.resident.lock();
+        if let Some(data) = resident.remove(&key) {
+            self.prefetched.lock().remove(&key);
+            self.retry_transfer_faults();
+            let token = self.tokens.lock().remove(&key).unwrap_or(u64::MAX);
+            let committed = self.with_retry("checkin", || {
+                self.service
+                    .checkin(key, data.embeddings.to_vec(), data.adagrad.to_vec(), token)
+            });
+            if !committed {
+                self.stale_checkins.inc();
+            }
+            self.resident_bytes.sub(data.bytes() as u64);
+        }
+    }
+
+    fn prefetch(&self, key: PartitionKey) {
+        let mut resident = self.resident.lock();
+        if resident.contains_key(&key) {
+            return;
+        }
+        let data = self.checkout(key);
+        resident.insert(key, data);
+        self.prefetched.lock().insert(key);
+    }
+
+    fn resident_bytes(&self) -> usize {
+        self.resident_bytes.get() as usize
+    }
+
+    fn peak_bytes(&self) -> usize {
+        self.resident_bytes.peak() as usize
+    }
+
+    fn swap_ins(&self) -> usize {
+        self.swaps.load(Ordering::SeqCst)
+    }
+
+    fn prefetch_hits(&self) -> usize {
+        self.prefetch_hits.load(Ordering::SeqCst)
+    }
+
+    fn load_all(&self) {
+        for key in self.all_keys.clone() {
+            let _ = self.load(key);
+        }
+    }
+}
+
+/// Read-only store for final snapshots: every load peeks the last
+/// committed version, nothing is checked out or written back.
+struct PeekStore<'a, P: PartitionService + Sync> {
+    service: &'a P,
+    dim: usize,
+    lr: f32,
+}
+
+impl<P: PartitionService + Sync> PartitionStore for PeekStore<'_, P> {
+    fn load(&self, key: PartitionKey) -> Arc<PartitionData> {
+        let (emb, acc) = self
+            .service
+            .peek(key)
+            .unwrap_or_else(|e| panic!("snapshot peek of {key:?} failed: {e}"));
+        let rows = emb.len() / self.dim;
+        Arc::new(PartitionData::from_parts(
+            rows, self.dim, self.lr, emb, &acc,
+        ))
+    }
+
+    fn release(&self, _key: PartitionKey) {}
+
+    fn resident_bytes(&self) -> usize {
+        0
+    }
+
+    fn peak_bytes(&self) -> usize {
+        0
+    }
+
+    fn swap_ins(&self) -> usize {
+        0
+    }
+
+    fn load_all(&self) {}
+}
+
+/// Delta-tracking parameter client over a [`ParamService`] — the same
+/// [`DeltaTracker`] logic core as the simulation's `ParamClient`, with
+/// transport errors surfaced instead of swallowed.
+struct RankParams<'a, Q: ParamService> {
+    service: &'a Q,
+    tracker: DeltaTracker,
+}
+
+impl<Q: ParamService> RankParams<'_, Q> {
+    fn register(&mut self, key: ParamKey, init: &[f32]) -> Result<Vec<f32>, ServiceError> {
+        let canonical = self.service.register(key, init)?;
+        self.tracker.adopt(key, canonical.clone());
+        Ok(canonical)
+    }
+
+    fn maybe_sync(
+        &mut self,
+        key: ParamKey,
+        local: &[f32],
+    ) -> Result<Option<Vec<f32>>, ServiceError> {
+        if self.tracker.throttled(key) {
+            return Ok(None);
+        }
+        self.force_sync(key, local).map(Some)
+    }
+
+    fn force_sync(&mut self, key: ParamKey, local: &[f32]) -> Result<Vec<f32>, ServiceError> {
+        let delta = self.tracker.delta(key, local);
+        // NOT retried on transport failure: push_pull is not idempotent
+        // (a lost response would double-apply the delta on retry)
+        let merged = self.service.push_pull(key, &delta)?;
+        self.tracker.adopt(key, merged.clone());
+        self.tracker.mark_synced(key);
+        Ok(merged)
+    }
+}
+
+/// Registers every relation block and installs the canonical server
+/// values locally (a rank joining late must adopt cluster state).
+fn register_params<Q: ParamService>(
+    client: &mut RankParams<'_, Q>,
+    model: &Model,
+) -> Result<(), ServiceError> {
+    for r in 0..model.num_relations() {
+        let rel = model.relation(RelationTypeId(r as u32));
+        let canonical = client.register(
+            ParamKey {
+                relation: r as u32,
+                side: 0,
+            },
+            &rel.forward.snapshot(),
+        )?;
+        if !rel.forward.is_empty() {
+            rel.forward
+                .restore(&canonical, &rel.forward.accumulator_snapshot());
+        }
+        if let Some(recip) = &rel.reciprocal {
+            let canonical = client.register(
+                ParamKey {
+                    relation: r as u32,
+                    side: 1,
+                },
+                &recip.snapshot(),
+            )?;
+            if !recip.is_empty() {
+                recip.restore(&canonical, &recip.accumulator_snapshot());
+            }
+        }
+    }
+    Ok(())
+}
+
+fn sync_params<Q: ParamService>(
+    client: &mut RankParams<'_, Q>,
+    model: &Model,
+    force: bool,
+    run: &RankConfig,
+    sync_seq: &mut u64,
+    retries: &Counter,
+) -> Result<(), ServiceError> {
+    // injected parameter-server timeouts: back off and retry the
+    // decision (the sync itself is only sent once it is allowed through)
+    let mut attempt = 0u32;
+    loop {
+        let nth = *sync_seq;
+        *sync_seq += 1;
+        if !run.faults.param_sync_times_out(run.rank, nth) {
+            break;
+        }
+        retries.inc();
+        std::thread::sleep(backoff(attempt));
+        attempt += 1;
+    }
+    for r in 0..model.num_relations() {
+        let rel = model.relation(RelationTypeId(r as u32));
+        sync_one(
+            client,
+            ParamKey {
+                relation: r as u32,
+                side: 0,
+            },
+            &rel.forward,
+            force,
+        )?;
+        if let Some(recip) = &rel.reciprocal {
+            sync_one(
+                client,
+                ParamKey {
+                    relation: r as u32,
+                    side: 1,
+                },
+                recip,
+                force,
+            )?;
+        }
+    }
+    Ok(())
+}
+
+fn sync_one<Q: ParamService>(
+    client: &mut RankParams<'_, Q>,
+    key: ParamKey,
+    params: &pbg_core::optimizer::HogwildAdagradDense,
+    force: bool,
+) -> Result<(), ServiceError> {
+    if params.is_empty() {
+        return Ok(());
+    }
+    let local = params.snapshot();
+    let merged = if force {
+        Some(client.force_sync(key, &local)?)
+    } else {
+        client.maybe_sync(key, &local)?
+    };
+    if let Some(merged) = merged {
+        params.restore(&merged, &params.accumulator_snapshot());
+    }
+    Ok(())
+}

@@ -1,0 +1,285 @@
+//! TCP server loops wrapping the `distsim` state machines.
+//!
+//! Thread-per-connection: each accepted socket gets a handler thread
+//! that reads one request frame at a time and replies. The state
+//! machines themselves ([`EpochLock`], [`PartitionServer`],
+//! [`ParameterServer`]) are the exact objects the in-process simulation
+//! uses — the server loop is only transport.
+//!
+//! State-machine calls run under `catch_unwind`: the sim servers panic
+//! on protocol misuse (unknown partition key, unregistered parameter),
+//! and a malicious or buggy client must take down its own RPC, not the
+//! server. The `parking_lot` mutexes inside the state machines do not
+//! poison, so unwinding is safe to swallow.
+
+use crate::wire::{self, Message, WireError};
+use pbg_distsim::lockserver::EpochLock;
+use pbg_distsim::paramserver::ParameterServer;
+use pbg_distsim::partitionserver::PartitionServer;
+use std::io;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+type Handler = Arc<dyn Fn(&mut TcpStream, Message) -> Result<(), WireError> + Send + Sync>;
+
+/// A running server: accept loop plus per-connection handler threads.
+/// Dropping it (or calling [`NetServer::shutdown`]) stops accepting;
+/// handler threads exit when their client disconnects.
+#[derive(Debug)]
+pub struct NetServer {
+    local_addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    accept_thread: Option<JoinHandle<()>>,
+}
+
+impl NetServer {
+    /// Serves an [`EpochLock`] (lock server role).
+    pub fn lock(addr: &str, lock: Arc<EpochLock>) -> io::Result<NetServer> {
+        serve(
+            addr,
+            Arc::new(move |stream, msg| handle_lock(stream, msg, &lock)),
+        )
+    }
+
+    /// Serves a [`PartitionServer`] (partition server role).
+    pub fn partitions(addr: &str, parts: Arc<PartitionServer>) -> io::Result<NetServer> {
+        serve(
+            addr,
+            Arc::new(move |stream, msg| handle_partitions(stream, msg, &parts)),
+        )
+    }
+
+    /// Serves a [`ParameterServer`] (parameter server role).
+    pub fn params(addr: &str, params: Arc<ParameterServer>) -> io::Result<NetServer> {
+        serve(
+            addr,
+            Arc::new(move |stream, msg| handle_params(stream, msg, &params)),
+        )
+    }
+
+    /// The bound address (useful with port 0 for ephemeral ports).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.local_addr
+    }
+
+    /// Stops accepting connections and joins the accept thread.
+    pub fn shutdown(&mut self) {
+        if self.stop.swap(true, Ordering::SeqCst) {
+            return;
+        }
+        // wake the blocking accept() with a throwaway connection
+        let _ = TcpStream::connect(self.local_addr);
+        if let Some(handle) = self.accept_thread.take() {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl Drop for NetServer {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+fn serve(addr: &str, handler: Handler) -> io::Result<NetServer> {
+    let listener = TcpListener::bind(addr)?;
+    let local_addr = listener.local_addr()?;
+    let stop = Arc::new(AtomicBool::new(false));
+    let stop_accept = Arc::clone(&stop);
+    let accept_thread = std::thread::spawn(move || {
+        for conn in listener.incoming() {
+            if stop_accept.load(Ordering::SeqCst) {
+                break;
+            }
+            let Ok(mut stream) = conn else { continue };
+            stream.set_nodelay(true).ok();
+            let handler = Arc::clone(&handler);
+            std::thread::spawn(move || connection_loop(&mut stream, &*handler));
+        }
+    });
+    Ok(NetServer {
+        local_addr,
+        stop,
+        accept_thread: Some(accept_thread),
+    })
+}
+
+/// Reads requests until the client hangs up. A handler error is
+/// reported back as an `Error` frame on a best-effort basis, then the
+/// connection is dropped (its framing may be out of sync).
+fn connection_loop(
+    stream: &mut TcpStream,
+    handler: &(dyn Fn(&mut TcpStream, Message) -> Result<(), WireError> + Send + Sync),
+) {
+    loop {
+        match wire::read_message_opt(stream) {
+            Ok(None) => break,
+            Ok(Some((msg, _))) => {
+                if let Err(e) = handler(stream, msg) {
+                    let _ = wire::write_message(
+                        stream,
+                        &Message::Error {
+                            detail: e.to_string(),
+                        },
+                    );
+                    break;
+                }
+            }
+            Err(e) => {
+                let _ = wire::write_message(
+                    stream,
+                    &Message::Error {
+                        detail: e.to_string(),
+                    },
+                );
+                break;
+            }
+        }
+    }
+}
+
+/// Runs a state-machine call, converting a panic into a `WireError` the
+/// connection loop reports as an `Error` frame.
+fn guarded<T>(label: &str, f: impl FnOnce() -> T) -> Result<T, WireError> {
+    catch_unwind(AssertUnwindSafe(f)).map_err(|panic| {
+        let detail = panic
+            .downcast_ref::<String>()
+            .map(String::as_str)
+            .or_else(|| panic.downcast_ref::<&str>().copied())
+            .unwrap_or("opaque panic");
+        WireError::BadPayload(format!("{label} rejected: {detail}"))
+    })
+}
+
+fn handle_lock(
+    stream: &mut TcpStream,
+    msg: Message,
+    lock: &Arc<EpochLock>,
+) -> Result<(), WireError> {
+    let reply = match msg {
+        Message::Ping { nonce } => Message::Pong { nonce },
+        Message::LockAcquire { machine, prev } => {
+            let (epoch, outcome) =
+                guarded("lock_acquire", || lock.acquire(machine as usize, prev))?;
+            Message::LockGrant {
+                epoch: epoch as u64,
+                outcome,
+            }
+        }
+        Message::LockRelease { machine, bucket } => {
+            guarded("lock_release", || {
+                lock.release_bucket(machine as usize, bucket)
+            })?;
+            Message::Ack
+        }
+        Message::LockReap => {
+            let buckets = guarded("lock_reap", || lock.reap_expired())?;
+            Message::LockReaped { buckets }
+        }
+        other => Message::Error {
+            detail: format!("lock server cannot handle {}", other.tag_name()),
+        },
+    };
+    wire::write_message(stream, &reply)?;
+    Ok(())
+}
+
+fn handle_partitions(
+    stream: &mut TcpStream,
+    msg: Message,
+    parts: &Arc<PartitionServer>,
+) -> Result<(), WireError> {
+    match msg {
+        Message::Ping { nonce } => {
+            wire::write_message(stream, &Message::Pong { nonce })?;
+        }
+        Message::PartCheckout { key } => {
+            let (emb, acc, token, _secs) = guarded("part_checkout", || parts.checkout(key))?;
+            send_part_data(stream, token, emb, acc)?;
+        }
+        Message::PartPeek { key } => {
+            let (emb, acc) = guarded("part_peek", || parts.peek(key))?;
+            send_part_data(stream, u64::MAX, emb, acc)?;
+        }
+        Message::PartCheckin {
+            key,
+            token,
+            emb_len,
+            acc_len,
+        } => {
+            // the floats arrive (concatenated) before the reply goes out
+            let total = emb_len as usize + acc_len as usize;
+            let (mut combined, _) = wire::read_chunks(stream, total)?;
+            let acc = combined.split_off(emb_len as usize);
+            let (_secs, committed) =
+                guarded("part_checkin", || parts.checkin(key, combined, acc, token))?;
+            wire::write_message(stream, &Message::PartCheckinResp { committed })?;
+        }
+        Message::PartRevoke { key } => {
+            guarded("part_revoke", || parts.revoke(key))?;
+            wire::write_message(stream, &Message::Ack)?;
+        }
+        other => {
+            wire::write_message(
+                stream,
+                &Message::Error {
+                    detail: format!("partition server cannot handle {}", other.tag_name()),
+                },
+            )?;
+        }
+    }
+    Ok(())
+}
+
+fn send_part_data(
+    stream: &mut TcpStream,
+    token: u64,
+    emb: Vec<f32>,
+    acc: Vec<f32>,
+) -> Result<(), WireError> {
+    wire::write_message(
+        stream,
+        &Message::PartData {
+            token,
+            emb_len: emb.len() as u32,
+            acc_len: acc.len() as u32,
+        },
+    )?;
+    let mut combined = emb;
+    combined.extend_from_slice(&acc);
+    wire::write_chunks(stream, &combined)?;
+    Ok(())
+}
+
+fn handle_params(
+    stream: &mut TcpStream,
+    msg: Message,
+    params: &Arc<ParameterServer>,
+) -> Result<(), WireError> {
+    let reply = match msg {
+        Message::Ping { nonce } => Message::Pong { nonce },
+        Message::ParamRegister { key, init } => {
+            let value = guarded("param_register", || {
+                params.register(key, &init);
+                params.pull(key)
+            })?;
+            Message::ParamValue { value }
+        }
+        Message::ParamPushPull { key, delta } => {
+            let (value, _secs) = guarded("param_push_pull", || params.push_pull(key, &delta))?;
+            Message::ParamValue { value }
+        }
+        Message::ParamPull { key } => {
+            let value = guarded("param_pull", || params.pull(key))?;
+            Message::ParamValue { value }
+        }
+        other => Message::Error {
+            detail: format!("parameter server cannot handle {}", other.tag_name()),
+        },
+    };
+    wire::write_message(stream, &reply)?;
+    Ok(())
+}

@@ -1,0 +1,834 @@
+//! Framed binary wire protocol.
+//!
+//! Every message travels as one frame: a fixed 20-byte header followed
+//! by a tagged payload, all little-endian.
+//!
+//! ```text
+//! offset  size  field
+//! 0       4     magic        0x5042_4757 ("PBGW")
+//! 4       2     version      1
+//! 6       2     reserved     0 (validated — every header byte is checked)
+//! 8       4     payload_len  ≤ MAX_PAYLOAD_BYTES
+//! 12      8     checksum     FNV-1a-64 of the payload
+//! 20      n     payload      tag u8 + body
+//! ```
+//!
+//! Decoding mirrors the checked-arithmetic style of the checkpoint
+//! readers: every length is validated before allocation (capacity capped
+//! by the declared — already validated — payload length), truncation and
+//! corruption surface as clean [`WireError`]s, never panics.
+
+use pbg_core::storage::PartitionKey;
+use pbg_distsim::lockserver::Acquire;
+use pbg_distsim::paramserver::ParamKey;
+use pbg_graph::bucket::BucketId;
+use std::fmt;
+use std::io::{self, Read, Write};
+
+/// `"PBGW"` little-endian.
+pub const MAGIC: u32 = 0x5042_4757;
+/// Current protocol version.
+pub const VERSION: u16 = 1;
+/// Header bytes before the payload.
+pub const FRAME_HEADER_BYTES: usize = 20;
+/// Upper bound on one frame's payload (64 MiB) — a corrupt length field
+/// must not cause a huge allocation.
+pub const MAX_PAYLOAD_BYTES: usize = 64 << 20;
+/// Floats per [`Message::PartChunk`] when streaming a partition.
+pub const CHUNK_FLOATS: usize = 65_536;
+
+/// Decode failure. `Io` also covers short reads (truncated frames).
+#[derive(Debug)]
+pub enum WireError {
+    /// Reading or writing the underlying stream failed.
+    Io(io::Error),
+    /// The frame header is not a valid protocol frame.
+    BadHeader(String),
+    /// The payload checksum did not match.
+    BadChecksum { expected: u64, actual: u64 },
+    /// The payload is malformed (bad tag, length overrun, trailing
+    /// bytes...).
+    BadPayload(String),
+}
+
+impl fmt::Display for WireError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WireError::Io(e) => write!(f, "io error: {e}"),
+            WireError::BadHeader(d) => write!(f, "bad frame header: {d}"),
+            WireError::BadChecksum { expected, actual } => {
+                write!(
+                    f,
+                    "payload checksum mismatch: expected {expected:#x}, got {actual:#x}"
+                )
+            }
+            WireError::BadPayload(d) => write!(f, "bad payload: {d}"),
+        }
+    }
+}
+
+impl std::error::Error for WireError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            WireError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<io::Error> for WireError {
+    fn from(e: io::Error) -> Self {
+        WireError::Io(e)
+    }
+}
+
+/// Result of a lock-server acquire, as carried on the wire (the epoch
+/// travels alongside in [`Message::LockGrant`]).
+pub type WireAcquire = Acquire;
+
+/// Every message in the protocol. Requests and responses share one
+/// enum: each RPC is strictly one request frame followed by one response
+/// frame, except partition data which streams as a `PartData` header
+/// frame followed by zero or more `PartChunk` frames.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Message {
+    /// Liveness probe.
+    Ping { nonce: u64 },
+    /// Liveness reply, echoing the nonce.
+    Pong { nonce: u64 },
+    /// Generic success reply for requests with no payload.
+    Ack,
+    /// Server-side failure report (the RPC did not take effect unless
+    /// the detail says otherwise).
+    Error { detail: String },
+
+    /// Lock server: request a bucket lease.
+    LockAcquire {
+        machine: u64,
+        prev: Option<BucketId>,
+    },
+    /// Lock server: acquire response with the epoch it belongs to.
+    LockGrant { epoch: u64, outcome: WireAcquire },
+    /// Lock server: release one held bucket.
+    LockRelease { machine: u64, bucket: BucketId },
+    /// Lock server: reclaim expired leases.
+    LockReap,
+    /// Lock server: buckets reclaimed by a reap.
+    LockReaped { buckets: Vec<BucketId> },
+
+    /// Partition server: fenced checkout request.
+    PartCheckout { key: PartitionKey },
+    /// Partition server: checkout/peek response header; `emb_len` +
+    /// `acc_len` floats follow as `PartChunk` frames.
+    PartData {
+        token: u64,
+        emb_len: u32,
+        acc_len: u32,
+    },
+    /// Partition server: one slab of a streamed float block
+    /// (≤ [`CHUNK_FLOATS`] values).
+    PartChunk { data: Vec<f32> },
+    /// Partition server: check-in header; floats follow as chunks.
+    PartCheckin {
+        key: PartitionKey,
+        token: u64,
+        emb_len: u32,
+        acc_len: u32,
+    },
+    /// Partition server: whether the check-in committed (false = fenced
+    /// out by a stale token).
+    PartCheckinResp { committed: bool },
+    /// Partition server: invalidate an outstanding checkout token.
+    PartRevoke { key: PartitionKey },
+    /// Partition server: read last committed floats without checkout
+    /// (response: `PartData` with token `u64::MAX` + chunks).
+    PartPeek { key: PartitionKey },
+
+    /// Parameter server: register a block (first writer wins).
+    ParamRegister { key: ParamKey, init: Vec<f32> },
+    /// Parameter server: value response (canonical or merged).
+    ParamValue { value: Vec<f32> },
+    /// Parameter server: push a delta, expect the merged value back.
+    ParamPushPull { key: ParamKey, delta: Vec<f32> },
+    /// Parameter server: read without pushing.
+    ParamPull { key: ParamKey },
+}
+
+mod tag {
+    pub const PING: u8 = 1;
+    pub const PONG: u8 = 2;
+    pub const ACK: u8 = 3;
+    pub const ERROR: u8 = 4;
+    pub const LOCK_ACQUIRE: u8 = 10;
+    pub const LOCK_GRANT: u8 = 11;
+    pub const LOCK_RELEASE: u8 = 12;
+    pub const LOCK_REAP: u8 = 13;
+    pub const LOCK_REAPED: u8 = 14;
+    pub const PART_CHECKOUT: u8 = 20;
+    pub const PART_DATA: u8 = 21;
+    pub const PART_CHUNK: u8 = 22;
+    pub const PART_CHECKIN: u8 = 23;
+    pub const PART_CHECKIN_RESP: u8 = 24;
+    pub const PART_REVOKE: u8 = 25;
+    pub const PART_PEEK: u8 = 26;
+    pub const PARAM_REGISTER: u8 = 30;
+    pub const PARAM_VALUE: u8 = 31;
+    pub const PARAM_PUSH_PULL: u8 = 32;
+    pub const PARAM_PULL: u8 = 33;
+}
+
+// outcome discriminants inside LockGrant
+const OUTCOME_GRANTED: u8 = 0;
+const OUTCOME_WAIT: u8 = 1;
+const OUTCOME_DONE: u8 = 2;
+
+struct PayloadWriter {
+    buf: Vec<u8>,
+}
+
+impl PayloadWriter {
+    fn new(tag: u8) -> Self {
+        PayloadWriter { buf: vec![tag] }
+    }
+
+    fn u8(&mut self, v: u8) {
+        self.buf.push(v);
+    }
+
+    fn u32(&mut self, v: u32) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    fn u64(&mut self, v: u64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    fn bucket(&mut self, b: BucketId) {
+        self.u32(b.src.0);
+        self.u32(b.dst.0);
+    }
+
+    fn partition_key(&mut self, k: PartitionKey) {
+        self.u32(k.entity_type.0);
+        self.u32(k.partition.0);
+    }
+
+    fn param_key(&mut self, k: ParamKey) {
+        self.u32(k.relation);
+        self.u8(k.side);
+    }
+
+    fn floats(&mut self, v: &[f32]) {
+        self.u32(v.len() as u32);
+        for &x in v {
+            self.buf.extend_from_slice(&x.to_le_bytes());
+        }
+    }
+
+    fn string(&mut self, s: &str) {
+        self.u32(s.len() as u32);
+        self.buf.extend_from_slice(s.as_bytes());
+    }
+}
+
+struct PayloadReader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> PayloadReader<'a> {
+    fn new(buf: &'a [u8]) -> Self {
+        PayloadReader { buf, pos: 0 }
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8], WireError> {
+        let end = self
+            .pos
+            .checked_add(n)
+            .filter(|&end| end <= self.buf.len())
+            .ok_or_else(|| {
+                WireError::BadPayload(format!(
+                    "payload overrun: need {n} bytes at offset {}, have {}",
+                    self.pos,
+                    self.buf.len()
+                ))
+            })?;
+        let slice = &self.buf[self.pos..end];
+        self.pos = end;
+        Ok(slice)
+    }
+
+    fn u8(&mut self) -> Result<u8, WireError> {
+        Ok(self.take(1)?[0])
+    }
+
+    fn u32(&mut self) -> Result<u32, WireError> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+    }
+
+    fn u64(&mut self) -> Result<u64, WireError> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+
+    fn bucket(&mut self) -> Result<BucketId, WireError> {
+        let src = self.u32()?;
+        let dst = self.u32()?;
+        Ok(BucketId::new(src, dst))
+    }
+
+    fn partition_key(&mut self) -> Result<PartitionKey, WireError> {
+        let entity_type = self.u32()?;
+        let partition = self.u32()?;
+        Ok(PartitionKey::new(entity_type, partition))
+    }
+
+    fn param_key(&mut self) -> Result<ParamKey, WireError> {
+        let relation = self.u32()?;
+        let side = self.u8()?;
+        Ok(ParamKey { relation, side })
+    }
+
+    fn floats(&mut self) -> Result<Vec<f32>, WireError> {
+        let len = self.u32()? as usize;
+        // the declared length must fit in the remaining (already
+        // checksum-validated) payload before anything is allocated
+        let bytes = self.take(
+            len.checked_mul(4)
+                .ok_or_else(|| WireError::BadPayload(format!("float count {len} overflows")))?,
+        )?;
+        Ok(bytes
+            .chunks_exact(4)
+            .map(|c| f32::from_le_bytes(c.try_into().unwrap()))
+            .collect())
+    }
+
+    fn string(&mut self) -> Result<String, WireError> {
+        let len = self.u32()? as usize;
+        let bytes = self.take(len)?;
+        String::from_utf8(bytes.to_vec())
+            .map_err(|e| WireError::BadPayload(format!("invalid utf-8 string: {e}")))
+    }
+
+    fn finish(&self) -> Result<(), WireError> {
+        if self.pos != self.buf.len() {
+            return Err(WireError::BadPayload(format!(
+                "{} trailing bytes after message",
+                self.buf.len() - self.pos
+            )));
+        }
+        Ok(())
+    }
+}
+
+impl Message {
+    /// Serializes the payload (tag + body), without the frame header.
+    pub fn encode_payload(&self) -> Vec<u8> {
+        let mut w;
+        match self {
+            Message::Ping { nonce } => {
+                w = PayloadWriter::new(tag::PING);
+                w.u64(*nonce);
+            }
+            Message::Pong { nonce } => {
+                w = PayloadWriter::new(tag::PONG);
+                w.u64(*nonce);
+            }
+            Message::Ack => {
+                w = PayloadWriter::new(tag::ACK);
+            }
+            Message::Error { detail } => {
+                w = PayloadWriter::new(tag::ERROR);
+                w.string(detail);
+            }
+            Message::LockAcquire { machine, prev } => {
+                w = PayloadWriter::new(tag::LOCK_ACQUIRE);
+                w.u64(*machine);
+                match prev {
+                    Some(b) => {
+                        w.u8(1);
+                        w.bucket(*b);
+                    }
+                    None => w.u8(0),
+                }
+            }
+            Message::LockGrant { epoch, outcome } => {
+                w = PayloadWriter::new(tag::LOCK_GRANT);
+                w.u64(*epoch);
+                match outcome {
+                    Acquire::Granted(b) => {
+                        w.u8(OUTCOME_GRANTED);
+                        w.bucket(*b);
+                    }
+                    Acquire::Wait => w.u8(OUTCOME_WAIT),
+                    Acquire::Done => w.u8(OUTCOME_DONE),
+                }
+            }
+            Message::LockRelease { machine, bucket } => {
+                w = PayloadWriter::new(tag::LOCK_RELEASE);
+                w.u64(*machine);
+                w.bucket(*bucket);
+            }
+            Message::LockReap => {
+                w = PayloadWriter::new(tag::LOCK_REAP);
+            }
+            Message::LockReaped { buckets } => {
+                w = PayloadWriter::new(tag::LOCK_REAPED);
+                w.u32(buckets.len() as u32);
+                for b in buckets {
+                    w.bucket(*b);
+                }
+            }
+            Message::PartCheckout { key } => {
+                w = PayloadWriter::new(tag::PART_CHECKOUT);
+                w.partition_key(*key);
+            }
+            Message::PartData {
+                token,
+                emb_len,
+                acc_len,
+            } => {
+                w = PayloadWriter::new(tag::PART_DATA);
+                w.u64(*token);
+                w.u32(*emb_len);
+                w.u32(*acc_len);
+            }
+            Message::PartChunk { data } => {
+                w = PayloadWriter::new(tag::PART_CHUNK);
+                w.floats(data);
+            }
+            Message::PartCheckin {
+                key,
+                token,
+                emb_len,
+                acc_len,
+            } => {
+                w = PayloadWriter::new(tag::PART_CHECKIN);
+                w.partition_key(*key);
+                w.u64(*token);
+                w.u32(*emb_len);
+                w.u32(*acc_len);
+            }
+            Message::PartCheckinResp { committed } => {
+                w = PayloadWriter::new(tag::PART_CHECKIN_RESP);
+                w.u8(u8::from(*committed));
+            }
+            Message::PartRevoke { key } => {
+                w = PayloadWriter::new(tag::PART_REVOKE);
+                w.partition_key(*key);
+            }
+            Message::PartPeek { key } => {
+                w = PayloadWriter::new(tag::PART_PEEK);
+                w.partition_key(*key);
+            }
+            Message::ParamRegister { key, init } => {
+                w = PayloadWriter::new(tag::PARAM_REGISTER);
+                w.param_key(*key);
+                w.floats(init);
+            }
+            Message::ParamValue { value } => {
+                w = PayloadWriter::new(tag::PARAM_VALUE);
+                w.floats(value);
+            }
+            Message::ParamPushPull { key, delta } => {
+                w = PayloadWriter::new(tag::PARAM_PUSH_PULL);
+                w.param_key(*key);
+                w.floats(delta);
+            }
+            Message::ParamPull { key } => {
+                w = PayloadWriter::new(tag::PARAM_PULL);
+                w.param_key(*key);
+            }
+        }
+        w.buf
+    }
+
+    /// Parses a payload produced by [`Message::encode_payload`].
+    pub fn decode_payload(payload: &[u8]) -> Result<Message, WireError> {
+        let mut r = PayloadReader::new(payload);
+        let t = r.u8()?;
+        let msg = match t {
+            tag::PING => Message::Ping { nonce: r.u64()? },
+            tag::PONG => Message::Pong { nonce: r.u64()? },
+            tag::ACK => Message::Ack,
+            tag::ERROR => Message::Error {
+                detail: r.string()?,
+            },
+            tag::LOCK_ACQUIRE => {
+                let machine = r.u64()?;
+                let prev = match r.u8()? {
+                    0 => None,
+                    1 => Some(r.bucket()?),
+                    other => {
+                        return Err(WireError::BadPayload(format!(
+                            "bad option flag {other} in LockAcquire"
+                        )))
+                    }
+                };
+                Message::LockAcquire { machine, prev }
+            }
+            tag::LOCK_GRANT => {
+                let epoch = r.u64()?;
+                let outcome = match r.u8()? {
+                    OUTCOME_GRANTED => Acquire::Granted(r.bucket()?),
+                    OUTCOME_WAIT => Acquire::Wait,
+                    OUTCOME_DONE => Acquire::Done,
+                    other => {
+                        return Err(WireError::BadPayload(format!(
+                            "bad acquire outcome {other}"
+                        )))
+                    }
+                };
+                Message::LockGrant { epoch, outcome }
+            }
+            tag::LOCK_RELEASE => Message::LockRelease {
+                machine: r.u64()?,
+                bucket: r.bucket()?,
+            },
+            tag::LOCK_REAP => Message::LockReap,
+            tag::LOCK_REAPED => {
+                let n = r.u32()? as usize;
+                // 8 bytes per bucket must fit in the remaining payload
+                if n.checked_mul(8).is_none_or(|b| b > payload.len()) {
+                    return Err(WireError::BadPayload(format!(
+                        "LockReaped declares {n} buckets, payload is {} bytes",
+                        payload.len()
+                    )));
+                }
+                let mut buckets = Vec::with_capacity(n);
+                for _ in 0..n {
+                    buckets.push(r.bucket()?);
+                }
+                Message::LockReaped { buckets }
+            }
+            tag::PART_CHECKOUT => Message::PartCheckout {
+                key: r.partition_key()?,
+            },
+            tag::PART_DATA => Message::PartData {
+                token: r.u64()?,
+                emb_len: r.u32()?,
+                acc_len: r.u32()?,
+            },
+            tag::PART_CHUNK => Message::PartChunk { data: r.floats()? },
+            tag::PART_CHECKIN => Message::PartCheckin {
+                key: r.partition_key()?,
+                token: r.u64()?,
+                emb_len: r.u32()?,
+                acc_len: r.u32()?,
+            },
+            tag::PART_CHECKIN_RESP => {
+                let committed = match r.u8()? {
+                    0 => false,
+                    1 => true,
+                    other => {
+                        return Err(WireError::BadPayload(format!(
+                            "bad bool {other} in PartCheckinResp"
+                        )))
+                    }
+                };
+                Message::PartCheckinResp { committed }
+            }
+            tag::PART_REVOKE => Message::PartRevoke {
+                key: r.partition_key()?,
+            },
+            tag::PART_PEEK => Message::PartPeek {
+                key: r.partition_key()?,
+            },
+            tag::PARAM_REGISTER => Message::ParamRegister {
+                key: r.param_key()?,
+                init: r.floats()?,
+            },
+            tag::PARAM_VALUE => Message::ParamValue { value: r.floats()? },
+            tag::PARAM_PUSH_PULL => Message::ParamPushPull {
+                key: r.param_key()?,
+                delta: r.floats()?,
+            },
+            tag::PARAM_PULL => Message::ParamPull {
+                key: r.param_key()?,
+            },
+            other => return Err(WireError::BadPayload(format!("unknown tag {other}"))),
+        };
+        r.finish()?;
+        Ok(msg)
+    }
+
+    /// Short name of the message variant, for telemetry labels.
+    pub fn tag_name(&self) -> &'static str {
+        match self {
+            Message::Ping { .. } => "ping",
+            Message::Pong { .. } => "pong",
+            Message::Ack => "ack",
+            Message::Error { .. } => "error",
+            Message::LockAcquire { .. } => "lock_acquire",
+            Message::LockGrant { .. } => "lock_grant",
+            Message::LockRelease { .. } => "lock_release",
+            Message::LockReap => "lock_reap",
+            Message::LockReaped { .. } => "lock_reaped",
+            Message::PartCheckout { .. } => "part_checkout",
+            Message::PartData { .. } => "part_data",
+            Message::PartChunk { .. } => "part_chunk",
+            Message::PartCheckin { .. } => "part_checkin",
+            Message::PartCheckinResp { .. } => "part_checkin_resp",
+            Message::PartRevoke { .. } => "part_revoke",
+            Message::PartPeek { .. } => "part_peek",
+            Message::ParamRegister { .. } => "param_register",
+            Message::ParamValue { .. } => "param_value",
+            Message::ParamPushPull { .. } => "param_push_pull",
+            Message::ParamPull { .. } => "param_pull",
+        }
+    }
+}
+
+/// Serializes a full frame (header + payload) to a byte vector.
+pub fn encode_frame(msg: &Message) -> Vec<u8> {
+    let payload = msg.encode_payload();
+    assert!(
+        payload.len() <= MAX_PAYLOAD_BYTES,
+        "payload {} exceeds MAX_PAYLOAD_BYTES — split into chunks",
+        payload.len()
+    );
+    let mut frame = Vec::with_capacity(FRAME_HEADER_BYTES + payload.len());
+    frame.extend_from_slice(&MAGIC.to_le_bytes());
+    frame.extend_from_slice(&VERSION.to_le_bytes());
+    frame.extend_from_slice(&0u16.to_le_bytes()); // reserved
+    frame.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+    frame.extend_from_slice(&pbg_core::checkpoint::checksum(&payload).to_le_bytes());
+    frame.extend_from_slice(&payload);
+    frame
+}
+
+/// Parses a full frame from a byte slice, returning the message and the
+/// bytes consumed.
+pub fn decode_frame(bytes: &[u8]) -> Result<(Message, usize), WireError> {
+    if bytes.len() < FRAME_HEADER_BYTES {
+        return Err(WireError::Io(io::Error::new(
+            io::ErrorKind::UnexpectedEof,
+            format!("frame header truncated: {} bytes", bytes.len()),
+        )));
+    }
+    let payload_len = validate_header(bytes[..FRAME_HEADER_BYTES].try_into().unwrap())?;
+    let expected = u64::from_le_bytes(bytes[12..20].try_into().unwrap());
+    let end = FRAME_HEADER_BYTES
+        .checked_add(payload_len)
+        .filter(|&end| end <= bytes.len())
+        .ok_or_else(|| {
+            WireError::Io(io::Error::new(
+                io::ErrorKind::UnexpectedEof,
+                format!(
+                    "frame payload truncated: declared {payload_len}, have {}",
+                    bytes.len() - FRAME_HEADER_BYTES
+                ),
+            ))
+        })?;
+    let payload = &bytes[FRAME_HEADER_BYTES..end];
+    let actual = pbg_core::checkpoint::checksum(payload);
+    if actual != expected {
+        return Err(WireError::BadChecksum { expected, actual });
+    }
+    Ok((Message::decode_payload(payload)?, end))
+}
+
+/// Validates the 20-byte header, returning the payload length. Every
+/// byte of the header is covered: magic, version, and reserved are
+/// compared exactly, the length is bounded, and the checksum verifies
+/// itself against the payload.
+fn validate_header(header: &[u8; FRAME_HEADER_BYTES]) -> Result<usize, WireError> {
+    let magic = u32::from_le_bytes(header[0..4].try_into().unwrap());
+    if magic != MAGIC {
+        return Err(WireError::BadHeader(format!("magic {magic:#010x}")));
+    }
+    let version = u16::from_le_bytes(header[4..6].try_into().unwrap());
+    if version != VERSION {
+        return Err(WireError::BadHeader(format!(
+            "unsupported version {version}"
+        )));
+    }
+    let reserved = u16::from_le_bytes(header[6..8].try_into().unwrap());
+    if reserved != 0 {
+        return Err(WireError::BadHeader(format!(
+            "reserved field {reserved} != 0"
+        )));
+    }
+    let payload_len = u32::from_le_bytes(header[8..12].try_into().unwrap()) as usize;
+    if payload_len > MAX_PAYLOAD_BYTES {
+        return Err(WireError::BadHeader(format!(
+            "payload length {payload_len} exceeds cap {MAX_PAYLOAD_BYTES}"
+        )));
+    }
+    Ok(payload_len)
+}
+
+/// Writes one frame to a stream.
+pub fn write_message<W: Write>(w: &mut W, msg: &Message) -> Result<usize, WireError> {
+    let frame = encode_frame(msg);
+    w.write_all(&frame)?;
+    Ok(frame.len())
+}
+
+/// Reads one frame from a stream, returning the message and the bytes
+/// consumed. Blocks until a full frame arrives; EOF mid-frame is an
+/// [`WireError::Io`] with `UnexpectedEof`.
+pub fn read_message<R: Read>(r: &mut R) -> Result<(Message, usize), WireError> {
+    let mut header = [0u8; FRAME_HEADER_BYTES];
+    r.read_exact(&mut header)?;
+    let payload_len = validate_header(&header)?;
+    let expected = u64::from_le_bytes(header[12..20].try_into().unwrap());
+    // payload_len is already bounded by MAX_PAYLOAD_BYTES
+    let mut payload = vec![0u8; payload_len];
+    r.read_exact(&mut payload)?;
+    let actual = pbg_core::checkpoint::checksum(&payload);
+    if actual != expected {
+        return Err(WireError::BadChecksum { expected, actual });
+    }
+    let msg = Message::decode_payload(&payload)?;
+    Ok((msg, FRAME_HEADER_BYTES + payload_len))
+}
+
+/// Like [`read_message`], but a clean EOF *before the first byte* of a
+/// frame returns `Ok(None)` — how server loops distinguish a client
+/// hanging up between requests from a truncated frame.
+pub fn read_message_opt<R: Read>(r: &mut R) -> Result<Option<(Message, usize)>, WireError> {
+    let mut header = [0u8; FRAME_HEADER_BYTES];
+    let mut filled = 0;
+    while filled < header.len() {
+        match r.read(&mut header[filled..]) {
+            Ok(0) if filled == 0 => return Ok(None),
+            Ok(0) => {
+                return Err(WireError::Io(io::Error::new(
+                    io::ErrorKind::UnexpectedEof,
+                    format!("eof after {filled} header bytes"),
+                )))
+            }
+            Ok(n) => filled += n,
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+            Err(e) => return Err(WireError::Io(e)),
+        }
+    }
+    let payload_len = validate_header(&header)?;
+    let expected = u64::from_le_bytes(header[12..20].try_into().unwrap());
+    let mut payload = vec![0u8; payload_len];
+    r.read_exact(&mut payload)?;
+    let actual = pbg_core::checkpoint::checksum(&payload);
+    if actual != expected {
+        return Err(WireError::BadChecksum { expected, actual });
+    }
+    let msg = Message::decode_payload(&payload)?;
+    Ok(Some((msg, FRAME_HEADER_BYTES + payload_len)))
+}
+
+/// Writes a float block as a stream of [`Message::PartChunk`] frames
+/// (zero frames for an empty block), returning bytes written.
+pub fn write_chunks<W: Write>(w: &mut W, data: &[f32]) -> Result<usize, WireError> {
+    let mut written = 0;
+    for chunk in data.chunks(CHUNK_FLOATS) {
+        written += write_message(
+            w,
+            &Message::PartChunk {
+                data: chunk.to_vec(),
+            },
+        )?;
+    }
+    Ok(written)
+}
+
+/// Reads exactly `expected` floats sent by [`write_chunks`], returning
+/// the block and bytes consumed.
+pub fn read_chunks<R: Read>(r: &mut R, expected: usize) -> Result<(Vec<f32>, usize), WireError> {
+    let mut out = Vec::with_capacity(expected.min(MAX_PAYLOAD_BYTES / 4));
+    let mut consumed = 0;
+    while out.len() < expected {
+        let (msg, n) = read_message(r)?;
+        consumed += n;
+        match msg {
+            Message::PartChunk { data } => {
+                if out.len() + data.len() > expected {
+                    return Err(WireError::BadPayload(format!(
+                        "chunk overrun: {} + {} floats > expected {expected}",
+                        out.len(),
+                        data.len()
+                    )));
+                }
+                out.extend_from_slice(&data);
+            }
+            other => {
+                return Err(WireError::BadPayload(format!(
+                    "expected PartChunk, got {}",
+                    other.tag_name()
+                )))
+            }
+        }
+    }
+    Ok((out, consumed))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn frame_roundtrip() {
+        let msg = Message::LockAcquire {
+            machine: 3,
+            prev: Some(BucketId::new(1u32, 2u32)),
+        };
+        let frame = encode_frame(&msg);
+        assert_eq!(frame.len(), FRAME_HEADER_BYTES + 1 + 8 + 1 + 8);
+        let (back, used) = decode_frame(&frame).unwrap();
+        assert_eq!(back, msg);
+        assert_eq!(used, frame.len());
+    }
+
+    #[test]
+    fn stream_roundtrip_and_eof_detection() {
+        let mut buf = Vec::new();
+        write_message(&mut buf, &Message::Ping { nonce: 9 }).unwrap();
+        write_message(&mut buf, &Message::Ack).unwrap();
+        let mut cursor = std::io::Cursor::new(buf);
+        assert_eq!(
+            read_message_opt(&mut cursor).unwrap().unwrap().0,
+            Message::Ping { nonce: 9 }
+        );
+        assert_eq!(
+            read_message_opt(&mut cursor).unwrap().unwrap().0,
+            Message::Ack
+        );
+        assert!(
+            read_message_opt(&mut cursor).unwrap().is_none(),
+            "clean EOF"
+        );
+    }
+
+    #[test]
+    fn chunk_stream_roundtrip() {
+        let data: Vec<f32> = (0..CHUNK_FLOATS + 7).map(|i| i as f32).collect();
+        let mut buf = Vec::new();
+        let written = write_chunks(&mut buf, &data).unwrap();
+        assert_eq!(written, buf.len());
+        let mut cursor = std::io::Cursor::new(buf);
+        let (back, consumed) = read_chunks(&mut cursor, data.len()).unwrap();
+        assert_eq!(back, data);
+        assert_eq!(consumed, written);
+    }
+
+    #[test]
+    fn header_corruption_is_rejected() {
+        let frame = encode_frame(&Message::Ack);
+        for i in 0..FRAME_HEADER_BYTES {
+            let mut bad = frame.clone();
+            bad[i] ^= 0x01;
+            assert!(
+                decode_frame(&bad).is_err(),
+                "flipping header byte {i} went undetected"
+            );
+        }
+    }
+
+    #[test]
+    fn huge_declared_length_is_rejected_without_allocating() {
+        let mut frame = encode_frame(&Message::Ack);
+        frame[8..12].copy_from_slice(&u32::MAX.to_le_bytes());
+        match decode_frame(&frame) {
+            Err(WireError::BadHeader(_)) => {}
+            other => panic!("{other:?}"),
+        }
+    }
+}

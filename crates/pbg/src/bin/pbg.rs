@@ -6,6 +6,11 @@
 //!               [--checkpoint-every N] [--resume DIR]
 //!               [--inject-crash-after N]
 //!               [--telemetry TRACE.jsonl] [--log-format json|pretty]
+//! pbg serve     --role lock|partition|param --listen HOST:PORT
+//!               --edges E [--format tsv|snap] [--config C.json]
+//!               [--partitions P] [--shards N] [--lease-ms MS]
+//! pbg train     --edges E --cluster lock=H:P,part=H:P,param=H:P
+//!               --rank R [--sync-throttle-ms MS] [--output CKPT] ...
 //! pbg eval      --checkpoint CKPT --test E [--train E]
 //!               [--candidates N] [--filtered] [--prevalence]
 //! pbg neighbors --checkpoint CKPT --entity ID [--relation R] [--k K]
@@ -25,22 +30,41 @@
 //! the manifest records as already trained. `--inject-crash-after N`
 //! simulates a mid-run crash after `N` buckets (for recovery drills and
 //! the CI crash-recovery smoke test).
+//!
+//! `pbg serve` runs one of the three cluster servers from §3.3 of the
+//! paper over real TCP: the lock server (bucket leases), the partition
+//! server (fenced embedding checkout/check-in), or the parameter server
+//! (async push/pull of relation operator state). `pbg train --cluster`
+//! joins such a cluster as one trainer rank. Every process must see the
+//! same `--edges`, `--partitions`, and `--config` so schemas and epoch
+//! counts agree; pass `--output` to the rank that should write the final
+//! checkpoint once training completes.
 
 use pbg::core::checkpoint;
 use pbg::core::config::PbgConfig;
 use pbg::core::eval::{CandidateSampling, LinkPredictionEval};
+use pbg::core::model::Model;
 use pbg::core::neighbors::{nearest_entities, top_destinations};
 use pbg::core::trainer::{Storage, Trainer};
+use pbg::distsim::lockserver::LockServer;
+use pbg::distsim::{EpochLock, NetworkModel, ParameterServer, PartitionServer};
 use pbg::graph::edges::EdgeList;
 use pbg::graph::schema::GraphSchema;
 use pbg::graph::RelationTypeId;
+use pbg::net::{
+    snapshot_model, train_rank, NetLock, NetParams, NetPartitions, NetServer, RankConfig,
+    RankServices,
+};
 use std::collections::HashMap;
 use std::process::ExitCode;
+use std::sync::Arc;
+use std::time::Duration;
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let result = match args.first().map(String::as_str) {
         Some("train") => cmd_train(&parse_flags(&args[1..])),
+        Some("serve") => cmd_serve(&parse_flags(&args[1..])),
         Some("eval") => cmd_eval(&parse_flags(&args[1..])),
         Some("neighbors") => cmd_neighbors(&parse_flags(&args[1..])),
         Some("trace") => cmd_trace(&args[1..]),
@@ -65,6 +89,12 @@ const USAGE: &str = "usage:
                 [--checkpoint-every N] [--resume DIR]
                 [--inject-crash-after N]
                 [--telemetry TRACE.jsonl] [--log-format json|pretty]
+  pbg train     --edges E --cluster lock=H:P,part=H:P,param=H:P --rank R
+                [--partitions P] [--config C.json] [--sync-throttle-ms MS]
+                [--output CKPT]
+  pbg serve     --role lock|partition|param --listen HOST:PORT --edges E
+                [--format tsv|snap] [--config C.json] [--partitions P]
+                [--shards N] [--lease-ms MS]
   pbg eval      --checkpoint CKPT --test E [--train E]
                 [--candidates N] [--filtered] [--prevalence]
   pbg neighbors --checkpoint CKPT --entity ID [--relation R] [--k K]
@@ -167,20 +197,10 @@ fn cmd_train(flags: &Flags) -> Result<(), String> {
             _ => PbgConfig::default(),
         },
     };
-    // homogeneous schema over the observed ids; relation operators default
-    // to identity (configure through a custom config + schema in library
-    // use for anything richer)
-    let mut builder = GraphSchema::builder().entity_type(
-        pbg::graph::schema::EntityTypeDef::new("node", num_nodes).with_partitions(partitions),
-    );
-    for r in 0..num_relations {
-        builder = builder.relation_type(pbg::graph::schema::RelationTypeDef::new(
-            format!("rel_{r}"),
-            0u32,
-            0u32,
-        ));
+    let schema = homogeneous_schema(num_nodes, num_relations, partitions)?;
+    if let Some(spec) = flags.get("cluster") {
+        return cmd_train_cluster(flags, spec, &edges, &schema, config);
     }
-    let schema = builder.build().map_err(|e| e.to_string())?;
     let storage = match flags.get("disk") {
         Some(dir) => Storage::Disk(dir.into()),
         None => Storage::InMemory,
@@ -271,6 +291,159 @@ fn cmd_train(flags: &Flags) -> Result<(), String> {
     checkpoint::save_config(trainer.model().config(), out).map_err(|e| e.to_string())?;
     eprintln!("checkpoint written to {out}");
     Ok(())
+}
+
+/// Homogeneous schema over the observed ids; relation operators default
+/// to identity (configure through a custom config + schema in library
+/// use for anything richer).
+fn homogeneous_schema(
+    num_nodes: u32,
+    num_relations: u32,
+    partitions: u32,
+) -> Result<GraphSchema, String> {
+    let mut builder = GraphSchema::builder().entity_type(
+        pbg::graph::schema::EntityTypeDef::new("node", num_nodes).with_partitions(partitions),
+    );
+    for r in 0..num_relations {
+        builder = builder.relation_type(pbg::graph::schema::RelationTypeDef::new(
+            format!("rel_{r}"),
+            0u32,
+            0u32,
+        ));
+    }
+    builder.build().map_err(|e| e.to_string())
+}
+
+/// Parses `lock=H:P,part=H:P,param=H:P` (roles in any order) into the
+/// three server addresses.
+fn parse_cluster(spec: &str) -> Result<(String, String, String), String> {
+    let (mut lock, mut part, mut param) = (None, None, None);
+    for piece in spec.split(',') {
+        let (role, addr) = piece
+            .split_once('=')
+            .ok_or_else(|| format!("bad cluster entry `{piece}` (want role=host:port)"))?;
+        let slot = match role {
+            "lock" => &mut lock,
+            "part" | "partition" => &mut part,
+            "param" => &mut param,
+            other => return Err(format!("unknown cluster role `{other}` (lock|part|param)")),
+        };
+        if slot.replace(addr.to_string()).is_some() {
+            return Err(format!("duplicate cluster role `{role}`"));
+        }
+    }
+    match (lock, part, param) {
+        (Some(l), Some(pt), Some(pm)) => Ok((l, pt, pm)),
+        _ => Err("cluster spec needs lock=, part=, and param= addresses".into()),
+    }
+}
+
+/// One trainer rank of a networked cluster: trains its share of the
+/// bucket grid against the three servers, then (with `--output`)
+/// snapshots the cluster's final state into a checkpoint.
+fn cmd_train_cluster(
+    flags: &Flags,
+    spec: &str,
+    edges: &EdgeList,
+    schema: &GraphSchema,
+    config: PbgConfig,
+) -> Result<(), String> {
+    let (lock_addr, part_addr, param_addr) = parse_cluster(spec)?;
+    let rank: usize = flags.parse("rank", 0usize)?;
+    let telemetry = pbg::telemetry::Registry::new();
+    let services = RankServices {
+        lock: NetLock::new(lock_addr, &telemetry),
+        partitions: NetPartitions::new(part_addr, &telemetry),
+        params: NetParams::new(param_addr, &telemetry),
+    };
+    let mut run = RankConfig::new(rank);
+    run.param_sync_throttle = Duration::from_millis(flags.parse("sync-throttle-ms", 0u64)?);
+    eprintln!(
+        "rank {rank}: joining cluster, {} edges, {} epochs",
+        edges.len(),
+        config.epochs
+    );
+    let stats = train_rank(schema, edges, config.clone(), &services, &run, &telemetry)
+        .map_err(|e| format!("rank {rank}: {e}"))?;
+    eprintln!(
+        "rank {rank}: done — {} buckets, {} edges, loss {:.4}, {} leases reaped",
+        stats.buckets_trained, stats.edges, stats.loss, stats.recovered_buckets
+    );
+    if let Some(out) = flags.get("output") {
+        let model = snapshot_model(
+            schema,
+            config.clone(),
+            &services.partitions,
+            &services.params,
+        )
+        .map_err(|e| format!("snapshot: {e}"))?;
+        checkpoint::save_with_progress(
+            &model,
+            out,
+            checkpoint::TrainProgress {
+                epochs_done: config.epochs,
+                steps_done: 0,
+            },
+        )
+        .map_err(|e| e.to_string())?;
+        checkpoint::save_config(&config, out).map_err(|e| e.to_string())?;
+        eprintln!("checkpoint written to {out}");
+    }
+    Ok(())
+}
+
+/// Runs one of the three cluster servers until killed. The schema and
+/// epoch count are derived from `--edges`/`--partitions`/`--config`
+/// exactly as `pbg train` derives them, so servers and ranks agree.
+fn cmd_serve(flags: &Flags) -> Result<(), String> {
+    let role = flags.require("role")?;
+    let listen = flags.get("listen").unwrap_or("127.0.0.1:0");
+    let format = flags.get("format").unwrap_or("tsv");
+    let (_edges, num_nodes, num_relations) = load_edges(flags.require("edges")?, format)?;
+    let partitions: u32 = flags.parse("partitions", 2)?;
+    if partitions < 2 {
+        return Err("cluster serving needs --partitions >= 2".into());
+    }
+    let config = match flags.get("config") {
+        Some(path) => {
+            let json = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+            PbgConfig::from_json(&json).map_err(|e| e.to_string())?
+        }
+        None => PbgConfig::default(),
+    };
+    let schema = homogeneous_schema(num_nodes, num_relations, partitions)?;
+    let shards: usize = flags.parse("shards", 4usize)?;
+    // the serving state machines still meter bytes through their
+    // NetworkModel; real sockets carry the data, so no simulated delay
+    let net = Arc::new(NetworkModel::new(1e9, 0.0));
+    let server = match role {
+        "lock" => {
+            let lease_ms: u64 = flags.parse("lease-ms", 10_000u64)?;
+            let inner = if lease_ms == 0 {
+                LockServer::new()
+            } else {
+                LockServer::with_lease(Duration::from_millis(lease_ms))
+            };
+            let lock = Arc::new(EpochLock::new(inner, config.epochs, partitions, partitions));
+            NetServer::lock(listen, lock)
+        }
+        "partition" => {
+            let model = Model::new(schema, config).map_err(|e| e.to_string())?;
+            let state = Arc::new(PartitionServer::new(model.store_layout(), shards, net));
+            NetServer::partitions(listen, state)
+        }
+        "param" => NetServer::params(listen, Arc::new(ParameterServer::new(shards, net))),
+        other => {
+            return Err(format!(
+                "unknown serve role `{other}` (lock|partition|param)"
+            ))
+        }
+    }
+    .map_err(|e| format!("bind {listen}: {e}"))?;
+    eprintln!("{role} server listening on {}", server.local_addr());
+    loop {
+        std::thread::park();
+    }
 }
 
 /// Drains a registry's buffered span events to `path` as JSONL.

@@ -11,6 +11,8 @@
 //!   bucketed HOGWILD training, evaluation, checkpoints).
 //! - [`distsim`]: simulated distributed execution (lock server,
 //!   partition/parameter servers, event-based paper-scale projection).
+//! - [`net`]: real networked distributed training — the same servers
+//!   over a framed TCP wire protocol, plus the trainer-rank driver.
 //! - [`baselines`]: DeepWalk and MILE.
 //! - [`eval`]: ranking metrics, downstream classification, curves.
 //! - [`telemetry`]: counters, gauges, histograms, spans, JSONL traces.
@@ -41,5 +43,6 @@ pub use pbg_datagen as datagen;
 pub use pbg_distsim as distsim;
 pub use pbg_eval as eval;
 pub use pbg_graph as graph;
+pub use pbg_net as net;
 pub use pbg_telemetry as telemetry;
 pub use pbg_tensor as tensor;

@@ -60,6 +60,16 @@ pub mod names {
     /// Counter: partition check-ins discarded because the holder's lease
     /// was revoked (fencing-token mismatch).
     pub const CLUSTER_STALE_CHECKINS: &str = "cluster.stale_checkins";
+    /// Counter: wire bytes written by networked RPC clients (frames
+    /// included, `pbg-net`).
+    pub const NET_BYTES_SENT: &str = "net.bytes_sent";
+    /// Counter: wire bytes read by networked RPC clients.
+    pub const NET_BYTES_RECEIVED: &str = "net.bytes_received";
+    /// Histogram: networked RPC round-trip latency in nanoseconds.
+    pub const NET_RPC_LATENCY_NS: &str = "net.rpc_latency_ns";
+    /// Counter: networked client operations retried (reconnects and
+    /// injected transfer failures).
+    pub const NET_RPC_RETRIES: &str = "net.rpc_retries";
 }
 
 /// A monotonically increasing counter.

@@ -32,6 +32,8 @@ pub mod names {
     pub const PARAM_SYNC: &str = "param_sync";
     /// A checkpoint written to disk (fields: `epoch`, `step`, `bytes`).
     pub const CHECKPOINT_WRITE: &str = "checkpoint_write";
+    /// pbg-net: one RPC round trip over TCP (fields: `tag`, `bytes`).
+    pub const RPC: &str = "rpc";
 }
 
 /// A parsed field value.
