@@ -1,0 +1,213 @@
+//! Partition-buffer sweep: disk loads, swap-wait, and epoch wall time
+//! as a function of buffer capacity B and bucket ordering, at
+//! P ∈ {4, 8, 16}.
+//!
+//! The headline comparison is B=4 greedy-reuse (the BETA-style
+//! buffer-aware order) against the B=2 inside-out baseline: with a
+//! bigger buffer and a reuse-aware schedule, most buckets find their
+//! partitions already resident and the per-epoch disk load count drops.
+//! Results land in `BENCH_buffer.json` at the repo root (and under
+//! `target/experiments/` like every other experiment).
+//!
+//! ```sh
+//! cargo run --release -p pbg-bench --bin buffer [-- --quick]
+//! ```
+
+use pbg_bench::harness::train_pbg;
+use pbg_bench::report::{save_json, ExpArgs, Table};
+use pbg_core::config::PbgConfig;
+use pbg_datagen::presets;
+use pbg_graph::ordering::{load_count, BucketOrdering};
+use pbg_graph::split::EdgeSplit;
+use pbg_tensor::rng::Xoshiro256;
+use serde_json::json;
+
+fn main() {
+    let args = ExpArgs::parse();
+    let scale = args
+        .scale
+        .unwrap_or(if args.quick { 0.000004 } else { 0.00002 });
+    let epochs = args.epochs.unwrap_or(2);
+    let dataset = presets::freebase_like(scale, 71);
+    let split = EdgeSplit::ninety_five_five(&dataset.edges, 71);
+    println!(
+        "dataset {}: {} entities, {} edges, {} epochs/arm",
+        dataset.name,
+        dataset.num_nodes(),
+        dataset.edges.len(),
+        epochs
+    );
+
+    let arms: &[(usize, BucketOrdering)] = &[
+        (2, BucketOrdering::InsideOut),
+        (4, BucketOrdering::InsideOut),
+        (2, BucketOrdering::Hilbert),
+        (4, BucketOrdering::Hilbert),
+        (2, BucketOrdering::GreedyReuse),
+        (4, BucketOrdering::GreedyReuse),
+    ];
+    let mut grids = Vec::new();
+    for p in [4u32, 8, 16] {
+        let mut table = Table::new(
+            format!("Partition buffer sweep, P={p}"),
+            &[
+                "B",
+                "ordering",
+                "loads/epoch",
+                "planned",
+                "evict/epoch",
+                "swap-wait s",
+                "skipped KiB",
+                "epoch s",
+                "vs B=2 i-o",
+            ],
+        );
+        let mut rows = Vec::new();
+        let mut baseline_loads = None;
+        for &(b, ordering) in arms {
+            let config = PbgConfig::builder()
+                .dim(16)
+                .epochs(epochs)
+                .batch_size(500)
+                .chunk_size(50)
+                .uniform_negatives(20)
+                .threads(2)
+                .bucket_ordering(ordering)
+                .buffer_size(b)
+                .seed(7)
+                .build()
+                .expect("valid config");
+            let dir = std::env::temp_dir().join(format!(
+                "pbg_bench_buffer_p{p}_b{b}_{}_{}",
+                ordering.name(),
+                std::process::id()
+            ));
+            let run = train_pbg(
+                dataset.schema_with_partitions(p),
+                &split.train,
+                config,
+                Some(dir.clone()),
+            );
+            std::fs::remove_dir_all(&dir).ok();
+
+            let loads: usize = run.epochs.iter().map(|e| e.swap_ins).sum();
+            let loads_per_epoch = loads as f64 / epochs as f64;
+            let evictions: usize = run.epochs.iter().map(|e| e.evictions).sum();
+            let swap_wait = run.total_swap_wait_seconds();
+            let skipped: u64 = run.epochs.iter().map(|e| e.writeback_skipped_bytes).sum();
+            let epoch_secs = run.seconds / epochs as f64;
+            // the schedule's projected LRU loads, for cross-checking the
+            // measured counter against the pure bucket sequence
+            let mut rng = Xoshiro256::seed_from_u64(7);
+            let planned = load_count(&ordering.order_with_buffer(p, p, b, &mut rng), b);
+
+            if b == 2 && ordering == BucketOrdering::InsideOut {
+                baseline_loads = Some(loads_per_epoch);
+            }
+            let reduction = baseline_loads
+                .map(|base| 1.0 - loads_per_epoch / base)
+                .unwrap_or(0.0);
+            table.row(&[
+                b.to_string(),
+                ordering.name().to_string(),
+                format!("{loads_per_epoch:.0}"),
+                planned.to_string(),
+                format!("{:.0}", evictions as f64 / epochs as f64),
+                format!("{swap_wait:.3}"),
+                format!("{:.0}", skipped as f64 / 1024.0),
+                format!("{epoch_secs:.2}"),
+                format!("{:+.0}%", -reduction * 100.0),
+            ]);
+            rows.push(json!({
+                "buffer_size": b,
+                "ordering": ordering.name(),
+                "disk_loads_per_epoch": loads_per_epoch,
+                "planned_lru_loads_per_epoch": planned,
+                "evictions_per_epoch": evictions as f64 / epochs as f64,
+                "swap_wait_seconds": swap_wait,
+                "prefetch_hits": run.total_prefetch_hits(),
+                "bytes_written_back": run.total_bytes_written_back(),
+                "writeback_skipped_bytes": skipped,
+                "epoch_seconds": epoch_secs,
+                "load_reduction_vs_b2_inside_out": reduction,
+            }));
+        }
+        table.print();
+        grids.push(json!({"partitions": p, "arms": rows}));
+    }
+
+    // acceptance: at P ≥ 8, B=4 greedy-reuse must load ≥ 20% fewer
+    // partitions per epoch than the B=2 inside-out baseline
+    let mut points = Vec::new();
+    let mut pass = true;
+    for grid in &grids {
+        let p = grid["partitions"].as_u64().unwrap();
+        let arms = grid["arms"].as_array().unwrap();
+        let find = |b: u64, name: &str| {
+            arms.iter()
+                .find(|a| {
+                    a["buffer_size"].as_u64() == Some(b) && a["ordering"].as_str() == Some(name)
+                })
+                .map(|a| a["disk_loads_per_epoch"].as_f64().unwrap())
+                .unwrap()
+        };
+        let base = find(2, "inside-out");
+        let greedy = find(4, "greedy-reuse");
+        let reduction = 1.0 - greedy / base;
+        let ok = p < 8 || reduction >= 0.20;
+        pass &= ok;
+        println!(
+            "P={p}: B=4 greedy-reuse loads {greedy:.0}/epoch vs B=2 \
+             inside-out {base:.0}/epoch ({:.0}% fewer){}",
+            reduction * 100.0,
+            if p >= 8 {
+                if ok {
+                    " — meets the ≥20% bar"
+                } else {
+                    " — BELOW the ≥20% bar"
+                }
+            } else {
+                ""
+            }
+        );
+        points.push(json!({
+            "partitions": p,
+            "baseline_loads_per_epoch": base,
+            "greedy_b4_loads_per_epoch": greedy,
+            "load_reduction": reduction,
+        }));
+    }
+
+    // the vendored json! macro takes flat literals only: compose the
+    // nested report from pre-built values
+    let dataset_info = json!({
+        "name": dataset.name.clone(),
+        "nodes": dataset.num_nodes(),
+        "edges": dataset.edges.len(),
+        "epochs": epochs,
+    });
+    let acceptance = json!({
+        "criterion": "≥20% fewer disk partition loads per epoch at P≥8, \
+                      B=4 greedy-reuse vs B=2 inside-out",
+        "pass": pass,
+        "points": points,
+    });
+    let report = json!({
+        "bench": "buffer",
+        "dataset": dataset_info,
+        "grids": grids,
+        "acceptance": acceptance,
+    });
+    save_json("buffer", &report);
+    // the canonical copy lives at the repo root, next to the other
+    // BENCH_*.json files
+    let root = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_buffer.json");
+    match serde_json::to_string_pretty(&report) {
+        Ok(text) => match std::fs::write(&root, text + "\n") {
+            Ok(()) => println!("(saved {})", root.display()),
+            Err(e) => eprintln!("warning: could not write {}: {e}", root.display()),
+        },
+        Err(e) => eprintln!("warning: could not serialize report: {e}"),
+    }
+    assert!(pass, "acceptance criterion not met");
+}

@@ -84,6 +84,11 @@ pub struct PbgConfig {
     pub threads: usize,
     /// Bucket iteration order.
     pub bucket_ordering: BucketOrdering,
+    /// Partition buffer capacity `B`: how many embedding partitions may
+    /// be resident at once. 2 is the paper's source/destination pair;
+    /// larger buffers trade memory for fewer disk loads, especially
+    /// under [`BucketOrdering::GreedyReuse`].
+    pub buffer_size: usize,
     /// Sub-epoch stratification: visit each bucket `N` times per epoch on
     /// `1/N` of its edges (§4.1 footnote 3). 1 = off.
     pub bucket_passes: usize,
@@ -97,8 +102,9 @@ pub struct PbgConfig {
 }
 
 // Hand-written (the vendored serde_derive supports no field attributes):
-// every field is required except `checkpoint_interval_buckets`, which
-// defaults to 0 so configs saved before it existed keep loading.
+// every field is required except `checkpoint_interval_buckets` (defaults
+// to 0) and `buffer_size` (defaults to 2), so configs saved before those
+// fields existed keep loading.
 impl serde::Deserialize for PbgConfig {
     fn deserialize(content: &serde::Content) -> std::result::Result<Self, serde::Error> {
         let serde::Content::Map(fields) = content else {
@@ -119,6 +125,8 @@ impl serde::Deserialize for PbgConfig {
             epochs: serde::get_field(fields, "epochs")?,
             threads: serde::get_field(fields, "threads")?,
             bucket_ordering: serde::get_field(fields, "bucket_ordering")?,
+            buffer_size: serde::get_field::<Option<usize>>(fields, "buffer_size")?
+                .unwrap_or(crate::buffer::DEFAULT_CAPACITY),
             bucket_passes: serde::get_field(fields, "bucket_passes")?,
             init_scale: serde::get_field(fields, "init_scale")?,
             seed: serde::get_field(fields, "seed")?,
@@ -148,6 +156,7 @@ impl Default for PbgConfig {
             epochs: 10,
             threads: 4,
             bucket_ordering: BucketOrdering::InsideOut,
+            buffer_size: crate::buffer::DEFAULT_CAPACITY,
             bucket_passes: 1,
             init_scale: 0.1,
             seed: 0,
@@ -197,6 +206,13 @@ impl PbgConfig {
         }
         if self.bucket_passes == 0 {
             return Err(PbgError::Config("bucket_passes must be positive".into()));
+        }
+        if self.buffer_size < crate::buffer::DEFAULT_CAPACITY {
+            return Err(PbgError::Config(
+                "buffer_size must be at least 2 (a bucket needs its source \
+                 and destination partitions)"
+                    .into(),
+            ));
         }
         if !(self.init_scale.is_finite() && self.init_scale > 0.0) {
             return Err(PbgError::Config("init_scale must be positive".into()));
@@ -328,6 +344,12 @@ impl PbgConfigBuilder {
         self
     }
 
+    /// Sets the partition buffer capacity `B` (minimum 2).
+    pub fn buffer_size(mut self, b: usize) -> Self {
+        self.config.buffer_size = b;
+        self
+    }
+
     /// Sets sub-epoch stratification passes.
     pub fn bucket_passes(mut self, n: usize) -> Self {
         self.config.bucket_passes = n;
@@ -433,6 +455,25 @@ mod tests {
         }
         let c = PbgConfig::from_json(&serde_json::to_string(&v).unwrap()).unwrap();
         assert_eq!(c.checkpoint_interval_buckets, 0);
+    }
+
+    #[test]
+    fn config_json_without_buffer_size_still_loads() {
+        // configs saved before the field existed must keep parsing
+        let mut v: serde_json::Value =
+            serde_json::from_str(&PbgConfig::default().to_json()).unwrap();
+        if let serde_json::Value::Map(fields) = &mut v {
+            fields.retain(|(k, _)| k != "buffer_size");
+        }
+        let c = PbgConfig::from_json(&serde_json::to_string(&v).unwrap()).unwrap();
+        assert_eq!(c.buffer_size, 2);
+    }
+
+    #[test]
+    fn undersized_buffer_rejected() {
+        assert!(PbgConfig::builder().buffer_size(1).build().is_err());
+        assert!(PbgConfig::builder().buffer_size(0).build().is_err());
+        assert!(PbgConfig::builder().buffer_size(4).build().is_ok());
     }
 
     #[test]

@@ -57,6 +57,7 @@
 //! | Figure 2 checkpoints | [`checkpoint`] |
 
 pub mod batch;
+pub mod buffer;
 pub mod checkpoint;
 pub mod config;
 pub mod error;
@@ -73,6 +74,7 @@ pub mod stats;
 pub mod storage;
 pub mod trainer;
 
+pub use buffer::{BufferTransition, PartitionBuffer};
 pub use config::{LossKind, NegativeMode, PbgConfig, SimilarityKind};
 pub use error::PbgError;
 pub use eval::{CandidateSampling, LinkPredictionEval};

@@ -240,6 +240,7 @@ impl Model {
                         .write_row(off as usize, m.row(global.index()));
                 }
                 drop(data);
+                store.mark_dirty(key);
                 store.release(key);
             }
         }

@@ -54,6 +54,10 @@ pub struct EpochStats {
     pub swap_wait_seconds: f64,
     /// Bytes written back to backing storage by partition releases.
     pub bytes_written_back: u64,
+    /// Partitions evicted from the buffer during the epoch.
+    pub evictions: usize,
+    /// Write-back bytes skipped because the partition was clean.
+    pub writeback_skipped_bytes: u64,
 }
 
 /// Per-epoch I/O counter deltas, taken from a
@@ -68,6 +72,10 @@ pub struct IoStats {
     pub swap_wait_seconds: f64,
     /// Bytes written back on release.
     pub bytes_written_back: u64,
+    /// Partitions evicted from the buffer.
+    pub evictions: usize,
+    /// Write-back bytes skipped because the partition was clean.
+    pub writeback_skipped_bytes: u64,
     /// Peak resident embedding bytes.
     pub peak_bytes: usize,
 }
@@ -87,6 +95,10 @@ impl IoStats {
             bytes_written_back: self
                 .bytes_written_back
                 .saturating_sub(earlier.bytes_written_back),
+            evictions: self.evictions.saturating_sub(earlier.evictions),
+            writeback_skipped_bytes: self
+                .writeback_skipped_bytes
+                .saturating_sub(earlier.writeback_skipped_bytes),
             peak_bytes: self.peak_bytes,
         }
     }
@@ -103,6 +115,8 @@ impl IoStats {
             prefetch_hits: snap.counter(names::STORE_PREFETCH_HITS) as usize,
             swap_wait_seconds: snap.counter(names::STORE_SWAP_WAIT_NS) as f64 * 1e-9,
             bytes_written_back: snap.counter(names::STORE_BYTES_WRITTEN_BACK),
+            evictions: snap.counter(names::STORE_EVICTIONS) as usize,
+            writeback_skipped_bytes: snap.counter(names::STORE_WRITEBACK_SKIPPED_BYTES),
             peak_bytes: snap.gauge(names::STORE_RESIDENT_BYTES).peak as usize,
         }
     }
@@ -148,6 +162,8 @@ impl EpochAccumulator {
             prefetch_hits: io.prefetch_hits,
             swap_wait_seconds: io.swap_wait_seconds,
             bytes_written_back: io.bytes_written_back,
+            evictions: io.evictions,
+            writeback_skipped_bytes: io.writeback_skipped_bytes,
         }
     }
 }
@@ -259,6 +275,8 @@ mod tests {
                 prefetch_hits: 3,
                 swap_wait_seconds: 0.25,
                 bytes_written_back: 4096,
+                evictions: 6,
+                writeback_skipped_bytes: 512,
                 peak_bytes: 1234,
             },
         );
@@ -270,6 +288,8 @@ mod tests {
         assert_eq!(e.prefetch_hits, 3);
         assert_eq!(e.swap_wait_seconds, 0.25);
         assert_eq!(e.bytes_written_back, 4096);
+        assert_eq!(e.evictions, 6);
+        assert_eq!(e.writeback_skipped_bytes, 512);
     }
 
     #[test]
@@ -279,6 +299,8 @@ mod tests {
             prefetch_hits: 0,
             swap_wait_seconds: 0.1,
             bytes_written_back: 100,
+            evictions: 1,
+            writeback_skipped_bytes: 10,
             peak_bytes: 50,
         };
         let earlier = IoStats {
@@ -286,6 +308,8 @@ mod tests {
             prefetch_hits: 4,
             swap_wait_seconds: 2.0,
             bytes_written_back: 900,
+            evictions: 7,
+            writeback_skipped_bytes: 700,
             peak_bytes: 10,
         };
         // a store recreated between snapshots restarts its counters;

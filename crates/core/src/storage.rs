@@ -127,6 +127,20 @@ pub trait PartitionStore: Send + Sync {
     fn bytes_written_back(&self) -> u64 {
         0
     }
+    /// Marks `key`'s resident data as mutated, so its eventual
+    /// [`PartitionStore::release`] must persist it. Callers that write
+    /// into a loaded partition MUST call this before releasing it — a
+    /// clean (unmarked) release is allowed to discard the in-memory copy
+    /// without touching backing storage, which is what makes read-only
+    /// passes (evaluation snapshots, mid-epoch peeks) free of write
+    /// traffic. Stores that keep everything resident ignore this.
+    /// Default: no-op.
+    fn mark_dirty(&self, _key: PartitionKey) {}
+    /// Bytes of write-back skipped because the released partition was
+    /// never marked dirty.
+    fn writeback_skipped_bytes(&self) -> u64 {
+        0
+    }
 }
 
 /// Shape metadata shared by store implementations.
@@ -225,6 +239,9 @@ impl InMemoryStore {
         telemetry
             .gauge(metric::STORE_RESIDENT_BYTES)
             .set(bytes as u64);
+        telemetry
+            .gauge(metric::STORE_RESIDENT_PARTITIONS)
+            .set(partitions.len() as u64);
         InMemoryStore {
             layout,
             partitions,
@@ -289,6 +306,10 @@ struct SwapState {
     /// Queued-or-in-progress write-backs per key. A file is only read
     /// when its key has no pending writes, so reads never race writes.
     pending_writes: HashMap<PartitionKey, usize>,
+    /// Keys whose resident data was mutated since load (the per-partition
+    /// dirty bit). Consumed by `release`: set → write back, unset → the
+    /// disk copy (or the deterministic init) already matches, skip.
+    mutated: HashSet<PartitionKey>,
 }
 
 /// State shared between the front end and the background I/O thread.
@@ -305,11 +326,14 @@ struct DiskShared {
     ready: Condvar,
     telemetry: Registry,
     resident_bytes: Gauge,
+    resident_partitions: Gauge,
     io_queue_depth: Gauge,
     swap_ins: Counter,
+    evictions: Counter,
     prefetch_hits: Counter,
     swap_wait_ns: Counter,
     bytes_written_back: Counter,
+    writeback_skipped: Counter,
 }
 
 impl DiskShared {
@@ -380,6 +404,7 @@ impl DiskShared {
 
     fn track_load(&self, bytes: usize) {
         self.resident_bytes.add(bytes as u64);
+        self.resident_partitions.add(1);
     }
 
     /// Field list identifying a partition in trace events.
@@ -554,11 +579,14 @@ impl DiskStore {
                 ready: Condvar::new(),
                 telemetry: telemetry.clone(),
                 resident_bytes: telemetry.gauge(metric::STORE_RESIDENT_BYTES),
+                resident_partitions: telemetry.gauge(metric::STORE_RESIDENT_PARTITIONS),
                 io_queue_depth: telemetry.gauge(metric::STORE_IO_QUEUE_DEPTH),
                 swap_ins: telemetry.counter(metric::STORE_SWAP_INS),
+                evictions: telemetry.counter(metric::STORE_EVICTIONS),
                 prefetch_hits: telemetry.counter(metric::STORE_PREFETCH_HITS),
                 swap_wait_ns: telemetry.counter(metric::STORE_SWAP_WAIT_NS),
                 bytes_written_back: telemetry.counter(metric::STORE_BYTES_WRITTEN_BACK),
+                writeback_skipped: telemetry.counter(metric::STORE_WRITEBACK_SKIPPED_BYTES),
             }),
             io: None,
         })
@@ -650,6 +678,17 @@ impl PartitionStore for DiskStore {
         let mut st = shared.state.lock();
         if let Some(data) = st.resident.remove(&key) {
             shared.resident_bytes.sub(data.bytes() as u64);
+            shared.resident_partitions.sub(1);
+            shared.evictions.inc();
+            if !st.mutated.remove(&key) {
+                // Clean eviction: nothing wrote into this partition since
+                // it was loaded, so the file (or the deterministic init
+                // that would recreate it) already matches byte-for-byte.
+                // Snapshot and evaluation passes release every partition
+                // through here without costing a single disk write.
+                shared.writeback_skipped.add(data.bytes() as u64);
+                return;
+            }
             match &self.io {
                 Some((tx, _)) => {
                     st.dirty.insert(key, Arc::clone(&data));
@@ -727,6 +766,14 @@ impl PartitionStore for DiskStore {
         self.shared.bytes_written_back.get()
     }
 
+    fn mark_dirty(&self, key: PartitionKey) {
+        self.shared.state.lock().mutated.insert(key);
+    }
+
+    fn writeback_skipped_bytes(&self) -> u64 {
+        self.shared.writeback_skipped.get()
+    }
+
     fn load_all(&self) {
         for (key, _) in self.shared.layout.keys().to_vec() {
             let _ = self.load(key);
@@ -796,6 +843,7 @@ mod tests {
         data.embeddings.set(3, 2, 7.5);
         let _ = data.adagrad.step_size(3, &[1.0; 8]);
         drop(data);
+        store.mark_dirty(key);
         store.release(key);
         assert_eq!(store.resident_bytes(), 0);
         let back = store.load(key);
@@ -862,6 +910,7 @@ mod tests {
         let data = store.load(key);
         data.embeddings.set(1, 1, -3.25);
         drop(data);
+        store.mark_dirty(key);
         store.release(key);
         assert_eq!(store.resident_bytes(), 0);
         // the released copy is found again whether or not the
@@ -881,6 +930,7 @@ mod tests {
             let data = store.load(key);
             data.embeddings.set(0, 3, 9.75);
             drop(data);
+            store.mark_dirty(key);
             store.release(key);
         } // drop joins the I/O thread after the queue drains
         let store = DiskStore::new_sync(layout(2), &dir).unwrap();
@@ -898,11 +948,82 @@ mod tests {
         let data = store.load(key);
         data.embeddings.set(2, 0, 1.5);
         drop(data);
+        store.mark_dirty(key);
         store.release(key);
         // prefetch immediately after release: claims the in-memory copy
         store.prefetch(key);
         let back = store.load(key);
         assert_eq!(back.embeddings.get(2, 0), 1.5);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn clean_release_skips_write_back() {
+        let dir = std::env::temp_dir().join(format!("pbg_disk_clean_{}", std::process::id()));
+        let store = DiskStore::new(layout(2), &dir).unwrap();
+        let key = PartitionKey::new(0u32, 0u32);
+        let data = store.load(key);
+        let bytes = data.bytes() as u64;
+        drop(data);
+        store.release(key); // never marked dirty
+        assert_eq!(store.writeback_skipped_bytes(), bytes);
+        assert_eq!(store.bytes_written_back(), 0);
+        // reload re-derives the identical deterministic init
+        let again = store.load(key);
+        let reference = layout(2).init(key);
+        assert_eq!(again.embeddings.to_vec(), reference.embeddings.to_vec());
+        drop(store); // flush: nothing was queued, no file appears
+        assert!(
+            !dir.join("et0_p0.emb").exists(),
+            "clean release must not touch disk"
+        );
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn dirty_bit_clears_after_release() {
+        let dir = std::env::temp_dir().join(format!("pbg_disk_bit_{}", std::process::id()));
+        let store = DiskStore::new_sync(layout(2), &dir).unwrap();
+        let key = PartitionKey::new(0u32, 0u32);
+        let data = store.load(key);
+        data.embeddings.set(0, 0, 42.0);
+        drop(data);
+        store.mark_dirty(key);
+        store.release(key); // writes, consuming the dirty bit
+        let written = store.bytes_written_back();
+        assert!(written > 0);
+        // read-only round trip: the mutation survives, no second write
+        let back = store.load(key);
+        assert_eq!(back.embeddings.get(0, 0), 42.0);
+        drop(back);
+        store.release(key);
+        assert_eq!(
+            store.bytes_written_back(),
+            written,
+            "clean pass wrote nothing"
+        );
+        assert!(store.writeback_skipped_bytes() > 0);
+        assert_eq!(store.load(key).embeddings.get(0, 0), 42.0);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn resident_partition_gauge_and_evictions() {
+        let dir = std::env::temp_dir().join(format!("pbg_disk_gauge_{}", std::process::id()));
+        let reg = Registry::new();
+        let store = DiskStore::with_telemetry(layout(4), &dir, &reg).unwrap();
+        let k0 = PartitionKey::new(0u32, 0u32);
+        let k1 = PartitionKey::new(0u32, 1u32);
+        let _a = store.load(k0);
+        let _b = store.load(k1);
+        let gauge = reg.gauge(metric::STORE_RESIDENT_PARTITIONS);
+        assert_eq!(gauge.get(), 2);
+        store.release(k0);
+        assert_eq!(gauge.get(), 1);
+        assert_eq!(gauge.peak(), 2);
+        store.release(k1);
+        assert_eq!(gauge.get(), 0);
+        assert_eq!(reg.counter(metric::STORE_EVICTIONS).get(), 2);
         std::fs::remove_dir_all(&dir).ok();
     }
 

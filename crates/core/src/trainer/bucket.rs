@@ -92,6 +92,9 @@ pub fn train_bucket(
     let mut resident: HashMap<PartitionKey, Arc<PartitionData>> = HashMap::new();
     for key in needed_keys(model, bucket) {
         resident.insert(key, store.load(key));
+        // HOGWILD threads write embeddings and Adagrad state in place:
+        // the eventual release must persist this partition.
+        store.mark_dirty(key);
     }
     let parts = partitionings(model);
     let schema = model.schema();

@@ -235,12 +235,15 @@ impl Trainer {
         // replays the interrupted epoch's schedule, so skipping the first
         // `resume_skip` steps skips exactly the already-trained buckets
         let mut order_rng = epoch_rng(config.seed, self.epoch);
-        let order = config.bucket_ordering.order(
+        let order = config.bucket_ordering.order_with_buffer(
             self.buckets.src_parts(),
             self.buckets.dst_parts(),
+            config.buffer_size,
             &mut order_rng,
         );
-        let plan = EpochPlan::new(&order, |b| needed_keys(&self.model, b));
+        let plan =
+            EpochPlan::with_capacity(&order, |b| needed_keys(&self.model, b), config.buffer_size);
+        let prefetch_depth = self.telemetry.histogram(metric_name::STORE_PREFETCH_DEPTH);
         let mut acc = EpochAccumulator::new();
         let io_before = self.io_counters();
         let passes = config.bucket_passes;
@@ -259,9 +262,11 @@ impl Trainer {
                     continue;
                 }
                 let bucket_id = plan_step.bucket;
-                // overlap: next step's partitions start loading now
-                for &key in &plan_step.prefetch {
+                // overlap: partitions needed up to B-1 steps ahead start
+                // loading now
+                for (i, &key) in plan_step.prefetch.iter().enumerate() {
                     self.store.prefetch(key);
+                    prefetch_depth.observe(plan_step.prefetch_depth[i]);
                 }
                 let seed = config
                     .seed
@@ -334,7 +339,35 @@ impl Trainer {
                 }
             }
         }
-        acc.finish(self.epoch, self.io_counters().delta_since(&io_before))
+        let stats = acc.finish(self.epoch, self.io_counters().delta_since(&io_before));
+        if self.telemetry.tracing() {
+            // one point per epoch so `pbg trace summarize` can report the
+            // buffer's behavior next to the bucket timeline
+            self.telemetry.point(
+                span_name::BUFFER_STATS,
+                vec![
+                    ("capacity", FieldValue::from(config.buffer_size as u64)),
+                    (
+                        "resident_peak",
+                        FieldValue::from(
+                            self.telemetry
+                                .gauge(metric_name::STORE_RESIDENT_PARTITIONS)
+                                .peak(),
+                        ),
+                    ),
+                    ("evictions", FieldValue::from(stats.evictions as u64)),
+                    (
+                        "skipped_bytes",
+                        FieldValue::from(stats.writeback_skipped_bytes),
+                    ),
+                    (
+                        "prefetch_hits",
+                        FieldValue::from(stats.prefetch_hits as u64),
+                    ),
+                ],
+            );
+        }
+        stats
     }
 
     /// Snapshots the model and writes a manifest-committed checkpoint,

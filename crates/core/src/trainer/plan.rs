@@ -3,22 +3,25 @@
 //! The bucket order for an epoch is known up front, so the partition
 //! traffic it implies can be planned before any training happens instead
 //! of being re-derived ad hoc with set differences inside the epoch loop.
-//! [`EpochPlan`] walks the order once and emits one [`EpochStep`] per
-//! bucket: which partitions must be acquired before training, which can
-//! be prefetched *during* training (they belong to the next bucket only,
-//! so I/O overlaps compute — §4.1's swap pipeline), and which can be
-//! released afterwards.
+//! [`EpochPlan`] replays the order through a [`PartitionBuffer`] of
+//! capacity `B` and emits one [`EpochStep`] per bucket: which partitions
+//! must be acquired before training, which can be prefetched *during*
+//! training (the buffer looks up to `B - 1` buckets ahead, so I/O
+//! overlaps compute — §4.1's swap pipeline), and which the buffer evicts
+//! afterwards. At the default `B = 2` this degenerates to the paper's
+//! pairwise swap schedule.
 //!
 //! The incremental flavor of the same bookkeeping is [`SwapPlanner`],
 //! used where the bucket sequence is not known in advance (the cluster
-//! simulator's machines discover their next bucket from the lock server).
-//! Both the single-machine [`crate::trainer::Trainer`] and
+//! simulator's machines discover their next bucket from the lock
+//! server). Both the single-machine [`crate::trainer::Trainer`] and
 //! `distsim`'s cluster run on this module, so swap planning lives in
 //! exactly one place.
 
+use crate::buffer::{PartitionBuffer, DEFAULT_CAPACITY};
 use crate::storage::PartitionKey;
 use pbg_graph::bucket::BucketId;
-use std::collections::HashSet;
+use std::collections::{HashMap, HashSet};
 
 /// One step of an [`EpochPlan`]: a bucket plus its partition traffic.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -30,16 +33,22 @@ pub struct EpochStep {
     /// Partitions not resident before this step; they must be loaded
     /// before training starts (sorted).
     pub acquire: Vec<PartitionKey>,
-    /// Partitions the *next* step needs but this one does not: safe to
-    /// load in the background while this bucket trains (sorted, disjoint
-    /// from `needed` by construction).
+    /// Partitions a later step acquires: safe to load in the background
+    /// while this bucket trains (sorted, disjoint from `needed` by
+    /// construction). With a capacity-`B` buffer the plan announces each
+    /// future acquire up to `B - 1` steps early.
     pub prefetch: Vec<PartitionKey>,
-    /// Partitions no later step in this pass reuses directly; released
-    /// (written back) after training (sorted).
+    /// How many steps ahead of its acquire each `prefetch` entry is
+    /// issued (parallel to `prefetch`, each `>= 1`) — the prefetch-depth
+    /// telemetry histogram observes these.
+    pub prefetch_depth: Vec<u64>,
+    /// Partitions the buffer evicts after this step trains: written back
+    /// (if dirty) and dropped from residency (sorted).
     pub release: Vec<PartitionKey>,
 }
 
-/// A full epoch's worth of [`EpochStep`]s for a fixed bucket order.
+/// A full epoch's worth of [`EpochStep`]s for a fixed bucket order and
+/// buffer capacity.
 ///
 /// Invariants (checked by the property tests in `tests/properties.rs`):
 ///
@@ -47,43 +56,85 @@ pub struct EpochStep {
 ///   touches a partition the current bucket is training;
 /// - the resident set after the final step is empty (every acquired
 ///   partition is eventually released);
-/// - at no point are more than `max(needed) + max(prefetch)` partitions
-///   logically held, i.e. the plan double-buffers, never more.
+/// - replaying the plan's acquires and releases against a fresh
+///   [`PartitionBuffer`] of the same capacity reproduces the plan's load
+///   count exactly — the plan *is* the buffer, unrolled.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct EpochPlan {
     steps: Vec<EpochStep>,
 }
 
 impl EpochPlan {
-    /// Plans the epoch for `order`, with `needed` mapping each bucket to
-    /// the partitions it touches (see
-    /// [`crate::trainer::bucket::needed_keys`]).
+    /// Plans the epoch for `order` under the paper's two-slot buffer,
+    /// with `needed` mapping each bucket to the partitions it touches
+    /// (see [`crate::trainer::bucket::needed_keys`]).
     pub fn new(order: &[BucketId], needed: impl Fn(BucketId) -> HashSet<PartitionKey>) -> Self {
+        EpochPlan::with_capacity(order, needed, DEFAULT_CAPACITY)
+    }
+
+    /// Plans the epoch for `order` against a [`PartitionBuffer`] of
+    /// `capacity` partition slots. Evictions are lazy LRU (the buffer
+    /// decides), and prefetches are announced up to `capacity - 1` steps
+    /// before their acquire — never earlier than the step after the
+    /// key's previous eviction, so a prefetch can never race its own
+    /// write-back.
+    pub fn with_capacity(
+        order: &[BucketId],
+        needed: impl Fn(BucketId) -> HashSet<PartitionKey>,
+        capacity: usize,
+    ) -> Self {
         let needed_sets: Vec<HashSet<PartitionKey>> = order.iter().map(|&b| needed(b)).collect();
-        let mut planner = SwapPlanner::new();
-        let mut steps = Vec::with_capacity(order.len());
-        for (i, &bucket) in order.iter().enumerate() {
-            let transition = planner.step(&needed_sets[i]);
-            let release = match needed_sets.get(i + 1) {
-                // keep what the next bucket reuses
-                Some(next) => sorted(needed_sets[i].difference(next).copied()),
-                None => planner.finish(),
-            };
-            if !release.is_empty() && i + 1 < order.len() {
-                planner.forget(&release);
+        let n = order.len();
+        let mut buffer = PartitionBuffer::new(capacity);
+        let mut acquires: Vec<Vec<PartitionKey>> = vec![Vec::new(); n];
+        let mut releases: Vec<Vec<PartitionKey>> = vec![Vec::new(); n];
+        for i in 0..n {
+            let t = buffer.request(&needed_sets[i]);
+            acquires[i] = t.load;
+            if i > 0 {
+                // evictions requested to fit bucket i execute after
+                // bucket i-1 trains
+                releases[i - 1] = t.evict;
+            } else {
+                debug_assert!(t.evict.is_empty(), "first request cannot evict");
             }
-            let prefetch = match needed_sets.get(i + 1) {
-                Some(next) => sorted(next.difference(&needed_sets[i]).copied()),
-                None => Vec::new(),
-            };
-            steps.push(EpochStep {
-                bucket,
-                needed: sorted(needed_sets[i].iter().copied()),
-                acquire: transition.acquire,
-                prefetch,
-                release,
-            });
         }
+        if n > 0 {
+            releases[n - 1] = buffer.flush();
+        }
+        let lookahead = buffer.capacity() - 1;
+        let mut prefetches: Vec<Vec<(PartitionKey, u64)>> = vec![Vec::new(); n];
+        let mut last_release: HashMap<PartitionKey, usize> = HashMap::new();
+        for k in 0..n {
+            for &key in &acquires[k] {
+                if k > 0 {
+                    let earliest = last_release.get(&key).map_or(0, |&j| j + 1);
+                    let issue = earliest.max(k.saturating_sub(lookahead));
+                    if issue < k {
+                        prefetches[issue].push((key, (k - issue) as u64));
+                    }
+                }
+            }
+            for &key in &releases[k] {
+                last_release.insert(key, k);
+            }
+        }
+        let steps = order
+            .iter()
+            .enumerate()
+            .map(|(i, &bucket)| {
+                let mut pf = std::mem::take(&mut prefetches[i]);
+                pf.sort_unstable();
+                EpochStep {
+                    bucket,
+                    needed: sorted(needed_sets[i].iter().copied()),
+                    acquire: std::mem::take(&mut acquires[i]),
+                    prefetch: pf.iter().map(|&(k, _)| k).collect(),
+                    prefetch_depth: pf.iter().map(|&(_, d)| d).collect(),
+                    release: std::mem::take(&mut releases[i]),
+                }
+            })
+            .collect();
         EpochPlan { steps }
     }
 
@@ -119,55 +170,99 @@ impl EpochPlan {
 pub struct SwapTransition {
     /// Partitions to load: needed now, not resident (sorted).
     pub acquire: Vec<PartitionKey>,
-    /// Partitions to evict: resident, no longer needed (sorted).
+    /// Partitions the buffer evicts: resident, not needed, over
+    /// capacity (sorted).
     pub release: Vec<PartitionKey>,
 }
 
-/// Incremental swap planning over an evolving resident set.
+/// Incremental swap planning over an evolving resident set — a
+/// [`PartitionBuffer`] fed one bucket at a time.
 ///
 /// Feed it each bucket's needed set as the bucket is discovered;
-/// [`SwapPlanner::step`] returns what to load and what to evict, keeping
-/// the resident set equal to the needed set afterwards. This is the
-/// online counterpart of [`EpochPlan`] for consumers that learn their
-/// bucket sequence one step at a time (the cluster simulator's
-/// machines).
-#[derive(Debug, Clone, Default)]
+/// [`SwapPlanner::step`] returns what to load and what the buffer
+/// evicts. This is the online counterpart of [`EpochPlan`] for consumers
+/// that learn their bucket sequence one step at a time (the cluster
+/// simulator's machines).
+///
+/// Residency is lazy: partitions stay buffered until capacity forces
+/// them out. Callers whose residency implies *exclusive ownership* of
+/// unlocked state (the networked rank's fenced checkouts) must call
+/// [`SwapPlanner::evict_unneeded`] after each step to restore the
+/// classic swap-everything-unneeded behavior.
+#[derive(Debug, Clone)]
 pub struct SwapPlanner {
-    resident: HashSet<PartitionKey>,
+    buffer: PartitionBuffer,
 }
 
 impl SwapPlanner {
-    /// Creates a planner with an empty resident set.
+    /// Creates a planner with the paper's two-slot buffer.
     pub fn new() -> Self {
-        SwapPlanner::default()
+        SwapPlanner::with_capacity(DEFAULT_CAPACITY)
     }
 
-    /// The partitions currently planned as resident.
-    pub fn resident(&self) -> &HashSet<PartitionKey> {
-        &self.resident
+    /// Creates a planner over a buffer of `capacity` partition slots.
+    pub fn with_capacity(capacity: usize) -> Self {
+        SwapPlanner {
+            buffer: PartitionBuffer::new(capacity),
+        }
+    }
+
+    /// The underlying buffer capacity.
+    pub fn capacity(&self) -> usize {
+        self.buffer.capacity()
+    }
+
+    /// The partitions currently planned as resident (LRU first).
+    pub fn resident(&self) -> &[PartitionKey] {
+        self.buffer.resident()
+    }
+
+    /// Total loads planned since creation.
+    pub fn loads(&self) -> u64 {
+        self.buffer.loads()
     }
 
     /// Advances to a bucket needing `needed`; returns the load/evict
-    /// delta and updates the resident set to `needed`.
+    /// delta decided by the buffer.
     pub fn step(&mut self, needed: &HashSet<PartitionKey>) -> SwapTransition {
-        let acquire = sorted(needed.difference(&self.resident).copied());
-        let release = sorted(self.resident.difference(needed).copied());
-        self.resident = needed.clone();
-        SwapTransition { acquire, release }
+        let t = self.buffer.request(needed);
+        SwapTransition {
+            acquire: t.load,
+            release: t.evict,
+        }
+    }
+
+    /// Evicts every resident partition not in `needed`, regardless of
+    /// capacity; returns them sorted. Restores eager pairwise-swap
+    /// semantics for callers that cannot cache partitions they do not
+    /// hold locks on.
+    pub fn evict_unneeded(&mut self, needed: &HashSet<PartitionKey>) -> Vec<PartitionKey> {
+        let extra: Vec<PartitionKey> = self
+            .buffer
+            .resident()
+            .iter()
+            .copied()
+            .filter(|k| !needed.contains(k))
+            .collect();
+        self.buffer.forget(&extra);
+        sorted(extra)
     }
 
     /// Drops `keys` from the resident set without a full transition
     /// (used when a caller releases early, e.g. at the end of a pass).
     pub fn forget(&mut self, keys: &[PartitionKey]) {
-        for k in keys {
-            self.resident.remove(k);
-        }
+        self.buffer.forget(keys);
     }
 
     /// Releases everything still resident (end of epoch / lock wait).
     pub fn finish(&mut self) -> Vec<PartitionKey> {
-        let out = sorted(self.resident.drain());
-        out
+        self.buffer.flush()
+    }
+}
+
+impl Default for SwapPlanner {
+    fn default() -> Self {
+        SwapPlanner::new()
     }
 }
 
@@ -205,40 +300,44 @@ mod tests {
 
     #[test]
     fn plan_prefetch_is_disjoint_from_current_bucket() {
-        let plan = EpochPlan::new(&row_major(4), grid_needed);
-        for step in plan.steps() {
-            for k in &step.prefetch {
-                assert!(
-                    !step.needed.contains(k),
-                    "prefetch {k:?} collides with bucket {} partitions",
-                    step.bucket
-                );
+        for capacity in [2, 3, 4, 8] {
+            let plan = EpochPlan::with_capacity(&row_major(4), grid_needed, capacity);
+            for step in plan.steps() {
+                for k in &step.prefetch {
+                    assert!(
+                        !step.needed.contains(k),
+                        "B={capacity}: prefetch {k:?} collides with bucket {} partitions",
+                        step.bucket
+                    );
+                }
             }
         }
     }
 
     #[test]
     fn plan_releases_everything_by_the_end() {
-        let plan = EpochPlan::new(&row_major(3), grid_needed);
-        let mut resident: HashSet<PartitionKey> = HashSet::new();
-        for step in plan.steps() {
-            for &k in &step.acquire {
-                assert!(resident.insert(k), "{k:?} acquired twice");
+        for capacity in [2, 3, 4, 8] {
+            let plan = EpochPlan::with_capacity(&row_major(3), grid_needed, capacity);
+            let mut resident: HashSet<PartitionKey> = HashSet::new();
+            for step in plan.steps() {
+                for &k in &step.acquire {
+                    assert!(resident.insert(k), "{k:?} acquired while resident");
+                }
+                for &k in &step.needed {
+                    assert!(resident.contains(&k), "{k:?} needed but not resident");
+                }
+                for &k in &step.release {
+                    assert!(resident.remove(&k), "{k:?} released but not resident");
+                }
             }
-            for &k in &step.needed {
-                assert!(resident.contains(&k), "{k:?} needed but not resident");
-            }
-            for &k in &step.release {
-                assert!(resident.remove(&k), "{k:?} released but not resident");
-            }
+            assert!(resident.is_empty(), "B={capacity} leaked: {resident:?}");
         }
-        assert!(resident.is_empty(), "leaked partitions: {resident:?}");
     }
 
     #[test]
     fn plan_prefetch_matches_next_acquire() {
-        // whatever step i prefetches, step i+1 must not re-acquire more
-        // than that (the store already has it or it was kept resident)
+        // at B=2 the lookahead is one bucket: whatever step i prefetches
+        // is exactly what step i+1 acquires
         let plan = EpochPlan::new(&row_major(4), grid_needed);
         for pair in plan.steps().windows(2) {
             assert_eq!(
@@ -246,6 +345,7 @@ mod tests {
                 "prefetch at step for {} must equal acquire at {}",
                 pair[0].bucket, pair[1].bucket
             );
+            assert!(pair[0].prefetch_depth.iter().all(|&d| d == 1));
         }
     }
 
@@ -261,6 +361,50 @@ mod tests {
     }
 
     #[test]
+    fn bigger_buffer_plans_fewer_acquires() {
+        // inside-out revisits partitions; a B=4 buffer keeps them
+        let order: Vec<BucketId> = pbg_graph::ordering::BucketOrdering::InsideOut.order(
+            6,
+            6,
+            &mut pbg_tensor::rng::Xoshiro256::seed_from_u64(0),
+        );
+        let small = EpochPlan::with_capacity(&order, grid_needed, 2);
+        let big = EpochPlan::with_capacity(&order, grid_needed, 4);
+        assert!(
+            big.total_acquires() < small.total_acquires(),
+            "B=4 {} vs B=2 {}",
+            big.total_acquires(),
+            small.total_acquires()
+        );
+    }
+
+    #[test]
+    fn deep_prefetch_never_precedes_eviction() {
+        for capacity in [2, 4, 8] {
+            let plan = EpochPlan::with_capacity(&row_major(5), grid_needed, capacity);
+            let mut released: HashMap<PartitionKey, usize> = HashMap::new();
+            let mut announced: HashMap<PartitionKey, usize> = HashMap::new();
+            for (i, step) in plan.steps().iter().enumerate() {
+                for (&k, &d) in step.prefetch.iter().zip(&step.prefetch_depth) {
+                    assert!(d >= 1 && (d as usize) < capacity.max(2), "depth {d}");
+                    if let Some(&j) = released.get(&k) {
+                        assert!(i > j, "prefetch of {k:?} at {i} races release at {j}");
+                    }
+                    announced.insert(k, i + d as usize);
+                }
+                for &k in &step.acquire {
+                    if let Some(&at) = announced.get(&k) {
+                        assert_eq!(at, i, "{k:?} acquired at {i}, announced for {at}");
+                    }
+                }
+                for &k in &step.release {
+                    released.insert(k, i);
+                }
+            }
+        }
+    }
+
+    #[test]
     fn swap_planner_tracks_resident_set() {
         let mut p = SwapPlanner::new();
         let t1 = p.step(&[key(0), key(1)].into_iter().collect());
@@ -271,6 +415,29 @@ mod tests {
         assert_eq!(t2.release, vec![key(0)]);
         assert_eq!(p.finish(), vec![key(1), key(2)]);
         assert!(p.resident().is_empty());
+    }
+
+    #[test]
+    fn swap_planner_with_capacity_keeps_extra_partitions() {
+        let mut p = SwapPlanner::with_capacity(3);
+        p.step(&[key(0), key(1)].into_iter().collect());
+        let t = p.step(&[key(1), key(2)].into_iter().collect());
+        assert_eq!(t.acquire, vec![key(2)]);
+        assert_eq!(t.release, vec![], "B=3 keeps partition 0");
+        assert_eq!(p.loads(), 3);
+    }
+
+    #[test]
+    fn evict_unneeded_restores_eager_semantics() {
+        let mut p = SwapPlanner::new();
+        p.step(&[key(0), key(1)].into_iter().collect());
+        // diagonal bucket: lazy residency would keep partition 0
+        let needed: HashSet<PartitionKey> = [key(1)].into_iter().collect();
+        let t = p.step(&needed);
+        assert_eq!(t.acquire, vec![]);
+        assert_eq!(t.release, vec![], "lazy buffer keeps partition 0");
+        assert_eq!(p.evict_unneeded(&needed), vec![key(0)]);
+        assert_eq!(p.resident(), &[key(1)]);
     }
 
     #[test]

@@ -1,12 +1,13 @@
 //! Property-based tests over the core training machinery.
 
+use pbg_core::buffer::PartitionBuffer;
 use pbg_core::config::{LossKind, PbgConfig, SimilarityKind};
 use pbg_core::loss;
 use pbg_core::negatives::{candidate_offsets, mask_induced_positives};
 use pbg_core::operator;
 use pbg_core::similarity::{score_matrix, score_pairs};
 use pbg_core::storage::PartitionKey;
-use pbg_core::trainer::EpochPlan;
+use pbg_core::trainer::{EpochPlan, SwapPlanner};
 use pbg_graph::bucket::BucketId;
 use pbg_graph::schema::OperatorKind;
 use pbg_tensor::matrix::Matrix;
@@ -190,6 +191,63 @@ proptest! {
             for &k in &step.release {
                 prop_assert!(resident.remove(&k), "{:?} released but absent", k);
             }
+        }
+        prop_assert!(resident.is_empty(), "leaked: {:?}", resident);
+    }
+
+    #[test]
+    fn epoch_plan_load_count_matches_a_replayed_buffer_exactly(
+        pairs in proptest::collection::vec((0u32..8, 0u32..8), 1..25),
+        capacity in 2usize..7,
+    ) {
+        // the plan's projected acquires, a live SwapPlanner, and a bare
+        // PartitionBuffer replay of the same bucket sequence must agree
+        // load for load — they are three views of one eviction policy
+        let order: Vec<BucketId> =
+            pairs.iter().map(|&(s, d)| BucketId::new(s, d)).collect();
+        let plan = EpochPlan::with_capacity(&order, grid_needed, capacity);
+
+        let mut buffer = PartitionBuffer::new(capacity);
+        let mut planner = SwapPlanner::with_capacity(capacity);
+        let mut planner_loads = 0usize;
+        for (bucket, step) in order.iter().zip(plan.steps()) {
+            let needed = grid_needed(*bucket);
+            let transition = buffer.request(&needed);
+            prop_assert_eq!(&step.acquire, &transition.load, "bucket {}", bucket);
+            planner_loads += planner.step(&needed).acquire.len();
+        }
+        buffer.flush();
+        planner.finish();
+        prop_assert_eq!(plan.total_acquires() as u64, buffer.loads());
+        prop_assert_eq!(planner_loads as u64, buffer.loads());
+        prop_assert_eq!(planner.loads(), buffer.loads());
+    }
+
+    #[test]
+    fn epoch_plan_capacity_bounds_the_resident_set(
+        pairs in proptest::collection::vec((0u32..8, 0u32..8), 1..25),
+        capacity in 2usize..7,
+    ) {
+        // replaying acquires/releases never holds more than `capacity`
+        // partitions except transiently within a step (acquire before
+        // release of the same step is not how the trainer executes, so
+        // check the post-step residency)
+        let order: Vec<BucketId> =
+            pairs.iter().map(|&(s, d)| BucketId::new(s, d)).collect();
+        let plan = EpochPlan::with_capacity(&order, grid_needed, capacity);
+        let mut resident: HashSet<PartitionKey> = HashSet::new();
+        for step in plan.steps() {
+            for &k in &step.acquire {
+                prop_assert!(resident.insert(k), "{:?} acquired while resident", k);
+            }
+            for &k in &step.release {
+                prop_assert!(resident.remove(&k), "{:?} released but absent", k);
+            }
+            prop_assert!(
+                resident.len() <= capacity,
+                "{} resident after {} with capacity {}",
+                resident.len(), step.bucket, capacity
+            );
         }
         prop_assert!(resident.is_empty(), "leaked: {:?}", resident);
     }

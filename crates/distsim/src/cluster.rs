@@ -32,8 +32,8 @@ use pbg_telemetry::trace::names as span_name;
 use pbg_telemetry::{span, Counter, Gauge, Registry};
 use pbg_tensor::rng::Xoshiro256;
 use serde::{Deserialize, Serialize};
-use std::collections::HashMap;
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::collections::{HashMap, HashSet};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
@@ -286,9 +286,13 @@ impl ClusterTrainer {
                     let recovered = telemetry.counter(metric::CLUSTER_RECOVERED_BUCKETS);
                     let acquire_wait = telemetry.histogram(metric::CLUSTER_ACQUIRE_WAIT_NS);
                     // swap planning shared with the single-machine
-                    // trainer: the planner tracks this machine's
-                    // resident set and emits load/evict deltas
-                    let mut planner = SwapPlanner::new();
+                    // trainer: the planner is this machine's capacity-B
+                    // partition buffer and emits load/evict deltas.
+                    // Retaining a partition past its bucket lock is safe
+                    // because updates are written through before the
+                    // lock goes (see `write_through`) and a cached copy
+                    // is validated against its fencing token on reuse.
+                    let mut planner = SwapPlanner::with_capacity(model.config().buffer_size);
                     let mut client = ParamClient::new(params, cluster.param_sync_throttle);
                     register_params(&mut client, model);
                     let mut rng = Xoshiro256::seed_from_u64((epoch as u64) << 32 | machine as u64);
@@ -320,13 +324,20 @@ impl ClusterTrainer {
                                         vec![("machine", (machine as u64).into())],
                                     );
                                 }
-                                // save partitions the new bucket does not
-                                // need, then release the old locks
+                                // evict what the buffer gives up, write
+                                // through what it keeps, then release the
+                                // old locks: partitions staying resident
+                                // lose lock coverage the moment the old
+                                // bucket's locks go, so the next holder
+                                // must find their updates on the server.
+                                // The new bucket's own partitions stay
+                                // dirty under locks we still hold.
                                 let needed = needed_keys(model, bucket);
                                 let transition = planner.step(&needed);
                                 for &key in &transition.release {
                                     store.release(key);
                                 }
+                                store.write_through(&needed);
                                 if let Some(p) = prev.take() {
                                     lock.release_bucket(machine, p);
                                 }
@@ -385,11 +396,14 @@ impl ClusterTrainer {
                             }
                             Acquire::Wait => {
                                 wait_start = Some(t_req);
-                                // avoid deadlock: give up held partitions
-                                // and locks while waiting
-                                for key in planner.finish() {
-                                    store.release(key);
-                                }
+                                // avoid deadlock: give up bucket locks
+                                // while waiting. The buffer stays warm —
+                                // once written through, cached copies
+                                // are clean so holding them blocks no
+                                // other machine, and one gone stale
+                                // while we wait fails validation on
+                                // reuse and is simply refetched.
+                                store.write_through(&HashSet::new());
                                 if let Some(p) = prev.take() {
                                     lock.release_bucket(machine, p);
                                 }
@@ -685,7 +699,8 @@ fn sync_one(
     }
 }
 
-/// Machine-local partition cache backed by the partition server.
+/// Machine-local capacity-B partition cache backed by the partition
+/// server.
 ///
 /// Implements [`PartitionStore`] including [`PartitionStore::prefetch`],
 /// so the cluster driver consumes the same swap machinery as the
@@ -694,16 +709,33 @@ fn sync_one(
 /// between [`MachineStore::take_step_io`] calls is attributed to the
 /// current bucket, which the driver overlaps with compute in the
 /// pipelined projection.
+///
+/// Caching a partition past its bucket lock is only sound because the
+/// cache is write-through: [`MachineStore::write_through`] commits
+/// mutated partitions with [`PartitionServer::checkin_keep`] before
+/// their locks are released, leaving a clean copy cached under a fresh
+/// fencing token, and a `load` of a clean cached copy first asks the
+/// server to [`PartitionServer::validate`] that token — a copy fenced
+/// out by another machine's checkout is dropped and refetched instead
+/// of trained on stale.
 struct MachineStore<'m> {
     server: Arc<PartitionServer>,
     globals: Arc<HashMap<PartitionKey, Arc<PartitionData>>>,
     resident: Mutex<HashMap<PartitionKey, Arc<PartitionData>>>,
-    /// Fencing token of each resident partition's checkout, presented at
-    /// check-in.
+    /// Fencing token of each resident partition's checkout (or the
+    /// fresh token from its last `checkin_keep`), presented at check-in
+    /// and at validation.
     tokens: Mutex<HashMap<PartitionKey, u64>>,
     /// Keys checked out ahead of use; a later `load` of one is a
     /// prefetch hit.
     prefetched: Mutex<std::collections::HashSet<PartitionKey>>,
+    /// Resident keys mutated since their last checkout or write-through
+    /// ([`PartitionStore::mark_dirty`]). A clean release skips the
+    /// check-in transfer entirely.
+    mutated: Mutex<std::collections::HashSet<PartitionKey>>,
+    /// Bytes whose release skipped the check-in because the copy was
+    /// clean (eval/snapshot traffic, retained-buffer evictions).
+    writeback_skipped: AtomicU64,
     lr: f32,
     /// Total simulated transfer seconds (serial accounting).
     sim_seconds: Mutex<f64>,
@@ -742,6 +774,8 @@ impl<'m> MachineStore<'m> {
             resident: Mutex::new(HashMap::new()),
             tokens: Mutex::new(HashMap::new()),
             prefetched: Mutex::new(std::collections::HashSet::new()),
+            mutated: Mutex::new(std::collections::HashSet::new()),
+            writeback_skipped: AtomicU64::new(0),
             lr: model.config().learning_rate,
             sim_seconds: Mutex::new(0.0),
             step_io: Mutex::new(0.0),
@@ -813,6 +847,61 @@ impl<'m> MachineStore<'m> {
         self.resident_bytes.add(data.bytes() as u64);
         data
     }
+
+    /// Commits every mutated resident partition *not* in `still_locked`
+    /// back to the server via [`PartitionServer::checkin_keep`], keeping
+    /// the now-clean copy cached under a fresh fencing token.
+    ///
+    /// Must run before the previous bucket's locks are released: a
+    /// retained partition loses lock coverage at that moment, and the
+    /// next machine granted a bucket over it checks out whatever the
+    /// server holds. Partitions of the newly granted bucket
+    /// (`still_locked`) stay dirty — our own locks still cover them, so
+    /// their commit can wait until *their* coverage ends (matching the
+    /// pre-buffer failure semantics: a crash loses at most the
+    /// still-locked bucket's updates, which the lease reaper retrains).
+    fn write_through(&self, still_locked: &HashSet<PartitionKey>) {
+        let mut to_commit: Vec<PartitionKey> = self
+            .mutated
+            .lock()
+            .iter()
+            .copied()
+            .filter(|key| !still_locked.contains(key))
+            .collect();
+        to_commit.sort();
+        for key in to_commit {
+            let data = match self.resident.lock().get(&key) {
+                Some(data) => Arc::clone(data),
+                None => {
+                    self.mutated.lock().remove(&key);
+                    continue;
+                }
+            };
+            self.retry_transfer_faults();
+            let token = self.tokens.lock().get(&key).copied().unwrap_or(u64::MAX);
+            let (secs, committed, fresh) = self.server.checkin_keep(
+                key,
+                data.embeddings.to_vec(),
+                data.adagrad.to_vec(),
+                token,
+            );
+            self.charge(secs);
+            self.mutated.lock().remove(&key);
+            if let (true, Some(fresh)) = (committed, fresh) {
+                self.tokens.lock().insert(key, fresh);
+            } else {
+                // fenced out (our lease was reaped mid-bucket): the
+                // server kept the new holder's version — drop our copy
+                // so any later use refetches the committed state
+                self.stale_checkins.inc();
+                self.tokens.lock().remove(&key);
+                if let Some(data) = self.resident.lock().remove(&key) {
+                    self.prefetched.lock().remove(&key);
+                    self.resident_bytes.sub(data.bytes() as u64);
+                }
+            }
+        }
+    }
 }
 
 impl PartitionStore for MachineStore<'_> {
@@ -822,10 +911,30 @@ impl PartitionStore for MachineStore<'_> {
         }
         let mut resident = self.resident.lock();
         if let Some(data) = resident.get(&key) {
+            // fresh this-bucket checkouts and dirty mid-bucket copies
+            // are ours under a held lock; a clean copy retained from an
+            // earlier bucket must prove nobody checked the partition
+            // out since we wrote it through
             if self.prefetched.lock().remove(&key) {
                 self.prefetch_hits.fetch_add(1, Ordering::SeqCst);
+                return Arc::clone(data);
             }
-            return Arc::clone(data);
+            if self.mutated.lock().contains(&key) {
+                return Arc::clone(data);
+            }
+            let token = self.tokens.lock().get(&key).copied();
+            if let Some(token) = token {
+                let (valid, secs) = self.server.validate(key, token);
+                self.charge(secs);
+                if valid {
+                    return Arc::clone(data);
+                }
+            }
+            // fenced out while unlocked: drop the stale copy and fall
+            // through to a fresh checkout of the committed version
+            let data = resident.remove(&key).expect("checked above");
+            self.tokens.lock().remove(&key);
+            self.resident_bytes.sub(data.bytes() as u64);
         }
         let data = self.checkout(key);
         resident.insert(key, Arc::clone(&data));
@@ -839,8 +948,17 @@ impl PartitionStore for MachineStore<'_> {
         let mut resident = self.resident.lock();
         if let Some(data) = resident.remove(&key) {
             self.prefetched.lock().remove(&key);
-            self.retry_transfer_faults();
             let token = self.tokens.lock().remove(&key).unwrap_or(u64::MAX);
+            if !self.mutated.lock().remove(&key) {
+                // clean: the server already holds these bytes (initial
+                // checkout or a prior write-through) — skip the
+                // check-in transfer entirely
+                self.writeback_skipped
+                    .fetch_add(data.bytes() as u64, Ordering::SeqCst);
+                self.resident_bytes.sub(data.bytes() as u64);
+                return;
+            }
+            self.retry_transfer_faults();
             let (secs, committed) =
                 self.server
                     .checkin(key, data.embeddings.to_vec(), data.adagrad.to_vec(), token);
@@ -852,6 +970,16 @@ impl PartitionStore for MachineStore<'_> {
             self.charge(secs);
             self.resident_bytes.sub(data.bytes() as u64);
         }
+    }
+
+    fn mark_dirty(&self, key: PartitionKey) {
+        if !self.globals.contains_key(&key) {
+            self.mutated.lock().insert(key);
+        }
+    }
+
+    fn writeback_skipped_bytes(&self) -> u64 {
+        self.writeback_skipped.load(Ordering::SeqCst)
     }
 
     fn prefetch(&self, key: PartitionKey) {

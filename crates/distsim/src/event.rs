@@ -46,6 +46,11 @@ pub struct EventSimConfig {
     /// sum. `false` models the paper's synchronous swapping, whose I/O
     /// overhead grows Table 3's epoch time from 30 h to 40 h.
     pub pipelined: bool,
+    /// Per-machine partition buffer capacity `B` (≥ 2). A machine keeps
+    /// up to `B` partitions resident in LRU order; a bucket only loads
+    /// partitions missing from its buffer and only writes back what the
+    /// buffer evicts, so `B > 2` trades memory for fewer transfers.
+    pub buffer_partitions: usize,
 }
 
 impl Default for EventSimConfig {
@@ -62,6 +67,7 @@ impl Default for EventSimConfig {
             net_bandwidth: 1e9,
             epoch_overhead_sec: 60.0,
             pipelined: true,
+            buffer_partitions: 2,
         }
     }
 }
@@ -82,6 +88,12 @@ pub struct EventSimReport {
     pub occupancy: f64,
     /// Total bytes swapped/transferred across the run.
     pub moved_bytes: u64,
+    /// Partition loads across the run (buffer misses; write-backs are
+    /// the buffer's evictions).
+    pub partition_loads: u64,
+    /// Hours the busiest machine stalled on partition I/O that compute
+    /// could not hide (equals `io_hours` when not pipelined).
+    pub stall_hours: f64,
 }
 
 /// Bytes of one node's state: `dim` embedding floats + 1 Adagrad scalar.
@@ -124,6 +136,8 @@ pub fn simulate(cfg: &EventSimConfig) -> EventSimReport {
             peak_memory_bytes: model_bytes + model_bytes / 4, // +25% runtime overhead
             occupancy: 1.0,
             moved_bytes: 0,
+            partition_loads: 0,
+            stall_hours: 0.0,
         };
     }
 
@@ -138,10 +152,11 @@ pub fn simulate(cfg: &EventSimConfig) -> EventSimReport {
     let io_secs = first.io + later.io * (epochs - 1.0);
     let busy = first.busy + later.busy * (epochs - 1.0);
     let span = first.total + later.total * (epochs - 1.0);
-    // per-machine resident: 2 partitions (+ optimizer already counted)
-    // plus a modest runtime overhead, matching how peak RSS exceeds the
-    // raw parameter bytes in the paper's tables
-    let peak = 2 * partition_bytes + partition_bytes / 2;
+    // per-machine resident: B buffered partitions (+ optimizer already
+    // counted) plus a modest runtime overhead, matching how peak RSS
+    // exceeds the raw parameter bytes in the paper's tables
+    let capacity = cfg.buffer_partitions.max(2) as u64;
+    let peak = capacity * partition_bytes + partition_bytes / 2;
     EventSimReport {
         total_hours: total_secs / 3600.0,
         compute_hours: compute_secs / 3600.0,
@@ -153,6 +168,8 @@ pub fn simulate(cfg: &EventSimConfig) -> EventSimReport {
             1.0
         },
         moved_bytes: first.moved + later.moved * (cfg.epochs as u64 - 1),
+        partition_loads: first.loads + later.loads * (cfg.epochs as u64 - 1),
+        stall_hours: (first.stall + later.stall * (epochs - 1.0)) / 3600.0,
     }
 }
 
@@ -162,6 +179,8 @@ struct EpochSim {
     io: f64,
     busy: f64,
     moved: u64,
+    loads: u64,
+    stall: f64,
 }
 
 fn simulate_epoch(
@@ -185,14 +204,19 @@ fn simulate_epoch(
             init_dst.insert(Partition(q));
         }
     }
+    let capacity = cfg.buffer_partitions.max(2);
     let mut clocks = vec![0.0f64; m];
-    let mut resident: Vec<Option<BucketId>> = vec![None; m];
+    // machine-local partition buffers, least-recently-used first
+    let mut buffers: Vec<Vec<Partition>> = vec![Vec::new(); m];
+    let mut prev_bucket: Vec<Option<BucketId>> = vec![None; m];
     // (machine, bucket, finish_time)
     let mut active: Vec<(usize, BucketId, f64)> = Vec::new();
     let mut busy = vec![0.0f64; m];
     let mut compute = vec![0.0f64; m];
     let mut io = vec![0.0f64; m];
+    let mut stall = vec![0.0f64; m];
     let mut moved: u64 = 0;
+    let mut loads_total: u64 = 0;
     let mut anything_initialized = pre_initialized;
 
     loop {
@@ -208,7 +232,6 @@ fn simulate_epoch(
         for &mi in &idle {
             let locked: HashSet<Partition> =
                 active.iter().flat_map(|(_, b, _)| b.partitions()).collect();
-            let prev = resident[mi];
             let mut eligible: Vec<BucketId> = pending
                 .iter()
                 .copied()
@@ -221,31 +244,34 @@ fn simulate_epoch(
                 continue;
             }
             eligible.sort();
-            let chosen = match prev {
-                Some(pv) => eligible
-                    .iter()
-                    .copied()
-                    .find(|b| b.src == pv.src || b.dst == pv.dst)
-                    .unwrap_or(eligible[0]),
-                None => eligible[0],
-            };
+            let chosen = pbg_graph::ordering::pick_shared_side(&eligible, prev_bucket[mi])
+                .expect("eligible is non-empty");
             pending.retain(|b| *b != chosen);
-            // partitions to load: those not shared with the previous bucket
-            let loads = match prev {
-                None => chosen.partitions().count(),
-                Some(pv) => chosen
-                    .partitions()
-                    .filter(|q| !pv.partitions().any(|r| r == *q))
-                    .count(),
-            };
-            // each newly loaded partition also implies saving a previous
-            // one (write-back), costing another transfer
-            let xfer = loads as f64 * 2.0 * load_secs;
-            moved += loads as u64 * 2 * partition_bytes;
+            // partitions to load: buffer misses. Touching a buffered
+            // partition refreshes it in LRU order; each load beyond
+            // capacity evicts (and writes back) the least-recent one.
+            let buffer = &mut buffers[mi];
+            let mut loads = 0usize;
+            let mut evictions = 0usize;
+            for q in chosen.partitions() {
+                if let Some(i) = buffer.iter().position(|&r| r == q) {
+                    buffer.remove(i);
+                } else {
+                    loads += 1;
+                    if buffer.len() >= capacity {
+                        buffer.remove(0);
+                        evictions += 1;
+                    }
+                }
+                buffer.push(q);
+            }
+            let xfer = (loads + evictions) as f64 * load_secs;
+            moved += (loads + evictions) as u64 * partition_bytes;
+            loads_total += loads as u64;
             // pipelined swapping: after a machine's first bucket, the
             // swap overlaps the previous bucket's compute, so the step
             // costs max(transfer, train) rather than their sum
-            let step = if cfg.pipelined && resident[mi].is_some() {
+            let step = if cfg.pipelined && prev_bucket[mi].is_some() {
                 NetworkModel::pipelined_step_seconds(train_secs, xfer)
             } else {
                 NetworkModel::serial_step_seconds(train_secs, xfer)
@@ -253,9 +279,10 @@ fn simulate_epoch(
             let finish = clocks[mi] + step;
             io[mi] += xfer;
             compute[mi] += train_secs;
+            stall[mi] += step - train_secs;
             busy[mi] += step;
             clocks[mi] = finish;
-            resident[mi] = Some(chosen);
+            prev_bucket[mi] = Some(chosen);
             anything_initialized = true;
             init_src.insert(chosen.src);
             init_dst.insert(chosen.dst);
@@ -287,6 +314,8 @@ fn simulate_epoch(
         io: io.iter().copied().fold(0.0, f64::max),
         busy: busy.iter().sum(),
         moved,
+        loads: loads_total,
+        stall: stall.iter().copied().fold(0.0, f64::max),
     }
 }
 
@@ -420,6 +449,48 @@ mod tests {
                 serial.total_hours
             );
         }
+    }
+
+    #[test]
+    fn bigger_buffer_trades_memory_for_fewer_transfers() {
+        let small = simulate(&EventSimConfig {
+            partitions: 16,
+            ..base()
+        });
+        let big = simulate(&EventSimConfig {
+            partitions: 16,
+            buffer_partitions: 4,
+            ..base()
+        });
+        assert!(
+            big.partition_loads < small.partition_loads,
+            "B=4 loads {} vs B=2 loads {}",
+            big.partition_loads,
+            small.partition_loads
+        );
+        assert!(big.moved_bytes < small.moved_bytes);
+        assert!(big.total_hours <= small.total_hours + 1e-9);
+        assert!(big.peak_memory_bytes > small.peak_memory_bytes);
+    }
+
+    #[test]
+    fn stall_equals_io_when_synchronous_and_shrinks_when_pipelined() {
+        let serial = simulate(&EventSimConfig {
+            partitions: 16,
+            ..base()
+        });
+        assert!((serial.stall_hours - serial.io_hours).abs() < 1e-6);
+        let pipelined = simulate(&EventSimConfig {
+            partitions: 16,
+            pipelined: true,
+            ..base()
+        });
+        assert!(
+            pipelined.stall_hours < serial.stall_hours,
+            "overlap must hide stalls: {} vs {}",
+            pipelined.stall_hours,
+            serial.stall_hours
+        );
     }
 
     #[test]

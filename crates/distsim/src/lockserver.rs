@@ -158,16 +158,11 @@ impl LockServer {
         }
         // prefer buckets sharing a partition with the machine's previous
         // bucket (minimizes partition-server traffic), then smallest id
-        // for determinism.
+        // for determinism — the same affinity rule every bucket ordering
+        // uses (see `pbg_graph::ordering`).
         eligible.sort();
-        let chosen = match prev {
-            Some(p) => eligible
-                .iter()
-                .copied()
-                .find(|b| b.src == p.src || b.dst == p.dst)
-                .unwrap_or(eligible[0]),
-            None => eligible[0],
-        };
+        let chosen =
+            pbg_graph::ordering::pick_shared_side(&eligible, prev).expect("eligible is non-empty");
         s.pending.remove(&chosen);
         for p in chosen.partitions() {
             s.locked.insert(p);

@@ -37,6 +37,7 @@ pub fn schedule_occupancy(partitions: u32, machines: usize) -> f64 {
         net_bandwidth: 1e18,
         epoch_overhead_sec: 0.0,
         pipelined: false,
+        buffer_partitions: 2,
     });
     r.occupancy
 }

@@ -61,16 +61,69 @@ proptest! {
     #[test]
     fn orderings_are_permutations(p in 1u32..12, seed in 0u64..100) {
         let mut rng = Xoshiro256::seed_from_u64(seed);
-        for ord in [
-            BucketOrdering::InsideOut,
-            BucketOrdering::RowMajor,
-            BucketOrdering::Random,
-            BucketOrdering::Chained,
-        ] {
+        for ord in BucketOrdering::all() {
             let order = ord.order(p, p, &mut rng);
             prop_assert_eq!(order.len(), (p * p) as usize);
             let set: HashSet<BucketId> = order.iter().copied().collect();
             prop_assert_eq!(set.len(), (p * p) as usize);
+        }
+    }
+
+    #[test]
+    fn orderings_are_permutations_at_every_buffer_capacity(
+        p in 1u32..10,
+        b in 2usize..9,
+        seed in 0u64..50,
+    ) {
+        let mut rng = Xoshiro256::seed_from_u64(seed);
+        for ord in BucketOrdering::all() {
+            let order = ord.order_with_buffer(p, p, b, &mut rng);
+            prop_assert_eq!(order.len(), (p * p) as usize, "{:?} P={} B={}", ord, p, b);
+            let set: HashSet<BucketId> = order.iter().copied().collect();
+            prop_assert_eq!(set.len(), (p * p) as usize, "{:?} P={} B={}", ord, p, b);
+        }
+    }
+
+    #[test]
+    fn greedy_reuse_never_exceeds_buffer_capacity(p in 2u32..12, b in 2usize..9) {
+        // replay the greedy-reuse order through an LRU buffer of its own
+        // capacity: no bucket ever needs more than B resident partitions
+        // and the buffer never overflows, so the ordering is actually
+        // runnable with B slots
+        let mut rng = Xoshiro256::seed_from_u64(0);
+        let order = BucketOrdering::GreedyReuse.order_with_buffer(p, p, b, &mut rng);
+        let mut lru: Vec<pbg_graph::ids::Partition> = Vec::new();
+        for bucket in &order {
+            prop_assert!(bucket.partitions().count() <= b, "bucket {} needs > B={}", bucket, b);
+            for q in bucket.partitions() {
+                lru.retain(|&r| r != q);
+                lru.push(q);
+            }
+            while lru.len() > b {
+                lru.remove(0);
+            }
+            prop_assert!(lru.len() <= b);
+        }
+    }
+
+    #[test]
+    fn a_bigger_buffer_never_loads_more_for_the_same_order(
+        p in 2u32..10,
+        b in 2usize..7,
+        seed in 0u64..20,
+    ) {
+        // LRU is a stack algorithm: on the same bucket sequence, a
+        // buffer of capacity B+1 can never miss more than one of
+        // capacity B
+        use pbg_graph::ordering::load_count;
+        let mut rng = Xoshiro256::seed_from_u64(seed);
+        for ord in BucketOrdering::all() {
+            let order = ord.order_with_buffer(p, p, b, &mut rng);
+            prop_assert!(
+                load_count(&order, b + 1) <= load_count(&order, b),
+                "{:?} P={}: capacity {} loads more than capacity {}",
+                ord, p, b + 1, b
+            );
         }
     }
 

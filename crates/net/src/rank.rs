@@ -178,7 +178,12 @@ where
                 }
                 stats.epochs_seen = stats.epochs_seen.max(epoch);
                 let needed = needed_keys(&model, bucket);
-                let transition = planner.step(&needed);
+                let mut transition = planner.step(&needed);
+                // fenced checkouts cannot cache partitions whose bucket
+                // lock has been released — another rank's checkout would
+                // silently invalidate our token — so evict everything
+                // this bucket does not need, like the classic swap loop
+                transition.release.extend(planner.evict_unneeded(&needed));
                 for &key in &transition.release {
                     store.release(key);
                 }

@@ -3,6 +3,7 @@
 //! ```text
 //! pbg train     --edges E [--format tsv|snap] [--config C.json]
 //!               [--partitions P] [--disk DIR] --output CKPT
+//!               [--buffer-size B] [--bucket-ordering O] [--threads T]
 //!               [--checkpoint-every N] [--resume DIR]
 //!               [--inject-crash-after N]
 //!               [--telemetry TRACE.jsonl] [--log-format json|pretty]
@@ -86,6 +87,7 @@ fn main() -> ExitCode {
 const USAGE: &str = "usage:
   pbg train     --edges E [--format tsv|snap] [--config C.json]
                 [--partitions P] [--disk DIR] --output CKPT
+                [--buffer-size B] [--bucket-ordering O] [--threads T]
                 [--checkpoint-every N] [--resume DIR]
                 [--inject-crash-after N]
                 [--telemetry TRACE.jsonl] [--log-format json|pretty]
@@ -183,7 +185,7 @@ fn cmd_train(flags: &Flags) -> Result<(), String> {
     let (edges, num_nodes, num_relations) = load_edges(flags.require("edges")?, format)?;
     let partitions: u32 = flags.parse("partitions", 1)?;
     let resume_dir = flags.get("resume");
-    let config = match flags.get("config") {
+    let mut config = match flags.get("config") {
         Some(path) => {
             let json = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
             PbgConfig::from_json(&json).map_err(|e| e.to_string())?
@@ -197,6 +199,22 @@ fn cmd_train(flags: &Flags) -> Result<(), String> {
             _ => PbgConfig::default(),
         },
     };
+    if let Some(b) = flags.get("buffer-size") {
+        config.buffer_size = b
+            .parse()
+            .map_err(|_| format!("flag --buffer-size: cannot parse `{b}`"))?;
+    }
+    if let Some(o) = flags.get("bucket-ordering") {
+        config.bucket_ordering = o
+            .parse()
+            .map_err(|e| format!("flag --bucket-ordering: {e}"))?;
+    }
+    if let Some(t) = flags.get("threads") {
+        config.threads = t
+            .parse()
+            .map_err(|_| format!("flag --threads: cannot parse `{t}`"))?;
+    }
+    config.validate().map_err(|e| e.to_string())?;
     let schema = homogeneous_schema(num_nodes, num_relations, partitions)?;
     if let Some(spec) = flags.get("cluster") {
         return cmd_train_cluster(flags, spec, &edges, &schema, config);

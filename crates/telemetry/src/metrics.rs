@@ -27,6 +27,14 @@ pub mod names {
     pub const STORE_RESIDENT_BYTES: &str = "store.resident_bytes";
     /// Gauge: requests queued to the background I/O thread.
     pub const STORE_IO_QUEUE_DEPTH: &str = "store.io_queue_depth";
+    /// Gauge: resident partitions (peak = high-water mark vs buffer B).
+    pub const STORE_RESIDENT_PARTITIONS: &str = "store.resident_partitions";
+    /// Counter: partitions evicted from the buffer (released to storage).
+    pub const STORE_EVICTIONS: &str = "store.evictions";
+    /// Histogram: bucket-steps of lookahead each prefetch was issued with.
+    pub const STORE_PREFETCH_DEPTH: &str = "store.prefetch_depth";
+    /// Counter: write-back bytes skipped because the partition was clean.
+    pub const STORE_WRITEBACK_SKIPPED_BYTES: &str = "store.writeback.skipped_bytes";
     /// Counter: edges trained.
     pub const TRAINER_EDGES: &str = "trainer.edges";
     /// Counter: buckets trained.

@@ -34,6 +34,10 @@ pub mod names {
     pub const CHECKPOINT_WRITE: &str = "checkpoint_write";
     /// pbg-net: one RPC round trip over TCP (fields: `tag`, `bytes`).
     pub const RPC: &str = "rpc";
+    /// Point event: one epoch's partition-buffer behavior (fields:
+    /// `capacity`, `resident_peak`, `evictions`, `skipped_bytes`,
+    /// `prefetch_hits`).
+    pub const BUFFER_STATS: &str = "buffer_stats";
 }
 
 /// A parsed field value.
@@ -379,6 +383,15 @@ pub struct TraceSummary {
     pub total_param_sync_s: f64,
     /// Total edges across bucket rows.
     pub total_edges: i64,
+    /// Partition-buffer capacity `B` (0 when the trace has no
+    /// `buffer_stats` events).
+    pub buffer_capacity: i64,
+    /// Peak resident partitions across epochs.
+    pub buffer_resident_peak: i64,
+    /// Total partitions evicted from the buffer.
+    pub buffer_evictions: i64,
+    /// Total write-back bytes skipped on clean evictions.
+    pub buffer_skipped_bytes: i64,
 }
 
 const NS: f64 = 1e-9;
@@ -441,6 +454,14 @@ pub fn summarize(events: &[TraceEvent]) -> TraceSummary {
             }
             names::ACQUIRE_WAIT => summary.total_acquire_wait_s += dur_s,
             names::PARAM_SYNC => summary.total_param_sync_s += dur_s,
+            names::BUFFER_STATS => {
+                summary.buffer_capacity = event.field_i64("capacity").unwrap_or(0);
+                summary.buffer_resident_peak = summary
+                    .buffer_resident_peak
+                    .max(event.field_i64("resident_peak").unwrap_or(0));
+                summary.buffer_evictions += event.field_i64("evictions").unwrap_or(0);
+                summary.buffer_skipped_bytes += event.field_i64("skipped_bytes").unwrap_or(0);
+            }
             _ => {}
         }
     }
@@ -509,6 +530,15 @@ impl TraceSummary {
             self.total_param_sync_s,
             self.total_edges
         ));
+        if self.buffer_capacity > 0 {
+            out.push_str(&format!(
+                "buffer: capacity {}  resident-peak {}  evictions {}  writeback-skipped {} bytes\n",
+                self.buffer_capacity,
+                self.buffer_resident_peak,
+                self.buffer_evictions,
+                self.buffer_skipped_bytes
+            ));
+        }
         out
     }
 }
