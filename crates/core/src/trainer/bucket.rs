@@ -200,6 +200,27 @@ pub fn train_bucket(
     // one measurement for both the span and the returned stats, so the
     // trace timeline reconciles with EpochStats.seconds
     let dur_ns = telemetry.now_ns().saturating_sub(t0);
+    // Always-on per-bucket rate gauges: cheap (three atomics per bucket,
+    // not per edge) and visible mid-run through the /metrics server.
+    if dur_ns > 0 {
+        let secs = dur_ns as f64 * 1e-9;
+        telemetry
+            .gauge(metric::TRAINER_EDGES_PER_SEC)
+            .set((edges.len() as f64 / secs) as u64);
+        // flops_executed() is process-wide; the published total doubles
+        // as the watermark for this bucket's delta
+        let flops = pbg_tensor::kernels::flops_executed();
+        let flop_gauge = telemetry.gauge(metric::TRAINER_FLOPS_TOTAL);
+        let flop_delta = flops.saturating_sub(flop_gauge.get());
+        flop_gauge.set(flops);
+        telemetry
+            .gauge(metric::TRAINER_MFLOPS)
+            .set((flop_delta as f64 / secs / 1e6) as u64);
+    }
+    let (hits, swaps) = (store.prefetch_hits() as u64, store.swap_ins() as u64);
+    if let Some(hit_bp) = (hits * 10_000).checked_div(hits + swaps) {
+        telemetry.gauge(metric::TRAINER_BUFFER_HIT_BP).set(hit_bp);
+    }
     if tracing {
         telemetry.record_span(
             span_name::BUCKET_TRAIN,

@@ -472,6 +472,13 @@ impl ClusterTrainer {
             .add(self.net.total_bytes() - bytes_before);
         let delta = self.telemetry.snapshot().delta_since(&before);
         let edges = delta.counter(metric::CLUSTER_EDGES) as usize;
+        let epoch_secs = start.elapsed().as_secs_f64();
+        if epoch_secs > 0.0 {
+            // live cluster-wide throughput, refreshed every epoch
+            self.telemetry
+                .gauge(metric::CLUSTER_EDGES_PER_SEC)
+                .set((edges as f64 / epoch_secs) as u64);
+        }
         let sim_network_seconds = *max_sim_secs.lock();
         let sim_pipelined_seconds = *max_pipelined_secs.lock();
         let total_loss = *loss_sum.lock();

@@ -20,7 +20,7 @@ use pbg_distsim::service::{LockService, ParamService, PartitionService, ServiceE
 use pbg_graph::bucket::BucketId;
 use pbg_telemetry::metrics::names as metric_name;
 use pbg_telemetry::trace::names as span_name;
-use pbg_telemetry::{FieldValue, Registry};
+use pbg_telemetry::{FieldValue, Registry, TraceContext};
 use std::net::TcpStream;
 use std::time::Instant;
 
@@ -110,25 +110,40 @@ impl Connection {
     /// whole request/response conversation on the stream and reports
     /// `(result, bytes_sent, bytes_received)`; any error drops the
     /// stream so the next call reconnects.
+    ///
+    /// While tracing is on, a [`TraceContext`] is handed to `f` for the
+    /// request frame: its `parent_span` is the id of the `rpc` span this
+    /// call records, so the server's `handle` span on the other rank
+    /// becomes this span's child. With tracing off, `f` gets `None` and
+    /// the wire bytes are identical to an untraced build.
     fn call<T>(
         &self,
         label: &'static str,
-        f: impl FnOnce(&mut TcpStream) -> Result<(T, usize, usize), WireError>,
+        f: impl FnOnce(&mut TcpStream, Option<&TraceContext>) -> Result<(T, usize, usize), WireError>,
     ) -> Result<T, ServiceError> {
         let mut guard = self.stream.lock();
         if guard.is_none() {
             *guard = Some(self.connect_with_backoff()?);
         }
         let stream = guard.as_mut().expect("connection just established");
+        let ctx = if self.telemetry.tracing() {
+            Some(TraceContext {
+                trace_id: self.telemetry.trace_id(),
+                parent_span: self.telemetry.next_span_id(),
+                rank: self.telemetry.rank().unwrap_or(u32::MAX),
+            })
+        } else {
+            None
+        };
         let t0_ns = self.telemetry.now_ns();
         let started = Instant::now();
-        match f(stream) {
+        match f(stream, ctx.as_ref()) {
             Ok((value, sent, received)) => {
                 let dur = started.elapsed().as_nanos() as u64;
                 self.metrics.bytes_sent.add(sent as u64);
                 self.metrics.bytes_received.add(received as u64);
                 self.metrics.rpc_latency.observe(dur);
-                if self.telemetry.tracing() {
+                if let Some(ctx) = &ctx {
                     self.telemetry.record_span(
                         span_name::RPC,
                         t0_ns,
@@ -136,6 +151,8 @@ impl Connection {
                         vec![
                             ("tag", FieldValue::Str(label.to_string())),
                             ("bytes", FieldValue::U64((sent + received) as u64)),
+                            ("span_id", FieldValue::U64(ctx.parent_span)),
+                            ("trace_id", FieldValue::U64(ctx.trace_id)),
                         ],
                     );
                 }
@@ -154,8 +171,8 @@ impl Connection {
 
     /// One simple request → response exchange (no streamed chunks).
     fn rpc(&self, label: &'static str, request: &Message) -> Result<Message, ServiceError> {
-        let reply = self.call(label, |stream| {
-            let sent = wire::write_message(stream, request)?;
+        let reply = self.call(label, |stream, ctx| {
+            let sent = wire::write_message_with(stream, request, ctx)?;
             let (reply, received) = wire::read_message(stream)?;
             Ok((reply, sent, received))
         })?;
@@ -253,8 +270,8 @@ impl NetPartitions {
         label: &'static str,
         request: Message,
     ) -> Result<(Vec<f32>, Vec<f32>, u64), ServiceError> {
-        let reply = self.conn.call(label, |stream| {
-            let sent = wire::write_message(stream, &request)?;
+        let reply = self.conn.call(label, |stream, ctx| {
+            let sent = wire::write_message_with(stream, &request, ctx)?;
             let (header, mut received) = wire::read_message(stream)?;
             let (token, emb_len, acc_len) = match header {
                 Message::PartData {
@@ -295,14 +312,14 @@ impl PartitionService for NetPartitions {
         acc: Vec<f32>,
         token: u64,
     ) -> Result<bool, ServiceError> {
-        let committed = self.conn.call("part_checkin", |stream| {
+        let committed = self.conn.call("part_checkin", |stream, ctx| {
             let header = Message::PartCheckin {
                 key,
                 token,
                 emb_len: emb.len() as u32,
                 acc_len: acc.len() as u32,
             };
-            let mut sent = wire::write_message(stream, &header)?;
+            let mut sent = wire::write_message_with(stream, &header, ctx)?;
             let mut combined = emb;
             combined.extend_from_slice(&acc);
             sent += wire::write_chunks(stream, &combined)?;

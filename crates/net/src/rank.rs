@@ -134,6 +134,11 @@ where
             "networked training supports bucket_passes = 1 only".into(),
         ));
     }
+    // Identify this process in telemetry: every event is rank-tagged and
+    // outgoing RPCs carry a trace context derived from the shared seed,
+    // so multi-rank span files merge into one coherent trace.
+    telemetry.set_rank(run.rank as u32);
+    telemetry.set_trace_id(pbg_telemetry::context::trace_id_from_seed(config.seed));
     let model = Model::new(schema.clone(), config.clone())
         .map_err(|e| ServiceError::Protocol(e.to_string()))?;
     let buckets = bucketize(schema, edges);

@@ -11,11 +11,19 @@
 //! and a malicious or buggy client must take down its own RPC, not the
 //! server. The `parking_lot` mutexes inside the state machines do not
 //! poison, so unwinding is safe to swallow.
+//!
+//! When a request frame carries a [`TraceContext`], the connection loop
+//! records a [`trace::names::HANDLE`] span around the dispatch, parented
+//! on the client's RPC span — the server half of every cross-rank edge
+//! in a merged timeline. The `*_with` constructors take the registry
+//! that receives those spans; the plain constructors serve untraced.
 
 use crate::wire::{self, Message, WireError};
 use pbg_distsim::lockserver::EpochLock;
 use pbg_distsim::paramserver::ParameterServer;
 use pbg_distsim::partitionserver::PartitionServer;
+use pbg_telemetry::trace;
+use pbg_telemetry::{metrics, Counter, FieldValue, Registry, TraceContext};
 use std::io;
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::panic::{catch_unwind, AssertUnwindSafe};
@@ -24,6 +32,22 @@ use std::sync::Arc;
 use std::thread::JoinHandle;
 
 type Handler = Arc<dyn Fn(&mut TcpStream, Message) -> Result<(), WireError> + Send + Sync>;
+
+/// Per-server telemetry shared by every connection thread.
+#[derive(Clone)]
+struct ServerTelemetry {
+    registry: Registry,
+    requests: Counter,
+}
+
+impl ServerTelemetry {
+    fn new(registry: &Registry) -> Self {
+        ServerTelemetry {
+            registry: registry.clone(),
+            requests: registry.counter(metrics::names::NET_REQUESTS_HANDLED),
+        }
+    }
+}
 
 /// A running server: accept loop plus per-connection handler threads.
 /// Dropping it (or calling [`NetServer::shutdown`]) stops accepting;
@@ -36,27 +60,58 @@ pub struct NetServer {
 }
 
 impl NetServer {
-    /// Serves an [`EpochLock`] (lock server role).
+    /// Serves an [`EpochLock`] (lock server role), untraced.
     pub fn lock(addr: &str, lock: Arc<EpochLock>) -> io::Result<NetServer> {
+        NetServer::lock_with(addr, lock, Registry::disabled())
+    }
+
+    /// Serves an [`EpochLock`], recording per-request `handle` spans and
+    /// request counts into `telemetry`.
+    pub fn lock_with(
+        addr: &str,
+        lock: Arc<EpochLock>,
+        telemetry: &Registry,
+    ) -> io::Result<NetServer> {
         serve(
             addr,
             Arc::new(move |stream, msg| handle_lock(stream, msg, &lock)),
+            ServerTelemetry::new(telemetry),
         )
     }
 
-    /// Serves a [`PartitionServer`] (partition server role).
+    /// Serves a [`PartitionServer`] (partition server role), untraced.
     pub fn partitions(addr: &str, parts: Arc<PartitionServer>) -> io::Result<NetServer> {
+        NetServer::partitions_with(addr, parts, Registry::disabled())
+    }
+
+    /// Serves a [`PartitionServer`] with per-request telemetry.
+    pub fn partitions_with(
+        addr: &str,
+        parts: Arc<PartitionServer>,
+        telemetry: &Registry,
+    ) -> io::Result<NetServer> {
         serve(
             addr,
             Arc::new(move |stream, msg| handle_partitions(stream, msg, &parts)),
+            ServerTelemetry::new(telemetry),
         )
     }
 
-    /// Serves a [`ParameterServer`] (parameter server role).
+    /// Serves a [`ParameterServer`] (parameter server role), untraced.
     pub fn params(addr: &str, params: Arc<ParameterServer>) -> io::Result<NetServer> {
+        NetServer::params_with(addr, params, Registry::disabled())
+    }
+
+    /// Serves a [`ParameterServer`] with per-request telemetry.
+    pub fn params_with(
+        addr: &str,
+        params: Arc<ParameterServer>,
+        telemetry: &Registry,
+    ) -> io::Result<NetServer> {
         serve(
             addr,
             Arc::new(move |stream, msg| handle_params(stream, msg, &params)),
+            ServerTelemetry::new(telemetry),
         )
     }
 
@@ -84,7 +139,7 @@ impl Drop for NetServer {
     }
 }
 
-fn serve(addr: &str, handler: Handler) -> io::Result<NetServer> {
+fn serve(addr: &str, handler: Handler, telemetry: ServerTelemetry) -> io::Result<NetServer> {
     let listener = TcpListener::bind(addr)?;
     let local_addr = listener.local_addr()?;
     let stop = Arc::new(AtomicBool::new(false));
@@ -97,7 +152,8 @@ fn serve(addr: &str, handler: Handler) -> io::Result<NetServer> {
             let Ok(mut stream) = conn else { continue };
             stream.set_nodelay(true).ok();
             let handler = Arc::clone(&handler);
-            std::thread::spawn(move || connection_loop(&mut stream, &*handler));
+            let telemetry = telemetry.clone();
+            std::thread::spawn(move || connection_loop(&mut stream, &*handler, &telemetry));
         }
     });
     Ok(NetServer {
@@ -109,16 +165,24 @@ fn serve(addr: &str, handler: Handler) -> io::Result<NetServer> {
 
 /// Reads requests until the client hangs up. A handler error is
 /// reported back as an `Error` frame on a best-effort basis, then the
-/// connection is dropped (its framing may be out of sync).
+/// connection is dropped (its framing may be out of sync). Requests
+/// carrying a [`TraceContext`] get a `handle` span parented on the
+/// client's RPC span.
 fn connection_loop(
     stream: &mut TcpStream,
     handler: &(dyn Fn(&mut TcpStream, Message) -> Result<(), WireError> + Send + Sync),
+    telemetry: &ServerTelemetry,
 ) {
     loop {
-        match wire::read_message_opt(stream) {
+        match wire::read_message_opt_full(stream) {
             Ok(None) => break,
-            Ok(Some((msg, _))) => {
-                if let Err(e) = handler(stream, msg) {
+            Ok(Some((msg, ctx, _))) => {
+                telemetry.requests.inc();
+                let tag = msg.tag_name();
+                let start_ns = telemetry.registry.now_ns();
+                let result = handler(stream, msg);
+                record_handle_span(telemetry, tag, start_ns, ctx.as_ref());
+                if let Err(e) = result {
                     let _ = wire::write_message(
                         stream,
                         &Message::Error {
@@ -139,6 +203,34 @@ fn connection_loop(
             }
         }
     }
+}
+
+/// Records the server half of a distributed span: what this role did
+/// for one request, linked (via `parent_span`) to the client-side `rpc`
+/// span that issued it.
+fn record_handle_span(
+    telemetry: &ServerTelemetry,
+    tag: &'static str,
+    start_ns: u64,
+    ctx: Option<&TraceContext>,
+) {
+    let registry = &telemetry.registry;
+    let Some(ctx) = ctx else { return };
+    if !registry.tracing() {
+        return;
+    }
+    let dur_ns = registry.now_ns().saturating_sub(start_ns);
+    registry.record_span(
+        trace::names::HANDLE,
+        start_ns,
+        dur_ns,
+        vec![
+            ("tag", FieldValue::from(tag)),
+            ("trace_id", FieldValue::U64(ctx.trace_id)),
+            ("parent_span", FieldValue::U64(ctx.parent_span)),
+            ("client_rank", FieldValue::U64(u64::from(ctx.rank))),
+        ],
+    );
 }
 
 /// Runs a state-machine call, converting a panic into a `WireError` the

@@ -1,17 +1,31 @@
 //! Framed binary wire protocol.
 //!
-//! Every message travels as one frame: a fixed 20-byte header followed
-//! by a tagged payload, all little-endian.
+//! Every message travels as one frame: a fixed 20-byte header, an
+//! optional 20-byte trace-context block, and a tagged payload, all
+//! little-endian.
 //!
 //! ```text
 //! offset  size  field
 //! 0       4     magic        0x5042_4757 ("PBGW")
-//! 4       2     version      1
-//! 6       2     reserved     0 (validated — every header byte is checked)
-//! 8       4     payload_len  ≤ MAX_PAYLOAD_BYTES
-//! 12      8     checksum     FNV-1a-64 of the payload
-//! 20      n     payload      tag u8 + body
+//! 4       2     version      2
+//! 6       2     flags        bit 0 = trace context present; other bits
+//!                            rejected (every header byte is checked)
+//! 8       4     payload_len  ≤ MAX_PAYLOAD_BYTES (excludes the context)
+//! 12      8     checksum     FNV-1a-64 of context ++ payload
+//! 20      0|20  context      TraceContext (trace id, parent span, rank)
+//! 20|40   n     payload      tag u8 + body
 //! ```
+//!
+//! Version 1 used a zero `reserved` field where `flags` now sits; v2
+//! frames without a context are byte-identical to v1 frames except for
+//! the version number. The context rides *outside* `payload_len` and
+//! *inside* the checksum: a flipped flags bit either changes the frame's
+//! expected length (0→1 demands 20 bytes that are not there) or shifts
+//! the checksummed range (1→0 drops the context from it), so the
+//! bit-flip property suite holds over the new field too. Clients attach
+//! a context only while tracing is enabled — the untraced wire is
+//! byte-for-byte unchanged, which the netmodel byte-reconciliation
+//! tests rely on.
 //!
 //! Decoding mirrors the checked-arithmetic style of the checkpoint
 //! readers: every length is validated before allocation (capacity capped
@@ -22,15 +36,22 @@ use pbg_core::storage::PartitionKey;
 use pbg_distsim::lockserver::Acquire;
 use pbg_distsim::paramserver::ParamKey;
 use pbg_graph::bucket::BucketId;
+use pbg_telemetry::context::{self, TraceContext};
 use std::fmt;
 use std::io::{self, Read, Write};
 
 /// `"PBGW"` little-endian.
 pub const MAGIC: u32 = 0x5042_4757;
 /// Current protocol version.
-pub const VERSION: u16 = 1;
-/// Header bytes before the payload.
+pub const VERSION: u16 = 2;
+/// Header bytes before the (optional) context and payload.
 pub const FRAME_HEADER_BYTES: usize = 20;
+/// Flag bit: a [`TraceContext`] block follows the header.
+pub const FLAG_TRACE_CONTEXT: u16 = 0x0001;
+/// Every flag bit this version understands; unknown bits are rejected.
+pub const KNOWN_FLAGS: u16 = FLAG_TRACE_CONTEXT;
+/// Size of the trace-context block when present.
+pub const TRACE_CONTEXT_BYTES: usize = context::WIRE_BYTES;
 /// Upper bound on one frame's payload (64 MiB) — a corrupt length field
 /// must not cause a huge allocation.
 pub const MAX_PAYLOAD_BYTES: usize = 64 << 20;
@@ -578,60 +599,105 @@ impl Message {
     }
 }
 
-/// Serializes a full frame (header + payload) to a byte vector.
-pub fn encode_frame(msg: &Message) -> Vec<u8> {
+/// Serializes a full frame (header + optional context + payload) to a
+/// byte vector.
+pub fn encode_frame_with(msg: &Message, ctx: Option<&TraceContext>) -> Vec<u8> {
     let payload = msg.encode_payload();
     assert!(
         payload.len() <= MAX_PAYLOAD_BYTES,
         "payload {} exceeds MAX_PAYLOAD_BYTES — split into chunks",
         payload.len()
     );
-    let mut frame = Vec::with_capacity(FRAME_HEADER_BYTES + payload.len());
+    // the checksum covers context ++ payload, so build that body first
+    let (flags, body) = match ctx {
+        Some(ctx) => {
+            let mut body = Vec::with_capacity(TRACE_CONTEXT_BYTES + payload.len());
+            body.extend_from_slice(&ctx.encode());
+            body.extend_from_slice(&payload);
+            (FLAG_TRACE_CONTEXT, body)
+        }
+        None => (0u16, payload),
+    };
+    let ctx_len = if ctx.is_some() {
+        TRACE_CONTEXT_BYTES
+    } else {
+        0
+    };
+    let mut frame = Vec::with_capacity(FRAME_HEADER_BYTES + body.len());
     frame.extend_from_slice(&MAGIC.to_le_bytes());
     frame.extend_from_slice(&VERSION.to_le_bytes());
-    frame.extend_from_slice(&0u16.to_le_bytes()); // reserved
-    frame.extend_from_slice(&(payload.len() as u32).to_le_bytes());
-    frame.extend_from_slice(&pbg_core::checkpoint::checksum(&payload).to_le_bytes());
-    frame.extend_from_slice(&payload);
+    frame.extend_from_slice(&flags.to_le_bytes());
+    frame.extend_from_slice(&((body.len() - ctx_len) as u32).to_le_bytes());
+    frame.extend_from_slice(&pbg_core::checkpoint::checksum(&body).to_le_bytes());
+    frame.extend_from_slice(&body);
     frame
 }
 
-/// Parses a full frame from a byte slice, returning the message and the
-/// bytes consumed.
-pub fn decode_frame(bytes: &[u8]) -> Result<(Message, usize), WireError> {
+/// Serializes a full frame with no trace context.
+pub fn encode_frame(msg: &Message) -> Vec<u8> {
+    encode_frame_with(msg, None)
+}
+
+/// Parses a full frame from a byte slice, returning the message, its
+/// trace context (if the sender attached one), and the bytes consumed.
+pub fn decode_frame_with(
+    bytes: &[u8],
+) -> Result<(Message, Option<TraceContext>, usize), WireError> {
     if bytes.len() < FRAME_HEADER_BYTES {
         return Err(WireError::Io(io::Error::new(
             io::ErrorKind::UnexpectedEof,
             format!("frame header truncated: {} bytes", bytes.len()),
         )));
     }
-    let payload_len = validate_header(bytes[..FRAME_HEADER_BYTES].try_into().unwrap())?;
+    let (payload_len, flags) = validate_header(bytes[..FRAME_HEADER_BYTES].try_into().unwrap())?;
     let expected = u64::from_le_bytes(bytes[12..20].try_into().unwrap());
+    let ctx_len = if flags & FLAG_TRACE_CONTEXT != 0 {
+        TRACE_CONTEXT_BYTES
+    } else {
+        0
+    };
     let end = FRAME_HEADER_BYTES
-        .checked_add(payload_len)
+        .checked_add(ctx_len)
+        .and_then(|n| n.checked_add(payload_len))
         .filter(|&end| end <= bytes.len())
         .ok_or_else(|| {
             WireError::Io(io::Error::new(
                 io::ErrorKind::UnexpectedEof,
                 format!(
-                    "frame payload truncated: declared {payload_len}, have {}",
+                    "frame body truncated: declared {payload_len}+{ctx_len}, have {}",
                     bytes.len() - FRAME_HEADER_BYTES
                 ),
             ))
         })?;
-    let payload = &bytes[FRAME_HEADER_BYTES..end];
-    let actual = pbg_core::checkpoint::checksum(payload);
+    let body = &bytes[FRAME_HEADER_BYTES..end];
+    let actual = pbg_core::checkpoint::checksum(body);
     if actual != expected {
         return Err(WireError::BadChecksum { expected, actual });
     }
-    Ok((Message::decode_payload(payload)?, end))
+    let ctx = decode_context(body, ctx_len);
+    Ok((Message::decode_payload(&body[ctx_len..])?, ctx, end))
 }
 
-/// Validates the 20-byte header, returning the payload length. Every
-/// byte of the header is covered: magic, version, and reserved are
-/// compared exactly, the length is bounded, and the checksum verifies
-/// itself against the payload.
-fn validate_header(header: &[u8; FRAME_HEADER_BYTES]) -> Result<usize, WireError> {
+/// Parses a full frame, discarding any trace context.
+pub fn decode_frame(bytes: &[u8]) -> Result<(Message, usize), WireError> {
+    decode_frame_with(bytes).map(|(msg, _, used)| (msg, used))
+}
+
+fn decode_context(body: &[u8], ctx_len: usize) -> Option<TraceContext> {
+    if ctx_len == 0 {
+        None
+    } else {
+        Some(TraceContext::decode(
+            body[..TRACE_CONTEXT_BYTES].try_into().unwrap(),
+        ))
+    }
+}
+
+/// Validates the 20-byte header, returning the payload length and the
+/// flags. Every byte of the header is covered: magic and version are
+/// compared exactly, unknown flag bits are rejected, the length is
+/// bounded, and the checksum verifies itself against context + payload.
+fn validate_header(header: &[u8; FRAME_HEADER_BYTES]) -> Result<(usize, u16), WireError> {
     let magic = u32::from_le_bytes(header[0..4].try_into().unwrap());
     if magic != MAGIC {
         return Err(WireError::BadHeader(format!("magic {magic:#010x}")));
@@ -642,10 +708,11 @@ fn validate_header(header: &[u8; FRAME_HEADER_BYTES]) -> Result<usize, WireError
             "unsupported version {version}"
         )));
     }
-    let reserved = u16::from_le_bytes(header[6..8].try_into().unwrap());
-    if reserved != 0 {
+    let flags = u16::from_le_bytes(header[6..8].try_into().unwrap());
+    if flags & !KNOWN_FLAGS != 0 {
         return Err(WireError::BadHeader(format!(
-            "reserved field {reserved} != 0"
+            "unknown flag bits {:#06x}",
+            flags & !KNOWN_FLAGS
         )));
     }
     let payload_len = u32::from_le_bytes(header[8..12].try_into().unwrap()) as usize;
@@ -654,39 +721,74 @@ fn validate_header(header: &[u8; FRAME_HEADER_BYTES]) -> Result<usize, WireError
             "payload length {payload_len} exceeds cap {MAX_PAYLOAD_BYTES}"
         )));
     }
-    Ok(payload_len)
+    Ok((payload_len, flags))
 }
 
-/// Writes one frame to a stream.
-pub fn write_message<W: Write>(w: &mut W, msg: &Message) -> Result<usize, WireError> {
-    let frame = encode_frame(msg);
+/// Writes one frame to a stream, attaching `ctx` when given.
+pub fn write_message_with<W: Write>(
+    w: &mut W,
+    msg: &Message,
+    ctx: Option<&TraceContext>,
+) -> Result<usize, WireError> {
+    let frame = encode_frame_with(msg, ctx);
     w.write_all(&frame)?;
     Ok(frame.len())
 }
 
-/// Reads one frame from a stream, returning the message and the bytes
-/// consumed. Blocks until a full frame arrives; EOF mid-frame is an
-/// [`WireError::Io`] with `UnexpectedEof`.
-pub fn read_message<R: Read>(r: &mut R) -> Result<(Message, usize), WireError> {
-    let mut header = [0u8; FRAME_HEADER_BYTES];
-    r.read_exact(&mut header)?;
-    let payload_len = validate_header(&header)?;
+/// Writes one frame with no trace context.
+pub fn write_message<W: Write>(w: &mut W, msg: &Message) -> Result<usize, WireError> {
+    write_message_with(w, msg, None)
+}
+
+/// Reads the context + payload body of a frame whose header has been
+/// validated, verifying the checksum, and decodes both parts.
+fn read_body<R: Read>(
+    r: &mut R,
+    header: &[u8; FRAME_HEADER_BYTES],
+    payload_len: usize,
+    flags: u16,
+) -> Result<(Message, Option<TraceContext>, usize), WireError> {
     let expected = u64::from_le_bytes(header[12..20].try_into().unwrap());
+    let ctx_len = if flags & FLAG_TRACE_CONTEXT != 0 {
+        TRACE_CONTEXT_BYTES
+    } else {
+        0
+    };
     // payload_len is already bounded by MAX_PAYLOAD_BYTES
-    let mut payload = vec![0u8; payload_len];
-    r.read_exact(&mut payload)?;
-    let actual = pbg_core::checkpoint::checksum(&payload);
+    let mut body = vec![0u8; ctx_len + payload_len];
+    r.read_exact(&mut body)?;
+    let actual = pbg_core::checkpoint::checksum(&body);
     if actual != expected {
         return Err(WireError::BadChecksum { expected, actual });
     }
-    let msg = Message::decode_payload(&payload)?;
-    Ok((msg, FRAME_HEADER_BYTES + payload_len))
+    let ctx = decode_context(&body, ctx_len);
+    let msg = Message::decode_payload(&body[ctx_len..])?;
+    Ok((msg, ctx, FRAME_HEADER_BYTES + ctx_len + payload_len))
 }
 
-/// Like [`read_message`], but a clean EOF *before the first byte* of a
-/// frame returns `Ok(None)` — how server loops distinguish a client
-/// hanging up between requests from a truncated frame.
-pub fn read_message_opt<R: Read>(r: &mut R) -> Result<Option<(Message, usize)>, WireError> {
+/// Reads one frame from a stream, returning the message, its trace
+/// context (if any), and the bytes consumed. Blocks until a full frame
+/// arrives; EOF mid-frame is an [`WireError::Io`] with `UnexpectedEof`.
+pub fn read_message_full<R: Read>(
+    r: &mut R,
+) -> Result<(Message, Option<TraceContext>, usize), WireError> {
+    let mut header = [0u8; FRAME_HEADER_BYTES];
+    r.read_exact(&mut header)?;
+    let (payload_len, flags) = validate_header(&header)?;
+    read_body(r, &header, payload_len, flags)
+}
+
+/// Reads one frame from a stream, discarding any trace context.
+pub fn read_message<R: Read>(r: &mut R) -> Result<(Message, usize), WireError> {
+    read_message_full(r).map(|(msg, _, used)| (msg, used))
+}
+
+/// Like [`read_message_full`], but a clean EOF *before the first byte*
+/// of a frame returns `Ok(None)` — how server loops distinguish a
+/// client hanging up between requests from a truncated frame.
+pub fn read_message_opt_full<R: Read>(
+    r: &mut R,
+) -> Result<Option<(Message, Option<TraceContext>, usize)>, WireError> {
     let mut header = [0u8; FRAME_HEADER_BYTES];
     let mut filled = 0;
     while filled < header.len() {
@@ -703,16 +805,13 @@ pub fn read_message_opt<R: Read>(r: &mut R) -> Result<Option<(Message, usize)>, 
             Err(e) => return Err(WireError::Io(e)),
         }
     }
-    let payload_len = validate_header(&header)?;
-    let expected = u64::from_le_bytes(header[12..20].try_into().unwrap());
-    let mut payload = vec![0u8; payload_len];
-    r.read_exact(&mut payload)?;
-    let actual = pbg_core::checkpoint::checksum(&payload);
-    if actual != expected {
-        return Err(WireError::BadChecksum { expected, actual });
-    }
-    let msg = Message::decode_payload(&payload)?;
-    Ok(Some((msg, FRAME_HEADER_BYTES + payload_len)))
+    let (payload_len, flags) = validate_header(&header)?;
+    read_body(r, &header, payload_len, flags).map(Some)
+}
+
+/// Like [`read_message_opt_full`], but discarding any trace context.
+pub fn read_message_opt<R: Read>(r: &mut R) -> Result<Option<(Message, usize)>, WireError> {
+    Ok(read_message_opt_full(r)?.map(|(msg, _, used)| (msg, used)))
 }
 
 /// Writes a float block as a stream of [`Message::PartChunk`] frames
@@ -828,6 +927,83 @@ mod tests {
         frame[8..12].copy_from_slice(&u32::MAX.to_le_bytes());
         match decode_frame(&frame) {
             Err(WireError::BadHeader(_)) => {}
+            other => panic!("{other:?}"),
+        }
+    }
+
+    fn test_ctx() -> TraceContext {
+        TraceContext {
+            trace_id: 0xABCD_EF01_2345_6789,
+            parent_span: (2 << 40) | 7,
+            rank: 1,
+        }
+    }
+
+    #[test]
+    fn context_rides_the_frame_and_roundtrips() {
+        let msg = Message::LockAcquire {
+            machine: 1,
+            prev: None,
+        };
+        let bare = encode_frame(&msg);
+        let traced = encode_frame_with(&msg, Some(&test_ctx()));
+        assert_eq!(traced.len(), bare.len() + TRACE_CONTEXT_BYTES);
+        let (back, ctx, used) = decode_frame_with(&traced).unwrap();
+        assert_eq!(back, msg);
+        assert_eq!(ctx, Some(test_ctx()));
+        assert_eq!(used, traced.len());
+        // payload_len excludes the context
+        assert_eq!(&traced[8..12], &bare[8..12]);
+
+        // the plain accessors still work, dropping the context
+        let (back, used) = decode_frame(&traced).unwrap();
+        assert_eq!(back, msg);
+        assert_eq!(used, traced.len());
+    }
+
+    #[test]
+    fn untraced_frames_are_byte_identical_to_flagless_encoding() {
+        let msg = Message::Ping { nonce: 17 };
+        assert_eq!(encode_frame(&msg), encode_frame_with(&msg, None));
+        let frame = encode_frame(&msg);
+        assert_eq!(u16::from_le_bytes(frame[6..8].try_into().unwrap()), 0);
+    }
+
+    #[test]
+    fn context_stream_roundtrip_and_mixed_frames() {
+        let mut buf = Vec::new();
+        write_message_with(&mut buf, &Message::Ack, Some(&test_ctx())).unwrap();
+        write_message(&mut buf, &Message::Ack).unwrap();
+        let mut cursor = std::io::Cursor::new(buf);
+        let (msg, ctx, _) = read_message_full(&mut cursor).unwrap();
+        assert_eq!(msg, Message::Ack);
+        assert_eq!(ctx, Some(test_ctx()));
+        let (msg, ctx, _) = read_message_opt_full(&mut cursor).unwrap().unwrap();
+        assert_eq!(msg, Message::Ack);
+        assert_eq!(ctx, None);
+        assert!(read_message_opt_full(&mut cursor).unwrap().is_none());
+    }
+
+    #[test]
+    fn traced_header_corruption_is_rejected() {
+        let frame = encode_frame_with(&Message::Ack, Some(&test_ctx()));
+        for i in 0..FRAME_HEADER_BYTES + TRACE_CONTEXT_BYTES {
+            let mut bad = frame.clone();
+            bad[i] ^= 0x01;
+            assert!(
+                decode_frame_with(&bad).is_err(),
+                "flipping byte {i} of a traced frame went undetected"
+            );
+        }
+    }
+
+    #[test]
+    fn unknown_flag_bits_are_rejected() {
+        let mut frame = encode_frame(&Message::Ack);
+        frame[6] |= 0x02; // an undefined flag bit
+                          // recompute nothing: unknown flags must fail header validation
+        match decode_frame(&frame) {
+            Err(WireError::BadHeader(d)) => assert!(d.contains("flag"), "{d}"),
             other => panic!("{other:?}"),
         }
     }

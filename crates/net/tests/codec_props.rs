@@ -17,9 +17,11 @@ use pbg_distsim::lockserver::Acquire;
 use pbg_distsim::paramserver::ParamKey;
 use pbg_graph::bucket::BucketId;
 use pbg_net::wire::{
-    self, decode_frame, encode_frame, read_message, read_message_opt, Message, WireError,
-    CHUNK_FLOATS, FRAME_HEADER_BYTES, MAX_PAYLOAD_BYTES,
+    self, decode_frame, decode_frame_with, encode_frame, encode_frame_with, read_message,
+    read_message_opt, Message, WireError, CHUNK_FLOATS, FRAME_HEADER_BYTES, MAX_PAYLOAD_BYTES,
+    TRACE_CONTEXT_BYTES,
 };
+use pbg_telemetry::TraceContext;
 use pbg_tensor::rng::Xoshiro256;
 use std::io::Cursor;
 
@@ -276,6 +278,90 @@ fn corrupt_length_fields_never_cause_overallocation() {
         decode_frame(&tampered),
         Err(WireError::BadPayload(_))
     ));
+}
+
+/// Random trace context, including boundary ids (0, MAX, the unset rank
+/// sentinel) — every bit pattern is a legal context.
+fn random_context(rng: &mut Xoshiro256) -> TraceContext {
+    TraceContext {
+        trace_id: match rng.gen_range(4) {
+            0 => 0,
+            1 => u64::MAX,
+            _ => rng.next_u64_raw(),
+        },
+        parent_span: rng.next_u64_raw(),
+        rank: match rng.gen_range(4) {
+            0 => 0,
+            1 => u32::MAX,
+            _ => rng.gen_range(1 << 16) as u32,
+        },
+    }
+}
+
+#[test]
+fn traced_frames_roundtrip_context_and_payload() {
+    let mut rng = Xoshiro256::seed_from_u64(0x7AC3D);
+    for i in 0..1_000 {
+        let msg = random_message(&mut rng);
+        let ctx = random_context(&mut rng);
+        let frame = encode_frame_with(&msg, Some(&ctx));
+        let (back, got_ctx, used) =
+            decode_frame_with(&frame).unwrap_or_else(|e| panic!("iteration {i}: {e}"));
+        assert_eq!(back.encode_payload(), msg.encode_payload());
+        assert_eq!(got_ctx, Some(ctx), "iteration {i}: context changed");
+        assert_eq!(used, frame.len());
+        // the context block costs exactly its wire size
+        assert_eq!(frame.len(), encode_frame(&msg).len() + TRACE_CONTEXT_BYTES);
+    }
+}
+
+#[test]
+fn traced_frame_byte_flips_are_detected() {
+    let mut rng = Xoshiro256::seed_from_u64(0x7AC3F11F);
+    for i in 0..200 {
+        let msg = random_message(&mut rng);
+        let ctx = random_context(&mut rng);
+        let frame = encode_frame_with(&msg, Some(&ctx));
+        // exhaustive over header + context block, sampled over payload
+        let dense = (FRAME_HEADER_BYTES + TRACE_CONTEXT_BYTES).min(frame.len());
+        let positions: Vec<usize> = (0..dense)
+            .chain((0..16).map(|_| rng.gen_range(frame.len() as u64) as usize))
+            .collect();
+        for pos in positions {
+            let mut bad = frame.clone();
+            let bit = 1u8 << rng.gen_range(8);
+            bad[pos] ^= bit;
+            let decoded = decode_frame_with(&bad);
+            assert!(
+                decoded.is_err(),
+                "iteration {i}: flipping bit {bit:#04x} of byte {pos} in a traced {} \
+                 frame went undetected: {decoded:?}",
+                msg.tag_name()
+            );
+        }
+    }
+}
+
+#[test]
+fn traced_frame_truncations_are_clean_errors() {
+    let mut rng = Xoshiro256::seed_from_u64(0x7AC37120);
+    for _ in 0..100 {
+        let msg = random_message(&mut rng);
+        let ctx = random_context(&mut rng);
+        let frame = encode_frame_with(&msg, Some(&ctx));
+        let dense = (FRAME_HEADER_BYTES + TRACE_CONTEXT_BYTES).min(frame.len());
+        let cuts: Vec<usize> = (0..dense)
+            .chain((0..16).map(|_| rng.gen_range(frame.len() as u64) as usize))
+            .collect();
+        for cut in cuts {
+            let prefix = &frame[..cut];
+            assert!(decode_frame_with(prefix).is_err(), "{cut}-byte prefix ok?");
+            // the plain reader also rejects (it understands the flag but
+            // the bytes are missing)
+            let mut cursor = Cursor::new(prefix);
+            assert!(read_message(&mut cursor).is_err());
+        }
+    }
 }
 
 #[test]

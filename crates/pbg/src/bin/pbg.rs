@@ -6,16 +6,20 @@
 //!               [--buffer-size B] [--bucket-ordering O] [--threads T]
 //!               [--checkpoint-every N] [--resume DIR]
 //!               [--inject-crash-after N]
-//!               [--telemetry TRACE.jsonl] [--log-format json|pretty]
+//!               [--telemetry TRACE.jsonl] [--metrics-addr HOST:PORT]
+//!               [--log-format json|pretty]
 //! pbg serve     --role lock|partition|param --listen HOST:PORT
 //!               --edges E [--format tsv|snap] [--config C.json]
 //!               [--partitions P] [--shards N] [--lease-ms MS]
+//!               [--telemetry TRACE.jsonl] [--metrics-addr HOST:PORT]
 //! pbg train     --edges E --cluster lock=H:P,part=H:P,param=H:P
 //!               --rank R [--sync-throttle-ms MS] [--output CKPT] ...
 //! pbg eval      --checkpoint CKPT --test E [--train E]
 //!               [--candidates N] [--filtered] [--prevalence]
 //! pbg neighbors --checkpoint CKPT --entity ID [--relation R] [--k K]
-//! pbg trace     summarize TRACE.jsonl
+//! pbg trace     summarize TRACE.jsonl...
+//! pbg trace     export [--format perfetto] [--output F] TRACE.jsonl...
+//! pbg metrics   lint METRICS.txt
 //! ```
 //!
 //! Edge files are tab-separated `src\trel\tdst[\tweight]` (`--format tsv`,
@@ -23,7 +27,17 @@
 //! `--config` uses the paper's defaults (d=100, margin ranking, batched
 //! negatives). `--telemetry` enables span tracing and writes the run's
 //! event trace as JSONL; `pbg trace summarize` renders it as a per-bucket
-//! timeline (compute / sampling / optimizer / swap-wait / prefetch).
+//! timeline (compute / sampling / optimizer / swap-wait / prefetch) and
+//! accepts several rank-tagged files at once (spans merge by rank).
+//! `pbg trace export` merges the same files into one Chrome/Perfetto
+//! trace-event JSON — open it at <https://ui.perfetto.dev> for a per-rank
+//! timeline with cross-rank RPC arrows.
+//!
+//! `--metrics-addr` starts a live Prometheus text-exposition server on
+//! any training or serving process: `curl HOST:PORT/metrics` mid-run for
+//! counters/gauges/histograms (edges/sec, MFLOP/s, buffer hit ratio),
+//! `HOST:PORT/report` for a human-readable snapshot with p50/p95/p99.
+//! `pbg metrics lint` validates scraped exposition text (used by CI).
 //!
 //! `--checkpoint-every N` writes a crash-consistent checkpoint to the
 //! output directory after every `N` trained buckets; an interrupted run
@@ -69,6 +83,7 @@ fn main() -> ExitCode {
         Some("eval") => cmd_eval(&parse_flags(&args[1..])),
         Some("neighbors") => cmd_neighbors(&parse_flags(&args[1..])),
         Some("trace") => cmd_trace(&args[1..]),
+        Some("metrics") => cmd_metrics(&args[1..]),
         Some("--help") | Some("-h") | None => {
             eprintln!("{}", USAGE);
             return ExitCode::SUCCESS;
@@ -90,17 +105,22 @@ const USAGE: &str = "usage:
                 [--buffer-size B] [--bucket-ordering O] [--threads T]
                 [--checkpoint-every N] [--resume DIR]
                 [--inject-crash-after N]
-                [--telemetry TRACE.jsonl] [--log-format json|pretty]
+                [--telemetry TRACE.jsonl] [--metrics-addr HOST:PORT]
+                [--log-format json|pretty]
   pbg train     --edges E --cluster lock=H:P,part=H:P,param=H:P --rank R
                 [--partitions P] [--config C.json] [--sync-throttle-ms MS]
+                [--telemetry TRACE.jsonl] [--metrics-addr HOST:PORT]
                 [--output CKPT]
   pbg serve     --role lock|partition|param --listen HOST:PORT --edges E
                 [--format tsv|snap] [--config C.json] [--partitions P]
                 [--shards N] [--lease-ms MS]
+                [--telemetry TRACE.jsonl] [--metrics-addr HOST:PORT]
   pbg eval      --checkpoint CKPT --test E [--train E]
                 [--candidates N] [--filtered] [--prevalence]
   pbg neighbors --checkpoint CKPT --entity ID [--relation R] [--k K]
-  pbg trace     summarize TRACE.jsonl";
+  pbg trace     summarize TRACE.jsonl...
+  pbg trace     export [--format perfetto] [--output F] TRACE.jsonl...
+  pbg metrics   lint METRICS.txt";
 
 #[derive(Debug, Default)]
 struct Flags {
@@ -267,6 +287,7 @@ fn cmd_train(flags: &Flags) -> Result<(), String> {
     if trace_path.is_some() {
         trainer.telemetry().set_tracing(true);
     }
+    let _metrics_server = start_metrics_server(flags, trainer.telemetry())?;
     for stats in trainer.train() {
         if log_format == "json" {
             println!(
@@ -332,6 +353,24 @@ fn homogeneous_schema(
     builder.build().map_err(|e| e.to_string())
 }
 
+/// Binds the live `/metrics` exposition server when `--metrics-addr` is
+/// set. The returned guard keeps the accept thread alive; dropping it
+/// shuts the listener down.
+fn start_metrics_server(
+    flags: &Flags,
+    telemetry: &pbg::telemetry::Registry,
+) -> Result<Option<pbg::telemetry::MetricsServer>, String> {
+    match flags.get("metrics-addr") {
+        Some(addr) => {
+            let server = pbg::telemetry::MetricsServer::serve(addr, telemetry.clone())
+                .map_err(|e| format!("metrics bind {addr}: {e}"))?;
+            eprintln!("metrics served at http://{}/metrics", server.local_addr());
+            Ok(Some(server))
+        }
+        None => Ok(None),
+    }
+}
+
 /// Parses `lock=H:P,part=H:P,param=H:P` (roles in any order) into the
 /// three server addresses.
 fn parse_cluster(spec: &str) -> Result<(String, String, String), String> {
@@ -369,6 +408,13 @@ fn cmd_train_cluster(
     let (lock_addr, part_addr, param_addr) = parse_cluster(spec)?;
     let rank: usize = flags.parse("rank", 0usize)?;
     let telemetry = pbg::telemetry::Registry::new();
+    // tracing before the first RPC, so connection-time spans are kept
+    // and outgoing frames carry trace contexts from the start
+    let trace_path = flags.get("telemetry");
+    if trace_path.is_some() {
+        telemetry.set_tracing(true);
+    }
+    let _metrics_server = start_metrics_server(flags, &telemetry)?;
     let services = RankServices {
         lock: NetLock::new(lock_addr, &telemetry),
         partitions: NetPartitions::new(part_addr, &telemetry),
@@ -381,8 +427,14 @@ fn cmd_train_cluster(
         edges.len(),
         config.epochs
     );
-    let stats = train_rank(schema, edges, config.clone(), &services, &run, &telemetry)
-        .map_err(|e| format!("rank {rank}: {e}"))?;
+    let result = train_rank(schema, edges, config.clone(), &services, &run, &telemetry);
+    // the trace lands even when training fails, like the single-machine
+    // path — a crashed rank still leaves a parsable record
+    if let Some(path) = trace_path {
+        write_trace(&telemetry, path)?;
+        eprintln!("rank {rank}: trace written to {path}");
+    }
+    let stats = result.map_err(|e| format!("rank {rank}: {e}"))?;
     eprintln!(
         "rank {rank}: done — {} buckets, {} edges, loss {:.4}, {} leases reaped",
         stats.buckets_trained, stats.edges, stats.loss, stats.recovered_buckets
@@ -431,6 +483,26 @@ fn cmd_serve(flags: &Flags) -> Result<(), String> {
     };
     let schema = homogeneous_schema(num_nodes, num_relations, partitions)?;
     let shards: usize = flags.parse("shards", 4usize)?;
+    // Synthetic ranks put server spans on their own tracks in a merged
+    // trace, far from any plausible trainer rank id.
+    let role_rank: u32 = match role {
+        "lock" => 1000,
+        "partition" => 1001,
+        "param" => 1002,
+        other => {
+            return Err(format!(
+                "unknown serve role `{other}` (lock|partition|param)"
+            ))
+        }
+    };
+    let telemetry = pbg::telemetry::Registry::new();
+    telemetry.set_rank(role_rank);
+    telemetry.set_trace_id(pbg::telemetry::context::trace_id_from_seed(config.seed));
+    let trace_path = flags.get("telemetry");
+    if trace_path.is_some() {
+        telemetry.set_tracing(true);
+    }
+    let _metrics_server = start_metrics_server(flags, &telemetry)?;
     // the serving state machines still meter bytes through their
     // NetworkModel; real sockets carry the data, so no simulated delay
     let net = Arc::new(NetworkModel::new(1e9, 0.0));
@@ -443,22 +515,36 @@ fn cmd_serve(flags: &Flags) -> Result<(), String> {
                 LockServer::with_lease(Duration::from_millis(lease_ms))
             };
             let lock = Arc::new(EpochLock::new(inner, config.epochs, partitions, partitions));
-            NetServer::lock(listen, lock)
+            NetServer::lock_with(listen, lock, &telemetry)
         }
         "partition" => {
             let model = Model::new(schema, config).map_err(|e| e.to_string())?;
             let state = Arc::new(PartitionServer::new(model.store_layout(), shards, net));
-            NetServer::partitions(listen, state)
+            NetServer::partitions_with(listen, state, &telemetry)
         }
-        "param" => NetServer::params(listen, Arc::new(ParameterServer::new(shards, net))),
-        other => {
-            return Err(format!(
-                "unknown serve role `{other}` (lock|partition|param)"
-            ))
-        }
+        _ => NetServer::params_with(
+            listen,
+            Arc::new(ParameterServer::new(shards, net)),
+            &telemetry,
+        ),
     }
     .map_err(|e| format!("bind {listen}: {e}"))?;
     eprintln!("{role} server listening on {}", server.local_addr());
+    // A server never exits, so spans stream to disk from a background
+    // flusher instead of a single final drain.
+    if let Some(path) = trace_path {
+        let file = std::fs::File::create(path).map_err(|e| format!("{path}: {e}"))?;
+        let mut sink = pbg::telemetry::JsonlSink::new(std::io::BufWriter::new(file));
+        let reg = telemetry.clone();
+        std::thread::Builder::new()
+            .name("pbg-trace-flush".into())
+            .spawn(move || loop {
+                std::thread::sleep(Duration::from_millis(500));
+                let _ = reg.drain_into(&mut sink);
+            })
+            .map_err(|e| format!("trace flusher: {e}"))?;
+        eprintln!("{role} server: spans stream to {path}");
+    }
     loop {
         std::thread::park();
     }
@@ -473,21 +559,99 @@ fn write_trace(telemetry: &pbg::telemetry::Registry, path: &str) -> Result<(), S
         .map_err(|e| format!("{path}: {e}"))
 }
 
+/// Reads and concatenates span events from several JSONL trace files
+/// (one per rank, typically). Rank tags inside the events keep them
+/// attributable after the merge.
+fn read_traces(files: &[String]) -> Result<Vec<pbg::telemetry::trace::TraceEvent>, String> {
+    let mut events = Vec::new();
+    for path in files {
+        let file = std::fs::File::open(path).map_err(|e| format!("{path}: {e}"))?;
+        events.extend(
+            pbg::telemetry::trace::read_jsonl(std::io::BufReader::new(file))
+                .map_err(|e| format!("{path}: {e}"))?,
+        );
+    }
+    Ok(events)
+}
+
 fn cmd_trace(args: &[String]) -> Result<(), String> {
     match args.first().map(String::as_str) {
         Some("summarize") => {
-            let path = args
-                .get(1)
-                .ok_or("usage: pbg trace summarize TRACE.jsonl")?;
-            let file = std::fs::File::open(path).map_err(|e| format!("{path}: {e}"))?;
-            let events = pbg::telemetry::trace::read_jsonl(std::io::BufReader::new(file))
-                .map_err(|e| format!("{path}: {e}"))?;
+            let files = &args[1..];
+            if files.is_empty() {
+                return Err("usage: pbg trace summarize TRACE.jsonl...".into());
+            }
+            let events = read_traces(files)?;
             let summary = pbg::telemetry::trace::summarize(&events);
             print!("{}", summary.render());
             Ok(())
         }
+        Some("export") => {
+            let mut format = "perfetto".to_string();
+            let mut output: Option<String> = None;
+            let mut files: Vec<String> = Vec::new();
+            let mut i = 1;
+            while i < args.len() {
+                match args[i].as_str() {
+                    "--format" => {
+                        format = args
+                            .get(i + 1)
+                            .cloned()
+                            .ok_or("flag --format needs a value")?;
+                        i += 2;
+                    }
+                    "--output" => {
+                        output = Some(
+                            args.get(i + 1)
+                                .cloned()
+                                .ok_or("flag --output needs a value")?,
+                        );
+                        i += 2;
+                    }
+                    file => {
+                        files.push(file.to_string());
+                        i += 1;
+                    }
+                }
+            }
+            if !matches!(format.as_str(), "perfetto" | "chrome") {
+                return Err(format!(
+                    "unknown export format `{format}` (perfetto|chrome)"
+                ));
+            }
+            if files.is_empty() {
+                return Err(
+                    "usage: pbg trace export [--format perfetto] [--output F] TRACE.jsonl..."
+                        .into(),
+                );
+            }
+            let events = read_traces(&files)?;
+            let json = pbg::telemetry::export::to_chrome_trace(&events);
+            match output {
+                Some(path) => {
+                    std::fs::write(&path, json).map_err(|e| format!("{path}: {e}"))?;
+                    eprintln!("trace exported to {path} (open at https://ui.perfetto.dev)");
+                }
+                None => println!("{json}"),
+            }
+            Ok(())
+        }
         Some(other) => Err(format!("unknown trace subcommand `{other}`\n{USAGE}")),
         None => Err(format!("missing trace subcommand\n{USAGE}")),
+    }
+}
+
+fn cmd_metrics(args: &[String]) -> Result<(), String> {
+    match args.first().map(String::as_str) {
+        Some("lint") => {
+            let path = args.get(1).ok_or("usage: pbg metrics lint METRICS.txt")?;
+            let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+            pbg::telemetry::snapshot::lint_prometheus(&text).map_err(|e| format!("{path}: {e}"))?;
+            println!("{path}: valid Prometheus exposition text");
+            Ok(())
+        }
+        Some(other) => Err(format!("unknown metrics subcommand `{other}`\n{USAGE}")),
+        None => Err(format!("missing metrics subcommand\n{USAGE}")),
     }
 }
 

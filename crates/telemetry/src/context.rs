@@ -1,0 +1,101 @@
+//! Compact trace context propagated across process boundaries.
+//!
+//! A [`TraceContext`] is the minimal state a client must hand a server for
+//! the server's per-request span to land in the right distributed trace:
+//! the trace id (shared by every rank of one training run), the span id of
+//! the client-side RPC span (which becomes the server span's parent), and
+//! the client's rank (so merged timelines can attribute the edge).
+//!
+//! The wire form is a fixed 20-byte little-endian block — small enough to
+//! ride in every frame, fixed-size so the codec's hostile-input properties
+//! stay easy to state. `pbg-net` attaches it to frames only when tracing
+//! is enabled, so the common untraced path pays nothing.
+
+/// Size of the encoded context block on the wire.
+pub const WIRE_BYTES: usize = 20;
+
+/// Trace identity carried alongside a wire frame.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TraceContext {
+    /// Identifier shared by every span of one logical run. Derived
+    /// deterministically from the run seed so all ranks agree without a
+    /// coordination round-trip (see [`trace_id_from_seed`]).
+    pub trace_id: u64,
+    /// Span id of the caller's in-flight span; the receiver records its
+    /// handler span as a child of this.
+    pub parent_span: u64,
+    /// Rank of the sending process (`u32::MAX` when the sender has no
+    /// assigned rank, e.g. single-machine tools).
+    pub rank: u32,
+}
+
+impl TraceContext {
+    /// Serialize to the fixed little-endian wire block.
+    pub fn encode(&self) -> [u8; WIRE_BYTES] {
+        let mut out = [0u8; WIRE_BYTES];
+        out[0..8].copy_from_slice(&self.trace_id.to_le_bytes());
+        out[8..16].copy_from_slice(&self.parent_span.to_le_bytes());
+        out[16..20].copy_from_slice(&self.rank.to_le_bytes());
+        out
+    }
+
+    /// Deserialize from a wire block. Any 20 bytes form a valid context;
+    /// integrity is the frame checksum's job, not ours.
+    pub fn decode(bytes: &[u8; WIRE_BYTES]) -> TraceContext {
+        TraceContext {
+            trace_id: u64::from_le_bytes(bytes[0..8].try_into().unwrap()),
+            parent_span: u64::from_le_bytes(bytes[8..16].try_into().unwrap()),
+            rank: u32::from_le_bytes(bytes[16..20].try_into().unwrap()),
+        }
+    }
+}
+
+/// Derive the run-wide trace id from the training seed.
+///
+/// Every rank of a cluster run is launched with the same `--seed`, so
+/// hashing it (splitmix64 finalizer) gives all ranks the same trace id
+/// with zero coordination. The `^ !0` keeps seed 0 from mapping to
+/// trace id 0, which we reserve for "no trace".
+pub fn trace_id_from_seed(seed: u64) -> u64 {
+    let mut z = (seed ^ !0u64).wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrips_exactly() {
+        let ctx = TraceContext {
+            trace_id: 0xDEAD_BEEF_CAFE_F00D,
+            parent_span: 42,
+            rank: 7,
+        };
+        assert_eq!(TraceContext::decode(&ctx.encode()), ctx);
+    }
+
+    #[test]
+    fn encode_is_little_endian_and_stable() {
+        let ctx = TraceContext {
+            trace_id: 1,
+            parent_span: 2,
+            rank: 3,
+        };
+        let b = ctx.encode();
+        assert_eq!(b[0], 1);
+        assert_eq!(b[8], 2);
+        assert_eq!(b[16], 3);
+        assert!(b[1..8].iter().all(|&x| x == 0));
+    }
+
+    #[test]
+    fn trace_id_is_deterministic_and_nonzero() {
+        assert_eq!(trace_id_from_seed(1234), trace_id_from_seed(1234));
+        assert_ne!(trace_id_from_seed(1234), trace_id_from_seed(1235));
+        assert_ne!(trace_id_from_seed(0), 0);
+        assert_ne!(trace_id_from_seed(u64::MAX), 0);
+    }
+}

@@ -1,0 +1,223 @@
+//! Live metrics exposition over HTTP.
+//!
+//! [`MetricsServer`] is a zero-dependency HTTP/1.0 server in the same
+//! shape as `pbg-net`'s `NetServer`: a bound listener, an accept loop on
+//! a named thread, one short-lived thread per connection, shutdown by a
+//! stop flag plus a wake-up connect. Every trainer rank and every
+//! `pbg serve` role runs one, so a `curl http://rank:port/metrics`
+//! mid-run answers "is this rank making progress" without waiting for
+//! the post-run JSONL dump.
+//!
+//! Endpoints:
+//! - `/metrics` — Prometheus text exposition (version 0.0.4) of the
+//!   registry's live snapshot.
+//! - `/report` — human-readable snapshot report with histogram
+//!   quantiles (p50/p95/p99).
+//! - `/healthz` — liveness probe, answers `ok`.
+
+use crate::Registry;
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// Longest request head we will buffer before giving up on a client.
+const MAX_REQUEST_BYTES: usize = 8 * 1024;
+
+/// A running metrics exposition server. Shuts down on drop.
+pub struct MetricsServer {
+    local_addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    accept_thread: Option<JoinHandle<()>>,
+}
+
+impl MetricsServer {
+    /// Binds `addr` (e.g. `127.0.0.1:9090`; port 0 picks a free port)
+    /// and serves `registry` until shutdown or drop.
+    ///
+    /// # Errors
+    ///
+    /// Returns the bind error if the address is unavailable.
+    pub fn serve(addr: &str, registry: Registry) -> std::io::Result<MetricsServer> {
+        let listener = TcpListener::bind(addr)?;
+        let local_addr = listener.local_addr()?;
+        let stop = Arc::new(AtomicBool::new(false));
+        let accept_stop = Arc::clone(&stop);
+        let accept_thread = std::thread::Builder::new()
+            .name(format!("pbg-metrics-{}", local_addr.port()))
+            .spawn(move || accept_loop(listener, registry, accept_stop))
+            .expect("spawn metrics accept thread");
+        Ok(MetricsServer {
+            local_addr,
+            stop,
+            accept_thread: Some(accept_thread),
+        })
+    }
+
+    /// The bound address (useful with port 0).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.local_addr
+    }
+
+    /// Stops accepting and joins the accept thread. Idempotent.
+    pub fn shutdown(&mut self) {
+        if self.stop.swap(true, Ordering::SeqCst) {
+            return;
+        }
+        // wake the blocking accept with a throwaway connection
+        let _ = TcpStream::connect(self.local_addr);
+        if let Some(handle) = self.accept_thread.take() {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl Drop for MetricsServer {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+fn accept_loop(listener: TcpListener, registry: Registry, stop: Arc<AtomicBool>) {
+    for conn in listener.incoming() {
+        if stop.load(Ordering::SeqCst) {
+            break;
+        }
+        let Ok(stream) = conn else { continue };
+        let registry = registry.clone();
+        let _ = std::thread::Builder::new()
+            .name("pbg-metrics-conn".to_string())
+            .spawn(move || {
+                let _ = handle_connection(stream, &registry);
+            });
+    }
+}
+
+fn handle_connection(mut stream: TcpStream, registry: &Registry) -> std::io::Result<()> {
+    // scrapers are local and fast; a stuck client should not pin the
+    // thread forever
+    let _ = stream.set_read_timeout(Some(Duration::from_secs(5)));
+    let _ = stream.set_write_timeout(Some(Duration::from_secs(5)));
+    let path = match read_request_path(&mut stream)? {
+        Some(path) => path,
+        None => return Ok(()),
+    };
+    let (status, content_type, body) = match path.split('?').next().unwrap_or("") {
+        "/metrics" => (
+            "200 OK",
+            "text/plain; version=0.0.4; charset=utf-8",
+            registry.snapshot().to_prometheus(),
+        ),
+        "/report" => (
+            "200 OK",
+            "text/plain; charset=utf-8",
+            registry.snapshot().render_report(),
+        ),
+        "/" | "/healthz" => ("200 OK", "text/plain; charset=utf-8", "ok\n".to_string()),
+        _ => (
+            "404 Not Found",
+            "text/plain; charset=utf-8",
+            "not found\n".to_string(),
+        ),
+    };
+    let header = format!(
+        "HTTP/1.0 {status}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+        body.len()
+    );
+    stream.write_all(header.as_bytes())?;
+    stream.write_all(body.as_bytes())?;
+    stream.flush()
+}
+
+/// Reads the request head and returns the path of a GET request
+/// (`None` for anything unparseable — the connection is just dropped;
+/// there is nothing useful to tell a client that does not speak HTTP).
+fn read_request_path(stream: &mut TcpStream) -> std::io::Result<Option<String>> {
+    let mut buf = Vec::new();
+    let mut chunk = [0u8; 512];
+    while !buf.windows(4).any(|w| w == b"\r\n\r\n") && !buf.windows(2).any(|w| w == b"\n\n") {
+        if buf.len() >= MAX_REQUEST_BYTES {
+            return Ok(None);
+        }
+        let n = match stream.read(&mut chunk) {
+            Ok(0) => break,
+            Ok(n) => n,
+            Err(_) => return Ok(None),
+        };
+        buf.extend_from_slice(&chunk[..n]);
+    }
+    let head = String::from_utf8_lossy(&buf);
+    let request_line = head.lines().next().unwrap_or("");
+    let mut parts = request_line.split_whitespace();
+    match (parts.next(), parts.next()) {
+        (Some("GET"), Some(path)) => Ok(Some(path.to_string())),
+        _ => Ok(None),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn http_get(addr: SocketAddr, path: &str) -> (String, String) {
+        let mut stream = TcpStream::connect(addr).unwrap();
+        stream
+            .write_all(format!("GET {path} HTTP/1.0\r\nHost: x\r\n\r\n").as_bytes())
+            .unwrap();
+        let mut response = String::new();
+        stream.read_to_string(&mut response).unwrap();
+        let (head, body) = response
+            .split_once("\r\n\r\n")
+            .expect("response has a head/body split");
+        (head.to_string(), body.to_string())
+    }
+
+    #[test]
+    fn serves_live_metrics_and_report() {
+        let reg = Registry::new();
+        reg.counter("trainer.edges").add(5);
+        reg.histogram("net.rpc_latency_ns").observe(1000);
+        let server = MetricsServer::serve("127.0.0.1:0", reg.clone()).unwrap();
+        let addr = server.local_addr();
+
+        let (head, body) = http_get(addr, "/metrics");
+        assert!(head.starts_with("HTTP/1.0 200"), "{head}");
+        assert!(head.contains("version=0.0.4"));
+        assert!(body.contains("pbg_trainer_edges 5"));
+        crate::snapshot::lint_prometheus(&body).unwrap();
+
+        // the snapshot is live: a later scrape sees later increments
+        reg.counter("trainer.edges").add(5);
+        let (_, body) = http_get(addr, "/metrics");
+        assert!(body.contains("pbg_trainer_edges 10"));
+
+        let (_, report) = http_get(addr, "/report");
+        assert!(report.contains("p99="));
+
+        let (head, _) = http_get(addr, "/healthz");
+        assert!(head.starts_with("HTTP/1.0 200"));
+        let (head, _) = http_get(addr, "/nope");
+        assert!(head.starts_with("HTTP/1.0 404"));
+    }
+
+    #[test]
+    fn shutdown_is_idempotent_and_drop_safe() {
+        let mut server = MetricsServer::serve("127.0.0.1:0", Registry::new()).unwrap();
+        server.shutdown();
+        server.shutdown();
+        drop(server); // must not hang or panic
+    }
+
+    #[test]
+    fn garbage_request_does_not_kill_the_server() {
+        let server = MetricsServer::serve("127.0.0.1:0", Registry::new()).unwrap();
+        let addr = server.local_addr();
+        let mut s = TcpStream::connect(addr).unwrap();
+        s.write_all(b"\x00\xffnot http at all\r\n\r\n").unwrap();
+        drop(s);
+        let (head, _) = http_get(addr, "/healthz");
+        assert!(head.starts_with("HTTP/1.0 200"));
+    }
+}

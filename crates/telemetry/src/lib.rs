@@ -32,12 +32,17 @@
 //! assert_eq!(reg.snapshot().counter("trainer.edges"), 128);
 //! ```
 
+pub mod context;
+pub mod export;
+pub mod http;
 pub mod metrics;
 pub mod sink;
 pub mod snapshot;
 pub mod span;
 pub mod trace;
 
+pub use context::TraceContext;
+pub use http::MetricsServer;
 pub use metrics::{Counter, Gauge, Histogram};
 pub use sink::{JsonlSink, Sink, VecSink};
 pub use snapshot::Snapshot;
@@ -52,11 +57,22 @@ use std::time::Instant;
 /// registries apart without comparing `Arc` pointers.
 static NEXT_REGISTRY_ID: AtomicU64 = AtomicU64::new(1);
 
+/// Sentinel for "no rank assigned" in [`Inner::rank`].
+const RANK_UNSET: u64 = u64::MAX;
+
 pub(crate) struct Inner {
     pub(crate) id: u64,
     /// All event timestamps are nanosecond offsets from this instant.
     pub(crate) start: Instant,
     tracing: AtomicBool,
+    /// Rank of the owning process (`RANK_UNSET` until assigned). When
+    /// set, every recorded event is tagged with a `rank` field so
+    /// multi-process traces can be merged.
+    pub(crate) rank: AtomicU64,
+    /// Run-wide trace id shared by all ranks (0 = no trace).
+    trace_id: AtomicU64,
+    /// Allocator for cross-rank-unique span ids.
+    next_span: AtomicU64,
     counters: Mutex<BTreeMap<String, Counter>>,
     gauges: Mutex<BTreeMap<String, Gauge>>,
     histograms: Mutex<BTreeMap<String, Histogram>>,
@@ -98,6 +114,9 @@ impl Registry {
                 id: NEXT_REGISTRY_ID.fetch_add(1, Ordering::Relaxed),
                 start: Instant::now(),
                 tracing: AtomicBool::new(false),
+                rank: AtomicU64::new(RANK_UNSET),
+                trace_id: AtomicU64::new(0),
+                next_span: AtomicU64::new(1),
                 counters: Mutex::new(BTreeMap::new()),
                 gauges: Mutex::new(BTreeMap::new()),
                 histograms: Mutex::new(BTreeMap::new()),
@@ -131,6 +150,44 @@ impl Registry {
     #[inline]
     pub fn now_ns(&self) -> u64 {
         self.inner.start.elapsed().as_nanos() as u64
+    }
+
+    /// Assigns this process's rank. From then on every recorded event
+    /// carries a `rank` field, and span ids allocated by
+    /// [`Registry::next_span_id`] are disjoint from other ranks'.
+    pub fn set_rank(&self, rank: u32) {
+        self.inner.rank.store(u64::from(rank), Ordering::Relaxed);
+    }
+
+    /// The assigned rank, if any.
+    pub fn rank(&self) -> Option<u32> {
+        match self.inner.rank.load(Ordering::Relaxed) {
+            RANK_UNSET => None,
+            r => Some(r as u32),
+        }
+    }
+
+    /// Sets the run-wide trace id (see [`context::trace_id_from_seed`]).
+    pub fn set_trace_id(&self, id: u64) {
+        self.inner.trace_id.store(id, Ordering::Relaxed);
+    }
+
+    /// The run-wide trace id (0 until set).
+    pub fn trace_id(&self) -> u64 {
+        self.inner.trace_id.load(Ordering::Relaxed)
+    }
+
+    /// Allocates a span id unique across every rank of the run: the rank
+    /// (plus one, so rankless processes and rank 0 stay disjoint) in the
+    /// high 24 bits, a per-process counter in the low 40. 2^40 spans per
+    /// process is far beyond any drain interval.
+    pub fn next_span_id(&self) -> u64 {
+        let rank = match self.inner.rank.load(Ordering::Relaxed) {
+            RANK_UNSET => 0,
+            r => r + 1,
+        };
+        let seq = self.inner.next_span.fetch_add(1, Ordering::Relaxed) & ((1 << 40) - 1);
+        (rank << 40) | seq
     }
 
     /// Returns the named counter, creating it at zero on first use.
@@ -332,6 +389,26 @@ mod tests {
         assert!(reg.drain().is_empty());
         reg.point("b", vec![]);
         assert_eq!(reg.drain().len(), 1);
+    }
+
+    #[test]
+    fn rank_tags_every_event_and_partitions_span_ids() {
+        let reg = Registry::new();
+        reg.set_tracing(true);
+        reg.point("before", vec![]);
+        reg.set_rank(3);
+        reg.point("after", vec![]);
+        let events = reg.drain();
+        assert_eq!(events[0].field_u64("rank"), None);
+        assert_eq!(events[1].field_u64("rank"), Some(3));
+
+        let id = reg.next_span_id();
+        assert_eq!(id >> 40, 4, "rank+1 in the high bits");
+        assert_ne!(reg.next_span_id(), id);
+
+        let other = Registry::new();
+        other.set_rank(0);
+        assert_eq!(other.next_span_id() >> 40, 1);
     }
 
     #[test]

@@ -78,6 +78,141 @@ pub mod names {
     /// Counter: networked client operations retried (reconnects and
     /// injected transfer failures).
     pub const NET_RPC_RETRIES: &str = "net.rpc_retries";
+    /// Counter: requests handled by a networked server (all roles).
+    pub const NET_REQUESTS_HANDLED: &str = "net.requests_handled";
+    /// Gauge: trained edges per second over the last bucket.
+    pub const TRAINER_EDGES_PER_SEC: &str = "trainer.edges_per_sec";
+    /// Gauge: kernel MFLOP/s over the last bucket (from the process-wide
+    /// flop counter in `pbg-tensor`).
+    pub const TRAINER_MFLOPS: &str = "trainer.mflops";
+    /// Gauge: partition-buffer hit ratio in basis points —
+    /// `prefetch_hits / (prefetch_hits + swap_ins) * 10_000` over the
+    /// run so far.
+    pub const TRAINER_BUFFER_HIT_BP: &str = "trainer.buffer_hit_bp";
+    /// Gauge: total kernel flops executed by this process (also the
+    /// watermark the per-bucket MFLOP/s delta is taken against).
+    pub const TRAINER_FLOPS_TOTAL: &str = "trainer.flops_total";
+    /// Gauge: distsim cluster-wide trained edges per second, by machine.
+    pub const CLUSTER_EDGES_PER_SEC: &str = "cluster.edges_per_sec";
+
+    /// Every canonical metric name with its exposition help text, for
+    /// `# HELP` lines and the format-lint test. Dynamic per-machine
+    /// names (`rank{N}.*`, `machine{N}.*`) are not listed; they get no
+    /// HELP line, which the exposition format permits.
+    pub const ALL: &[(&str, &str)] = &[
+        (
+            STORE_SWAP_INS,
+            "Partition loads that went to backing storage",
+        ),
+        (
+            STORE_PREFETCH_HITS,
+            "Loads served by a completed background prefetch",
+        ),
+        (
+            STORE_SWAP_WAIT_NS,
+            "Nanoseconds the hot path blocked on partition I/O",
+        ),
+        (
+            STORE_BYTES_WRITTEN_BACK,
+            "Bytes written back to backing storage on release",
+        ),
+        (STORE_RESIDENT_BYTES, "Resident embedding bytes"),
+        (
+            STORE_IO_QUEUE_DEPTH,
+            "Requests queued to the background I/O thread",
+        ),
+        (
+            STORE_RESIDENT_PARTITIONS,
+            "Resident partitions in the buffer",
+        ),
+        (STORE_EVICTIONS, "Partitions evicted from the buffer"),
+        (
+            STORE_PREFETCH_DEPTH,
+            "Bucket-steps of lookahead per issued prefetch",
+        ),
+        (
+            STORE_WRITEBACK_SKIPPED_BYTES,
+            "Write-back bytes skipped (partition clean)",
+        ),
+        (TRAINER_EDGES, "Edges trained"),
+        (TRAINER_BUCKETS, "Buckets trained"),
+        (CLUSTER_EDGES, "Distsim edges trained across machines"),
+        (
+            CLUSTER_LOCK_WAITS,
+            "Distsim bucket-acquire attempts that had to wait",
+        ),
+        (
+            CLUSTER_PREFETCH_HITS,
+            "Distsim loads served by a prefetched partition",
+        ),
+        (CLUSTER_NET_BYTES, "Bytes moved over the simulated network"),
+        (
+            CLUSTER_SYNC_BYTES,
+            "Bytes of relation-parameter sync traffic",
+        ),
+        (
+            CLUSTER_IDLE_NS,
+            "Nanoseconds machines spent idle waiting for a bucket",
+        ),
+        (
+            CLUSTER_ACQUIRE_WAIT_NS,
+            "Per-acquire lock-server wait in nanoseconds",
+        ),
+        (TRAINER_CHECKPOINTS, "Checkpoints written by the trainer"),
+        (TRAINER_RESUMES, "Training runs restarted from a checkpoint"),
+        (
+            TRAINER_RESUME_SKIPPED_STEPS,
+            "Bucket-steps skipped on resume",
+        ),
+        (
+            CLUSTER_RECOVERED_BUCKETS,
+            "Distsim buckets reassigned after a lease expired",
+        ),
+        (
+            CLUSTER_RETRIES,
+            "Distsim client operations retried after injected faults",
+        ),
+        (
+            CLUSTER_STALE_CHECKINS,
+            "Partition check-ins discarded on fencing mismatch",
+        ),
+        (
+            NET_BYTES_SENT,
+            "Wire bytes written by networked RPC clients",
+        ),
+        (
+            NET_BYTES_RECEIVED,
+            "Wire bytes read by networked RPC clients",
+        ),
+        (
+            NET_RPC_LATENCY_NS,
+            "Networked RPC round-trip latency in nanoseconds",
+        ),
+        (NET_RPC_RETRIES, "Networked client operations retried"),
+        (
+            NET_REQUESTS_HANDLED,
+            "Requests handled by a networked server",
+        ),
+        (
+            TRAINER_EDGES_PER_SEC,
+            "Trained edges per second over the last bucket",
+        ),
+        (TRAINER_MFLOPS, "Kernel MFLOP/s over the last bucket"),
+        (
+            TRAINER_BUFFER_HIT_BP,
+            "Partition-buffer hit ratio, basis points",
+        ),
+        (
+            TRAINER_FLOPS_TOTAL,
+            "Total kernel flops executed by this process",
+        ),
+        (CLUSTER_EDGES_PER_SEC, "Distsim cluster edges per second"),
+    ];
+
+    /// Exposition help text for a canonical metric name.
+    pub fn help(name: &str) -> Option<&'static str> {
+        ALL.iter().find(|(n, _)| *n == name).map(|(_, h)| *h)
+    }
 }
 
 /// A monotonically increasing counter.

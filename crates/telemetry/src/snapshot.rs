@@ -1,13 +1,20 @@
-//! Point-in-time metric snapshots and the Prometheus-style text dump.
+//! Point-in-time metric snapshots, the Prometheus text exposition, and
+//! a format lint for it.
 //!
 //! Epoch aggregates are built as *deltas between snapshots*: the trainer
 //! snapshots its registry before and after an epoch and subtracts. All
 //! counter subtraction saturates — a counter that regressed (a store
 //! recreated mid-epoch, a registry swapped out) yields zero for the
 //! interval instead of a panic.
+//!
+//! [`Snapshot::to_prometheus`] follows the text exposition format
+//! (version 0.0.4): one `# HELP`/`# TYPE` pair per family, escaped label
+//! values and help text, and a single cumulative `+Inf` bucket per
+//! histogram. [`lint_prometheus`] checks those rules mechanically and
+//! runs in CI against a live `/metrics` scrape.
 
-use crate::metrics::{bucket_upper_bound, Counter, Gauge, Histogram};
-use std::collections::BTreeMap;
+use crate::metrics::{bucket_upper_bound, names, Counter, Gauge, Histogram};
+use std::collections::{BTreeMap, BTreeSet};
 
 /// Snapshot of one gauge.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -37,6 +44,44 @@ impl HistogramSnapshot {
         } else {
             self.sum as f64 / self.count as f64
         }
+    }
+
+    /// Estimates the `q`-quantile (`0.0 ..= 1.0`) from the log2 buckets
+    /// by linear interpolation inside the target bucket. The estimate is
+    /// exact for bucket boundaries and within one power of two
+    /// otherwise — plenty for "was p99 swap-wait 1µs or 1ms". Returns
+    /// 0.0 when empty; the last (unbounded) bucket reports its lower
+    /// bound, a deliberate underestimate.
+    pub fn quantile(&self, q: f64) -> f64 {
+        if self.count == 0 {
+            return 0.0;
+        }
+        let q = q.clamp(0.0, 1.0);
+        // rank of the target sample, 1-based; q=0 → first sample
+        let target = ((q * self.count as f64).ceil() as u64).max(1);
+        let mut cumulative = 0u64;
+        for (i, &c) in self.buckets.iter().enumerate() {
+            if c == 0 {
+                continue;
+            }
+            let before = cumulative;
+            cumulative += c;
+            if cumulative >= target {
+                let lower = if i == 0 { 0u64 } else { 1u64 << (i - 1) };
+                let upper = match bucket_upper_bound(i) {
+                    Some(ub) => ub,
+                    None => return lower as f64,
+                };
+                if i == 0 {
+                    return 0.0; // bucket 0 holds only zeros
+                }
+                let frac = (target - before) as f64 / c as f64;
+                return lower as f64 + frac * (upper - lower) as f64;
+            }
+        }
+        // count said more samples than the buckets hold (racy snapshot):
+        // fall back to the largest populated bound
+        self.mean()
     }
 }
 
@@ -150,50 +195,333 @@ impl Snapshot {
         }
     }
 
-    /// Renders the snapshot in Prometheus text exposition format.
-    /// Metric names are sanitized (`.` and `-` become `_`) and prefixed
-    /// with `pbg_`.
+    /// Renders the snapshot in Prometheus text exposition format
+    /// (version 0.0.4). Metric names are sanitized (`.` and `-` become
+    /// `_`) and prefixed with `pbg_`; canonical names get a `# HELP`
+    /// line from [`names::help`]. The output passes [`lint_prometheus`].
     pub fn to_prometheus(&self) -> String {
         let mut out = String::new();
-        let sanitize = |name: &str| {
-            let body: String = name
-                .chars()
-                .map(|c| if c.is_ascii_alphanumeric() { c } else { '_' })
-                .collect();
-            format!("pbg_{body}")
+        let family = |out: &mut String, raw: &str, suffixless: &str, kind: &str| {
+            if let Some(help) = names::help(raw) {
+                out.push_str(&format!("# HELP {suffixless} {}\n", escape_help(help)));
+            }
+            out.push_str(&format!("# TYPE {suffixless} {kind}\n"));
         };
         for (name, value) in &self.counters {
-            let m = sanitize(name);
-            out.push_str(&format!("# TYPE {m} counter\n{m} {value}\n"));
+            let m = sanitize_metric_name(name);
+            family(&mut out, name, &m, "counter");
+            out.push_str(&format!("{m} {value}\n"));
         }
         for (name, g) in &self.gauges {
-            let m = sanitize(name);
-            out.push_str(&format!("# TYPE {m} gauge\n{m} {}\n", g.value));
+            let m = sanitize_metric_name(name);
+            family(&mut out, name, &m, "gauge");
+            out.push_str(&format!("{m} {}\n", g.value));
             out.push_str(&format!("# TYPE {m}_peak gauge\n{m}_peak {}\n", g.peak));
         }
         for (name, h) in &self.histograms {
-            let m = sanitize(name);
-            out.push_str(&format!("# TYPE {m} histogram\n"));
+            let m = sanitize_metric_name(name);
+            family(&mut out, name, &m, "histogram");
             let mut cumulative = 0u64;
             for (i, &count) in h.buckets.iter().enumerate() {
                 cumulative += count;
-                // only materialize populated and boundary buckets: 65
-                // lines per histogram would drown the dump
-                if count == 0 {
+                // only materialize populated bounded buckets: 65 lines
+                // per histogram would drown the dump, and the final
+                // +Inf line below already carries the total (emitting
+                // the unbounded bucket here too would duplicate the
+                // series)
+                if count == 0 || bucket_upper_bound(i).is_none() {
                     continue;
                 }
-                match bucket_upper_bound(i) {
-                    Some(ub) => {
-                        out.push_str(&format!("{m}_bucket{{le=\"{ub}\"}} {cumulative}\n"));
-                    }
-                    None => out.push_str(&format!("{m}_bucket{{le=\"+Inf\"}} {cumulative}\n")),
-                }
+                let ub = bucket_upper_bound(i).unwrap();
+                out.push_str(&format!(
+                    "{m}_bucket{{le=\"{}\"}} {cumulative}\n",
+                    escape_label_value(&ub.to_string())
+                ));
             }
             out.push_str(&format!("{m}_bucket{{le=\"+Inf\"}} {}\n", h.count));
             out.push_str(&format!("{m}_sum {}\n{m}_count {}\n", h.sum, h.count));
         }
         out
     }
+
+    /// Renders a human-readable report: counters, gauges with peaks, and
+    /// histograms with count / mean / p50 / p95 / p99. Served on the
+    /// metrics server's `/report` endpoint for mid-run inspection.
+    pub fn render_report(&self) -> String {
+        let mut out = String::new();
+        if !self.counters.is_empty() {
+            out.push_str("counters\n");
+            for (name, v) in &self.counters {
+                out.push_str(&format!("  {name:<36} {v}\n"));
+            }
+        }
+        if !self.gauges.is_empty() {
+            out.push_str("gauges (value / peak)\n");
+            for (name, g) in &self.gauges {
+                out.push_str(&format!("  {name:<36} {} / {}\n", g.value, g.peak));
+            }
+        }
+        if !self.histograms.is_empty() {
+            out.push_str("histograms (count, mean, p50, p95, p99)\n");
+            for (name, h) in &self.histograms {
+                out.push_str(&format!(
+                    "  {name:<36} n={} mean={:.0} p50={:.0} p95={:.0} p99={:.0}\n",
+                    h.count,
+                    h.mean(),
+                    h.quantile(0.50),
+                    h.quantile(0.95),
+                    h.quantile(0.99),
+                ));
+            }
+        }
+        out
+    }
+}
+
+/// Maps an internal metric name (`store.swap_ins`) to an exposition
+/// name (`pbg_store_swap_ins`): non-alphanumerics become `_`, the `pbg_`
+/// prefix guarantees a legal leading character.
+pub fn sanitize_metric_name(name: &str) -> String {
+    let body: String = name
+        .chars()
+        .map(|c| if c.is_ascii_alphanumeric() { c } else { '_' })
+        .collect();
+    format!("pbg_{body}")
+}
+
+/// Escapes a label value per the exposition format: backslash, double
+/// quote, and newline.
+pub fn escape_label_value(v: &str) -> String {
+    let mut out = String::with_capacity(v.len());
+    for c in v.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '"' => out.push_str("\\\""),
+            '\n' => out.push_str("\\n"),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Escapes `# HELP` text per the exposition format: backslash and
+/// newline (quotes are legal in help text).
+pub fn escape_help(v: &str) -> String {
+    let mut out = String::with_capacity(v.len());
+    for c in v.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+fn valid_metric_name(name: &str) -> bool {
+    let mut chars = name.chars();
+    match chars.next() {
+        Some(c) if c.is_ascii_alphabetic() || c == '_' || c == ':' => {}
+        _ => return false,
+    }
+    chars.all(|c| c.is_ascii_alphanumeric() || c == '_' || c == ':')
+}
+
+fn valid_label_name(name: &str) -> bool {
+    let mut chars = name.chars();
+    match chars.next() {
+        Some(c) if c.is_ascii_alphabetic() || c == '_' => {}
+        _ => return false,
+    }
+    chars.all(|c| c.is_ascii_alphanumeric() || c == '_')
+}
+
+/// Parses `{k="v",...}`; returns the canonical label string or an error.
+fn lint_labels(s: &str) -> Result<String, String> {
+    let inner = s
+        .strip_prefix('{')
+        .and_then(|s| s.strip_suffix('}'))
+        .ok_or_else(|| format!("malformed label block {s:?}"))?;
+    let mut canonical: Vec<String> = Vec::new();
+    let mut chars = inner.chars().peekable();
+    loop {
+        if chars.peek().is_none() {
+            break;
+        }
+        let mut name = String::new();
+        while let Some(&c) = chars.peek() {
+            if c == '=' {
+                break;
+            }
+            name.push(c);
+            chars.next();
+        }
+        if !valid_label_name(&name) {
+            return Err(format!("bad label name {name:?}"));
+        }
+        if chars.next() != Some('=') || chars.next() != Some('"') {
+            return Err(format!("label {name:?} missing =\"...\""));
+        }
+        let mut value = String::new();
+        loop {
+            match chars.next() {
+                Some('\\') => match chars.next() {
+                    Some(e @ ('\\' | '"' | 'n')) => {
+                        value.push('\\');
+                        value.push(e);
+                    }
+                    other => return Err(format!("bad escape {other:?} in label {name:?}")),
+                },
+                Some('"') => break,
+                Some('\n') | None => return Err(format!("unterminated value for {name:?}")),
+                Some(c) => value.push(c),
+            }
+        }
+        canonical.push(format!("{name}={value}"));
+        match chars.next() {
+            Some(',') | None => {}
+            Some(c) => return Err(format!("expected ',' between labels, got {c:?}")),
+        }
+    }
+    canonical.sort();
+    Ok(canonical.join(","))
+}
+
+/// Lints Prometheus text exposition output. Checks, per the 0.0.4
+/// format: metric/label name charsets, label-value quoting and escapes,
+/// parseable sample values, `# TYPE`/`# HELP` at most once per family
+/// and before that family's samples, no duplicate series, and (for
+/// histograms) that the `+Inf` bucket equals `_count`.
+///
+/// # Errors
+///
+/// Returns the first violation as `"line N: reason"`.
+pub fn lint_prometheus(text: &str) -> Result<(), String> {
+    let mut typed: BTreeMap<String, String> = BTreeMap::new();
+    let mut helped: BTreeSet<String> = BTreeSet::new();
+    let mut sampled: BTreeSet<String> = BTreeSet::new();
+    let mut series: BTreeSet<(String, String)> = BTreeSet::new();
+    let mut inf_buckets: BTreeMap<String, f64> = BTreeMap::new();
+    let mut counts: BTreeMap<String, f64> = BTreeMap::new();
+
+    for (idx, line) in text.lines().enumerate() {
+        let n = idx + 1;
+        let fail = |msg: String| Err(format!("line {n}: {msg}"));
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix("# ") {
+            let (keyword, rest) = match rest.split_once(' ') {
+                Some(parts) => parts,
+                None => continue, // bare comment
+            };
+            if keyword != "TYPE" && keyword != "HELP" {
+                continue; // free-form comment
+            }
+            let (fam, arg) = match rest.split_once(' ') {
+                Some(parts) => parts,
+                None => (rest, ""),
+            };
+            if !valid_metric_name(fam) {
+                return fail(format!("bad family name {fam:?}"));
+            }
+            let fam_samples = [
+                fam.to_string(),
+                format!("{fam}_bucket"),
+                format!("{fam}_sum"),
+                format!("{fam}_count"),
+            ];
+            if fam_samples.iter().any(|s| sampled.contains(s)) {
+                return fail(format!("# {keyword} {fam} after its samples"));
+            }
+            if keyword == "TYPE" {
+                if !["counter", "gauge", "histogram", "summary", "untyped"].contains(&arg) {
+                    return fail(format!("unknown type {arg:?}"));
+                }
+                if typed.insert(fam.to_string(), arg.to_string()).is_some() {
+                    return fail(format!("duplicate # TYPE {fam}"));
+                }
+            } else if !helped.insert(fam.to_string()) {
+                return fail(format!("duplicate # HELP {fam}"));
+            }
+            continue;
+        }
+        if line.starts_with('#') {
+            continue; // comment without space: tolerated
+        }
+        // sample: name[{labels}] value [timestamp]
+        let name_end = line
+            .find(['{', ' '])
+            .ok_or_else(|| format!("line {n}: missing value"))?;
+        let name = &line[..name_end];
+        if !valid_metric_name(name) {
+            return fail(format!("bad metric name {name:?}"));
+        }
+        let rest = &line[name_end..];
+        let (labels, rest) = if rest.starts_with('{') {
+            let close = rest
+                .rfind('}')
+                .ok_or_else(|| format!("line {n}: unclosed label block"))?;
+            (&rest[..=close], &rest[close + 1..])
+        } else {
+            ("", rest)
+        };
+        let canonical = if labels.is_empty() {
+            String::new()
+        } else {
+            lint_labels(labels).map_err(|e| format!("line {n}: {e}"))?
+        };
+        let mut parts = rest.split_whitespace();
+        let value = parts
+            .next()
+            .ok_or_else(|| format!("line {n}: missing value"))?;
+        let parsed: f64 = match value {
+            "+Inf" => f64::INFINITY,
+            "-Inf" => f64::NEG_INFINITY,
+            "NaN" => f64::NAN,
+            v => v
+                .parse()
+                .map_err(|_| format!("line {n}: unparseable value {v:?}"))?,
+        };
+        if let Some(ts) = parts.next() {
+            if ts.parse::<i64>().is_err() {
+                return fail(format!("unparseable timestamp {ts:?}"));
+            }
+        }
+        if parts.next().is_some() {
+            return fail("trailing tokens after sample".to_string());
+        }
+        if !series.insert((name.to_string(), canonical.clone())) {
+            return fail(format!("duplicate series {name}{{{canonical}}}"));
+        }
+        sampled.insert(name.to_string());
+        if let Some(fam) = name.strip_suffix("_bucket") {
+            if typed.get(fam).map(String::as_str) == Some("histogram")
+                && canonical.contains("le=+Inf")
+            {
+                inf_buckets.insert(fam.to_string(), parsed);
+            }
+        }
+        if let Some(fam) = name.strip_suffix("_count") {
+            if typed.get(fam).map(String::as_str) == Some("histogram") {
+                counts.insert(fam.to_string(), parsed);
+            }
+        }
+    }
+    for (fam, _) in typed.iter().filter(|(_, t)| t.as_str() == "histogram") {
+        let inf = inf_buckets
+            .get(fam)
+            .ok_or_else(|| format!("histogram {fam} missing le=\"+Inf\" bucket"))?;
+        let count = counts
+            .get(fam)
+            .ok_or_else(|| format!("histogram {fam} missing _count"))?;
+        if inf != count {
+            return Err(format!(
+                "histogram {fam}: +Inf bucket {inf} != count {count}"
+            ));
+        }
+    }
+    Ok(())
 }
 
 #[cfg(test)]
@@ -250,5 +578,125 @@ mod tests {
         assert!(text.contains("pbg_store_resident_bytes 4096"));
         assert!(text.contains("pbg_store_swap_wait_ns_count 1"));
         assert!(text.contains("le=\"2048\""));
+        assert!(text.contains("# HELP pbg_store_swap_ins "));
+    }
+
+    #[test]
+    fn prometheus_dump_has_single_inf_bucket() {
+        let reg = Registry::new();
+        let h = reg.histogram("h");
+        h.observe(u64::MAX); // lands in the unbounded bucket
+        h.observe(1);
+        let text = reg.snapshot().to_prometheus();
+        let inf_lines = text
+            .lines()
+            .filter(|l| l.starts_with("pbg_h_bucket{le=\"+Inf\"}"))
+            .count();
+        assert_eq!(inf_lines, 1, "exactly one +Inf series:\n{text}");
+        assert!(text.contains("pbg_h_bucket{le=\"+Inf\"} 2"));
+        super::lint_prometheus(&text).unwrap();
+    }
+
+    #[test]
+    fn every_registered_metric_name_passes_the_lint() {
+        // counters, gauges, and histograms each in their own registry so
+        // one internal name never yields two exposition families
+        for kind in 0..3 {
+            let reg = Registry::new();
+            for (name, _) in crate::metrics::names::ALL {
+                match kind {
+                    0 => reg.counter(name).add(7),
+                    1 => reg.gauge(name).set(9),
+                    _ => {
+                        let h = reg.histogram(name);
+                        h.observe(0);
+                        h.observe(1000);
+                        h.observe(u64::MAX);
+                    }
+                }
+            }
+            // dynamic per-rank names must lint too
+            match kind {
+                0 => reg.counter("machine3.retries").inc(),
+                1 => reg.gauge("rank0.resident_bytes").set(1),
+                _ => reg.histogram("rank1.swap_wait_ns").observe(5),
+            }
+            let text = reg.snapshot().to_prometheus();
+            super::lint_prometheus(&text).unwrap_or_else(|e| panic!("kind {kind}: {e}\n{text}"));
+        }
+    }
+
+    #[test]
+    fn lint_rejects_known_violations() {
+        use super::lint_prometheus as lint;
+        assert!(lint("9bad_name 1\n").is_err(), "bad metric name");
+        assert!(lint("m{le=\"x} 1\n").is_err(), "unterminated label");
+        assert!(lint("m{le=\"a\\q\"} 1\n").is_err(), "bad escape");
+        assert!(lint("m 1\nm 2\n").is_err(), "duplicate series");
+        assert!(
+            lint("m 1\n# TYPE m counter\n").is_err(),
+            "TYPE after sample"
+        );
+        assert!(
+            lint("# TYPE m counter\n# TYPE m counter\nm 1\n").is_err(),
+            "duplicate TYPE"
+        );
+        assert!(lint("m notanumber\n").is_err(), "bad value");
+        assert!(
+            lint("# TYPE h histogram\nh_bucket{le=\"+Inf\"} 2\nh_sum 1\nh_count 3\n").is_err(),
+            "+Inf != count"
+        );
+        assert!(lint("# TYPE m counter\nm{a=\"b\",c=\"d\"} 1 123\n").is_ok());
+    }
+
+    #[test]
+    fn label_and_help_escaping() {
+        assert_eq!(super::escape_label_value("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+        assert_eq!(super::escape_help("x\\y\nz"), "x\\\\y\\nz");
+    }
+
+    #[test]
+    fn quantiles_interpolate_log_buckets() {
+        let reg = Registry::new();
+        let h = reg.histogram("q");
+        // 100 samples of exactly 1024 land in bucket 11: (1024, 2048]
+        for _ in 0..100 {
+            h.observe(1024);
+        }
+        let snap = reg.snapshot().histogram("q");
+        let p50 = snap.quantile(0.50);
+        assert!(
+            (1024.0..=2048.0).contains(&p50),
+            "p50 {p50} within the sample's bucket"
+        );
+        assert!(snap.quantile(0.99) >= p50);
+        assert_eq!(snap.quantile(0.0).max(1024.0), snap.quantile(0.0));
+
+        // an empty histogram reports zero everywhere
+        assert_eq!(HistogramSnapshot::default().quantile(0.5), 0.0);
+
+        // a tail-heavy distribution: p50 small, p99 large
+        let h2 = reg.histogram("q2");
+        for _ in 0..98 {
+            h2.observe(8);
+        }
+        h2.observe(1 << 20);
+        h2.observe(1 << 20);
+        let s2 = reg.snapshot().histogram("q2");
+        assert!(s2.quantile(0.5) <= 16.0);
+        assert!(s2.quantile(0.99) >= (1 << 20) as f64);
+    }
+
+    use super::HistogramSnapshot;
+
+    #[test]
+    fn report_includes_quantiles() {
+        let reg = Registry::new();
+        reg.counter("c").add(1);
+        reg.gauge("g").set(2);
+        reg.histogram("h").observe(100);
+        let report = reg.snapshot().render_report();
+        assert!(report.contains("p99="));
+        assert!(report.contains("c "));
     }
 }

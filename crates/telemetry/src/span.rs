@@ -127,8 +127,16 @@ pub(crate) fn current_thread_id() -> u64 {
 }
 
 /// Appends `event` to the calling thread's buffer for `registry`,
-/// registering a fresh buffer on first use.
-pub(crate) fn record_in_thread_buffer(registry: &Registry, event: SpanEvent) {
+/// registering a fresh buffer on first use. When the registry has a rank
+/// assigned, the event is tagged with a `rank` field here — the single
+/// choke point every recording path (guards, points, `record_span`)
+/// funnels through — so multi-process JSONL dumps merge unambiguously.
+pub(crate) fn record_in_thread_buffer(registry: &Registry, mut event: SpanEvent) {
+    if let Some(rank) = registry.rank() {
+        event
+            .fields
+            .push(("rank", FieldValue::U64(u64::from(rank))));
+    }
     let inner = registry.inner();
     BUFFERS.with(|cache| {
         let mut cache = cache.borrow_mut();

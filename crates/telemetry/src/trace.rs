@@ -38,6 +38,19 @@ pub mod names {
     /// `capacity`, `resident_peak`, `evictions`, `skipped_bytes`,
     /// `prefetch_hits`).
     pub const BUFFER_STATS: &str = "buffer_stats";
+    /// pbg-net: one request handled by a server role (fields: `tag`,
+    /// `trace_id`, `parent_span`, `client_rank`). `parent_span` is the
+    /// id of the client-side `rpc` span that sent the request — the
+    /// cross-rank parent/child edge in a merged timeline.
+    pub const HANDLE: &str = "handle";
+}
+
+/// The rank tag a multi-process collector stamped on an event, or -1
+/// for untagged (single-process) traces. Events from different ranks
+/// share thread ids, so all cross-event attribution must key on
+/// `(rank, thread)`, not `thread` alone.
+pub fn event_rank(event: &TraceEvent) -> i64 {
+    event.field_i64("rank").unwrap_or(-1)
 }
 
 /// A parsed field value.
@@ -328,7 +341,10 @@ impl Parser<'_> {
                 .map(Json::Float)
                 .map_err(|_| format!("bad number `{text}`"))
         } else {
+            // span/trace ids are full-range u64s; values past i64::MAX
+            // keep their bit pattern so ids compare equal across files
             text.parse::<i64>()
+                .or_else(|_| text.parse::<u64>().map(|v| v as i64))
                 .map(Json::Int)
                 .map_err(|_| format!("bad number `{text}`"))
         }
@@ -338,6 +354,9 @@ impl Parser<'_> {
 /// One `bucket_train` occurrence in the timeline, with attributed time.
 #[derive(Debug, Clone, PartialEq)]
 pub struct BucketRow {
+    /// Rank that trained the bucket (-1 in untagged single-process
+    /// traces).
+    pub rank: i64,
     /// Source partition.
     pub src: i64,
     /// Destination partition.
@@ -396,21 +415,29 @@ pub struct TraceSummary {
 
 const NS: f64 = 1e-9;
 
-/// Builds the per-bucket timeline from parsed events.
+/// Builds the per-bucket timeline from parsed events — possibly merged
+/// from several per-rank JSONL files.
 ///
 /// Hot-path waits (`swap_wait`) are attributed to the bucket span that
-/// contains them on the same thread; background I/O (`prefetch_read`,
-/// `write_back`) is attributed to the bucket whose time range contains
-/// its start, which is exactly the compute it overlapped with.
+/// contains them on the same `(rank, thread)`; background I/O
+/// (`prefetch_read`, `write_back`) is attributed to the same-rank
+/// bucket whose time range contains its start, which is exactly the
+/// compute it overlapped with. Thread ids alone would collide across
+/// processes (each process numbers its threads from zero), so every
+/// containment test is rank-qualified via [`event_rank`].
 pub fn summarize(events: &[TraceEvent]) -> TraceSummary {
     let mut summary = TraceSummary::default();
-    let buckets: Vec<&TraceEvent> = events
+    let mut buckets: Vec<&TraceEvent> = events
         .iter()
         .filter(|e| e.name == names::BUCKET_TRAIN)
         .collect();
+    // merged multi-rank files arrive concatenated; order rows by start
+    // time (then rank) so the timeline interleaves chronologically
+    buckets.sort_by_key(|b| (b.t_ns, event_rank(b), b.thread));
     let mut rows: Vec<BucketRow> = buckets
         .iter()
         .map(|b| BucketRow {
+            rank: event_rank(b),
             src: b.field_i64("src").unwrap_or(-1),
             dst: b.field_i64("dst").unwrap_or(-1),
             start_s: b.t_ns as f64 * NS,
@@ -426,11 +453,15 @@ pub fn summarize(events: &[TraceEvent]) -> TraceSummary {
         .collect();
     for event in events {
         let dur_s = event.dur_ns as f64 * NS;
+        let rank = event_rank(event);
         match event.name.as_str() {
             names::SWAP_WAIT => {
                 summary.total_swap_wait_s += dur_s;
                 if let Some(i) = buckets.iter().position(|b| {
-                    b.thread == event.thread && b.t_ns <= event.t_ns && event.end_ns() <= b.end_ns()
+                    event_rank(b) == rank
+                        && b.thread == event.thread
+                        && b.t_ns <= event.t_ns
+                        && event.end_ns() <= b.end_ns()
                 }) {
                     rows[i].swap_wait_s += dur_s;
                 }
@@ -441,10 +472,9 @@ pub fn summarize(events: &[TraceEvent]) -> TraceSummary {
                 } else {
                     summary.total_write_back_s += dur_s;
                 }
-                if let Some(i) = buckets
-                    .iter()
-                    .position(|b| b.t_ns <= event.t_ns && event.t_ns < b.end_ns())
-                {
+                if let Some(i) = buckets.iter().position(|b| {
+                    event_rank(b) == rank && b.t_ns <= event.t_ns && event.t_ns < b.end_ns()
+                }) {
                     if event.name == names::PREFETCH_READ {
                         rows[i].prefetch_s += dur_s;
                     } else {
@@ -472,10 +502,13 @@ pub fn summarize(events: &[TraceEvent]) -> TraceSummary {
 }
 
 impl TraceSummary {
-    /// Renders the timeline as an aligned text table.
+    /// Renders the timeline as an aligned text table. A `rank` column
+    /// appears when any row carries a rank tag (merged multi-process
+    /// traces).
     pub fn render(&self) -> String {
         let ms = |s: f64| format!("{:.3}", s * 1e3);
-        let headers = [
+        let ranked = self.rows.iter().any(|r| r.rank >= 0);
+        let mut headers = vec![
             "bucket",
             "start_ms",
             "total_ms",
@@ -487,9 +520,12 @@ impl TraceSummary {
             "writeback_ms",
             "edges",
         ];
+        if ranked {
+            headers.insert(0, "rank");
+        }
         let mut cells: Vec<Vec<String>> = vec![headers.iter().map(|h| h.to_string()).collect()];
         for r in &self.rows {
-            cells.push(vec![
+            let mut row = vec![
                 format!("({},{})", r.src, r.dst),
                 ms(r.start_s),
                 ms(r.total_s),
@@ -500,7 +536,16 @@ impl TraceSummary {
                 ms(r.prefetch_s),
                 ms(r.write_back_s),
                 r.edges.to_string(),
-            ]);
+            ];
+            if ranked {
+                let tag = if r.rank >= 0 {
+                    r.rank.to_string()
+                } else {
+                    "-".to_string()
+                };
+                row.insert(0, tag);
+            }
+            cells.push(row);
         }
         let widths: Vec<usize> = (0..headers.len())
             .map(|c| cells.iter().map(|row| row[c].len()).max().unwrap_or(0))
@@ -574,6 +619,20 @@ mod tests {
     }
 
     #[test]
+    fn parse_keeps_full_range_u64_id_bits() {
+        // trace/span ids are u64s that can exceed i64::MAX; the bit
+        // pattern must survive a round trip so ids from different rank
+        // files still compare equal
+        let big = 16490336266968443936u64; // > 2^63
+        let e = parse_line(&format!(
+            r#"{{"type":"span","name":"rpc","t_ns":1,"dur_ns":2,"thread":0,"fields":{{"trace_id":{big},"span_id":7}}}}"#,
+        ))
+        .unwrap();
+        assert_eq!(e.field_i64("trace_id"), Some(big as i64));
+        assert_eq!(e.field_i64("span_id"), Some(7));
+    }
+
+    #[test]
     fn parse_rejects_garbage() {
         assert!(parse_line("not json").is_err());
         assert!(parse_line(r#"{"type":"span"}"#).is_err(), "missing keys");
@@ -613,5 +672,41 @@ mod tests {
         let table = s.render();
         assert!(table.contains("(0,1)"));
         assert!(table.contains("edges"));
+        assert!(!table.contains("rank"), "untagged trace has no rank column");
+    }
+
+    #[test]
+    fn summarize_keys_attribution_on_rank_and_thread() {
+        // two ranks, identical thread ids — a merged multi-process trace.
+        // rank 1's swap_wait must land on rank 1's bucket even though
+        // rank 0 has a bucket on the same thread covering the same time.
+        let events = vec![
+            span(
+                names::BUCKET_TRAIN,
+                1000,
+                10_000,
+                0,
+                &[("src", 0), ("dst", 0), ("edges", 10), ("rank", 0)],
+            ),
+            span(
+                names::BUCKET_TRAIN,
+                1000,
+                10_000,
+                0,
+                &[("src", 1), ("dst", 1), ("edges", 20), ("rank", 1)],
+            ),
+            span(names::SWAP_WAIT, 2000, 600, 0, &[("rank", 1)]),
+            span(names::PREFETCH_READ, 3000, 400, 7, &[("rank", 0)]),
+        ];
+        let s = summarize(&events);
+        assert_eq!(s.rows.len(), 2);
+        let r0 = s.rows.iter().find(|r| r.rank == 0).unwrap();
+        let r1 = s.rows.iter().find(|r| r.rank == 1).unwrap();
+        assert_eq!(r0.swap_wait_s, 0.0);
+        assert!((r1.swap_wait_s - 600e-9).abs() < 1e-15);
+        assert!((r0.prefetch_s - 400e-9).abs() < 1e-15);
+        assert_eq!(r1.prefetch_s, 0.0);
+        let table = s.render();
+        assert!(table.contains("rank"), "merged trace grows a rank column");
     }
 }

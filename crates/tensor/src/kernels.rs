@@ -49,6 +49,27 @@ pub const MC: usize = 64;
 /// (≥ ~16M flops) fan out.
 pub const THREAD_FLOP_THRESHOLD: usize = 1 << 24;
 
+/// Process-wide count of floating-point operations executed by the
+/// blocked kernels, for live GFLOP/s gauges. Counted where the work
+/// actually happens: [`matmul_nt_packed`] (which the `nt`, auto, and
+/// per-thread paths all bottom out in), [`matmul`], and [`score_grads`]
+/// (4·k flops per *nonzero* gradient element — zero rows are skipped by
+/// the kernel, so the count reflects work done, not the dense bound).
+/// Relaxed ordering: the counter is monotonic bookkeeping, never a
+/// synchronization edge.
+static FLOPS: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
+
+/// Total flops executed by this process's kernels since start.
+/// Monotonic; readers take deltas to compute rates.
+pub fn flops_executed() -> u64 {
+    FLOPS.load(std::sync::atomic::Ordering::Relaxed)
+}
+
+#[inline]
+fn count_flops(n: u64) {
+    FLOPS.fetch_add(n, std::sync::atomic::Ordering::Relaxed);
+}
+
 // ---------------------------------------------------------------------------
 // Reference kernels (the differential-test oracle)
 // ---------------------------------------------------------------------------
@@ -329,6 +350,7 @@ pub fn matmul_nt_packed(
         }
         return;
     }
+    count_flops(2 * (m as u64) * (n as u64) * (k as u64));
     let n_panels = n.div_ceil(NR);
     let mut apanel = vec![0.0f32; k * MR];
     let mut ic = 0;
@@ -495,6 +517,7 @@ pub fn matmul(
     if m == 0 || n == 0 {
         return;
     }
+    count_flops(2 * (m as u64) * (n as u64) * (k as u64));
     let k4 = k - k % 4;
     for i in 0..m {
         let arow = &a[i * lda..i * lda + k];
@@ -601,6 +624,7 @@ pub fn score_grads(
     for j in 0..n {
         gb[j * ldgb..j * ldgb + k].iter_mut().for_each(|v| *v = 0.0);
     }
+    let mut nnz = 0u64;
     for i in 0..m {
         let grow = &g[i * ldg..i * ldg + n];
         let garow = &mut ga[i * ldga..i * ldga + k];
@@ -610,6 +634,7 @@ pub fn score_grads(
             if gij == 0.0 {
                 continue;
             }
+            nnz += 1;
             // ga[i] += g[i][j] * b[j]  and  gb[j] += g[i][j] * a[i]:
             // two contiguous axpys sharing the scalar — both vectorize.
             let brow = &b[j * ldb..j * ldb + k];
@@ -622,6 +647,7 @@ pub fn score_grads(
             }
         }
     }
+    count_flops(nnz * 4 * (k as u64));
 }
 
 /// A scoring context that packs the candidate side once and serves both
@@ -745,6 +771,32 @@ mod tests {
         for (i, (x, y)) in a.iter().zip(b).enumerate() {
             assert!((x - y).abs() <= tol * (1.0 + x.abs()), "[{i}]: {x} vs {y}");
         }
+    }
+
+    #[test]
+    fn flop_counter_advances_by_the_work_done() {
+        // Parallel tests share the process-wide counter, so assert on
+        // deltas being at least the work this test submits.
+        let (m, n, k) = (6, 10, 8);
+        let a = random(m, k, 40);
+        let b = random(n, k, 41);
+        let mut out = vec![0.0; m * n];
+        let before = flops_executed();
+        matmul_nt(m, n, k, &a, k, &b, k, &mut out, n);
+        let after = flops_executed();
+        assert!(after - before >= 2 * (m * n * k) as u64);
+
+        // score_grads counts only nonzero gradient entries (4k each)
+        let g = {
+            let mut g = vec![0.0f32; m * n];
+            g[0] = 1.0;
+            g[m * n - 1] = -1.0;
+            g
+        };
+        let (mut ga, mut gb) = (vec![0.0; m * k], vec![0.0; n * k]);
+        let before = flops_executed();
+        score_grads(m, n, k, &a, k, &b, k, &g, n, &mut ga, k, &mut gb, k);
+        assert!(flops_executed() - before >= 2 * 4 * k as u64);
     }
 
     #[test]
