@@ -1,0 +1,210 @@
+//! Serving-tier load test: latency and throughput of `pbg-serve` over a
+//! memory-mapped checkpoint.
+//!
+//! Measures what the serving tier promises: near-instant startup (mmap +
+//! checksum scan, no heap copy) and stable request latency under
+//! concurrent load. Reports cold vs. warm `open_mmap` time, then drives
+//! `/topk` (full-shard scans through the blocked score-only kernel) and
+//! `/score` (explicit candidate lists) at several client concurrency
+//! levels, recording p50/p99 latency and sustained QPS.
+//!
+//! ```sh
+//! cargo run --release -p pbg-bench --bin serve [-- --quick]
+//! ```
+//!
+//! The committed `BENCH_serve.json` at the repo root is this binary's
+//! output from a release run.
+
+use pbg_bench::report::{save_json, ExpArgs, Table};
+use pbg_core::config::PbgConfig;
+use pbg_core::model::Model;
+use pbg_core::storage::InMemoryStore;
+use pbg_core::{checkpoint, model::MmapEmbeddings};
+use pbg_graph::schema::{EntityTypeDef, GraphSchema, OperatorKind, RelationTypeDef};
+use pbg_serve::{EmbedServer, ServeConfig};
+use serde_json::json;
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::sync::Arc;
+use std::time::Instant;
+
+fn percentile_ms(sorted_ns: &[u64], q: f64) -> f64 {
+    if sorted_ns.is_empty() {
+        return 0.0;
+    }
+    let idx = ((sorted_ns.len() - 1) as f64 * q).round() as usize;
+    sorted_ns[idx] as f64 / 1e6
+}
+
+/// One blocking request; returns latency in nanoseconds.
+fn request_ns(addr: SocketAddr, path: &str, body: &str) -> u64 {
+    let started = Instant::now();
+    let mut s = TcpStream::connect(addr).expect("connect");
+    let req = format!(
+        "POST {path} HTTP/1.0\r\nContent-Length: {}\r\n\r\n{body}",
+        body.len()
+    );
+    s.write_all(req.as_bytes()).expect("write");
+    let mut response = String::new();
+    s.read_to_string(&mut response).expect("read");
+    assert!(
+        response.starts_with("HTTP/1.0 200"),
+        "unexpected response: {}",
+        response.lines().next().unwrap_or("")
+    );
+    started.elapsed().as_nanos() as u64
+}
+
+/// Drives `requests_per_client × concurrency` requests and returns
+/// (sorted latencies ns, wall seconds).
+fn drive(
+    addr: SocketAddr,
+    path: &'static str,
+    bodies: Arc<Vec<String>>,
+    concurrency: usize,
+    requests_per_client: usize,
+) -> (Vec<u64>, f64) {
+    let started = Instant::now();
+    let handles: Vec<_> = (0..concurrency)
+        .map(|c| {
+            let bodies = Arc::clone(&bodies);
+            std::thread::spawn(move || {
+                let mut lat = Vec::with_capacity(requests_per_client);
+                for i in 0..requests_per_client {
+                    let body = &bodies[(c * requests_per_client + i) % bodies.len()];
+                    lat.push(request_ns(addr, path, body));
+                }
+                lat
+            })
+        })
+        .collect();
+    let mut all = Vec::new();
+    for h in handles {
+        all.extend(h.join().expect("client thread"));
+    }
+    let wall = started.elapsed().as_secs_f64();
+    all.sort_unstable();
+    (all, wall)
+}
+
+fn main() {
+    let args = ExpArgs::parse();
+    let entities: u32 = if args.quick { 5_000 } else { 50_000 };
+    let dim = 64;
+    let requests_per_client = if args.quick { 100 } else { 400 };
+    let concurrencies = [1usize, 4, 8];
+
+    let schema = GraphSchema::builder()
+        .entity_type(EntityTypeDef::new("node", entities).with_partitions(4))
+        .relation_type(
+            RelationTypeDef::new("link", 0u32, 0u32).with_operator(OperatorKind::Translation),
+        )
+        .build()
+        .unwrap();
+    let config = PbgConfig::builder().dim(dim).build().unwrap();
+    let model = Model::new(schema, config).unwrap();
+    let store = InMemoryStore::new(model.store_layout());
+    let snap = model.snapshot(&store);
+
+    let dir = std::env::temp_dir().join(format!("pbg_bench_serve_{}", std::process::id()));
+    std::fs::remove_dir_all(&dir).ok();
+    checkpoint::save(&snap, &dir).expect("save checkpoint");
+
+    // cold: first mapping of freshly written files (page cache may hold
+    // them from the write, but page tables and the checksum scan are
+    // cold); warm: everything resident
+    let t = Instant::now();
+    let cold: MmapEmbeddings = checkpoint::open_mmap(&dir).expect("open_mmap cold");
+    let cold_open_ms = t.elapsed().as_secs_f64() * 1e3;
+    let mapped_bytes = cold.mapped_bytes();
+    drop(cold);
+    let t = Instant::now();
+    let mmap = Arc::new(checkpoint::open_mmap(&dir).expect("open_mmap warm"));
+    let warm_open_ms = t.elapsed().as_secs_f64() * 1e3;
+    println!(
+        "model: {entities} entities x {dim} dims, {:.1} MiB mapped; open cold {cold_open_ms:.1} ms, warm {warm_open_ms:.1} ms",
+        mapped_bytes as f64 / (1024.0 * 1024.0)
+    );
+
+    let serve_config = ServeConfig {
+        rate_limit_rps: 0.0, // the bench is the hostile client
+        ..ServeConfig::default()
+    };
+    let server = EmbedServer::serve(
+        "127.0.0.1:0",
+        Arc::clone(&mmap),
+        pbg_telemetry::Registry::new(),
+        serve_config,
+    )
+    .expect("start server");
+    let addr = server.local_addr();
+
+    // request bodies: rotating sources so per-row cache effects average out
+    let topk_bodies: Vec<String> = (0..256u32)
+        .map(|i| format!("{{\"src\": {}, \"rel\": 0, \"k\": 10}}", i % entities))
+        .collect();
+    let score_bodies: Vec<String> = (0..256u32)
+        .map(|i| {
+            let s = i % entities;
+            let dsts: Vec<String> = (0..64u32).map(|d| (d % entities).to_string()).collect();
+            format!(
+                "{{\"src\": {s}, \"rel\": 0, \"dsts\": [{}]}}",
+                dsts.join(", ")
+            )
+        })
+        .collect();
+
+    let mut table = Table::new(
+        "pbg-serve load test",
+        &["endpoint", "conc", "requests", "QPS", "p50 ms", "p99 ms"],
+    );
+    let mut load = Vec::new();
+    for (path, bodies) in [
+        ("/topk", Arc::new(topk_bodies)),
+        ("/score", Arc::new(score_bodies)),
+    ] {
+        // one warmup pass faults the shard in before any timed arm
+        drive(addr, path, Arc::clone(&bodies), 2, 25);
+        for &conc in &concurrencies {
+            let (lat, wall) = drive(addr, path, Arc::clone(&bodies), conc, requests_per_client);
+            let qps = lat.len() as f64 / wall;
+            let p50 = percentile_ms(&lat, 0.50);
+            let p99 = percentile_ms(&lat, 0.99);
+            table.row(&[
+                path.to_string(),
+                conc.to_string(),
+                lat.len().to_string(),
+                format!("{qps:.0}"),
+                format!("{p50:.3}"),
+                format!("{p99:.3}"),
+            ]);
+            load.push(json!({
+                "endpoint": path,
+                "concurrency": conc as u64,
+                "requests": lat.len() as u64,
+                "qps": qps,
+                "p50_ms": p50,
+                "p99_ms": p99,
+            }));
+        }
+    }
+    table.print();
+
+    save_json(
+        "serve",
+        &json!({
+            "bench": "serve",
+            "model": json!({
+                "entities": entities as u64,
+                "dim": dim as u64,
+                "mapped_bytes": mapped_bytes as u64,
+            }),
+            "mmap": json!({
+                "cold_open_ms": cold_open_ms,
+                "warm_open_ms": warm_open_ms,
+            }),
+            "load": load,
+        }),
+    );
+    std::fs::remove_dir_all(&dir).ok();
+}

@@ -28,7 +28,17 @@ use std::io::Write;
 use std::path::Path;
 
 const MAGIC: &[u8; 4] = b"PBGC";
-const VERSION: u8 = 1;
+/// Binary format version written by [`save`]. Version 1 stored float
+/// payloads big-endian; version 2 stores them little-endian so the
+/// serving tier can memory-map embedding shards and reinterpret the
+/// payload as `&[f32]` in place on little-endian hosts (readers accept
+/// both). Integer header fields are big-endian in both versions.
+const VERSION: u8 = 2;
+const VERSION_BE: u8 = 1;
+/// Byte offset of the float payload in a matrix file: 8-byte common
+/// header plus `rows`/`cols` u64s. 4-byte aligned, so a page-aligned
+/// mmap base keeps the payload aligned for `f32` access.
+pub(crate) const MATRIX_PAYLOAD_OFFSET: usize = 24;
 /// Manifest schema version (the "checkpoint v2" format marker).
 pub const MANIFEST_VERSION: u32 = 2;
 /// Name of the manifest file, written last during [`save`].
@@ -208,7 +218,7 @@ pub fn save_with_io(
         buf.put_u64(emb.rows() as u64);
         buf.put_u64(emb.cols() as u64);
         for &v in emb.as_slice() {
-            buf.put_f32(v);
+            buf.put_slice(&v.to_le_bytes());
         }
         put(io, format!("embeddings_{t}.bin"), &buf)?;
     }
@@ -220,17 +230,17 @@ pub fn save_with_io(
     buf.put_u64(model.relations.len() as u64);
     for r in &model.relations {
         buf.put_u8(op_code(r.op));
-        buf.put_f32(r.weight);
+        buf.put_slice(&r.weight.to_le_bytes());
         buf.put_u64(r.forward.len() as u64);
         for &v in &r.forward {
-            buf.put_f32(v);
+            buf.put_slice(&v.to_le_bytes());
         }
         match &r.reciprocal {
             Some(inv) => {
                 buf.put_u8(1);
                 buf.put_u64(inv.len() as u64);
                 for &v in inv {
-                    buf.put_f32(v);
+                    buf.put_slice(&v.to_le_bytes());
                 }
             }
             None => buf.put_u8(0),
@@ -314,31 +324,8 @@ pub fn load_with_manifest(dir: impl AsRef<Path>) -> Result<(TrainedEmbeddings, M
     let manifest = read_manifest(dir)?;
     let mut verified: std::collections::HashMap<&str, Vec<u8>> = std::collections::HashMap::new();
     for f in &manifest.files {
-        let bytes = match std::fs::read(dir.join(&f.name)) {
-            Ok(bytes) => bytes,
-            Err(e) if e.kind() == std::io::ErrorKind::NotFound => {
-                return Err(PbgError::Checkpoint(format!(
-                    "{} listed in manifest but missing",
-                    f.name
-                )));
-            }
-            Err(e) => return Err(e.into()),
-        };
-        if bytes.len() as u64 != f.bytes {
-            return Err(PbgError::Checkpoint(format!(
-                "{}: size {} != manifest {}",
-                f.name,
-                bytes.len(),
-                f.bytes
-            )));
-        }
-        let sum = format!("{:016x}", checksum(&bytes));
-        if sum != f.checksum {
-            return Err(PbgError::Checkpoint(format!(
-                "{}: checksum {sum} != manifest {}",
-                f.name, f.checksum
-            )));
-        }
+        let bytes = read_listed(dir, f)?;
+        verify_against(f, &bytes)?;
         verified.insert(f.name.as_str(), bytes);
     }
     let take = |name: &str, verified: &mut std::collections::HashMap<&str, Vec<u8>>| {
@@ -347,29 +334,14 @@ pub fn load_with_manifest(dir: impl AsRef<Path>) -> Result<(TrainedEmbeddings, M
             .ok_or_else(|| PbgError::Checkpoint(format!("{name} not listed in manifest")))
     };
     let meta_bytes = take("meta.json", &mut verified)?;
-    let meta: serde_json::Value = std::str::from_utf8(&meta_bytes)
-        .map_err(|e| PbgError::Checkpoint(format!("bad meta.json: {e}")))
-        .and_then(|s| {
-            serde_json::from_str(s).map_err(|e| PbgError::Checkpoint(format!("bad meta.json: {e}")))
-        })?;
+    let meta = parse_meta(&meta_bytes)?;
     let schema_bytes = take("schema.json", &mut verified)?;
-    let schema: GraphSchema = std::str::from_utf8(&schema_bytes)
-        .map_err(|e| PbgError::Checkpoint(format!("bad schema.json: {e}")))
-        .and_then(|s| {
-            serde_json::from_str(s)
-                .map_err(|e| PbgError::Checkpoint(format!("bad schema.json: {e}")))
-        })?;
-    let dim = meta["dim"]
-        .as_u64()
-        .ok_or_else(|| PbgError::Checkpoint("meta.json missing dim".into()))?
-        as usize;
-    let similarity: crate::config::SimilarityKind =
-        serde_json::from_value(meta["similarity"].clone())
-            .map_err(|e| PbgError::Checkpoint(format!("bad similarity: {e}")))?;
-    let num_types = meta["num_entity_types"]
-        .as_u64()
-        .ok_or_else(|| PbgError::Checkpoint("meta.json missing num_entity_types".into()))?
-        as usize;
+    let schema = parse_schema(&schema_bytes)?;
+    let CheckpointMeta {
+        dim,
+        similarity,
+        num_types,
+    } = meta;
     if num_types != schema.entity_types().len() {
         return Err(PbgError::Checkpoint(format!(
             "meta lists {num_types} entity types, schema has {}",
@@ -379,7 +351,7 @@ pub fn load_with_manifest(dir: impl AsRef<Path>) -> Result<(TrainedEmbeddings, M
     let mut embeddings = Vec::with_capacity(num_types.min(schema.entity_types().len()));
     for (t, def) in schema.entity_types().iter().enumerate() {
         let bytes = take(&format!("embeddings_{t}.bin"), &mut verified)?;
-        let m = read_matrix(&bytes)?;
+        let m = read_matrix(&bytes).map_err(|e| in_file(&format!("embeddings_{t}.bin"), e))?;
         // stale-file guard: shapes must match the schema this checkpoint
         // claims to describe, not whatever an older save left behind
         if m.cols() != dim {
@@ -398,7 +370,7 @@ pub fn load_with_manifest(dir: impl AsRef<Path>) -> Result<(TrainedEmbeddings, M
         embeddings.push(m);
     }
     let rel_bytes = take("relations.bin", &mut verified)?;
-    let relations = read_relations(&rel_bytes)?;
+    let relations = read_relations(&rel_bytes).map_err(|e| in_file("relations.bin", e))?;
     if relations.len() != schema.num_relation_types() {
         return Err(PbgError::Checkpoint(format!(
             "relations.bin has {} relations, schema has {}",
@@ -418,7 +390,98 @@ pub fn load_with_manifest(dir: impl AsRef<Path>) -> Result<(TrainedEmbeddings, M
     ))
 }
 
-fn read_header(data: &mut &[u8]) -> Result<u8> {
+/// Parsed `meta.json` contents.
+struct CheckpointMeta {
+    dim: usize,
+    similarity: crate::config::SimilarityKind,
+    num_types: usize,
+}
+
+fn parse_meta(bytes: &[u8]) -> Result<CheckpointMeta> {
+    let meta: serde_json::Value = std::str::from_utf8(bytes)
+        .map_err(|e| PbgError::Checkpoint(format!("bad meta.json: {e}")))
+        .and_then(|s| {
+            serde_json::from_str(s).map_err(|e| PbgError::Checkpoint(format!("bad meta.json: {e}")))
+        })?;
+    let dim = meta["dim"]
+        .as_u64()
+        .ok_or_else(|| PbgError::Checkpoint("meta.json missing dim".into()))?
+        as usize;
+    let similarity: crate::config::SimilarityKind =
+        serde_json::from_value(meta["similarity"].clone())
+            .map_err(|e| PbgError::Checkpoint(format!("bad similarity: {e}")))?;
+    let num_types = meta["num_entity_types"]
+        .as_u64()
+        .ok_or_else(|| PbgError::Checkpoint("meta.json missing num_entity_types".into()))?
+        as usize;
+    Ok(CheckpointMeta {
+        dim,
+        similarity,
+        num_types,
+    })
+}
+
+fn parse_schema(bytes: &[u8]) -> Result<GraphSchema> {
+    std::str::from_utf8(bytes)
+        .map_err(|e| PbgError::Checkpoint(format!("bad schema.json: {e}")))
+        .and_then(|s| {
+            serde_json::from_str(s)
+                .map_err(|e| PbgError::Checkpoint(format!("bad schema.json: {e}")))
+        })
+}
+
+/// Reads a manifest-listed file, mapping a missing file to a checkpoint
+/// error (the manifest promised it exists).
+fn read_listed(dir: &Path, f: &ManifestFile) -> Result<Vec<u8>> {
+    match std::fs::read(dir.join(&f.name)) {
+        Ok(bytes) => Ok(bytes),
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => Err(PbgError::Checkpoint(format!(
+            "{} listed in manifest but missing",
+            f.name
+        ))),
+        Err(e) => Err(e.into()),
+    }
+}
+
+/// Verifies `bytes` against a manifest entry's recorded size and
+/// checksum. Works equally on heap buffers and memory-mapped files —
+/// the hash runs over the bytes in place.
+fn verify_against(f: &ManifestFile, bytes: &[u8]) -> Result<()> {
+    if bytes.len() as u64 != f.bytes {
+        return Err(PbgError::Checkpoint(format!(
+            "{}: size {} != manifest {}",
+            f.name,
+            bytes.len(),
+            f.bytes
+        )));
+    }
+    let sum = format!("{:016x}", checksum(bytes));
+    if sum != f.checksum {
+        return Err(PbgError::Checkpoint(format!(
+            "{}: checksum {sum} != manifest {}",
+            f.name, f.checksum
+        )));
+    }
+    Ok(())
+}
+
+/// Prefixes a parse error with the checkpoint file it came from, so a
+/// truncated or malformed partition file is diagnosable by name.
+fn in_file(name: &str, e: PbgError) -> PbgError {
+    match e {
+        PbgError::Checkpoint(msg) => PbgError::Checkpoint(format!("{name}: {msg}")),
+        other => other,
+    }
+}
+
+/// Parsed common header: the format version (already validated as
+/// supported) and the payload kind byte.
+pub(crate) struct BinHeader {
+    pub version: u8,
+    pub kind: u8,
+}
+
+pub(crate) fn read_header(data: &mut &[u8]) -> Result<BinHeader> {
     if data.remaining() < 8 {
         return Err(PbgError::Checkpoint("file truncated".into()));
     }
@@ -428,19 +491,32 @@ fn read_header(data: &mut &[u8]) -> Result<u8> {
         return Err(PbgError::Checkpoint("bad magic".into()));
     }
     let version = data.get_u8();
-    if version != VERSION {
+    if version != VERSION && version != VERSION_BE {
         return Err(PbgError::Checkpoint(format!(
             "unsupported version {version}"
         )));
     }
     let kind = data.get_u8();
     let _reserved = data.get_u16();
-    Ok(kind)
+    Ok(BinHeader { version, kind })
+}
+
+/// Reads one f32 in the byte order `version` prescribes (v1 big-endian,
+/// v2 little-endian). Caller has already bounds-checked 4 bytes.
+fn get_f32_v(data: &mut &[u8], version: u8) -> f32 {
+    if version == VERSION_BE {
+        data.get_f32()
+    } else {
+        let mut raw = [0u8; 4];
+        data.copy_to_slice(&mut raw);
+        f32::from_le_bytes(raw)
+    }
 }
 
 fn read_matrix(mut data: &[u8]) -> Result<Matrix> {
-    let kind = read_header(&mut data)?;
-    if kind != 0 {
+    let total = data.len();
+    let header = read_header(&mut data)?;
+    if header.kind != 0 {
         return Err(PbgError::Checkpoint("not a matrix payload".into()));
     }
     if data.remaining() < 16 {
@@ -455,19 +531,26 @@ fn read_matrix(mut data: &[u8]) -> Result<Matrix> {
         .and_then(|n| n.checked_mul(4))
         .ok_or_else(|| PbgError::Checkpoint("matrix dimensions overflow".into()))?;
     if data.remaining() < payload {
-        return Err(PbgError::Checkpoint("matrix payload truncated".into()));
+        // shape mismatch, not a generic read error: the header promised
+        // rows×cols but the file does not hold that many floats
+        return Err(PbgError::Checkpoint(format!(
+            "matrix shape {rows}x{cols} needs {} bytes, file has {total} \
+             ({} payload bytes short)",
+            MATRIX_PAYLOAD_OFFSET + payload,
+            payload - data.remaining()
+        )));
     }
     let count = rows * cols;
     let mut values = Vec::with_capacity(count.min(data.remaining() / 4));
     for _ in 0..count {
-        values.push(data.get_f32());
+        values.push(get_f32_v(&mut data, header.version));
     }
     Ok(Matrix::from_vec(rows, cols, values))
 }
 
 fn read_relations(mut data: &[u8]) -> Result<Vec<RelationSnapshot>> {
-    let kind = read_header(&mut data)?;
-    if kind != 1 {
+    let header = read_header(&mut data)?;
+    if header.kind != 1 {
         return Err(PbgError::Checkpoint("not a relations payload".into()));
     }
     if data.remaining() < 8 {
@@ -482,7 +565,7 @@ fn read_relations(mut data: &[u8]) -> Result<Vec<RelationSnapshot>> {
             return Err(PbgError::Checkpoint("relation entry truncated".into()));
         }
         let op = op_from_code(data.get_u8())?;
-        let weight = data.get_f32();
+        let weight = get_f32_v(&mut data, header.version);
         let flen = data.get_u64() as usize;
         let fbytes = flen
             .checked_mul(4)
@@ -491,7 +574,9 @@ fn read_relations(mut data: &[u8]) -> Result<Vec<RelationSnapshot>> {
         if data.remaining() < fbytes {
             return Err(PbgError::Checkpoint("relation params truncated".into()));
         }
-        let forward: Vec<f32> = (0..flen).map(|_| data.get_f32()).collect();
+        let forward: Vec<f32> = (0..flen)
+            .map(|_| get_f32_v(&mut data, header.version))
+            .collect();
         let reciprocal = if data.get_u8() == 1 {
             if data.remaining() < 8 {
                 return Err(PbgError::Checkpoint("reciprocal header truncated".into()));
@@ -503,7 +588,11 @@ fn read_relations(mut data: &[u8]) -> Result<Vec<RelationSnapshot>> {
             if data.remaining() < ibytes {
                 return Err(PbgError::Checkpoint("reciprocal params truncated".into()));
             }
-            Some((0..ilen).map(|_| data.get_f32()).collect())
+            Some(
+                (0..ilen)
+                    .map(|_| get_f32_v(&mut data, header.version))
+                    .collect(),
+            )
         } else {
             None
         };
@@ -541,6 +630,89 @@ fn op_from_code(code: u8) -> Result<pbg_graph::schema::OperatorKind> {
                 "unknown operator code {other}"
             )))
         }
+    })
+}
+
+/// Opens a checkpoint for serving: relation parameters and metadata on
+/// the heap, embedding shards memory-mapped in place. Every shard is
+/// verified against the manifest's size and checksum — the hash runs
+/// over the mapped bytes, so validation never copies a shard to heap —
+/// and every shape against the schema, exactly like [`load`].
+///
+/// # Errors
+///
+/// Returns [`PbgError::Checkpoint`] for corrupt, incomplete,
+/// shape-inconsistent, or pre-v2 (big-endian) checkpoints, and
+/// propagates I/O failures.
+pub fn open_mmap(dir: impl AsRef<Path>) -> Result<crate::model::MmapEmbeddings> {
+    let dir = dir.as_ref();
+    let manifest = read_manifest(dir)?;
+    let entry = |name: &str| -> Result<&ManifestFile> {
+        manifest
+            .files
+            .iter()
+            .find(|f| f.name == name)
+            .ok_or_else(|| PbgError::Checkpoint(format!("{name} not listed in manifest")))
+    };
+    let small = |name: &str| -> Result<Vec<u8>> {
+        let f = entry(name)?;
+        let bytes = read_listed(dir, f)?;
+        verify_against(f, &bytes)?;
+        Ok(bytes)
+    };
+    let CheckpointMeta {
+        dim,
+        similarity,
+        num_types,
+    } = parse_meta(&small("meta.json")?)?;
+    let schema = parse_schema(&small("schema.json")?)?;
+    if num_types != schema.entity_types().len() {
+        return Err(PbgError::Checkpoint(format!(
+            "meta lists {num_types} entity types, schema has {}",
+            schema.entity_types().len()
+        )));
+    }
+    let mut shards = Vec::with_capacity(schema.entity_types().len());
+    for (t, def) in schema.entity_types().iter().enumerate() {
+        let name = format!("embeddings_{t}.bin");
+        let f = entry(&name)?;
+        if !dir.join(&name).exists() {
+            return Err(PbgError::Checkpoint(format!(
+                "{name} listed in manifest but missing"
+            )));
+        }
+        let shard = crate::storage::MmapPartition::open(&dir.join(&name))?;
+        verify_against(f, shard.file_bytes())?;
+        if shard.cols() != dim {
+            return Err(PbgError::Checkpoint(format!(
+                "{name}: {} cols != dim {dim}",
+                shard.cols()
+            )));
+        }
+        if shard.rows() != def.num_entities() as usize {
+            return Err(PbgError::Checkpoint(format!(
+                "{name}: {} rows != {} entities in schema",
+                shard.rows(),
+                def.num_entities()
+            )));
+        }
+        shards.push(shard);
+    }
+    let rel_bytes = small("relations.bin")?;
+    let relations = read_relations(&rel_bytes).map_err(|e| in_file("relations.bin", e))?;
+    if relations.len() != schema.num_relation_types() {
+        return Err(PbgError::Checkpoint(format!(
+            "relations.bin has {} relations, schema has {}",
+            relations.len(),
+            schema.num_relation_types()
+        )));
+    }
+    Ok(crate::model::MmapEmbeddings {
+        dim,
+        similarity,
+        schema,
+        shards,
+        relations,
     })
 }
 
@@ -873,6 +1045,197 @@ mod tests {
             );
         }
         assert!(read_relations(&full).is_ok());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn v1_big_endian_files_still_load() {
+        // a matrix written in the v1 byte order must decode to the same
+        // values as the v2 little-endian writer produces
+        let values = [1.5f32, -2.25, 0.0, 3.0e-3, -7.75, 42.0];
+        let mut buf = BytesMut::new();
+        buf.put_slice(MAGIC);
+        buf.put_u8(VERSION_BE);
+        buf.put_u8(0);
+        buf.put_u16(0);
+        buf.put_u64(2);
+        buf.put_u64(3);
+        for &v in &values {
+            buf.put_f32(v); // vendored bytes writes big-endian
+        }
+        let m = read_matrix(&buf).unwrap();
+        assert_eq!(m.as_slice(), &values);
+    }
+
+    #[test]
+    fn truncated_matrix_reports_shape_and_file() {
+        // chop the float payload of a valid embeddings file: the error
+        // must be a shape mismatch naming the file, not a generic read
+        // failure — this is what an operator sees after a torn copy
+        let dir = tmp("trunc_shape");
+        save(&snapshot(), &dir).unwrap();
+        let full = std::fs::read(dir.join("embeddings_0.bin")).unwrap();
+        let cut = &full[..full.len() - 5];
+        match read_matrix(cut) {
+            Err(PbgError::Checkpoint(msg)) => {
+                assert!(msg.contains("shape 10x6"), "{msg}");
+                assert!(msg.contains("short"), "{msg}");
+            }
+            other => panic!("truncated matrix accepted: {other:?}"),
+        }
+        // through the manifest path the file name is prepended (the
+        // manifest entry is re-pointed at the truncated bytes so the
+        // size/checksum gate does not mask the parse error)
+        std::fs::write(dir.join("embeddings_0.bin"), cut).unwrap();
+        let mut manifest = read_manifest(&dir).unwrap();
+        for f in &mut manifest.files {
+            if f.name == "embeddings_0.bin" {
+                f.bytes = cut.len() as u64;
+                f.checksum = format!("{:016x}", checksum(cut));
+            }
+        }
+        std::fs::write(
+            dir.join(MANIFEST_NAME),
+            serde_json::to_string(&manifest).unwrap(),
+        )
+        .unwrap();
+        match load(&dir) {
+            Err(PbgError::Checkpoint(msg)) => {
+                assert!(msg.contains("embeddings_0.bin"), "{msg}");
+                assert!(msg.contains("shape 10x6"), "{msg}");
+            }
+            other => panic!("truncated checkpoint accepted: {other:?}"),
+        }
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn mmap_rows_byte_identical_to_heap_load_on_preset_shapes() {
+        // every dataset preset's schema shape (single-relation social
+        // graphs, partitioned, multi-relation knowledge graphs with
+        // complex/translation operators): the mapped rows must be
+        // bit-identical to the heap loader's, and batched scores through
+        // both models must agree to the bit
+        let presets = [
+            pbg_datagen::presets::livejournal_like(0.00001, 3),
+            pbg_datagen::presets::twitter_like(0.000001, 3),
+            pbg_datagen::presets::youtube_like(0.00001, 3),
+            pbg_datagen::presets::fb15k_like(0.005, 3),
+            pbg_datagen::presets::freebase_like(0.0000005, 3),
+        ];
+        for (i, d) in presets.iter().enumerate() {
+            let schema = d.schema_with_partitions(2);
+            let config = PbgConfig::builder()
+                .dim(8)
+                .batch_size(4)
+                .chunk_size(2)
+                .build()
+                .unwrap();
+            let model = Model::new(schema, config).unwrap();
+            let store = InMemoryStore::new(model.store_layout());
+            let snap = model.snapshot(&store);
+            let dir = tmp(&format!("mmap_preset_{i}"));
+            save(&snap, &dir).unwrap();
+            let heap = load(&dir).unwrap();
+            let served = open_mmap(&dir).unwrap();
+            assert_eq!(served.dim, heap.dim, "{}", d.name);
+            assert_eq!(served.relations, heap.relations, "{}", d.name);
+            for (t, m) in heap.embeddings.iter().enumerate() {
+                assert_eq!(served.shards[t].rows(), m.rows(), "{}", d.name);
+                for r in 0..m.rows() {
+                    let heap_bits: Vec<u32> = m.row(r).iter().map(|v| v.to_bits()).collect();
+                    let map_bits: Vec<u32> = served.shards[t]
+                        .row(r)
+                        .iter()
+                        .map(|v| v.to_bits())
+                        .collect();
+                    assert_eq!(heap_bits, map_bits, "{} type {t} row {r}", d.name);
+                }
+            }
+            // bit-identical batched scores and serve-vs-offline argmax
+            let rel = pbg_graph::RelationTypeId(0);
+            let dst_type = heap.schema.relation_type(rel).dest_type().index();
+            let n_dst = heap.schema.entity_types()[dst_type].num_entities() as u32;
+            let all_dsts: Vec<u32> = (0..n_dst).collect();
+            for src in [0u32, 1, 2] {
+                let off = heap.score_against_destinations(src, rel, &all_dsts);
+                let srv = served.score_against_destinations(src, rel, &all_dsts);
+                let off_bits: Vec<u32> = off.iter().map(|v| v.to_bits()).collect();
+                let srv_bits: Vec<u32> = srv.iter().map(|v| v.to_bits()).collect();
+                assert_eq!(off_bits, srv_bits, "{} src {src}", d.name);
+                let argmax = off
+                    .iter()
+                    .enumerate()
+                    .max_by(|a, b| a.1.total_cmp(b.1).then(b.0.cmp(&a.0)))
+                    .map(|(j, _)| j as u32)
+                    .unwrap();
+                let top = served.top_destinations(src, rel, 1);
+                assert_eq!(top[0].0, argmax, "{} src {src}", d.name);
+            }
+            std::fs::remove_dir_all(&dir).ok();
+        }
+    }
+
+    #[test]
+    fn mmap_refuses_corrupted_checksum() {
+        let dir = tmp("mmap_corrupt");
+        save(&snapshot(), &dir).unwrap();
+        // flip one payload byte without touching the manifest
+        let mut bytes = std::fs::read(dir.join("embeddings_1.bin")).unwrap();
+        let last = bytes.len() - 1;
+        bytes[last] ^= 0x40;
+        std::fs::write(dir.join("embeddings_1.bin"), &bytes).unwrap();
+        match open_mmap(&dir) {
+            Err(PbgError::Checkpoint(msg)) => {
+                assert!(msg.contains("embeddings_1.bin"), "{msg}");
+                assert!(msg.contains("checksum"), "{msg}");
+            }
+            other => panic!("corrupted shard accepted: {other:?}"),
+        }
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn mmap_refuses_v1_big_endian_shard() {
+        // a v1 shard stores floats big-endian: mapping it would serve
+        // garbage, so open_mmap must refuse with a re-save hint even
+        // when the manifest checks out
+        let dir = tmp("mmap_v1");
+        let snap = snapshot();
+        save(&snap, &dir).unwrap();
+        let mut buf = BytesMut::new();
+        buf.put_slice(MAGIC);
+        buf.put_u8(VERSION_BE);
+        buf.put_u8(0);
+        buf.put_u16(0);
+        buf.put_u64(10);
+        buf.put_u64(snap.dim as u64);
+        for _ in 0..10 * snap.dim {
+            buf.put_f32(0.5);
+        }
+        std::fs::write(dir.join("embeddings_0.bin"), &buf).unwrap();
+        let mut manifest = read_manifest(&dir).unwrap();
+        for f in &mut manifest.files {
+            if f.name == "embeddings_0.bin" {
+                f.bytes = buf.len() as u64;
+                f.checksum = format!("{:016x}", checksum(&buf));
+            }
+        }
+        std::fs::write(
+            dir.join(MANIFEST_NAME),
+            serde_json::to_string(&manifest).unwrap(),
+        )
+        .unwrap();
+        // the heap loader still accepts the v1 file…
+        assert!(load(&dir).is_ok());
+        // …but the serving path refuses it by name
+        match open_mmap(&dir) {
+            Err(PbgError::Checkpoint(msg)) => {
+                assert!(msg.contains("embeddings_0.bin"), "{msg}");
+                assert!(msg.contains("re-save"), "{msg}");
+            }
+            other => panic!("v1 shard mapped: {other:?}"),
+        }
         std::fs::remove_dir_all(&dir).ok();
     }
 

@@ -93,7 +93,13 @@ impl LinkPredictionEval {
                 let cands = self.draw(&samplers[et], model, et, &mut rng);
                 let mut scores = model.score_against_destinations(e.src.0, rel, &cands);
                 self.apply_filter_dst(&known, e.src.0, rel, &cands, &mut scores);
-                let pos = model.score(e.src.0, rel, e.dst.0);
+                // score the positive through the same batched path as the
+                // candidates: the pairwise `score` helper accumulates in a
+                // different order, so a candidate row holding the *same*
+                // embedding as the true destination could compare unequal
+                // and the tie would silently become a win or a loss
+                // depending on draw order
+                let pos = model.score_against_destinations(e.src.0, rel, &[e.dst.0])[0];
                 acc.push_scores(pos, &scores);
             }
             // source corruption
@@ -311,6 +317,86 @@ mod tests {
         let m = eval.evaluate(&model, &split.test, &split.train, &[]);
         assert!(m.mrr > 0.0 && m.mrr <= 1.0);
         assert!(m.mr >= 1.0);
+    }
+
+    /// A model in which every entity shares one embedding: every candidate
+    /// ties exactly with the positive, the worst case for tie handling.
+    fn all_tied_model(n: u32, dim: usize) -> TrainedEmbeddings {
+        let schema = GraphSchema::homogeneous(n, 1).unwrap();
+        let mut m = pbg_tensor::matrix::Matrix::zeros(n as usize, dim);
+        m.fill_with(|_, j| 0.25 + j as f32 * 0.125);
+        TrainedEmbeddings {
+            dim,
+            similarity: crate::config::SimilarityKind::Dot,
+            schema,
+            embeddings: vec![m],
+            relations: vec![crate::model::RelationSnapshot {
+                op: pbg_graph::schema::OperatorKind::Identity,
+                weight: 1.0,
+                forward: Vec::new(),
+                reciprocal: None,
+            }],
+        }
+    }
+
+    #[test]
+    fn all_tied_scores_take_average_rank_on_both_sides() {
+        // with K candidates all tied with the positive, the average-tie
+        // convention puts the positive at exactly rank 1 + K/2 — and the
+        // positive must be scored through the same batched float path as
+        // the candidates, or rounding differences break the tie and the
+        // rank collapses to 1 or K+1 depending on draw order
+        let model = all_tied_model(32, 16);
+        let mut test = EdgeList::new();
+        for i in 0..8u32 {
+            test.push(Edge::new(i, 0u32, (i + 5) % 32));
+        }
+        let k = 20usize;
+        let eval = LinkPredictionEval {
+            num_candidates: k,
+            sampling: CandidateSampling::Uniform,
+            both_sides: true,
+            ..Default::default()
+        };
+        let m = eval.evaluate(&model, &test, &test, &[]);
+        let expect = 1.0 + k as f64 / 2.0;
+        assert!(
+            (m.mr - expect).abs() < 1e-9,
+            "tied mean rank {} != {expect}",
+            m.mr
+        );
+    }
+
+    #[test]
+    fn tied_metrics_identical_across_candidate_seeds() {
+        // which candidates get drawn must not matter when all scores tie:
+        // any seed produces the same MRR/MR/Hits@K
+        let model = all_tied_model(48, 8);
+        let mut test = EdgeList::new();
+        for i in 0..6u32 {
+            test.push(Edge::new(i, 0u32, i + 7));
+        }
+        let base = LinkPredictionEval {
+            num_candidates: 25,
+            sampling: CandidateSampling::Uniform,
+            seed: 1,
+            ..Default::default()
+        };
+        let first = base.evaluate(&model, &test, &test, &[]);
+        for seed in [2, 17, 9999] {
+            let m = LinkPredictionEval {
+                seed,
+                ..base.clone()
+            }
+            .evaluate(&model, &test, &test, &[]);
+            assert_eq!(m.mrr, first.mrr, "seed {seed} changed MRR");
+            assert_eq!(m.mr, first.mr, "seed {seed} changed MR");
+            assert_eq!(m.hits_at_1, first.hits_at_1, "seed {seed} changed Hits@1");
+            assert_eq!(
+                m.hits_at_10, first.hits_at_10,
+                "seed {seed} changed Hits@10"
+            );
+        }
     }
 
     #[test]

@@ -406,6 +406,116 @@ impl TrainedEmbeddings {
     }
 }
 
+/// A trained model served straight from a memory-mapped checkpoint:
+/// relation parameters and schema on the heap, embedding rows read in
+/// place from [`crate::storage::MmapPartition`] shards. The scoring API
+/// mirrors [`TrainedEmbeddings`] and routes through the same kernels,
+/// so a served score is bit-identical to the offline one.
+#[derive(Debug)]
+pub struct MmapEmbeddings {
+    /// Embedding dimension.
+    pub dim: usize,
+    /// Similarity the model was trained with.
+    pub similarity: crate::config::SimilarityKind,
+    /// The schema.
+    pub schema: GraphSchema,
+    /// One mapped shard per entity type, global-id indexed.
+    pub shards: Vec<crate::storage::MmapPartition>,
+    /// Relation parameter snapshots.
+    pub relations: Vec<RelationSnapshot>,
+}
+
+impl MmapEmbeddings {
+    /// The embedding of entity `id` of type `entity_type`, zero-copy.
+    ///
+    /// # Panics
+    ///
+    /// Panics if indices are out of range.
+    pub fn embedding(&self, entity_type: usize, id: u32) -> &[f32] {
+        self.shards[entity_type].row(id as usize)
+    }
+
+    /// The operator-transformed query row `g(θ_src, θ_rel)` (one `dim`
+    /// vector on the heap — the only per-request allocation).
+    fn transformed_query(&self, src: u32, rel: RelationTypeId) -> Matrix {
+        let r = &self.relations[rel.index()];
+        let rdef = self.schema.relation_type(rel);
+        let src_m = Matrix::from_rows(&[self.embedding(rdef.source_type().index(), src)]);
+        operator::apply(r.op, &r.forward, &src_m)
+    }
+
+    /// Scores the edge `(src, rel, dst)` through the batched path.
+    ///
+    /// # Panics
+    ///
+    /// Panics if indices are out of range.
+    pub fn score(&self, src: u32, rel: RelationTypeId, dst: u32) -> f32 {
+        self.score_against_destinations(src, rel, &[dst])[0]
+    }
+
+    /// Scores one source against the given destination candidates
+    /// (gathers only the requested rows; identical float path to
+    /// [`TrainedEmbeddings::score_against_destinations`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if indices are out of range.
+    pub fn score_against_destinations(
+        &self,
+        src: u32,
+        rel: RelationTypeId,
+        dst_candidates: &[u32],
+    ) -> Vec<f32> {
+        let transformed = self.transformed_query(src, rel);
+        let dst_type = self.schema.relation_type(rel).dest_type().index();
+        let mut cands = Matrix::zeros(dst_candidates.len(), self.dim);
+        for (i, &d) in dst_candidates.iter().enumerate() {
+            cands
+                .row_mut(i)
+                .copy_from_slice(self.embedding(dst_type, d));
+        }
+        crate::similarity::score_matrix(self.similarity, &transformed, &cands)
+            .row(0)
+            .to_vec()
+    }
+
+    /// The `k` best destinations for `(src, rel)` over the *entire*
+    /// destination shard, streamed block-by-block through the score-only
+    /// top-k kernel — the shard is scored in place, never copied, and
+    /// only a k-entry heap is kept. Ties resolve to the lower entity id,
+    /// matching the offline argmax.
+    ///
+    /// # Panics
+    ///
+    /// Panics if indices are out of range.
+    pub fn top_destinations(&self, src: u32, rel: RelationTypeId, k: usize) -> Vec<(u32, f32)> {
+        use pbg_tensor::topk;
+        let transformed = self.transformed_query(src, rel);
+        let shard = &self.shards[self.schema.relation_type(rel).dest_type().index()];
+        let mut acc = topk::TopK::new(k);
+        match self.similarity {
+            crate::config::SimilarityKind::Dot => {
+                topk::accumulate_dot(transformed.row(0), shard.payload(), self.dim, 0, &mut acc);
+            }
+            crate::config::SimilarityKind::Cosine => {
+                let mut q = transformed.row(0).to_vec();
+                pbg_tensor::vecmath::normalize(&mut q);
+                topk::accumulate_cosine(&q, shard.payload(), self.dim, 0, &mut acc);
+            }
+        }
+        acc.into_sorted()
+            .into_iter()
+            .map(|s| (s.index as u32, s.score))
+            .collect()
+    }
+
+    /// Total bytes of mapped shard files (resident only as far as the
+    /// page cache decides) — the number `/healthz` reports.
+    pub fn mapped_bytes(&self) -> usize {
+        self.shards.iter().map(|s| s.mapped_bytes()).sum()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -781,6 +781,232 @@ impl PartitionStore for DiskStore {
     }
 }
 
+// ---------------------------------------------------------------------
+// Memory-mapped read-only shards (the serving tier's storage)
+// ---------------------------------------------------------------------
+
+/// Raw read-only mapping of a whole file. On unix this is a real
+/// `mmap(2)` (pages fault in on demand, evictable under memory
+/// pressure, shared between server processes); elsewhere it falls back
+/// to a heap read so the API stays portable.
+#[derive(Debug)]
+enum MapBacking {
+    #[cfg(unix)]
+    Mmap {
+        ptr: *const u8,
+        len: usize,
+    },
+    Heap(Vec<u8>),
+}
+
+// The mapping is immutable for its whole lifetime (PROT_READ, private),
+// so sharing the pointer across serving threads is sound.
+unsafe impl Send for MapBacking {}
+unsafe impl Sync for MapBacking {}
+
+impl MapBacking {
+    #[cfg(unix)]
+    fn open(path: &std::path::Path) -> Result<MapBacking> {
+        use std::os::unix::io::AsRawFd;
+        // values from the Linux ABI (identical on the BSDs/macOS); no
+        // libc crate in the dependency tree, so spell them out
+        const PROT_READ: i32 = 1;
+        const MAP_PRIVATE: i32 = 2;
+        extern "C" {
+            fn mmap(
+                addr: *mut std::ffi::c_void,
+                len: usize,
+                prot: i32,
+                flags: i32,
+                fd: i32,
+                offset: i64,
+            ) -> *mut std::ffi::c_void;
+        }
+        let file = std::fs::File::open(path)?;
+        let len = file.metadata()?.len() as usize;
+        if len == 0 {
+            // mmap(2) rejects zero-length maps; an empty file is never a
+            // valid shard anyway, so surface it as such
+            return Ok(MapBacking::Heap(Vec::new()));
+        }
+        let ptr = unsafe {
+            mmap(
+                std::ptr::null_mut(),
+                len,
+                PROT_READ,
+                MAP_PRIVATE,
+                file.as_raw_fd(),
+                0,
+            )
+        };
+        if ptr as isize == -1 {
+            return Err(PbgError::Io(std::io::Error::last_os_error()));
+        }
+        Ok(MapBacking::Mmap {
+            ptr: ptr as *const u8,
+            len,
+        })
+    }
+
+    #[cfg(not(unix))]
+    fn open(path: &std::path::Path) -> Result<MapBacking> {
+        Ok(MapBacking::Heap(std::fs::read(path)?))
+    }
+
+    fn bytes(&self) -> &[u8] {
+        match self {
+            #[cfg(unix)]
+            MapBacking::Mmap { ptr, len } => unsafe { std::slice::from_raw_parts(*ptr, *len) },
+            MapBacking::Heap(v) => v,
+        }
+    }
+}
+
+impl Drop for MapBacking {
+    fn drop(&mut self) {
+        #[cfg(unix)]
+        if let MapBacking::Mmap { ptr, len } = *self {
+            extern "C" {
+                fn munmap(addr: *mut std::ffi::c_void, len: usize) -> i32;
+            }
+            unsafe {
+                munmap(ptr as *mut std::ffi::c_void, len);
+            }
+        }
+    }
+}
+
+/// A read-only, memory-mapped embedding shard (one checkpoint
+/// `embeddings_{t}.bin`). Rows are served straight out of the mapping —
+/// no row is ever copied to the heap — so a model larger than RAM
+/// serves from one box, paging embeddings in on demand.
+///
+/// Only checkpoint binary v2 qualifies: its float payload is
+/// little-endian, so on little-endian hosts the mapped payload *is* the
+/// `&[f32]` the kernels consume. (v1 big-endian shards still load via
+/// the heap path in [`crate::checkpoint::load`]; re-save to serve them.)
+#[derive(Debug)]
+pub struct MmapPartition {
+    backing: MapBacking,
+    rows: usize,
+    cols: usize,
+}
+
+impl MmapPartition {
+    /// Maps `path` and validates its header and size: magic, version 2,
+    /// matrix kind, and that the file holds exactly `rows × cols` floats
+    /// — a shard shorter than its own header's shape is refused with an
+    /// error naming the file.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PbgError::Checkpoint`] for format violations and
+    /// propagates I/O failures.
+    pub fn open(path: &std::path::Path) -> Result<MmapPartition> {
+        let name = path
+            .file_name()
+            .map(|n| n.to_string_lossy().into_owned())
+            .unwrap_or_else(|| path.display().to_string());
+        let backing = MapBacking::open(path)?;
+        let shard = Self::from_backing(backing)
+            .map_err(|e| PbgError::Checkpoint(format!("{name}: {e}")))?;
+        Ok(shard)
+    }
+
+    fn from_backing(backing: MapBacking) -> std::result::Result<MmapPartition, String> {
+        let bytes = backing.bytes();
+        let header_len = crate::checkpoint::MATRIX_PAYLOAD_OFFSET;
+        if bytes.len() < header_len {
+            return Err(format!(
+                "file truncated: {} bytes, matrix header needs {header_len}",
+                bytes.len()
+            ));
+        }
+        let mut head = &bytes[..header_len];
+        let header = crate::checkpoint::read_header(&mut head).map_err(|e| e.to_string())?;
+        if header.kind != 0 {
+            return Err("not a matrix payload".into());
+        }
+        if header.version != 2 {
+            return Err(format!(
+                "binary v{} stores floats big-endian and cannot be memory-mapped; \
+                 re-save the checkpoint to upgrade it to v2",
+                header.version
+            ));
+        }
+        let rows = u64::from_be_bytes(bytes[8..16].try_into().expect("8 bytes")) as usize;
+        let cols = u64::from_be_bytes(bytes[16..24].try_into().expect("8 bytes")) as usize;
+        let payload = rows
+            .checked_mul(cols)
+            .and_then(|n| n.checked_mul(4))
+            .ok_or_else(|| "matrix dimensions overflow".to_string())?;
+        let expect = header_len + payload;
+        if bytes.len() != expect {
+            return Err(format!(
+                "matrix shape {rows}x{cols} needs {expect} bytes, file has {}",
+                bytes.len()
+            ));
+        }
+        Ok(MmapPartition {
+            backing,
+            rows,
+            cols,
+        })
+    }
+
+    /// Number of embedding rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Embedding dimension.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// The whole mapped file, for manifest checksum verification —
+    /// hashed in place, never copied.
+    pub fn file_bytes(&self) -> &[u8] {
+        self.backing.bytes()
+    }
+
+    /// All `rows × cols` floats, row-major, straight from the mapping.
+    pub fn payload(&self) -> &[f32] {
+        let bytes = &self.backing.bytes()[crate::checkpoint::MATRIX_PAYLOAD_OFFSET..];
+        // a page-aligned mapping plus the 24-byte header keeps the
+        // payload 4-byte aligned; the heap fallback re-checks at runtime
+        debug_assert_eq!(bytes.as_ptr() as usize % std::mem::align_of::<f32>(), 0);
+        if (bytes.as_ptr() as usize).is_multiple_of(std::mem::align_of::<f32>()) {
+            unsafe {
+                std::slice::from_raw_parts(bytes.as_ptr().cast::<f32>(), self.rows * self.cols)
+            }
+        } else {
+            // unreachable on unix (page alignment); on the heap fallback
+            // Vec<u8> allocations are 4-aligned in practice, but the
+            // format must not depend on that — leak-free fallback would
+            // require a decode cache, which the portability shim does
+            // not justify. Fail loudly instead of UB.
+            panic!("unaligned embedding payload; cannot reinterpret as f32");
+        }
+    }
+
+    /// Row `i`, zero-copy.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= rows()`.
+    pub fn row(&self, i: usize) -> &[f32] {
+        assert!(i < self.rows, "row {i} out of range ({} rows)", self.rows);
+        &self.payload()[i * self.cols..(i + 1) * self.cols]
+    }
+
+    /// Bytes of embedding data reachable through this shard (the mapped
+    /// payload — resident only as far as the page cache decides).
+    pub fn mapped_bytes(&self) -> usize {
+        self.backing.bytes().len()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

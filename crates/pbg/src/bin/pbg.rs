@@ -12,6 +12,9 @@
 //!               --edges E [--format tsv|snap] [--config C.json]
 //!               [--partitions P] [--shards N] [--lease-ms MS]
 //!               [--telemetry TRACE.jsonl] [--metrics-addr HOST:PORT]
+//! pbg serve     --role embed --model CKPT [--listen HOST:PORT]
+//!               [--rate-limit RPS] [--rate-burst N]
+//!               [--request-log LOG.jsonl]
 //! pbg train     --edges E --cluster lock=H:P,part=H:P,param=H:P
 //!               --rank R [--sync-throttle-ms MS] [--output CKPT] ...
 //! pbg eval      --checkpoint CKPT --test E [--train E]
@@ -54,6 +57,13 @@
 //! same `--edges`, `--partitions`, and `--config` so schemas and epoch
 //! counts agree; pass `--output` to the rank that should write the final
 //! checkpoint once training completes.
+//!
+//! `pbg serve --role embed` is the inference tier: it memory-maps a
+//! trained checkpoint (manifest checksums verified, shards never copied
+//! to heap) and answers `POST /score`, `POST /topk`, and
+//! `GET /embedding/{entity}` with per-client token-bucket rate limiting.
+//! `/healthz` reports the model card; `/metrics` exposes request
+//! latency/QPS counters in Prometheus text format.
 
 use pbg::core::checkpoint;
 use pbg::core::config::PbgConfig;
@@ -115,6 +125,9 @@ const USAGE: &str = "usage:
                 [--format tsv|snap] [--config C.json] [--partitions P]
                 [--shards N] [--lease-ms MS]
                 [--telemetry TRACE.jsonl] [--metrics-addr HOST:PORT]
+  pbg serve     --role embed --model CKPT [--listen HOST:PORT]
+                [--rate-limit RPS] [--rate-burst N]
+                [--request-log LOG.jsonl]
   pbg eval      --checkpoint CKPT --test E [--train E]
                 [--candidates N] [--filtered] [--prevalence]
   pbg neighbors --checkpoint CKPT --entity ID [--relation R] [--k K]
@@ -467,6 +480,9 @@ fn cmd_train_cluster(
 /// exactly as `pbg train` derives them, so servers and ranks agree.
 fn cmd_serve(flags: &Flags) -> Result<(), String> {
     let role = flags.require("role")?;
+    if role == "embed" {
+        return cmd_serve_embed(flags);
+    }
     let listen = flags.get("listen").unwrap_or("127.0.0.1:0");
     let format = flags.get("format").unwrap_or("tsv");
     let (_edges, num_nodes, num_relations) = load_edges(flags.require("edges")?, format)?;
@@ -545,6 +561,35 @@ fn cmd_serve(flags: &Flags) -> Result<(), String> {
             .map_err(|e| format!("trace flusher: {e}"))?;
         eprintln!("{role} server: spans stream to {path}");
     }
+    loop {
+        std::thread::park();
+    }
+}
+
+/// Serves a trained checkpoint for inference: memory-maps the embedding
+/// shards (checksum-verified, zero-copy) and answers `/score`, `/topk`,
+/// and `/embedding/{entity}` over HTTP until killed.
+fn cmd_serve_embed(flags: &Flags) -> Result<(), String> {
+    let model_dir = flags.require("model")?;
+    let listen = flags.get("listen").unwrap_or("127.0.0.1:0");
+    let model = Arc::new(pbg::core::checkpoint::open_mmap(model_dir).map_err(|e| e.to_string())?);
+    let telemetry = pbg::telemetry::Registry::new();
+    // synthetic rank, same convention as the cluster server roles
+    telemetry.set_rank(1003);
+    let config = pbg::serve::ServeConfig {
+        rate_limit_rps: flags.parse("rate-limit", 500.0f64)?,
+        rate_limit_burst: flags.parse("rate-burst", 1000.0f64)?,
+        request_log: flags.get("request-log").map(std::path::PathBuf::from),
+        ..pbg::serve::ServeConfig::default()
+    };
+    let server = pbg::serve::EmbedServer::serve(listen, Arc::clone(&model), telemetry, config)
+        .map_err(|e| format!("bind {listen}: {e}"))?;
+    eprintln!(
+        "embed server listening on {} ({} relations, {:.1} MiB mapped)",
+        server.local_addr(),
+        model.relations.len(),
+        model.mapped_bytes() as f64 / (1024.0 * 1024.0)
+    );
     loop {
         std::thread::park();
     }

@@ -15,6 +15,7 @@
 //!   over a framed TCP wire protocol, plus the trainer-rank driver.
 //! - [`baselines`]: DeepWalk and MILE.
 //! - [`eval`]: ranking metrics, downstream classification, curves.
+//! - [`serve`]: memory-mapped embedding serving tier (HTTP inference).
 //! - [`telemetry`]: counters, gauges, histograms, spans, JSONL traces.
 //!
 //! # Quickstart
@@ -44,5 +45,6 @@ pub use pbg_distsim as distsim;
 pub use pbg_eval as eval;
 pub use pbg_graph as graph;
 pub use pbg_net as net;
+pub use pbg_serve as serve;
 pub use pbg_telemetry as telemetry;
 pub use pbg_tensor as tensor;

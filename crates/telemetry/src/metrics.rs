@@ -95,6 +95,19 @@ pub mod names {
     /// Gauge: distsim cluster-wide trained edges per second, by machine.
     pub const CLUSTER_EDGES_PER_SEC: &str = "cluster.edges_per_sec";
 
+    /// Counter: HTTP requests handled by the embedding serving tier.
+    pub const SERVE_REQUESTS: &str = "serve.requests";
+    /// Counter: serving requests rejected by the rate limiter (429).
+    pub const SERVE_THROTTLED: &str = "serve.throttled";
+    /// Counter: serving requests answered with a client error (4xx).
+    pub const SERVE_CLIENT_ERRORS: &str = "serve.client_errors";
+    /// Histogram: end-to-end request latency in the serving tier.
+    pub const SERVE_REQUEST_LATENCY_NS: &str = "serve.request_latency_ns";
+    /// Counter: candidate rows scored by `/topk` and `/score`.
+    pub const SERVE_ROWS_SCORED: &str = "serve.rows_scored";
+    /// Gauge: bytes of checkpoint shards memory-mapped by the server.
+    pub const SERVE_MAPPED_BYTES: &str = "serve.mapped_bytes";
+
     /// Every canonical metric name with its exposition help text, for
     /// `# HELP` lines and the format-lint test. Dynamic per-machine
     /// names (`rank{N}.*`, `machine{N}.*`) are not listed; they get no
@@ -207,6 +220,27 @@ pub mod names {
             "Total kernel flops executed by this process",
         ),
         (CLUSTER_EDGES_PER_SEC, "Distsim cluster edges per second"),
+        (SERVE_REQUESTS, "HTTP requests handled by the serving tier"),
+        (
+            SERVE_THROTTLED,
+            "Serving requests rejected by the rate limiter",
+        ),
+        (
+            SERVE_CLIENT_ERRORS,
+            "Serving requests answered with a client error",
+        ),
+        (
+            SERVE_REQUEST_LATENCY_NS,
+            "Serving request latency in nanoseconds",
+        ),
+        (
+            SERVE_ROWS_SCORED,
+            "Candidate rows scored by the serving tier",
+        ),
+        (
+            SERVE_MAPPED_BYTES,
+            "Checkpoint shard bytes memory-mapped by the server",
+        ),
     ];
 
     /// Exposition help text for a canonical metric name.

@@ -40,6 +40,7 @@ pub mod hogwild;
 pub mod kernels;
 pub mod matrix;
 pub mod rng;
+pub mod topk;
 pub mod vecmath;
 pub mod zipf;
 

@@ -1,0 +1,325 @@
+//! Score-only blocked top-k over candidate rows.
+//!
+//! The serving tier answers `score(src, rel) → top-k dst` over shards
+//! with millions of rows. Training's `score_grads` path packs both the
+//! score matrix and gradient panels — pure waste at inference. This
+//! module streams candidate rows (typically a memory-mapped shard, never
+//! copied to heap) through the same blocked [`crate::kernels::matmul_nt`]
+//! in bounded blocks, keeping only a k-entry heap per query, so scoring a
+//! shard costs `O(n·d)` time and `O(k + block)` memory instead of
+//! materializing an `n`-float score vector.
+//!
+//! Ordering is deterministic: ties in score resolve to the lower row
+//! index, and NaNs order below every real score (`total_cmp`), so a
+//! served top-k is reproducible and matches an offline argmax.
+
+use crate::kernels;
+use crate::vecmath;
+use std::collections::BinaryHeap;
+
+/// Candidate rows scored per kernel call. Large enough to amortize the
+/// kernel's panel packing, small enough that the per-block score buffer
+/// (and the normalized copy cosine needs) stays L2-resident.
+pub const BLOCK_ROWS: usize = 512;
+
+/// One scored candidate row.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Scored {
+    /// Global row index of the candidate.
+    pub index: usize,
+    /// Its similarity score.
+    pub score: f32,
+}
+
+/// Heap entry ordered by "worseness": the `BinaryHeap` max is the worst
+/// kept candidate, which is what a bounded top-k evicts first.
+#[derive(Debug, Clone, Copy, PartialEq)]
+struct Entry(Scored);
+
+impl Eq for Entry {}
+
+impl Ord for Entry {
+    fn cmp(&self, other: &Entry) -> std::cmp::Ordering {
+        // lower score = worse; equal score, higher index = worse
+        other
+            .0
+            .score
+            .total_cmp(&self.0.score)
+            .then(self.0.index.cmp(&other.0.index))
+    }
+}
+
+impl PartialOrd for Entry {
+    fn partial_cmp(&self, other: &Entry) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// A bounded top-k accumulator: push scored rows from any number of
+/// blocks or shards, then read the merged result. Mergeable, so each
+/// shard can be scored independently and heap-merged.
+#[derive(Debug, Clone)]
+pub struct TopK {
+    k: usize,
+    heap: BinaryHeap<Entry>,
+}
+
+impl TopK {
+    /// An empty accumulator keeping the best `k` rows.
+    pub fn new(k: usize) -> Self {
+        TopK {
+            k,
+            heap: BinaryHeap::with_capacity(k + 1),
+        }
+    }
+
+    /// Offers one scored row; keeps it only if it beats the current
+    /// worst kept row (score first, then lower index on ties).
+    pub fn push(&mut self, index: usize, score: f32) {
+        if self.k == 0 {
+            return;
+        }
+        let entry = Entry(Scored { index, score });
+        if self.heap.len() < self.k {
+            self.heap.push(entry);
+        } else if let Some(worst) = self.heap.peek() {
+            // `entry < worst` in Entry order means entry is *better*
+            if entry < *worst {
+                self.heap.pop();
+                self.heap.push(entry);
+            }
+        }
+    }
+
+    /// Merges another accumulator (e.g. a different shard's result).
+    pub fn merge(&mut self, other: TopK) {
+        for e in other.heap {
+            self.push(e.0.index, e.0.score);
+        }
+    }
+
+    /// The kept rows, best first (score descending, index ascending on
+    /// ties).
+    pub fn into_sorted(self) -> Vec<Scored> {
+        let mut v: Vec<Scored> = self.heap.into_iter().map(|e| e.0).collect();
+        v.sort_by(|a, b| b.score.total_cmp(&a.score).then(a.index.cmp(&b.index)));
+        v
+    }
+}
+
+/// Scores `query` (one row, `dim` floats) against every row of
+/// `candidates` (row-major, `candidates.len() / dim` rows whose global
+/// indices start at `base`) by dot product, feeding `acc`. Candidate
+/// rows are read in place — a memory-mapped slice is never copied.
+///
+/// # Panics
+///
+/// Panics if `query.len() != dim` or `candidates.len()` is not a
+/// multiple of `dim`.
+pub fn accumulate_dot(query: &[f32], candidates: &[f32], dim: usize, base: usize, acc: &mut TopK) {
+    assert_eq!(query.len(), dim, "accumulate_dot: query length != dim");
+    assert!(
+        candidates.len().is_multiple_of(dim.max(1)),
+        "accumulate_dot: candidate slice is not whole rows"
+    );
+    if dim == 0 {
+        return;
+    }
+    let n = candidates.len() / dim;
+    let mut scores = vec![0.0f32; BLOCK_ROWS.min(n.max(1))];
+    let mut start = 0usize;
+    while start < n {
+        let bn = BLOCK_ROWS.min(n - start);
+        let block = &candidates[start * dim..(start + bn) * dim];
+        kernels::matmul_nt(1, bn, dim, query, dim, block, dim, &mut scores[..bn], bn);
+        for (j, &s) in scores[..bn].iter().enumerate() {
+            acc.push(base + start + j, s);
+        }
+        start += bn;
+    }
+}
+
+/// Cosine counterpart of [`accumulate_dot`]: `query` must already be
+/// L2-normalized (normalize once per request, not per block); candidate
+/// rows are copied block-at-a-time into a bounded scratch buffer and
+/// normalized there, reproducing `score_matrix`'s cosine path bit for
+/// bit without materializing a normalized shard.
+///
+/// # Panics
+///
+/// Panics if `query.len() != dim` or `candidates.len()` is not a
+/// multiple of `dim`.
+pub fn accumulate_cosine(
+    query: &[f32],
+    candidates: &[f32],
+    dim: usize,
+    base: usize,
+    acc: &mut TopK,
+) {
+    assert_eq!(query.len(), dim, "accumulate_cosine: query length != dim");
+    assert!(
+        candidates.len().is_multiple_of(dim.max(1)),
+        "accumulate_cosine: candidate slice is not whole rows"
+    );
+    if dim == 0 {
+        return;
+    }
+    let n = candidates.len() / dim;
+    let bcap = BLOCK_ROWS.min(n.max(1));
+    let mut scores = vec![0.0f32; bcap];
+    let mut scratch = vec![0.0f32; bcap * dim];
+    let mut start = 0usize;
+    while start < n {
+        let bn = BLOCK_ROWS.min(n - start);
+        let scratch = &mut scratch[..bn * dim];
+        scratch.copy_from_slice(&candidates[start * dim..(start + bn) * dim]);
+        for row in scratch.chunks_exact_mut(dim) {
+            vecmath::normalize(row);
+        }
+        kernels::matmul_nt(1, bn, dim, query, dim, scratch, dim, &mut scores[..bn], bn);
+        for (j, &s) in scores[..bn].iter().enumerate() {
+            acc.push(base + start + j, s);
+        }
+        start += bn;
+    }
+}
+
+/// One-shot convenience: the top `k` rows of `candidates` by dot score.
+///
+/// # Panics
+///
+/// Panics as [`accumulate_dot`] does.
+pub fn top_k_dot(query: &[f32], candidates: &[f32], dim: usize, k: usize) -> Vec<Scored> {
+    let mut acc = TopK::new(k);
+    accumulate_dot(query, candidates, dim, 0, &mut acc);
+    acc.into_sorted()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng::Xoshiro256;
+
+    fn random_rows(n: usize, dim: usize, seed: u64) -> Vec<f32> {
+        let mut rng = Xoshiro256::seed_from_u64(seed);
+        (0..n * dim).map(|_| rng.gen_f32() * 2.0 - 1.0).collect()
+    }
+
+    /// Reference: the full score vector from ONE un-blocked kernel call
+    /// (what `score_matrix` computes offline), then a full sort. The
+    /// blocked streaming path must reproduce it bit for bit — that is
+    /// the serve-vs-offline-argmax equivalence the serving tier promises.
+    fn full_kernel_top_k(query: &[f32], cands: &[f32], dim: usize, k: usize) -> Vec<Scored> {
+        let n = cands.len() / dim;
+        let mut scores = vec![0.0f32; n];
+        kernels::matmul_nt(1, n, dim, query, dim, cands, dim, &mut scores, n);
+        let mut all: Vec<Scored> = scores
+            .iter()
+            .enumerate()
+            .map(|(i, &s)| Scored { index: i, score: s })
+            .collect();
+        all.sort_by(|a, b| b.score.total_cmp(&a.score).then(a.index.cmp(&b.index)));
+        all.truncate(k);
+        all
+    }
+
+    #[test]
+    fn matches_full_kernel_top_k_across_block_boundaries() {
+        let dim = 24;
+        // n chosen to straddle several BLOCK_ROWS boundaries unevenly
+        for n in [1, 7, BLOCK_ROWS, BLOCK_ROWS + 1, 3 * BLOCK_ROWS - 5] {
+            let query = random_rows(1, dim, 1);
+            let cands = random_rows(n, dim, 2);
+            for k in [1, 5, n] {
+                let got = top_k_dot(&query, &cands, dim, k);
+                let want = full_kernel_top_k(&query, &cands, dim, k);
+                assert_eq!(got.len(), want.len());
+                for (g, w) in got.iter().zip(&want) {
+                    assert_eq!(g.index, w.index, "n={n} k={k}");
+                    assert_eq!(g.score.to_bits(), w.score.to_bits(), "n={n} k={k}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn blocked_scores_close_to_plain_dot() {
+        // independent slow path: the kernel's accumulation order may
+        // differ from vecmath::dot by a few ULP but never more
+        let dim = 24;
+        let query = random_rows(1, dim, 9);
+        let cands = random_rows(300, dim, 10);
+        let got = top_k_dot(&query, &cands, dim, 300);
+        for s in &got {
+            let plain = vecmath::dot(&query, &cands[s.index * dim..(s.index + 1) * dim]);
+            assert!((s.score - plain).abs() < 1e-4, "index {}", s.index);
+        }
+    }
+
+    #[test]
+    fn ties_resolve_to_lower_index() {
+        // identical rows: every candidate ties, top-k must be 0..k
+        let dim = 8;
+        let row: Vec<f32> = (0..dim).map(|i| 0.5 + i as f32 * 0.25).collect();
+        let cands: Vec<f32> = row.iter().copied().cycle().take(50 * dim).collect();
+        let got = top_k_dot(&row, &cands, dim, 7);
+        let indices: Vec<usize> = got.iter().map(|s| s.index).collect();
+        assert_eq!(indices, vec![0, 1, 2, 3, 4, 5, 6]);
+    }
+
+    #[test]
+    fn merge_across_shards_equals_single_scan() {
+        let dim = 16;
+        let query = random_rows(1, dim, 3);
+        let cands = random_rows(900, dim, 4);
+        let whole = top_k_dot(&query, &cands, dim, 10);
+        // split into three uneven shards and heap-merge
+        let mut acc = TopK::new(10);
+        let splits = [0usize, 123, 700, 900];
+        for w in splits.windows(2) {
+            let mut shard_acc = TopK::new(10);
+            accumulate_dot(
+                &query,
+                &cands[w[0] * dim..w[1] * dim],
+                dim,
+                w[0],
+                &mut shard_acc,
+            );
+            acc.merge(shard_acc);
+        }
+        let merged = acc.into_sorted();
+        assert_eq!(whole.len(), merged.len());
+        for (a, b) in whole.iter().zip(&merged) {
+            assert_eq!(a.index, b.index);
+            assert_eq!(a.score.to_bits(), b.score.to_bits());
+        }
+    }
+
+    #[test]
+    fn k_zero_and_k_beyond_n_are_clean() {
+        let dim = 4;
+        let query = random_rows(1, dim, 5);
+        let cands = random_rows(3, dim, 6);
+        assert!(top_k_dot(&query, &cands, dim, 0).is_empty());
+        let all = top_k_dot(&query, &cands, dim, 99);
+        assert_eq!(all.len(), 3);
+    }
+
+    #[test]
+    fn cosine_scores_are_bounded_and_ordered() {
+        let dim = 12;
+        let mut query = random_rows(1, dim, 7);
+        vecmath::normalize(&mut query);
+        let cands = random_rows(700, dim, 8);
+        let mut acc = TopK::new(5);
+        accumulate_cosine(&query, &cands, dim, 0, &mut acc);
+        let got = acc.into_sorted();
+        assert_eq!(got.len(), 5);
+        for w in got.windows(2) {
+            assert!(w[0].score >= w[1].score);
+        }
+        for s in &got {
+            assert!(s.score.abs() <= 1.0 + 1e-5);
+        }
+    }
+}

@@ -227,6 +227,81 @@ fn truncated_final_files_are_always_rejected() {
 }
 
 #[test]
+fn torn_matrix_adopted_at_kill_point_is_named_in_the_error() {
+    // a kill mid-write leaves `embeddings_0.bin.tmp` torn with an intact
+    // header but a short float payload. Rename atomicity means the live
+    // checkpoint never sees it — but if a broken recovery tool adopted
+    // the torn temp and even fixed up the manifest entry (so the
+    // size/checksum gate passes), the loader must still refuse with a
+    // shape-mismatch error that names the file and the byte shortfall,
+    // not a panic or a silently short matrix.
+    let (snap_a, snap_b) = two_snapshots();
+    let prog_a = TrainProgress {
+        epochs_done: 1,
+        steps_done: 0,
+    };
+    let prog_b = TrainProgress {
+        epochs_done: 2,
+        steps_done: 0,
+    };
+    let mut tore_a_matrix = false;
+    let mut kill = 0;
+    loop {
+        let dir = tmp(&format!("torn_{kill}"));
+        std::fs::remove_dir_all(&dir).ok();
+        checkpoint::save_with_progress(&snap_a, &dir, prog_a).unwrap();
+        // 42 bytes: past the 24-byte header, mid-row for any dim — the
+        // worst torn write, structurally valid up to the cut
+        let mut io = KillAfter {
+            survive: kill,
+            done: 0,
+            partial: Some(42),
+        };
+        if checkpoint::save_with_io(&snap_b, &dir, prog_b, &mut io).is_ok() {
+            std::fs::remove_dir_all(&dir).ok();
+            break;
+        }
+        let torn: Option<String> = std::fs::read_dir(&dir)
+            .unwrap()
+            .filter_map(|e| e.ok()?.file_name().into_string().ok())
+            .find(|n| n.starts_with("embeddings_") && n.ends_with(".tmp"));
+        if let Some(tmp_name) = torn {
+            let final_name = tmp_name.trim_end_matches(".tmp").to_string();
+            let bytes = std::fs::read(dir.join(&tmp_name)).unwrap();
+            std::fs::write(dir.join(&final_name), &bytes).unwrap();
+            let mut manifest = checkpoint::read_manifest(&dir).unwrap();
+            for f in &mut manifest.files {
+                if f.name == final_name {
+                    f.bytes = bytes.len() as u64;
+                    f.checksum = format!("{:016x}", checkpoint::checksum(&bytes));
+                }
+            }
+            std::fs::write(
+                dir.join(checkpoint::MANIFEST_NAME),
+                serde_json::to_string(&manifest).unwrap(),
+            )
+            .unwrap();
+            match checkpoint::load(&dir) {
+                Err(PbgError::Checkpoint(msg)) => {
+                    assert!(msg.contains(&final_name), "{msg}");
+                    assert!(msg.contains("shape"), "{msg}");
+                    assert!(msg.contains("short"), "{msg}");
+                }
+                other => panic!("torn {final_name} accepted: {other:?}"),
+            }
+            tore_a_matrix = true;
+        }
+        std::fs::remove_dir_all(&dir).ok();
+        kill += 1;
+        assert!(kill < 64, "save never completed");
+    }
+    assert!(
+        tore_a_matrix,
+        "no kill point ever tore an embeddings file; harness is vacuous"
+    );
+}
+
+#[test]
 fn resumed_run_matches_uninterrupted_bucket_count() {
     // acceptance: `--resume` restarted at a bucket boundary skips
     // already-trained buckets and the combined run trains exactly the
