@@ -23,6 +23,7 @@ use crate::model::{RelationSnapshot, TrainedEmbeddings};
 use bytes::{Buf, BufMut, BytesMut};
 use pbg_graph::schema::GraphSchema;
 use pbg_tensor::matrix::Matrix;
+use pbg_tensor::quant::{self, Precision};
 use serde::{Deserialize, Serialize};
 use std::io::Write;
 use std::path::Path;
@@ -35,6 +36,12 @@ const MAGIC: &[u8; 4] = b"PBGC";
 /// both). Integer header fields are big-endian in both versions.
 const VERSION: u8 = 2;
 const VERSION_BE: u8 = 1;
+/// Version 3 marks a *quantized* embedding shard: the previously
+/// reserved u16 at offset 6 carries the [`Precision`] tag and the float
+/// payload is the corresponding [`pbg_tensor::quant`] block encoding.
+/// v3 is written only when the save precision is not f32, so default
+/// checkpoints stay byte-identical to v2.
+const VERSION_QUANT: u8 = 3;
 /// Byte offset of the float payload in a matrix file: 8-byte common
 /// header plus `rows`/`cols` u64s. 4-byte aligned, so a page-aligned
 /// mmap base keeps the payload aligned for `f32` access.
@@ -166,6 +173,23 @@ pub fn save_with_progress(
     save_with_io(model, dir, progress, &mut AtomicIo)
 }
 
+/// [`save_with_progress`] at a storage [`Precision`]: `F32` writes v2
+/// shards byte-identical to [`save`]; `F16`/`Int8` write v3 shards with
+/// quantized embedding payloads (relation parameters stay f32 — they
+/// are tiny and shared, so compressing them buys nothing).
+///
+/// # Errors
+///
+/// Propagates I/O failures.
+pub fn save_with_precision(
+    model: &TrainedEmbeddings,
+    dir: impl AsRef<Path>,
+    progress: TrainProgress,
+    precision: Precision,
+) -> Result<()> {
+    save_impl(model, dir.as_ref(), progress, precision, &mut AtomicIo)
+}
+
 /// [`save_with_progress`] with an explicit [`CheckpointIo`] — the
 /// fault-injection seam the kill-point crash-consistency tests drive.
 ///
@@ -178,7 +202,16 @@ pub fn save_with_io(
     progress: TrainProgress,
     io: &mut dyn CheckpointIo,
 ) -> Result<()> {
-    let dir = dir.as_ref();
+    save_impl(model, dir.as_ref(), progress, Precision::F32, io)
+}
+
+fn save_impl(
+    model: &TrainedEmbeddings,
+    dir: &Path,
+    progress: TrainProgress,
+    precision: Precision,
+    io: &mut dyn CheckpointIo,
+) -> Result<()> {
     std::fs::create_dir_all(dir)?;
     let mut files: Vec<ManifestFile> = Vec::new();
     let mut put = |io: &mut dyn CheckpointIo, name: String, bytes: &[u8]| -> Result<()> {
@@ -212,14 +245,22 @@ pub fn save_with_io(
     for (t, emb) in model.embeddings.iter().enumerate() {
         let mut buf = BytesMut::new();
         buf.put_slice(MAGIC);
-        buf.put_u8(VERSION);
-        buf.put_u8(0);
-        buf.put_u16(0);
+        // f32 saves stay on v2 so the default path is byte-identical to
+        // pre-quantization checkpoints; v3 exists only for lossy shards
+        if precision == Precision::F32 {
+            buf.put_u8(VERSION);
+            buf.put_u8(0);
+            buf.put_u16(0);
+        } else {
+            buf.put_u8(VERSION_QUANT);
+            buf.put_u8(0);
+            buf.put_u16(u16::from(precision.tag()));
+        }
         buf.put_u64(emb.rows() as u64);
         buf.put_u64(emb.cols() as u64);
-        for &v in emb.as_slice() {
-            buf.put_slice(&v.to_le_bytes());
-        }
+        let mut payload = Vec::new();
+        quant::encode_rows(precision, emb.as_slice(), emb.rows(), emb.cols(), &mut payload);
+        buf.put_slice(&payload);
         put(io, format!("embeddings_{t}.bin"), &buf)?;
     }
     let mut buf = BytesMut::new();
@@ -475,10 +516,13 @@ fn in_file(name: &str, e: PbgError) -> PbgError {
 }
 
 /// Parsed common header: the format version (already validated as
-/// supported) and the payload kind byte.
+/// supported), the payload kind byte, and the storage precision (always
+/// [`Precision::F32`] for v1/v2 files; carried in the formerly reserved
+/// u16 for v3).
 pub(crate) struct BinHeader {
     pub version: u8,
     pub kind: u8,
+    pub precision: Precision,
 }
 
 pub(crate) fn read_header(data: &mut &[u8]) -> Result<BinHeader> {
@@ -491,14 +535,30 @@ pub(crate) fn read_header(data: &mut &[u8]) -> Result<BinHeader> {
         return Err(PbgError::Checkpoint("bad magic".into()));
     }
     let version = data.get_u8();
-    if version != VERSION && version != VERSION_BE {
+    if version != VERSION && version != VERSION_BE && version != VERSION_QUANT {
         return Err(PbgError::Checkpoint(format!(
             "unsupported version {version}"
         )));
     }
     let kind = data.get_u8();
-    let _reserved = data.get_u16();
-    Ok(BinHeader { version, kind })
+    let reserved = data.get_u16();
+    let precision = if version == VERSION_QUANT {
+        u8::try_from(reserved)
+            .ok()
+            .and_then(Precision::from_tag)
+            .ok_or_else(|| {
+                PbgError::Checkpoint(format!("unknown precision tag {reserved} in v3 file"))
+            })?
+    } else {
+        // v1/v2 files predate the tag; the field was written as zero
+        // and is deliberately ignored, matching the old readers
+        Precision::F32
+    };
+    Ok(BinHeader {
+        version,
+        kind,
+        precision,
+    })
 }
 
 /// Reads one f32 in the byte order `version` prescribes (v1 big-endian,
@@ -524,21 +584,28 @@ fn read_matrix(mut data: &[u8]) -> Result<Matrix> {
     }
     let rows = data.get_u64() as usize;
     let cols = data.get_u64() as usize;
-    // checked: rows and cols come off the wire, so `rows * cols * 4` is
-    // attacker-influenced and must not wrap past the bounds check
-    let payload = rows
-        .checked_mul(cols)
-        .and_then(|n| n.checked_mul(4))
+    // checked: rows and cols come off the wire, so the payload size is
+    // attacker-influenced and must not wrap past the bounds check; the
+    // element width comes from the header so v3 shortfalls report the
+    // true byte counts, not a 4-bytes-per-element guess
+    let payload = header
+        .precision
+        .payload_bytes(rows, cols)
         .ok_or_else(|| PbgError::Checkpoint("matrix dimensions overflow".into()))?;
     if data.remaining() < payload {
         // shape mismatch, not a generic read error: the header promised
-        // rows×cols but the file does not hold that many floats
+        // rows×cols but the file does not hold that many elements
         return Err(PbgError::Checkpoint(format!(
             "matrix shape {rows}x{cols} needs {} bytes, file has {total} \
              ({} payload bytes short)",
             MATRIX_PAYLOAD_OFFSET + payload,
             payload - data.remaining()
         )));
+    }
+    if header.precision != Precision::F32 {
+        let values = quant::decode_rows(header.precision, &data[..payload], rows, cols)
+            .map_err(PbgError::Checkpoint)?;
+        return Ok(Matrix::from_vec(rows, cols, values));
     }
     let count = rows * cols;
     let mut values = Vec::with_capacity(count.min(data.remaining() / 4));

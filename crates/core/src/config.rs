@@ -99,12 +99,17 @@ pub struct PbgConfig {
     /// Checkpoint every `N` trained buckets (at bucket boundaries), in
     /// addition to the end-of-run checkpoint. 0 = off.
     pub checkpoint_interval_buckets: usize,
+    /// Storage precision for embedding bytes at rest and on the wire
+    /// (checkpoint shards, partition swap files, parameter-server
+    /// chunks). Training compute and Adagrad state stay f32; anything
+    /// non-default is dequantized back to f32 on load.
+    pub precision: pbg_tensor::Precision,
 }
 
 // Hand-written (the vendored serde_derive supports no field attributes):
 // every field is required except `checkpoint_interval_buckets` (defaults
-// to 0) and `buffer_size` (defaults to 2), so configs saved before those
-// fields existed keep loading.
+// to 0), `buffer_size` (defaults to 2), and `precision` (defaults to
+// f32), so configs saved before those fields existed keep loading.
 impl serde::Deserialize for PbgConfig {
     fn deserialize(content: &serde::Content) -> std::result::Result<Self, serde::Error> {
         let serde::Content::Map(fields) = content else {
@@ -135,6 +140,8 @@ impl serde::Deserialize for PbgConfig {
                 "checkpoint_interval_buckets",
             )?
             .unwrap_or(0),
+            precision: serde::get_field::<Option<pbg_tensor::Precision>>(fields, "precision")?
+                .unwrap_or(pbg_tensor::Precision::F32),
         })
     }
 }
@@ -161,6 +168,7 @@ impl Default for PbgConfig {
             init_scale: 0.1,
             seed: 0,
             checkpoint_interval_buckets: 0,
+            precision: pbg_tensor::Precision::F32,
         }
     }
 }
@@ -374,6 +382,13 @@ impl PbgConfigBuilder {
         self
     }
 
+    /// Sets the storage precision for embedding bytes at rest and on
+    /// the wire (compute stays f32).
+    pub fn precision(mut self, p: pbg_tensor::Precision) -> Self {
+        self.config.precision = p;
+        self
+    }
+
     /// Validates and returns the config.
     ///
     /// # Errors
@@ -467,6 +482,31 @@ mod tests {
         }
         let c = PbgConfig::from_json(&serde_json::to_string(&v).unwrap()).unwrap();
         assert_eq!(c.buffer_size, 2);
+    }
+
+    #[test]
+    fn config_json_without_precision_still_loads() {
+        // configs saved before the field existed must keep parsing
+        let mut v: serde_json::Value =
+            serde_json::from_str(&PbgConfig::default().to_json()).unwrap();
+        if let serde_json::Value::Map(fields) = &mut v {
+            fields.retain(|(k, _)| k != "precision");
+        }
+        let c = PbgConfig::from_json(&serde_json::to_string(&v).unwrap()).unwrap();
+        assert_eq!(c.precision, pbg_tensor::Precision::F32);
+    }
+
+    #[test]
+    fn precision_roundtrips_through_json() {
+        for p in [
+            pbg_tensor::Precision::F32,
+            pbg_tensor::Precision::F16,
+            pbg_tensor::Precision::Int8,
+        ] {
+            let c = PbgConfig::builder().precision(p).build().unwrap();
+            let back = PbgConfig::from_json(&c.to_json()).unwrap();
+            assert_eq!(back.precision, p);
+        }
     }
 
     #[test]

@@ -125,7 +125,8 @@ impl Model {
             .sum()
     }
 
-    /// The storage layout implied by this model's schema and config.
+    /// The storage layout implied by this model's schema and config,
+    /// including the configured swap precision.
     pub fn store_layout(&self) -> StoreLayout {
         StoreLayout::from_schema(
             &self.schema,
@@ -134,6 +135,7 @@ impl Model {
             self.config.init_scale,
             self.config.seed,
         )
+        .with_precision(self.config.precision)
     }
 
     /// Snapshots the full model (entity embeddings gathered from `store`
@@ -426,12 +428,14 @@ pub struct MmapEmbeddings {
 }
 
 impl MmapEmbeddings {
-    /// The embedding of entity `id` of type `entity_type`, zero-copy.
+    /// The embedding of entity `id` of type `entity_type`: borrowed
+    /// zero-copy from the mapping for f32 shards, decoded to an owned
+    /// f32 row for quantized shards.
     ///
     /// # Panics
     ///
     /// Panics if indices are out of range.
-    pub fn embedding(&self, entity_type: usize, id: u32) -> &[f32] {
+    pub fn embedding(&self, entity_type: usize, id: u32) -> std::borrow::Cow<'_, [f32]> {
         self.shards[entity_type].row(id as usize)
     }
 
@@ -440,7 +444,8 @@ impl MmapEmbeddings {
     fn transformed_query(&self, src: u32, rel: RelationTypeId) -> Matrix {
         let r = &self.relations[rel.index()];
         let rdef = self.schema.relation_type(rel);
-        let src_m = Matrix::from_rows(&[self.embedding(rdef.source_type().index(), src)]);
+        let src_row = self.embedding(rdef.source_type().index(), src);
+        let src_m = Matrix::from_rows(&[&src_row]);
         operator::apply(r.op, &r.forward, &src_m)
     }
 
@@ -472,7 +477,7 @@ impl MmapEmbeddings {
         for (i, &d) in dst_candidates.iter().enumerate() {
             cands
                 .row_mut(i)
-                .copy_from_slice(self.embedding(dst_type, d));
+                .copy_from_slice(&self.embedding(dst_type, d));
         }
         crate::similarity::score_matrix(self.similarity, &transformed, &cands)
             .row(0)
@@ -493,14 +498,32 @@ impl MmapEmbeddings {
         let transformed = self.transformed_query(src, rel);
         let shard = &self.shards[self.schema.relation_type(rel).dest_type().index()];
         let mut acc = topk::TopK::new(k);
-        match self.similarity {
-            crate::config::SimilarityKind::Dot => {
-                topk::accumulate_dot(transformed.row(0), shard.payload(), self.dim, 0, &mut acc);
-            }
+        let cosine_q = match self.similarity {
+            crate::config::SimilarityKind::Dot => None,
             crate::config::SimilarityKind::Cosine => {
                 let mut q = transformed.row(0).to_vec();
                 pbg_tensor::vecmath::normalize(&mut q);
-                topk::accumulate_cosine(&q, shard.payload(), self.dim, 0, &mut acc);
+                Some(q)
+            }
+        };
+        let score_block = |block: &[f32], base: usize, acc: &mut topk::TopK| match &cosine_q {
+            None => topk::accumulate_dot(transformed.row(0), block, self.dim, base, acc),
+            Some(q) => topk::accumulate_cosine(q, block, self.dim, base, acc),
+        };
+        if shard.precision() == pbg_tensor::Precision::F32 {
+            score_block(shard.payload(), 0, &mut acc);
+        } else {
+            // quantized shard: decode fixed-size row blocks into one
+            // scratch buffer and stream them through the same kernel,
+            // so only `QUANT_SCAN_ROWS × dim` floats are ever live
+            const QUANT_SCAN_ROWS: usize = 256;
+            let mut scratch = vec![0.0f32; QUANT_SCAN_ROWS.min(shard.rows().max(1)) * self.dim];
+            let mut base = 0;
+            while base < shard.rows() {
+                let n = QUANT_SCAN_ROWS.min(shard.rows() - base);
+                shard.decode_rows_into(base, n, &mut scratch[..n * self.dim]);
+                score_block(&scratch[..n * self.dim], base, &mut acc);
+                base += n;
             }
         }
         acc.into_sorted()

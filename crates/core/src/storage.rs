@@ -23,7 +23,9 @@ use pbg_telemetry::trace::names as span_name;
 use pbg_telemetry::{Counter, Gauge, Registry};
 use pbg_tensor::adagrad::AdagradRow;
 use pbg_tensor::hogwild::HogwildArray;
+use pbg_tensor::quant::{self, Precision};
 use pbg_tensor::rng::Xoshiro256;
+use std::borrow::Cow;
 use std::collections::{HashMap, HashSet};
 use std::path::PathBuf;
 use std::sync::Arc;
@@ -151,6 +153,11 @@ pub struct StoreLayout {
     lr: f32,
     init_scale: f32,
     seed: u64,
+    /// Storage precision for swapped embedding bytes. The resident
+    /// working set (and the Adagrad accumulators) stay f32 regardless;
+    /// this only governs what [`DiskStore`] writes to and reads from
+    /// its partition files.
+    precision: Precision,
 }
 
 impl StoreLayout {
@@ -178,7 +185,19 @@ impl StoreLayout {
             lr,
             init_scale,
             seed,
+            precision: Precision::F32,
         }
+    }
+
+    /// Sets the swap-file storage precision (default [`Precision::F32`]).
+    pub fn with_precision(mut self, precision: Precision) -> Self {
+        self.precision = precision;
+        self
+    }
+
+    /// Storage precision for swapped embedding bytes.
+    pub fn precision(&self) -> Precision {
+        self.precision
     }
 
     /// All `(key, rows)` pairs.
@@ -334,6 +353,10 @@ struct DiskShared {
     swap_wait_ns: Counter,
     bytes_written_back: Counter,
     writeback_skipped: Counter,
+    /// Encoded bytes actually moved to/from swap files. At f32 this
+    /// equals the float traffic; at f16/int8 it is the compressed size,
+    /// so the gap to `bytes_written_back` is the quantization win.
+    swap_bytes: Counter,
 }
 
 impl DiskShared {
@@ -350,7 +373,13 @@ impl DiskShared {
         let bytes = std::fs::read(&path)?;
         let rows = self.layout.rows_of(key);
         let dim = self.layout.dim;
-        let expect = (rows * dim + rows) * 4;
+        let precision = self.layout.precision;
+        // encoded embedding block (precision-dependent width) followed
+        // by the rows f32 Adagrad accumulators, which never quantize
+        let emb_bytes = precision
+            .payload_bytes(rows, dim)
+            .expect("partition shape overflows");
+        let expect = emb_bytes + rows * 4;
         if bytes.len() != expect {
             return Err(PbgError::Checkpoint(format!(
                 "partition file {} has {} bytes, expected {expect}",
@@ -358,17 +387,19 @@ impl DiskShared {
                 bytes.len()
             )));
         }
-        let floats: Vec<f32> = bytes
+        self.swap_bytes.add(bytes.len() as u64);
+        let emb = quant::decode_rows(precision, &bytes[..emb_bytes], rows, dim)
+            .map_err(PbgError::Checkpoint)?;
+        let acc: Vec<f32> = bytes[emb_bytes..]
             .chunks_exact(4)
             .map(|c| f32::from_le_bytes([c[0], c[1], c[2], c[3]]))
             .collect();
-        let (emb, acc) = floats.split_at(rows * dim);
         Ok(Some(PartitionData::from_parts(
             rows,
             dim,
             self.layout.lr,
-            emb.to_vec(),
-            acc,
+            emb,
+            &acc,
         )))
     }
 
@@ -383,12 +414,15 @@ impl DiskShared {
     }
 
     fn write_to_disk(&self, key: PartitionKey, data: &PartitionData) -> Result<()> {
-        let mut floats = data.embeddings.to_vec();
-        floats.extend(data.adagrad.to_vec());
-        let mut bytes = Vec::with_capacity(floats.len() * 4);
-        for f in floats {
+        let rows = self.layout.rows_of(key);
+        let dim = self.layout.dim;
+        let emb = data.embeddings.to_vec();
+        let mut bytes = Vec::new();
+        quant::encode_rows(self.layout.precision, &emb, rows, dim, &mut bytes);
+        for f in data.adagrad.to_vec() {
             bytes.extend_from_slice(&f.to_le_bytes());
         }
+        self.swap_bytes.add(bytes.len() as u64);
         // write-then-rename so a crash mid-swap leaves the old complete
         // partition file, never a torn one (`read_from_disk`'s size check
         // would otherwise abort a restarted run pointed at this dir). No
@@ -587,6 +621,7 @@ impl DiskStore {
                 swap_wait_ns: telemetry.counter(metric::STORE_SWAP_WAIT_NS),
                 bytes_written_back: telemetry.counter(metric::STORE_BYTES_WRITTEN_BACK),
                 writeback_skipped: telemetry.counter(metric::STORE_WRITEBACK_SKIPPED_BYTES),
+                swap_bytes: telemetry.counter(metric::STORE_SWAP_BYTES),
             }),
             io: None,
         })
@@ -595,6 +630,13 @@ impl DiskStore {
     /// `true` when the background I/O thread is active.
     pub fn is_pipelined(&self) -> bool {
         self.io.is_some()
+    }
+
+    /// Encoded bytes actually moved to/from swap files so far (both
+    /// directions). At f32 precision this equals the float traffic; at
+    /// f16/int8 it is the compressed size.
+    pub fn swap_file_bytes(&self) -> u64 {
+        self.shared.swap_bytes.get()
     }
 }
 
@@ -877,19 +919,22 @@ impl Drop for MapBacking {
 }
 
 /// A read-only, memory-mapped embedding shard (one checkpoint
-/// `embeddings_{t}.bin`). Rows are served straight out of the mapping —
-/// no row is ever copied to the heap — so a model larger than RAM
-/// serves from one box, paging embeddings in on demand.
+/// `embeddings_{t}.bin`). f32 (v2) rows are served straight out of the
+/// mapping — no row is ever copied to the heap — so a model larger than
+/// RAM serves from one box, paging embeddings in on demand. Quantized
+/// (v3) rows decode on access: the *mapping* stays compressed, only the
+/// row being scored materializes as f32.
 ///
-/// Only checkpoint binary v2 qualifies: its float payload is
-/// little-endian, so on little-endian hosts the mapped payload *is* the
-/// `&[f32]` the kernels consume. (v1 big-endian shards still load via
-/// the heap path in [`crate::checkpoint::load`]; re-save to serve them.)
+/// Checkpoint binary v2 and v3 qualify: their payloads are
+/// little-endian, so the mapped bytes are directly addressable. (v1
+/// big-endian shards still load via the heap path in
+/// [`crate::checkpoint::load`]; re-save to serve them.)
 #[derive(Debug)]
 pub struct MmapPartition {
     backing: MapBacking,
     rows: usize,
     cols: usize,
+    precision: Precision,
 }
 
 impl MmapPartition {
@@ -927,7 +972,7 @@ impl MmapPartition {
         if header.kind != 0 {
             return Err("not a matrix payload".into());
         }
-        if header.version != 2 {
+        if header.version == 1 {
             return Err(format!(
                 "binary v{} stores floats big-endian and cannot be memory-mapped; \
                  re-save the checkpoint to upgrade it to v2",
@@ -936,9 +981,12 @@ impl MmapPartition {
         }
         let rows = u64::from_be_bytes(bytes[8..16].try_into().expect("8 bytes")) as usize;
         let cols = u64::from_be_bytes(bytes[16..24].try_into().expect("8 bytes")) as usize;
-        let payload = rows
-            .checked_mul(cols)
-            .and_then(|n| n.checked_mul(4))
+        // element width from the header, so v3 shards (2- and 1-byte
+        // elements plus the int8 scale block) size-check correctly and
+        // shortfalls report true byte counts
+        let payload = header
+            .precision
+            .payload_bytes(rows, cols)
             .ok_or_else(|| "matrix dimensions overflow".to_string())?;
         let expect = header_len + payload;
         if bytes.len() != expect {
@@ -951,6 +999,7 @@ impl MmapPartition {
             backing,
             rows,
             cols,
+            precision: header.precision,
         })
     }
 
@@ -964,14 +1013,37 @@ impl MmapPartition {
         self.cols
     }
 
+    /// Storage precision of the mapped payload.
+    pub fn precision(&self) -> Precision {
+        self.precision
+    }
+
     /// The whole mapped file, for manifest checksum verification —
     /// hashed in place, never copied.
     pub fn file_bytes(&self) -> &[u8] {
         self.backing.bytes()
     }
 
+    /// The encoded payload bytes after the 24-byte header.
+    pub fn payload_bytes(&self) -> &[u8] {
+        &self.backing.bytes()[crate::checkpoint::MATRIX_PAYLOAD_OFFSET..]
+    }
+
     /// All `rows × cols` floats, row-major, straight from the mapping.
+    /// Only f32 (v2) shards expose their payload this way; quantized
+    /// shards decode through [`MmapPartition::row`] /
+    /// [`MmapPartition::decode_rows_into`].
+    ///
+    /// # Panics
+    ///
+    /// Panics on a quantized shard.
     pub fn payload(&self) -> &[f32] {
+        assert_eq!(
+            self.precision,
+            Precision::F32,
+            "cannot reinterpret a {} shard as &[f32]; decode rows instead",
+            self.precision
+        );
         let bytes = &self.backing.bytes()[crate::checkpoint::MATRIX_PAYLOAD_OFFSET..];
         // a page-aligned mapping plus the 24-byte header keeps the
         // payload 4-byte aligned; the heap fallback re-checks at runtime
@@ -990,14 +1062,52 @@ impl MmapPartition {
         }
     }
 
-    /// Row `i`, zero-copy.
+    /// Row `i`: zero-copy (borrowed straight from the mapping) for f32
+    /// shards, decoded to an owned f32 buffer for quantized shards.
     ///
     /// # Panics
     ///
     /// Panics if `i >= rows()`.
-    pub fn row(&self, i: usize) -> &[f32] {
+    pub fn row(&self, i: usize) -> Cow<'_, [f32]> {
         assert!(i < self.rows, "row {i} out of range ({} rows)", self.rows);
-        &self.payload()[i * self.cols..(i + 1) * self.cols]
+        if self.precision == Precision::F32 {
+            Cow::Borrowed(&self.payload()[i * self.cols..(i + 1) * self.cols])
+        } else {
+            let mut out = vec![0.0f32; self.cols];
+            quant::decode_row_into(
+                self.precision,
+                self.payload_bytes(),
+                self.rows,
+                self.cols,
+                i,
+                &mut out,
+            )
+            .expect("shard validated at open");
+            Cow::Owned(out)
+        }
+    }
+
+    /// Decodes rows `[start, start + n)` into `out` (`n * cols` floats),
+    /// at any precision. The bulk path for streaming scans
+    /// ([`crate::model::MmapEmbeddings::top_destinations`]): one scratch
+    /// buffer amortizes across a whole block instead of allocating per
+    /// row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range exceeds `rows()` or `out` is misshapen.
+    pub fn decode_rows_into(&self, start: usize, n: usize, out: &mut [f32]) {
+        assert!(start + n <= self.rows, "rows {start}..{} out of range", start + n);
+        assert_eq!(out.len(), n * self.cols, "output buffer shape mismatch");
+        if self.precision == Precision::F32 {
+            out.copy_from_slice(&self.payload()[start * self.cols..(start + n) * self.cols]);
+            return;
+        }
+        let bytes = self.payload_bytes();
+        for (j, row) in out.chunks_exact_mut(self.cols).enumerate() {
+            quant::decode_row_into(self.precision, bytes, self.rows, self.cols, start + j, row)
+                .expect("shard validated at open");
+        }
     }
 
     /// Bytes of embedding data reachable through this shard (the mapped

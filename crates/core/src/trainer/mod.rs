@@ -379,7 +379,7 @@ impl Trainer {
         let t0 = self.telemetry.now_ns();
         let snap = self.model.snapshot(self.store.as_ref());
         let bytes = snap.bytes() as u64;
-        checkpoint::save_with_progress(&snap, &policy.dir, progress)?;
+        checkpoint::save_with_precision(&snap, &policy.dir, progress, self.model.config().precision)?;
         self.telemetry
             .counter(metric_name::TRAINER_CHECKPOINTS)
             .inc();

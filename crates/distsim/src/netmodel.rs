@@ -20,6 +20,8 @@ use std::sync::atomic::{AtomicU64, Ordering};
 /// reconciliation test in `crates/net/tests/netmodel_recon.rs` (the
 /// dependency points net → distsim, so the cross-check lives there).
 pub mod wirecost {
+    use pbg_tensor::Precision;
+
     /// Frame header: magic u32 + version u16 + reserved u16 +
     /// payload-length u32 + FNV-1a-64 checksum u64.
     pub const FRAME_HEADER_BYTES: usize = 20;
@@ -39,6 +41,18 @@ pub mod wirecost {
         chunks * frame_bytes(1 + 4) + 4 * floats
     }
 
+    /// Bytes of the chunk-frame stream carrying `floats` values at a
+    /// wire [`Precision`]. Quantized chunks (`PartChunkQ`) carry tag
+    /// u8 + precision u8 + count u32 + scale f32 + encoded data; f32
+    /// reduces to [`chunk_stream_bytes`] exactly.
+    pub fn chunk_stream_bytes_q(floats: usize, precision: Precision) -> usize {
+        if precision == Precision::F32 {
+            return chunk_stream_bytes(floats);
+        }
+        let chunks = floats.div_ceil(CHUNK_FLOATS);
+        chunks * frame_bytes(1 + 1 + 4 + 4) + precision.element_bytes() * floats
+    }
+
     /// `PartCheckout` request: tag + PartitionKey (u32 + u32).
     pub const CHECKOUT_REQUEST_BYTES: usize = frame_bytes(1 + 8);
     /// `PartCheckinResp` response: tag + committed flag.
@@ -50,9 +64,24 @@ pub mod wirecost {
         frame_bytes(1 + 8 + 4 + 4) + chunk_stream_bytes(emb_floats + acc_floats)
     }
 
+    /// [`part_data_bytes`] at a wire [`Precision`] — emb and acc
+    /// floats travel as one concatenated chunk stream.
+    pub fn part_data_bytes_q(emb_floats: usize, acc_floats: usize, precision: Precision) -> usize {
+        frame_bytes(1 + 8 + 4 + 4) + chunk_stream_bytes_q(emb_floats + acc_floats, precision)
+    }
+
     /// Full checkout RPC: request frame + data response.
     pub fn checkout_rpc_bytes(emb_floats: usize, acc_floats: usize) -> usize {
         CHECKOUT_REQUEST_BYTES + part_data_bytes(emb_floats, acc_floats)
+    }
+
+    /// [`checkout_rpc_bytes`] at a wire [`Precision`].
+    pub fn checkout_rpc_bytes_q(
+        emb_floats: usize,
+        acc_floats: usize,
+        precision: Precision,
+    ) -> usize {
+        CHECKOUT_REQUEST_BYTES + part_data_bytes_q(emb_floats, acc_floats, precision)
     }
 
     /// `PartCheckin` request frames: header (tag + key + token + lens)
@@ -61,9 +90,27 @@ pub mod wirecost {
         frame_bytes(1 + 8 + 8 + 4 + 4) + chunk_stream_bytes(emb_floats + acc_floats)
     }
 
+    /// [`checkin_request_bytes`] at a wire [`Precision`].
+    pub fn checkin_request_bytes_q(
+        emb_floats: usize,
+        acc_floats: usize,
+        precision: Precision,
+    ) -> usize {
+        frame_bytes(1 + 8 + 8 + 4 + 4) + chunk_stream_bytes_q(emb_floats + acc_floats, precision)
+    }
+
     /// Full check-in RPC: streamed request + commit/reject response.
     pub fn checkin_rpc_bytes(emb_floats: usize, acc_floats: usize) -> usize {
         checkin_request_bytes(emb_floats, acc_floats) + CHECKIN_RESPONSE_BYTES
+    }
+
+    /// [`checkin_rpc_bytes`] at a wire [`Precision`].
+    pub fn checkin_rpc_bytes_q(
+        emb_floats: usize,
+        acc_floats: usize,
+        precision: Precision,
+    ) -> usize {
+        checkin_request_bytes_q(emb_floats, acc_floats, precision) + CHECKIN_RESPONSE_BYTES
     }
 
     /// `ParamPushPull`/`ParamRegister` request: tag + ParamKey (u32 +
@@ -262,6 +309,39 @@ mod tests {
             chunk_stream_bytes(CHUNK_FLOATS + 1),
             2 * frame_bytes(5) + 4 * (CHUNK_FLOATS + 1)
         );
+    }
+
+    #[test]
+    fn quantized_closed_forms_reduce_to_f32_and_shrink() {
+        use super::wirecost::*;
+        use pbg_tensor::Precision;
+        for (e, a) in [(0, 0), (10, 10), (CHUNK_FLOATS, 64), (100_000, 100_000)] {
+            // f32 _q forms are the plain forms exactly
+            assert_eq!(chunk_stream_bytes_q(e + a, Precision::F32), chunk_stream_bytes(e + a));
+            assert_eq!(
+                checkout_rpc_bytes_q(e, a, Precision::F32),
+                checkout_rpc_bytes(e, a)
+            );
+            assert_eq!(
+                checkin_rpc_bytes_q(e, a, Precision::F32),
+                checkin_rpc_bytes(e, a)
+            );
+        }
+        // per-chunk quant framing: header + tag + precision + count +
+        // scale, then width × floats
+        assert_eq!(
+            chunk_stream_bytes_q(10, Precision::F16),
+            frame_bytes(10) + 2 * 10
+        );
+        assert_eq!(
+            chunk_stream_bytes_q(CHUNK_FLOATS + 1, Precision::Int8),
+            2 * frame_bytes(10) + CHUNK_FLOATS + 1
+        );
+        // a realistic partition stream compresses close to the element
+        // width ratio (f16 ≤ 0.55×, int8 ≤ 0.3×)
+        let f32_bytes = checkout_rpc_bytes(1 << 20, 1 << 14);
+        assert!(checkout_rpc_bytes_q(1 << 20, 1 << 14, Precision::F16) * 100 <= f32_bytes * 55);
+        assert!(checkout_rpc_bytes_q(1 << 20, 1 << 14, Precision::Int8) * 100 <= f32_bytes * 30);
     }
 
     #[test]

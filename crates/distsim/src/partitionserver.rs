@@ -128,7 +128,7 @@ impl PartitionServer {
         drop(shard);
         let secs = self.net.record_rpc(
             wirecost::CHECKOUT_REQUEST_BYTES,
-            wirecost::part_data_bytes(emb.len(), acc.len()),
+            wirecost::part_data_bytes_q(emb.len(), acc.len(), self.layout.precision()),
         );
         (emb, acc, token, secs)
     }
@@ -151,7 +151,7 @@ impl PartitionServer {
     ) -> (f64, bool) {
         // bytes cross the wire before the server can judge the token
         let secs = self.net.record_rpc(
-            wirecost::checkin_request_bytes(emb.len(), acc.len()),
+            wirecost::checkin_request_bytes_q(emb.len(), acc.len(), self.layout.precision()),
             wirecost::CHECKIN_RESPONSE_BYTES,
         );
         let mut shard = self.shard(key).lock();
@@ -189,7 +189,7 @@ impl PartitionServer {
     ) -> (f64, bool, Option<u64>) {
         // bytes cross the wire before the server can judge the token
         let secs = self.net.record_rpc(
-            wirecost::checkin_request_bytes(emb.len(), acc.len()),
+            wirecost::checkin_request_bytes_q(emb.len(), acc.len(), self.layout.precision()),
             wirecost::CHECKIN_RESPONSE_BYTES,
         );
         let mut shard = self.shard(key).lock();
@@ -393,6 +393,31 @@ mod tests {
         s.checkin(key, emb, acc, token);
         assert_eq!(net.total_bytes() as usize, checkout + checkin);
         assert_eq!(net.total_transfers(), 4);
+    }
+
+    #[test]
+    fn quantized_layout_shrinks_charged_transfers() {
+        use pbg_tensor::Precision;
+        let key = PartitionKey::new(0u32, 1u32);
+        // realistic enough that frame overhead does not drown the ratio
+        let big = GraphSchema::homogeneous(4096, 4).unwrap();
+        let charge = |precision| {
+            let net = Arc::new(NetworkModel::new(1e6, 0.0));
+            let s = PartitionServer::new(
+                StoreLayout::from_schema(&big, 32, 0.1, 0.1, 7).with_precision(precision),
+                2,
+                Arc::clone(&net),
+            );
+            let (emb, acc, token, _) = s.checkout(key);
+            let expect = wirecost::checkout_rpc_bytes_q(emb.len(), acc.len(), precision)
+                + wirecost::checkin_rpc_bytes_q(emb.len(), acc.len(), precision);
+            s.checkin(key, emb, acc, token);
+            assert_eq!(net.total_bytes() as usize, expect);
+            net.total_bytes()
+        };
+        let f32_bytes = charge(Precision::F32);
+        assert!(charge(Precision::F16) * 100 <= f32_bytes * 55);
+        assert!(charge(Precision::Int8) * 100 <= f32_bytes * 30);
     }
 
     #[test]

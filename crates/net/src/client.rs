@@ -255,13 +255,28 @@ impl LockService for NetLock {
 #[derive(Debug)]
 pub struct NetPartitions {
     conn: Connection,
+    /// Wire precision for check-in uploads. Downloads need no
+    /// configuration: [`wire::read_chunks`] decodes whatever slab kind
+    /// the server sends. Must match the server layout's precision or
+    /// the cost-model reconciliation drifts.
+    precision: pbg_tensor::Precision,
 }
 
 impl NetPartitions {
-    /// Connects to the partition server at `addr`.
+    /// Connects to the partition server at `addr`, uploading f32.
     pub fn new(addr: impl Into<String>, telemetry: &Registry) -> Self {
+        NetPartitions::with_precision(addr, telemetry, pbg_tensor::Precision::F32)
+    }
+
+    /// Connects with an explicit wire precision for check-in uploads.
+    pub fn with_precision(
+        addr: impl Into<String>,
+        telemetry: &Registry,
+        precision: pbg_tensor::Precision,
+    ) -> Self {
         NetPartitions {
             conn: Connection::new(addr, telemetry),
+            precision,
         }
     }
 
@@ -322,7 +337,7 @@ impl PartitionService for NetPartitions {
             let mut sent = wire::write_message_with(stream, &header, ctx)?;
             let mut combined = emb;
             combined.extend_from_slice(&acc);
-            sent += wire::write_chunks(stream, &combined)?;
+            sent += wire::write_chunks_q(stream, &combined, self.precision)?;
             let (reply, received) = wire::read_message(stream)?;
             match reply {
                 Message::PartCheckinResp { committed } => Ok((committed, sent, received)),

@@ -290,11 +290,11 @@ fn handle_partitions(
         }
         Message::PartCheckout { key } => {
             let (emb, acc, token, _secs) = guarded("part_checkout", || parts.checkout(key))?;
-            send_part_data(stream, token, emb, acc)?;
+            send_part_data(stream, token, emb, acc, parts.layout().precision())?;
         }
         Message::PartPeek { key } => {
             let (emb, acc) = guarded("part_peek", || parts.peek(key))?;
-            send_part_data(stream, u64::MAX, emb, acc)?;
+            send_part_data(stream, u64::MAX, emb, acc, parts.layout().precision())?;
         }
         Message::PartCheckin {
             key,
@@ -331,6 +331,7 @@ fn send_part_data(
     token: u64,
     emb: Vec<f32>,
     acc: Vec<f32>,
+    precision: pbg_tensor::Precision,
 ) -> Result<(), WireError> {
     wire::write_message(
         stream,
@@ -342,7 +343,7 @@ fn send_part_data(
     )?;
     let mut combined = emb;
     combined.extend_from_slice(&acc);
-    wire::write_chunks(stream, &combined)?;
+    wire::write_chunks_q(stream, &combined, precision)?;
     Ok(())
 }
 

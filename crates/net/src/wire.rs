@@ -8,7 +8,8 @@
 //! offset  size  field
 //! 0       4     magic        0x5042_4757 ("PBGW")
 //! 4       2     version      2
-//! 6       2     flags        bit 0 = trace context present; other bits
+//! 6       2     flags        bit 0 = trace context present; bit 1 =
+//!                            quantized chunk payload; other bits
 //!                            rejected (every header byte is checked)
 //! 8       4     payload_len  ≤ MAX_PAYLOAD_BYTES (excludes the context)
 //! 12      8     checksum     FNV-1a-64 of context ++ payload
@@ -37,6 +38,7 @@ use pbg_distsim::lockserver::Acquire;
 use pbg_distsim::paramserver::ParamKey;
 use pbg_graph::bucket::BucketId;
 use pbg_telemetry::context::{self, TraceContext};
+use pbg_tensor::quant::{self, Precision};
 use std::fmt;
 use std::io::{self, Read, Write};
 
@@ -48,8 +50,13 @@ pub const VERSION: u16 = 2;
 pub const FRAME_HEADER_BYTES: usize = 20;
 /// Flag bit: a [`TraceContext`] block follows the header.
 pub const FLAG_TRACE_CONTEXT: u16 = 0x0001;
+/// Flag bit: the payload is a quantized float chunk
+/// ([`Message::PartChunkQ`]). Set if and only if the tag agrees, so a
+/// flipped flag bit is caught even though the header sits outside the
+/// checksum.
+pub const FLAG_QUANT: u16 = 0x0002;
 /// Every flag bit this version understands; unknown bits are rejected.
-pub const KNOWN_FLAGS: u16 = FLAG_TRACE_CONTEXT;
+pub const KNOWN_FLAGS: u16 = FLAG_TRACE_CONTEXT | FLAG_QUANT;
 /// Size of the trace-context block when present.
 pub const TRACE_CONTEXT_BYTES: usize = context::WIRE_BYTES;
 /// Upper bound on one frame's payload (64 MiB) — a corrupt length field
@@ -149,6 +156,19 @@ pub enum Message {
     /// Partition server: one slab of a streamed float block
     /// (≤ [`CHUNK_FLOATS`] values).
     PartChunk { data: Vec<f32> },
+    /// Partition server: one quantized slab of a streamed float block.
+    /// `precision` is a [`pbg_tensor::Precision`] tag (f16 or int8 —
+    /// f32 slabs travel as plain [`Message::PartChunk`]), `count` the
+    /// number of encoded floats, `scale` the per-chunk absmax/127
+    /// dequantization factor (0.0 and unused for f16), and `data` the
+    /// encoded bytes (`2 * count` for f16, `count` for int8). Frames
+    /// carrying this message set [`FLAG_QUANT`].
+    PartChunkQ {
+        precision: u8,
+        count: u32,
+        scale: f32,
+        data: Vec<u8>,
+    },
     /// Partition server: check-in header; floats follow as chunks.
     PartCheckin {
         key: PartitionKey,
@@ -196,6 +216,7 @@ mod tag {
     pub const PARAM_VALUE: u8 = 31;
     pub const PARAM_PUSH_PULL: u8 = 32;
     pub const PARAM_PULL: u8 = 33;
+    pub const PART_CHUNK_Q: u8 = 34;
 }
 
 // outcome discriminants inside LockGrant
@@ -239,11 +260,19 @@ impl PayloadWriter {
         self.u8(k.side);
     }
 
+    fn f32(&mut self, v: f32) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
     fn floats(&mut self, v: &[f32]) {
         self.u32(v.len() as u32);
         for &x in v {
             self.buf.extend_from_slice(&x.to_le_bytes());
         }
+    }
+
+    fn bytes(&mut self, v: &[u8]) {
+        self.buf.extend_from_slice(v);
     }
 
     fn string(&mut self, s: &str) {
@@ -307,6 +336,10 @@ impl<'a> PayloadReader<'a> {
         let relation = self.u32()?;
         let side = self.u8()?;
         Ok(ParamKey { relation, side })
+    }
+
+    fn f32(&mut self) -> Result<f32, WireError> {
+        Ok(f32::from_le_bytes(self.take(4)?.try_into().unwrap()))
     }
 
     fn floats(&mut self) -> Result<Vec<f32>, WireError> {
@@ -416,6 +449,18 @@ impl Message {
             Message::PartChunk { data } => {
                 w = PayloadWriter::new(tag::PART_CHUNK);
                 w.floats(data);
+            }
+            Message::PartChunkQ {
+                precision,
+                count,
+                scale,
+                data,
+            } => {
+                w = PayloadWriter::new(tag::PART_CHUNK_Q);
+                w.u8(*precision);
+                w.u32(*count);
+                w.f32(*scale);
+                w.bytes(data);
             }
             Message::PartCheckin {
                 key,
@@ -530,6 +575,35 @@ impl Message {
                 acc_len: r.u32()?,
             },
             tag::PART_CHUNK => Message::PartChunk { data: r.floats()? },
+            tag::PART_CHUNK_Q => {
+                let precision = r.u8()?;
+                let width = match Precision::from_tag(precision) {
+                    Some(Precision::F16) => 2usize,
+                    Some(Precision::Int8) => 1,
+                    // f32 slabs travel as plain PartChunk frames
+                    _ => {
+                        return Err(WireError::BadPayload(format!(
+                            "bad precision tag {precision} in PartChunkQ"
+                        )))
+                    }
+                };
+                let count = r.u32()?;
+                let scale = r.f32()?;
+                if !scale.is_finite() || scale < 0.0 {
+                    return Err(WireError::BadPayload(format!(
+                        "bad chunk scale {scale} in PartChunkQ"
+                    )));
+                }
+                let bytes = r.take((count as usize).checked_mul(width).ok_or_else(|| {
+                    WireError::BadPayload(format!("quant count {count} overflows"))
+                })?)?;
+                Message::PartChunkQ {
+                    precision,
+                    count,
+                    scale,
+                    data: bytes.to_vec(),
+                }
+            }
             tag::PART_CHECKIN => Message::PartCheckin {
                 key: r.partition_key()?,
                 token: r.u64()?,
@@ -587,6 +661,7 @@ impl Message {
             Message::PartCheckout { .. } => "part_checkout",
             Message::PartData { .. } => "part_data",
             Message::PartChunk { .. } => "part_chunk",
+            Message::PartChunkQ { .. } => "part_chunk_q",
             Message::PartCheckin { .. } => "part_checkin",
             Message::PartCheckinResp { .. } => "part_checkin_resp",
             Message::PartRevoke { .. } => "part_revoke",
@@ -609,7 +684,7 @@ pub fn encode_frame_with(msg: &Message, ctx: Option<&TraceContext>) -> Vec<u8> {
         payload.len()
     );
     // the checksum covers context ++ payload, so build that body first
-    let (flags, body) = match ctx {
+    let (mut flags, body) = match ctx {
         Some(ctx) => {
             let mut body = Vec::with_capacity(TRACE_CONTEXT_BYTES + payload.len());
             body.extend_from_slice(&ctx.encode());
@@ -618,6 +693,9 @@ pub fn encode_frame_with(msg: &Message, ctx: Option<&TraceContext>) -> Vec<u8> {
         }
         None => (0u16, payload),
     };
+    if matches!(msg, Message::PartChunkQ { .. }) {
+        flags |= FLAG_QUANT;
+    }
     let ctx_len = if ctx.is_some() {
         TRACE_CONTEXT_BYTES
     } else {
@@ -675,12 +753,30 @@ pub fn decode_frame_with(
         return Err(WireError::BadChecksum { expected, actual });
     }
     let ctx = decode_context(body, ctx_len);
-    Ok((Message::decode_payload(&body[ctx_len..])?, ctx, end))
+    let msg = Message::decode_payload(&body[ctx_len..])?;
+    check_quant_flag(&msg, flags)?;
+    Ok((msg, ctx, end))
 }
 
 /// Parses a full frame, discarding any trace context.
 pub fn decode_frame(bytes: &[u8]) -> Result<(Message, usize), WireError> {
     decode_frame_with(bytes).map(|(msg, _, used)| (msg, used))
+}
+
+/// The quant flag lives in the header, which the checksum does not
+/// cover — requiring it to agree with the (checksummed) payload tag
+/// keeps the every-header-byte bit-flip property intact.
+fn check_quant_flag(msg: &Message, flags: u16) -> Result<(), WireError> {
+    let is_quant = matches!(msg, Message::PartChunkQ { .. });
+    let flagged = flags & FLAG_QUANT != 0;
+    if is_quant != flagged {
+        return Err(WireError::BadPayload(format!(
+            "quant flag mismatch: flag bit {} but payload tag {}",
+            u8::from(flagged),
+            msg.tag_name()
+        )));
+    }
+    Ok(())
 }
 
 fn decode_context(body: &[u8], ctx_len: usize) -> Option<TraceContext> {
@@ -763,6 +859,7 @@ fn read_body<R: Read>(
     }
     let ctx = decode_context(&body, ctx_len);
     let msg = Message::decode_payload(&body[ctx_len..])?;
+    check_quant_flag(&msg, flags)?;
     Ok((msg, ctx, FRAME_HEADER_BYTES + ctx_len + payload_len))
 }
 
@@ -829,31 +926,108 @@ pub fn write_chunks<W: Write>(w: &mut W, data: &[f32]) -> Result<usize, WireErro
     Ok(written)
 }
 
-/// Reads exactly `expected` floats sent by [`write_chunks`], returning
-/// the block and bytes consumed.
+/// Encodes one ≤[`CHUNK_FLOATS`] slab at a non-f32 precision: f16 bits
+/// or int8 codes against the chunk's own absmax scale.
+fn quantize_chunk(chunk: &[f32], precision: Precision) -> Message {
+    let (scale, data) = match precision {
+        Precision::F32 => unreachable!("f32 slabs travel as PartChunk"),
+        Precision::F16 => {
+            let mut data = Vec::with_capacity(chunk.len() * 2);
+            for &x in chunk {
+                data.extend_from_slice(&quant::f16_from_f32(x).to_le_bytes());
+            }
+            (0.0f32, data)
+        }
+        Precision::Int8 => {
+            let scale = quant::int8_scale(chunk);
+            let data = chunk
+                .iter()
+                .map(|&x| quant::int8_quantize(x, scale) as u8)
+                .collect();
+            (scale, data)
+        }
+    };
+    Message::PartChunkQ {
+        precision: precision.tag(),
+        count: chunk.len() as u32,
+        scale,
+        data,
+    }
+}
+
+/// Decodes a [`Message::PartChunkQ`] body back to floats. The payload
+/// decoder already validated tag, byte length, and scale.
+fn dequantize_chunk(precision: u8, scale: f32, data: &[u8], out: &mut Vec<f32>) {
+    match Precision::from_tag(precision) {
+        Some(Precision::F16) => {
+            for b in data.chunks_exact(2) {
+                out.push(quant::f16_to_f32(u16::from_le_bytes(
+                    b.try_into().unwrap(),
+                )));
+            }
+        }
+        Some(Precision::Int8) => {
+            for &b in data {
+                out.push(quant::int8_dequantize(b as i8, scale));
+            }
+        }
+        _ => unreachable!("decode_payload validated the precision tag"),
+    }
+}
+
+/// Writes a float block as quantized [`Message::PartChunkQ`] frames at
+/// `precision` (each ≤[`CHUNK_FLOATS`] slab carrying its own int8
+/// scale), returning bytes written. `Precision::F32` delegates to
+/// [`write_chunks`] — the uncompressed wire stays byte-identical.
+pub fn write_chunks_q<W: Write>(
+    w: &mut W,
+    data: &[f32],
+    precision: Precision,
+) -> Result<usize, WireError> {
+    if precision == Precision::F32 {
+        return write_chunks(w, data);
+    }
+    let mut written = 0;
+    for chunk in data.chunks(CHUNK_FLOATS) {
+        written += write_message(w, &quantize_chunk(chunk, precision))?;
+    }
+    Ok(written)
+}
+
+/// Reads exactly `expected` floats sent by [`write_chunks`] or
+/// [`write_chunks_q`] — plain and quantized slabs both decode to f32
+/// transparently — returning the block and bytes consumed.
 pub fn read_chunks<R: Read>(r: &mut R, expected: usize) -> Result<(Vec<f32>, usize), WireError> {
     let mut out = Vec::with_capacity(expected.min(MAX_PAYLOAD_BYTES / 4));
     let mut consumed = 0;
     while out.len() < expected {
         let (msg, n) = read_message(r)?;
         consumed += n;
-        match msg {
-            Message::PartChunk { data } => {
-                if out.len() + data.len() > expected {
-                    return Err(WireError::BadPayload(format!(
-                        "chunk overrun: {} + {} floats > expected {expected}",
-                        out.len(),
-                        data.len()
-                    )));
-                }
-                out.extend_from_slice(&data);
-            }
+        let incoming = match &msg {
+            Message::PartChunk { data } => data.len(),
+            Message::PartChunkQ { count, .. } => *count as usize,
             other => {
                 return Err(WireError::BadPayload(format!(
                     "expected PartChunk, got {}",
                     other.tag_name()
                 )))
             }
+        };
+        if out.len() + incoming > expected {
+            return Err(WireError::BadPayload(format!(
+                "chunk overrun: {} + {incoming} floats > expected {expected}",
+                out.len(),
+            )));
+        }
+        match msg {
+            Message::PartChunk { data } => out.extend_from_slice(&data),
+            Message::PartChunkQ {
+                precision,
+                scale,
+                data,
+                ..
+            } => dequantize_chunk(precision, scale, &data, &mut out),
+            _ => unreachable!(),
         }
     }
     Ok((out, consumed))
@@ -1000,10 +1174,107 @@ mod tests {
     #[test]
     fn unknown_flag_bits_are_rejected() {
         let mut frame = encode_frame(&Message::Ack);
-        frame[6] |= 0x02; // an undefined flag bit
+        frame[6] |= 0x04; // an undefined flag bit
                           // recompute nothing: unknown flags must fail header validation
         match decode_frame(&frame) {
             Err(WireError::BadHeader(d)) => assert!(d.contains("flag"), "{d}"),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn quant_flag_must_agree_with_tag() {
+        // flag set without a quantized payload
+        let mut frame = encode_frame(&Message::Ack);
+        frame[6] |= (FLAG_QUANT & 0xff) as u8;
+        match decode_frame(&frame) {
+            Err(WireError::BadPayload(d)) => assert!(d.contains("quant flag"), "{d}"),
+            other => panic!("{other:?}"),
+        }
+        // quantized payload without the flag
+        let msg = quantize_chunk(&[1.0, -2.0, 3.5], Precision::F16);
+        let mut frame = encode_frame(&msg);
+        frame[6] &= !((FLAG_QUANT & 0xff) as u8);
+        match decode_frame(&frame) {
+            Err(WireError::BadPayload(d)) => assert!(d.contains("quant flag"), "{d}"),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn quant_chunk_stream_roundtrips_with_bounded_error() {
+        let data: Vec<f32> = (0..CHUNK_FLOATS + 7)
+            .map(|i| (i as f32 - 1000.0) * 0.125)
+            .collect();
+        for precision in [Precision::F16, Precision::Int8] {
+            let mut buf = Vec::new();
+            let written = write_chunks_q(&mut buf, &data, precision).unwrap();
+            assert_eq!(written, buf.len());
+            let mut cursor = std::io::Cursor::new(buf);
+            let (back, consumed) = read_chunks(&mut cursor, data.len()).unwrap();
+            assert_eq!(consumed, written);
+            assert_eq!(back.len(), data.len());
+            // per-element error bounds: f16 has 11 bits of significand;
+            // int8 is within half a step of the per-chunk scale, which
+            // the block-wide absmax bounds from above
+            let absmax = data.iter().fold(0.0f32, |m, v| m.max(v.abs()));
+            for (a, b) in data.iter().zip(&back) {
+                let err = (a - b).abs();
+                match precision {
+                    Precision::F16 => assert!(err <= a.abs() * 1.0 / 1024.0, "{a} -> {b}"),
+                    Precision::Int8 => assert!(err <= absmax / 254.0 + 1e-3, "{a} -> {b}"),
+                    Precision::F32 => unreachable!(),
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn f32_chunks_q_are_byte_identical_to_plain_chunks() {
+        let data: Vec<f32> = (0..100).map(|i| i as f32 * 0.5).collect();
+        let mut plain = Vec::new();
+        write_chunks(&mut plain, &data).unwrap();
+        let mut q = Vec::new();
+        write_chunks_q(&mut q, &data, Precision::F32).unwrap();
+        assert_eq!(plain, q);
+    }
+
+    #[test]
+    fn hostile_quant_payloads_are_rejected() {
+        // precision tag 0 (f32) is not a legal quantized chunk
+        let msg = Message::PartChunkQ {
+            precision: 0,
+            count: 2,
+            scale: 0.0,
+            data: vec![0; 8],
+        };
+        let frame = encode_frame(&msg);
+        match decode_frame(&frame) {
+            Err(WireError::BadPayload(d)) => assert!(d.contains("precision"), "{d}"),
+            other => panic!("{other:?}"),
+        }
+        // count larger than the bytes actually present
+        let msg = Message::PartChunkQ {
+            precision: Precision::F16.tag(),
+            count: 100,
+            scale: 0.0,
+            data: vec![0; 4],
+        };
+        let frame = encode_frame(&msg);
+        match decode_frame(&frame) {
+            Err(WireError::BadPayload(d)) => assert!(d.contains("overrun"), "{d}"),
+            other => panic!("{other:?}"),
+        }
+        // non-finite scale
+        let msg = Message::PartChunkQ {
+            precision: Precision::Int8.tag(),
+            count: 1,
+            scale: f32::NAN,
+            data: vec![0],
+        };
+        let frame = encode_frame(&msg);
+        match decode_frame(&frame) {
+            Err(WireError::BadPayload(d)) => assert!(d.contains("scale"), "{d}"),
             other => panic!("{other:?}"),
         }
     }

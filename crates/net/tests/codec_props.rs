@@ -58,9 +58,36 @@ fn param_key(rng: &mut Xoshiro256) -> ParamKey {
     }
 }
 
-/// Uniformly random message over all 20 variants.
+/// Random well-formed quantized chunk: a valid precision tag, a scale
+/// from the legal domain (finite, non-negative, zero included), and a
+/// body of exactly `count * element_bytes` bytes.
+fn quant_chunk(rng: &mut Xoshiro256) -> Message {
+    let (precision, width) = if rng.gen_range(2) == 0 {
+        (1u8, 2usize) // f16
+    } else {
+        (2u8, 1usize) // int8
+    };
+    let count = vec_len(rng).min(CHUNK_FLOATS) as u32;
+    let scale = match rng.gen_range(4) {
+        0 => 0.0,
+        1 => f32::MIN_POSITIVE,
+        2 => 3.4e38,
+        _ => rng.gen_range(1 << 20) as f32 * 1e-3,
+    };
+    let data: Vec<u8> = (0..count as usize * width)
+        .map(|_| rng.gen_range(256) as u8)
+        .collect();
+    Message::PartChunkQ {
+        precision,
+        count,
+        scale,
+        data,
+    }
+}
+
+/// Uniformly random message over all 21 variants.
 fn random_message(rng: &mut Xoshiro256) -> Message {
-    match rng.gen_range(20) {
+    match rng.gen_range(21) {
         0 => Message::Ping {
             nonce: rng.next_u64_raw(),
         },
@@ -137,9 +164,10 @@ fn random_message(rng: &mut Xoshiro256) -> Message {
             key: param_key(rng),
             delta: floats(rng),
         },
-        _ => Message::ParamPull {
+        19 => Message::ParamPull {
             key: param_key(rng),
         },
+        _ => quant_chunk(rng),
     }
 }
 
@@ -396,6 +424,98 @@ fn oversized_chunk_stream_is_rejected() {
     let mut cursor = Cursor::new(&buf);
     // reader expecting fewer floats than sent must reject, not truncate
     let err = wire::read_chunks(&mut cursor, 32).expect_err("overrun accepted");
+    assert!(matches!(err, WireError::BadPayload(_)), "{err}");
+}
+
+#[test]
+fn quantized_chunk_streams_roundtrip_at_boundary_sizes() {
+    use pbg_tensor::Precision;
+    for precision in [Precision::F16, Precision::Int8] {
+        for n in [
+            0,
+            1,
+            CHUNK_FLOATS - 1,
+            CHUNK_FLOATS,
+            CHUNK_FLOATS + 1,
+            2 * CHUNK_FLOATS,
+        ] {
+            // values well inside the f16 range so only precision, not
+            // range, is at stake
+            let data: Vec<f32> = (0..n).map(|i| ((i % 777) as f32 - 388.0) * 0.25).collect();
+            let mut buf = Vec::new();
+            let written = wire::write_chunks_q(&mut buf, &data, precision).expect("write");
+            assert_eq!(written, buf.len());
+            if n == 0 {
+                assert!(buf.is_empty(), "empty block sends zero frames");
+            }
+            let mut cursor = Cursor::new(&buf);
+            let (back, consumed) = wire::read_chunks(&mut cursor, n).expect("read");
+            assert_eq!(back.len(), n);
+            assert_eq!(consumed, written);
+            // per-chunk absmax/127 scale: decoded error ≤ half a step
+            let absmax = data.iter().fold(0.0f32, |m, v| m.max(v.abs()));
+            let bound = match precision {
+                Precision::F16 => absmax / 2048.0,
+                Precision::Int8 => absmax / 254.0,
+                Precision::F32 => 0.0,
+            } + 1e-4;
+            for (i, (&x, &y)) in data.iter().zip(&back).enumerate() {
+                assert!(
+                    (x - y).abs() <= bound,
+                    "{precision:?} stream of {n}: element {i} {x} decoded to {y}"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn mixed_plain_and_quantized_chunks_decode_transparently() {
+    use pbg_tensor::Precision;
+    // a reader must accept any interleaving of PartChunk and PartChunkQ
+    // frames adding up to the expected float count — that is what lets
+    // `read_chunks` keep one signature across precisions
+    let plain: Vec<f32> = (0..64).map(|i| i as f32 * 0.5).collect();
+    let quant: Vec<f32> = (0..32).map(|i| i as f32 - 16.0).collect();
+    let mut buf = Vec::new();
+    let a = wire::write_chunks(&mut buf, &plain).expect("plain");
+    let b = wire::write_chunks_q(&mut buf, &quant, Precision::F16).expect("quant");
+    let mut cursor = Cursor::new(&buf);
+    let (back, consumed) = wire::read_chunks(&mut cursor, 96).expect("mixed read");
+    assert_eq!(consumed, a + b);
+    assert_eq!(&back[..64], &plain[..], "plain prefix is exact");
+    for (i, (&x, &y)) in quant.iter().zip(&back[64..]).enumerate() {
+        assert!((x - y).abs() <= 16.0 / 2048.0 + 1e-4, "element {i}: {x} vs {y}");
+    }
+}
+
+#[test]
+fn oversized_quantized_chunk_stream_is_rejected() {
+    use pbg_tensor::Precision;
+    for precision in [Precision::F16, Precision::Int8] {
+        let data: Vec<f32> = (0..64).map(|i| i as f32).collect();
+        let mut buf = Vec::new();
+        wire::write_chunks_q(&mut buf, &data, precision).expect("write");
+        let mut cursor = Cursor::new(&buf);
+        let err = wire::read_chunks(&mut cursor, 32).expect_err("overrun accepted");
+        assert!(matches!(err, WireError::BadPayload(_)), "{err}");
+    }
+}
+
+#[test]
+fn hostile_quant_counts_never_cause_overallocation() {
+    // a PartChunkQ whose count field promises far more bytes than the
+    // payload carries must fail validation before any allocation
+    let msg = Message::PartChunkQ {
+        precision: 1,
+        count: 4,
+        scale: 1.0,
+        data: vec![0u8; 8],
+    };
+    let mut payload = msg.encode_payload();
+    // layout: tag, precision u8, count u32, scale f32, data
+    payload[2..6].copy_from_slice(&u32::MAX.to_le_bytes());
+    let err = Message::decode_payload(&payload).expect_err("bogus quant count accepted");
     assert!(matches!(err, WireError::BadPayload(_)), "{err}");
 }
 

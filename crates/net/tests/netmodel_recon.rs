@@ -103,6 +103,83 @@ fn partition_rpc_bytes_reconcile_across_all_three_observers() {
     }
 }
 
+/// The same three-way reconciliation over *quantized* wire transfers:
+/// a layout carrying a storage precision makes the server ship
+/// `PartChunkQ` frames on checkout, and a client constructed with the
+/// matching precision ships them back on checkin. Measured socket
+/// bytes, the serving `NetworkModel`, and the `_q` closed forms must
+/// still agree exactly — at both f16 and int8.
+#[test]
+fn quantized_partition_rpc_bytes_reconcile_across_all_three_observers() {
+    use pbg_tensor::Precision;
+
+    let cases: [(u32, usize); 3] = [
+        (16, 8),     // one small chunk
+        (1024, 128), // exactly one full chunk of floats
+        (2048, 160), // multi-chunk
+    ];
+    for precision in [Precision::F16, Precision::Int8] {
+        for (entities, dim) in cases {
+            let schema = GraphSchema::homogeneous(entities, 2).expect("schema");
+            let layout =
+                StoreLayout::from_schema(&schema, dim, 0.1, 0.05, 7).with_precision(precision);
+            let net = Arc::new(NetworkModel::new(1e9, 0.0));
+            let server_state = Arc::new(PartitionServer::new(layout, 1, Arc::clone(&net)));
+            let server =
+                NetServer::partitions("127.0.0.1:0", Arc::clone(&server_state)).expect("bind");
+            let telemetry = Registry::new();
+            let client = NetPartitions::with_precision(
+                server.local_addr().to_string(),
+                &telemetry,
+                precision,
+            );
+            let key = pbg_core::storage::PartitionKey::new(0u32, 0u32);
+
+            let rows = (entities / 2) as usize;
+            let emb_floats = rows * dim;
+            let acc_floats = rows;
+
+            let mut checked_out = None;
+            let measured = measure(&telemetry, || {
+                checked_out = Some(client.checkout(key).expect("checkout"));
+            });
+            let (emb, acc, token) = checked_out.unwrap();
+            assert_eq!(emb.len(), emb_floats, "{precision:?} {entities}x{dim}");
+            assert_eq!(acc.len(), acc_floats);
+            let predicted = wirecost::checkout_rpc_bytes_q(emb_floats, acc_floats, precision) as u64;
+            let simulated = net.total_bytes();
+            assert_eq!(
+                measured, predicted,
+                "{precision:?} checkout {entities}x{dim}: measured loopback bytes vs wirecost"
+            );
+            assert_eq!(
+                simulated, predicted,
+                "{precision:?} checkout {entities}x{dim}: NetworkModel vs wirecost"
+            );
+            // the quantized download must actually be smaller than f32
+            assert!(
+                predicted < wirecost::checkout_rpc_bytes(emb_floats, acc_floats) as u64,
+                "{precision:?} checkout {entities}x{dim} not smaller than f32"
+            );
+
+            let measured = measure(&telemetry, || {
+                assert!(client.checkin(key, emb, acc, token).expect("checkin"));
+            });
+            let predicted = wirecost::checkin_rpc_bytes_q(emb_floats, acc_floats, precision) as u64;
+            assert_eq!(
+                measured, predicted,
+                "{precision:?} checkin {entities}x{dim}: measured"
+            );
+            assert_eq!(
+                net.total_bytes() - simulated,
+                predicted,
+                "{precision:?} checkin {entities}x{dim}: simulated"
+            );
+            assert_eq!(net.total_transfers(), 4);
+        }
+    }
+}
+
 #[test]
 fn param_rpc_bytes_reconcile_across_all_three_observers() {
     for floats in [1usize, 100, 4096] {

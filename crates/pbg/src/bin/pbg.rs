@@ -4,6 +4,7 @@
 //! pbg train     --edges E [--format tsv|snap] [--config C.json]
 //!               [--partitions P] [--disk DIR] --output CKPT
 //!               [--buffer-size B] [--bucket-ordering O] [--threads T]
+//!               [--precision f32|f16|int8]
 //!               [--checkpoint-every N] [--resume DIR]
 //!               [--inject-crash-after N]
 //!               [--telemetry TRACE.jsonl] [--metrics-addr HOST:PORT]
@@ -28,7 +29,9 @@
 //! Edge files are tab-separated `src\trel\tdst[\tweight]` (`--format tsv`,
 //! default) or SNAP two-column lists (`--format snap`). Training without
 //! `--config` uses the paper's defaults (d=100, margin ranking, batched
-//! negatives). `--telemetry` enables span tracing and writes the run's
+//! negatives). `--precision f16|int8` stores embedding bytes quantized —
+//! checkpoints, disk swap files, and cluster wire chunks shrink 2–4× —
+//! while training compute and Adagrad state stay f32. `--telemetry` enables span tracing and writes the run's
 //! event trace as JSONL; `pbg trace summarize` renders it as a per-bucket
 //! timeline (compute / sampling / optimizer / swap-wait / prefetch) and
 //! accepts several rank-tagged files at once (spans merge by rank).
@@ -113,17 +116,19 @@ const USAGE: &str = "usage:
   pbg train     --edges E [--format tsv|snap] [--config C.json]
                 [--partitions P] [--disk DIR] --output CKPT
                 [--buffer-size B] [--bucket-ordering O] [--threads T]
+                [--precision f32|f16|int8]
                 [--checkpoint-every N] [--resume DIR]
                 [--inject-crash-after N]
                 [--telemetry TRACE.jsonl] [--metrics-addr HOST:PORT]
                 [--log-format json|pretty]
   pbg train     --edges E --cluster lock=H:P,part=H:P,param=H:P --rank R
                 [--partitions P] [--config C.json] [--sync-throttle-ms MS]
+                [--precision f32|f16|int8]
                 [--telemetry TRACE.jsonl] [--metrics-addr HOST:PORT]
                 [--output CKPT]
   pbg serve     --role lock|partition|param --listen HOST:PORT --edges E
                 [--format tsv|snap] [--config C.json] [--partitions P]
-                [--shards N] [--lease-ms MS]
+                [--shards N] [--lease-ms MS] [--precision f32|f16|int8]
                 [--telemetry TRACE.jsonl] [--metrics-addr HOST:PORT]
   pbg serve     --role embed --model CKPT [--listen HOST:PORT]
                 [--rate-limit RPS] [--rate-burst N]
@@ -247,6 +252,10 @@ fn cmd_train(flags: &Flags) -> Result<(), String> {
             .parse()
             .map_err(|_| format!("flag --threads: cannot parse `{t}`"))?;
     }
+    if let Some(p) = flags.get("precision") {
+        config.precision = pbg::tensor::Precision::parse(p)
+            .ok_or_else(|| format!("flag --precision: unknown precision `{p}` (f32|f16|int8)"))?;
+    }
     config.validate().map_err(|e| e.to_string())?;
     let schema = homogeneous_schema(num_nodes, num_relations, partitions)?;
     if let Some(spec) = flags.get("cluster") {
@@ -331,13 +340,14 @@ fn cmd_train(flags: &Flags) -> Result<(), String> {
             "training interrupted by injected crash; resume with --resume {out}"
         ));
     }
-    checkpoint::save_with_progress(
+    checkpoint::save_with_precision(
         &trainer.snapshot(),
         out,
         pbg::core::checkpoint::TrainProgress {
             epochs_done: trainer.epochs_done(),
             steps_done: 0,
         },
+        trainer.model().config().precision,
     )
     .map_err(|e| e.to_string())?;
     checkpoint::save_config(trainer.model().config(), out).map_err(|e| e.to_string())?;
@@ -430,7 +440,9 @@ fn cmd_train_cluster(
     let _metrics_server = start_metrics_server(flags, &telemetry)?;
     let services = RankServices {
         lock: NetLock::new(lock_addr, &telemetry),
-        partitions: NetPartitions::new(part_addr, &telemetry),
+        // uploads at the config's storage precision; the partition
+        // server derives the same from its layout for downloads
+        partitions: NetPartitions::with_precision(part_addr, &telemetry, config.precision),
         params: NetParams::new(param_addr, &telemetry),
     };
     let mut run = RankConfig::new(rank);
@@ -460,13 +472,14 @@ fn cmd_train_cluster(
             &services.params,
         )
         .map_err(|e| format!("snapshot: {e}"))?;
-        checkpoint::save_with_progress(
+        checkpoint::save_with_precision(
             &model,
             out,
             checkpoint::TrainProgress {
                 epochs_done: config.epochs,
                 steps_done: 0,
             },
+            config.precision,
         )
         .map_err(|e| e.to_string())?;
         checkpoint::save_config(&config, out).map_err(|e| e.to_string())?;
@@ -490,13 +503,19 @@ fn cmd_serve(flags: &Flags) -> Result<(), String> {
     if partitions < 2 {
         return Err("cluster serving needs --partitions >= 2".into());
     }
-    let config = match flags.get("config") {
+    let mut config = match flags.get("config") {
         Some(path) => {
             let json = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
             PbgConfig::from_json(&json).map_err(|e| e.to_string())?
         }
         None => PbgConfig::default(),
     };
+    // a partition server ships checkout chunks at its layout's storage
+    // precision; ranks must be launched with the matching --precision
+    if let Some(p) = flags.get("precision") {
+        config.precision = pbg::tensor::Precision::parse(p)
+            .ok_or_else(|| format!("flag --precision: unknown precision `{p}` (f32|f16|int8)"))?;
+    }
     let schema = homogeneous_schema(num_nodes, num_relations, partitions)?;
     let shards: usize = flags.parse("shards", 4usize)?;
     // Synthetic ranks put server spans on their own tracks in a merged

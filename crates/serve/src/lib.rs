@@ -864,7 +864,7 @@ mod tests {
         let row = v.get("embedding").unwrap().as_array().unwrap();
         let want = f.model.embedding(1, 4);
         assert_eq!(row.len(), want.len());
-        for (got, want) in row.iter().zip(want) {
+        for (got, want) in row.iter().zip(want.iter()) {
             assert!((got.as_f64().unwrap() - f64::from(*want)).abs() < 1e-9);
         }
     }

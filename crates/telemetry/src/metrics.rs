@@ -35,6 +35,10 @@ pub mod names {
     pub const STORE_PREFETCH_DEPTH: &str = "store.prefetch_depth";
     /// Counter: write-back bytes skipped because the partition was clean.
     pub const STORE_WRITEBACK_SKIPPED_BYTES: &str = "store.writeback.skipped_bytes";
+    /// Counter: encoded bytes actually moved to/from swap files (equals
+    /// written-back + swapped-in f32 bytes at f32 precision; smaller at
+    /// f16/int8 — the visible win of a quantized store).
+    pub const STORE_SWAP_BYTES: &str = "store.swap.bytes";
     /// Counter: edges trained.
     pub const TRAINER_EDGES: &str = "trainer.edges";
     /// Counter: buckets trained.
@@ -146,6 +150,10 @@ pub mod names {
         (
             STORE_WRITEBACK_SKIPPED_BYTES,
             "Write-back bytes skipped (partition clean)",
+        ),
+        (
+            STORE_SWAP_BYTES,
+            "Encoded bytes moved to/from partition swap files",
         ),
         (TRAINER_EDGES, "Edges trained"),
         (TRAINER_BUCKETS, "Buckets trained"),

@@ -39,6 +39,7 @@ pub mod complex;
 pub mod hogwild;
 pub mod kernels;
 pub mod matrix;
+pub mod quant;
 pub mod rng;
 pub mod topk;
 pub mod vecmath;
@@ -48,5 +49,6 @@ pub use adagrad::AdagradRow;
 pub use alias::AliasTable;
 pub use hogwild::HogwildArray;
 pub use matrix::Matrix;
+pub use quant::Precision;
 pub use rng::Xoshiro256;
 pub use zipf::Zipf;
