@@ -106,8 +106,8 @@ fn main() {
         std::fs::remove_dir_all(&dir).ok();
         let metrics = link_prediction(&reloaded, &split, 100, CandidateSampling::Prevalence);
 
-        let wire = wirecost::checkout_rpc_bytes_q(emb_floats, acc_floats, precision)
-            + wirecost::checkin_rpc_bytes_q(emb_floats, acc_floats, precision);
+        let wire = wirecost::checkout_rpc_bytes_q(emb_floats, acc_floats, dim, precision)
+            + wirecost::checkin_rpc_bytes_q(emb_floats, acc_floats, dim, precision);
         let (f32_ckpt, f32_wire) = *sizes.get(&Precision::F32.tag()).unwrap_or(&(ckpt, wire));
         sizes.insert(precision.tag(), (ckpt, wire));
         let ckpt_ratio = ckpt as f64 / f32_ckpt as f64;

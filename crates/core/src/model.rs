@@ -511,7 +511,7 @@ impl MmapEmbeddings {
             Some(q) => topk::accumulate_cosine(q, block, self.dim, base, acc),
         };
         if shard.precision() == pbg_tensor::Precision::F32 {
-            score_block(shard.payload(), 0, &mut acc);
+            score_block(shard.payload().expect("f32 shard payload"), 0, &mut acc);
         } else {
             // quantized shard: decode fixed-size row blocks into one
             // scratch buffer and stream them through the same kernel,

@@ -1031,34 +1031,32 @@ impl MmapPartition {
 
     /// All `rows × cols` floats, row-major, straight from the mapping.
     /// Only f32 (v2) shards expose their payload this way; quantized
-    /// shards decode through [`MmapPartition::row`] /
-    /// [`MmapPartition::decode_rows_into`].
-    ///
-    /// # Panics
-    ///
-    /// Panics on a quantized shard.
-    pub fn payload(&self) -> &[f32] {
-        assert_eq!(
-            self.precision,
-            Precision::F32,
-            "cannot reinterpret a {} shard as &[f32]; decode rows instead",
-            self.precision
-        );
+    /// shards return an error and decode through [`MmapPartition::row`]
+    /// / [`MmapPartition::decode_rows_into`] instead.
+    pub fn payload(&self) -> Result<&[f32]> {
+        if self.precision != Precision::F32 {
+            return Err(PbgError::Checkpoint(format!(
+                "cannot reinterpret a {} shard as &[f32]; decode rows instead",
+                self.precision
+            )));
+        }
         let bytes = &self.backing.bytes()[crate::checkpoint::MATRIX_PAYLOAD_OFFSET..];
         // a page-aligned mapping plus the 24-byte header keeps the
         // payload 4-byte aligned; the heap fallback re-checks at runtime
         debug_assert_eq!(bytes.as_ptr() as usize % std::mem::align_of::<f32>(), 0);
         if (bytes.as_ptr() as usize).is_multiple_of(std::mem::align_of::<f32>()) {
-            unsafe {
+            Ok(unsafe {
                 std::slice::from_raw_parts(bytes.as_ptr().cast::<f32>(), self.rows * self.cols)
-            }
+            })
         } else {
             // unreachable on unix (page alignment); on the heap fallback
             // Vec<u8> allocations are 4-aligned in practice, but the
             // format must not depend on that — leak-free fallback would
             // require a decode cache, which the portability shim does
-            // not justify. Fail loudly instead of UB.
-            panic!("unaligned embedding payload; cannot reinterpret as f32");
+            // not justify. Report instead of UB.
+            Err(PbgError::Checkpoint(
+                "unaligned embedding payload; cannot reinterpret as f32".to_string(),
+            ))
         }
     }
 
@@ -1071,7 +1069,8 @@ impl MmapPartition {
     pub fn row(&self, i: usize) -> Cow<'_, [f32]> {
         assert!(i < self.rows, "row {i} out of range ({} rows)", self.rows);
         if self.precision == Precision::F32 {
-            Cow::Borrowed(&self.payload()[i * self.cols..(i + 1) * self.cols])
+            let payload = self.payload().expect("f32 shard payload");
+            Cow::Borrowed(&payload[i * self.cols..(i + 1) * self.cols])
         } else {
             let mut out = vec![0.0f32; self.cols];
             quant::decode_row_into(
@@ -1100,7 +1099,8 @@ impl MmapPartition {
         assert!(start + n <= self.rows, "rows {start}..{} out of range", start + n);
         assert_eq!(out.len(), n * self.cols, "output buffer shape mismatch");
         if self.precision == Precision::F32 {
-            out.copy_from_slice(&self.payload()[start * self.cols..(start + n) * self.cols]);
+            let payload = self.payload().expect("f32 shard payload");
+            out.copy_from_slice(&payload[start * self.cols..(start + n) * self.cols]);
             return;
         }
         let bytes = self.payload_bytes();

@@ -41,16 +41,46 @@ pub mod wirecost {
         chunks * frame_bytes(1 + 4) + 4 * floats
     }
 
-    /// Bytes of the chunk-frame stream carrying `floats` values at a
-    /// wire [`Precision`]. Quantized chunks (`PartChunkQ`) carry tag
-    /// u8 + precision u8 + count u32 + scale f32 + encoded data; f32
+    /// Bytes of the row-aligned quantized chunk stream carrying
+    /// `floats = rows × dim` embedding values at a wire [`Precision`].
+    /// Quantized chunks (`PartChunkQ`) carry tag u8 + precision u8 +
+    /// rows u32 + cols u32, then an `encode_rows` block (f16: two
+    /// bytes per value; int8: one f32 scale per row plus one byte per
+    /// value); each chunk holds up to `CHUNK_FLOATS / dim` rows. f32
     /// reduces to [`chunk_stream_bytes`] exactly.
-    pub fn chunk_stream_bytes_q(floats: usize, precision: Precision) -> usize {
+    pub fn quant_stream_bytes(floats: usize, dim: usize, precision: Precision) -> usize {
         if precision == Precision::F32 {
             return chunk_stream_bytes(floats);
         }
-        let chunks = floats.div_ceil(CHUNK_FLOATS);
-        chunks * frame_bytes(1 + 1 + 4 + 4) + precision.element_bytes() * floats
+        assert!(
+            dim > 0 && floats % dim == 0,
+            "quantized stream is row-aligned: {floats} floats at dim {dim}"
+        );
+        let rows = floats / dim;
+        let rows_per_chunk = (CHUNK_FLOATS / dim).max(1);
+        let chunks = rows.div_ceil(rows_per_chunk);
+        chunks * frame_bytes(1 + 1 + 4 + 4)
+            + precision
+                .payload_bytes(rows, dim)
+                .expect("stream size overflows")
+    }
+
+    /// Bytes of the chunk stream carrying a partition's `emb_floats` +
+    /// `acc_floats`: at f32 both blocks travel as one concatenated
+    /// `PartChunk` stream (byte-identical to the unquantized
+    /// protocol); at f16/int8 the embeddings travel quantized and the
+    /// Adagrad accumulators follow as plain f32 chunks — optimizer
+    /// state is never quantized on the wire.
+    pub fn part_stream_bytes_q(
+        emb_floats: usize,
+        acc_floats: usize,
+        dim: usize,
+        precision: Precision,
+    ) -> usize {
+        if precision == Precision::F32 {
+            return chunk_stream_bytes(emb_floats + acc_floats);
+        }
+        quant_stream_bytes(emb_floats, dim, precision) + chunk_stream_bytes(acc_floats)
     }
 
     /// `PartCheckout` request: tag + PartitionKey (u32 + u32).
@@ -64,10 +94,15 @@ pub mod wirecost {
         frame_bytes(1 + 8 + 4 + 4) + chunk_stream_bytes(emb_floats + acc_floats)
     }
 
-    /// [`part_data_bytes`] at a wire [`Precision`] — emb and acc
-    /// floats travel as one concatenated chunk stream.
-    pub fn part_data_bytes_q(emb_floats: usize, acc_floats: usize, precision: Precision) -> usize {
-        frame_bytes(1 + 8 + 4 + 4) + chunk_stream_bytes_q(emb_floats + acc_floats, precision)
+    /// [`part_data_bytes`] at a wire [`Precision`], with `dim`-wide
+    /// embedding rows (see [`part_stream_bytes_q`] for the framing).
+    pub fn part_data_bytes_q(
+        emb_floats: usize,
+        acc_floats: usize,
+        dim: usize,
+        precision: Precision,
+    ) -> usize {
+        frame_bytes(1 + 8 + 4 + 4) + part_stream_bytes_q(emb_floats, acc_floats, dim, precision)
     }
 
     /// Full checkout RPC: request frame + data response.
@@ -75,13 +110,15 @@ pub mod wirecost {
         CHECKOUT_REQUEST_BYTES + part_data_bytes(emb_floats, acc_floats)
     }
 
-    /// [`checkout_rpc_bytes`] at a wire [`Precision`].
+    /// [`checkout_rpc_bytes`] at a wire [`Precision`] with `dim`-wide
+    /// embedding rows.
     pub fn checkout_rpc_bytes_q(
         emb_floats: usize,
         acc_floats: usize,
+        dim: usize,
         precision: Precision,
     ) -> usize {
-        CHECKOUT_REQUEST_BYTES + part_data_bytes_q(emb_floats, acc_floats, precision)
+        CHECKOUT_REQUEST_BYTES + part_data_bytes_q(emb_floats, acc_floats, dim, precision)
     }
 
     /// `PartCheckin` request frames: header (tag + key + token + lens)
@@ -90,13 +127,15 @@ pub mod wirecost {
         frame_bytes(1 + 8 + 8 + 4 + 4) + chunk_stream_bytes(emb_floats + acc_floats)
     }
 
-    /// [`checkin_request_bytes`] at a wire [`Precision`].
+    /// [`checkin_request_bytes`] at a wire [`Precision`] with
+    /// `dim`-wide embedding rows.
     pub fn checkin_request_bytes_q(
         emb_floats: usize,
         acc_floats: usize,
+        dim: usize,
         precision: Precision,
     ) -> usize {
-        frame_bytes(1 + 8 + 8 + 4 + 4) + chunk_stream_bytes_q(emb_floats + acc_floats, precision)
+        frame_bytes(1 + 8 + 8 + 4 + 4) + part_stream_bytes_q(emb_floats, acc_floats, dim, precision)
     }
 
     /// Full check-in RPC: streamed request + commit/reject response.
@@ -104,13 +143,15 @@ pub mod wirecost {
         checkin_request_bytes(emb_floats, acc_floats) + CHECKIN_RESPONSE_BYTES
     }
 
-    /// [`checkin_rpc_bytes`] at a wire [`Precision`].
+    /// [`checkin_rpc_bytes`] at a wire [`Precision`] with `dim`-wide
+    /// embedding rows.
     pub fn checkin_rpc_bytes_q(
         emb_floats: usize,
         acc_floats: usize,
+        dim: usize,
         precision: Precision,
     ) -> usize {
-        checkin_request_bytes_q(emb_floats, acc_floats, precision) + CHECKIN_RESPONSE_BYTES
+        checkin_request_bytes_q(emb_floats, acc_floats, dim, precision) + CHECKIN_RESPONSE_BYTES
     }
 
     /// `ParamPushPull`/`ParamRegister` request: tag + ParamKey (u32 +
@@ -315,33 +356,55 @@ mod tests {
     fn quantized_closed_forms_reduce_to_f32_and_shrink() {
         use super::wirecost::*;
         use pbg_tensor::Precision;
-        for (e, a) in [(0, 0), (10, 10), (CHUNK_FLOATS, 64), (100_000, 100_000)] {
+        for (e, a) in [(0, 0), (640, 10), (CHUNK_FLOATS, 64), (100_032, 100_000)] {
             // f32 _q forms are the plain forms exactly
-            assert_eq!(chunk_stream_bytes_q(e + a, Precision::F32), chunk_stream_bytes(e + a));
             assert_eq!(
-                checkout_rpc_bytes_q(e, a, Precision::F32),
+                part_stream_bytes_q(e, a, 64, Precision::F32),
+                chunk_stream_bytes(e + a)
+            );
+            assert_eq!(
+                checkout_rpc_bytes_q(e, a, 64, Precision::F32),
                 checkout_rpc_bytes(e, a)
             );
             assert_eq!(
-                checkin_rpc_bytes_q(e, a, Precision::F32),
+                checkin_rpc_bytes_q(e, a, 64, Precision::F32),
                 checkin_rpc_bytes(e, a)
             );
         }
-        // per-chunk quant framing: header + tag + precision + count +
-        // scale, then width × floats
+        // row-aligned quant framing: header + tag + precision + rows +
+        // cols, then the encode_rows block
         assert_eq!(
-            chunk_stream_bytes_q(10, Precision::F16),
+            quant_stream_bytes(10, 10, Precision::F16),
             frame_bytes(10) + 2 * 10
         );
+        // int8 pays one f32 scale per row on top of the code bytes
         assert_eq!(
-            chunk_stream_bytes_q(CHUNK_FLOATS + 1, Precision::Int8),
-            2 * frame_bytes(10) + CHUNK_FLOATS + 1
+            quant_stream_bytes(10, 5, Precision::Int8),
+            frame_bytes(10) + 2 * 4 + 10
         );
-        // a realistic partition stream compresses close to the element
-        // width ratio (f16 ≤ 0.55×, int8 ≤ 0.3×)
+        // one row past a full chunk of rows takes a second frame
+        let dim = 128;
+        let rpc = CHUNK_FLOATS / dim;
+        assert_eq!(
+            quant_stream_bytes((rpc + 1) * dim, dim, Precision::F16),
+            2 * frame_bytes(10) + 2 * (rpc + 1) * dim
+        );
+        // accumulators ride as plain f32 chunks behind the quantized
+        // embeddings — never quantized
+        assert_eq!(
+            part_stream_bytes_q(640, 77, 64, Precision::F16),
+            quant_stream_bytes(640, 64, Precision::F16) + chunk_stream_bytes(77)
+        );
+        // a realistic partition stream still compresses close to the
+        // element width ratio (f16 ≤ 0.55×, int8 ≤ 0.3× — the f32
+        // accumulator tail and int8 scale column eat part of the win)
         let f32_bytes = checkout_rpc_bytes(1 << 20, 1 << 14);
-        assert!(checkout_rpc_bytes_q(1 << 20, 1 << 14, Precision::F16) * 100 <= f32_bytes * 55);
-        assert!(checkout_rpc_bytes_q(1 << 20, 1 << 14, Precision::Int8) * 100 <= f32_bytes * 30);
+        assert!(
+            checkout_rpc_bytes_q(1 << 20, 1 << 14, 256, Precision::F16) * 100 <= f32_bytes * 55
+        );
+        assert!(
+            checkout_rpc_bytes_q(1 << 20, 1 << 14, 256, Precision::Int8) * 100 <= f32_bytes * 30
+        );
     }
 
     #[test]

@@ -255,28 +255,37 @@ impl LockService for NetLock {
 #[derive(Debug)]
 pub struct NetPartitions {
     conn: Connection,
-    /// Wire precision for check-in uploads. Downloads need no
-    /// configuration: [`wire::read_chunks`] decodes whatever slab kind
-    /// the server sends. Must match the server layout's precision or
-    /// the cost-model reconciliation drifts.
+    /// Wire precision for check-in *embedding* uploads — Adagrad
+    /// accumulators always travel as exact f32 chunks regardless (see
+    /// [`wire::write_part_streams`]). Downloads need no configuration:
+    /// [`wire::read_chunks`] decodes whatever slab kind the server
+    /// sends. Must match the server layout's precision or the
+    /// cost-model reconciliation drifts.
     precision: pbg_tensor::Precision,
+    /// Embedding dimension, for row-aligned quantized framing (so int8
+    /// keeps per-row scales on the wire). Ignored at f32.
+    dim: usize,
 }
 
 impl NetPartitions {
     /// Connects to the partition server at `addr`, uploading f32.
     pub fn new(addr: impl Into<String>, telemetry: &Registry) -> Self {
-        NetPartitions::with_precision(addr, telemetry, pbg_tensor::Precision::F32)
+        NetPartitions::with_precision(addr, telemetry, pbg_tensor::Precision::F32, 1)
     }
 
-    /// Connects with an explicit wire precision for check-in uploads.
+    /// Connects with an explicit wire precision for check-in embedding
+    /// uploads; `dim` is the embedding dimension the quantized row
+    /// framing aligns to (any value is fine at f32).
     pub fn with_precision(
         addr: impl Into<String>,
         telemetry: &Registry,
         precision: pbg_tensor::Precision,
+        dim: usize,
     ) -> Self {
         NetPartitions {
             conn: Connection::new(addr, telemetry),
             precision,
+            dim,
         }
     }
 
@@ -304,8 +313,10 @@ impl NetPartitions {
                     )))
                 }
             };
-            // emb and acc travel as one concatenated chunk stream (the
-            // cost model's chunk math depends on this)
+            // emb then acc arrive as one chunk stream — concatenated f32
+            // chunks, or quantized emb frames followed by plain f32 acc
+            // chunks; read_chunks decodes both transparently and the
+            // cost model mirrors the same framing
             let (mut combined, n) = wire::read_chunks(stream, emb_len + acc_len)?;
             received += n;
             let acc = combined.split_off(emb_len);
@@ -335,9 +346,10 @@ impl PartitionService for NetPartitions {
                 acc_len: acc.len() as u32,
             };
             let mut sent = wire::write_message_with(stream, &header, ctx)?;
-            let mut combined = emb;
-            combined.extend_from_slice(&acc);
-            sent += wire::write_chunks_q(stream, &combined, self.precision)?;
+            // embeddings at the configured wire precision; accumulators
+            // always as exact f32 (at f32 both ride one concatenated
+            // stream, byte-identical to the unquantized protocol)
+            sent += wire::write_part_streams(stream, emb, &acc, self.dim, self.precision)?;
             let (reply, received) = wire::read_message(stream)?;
             match reply {
                 Message::PartCheckinResp { committed } => Ok((committed, sent, received)),

@@ -290,11 +290,13 @@ fn handle_partitions(
         }
         Message::PartCheckout { key } => {
             let (emb, acc, token, _secs) = guarded("part_checkout", || parts.checkout(key))?;
-            send_part_data(stream, token, emb, acc, parts.layout().precision())?;
+            let layout = parts.layout();
+            send_part_data(stream, token, emb, acc, layout.dim(), layout.precision())?;
         }
         Message::PartPeek { key } => {
             let (emb, acc) = guarded("part_peek", || parts.peek(key))?;
-            send_part_data(stream, u64::MAX, emb, acc, parts.layout().precision())?;
+            let layout = parts.layout();
+            send_part_data(stream, u64::MAX, emb, acc, layout.dim(), layout.precision())?;
         }
         Message::PartCheckin {
             key,
@@ -331,6 +333,7 @@ fn send_part_data(
     token: u64,
     emb: Vec<f32>,
     acc: Vec<f32>,
+    dim: usize,
     precision: pbg_tensor::Precision,
 ) -> Result<(), WireError> {
     wire::write_message(
@@ -341,9 +344,9 @@ fn send_part_data(
             acc_len: acc.len() as u32,
         },
     )?;
-    let mut combined = emb;
-    combined.extend_from_slice(&acc);
-    wire::write_chunks_q(stream, &combined, precision)?;
+    // embeddings at the layout's storage precision; Adagrad
+    // accumulators always as exact f32 chunks
+    wire::write_part_streams(stream, emb, &acc, dim, precision)?;
     Ok(())
 }
 

@@ -156,17 +156,20 @@ pub enum Message {
     /// Partition server: one slab of a streamed float block
     /// (≤ [`CHUNK_FLOATS`] values).
     PartChunk { data: Vec<f32> },
-    /// Partition server: one quantized slab of a streamed float block.
-    /// `precision` is a [`pbg_tensor::Precision`] tag (f16 or int8 —
-    /// f32 slabs travel as plain [`Message::PartChunk`]), `count` the
-    /// number of encoded floats, `scale` the per-chunk absmax/127
-    /// dequantization factor (0.0 and unused for f16), and `data` the
-    /// encoded bytes (`2 * count` for f16, `count` for int8). Frames
-    /// carrying this message set [`FLAG_QUANT`].
+    /// Partition server: one quantized, *row-aligned* slab of a
+    /// streamed embedding block. `precision` is a
+    /// [`pbg_tensor::Precision`] tag (f16 or int8 — f32 slabs travel as
+    /// plain [`Message::PartChunk`]), `rows`/`cols` the slab's shape,
+    /// and `data` a [`quant::encode_rows`] block: for int8, `rows` f32
+    /// LE per-row absmax scales followed by `rows * cols` code bytes —
+    /// the same per-row scaling the codec uses at rest, so one outlier
+    /// row cannot degrade its neighbors' resolution; for f16,
+    /// `2 * rows * cols` bytes. Frames carrying this message set
+    /// [`FLAG_QUANT`].
     PartChunkQ {
         precision: u8,
-        count: u32,
-        scale: f32,
+        rows: u32,
+        cols: u32,
         data: Vec<u8>,
     },
     /// Partition server: check-in header; floats follow as chunks.
@@ -260,10 +263,6 @@ impl PayloadWriter {
         self.u8(k.side);
     }
 
-    fn f32(&mut self, v: f32) {
-        self.buf.extend_from_slice(&v.to_le_bytes());
-    }
-
     fn floats(&mut self, v: &[f32]) {
         self.u32(v.len() as u32);
         for &x in v {
@@ -336,10 +335,6 @@ impl<'a> PayloadReader<'a> {
         let relation = self.u32()?;
         let side = self.u8()?;
         Ok(ParamKey { relation, side })
-    }
-
-    fn f32(&mut self) -> Result<f32, WireError> {
-        Ok(f32::from_le_bytes(self.take(4)?.try_into().unwrap()))
     }
 
     fn floats(&mut self) -> Result<Vec<f32>, WireError> {
@@ -452,14 +447,14 @@ impl Message {
             }
             Message::PartChunkQ {
                 precision,
-                count,
-                scale,
+                rows,
+                cols,
                 data,
             } => {
                 w = PayloadWriter::new(tag::PART_CHUNK_Q);
                 w.u8(*precision);
-                w.u32(*count);
-                w.f32(*scale);
+                w.u32(*rows);
+                w.u32(*cols);
                 w.bytes(data);
             }
             Message::PartCheckin {
@@ -577,9 +572,8 @@ impl Message {
             tag::PART_CHUNK => Message::PartChunk { data: r.floats()? },
             tag::PART_CHUNK_Q => {
                 let precision = r.u8()?;
-                let width = match Precision::from_tag(precision) {
-                    Some(Precision::F16) => 2usize,
-                    Some(Precision::Int8) => 1,
+                let p = match Precision::from_tag(precision) {
+                    Some(p @ (Precision::F16 | Precision::Int8)) => p,
                     // f32 slabs travel as plain PartChunk frames
                     _ => {
                         return Err(WireError::BadPayload(format!(
@@ -587,20 +581,29 @@ impl Message {
                         )))
                     }
                 };
-                let count = r.u32()?;
-                let scale = r.f32()?;
-                if !scale.is_finite() || scale < 0.0 {
-                    return Err(WireError::BadPayload(format!(
-                        "bad chunk scale {scale} in PartChunkQ"
-                    )));
+                let rows = r.u32()? as usize;
+                let cols = r.u32()? as usize;
+                let want = p.payload_bytes(rows, cols).ok_or_else(|| {
+                    WireError::BadPayload(format!("quant shape {rows}x{cols} overflows"))
+                })?;
+                let bytes = r.take(want)?;
+                if p == Precision::Int8 {
+                    // the leading per-row scale block must hold legal
+                    // scales — reject hostile values before anything
+                    // dequantizes
+                    for (i, s) in bytes[..rows * 4].chunks_exact(4).enumerate() {
+                        let scale = f32::from_le_bytes(s.try_into().unwrap());
+                        if !scale.is_finite() || scale < 0.0 {
+                            return Err(WireError::BadPayload(format!(
+                                "bad row scale {scale} (row {i}) in PartChunkQ"
+                            )));
+                        }
+                    }
                 }
-                let bytes = r.take((count as usize).checked_mul(width).ok_or_else(|| {
-                    WireError::BadPayload(format!("quant count {count} overflows"))
-                })?)?;
                 Message::PartChunkQ {
                     precision,
-                    count,
-                    scale,
+                    rows: rows as u32,
+                    cols: cols as u32,
                     data: bytes.to_vec(),
                 }
             }
@@ -926,71 +929,87 @@ pub fn write_chunks<W: Write>(w: &mut W, data: &[f32]) -> Result<usize, WireErro
     Ok(written)
 }
 
-/// Encodes one ≤[`CHUNK_FLOATS`] slab at a non-f32 precision: f16 bits
-/// or int8 codes against the chunk's own absmax scale.
-fn quantize_chunk(chunk: &[f32], precision: Precision) -> Message {
-    let (scale, data) = match precision {
-        Precision::F32 => unreachable!("f32 slabs travel as PartChunk"),
-        Precision::F16 => {
-            let mut data = Vec::with_capacity(chunk.len() * 2);
-            for &x in chunk {
-                data.extend_from_slice(&quant::f16_from_f32(x).to_le_bytes());
-            }
-            (0.0f32, data)
-        }
-        Precision::Int8 => {
-            let scale = quant::int8_scale(chunk);
-            let data = chunk
-                .iter()
-                .map(|&x| quant::int8_quantize(x, scale) as u8)
-                .collect();
-            (scale, data)
-        }
-    };
+/// Encodes one row-aligned, ≤[`CHUNK_FLOATS`]-float slab of `cols`-wide
+/// rows at a non-f32 precision via [`quant::encode_rows`], so int8
+/// carries the same per-row absmax scales on the wire as it does at
+/// rest.
+fn quantize_chunk(chunk: &[f32], cols: usize, precision: Precision) -> Message {
+    debug_assert!(precision != Precision::F32, "f32 slabs travel as PartChunk");
+    let rows = chunk.len() / cols;
+    let mut data = Vec::new();
+    quant::encode_rows(precision, chunk, rows, cols, &mut data);
     Message::PartChunkQ {
         precision: precision.tag(),
-        count: chunk.len() as u32,
-        scale,
+        rows: rows as u32,
+        cols: cols as u32,
         data,
     }
 }
 
 /// Decodes a [`Message::PartChunkQ`] body back to floats. The payload
-/// decoder already validated tag, byte length, and scale.
-fn dequantize_chunk(precision: u8, scale: f32, data: &[u8], out: &mut Vec<f32>) {
-    match Precision::from_tag(precision) {
-        Some(Precision::F16) => {
-            for b in data.chunks_exact(2) {
-                out.push(quant::f16_to_f32(u16::from_le_bytes(
-                    b.try_into().unwrap(),
-                )));
-            }
-        }
-        Some(Precision::Int8) => {
-            for &b in data {
-                out.push(quant::int8_dequantize(b as i8, scale));
-            }
-        }
-        _ => unreachable!("decode_payload validated the precision tag"),
-    }
+/// decoder already validated tag, shape, byte length, and scales.
+fn dequantize_chunk(precision: u8, rows: u32, cols: u32, data: &[u8], out: &mut Vec<f32>) {
+    let p = Precision::from_tag(precision).expect("decode_payload validated the precision tag");
+    let block = quant::decode_rows(p, data, rows as usize, cols as usize)
+        .expect("decode_payload validated the byte length");
+    out.extend_from_slice(&block);
 }
 
-/// Writes a float block as quantized [`Message::PartChunkQ`] frames at
-/// `precision` (each ≤[`CHUNK_FLOATS`] slab carrying its own int8
-/// scale), returning bytes written. `Precision::F32` delegates to
-/// [`write_chunks`] — the uncompressed wire stays byte-identical.
+/// Writes a float block of `dim`-wide rows as quantized
+/// [`Message::PartChunkQ`] frames at `precision` — row-aligned slabs of
+/// up to [`CHUNK_FLOATS`] floats, so every int8 row keeps its own
+/// scale — returning bytes written. `Precision::F32` delegates to
+/// [`write_chunks`] (the uncompressed wire stays byte-identical);
+/// otherwise `data.len()` must be a multiple of `dim`.
 pub fn write_chunks_q<W: Write>(
     w: &mut W,
     data: &[f32],
+    dim: usize,
     precision: Precision,
 ) -> Result<usize, WireError> {
     if precision == Precision::F32 {
         return write_chunks(w, data);
     }
-    let mut written = 0;
-    for chunk in data.chunks(CHUNK_FLOATS) {
-        written += write_message(w, &quantize_chunk(chunk, precision))?;
+    if data.is_empty() {
+        return Ok(0);
     }
+    if dim == 0 || dim > CHUNK_FLOATS || data.len() % dim != 0 {
+        return Err(WireError::BadPayload(format!(
+            "quantized stream needs row-aligned data: {} floats at dim {dim}",
+            data.len()
+        )));
+    }
+    let rows_per_chunk = CHUNK_FLOATS / dim; // ≥ 1
+    let mut written = 0;
+    for chunk in data.chunks(rows_per_chunk * dim) {
+        written += write_message(w, &quantize_chunk(chunk, dim, precision))?;
+    }
+    Ok(written)
+}
+
+/// Streams a partition's float pair — embeddings, then Adagrad
+/// accumulators — for a checkout response or check-in request. At f32
+/// the two blocks travel as one concatenated [`Message::PartChunk`]
+/// stream, byte-identical to the unquantized protocol. At f16/int8 only
+/// the embedding block is quantized (row-aligned
+/// [`Message::PartChunkQ`] frames); the accumulators always follow as
+/// plain f32 chunks, because optimizer state must round-trip exactly:
+/// accumulators are monotone sums of squared gradients, which overflow
+/// f16's ±65504 range to +inf and collapse to 0 under int8 — either
+/// silently corrupts training on the next bucket swap.
+pub fn write_part_streams<W: Write>(
+    w: &mut W,
+    mut emb: Vec<f32>,
+    acc: &[f32],
+    dim: usize,
+    precision: Precision,
+) -> Result<usize, WireError> {
+    if precision == Precision::F32 {
+        emb.extend_from_slice(acc);
+        return write_chunks(w, &emb);
+    }
+    let mut written = write_chunks_q(w, &emb, dim, precision)?;
+    written += write_chunks(w, acc)?;
     Ok(written)
 }
 
@@ -1005,7 +1024,9 @@ pub fn read_chunks<R: Read>(r: &mut R, expected: usize) -> Result<(Vec<f32>, usi
         consumed += n;
         let incoming = match &msg {
             Message::PartChunk { data } => data.len(),
-            Message::PartChunkQ { count, .. } => *count as usize,
+            // bounded: the decoder already checked the shape against the
+            // (≤64 MiB) payload it actually carries
+            Message::PartChunkQ { rows, cols, .. } => (*rows as usize) * (*cols as usize),
             other => {
                 return Err(WireError::BadPayload(format!(
                     "expected PartChunk, got {}",
@@ -1023,10 +1044,10 @@ pub fn read_chunks<R: Read>(r: &mut R, expected: usize) -> Result<(Vec<f32>, usi
             Message::PartChunk { data } => out.extend_from_slice(&data),
             Message::PartChunkQ {
                 precision,
-                scale,
+                rows,
+                cols,
                 data,
-                ..
-            } => dequantize_chunk(precision, scale, &data, &mut out),
+            } => dequantize_chunk(precision, rows, cols, &data, &mut out),
             _ => unreachable!(),
         }
     }
@@ -1192,7 +1213,7 @@ mod tests {
             other => panic!("{other:?}"),
         }
         // quantized payload without the flag
-        let msg = quantize_chunk(&[1.0, -2.0, 3.5], Precision::F16);
+        let msg = quantize_chunk(&[1.0, -2.0, 3.5], 3, Precision::F16);
         let mut frame = encode_frame(&msg);
         frame[6] &= !((FLAG_QUANT & 0xff) as u8);
         match decode_frame(&frame) {
@@ -1203,20 +1224,23 @@ mod tests {
 
     #[test]
     fn quant_chunk_stream_roundtrips_with_bounded_error() {
-        let data: Vec<f32> = (0..CHUNK_FLOATS + 7)
+        // 13-wide rows crossing the per-chunk row boundary: 65 536/13 =
+        // 5041 rows per frame, 5042 rows total → two frames
+        let dim = 13;
+        let data: Vec<f32> = (0..5042 * dim)
             .map(|i| (i as f32 - 1000.0) * 0.125)
             .collect();
         for precision in [Precision::F16, Precision::Int8] {
             let mut buf = Vec::new();
-            let written = write_chunks_q(&mut buf, &data, precision).unwrap();
+            let written = write_chunks_q(&mut buf, &data, dim, precision).unwrap();
             assert_eq!(written, buf.len());
             let mut cursor = std::io::Cursor::new(buf);
             let (back, consumed) = read_chunks(&mut cursor, data.len()).unwrap();
             assert_eq!(consumed, written);
             assert_eq!(back.len(), data.len());
             // per-element error bounds: f16 has 11 bits of significand;
-            // int8 is within half a step of the per-chunk scale, which
-            // the block-wide absmax bounds from above
+            // int8 is within half a step of its row's scale, which the
+            // block-wide absmax bounds from above
             let absmax = data.iter().fold(0.0f32, |m, v| m.max(v.abs()));
             for (a, b) in data.iter().zip(&back) {
                 let err = (a - b).abs();
@@ -1230,13 +1254,74 @@ mod tests {
     }
 
     #[test]
+    fn int8_wire_scales_are_per_row() {
+        // one outlier row must not degrade its neighbors: with per-row
+        // scales the small rows round-trip at their own resolution
+        let dim = 4;
+        let mut data = vec![0.01f32, -0.02, 0.03, -0.04];
+        data.extend_from_slice(&[1000.0, -1000.0, 500.0, -500.0]); // outlier row
+        let mut buf = Vec::new();
+        write_chunks_q(&mut buf, &data, dim, Precision::Int8).unwrap();
+        let mut cursor = std::io::Cursor::new(buf);
+        let (back, _) = read_chunks(&mut cursor, data.len()).unwrap();
+        // under a shared absmax scale the first row's step would be
+        // 1000/127 ≈ 7.9 and every small value would collapse to 0;
+        // per-row it is 0.04/127 ≈ 3e-4
+        for (a, b) in data[..dim].iter().zip(&back[..dim]) {
+            assert!((a - b).abs() <= 0.04 / 254.0 + 1e-6, "{a} -> {b}");
+            assert!(*b != 0.0, "small row collapsed under an outlier's scale");
+        }
+    }
+
+    #[test]
+    fn part_streams_keep_accumulators_exact() {
+        let dim = 4;
+        let emb: Vec<f32> = (0..32).map(|i| i as f32 * 0.1).collect();
+        // beyond f16 range and off the int8 grid: any lossy encoding of
+        // the accumulators would be visible here
+        let acc: Vec<f32> = (0..8).map(|i| 70_000.0 + i as f32 * 0.123).collect();
+        for precision in [Precision::F16, Precision::Int8] {
+            let mut buf = Vec::new();
+            let written =
+                write_part_streams(&mut buf, emb.clone(), &acc, dim, precision).unwrap();
+            let mut cursor = std::io::Cursor::new(buf);
+            let (combined, consumed) = read_chunks(&mut cursor, emb.len() + acc.len()).unwrap();
+            assert_eq!(consumed, written);
+            assert_eq!(
+                &combined[emb.len()..],
+                &acc[..],
+                "{precision}: accumulators must round-trip bit-exactly"
+            );
+        }
+        // at f32 the pair is one concatenated stream, byte-identical to
+        // the unquantized protocol
+        let mut plain = Vec::new();
+        let mut combined = emb.clone();
+        combined.extend_from_slice(&acc);
+        write_chunks(&mut plain, &combined).unwrap();
+        let mut via = Vec::new();
+        write_part_streams(&mut via, emb, &acc, dim, Precision::F32).unwrap();
+        assert_eq!(plain, via);
+    }
+
+    #[test]
     fn f32_chunks_q_are_byte_identical_to_plain_chunks() {
         let data: Vec<f32> = (0..100).map(|i| i as f32 * 0.5).collect();
         let mut plain = Vec::new();
         write_chunks(&mut plain, &data).unwrap();
         let mut q = Vec::new();
-        write_chunks_q(&mut q, &data, Precision::F32).unwrap();
+        write_chunks_q(&mut q, &data, 10, Precision::F32).unwrap();
         assert_eq!(plain, q);
+    }
+
+    #[test]
+    fn misaligned_quantized_stream_is_rejected() {
+        let data = [1.0f32; 10];
+        for dim in [0usize, 3, CHUNK_FLOATS + 1] {
+            let err = write_chunks_q(&mut Vec::new(), &data, dim, Precision::F16)
+                .expect_err("misaligned write accepted");
+            assert!(matches!(err, WireError::BadPayload(_)), "dim {dim}: {err}");
+        }
     }
 
     #[test]
@@ -1244,8 +1329,8 @@ mod tests {
         // precision tag 0 (f32) is not a legal quantized chunk
         let msg = Message::PartChunkQ {
             precision: 0,
-            count: 2,
-            scale: 0.0,
+            rows: 2,
+            cols: 2,
             data: vec![0; 8],
         };
         let frame = encode_frame(&msg);
@@ -1253,11 +1338,11 @@ mod tests {
             Err(WireError::BadPayload(d)) => assert!(d.contains("precision"), "{d}"),
             other => panic!("{other:?}"),
         }
-        // count larger than the bytes actually present
+        // shape larger than the bytes actually present
         let msg = Message::PartChunkQ {
             precision: Precision::F16.tag(),
-            count: 100,
-            scale: 0.0,
+            rows: 10,
+            cols: 10,
             data: vec![0; 4],
         };
         let frame = encode_frame(&msg);
@@ -1265,12 +1350,14 @@ mod tests {
             Err(WireError::BadPayload(d)) => assert!(d.contains("overrun"), "{d}"),
             other => panic!("{other:?}"),
         }
-        // non-finite scale
+        // non-finite per-row scale in the int8 scale block
+        let mut data = f32::NAN.to_le_bytes().to_vec();
+        data.push(0);
         let msg = Message::PartChunkQ {
             precision: Precision::Int8.tag(),
-            count: 1,
-            scale: f32::NAN,
-            data: vec![0],
+            rows: 1,
+            cols: 1,
+            data,
         };
         let frame = encode_frame(&msg);
         match decode_frame(&frame) {

@@ -58,29 +58,33 @@ fn param_key(rng: &mut Xoshiro256) -> ParamKey {
     }
 }
 
-/// Random well-formed quantized chunk: a valid precision tag, a scale
-/// from the legal domain (finite, non-negative, zero included), and a
-/// body of exactly `count * element_bytes` bytes.
+/// Random well-formed quantized chunk: a valid precision tag, a row
+/// shape that fits inside one chunk, and an `encode_rows` body — so
+/// int8 frames carry a legal (finite, non-negative) per-row scale
+/// block, which the decoder now validates.
 fn quant_chunk(rng: &mut Xoshiro256) -> Message {
-    let (precision, width) = if rng.gen_range(2) == 0 {
-        (1u8, 2usize) // f16
+    let precision = if rng.gen_range(2) == 0 {
+        pbg_tensor::Precision::F16
     } else {
-        (2u8, 1usize) // int8
+        pbg_tensor::Precision::Int8
     };
-    let count = vec_len(rng).min(CHUNK_FLOATS) as u32;
-    let scale = match rng.gen_range(4) {
-        0 => 0.0,
-        1 => f32::MIN_POSITIVE,
-        2 => 3.4e38,
-        _ => rng.gen_range(1 << 20) as f32 * 1e-3,
-    };
-    let data: Vec<u8> = (0..count as usize * width)
-        .map(|_| rng.gen_range(256) as u8)
+    let cols = 1 + rng.gen_range(16) as usize;
+    let max_rows = CHUNK_FLOATS / cols;
+    let rows = match rng.gen_range(4) {
+        0 => 1,
+        1 => max_rows,
+        _ => 1 + rng.gen_range(32) as usize,
+    }
+    .min(max_rows);
+    let values: Vec<f32> = (0..rows * cols)
+        .map(|_| (rng.gen_range(1 << 16) as f32 - 32768.0) * 0.01)
         .collect();
+    let mut data = Vec::new();
+    pbg_tensor::quant::encode_rows(precision, &values, rows, cols, &mut data);
     Message::PartChunkQ {
-        precision,
-        count,
-        scale,
+        precision: precision as u8,
+        rows: rows as u32,
+        cols: cols as u32,
         data,
     }
 }
@@ -440,10 +444,10 @@ fn quantized_chunk_streams_roundtrip_at_boundary_sizes() {
             2 * CHUNK_FLOATS,
         ] {
             // values well inside the f16 range so only precision, not
-            // range, is at stake
+            // range, is at stake; dim 1 divides every boundary size
             let data: Vec<f32> = (0..n).map(|i| ((i % 777) as f32 - 388.0) * 0.25).collect();
             let mut buf = Vec::new();
-            let written = wire::write_chunks_q(&mut buf, &data, precision).expect("write");
+            let written = wire::write_chunks_q(&mut buf, &data, 1, precision).expect("write");
             assert_eq!(written, buf.len());
             if n == 0 {
                 assert!(buf.is_empty(), "empty block sends zero frames");
@@ -452,7 +456,7 @@ fn quantized_chunk_streams_roundtrip_at_boundary_sizes() {
             let (back, consumed) = wire::read_chunks(&mut cursor, n).expect("read");
             assert_eq!(back.len(), n);
             assert_eq!(consumed, written);
-            // per-chunk absmax/127 scale: decoded error ≤ half a step
+            // per-row absmax/127 scale (≤ global absmax): error ≤ half a step
             let absmax = data.iter().fold(0.0f32, |m, v| m.max(v.abs()));
             let bound = match precision {
                 Precision::F16 => absmax / 2048.0,
@@ -479,7 +483,7 @@ fn mixed_plain_and_quantized_chunks_decode_transparently() {
     let quant: Vec<f32> = (0..32).map(|i| i as f32 - 16.0).collect();
     let mut buf = Vec::new();
     let a = wire::write_chunks(&mut buf, &plain).expect("plain");
-    let b = wire::write_chunks_q(&mut buf, &quant, Precision::F16).expect("quant");
+    let b = wire::write_chunks_q(&mut buf, &quant, 8, Precision::F16).expect("quant");
     let mut cursor = Cursor::new(&buf);
     let (back, consumed) = wire::read_chunks(&mut cursor, 96).expect("mixed read");
     assert_eq!(consumed, a + b);
@@ -495,7 +499,7 @@ fn oversized_quantized_chunk_stream_is_rejected() {
     for precision in [Precision::F16, Precision::Int8] {
         let data: Vec<f32> = (0..64).map(|i| i as f32).collect();
         let mut buf = Vec::new();
-        wire::write_chunks_q(&mut buf, &data, precision).expect("write");
+        wire::write_chunks_q(&mut buf, &data, 8, precision).expect("write");
         let mut cursor = Cursor::new(&buf);
         let err = wire::read_chunks(&mut cursor, 32).expect_err("overrun accepted");
         assert!(matches!(err, WireError::BadPayload(_)), "{err}");
@@ -504,18 +508,21 @@ fn oversized_quantized_chunk_stream_is_rejected() {
 
 #[test]
 fn hostile_quant_counts_never_cause_overallocation() {
-    // a PartChunkQ whose count field promises far more bytes than the
+    // a PartChunkQ whose rows field promises far more bytes than the
     // payload carries must fail validation before any allocation
+    let values: Vec<f32> = (0..8).map(|i| i as f32).collect();
+    let mut data = Vec::new();
+    pbg_tensor::quant::encode_rows(pbg_tensor::Precision::F16, &values, 4, 2, &mut data);
     let msg = Message::PartChunkQ {
         precision: 1,
-        count: 4,
-        scale: 1.0,
-        data: vec![0u8; 8],
+        rows: 4,
+        cols: 2,
+        data,
     };
     let mut payload = msg.encode_payload();
-    // layout: tag, precision u8, count u32, scale f32, data
+    // layout: tag, precision u8, rows u32, cols u32, data
     payload[2..6].copy_from_slice(&u32::MAX.to_le_bytes());
-    let err = Message::decode_payload(&payload).expect_err("bogus quant count accepted");
+    let err = Message::decode_payload(&payload).expect_err("bogus quant row count accepted");
     assert!(matches!(err, WireError::BadPayload(_)), "{err}");
 }
 

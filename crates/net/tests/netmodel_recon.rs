@@ -132,6 +132,7 @@ fn quantized_partition_rpc_bytes_reconcile_across_all_three_observers() {
                 server.local_addr().to_string(),
                 &telemetry,
                 precision,
+                dim,
             );
             let key = pbg_core::storage::PartitionKey::new(0u32, 0u32);
 
@@ -146,7 +147,8 @@ fn quantized_partition_rpc_bytes_reconcile_across_all_three_observers() {
             let (emb, acc, token) = checked_out.unwrap();
             assert_eq!(emb.len(), emb_floats, "{precision:?} {entities}x{dim}");
             assert_eq!(acc.len(), acc_floats);
-            let predicted = wirecost::checkout_rpc_bytes_q(emb_floats, acc_floats, precision) as u64;
+            let predicted =
+                wirecost::checkout_rpc_bytes_q(emb_floats, acc_floats, dim, precision) as u64;
             let simulated = net.total_bytes();
             assert_eq!(
                 measured, predicted,
@@ -165,7 +167,8 @@ fn quantized_partition_rpc_bytes_reconcile_across_all_three_observers() {
             let measured = measure(&telemetry, || {
                 assert!(client.checkin(key, emb, acc, token).expect("checkin"));
             });
-            let predicted = wirecost::checkin_rpc_bytes_q(emb_floats, acc_floats, precision) as u64;
+            let predicted =
+                wirecost::checkin_rpc_bytes_q(emb_floats, acc_floats, dim, precision) as u64;
             assert_eq!(
                 measured, predicted,
                 "{precision:?} checkin {entities}x{dim}: measured"

@@ -442,7 +442,7 @@ fn cmd_train_cluster(
         lock: NetLock::new(lock_addr, &telemetry),
         // uploads at the config's storage precision; the partition
         // server derives the same from its layout for downloads
-        partitions: NetPartitions::with_precision(part_addr, &telemetry, config.precision),
+        partitions: NetPartitions::with_precision(part_addr, &telemetry, config.precision, config.dim),
         params: NetParams::new(param_addr, &telemetry),
     };
     let mut run = RankConfig::new(rank);
