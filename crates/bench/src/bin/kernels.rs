@@ -25,7 +25,7 @@
 use std::time::Instant;
 
 use pbg_bench::report::{save_json, ExpArgs, Table};
-use pbg_tensor::kernels::{self, reference, ScoreGrad};
+use pbg_tensor::kernels::{self, dispatch, reference, ScoreGrad, Variant};
 use pbg_tensor::matrix::Matrix;
 use pbg_tensor::rng::Xoshiro256;
 use serde_json::json;
@@ -109,9 +109,33 @@ fn main() {
         });
 
         // Arm 2: blocked forward, packing per call like Matrix::matmul_nt.
+        // Goes through the runtime dispatcher (PBG_KERNEL / best CPU path).
         let t_blocked = best_time(reps, iters, || {
             kernels::matmul_nt(c, n, d, pos.as_slice(), d, cand.as_slice(), d, &mut out, n);
         });
+
+        // Arm 2b: the same blocked forward pinned to each microkernel
+        // variant this CPU supports, so the dispatch win is visible in
+        // one run instead of needing three PBG_KERNEL invocations.
+        let mut variant_gfs: Vec<(String, f64)> = Vec::new();
+        for v in Variant::supported_variants() {
+            let t = best_time(reps, iters, || {
+                kernels::matmul_nt_with(
+                    v,
+                    c,
+                    n,
+                    d,
+                    pos.as_slice(),
+                    d,
+                    cand.as_slice(),
+                    d,
+                    &mut out,
+                    n,
+                );
+            });
+            let fwd = 2.0 * c as f64 * n as f64 * d as f64;
+            variant_gfs.push((v.name().to_string(), fwd / t / 1e9));
+        }
 
         // Arm 3: fused — pack once, forward + one-pass dual backward.
         let t_fused = best_time(reps, iters.div_ceil(3), || {
@@ -162,9 +186,16 @@ fn main() {
             format!("{blocked_vs_naive:.2}x"),
             format!("{fused_vs_naive:.2}x"),
         ]);
+        let variants_value = serde_json::Value::Map(
+            variant_gfs
+                .iter()
+                .map(|(name, gf)| (name.clone(), serde_json::Value::F64(*gf)))
+                .collect(),
+        );
         let gflops = json!({
             "naive_nt": naive_gf,
             "blocked_nt": blocked_gf,
+            "blocked_nt_variants": variants_value,
             "fused_fwd_bwd": fused_gf,
             "naive_fwd_bwd": naive_fb_gf,
         });
@@ -181,12 +212,21 @@ fn main() {
              blocked {blocked_gf:6.2} GF/s ({blocked_vs_naive:.2}x)  \
              fused fwd+bwd {fused_gf:6.2} GF/s ({fused_vs_naive:.2}x)"
         );
+        let per_variant: Vec<String> = variant_gfs
+            .iter()
+            .map(|(name, gf)| format!("{name} {gf:.2}"))
+            .collect();
+        println!(
+            "                      blocked by variant: {}",
+            per_variant.join("  ")
+        );
     }
 
     table.print();
     let result = json!({
         "bench": "kernels",
         "quick": args.quick,
+        "dispatch_active": dispatch::active().name(),
         "shapes": records,
     });
     save_json("kernels", &result);

@@ -66,7 +66,10 @@ fn main() {
 
     let run = train_pbg(dataset.schema.clone(), &split.train, config, None);
     let base = link_prediction(&run.model, &split, 100, CandidateSampling::Prevalence);
-    println!("f32 in-memory baseline: MRR {:.4}, Hits@10 {:.4}", base.mrr, base.hits_at_10);
+    println!(
+        "f32 in-memory baseline: MRR {:.4}, Hits@10 {:.4}",
+        base.mrr, base.hits_at_10
+    );
 
     // wire cost of one full checkout+checkin of every embedding float —
     // the closed forms are reconciled byte-for-byte against loopback

@@ -18,6 +18,95 @@ pub struct Batch {
     pub indices: Vec<usize>,
 }
 
+/// A view of one training batch, borrowing its index run from the
+/// [`BatchScratch`] it was cut from — the allocation-free counterpart of
+/// [`Batch`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BatchRef<'a> {
+    /// Relation type shared by all edges in the batch.
+    pub rel: u32,
+    /// Indices into the originating edge list.
+    pub indices: &'a [usize],
+}
+
+/// Reusable grouping buffer for [`relation_batches_in`]. One per HOGWILD
+/// worker: the sort order is rebuilt in place each epoch, so batch
+/// construction stops hitting the global allocator after the first pass.
+#[derive(Debug, Default)]
+pub struct BatchScratch {
+    order: Vec<usize>,
+}
+
+impl BatchScratch {
+    /// An empty scratch buffer (allocates on first use).
+    pub fn new() -> Self {
+        BatchScratch::default()
+    }
+}
+
+/// Iterator over relation-pure batches, yielding [`BatchRef`]s into a
+/// [`BatchScratch`]. See [`relation_batches_in`].
+#[derive(Debug)]
+pub struct RelationBatches<'a> {
+    edges: &'a EdgeList,
+    order: &'a [usize],
+    batch_size: usize,
+    start: usize,
+}
+
+impl<'a> Iterator for RelationBatches<'a> {
+    type Item = BatchRef<'a>;
+
+    fn next(&mut self) -> Option<BatchRef<'a>> {
+        if self.start >= self.order.len() {
+            return None;
+        }
+        let rel = self.edges.relations()[self.order[self.start]];
+        let mut end = self.start;
+        while end < self.order.len()
+            && self.edges.relations()[self.order[end]] == rel
+            && end - self.start < self.batch_size
+        {
+            end += 1;
+        }
+        let item = BatchRef {
+            rel,
+            indices: &self.order[self.start..end],
+        };
+        self.start = end;
+        Some(item)
+    }
+}
+
+/// Groups `edges` by relation type and cuts groups into batches of at
+/// most `batch_size`, reusing `scratch` for the sort order instead of
+/// allocating. Batch contents and order are identical to
+/// [`relation_batches`]: the unstable sort keys on `(relation, index)`,
+/// which is a total order and therefore produces exactly the sequence the
+/// stable relation-keyed sort produces.
+///
+/// # Panics
+///
+/// Panics if `batch_size == 0`.
+pub fn relation_batches_in<'a>(
+    edges: &'a EdgeList,
+    batch_size: usize,
+    scratch: &'a mut BatchScratch,
+) -> RelationBatches<'a> {
+    assert!(batch_size > 0, "batch_size must be positive");
+    scratch.order.clear();
+    scratch.order.extend(0..edges.len());
+    scratch
+        .order
+        .sort_unstable_by_key(|&i| (edges.relations()[i], i));
+    RelationBatches {
+        edges,
+        order: &scratch.order,
+        batch_size,
+        start: 0,
+    }
+}
+
 /// Groups `edges` by relation type and cuts groups into batches of at
 /// most `batch_size`.
 ///
@@ -25,25 +114,13 @@ pub struct Batch {
 ///
 /// Panics if `batch_size == 0`.
 pub fn relation_batches(edges: &EdgeList, batch_size: usize) -> Vec<Batch> {
-    assert!(batch_size > 0, "batch_size must be positive");
-    let mut order: Vec<usize> = (0..edges.len()).collect();
-    order.sort_by_key(|&i| edges.relations()[i]);
-    let mut batches = Vec::new();
-    let mut start = 0usize;
-    while start < order.len() {
-        let rel = edges.relations()[order[start]];
-        let mut end = start;
-        while end < order.len() && edges.relations()[order[end]] == rel && end - start < batch_size
-        {
-            end += 1;
-        }
-        batches.push(Batch {
-            rel,
-            indices: order[start..end].to_vec(),
-        });
-        start = end;
-    }
-    batches
+    let mut scratch = BatchScratch::new();
+    relation_batches_in(edges, batch_size, &mut scratch)
+        .map(|b| Batch {
+            rel: b.rel,
+            indices: b.indices.to_vec(),
+        })
+        .collect()
 }
 
 /// Cuts a batch's indices into chunks of at most `chunk_size` for
@@ -55,8 +132,17 @@ pub fn relation_batches(edges: &EdgeList, batch_size: usize) -> Vec<Batch> {
 /// [`crate::config::PbgConfig::validate`] rejects up front; silently
 /// clamping it here would hide the misconfiguration from the caller.
 pub fn chunks(batch: &Batch, chunk_size: usize) -> impl Iterator<Item = &[usize]> {
+    chunks_of(&batch.indices, chunk_size)
+}
+
+/// [`chunks`] over a borrowed index run (works for [`BatchRef`] too).
+///
+/// # Panics
+///
+/// Panics if `chunk_size == 0`.
+pub fn chunks_of(indices: &[usize], chunk_size: usize) -> impl Iterator<Item = &[usize]> {
     assert!(chunk_size > 0, "chunks: chunk_size must be positive");
-    batch.indices.chunks(chunk_size)
+    indices.chunks(chunk_size)
 }
 
 #[cfg(test)]
@@ -118,6 +204,25 @@ mod tests {
     fn empty_edges_no_batches() {
         let edges = EdgeList::new();
         assert!(relation_batches(&edges, 4).is_empty());
+    }
+
+    #[test]
+    fn scratch_iterator_yields_exactly_the_allocating_batches() {
+        let edges = mixed_edges();
+        for batch_size in [1, 3, 4, 7, 100] {
+            let want = relation_batches(&edges, batch_size);
+            let mut scratch = BatchScratch::new();
+            // reuse across calls must not change results
+            for _ in 0..2 {
+                let got: Vec<Batch> = relation_batches_in(&edges, batch_size, &mut scratch)
+                    .map(|b| Batch {
+                        rel: b.rel,
+                        indices: b.indices.to_vec(),
+                    })
+                    .collect();
+                assert_eq!(got, want, "batch_size {batch_size}");
+            }
+        }
     }
 
     #[test]

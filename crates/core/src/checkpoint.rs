@@ -259,7 +259,13 @@ fn save_impl(
         buf.put_u64(emb.rows() as u64);
         buf.put_u64(emb.cols() as u64);
         let mut payload = Vec::new();
-        quant::encode_rows(precision, emb.as_slice(), emb.rows(), emb.cols(), &mut payload);
+        quant::encode_rows(
+            precision,
+            emb.as_slice(),
+            emb.rows(),
+            emb.cols(),
+            &mut payload,
+        );
         buf.put_slice(&payload);
         put(io, format!("embeddings_{t}.bin"), &buf)?;
     }

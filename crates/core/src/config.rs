@@ -104,12 +104,18 @@ pub struct PbgConfig {
     /// chunks). Training compute and Adagrad state stay f32; anything
     /// non-default is dequantized back to f32 on load.
     pub precision: pbg_tensor::Precision,
+    /// Pin HOGWILD workers (round-robin) and the disk I/O thread (last
+    /// allowed core) with `sched_setaffinity`. Placement only — results
+    /// are bit-identical pinned or not; pinning failures degrade to
+    /// unpinned with a logged warning.
+    pub pin_cores: bool,
 }
 
 // Hand-written (the vendored serde_derive supports no field attributes):
 // every field is required except `checkpoint_interval_buckets` (defaults
-// to 0), `buffer_size` (defaults to 2), and `precision` (defaults to
-// f32), so configs saved before those fields existed keep loading.
+// to 0), `buffer_size` (defaults to 2), `precision` (defaults to f32),
+// and `pin_cores` (defaults to false), so configs saved before those
+// fields existed keep loading.
 impl serde::Deserialize for PbgConfig {
     fn deserialize(content: &serde::Content) -> std::result::Result<Self, serde::Error> {
         let serde::Content::Map(fields) = content else {
@@ -142,6 +148,7 @@ impl serde::Deserialize for PbgConfig {
             .unwrap_or(0),
             precision: serde::get_field::<Option<pbg_tensor::Precision>>(fields, "precision")?
                 .unwrap_or(pbg_tensor::Precision::F32),
+            pin_cores: serde::get_field::<Option<bool>>(fields, "pin_cores")?.unwrap_or(false),
         })
     }
 }
@@ -169,6 +176,7 @@ impl Default for PbgConfig {
             seed: 0,
             checkpoint_interval_buckets: 0,
             precision: pbg_tensor::Precision::F32,
+            pin_cores: false,
         }
     }
 }
@@ -386,6 +394,12 @@ impl PbgConfigBuilder {
     /// the wire (compute stays f32).
     pub fn precision(mut self, p: pbg_tensor::Precision) -> Self {
         self.config.precision = p;
+        self
+    }
+
+    /// Pins HOGWILD workers and the disk I/O thread with core affinity.
+    pub fn pin_cores(mut self, yes: bool) -> Self {
+        self.config.pin_cores = yes;
         self
     }
 

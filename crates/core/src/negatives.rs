@@ -39,10 +39,34 @@ pub fn candidate_offsets(
     partition_size: usize,
     rng: &mut Xoshiro256,
 ) -> Vec<u32> {
-    let mut out = Vec::with_capacity(chunk_offsets.len() + uniform);
-    out.extend_from_slice(chunk_offsets);
-    out.extend(sample_uniform_offsets(uniform, partition_size, rng));
+    let mut out = Vec::new();
+    candidate_offsets_into(&mut out, chunk_offsets, uniform, partition_size, rng);
     out
+}
+
+/// [`candidate_offsets`] into a caller-owned buffer: clears and refills
+/// `out`, reusing its capacity. Thread-local reuse of this buffer is what
+/// keeps HOGWILD negative sampling off the global allocator. Draws the
+/// exact RNG sequence [`sample_uniform_offsets`] draws, so swapping the
+/// two forms can never change training results.
+///
+/// # Panics
+///
+/// Panics if `partition_size == 0`.
+pub fn candidate_offsets_into(
+    out: &mut Vec<u32>,
+    chunk_offsets: &[u32],
+    uniform: usize,
+    partition_size: usize,
+    rng: &mut Xoshiro256,
+) {
+    assert!(partition_size > 0, "cannot sample from an empty partition");
+    out.clear();
+    out.reserve(chunk_offsets.len() + uniform);
+    out.extend_from_slice(chunk_offsets);
+    for _ in 0..uniform {
+        out.push(rng.gen_index(partition_size) as u32);
+    }
 }
 
 /// Masks induced positives in a `C × N` score matrix: entry `(i, j)` is
@@ -78,12 +102,23 @@ pub fn mask_induced_positives(
 ///
 /// Panics if any offset is out of bounds.
 pub fn gather(array: &pbg_tensor::hogwild::HogwildArray, offsets: &[u32]) -> Matrix {
-    let dim = array.cols();
-    let mut out = Matrix::zeros(offsets.len(), dim);
+    let mut out = Matrix::zeros(0, 0);
+    gather_into(array, offsets, &mut out);
+    out
+}
+
+/// [`gather`] into a caller-owned matrix: reshapes `out` in place
+/// (reusing its allocation) and fills it. The scratch half of the
+/// thread-local negative-sampling pair.
+///
+/// # Panics
+///
+/// Panics if any offset is out of bounds.
+pub fn gather_into(array: &pbg_tensor::hogwild::HogwildArray, offsets: &[u32], out: &mut Matrix) {
+    out.resize(offsets.len(), array.cols());
     for (i, &off) in offsets.iter().enumerate() {
         array.read_row_into(off as usize, out.row_mut(i));
     }
-    out
 }
 
 #[cfg(test)]
@@ -135,6 +170,27 @@ mod tests {
     fn mask_rejects_col_mismatch() {
         let mut scores = Matrix::zeros(2, 3);
         mask_induced_positives(&mut scores, &[1u32, 2], &[0u32, 1]);
+    }
+
+    #[test]
+    fn into_variants_match_allocating_forms_and_rng_sequence() {
+        let chunk = [5u32, 6, 7];
+        let mut rng_a = Xoshiro256::seed_from_u64(9);
+        let want = candidate_offsets(&chunk, 8, 100, &mut rng_a);
+        let mut rng_b = Xoshiro256::seed_from_u64(9);
+        let mut got = vec![0u32; 3]; // stale contents must be discarded
+        candidate_offsets_into(&mut got, &chunk, 8, 100, &mut rng_b);
+        assert_eq!(got, want, "same offsets from the same seed");
+        assert_eq!(
+            rng_a.gen_index(1 << 30),
+            rng_b.gen_index(1 << 30),
+            "both forms leave the rng in the same state"
+        );
+
+        let arr = HogwildArray::from_vec(3, 2, vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0]);
+        let mut m = Matrix::zeros(7, 7);
+        gather_into(&arr, &[2, 0], &mut m);
+        assert_eq!(m.as_slice(), gather(&arr, &[2, 0]).as_slice());
     }
 
     #[test]

@@ -9,7 +9,9 @@
 use crate::model::Model;
 use crate::stats::BucketStats;
 use crate::storage::{PartitionData, PartitionKey, PartitionStore};
-use crate::trainer::step::{train_chunk, ChunkContext, ParamGradAccum, PhaseClock, PhaseTotals};
+use crate::trainer::step::{
+    train_chunk_with_scratch, ChunkContext, ParamGradAccum, PhaseClock, PhaseTotals, StepScratch,
+};
 use crate::{batch, config::NegativeMode};
 use pbg_graph::bucket::BucketId;
 use pbg_graph::edges::EdgeList;
@@ -107,6 +109,16 @@ pub fn train_bucket(
                 let resident = &resident;
                 let parts = &parts;
                 scope.spawn(move |_| {
+                    if config.pin_cores {
+                        // Best-effort: affinity changes placement only,
+                        // never results; a rejected mask trains unpinned.
+                        let plan = pbg_tensor::affinity::CorePlan::detect();
+                        if let Err(e) =
+                            pbg_tensor::affinity::pin_current_thread(plan.worker_core(tid))
+                        {
+                            eprintln!("pbg-core: worker {tid} not pinned: {e}");
+                        }
+                    }
                     let phases = if tracing {
                         Some(PhaseClock::new())
                     } else {
@@ -122,7 +134,20 @@ pub fn train_bucket(
                         // unbatched processes edges one at a time
                         NegativeMode::Unbatched => 1,
                     };
-                    for b in batch::relation_batches(thread_edges, config.batch_size) {
+                    // Thread-local scratch: batch order, chunk offset
+                    // triples, and the negative-sampling buffers all live
+                    // here, so the steady-state epoch loop performs no
+                    // cross-thread allocator traffic.
+                    let mut batch_scratch = batch::BatchScratch::new();
+                    let mut step_scratch = StepScratch::new();
+                    let mut src_off: Vec<u32> = Vec::new();
+                    let mut dst_off: Vec<u32> = Vec::new();
+                    let mut weights: Vec<f32> = Vec::new();
+                    for b in batch::relation_batches_in(
+                        thread_edges,
+                        config.batch_size,
+                        &mut batch_scratch,
+                    ) {
                         let rel_id = RelationTypeId(b.rel);
                         let rdef = schema.relation_type(rel_id);
                         let src_et = rdef.source_type();
@@ -144,10 +169,10 @@ pub fn train_bucket(
                         };
                         let rel_weight = model.relation(rel_id).weight();
                         let mut param_grads = ParamGradAccum::for_relation(model.relation(rel_id));
-                        for chunk in batch::chunks(&b, effective_chunk) {
-                            let mut src_off = Vec::with_capacity(chunk.len());
-                            let mut dst_off = Vec::with_capacity(chunk.len());
-                            let mut weights = Vec::with_capacity(chunk.len());
+                        for chunk in batch::chunks_of(b.indices, effective_chunk) {
+                            src_off.clear();
+                            dst_off.clear();
+                            weights.clear();
                             for &i in chunk {
                                 let e = thread_edges.get(i);
                                 src_off.push(src_part.offset_of(e.src));
@@ -155,13 +180,14 @@ pub fn train_bucket(
                                 weights.push(rel_weight * thread_edges.weight(i));
                             }
                             let mut step = || {
-                                train_chunk(
+                                train_chunk_with_scratch(
                                     &ctx,
                                     &src_off,
                                     &dst_off,
                                     &weights,
                                     &mut param_grads,
                                     &mut rng,
+                                    &mut step_scratch,
                                 )
                             };
                             loss += match &phases {

@@ -379,7 +379,12 @@ impl Trainer {
         let t0 = self.telemetry.now_ns();
         let snap = self.model.snapshot(self.store.as_ref());
         let bytes = snap.bytes() as u64;
-        checkpoint::save_with_precision(&snap, &policy.dir, progress, self.model.config().precision)?;
+        checkpoint::save_with_precision(
+            &snap,
+            &policy.dir,
+            progress,
+            self.model.config().precision,
+        )?;
         self.telemetry
             .counter(metric_name::TRAINER_CHECKPOINTS)
             .inc();
@@ -482,10 +487,11 @@ fn build_store(
     let layout: StoreLayout = model.store_layout();
     Ok(match storage {
         Storage::InMemory => Box::new(InMemoryStore::with_telemetry(layout, telemetry)),
-        Storage::Disk(dir) => Box::new(DiskStore::with_telemetry(
+        Storage::Disk(dir) => Box::new(DiskStore::with_telemetry_pinned(
             layout,
             dir.as_path() as &Path,
             telemetry,
+            model.config().pin_cores,
         )?),
         Storage::DiskSync(dir) => Box::new(DiskStore::new_sync_with_telemetry(
             layout,

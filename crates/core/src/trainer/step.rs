@@ -10,7 +10,7 @@
 use crate::config::{NegativeMode, PbgConfig};
 use crate::loss;
 use crate::model::RelationParams;
-use crate::negatives::{candidate_offsets, gather, mask_induced_positives};
+use crate::negatives::{candidate_offsets_into, gather, gather_into, mask_induced_positives};
 use crate::operator;
 use crate::similarity::{backward_pairs, score_pairs, BatchScorer};
 use crate::storage::PartitionData;
@@ -172,6 +172,37 @@ pub struct ChunkContext<'a> {
     pub phases: Option<&'a PhaseClock>,
 }
 
+/// Reusable per-thread buffers for [`train_chunk_with_scratch`]: the
+/// candidate offset lists and gathered candidate matrices for both
+/// corruption sides. One per HOGWILD worker — after the first chunk the
+/// negative-sampling path stops touching the global allocator, which is
+/// exactly the contended resource when many workers sample in lockstep.
+#[derive(Debug)]
+pub struct StepScratch {
+    cand_dst_offsets: Vec<u32>,
+    cand_src_offsets: Vec<u32>,
+    cand_dst: Matrix,
+    cand_src: Matrix,
+}
+
+impl StepScratch {
+    /// Empty buffers; they grow to steady-state size on the first chunk.
+    pub fn new() -> Self {
+        StepScratch {
+            cand_dst_offsets: Vec::new(),
+            cand_src_offsets: Vec::new(),
+            cand_dst: Matrix::zeros(0, 0),
+            cand_src: Matrix::zeros(0, 0),
+        }
+    }
+}
+
+impl Default for StepScratch {
+    fn default() -> Self {
+        StepScratch::new()
+    }
+}
+
 /// Trains one chunk; returns the summed loss.
 ///
 /// `src_offsets`/`dst_offsets` are partition-local row offsets of the
@@ -189,6 +220,33 @@ pub fn train_chunk(
     param_grads: &mut ParamGradAccum,
     rng: &mut Xoshiro256,
 ) -> f64 {
+    train_chunk_with_scratch(
+        ctx,
+        src_offsets,
+        dst_offsets,
+        weights,
+        param_grads,
+        rng,
+        &mut StepScratch::new(),
+    )
+}
+
+/// [`train_chunk`] with caller-owned [`StepScratch`] buffers. Scratch
+/// reuse changes allocation behavior only — the RNG draw sequence and
+/// every computed value are identical to the allocating form.
+///
+/// # Panics
+///
+/// Panics if slice lengths disagree or offsets are out of range.
+pub fn train_chunk_with_scratch(
+    ctx: &ChunkContext<'_>,
+    src_offsets: &[u32],
+    dst_offsets: &[u32],
+    weights: &[f32],
+    param_grads: &mut ParamGradAccum,
+    rng: &mut Xoshiro256,
+    scratch: &mut StepScratch,
+) -> f64 {
     assert_eq!(
         src_offsets.len(),
         dst_offsets.len(),
@@ -202,6 +260,12 @@ pub fn train_chunk(
     let rel = ctx.relation;
     let op = rel.op();
     let include_chunk = cfg.negative_mode == NegativeMode::Batched;
+    let StepScratch {
+        cand_dst_offsets,
+        cand_src_offsets,
+        cand_dst,
+        cand_src,
+    } = scratch;
 
     // ---- forward ----
     let src = gather(&ctx.src_data.embeddings, src_offsets);
@@ -211,25 +275,22 @@ pub fn train_chunk(
     let pos_scores = score_pairs(cfg.similarity, &t_src, &dst);
 
     // destination corruption: candidates = (chunk dsts +) uniform
-    let (cand_dst_offsets, cand_dst) = sampled(ctx.phases, || {
-        let offsets = if include_chunk {
-            candidate_offsets(
-                dst_offsets,
-                cfg.uniform_negatives,
-                ctx.dst_partition_size,
-                rng,
-            )
-        } else {
-            candidate_offsets(&[], cfg.uniform_negatives, ctx.dst_partition_size, rng)
-        };
-        let rows = gather(&ctx.dst_data.embeddings, &offsets);
-        (offsets, rows)
+    sampled(ctx.phases, || {
+        let chunk: &[u32] = if include_chunk { dst_offsets } else { &[] };
+        candidate_offsets_into(
+            cand_dst_offsets,
+            chunk,
+            cfg.uniform_negatives,
+            ctx.dst_partition_size,
+            rng,
+        );
+        gather_into(&ctx.dst_data.embeddings, cand_dst_offsets, cand_dst);
     });
     // the fused §4.3 hot path: pack the candidates once, reuse the packing
     // for the score matrix now and both gradient products in the backward
-    let dst_scorer = BatchScorer::new(cfg.similarity, &t_src, &cand_dst);
+    let dst_scorer = BatchScorer::new(cfg.similarity, &t_src, cand_dst);
     let mut neg_dst_scores = dst_scorer.scores();
-    mask_induced_positives(&mut neg_dst_scores, dst_offsets, &cand_dst_offsets);
+    mask_induced_positives(&mut neg_dst_scores, dst_offsets, cand_dst_offsets);
     let dst_loss = loss::compute(cfg.loss, cfg.margin, &pos_scores, &neg_dst_scores, weights);
     let mut total_loss = dst_loss.loss;
 
@@ -241,28 +302,25 @@ pub fn train_chunk(
     // source corruption
     let mut src_side: Option<SrcSideGrads> = None;
     if cfg.corrupt_sources {
-        let (cand_src_offsets, cand_src) = sampled(ctx.phases, || {
-            let offsets = if include_chunk {
-                candidate_offsets(
-                    src_offsets,
-                    cfg.uniform_negatives,
-                    ctx.src_partition_size,
-                    rng,
-                )
-            } else {
-                candidate_offsets(&[], cfg.uniform_negatives, ctx.src_partition_size, rng)
-            };
-            let rows = gather(&ctx.src_data.embeddings, &offsets);
-            (offsets, rows)
+        sampled(ctx.phases, || {
+            let chunk: &[u32] = if include_chunk { src_offsets } else { &[] };
+            candidate_offsets_into(
+                cand_src_offsets,
+                chunk,
+                cfg.uniform_negatives,
+                ctx.src_partition_size,
+                rng,
+            );
+            gather_into(&ctx.src_data.embeddings, cand_src_offsets, cand_src);
         });
         if let Some(recip) = &rel.reciprocal {
             // reciprocal: score candidates against g_inv(dst)
             let inv_params = recip.snapshot();
             let t_dst = operator::apply(op, &inv_params, &dst);
             let pos2 = score_pairs(cfg.similarity, &t_dst, &src);
-            let src_scorer = BatchScorer::new(cfg.similarity, &t_dst, &cand_src);
+            let src_scorer = BatchScorer::new(cfg.similarity, &t_dst, cand_src);
             let mut neg_src_scores = src_scorer.scores();
-            mask_induced_positives(&mut neg_src_scores, src_offsets, &cand_src_offsets);
+            mask_induced_positives(&mut neg_src_scores, src_offsets, cand_src_offsets);
             let src_loss = loss::compute(cfg.loss, cfg.margin, &pos2, &neg_src_scores, weights);
             total_loss += src_loss.loss;
             // backward through the reciprocal path
@@ -277,7 +335,6 @@ pub fn train_chunk(
                 *gp += *g;
             }
             src_side = Some(SrcSideGrads {
-                cand_src_offsets,
                 g_cand_src,
                 g_src_extra: Some(g_src_pos),
             });
@@ -286,10 +343,10 @@ pub fn train_chunk(
             // the raw destinations; the positive term is the same score as
             // the destination side, so its gradient folds into
             // `grad_pos_shared`.
-            let t_cand = operator::apply(op, &fwd_params, &cand_src);
+            let t_cand = operator::apply(op, &fwd_params, cand_src);
             let src_scorer = BatchScorer::new(cfg.similarity, &dst, &t_cand);
             let mut neg_src_scores = src_scorer.scores();
-            mask_induced_positives(&mut neg_src_scores, src_offsets, &cand_src_offsets);
+            mask_induced_positives(&mut neg_src_scores, src_offsets, cand_src_offsets);
             let src_loss =
                 loss::compute(cfg.loss, cfg.margin, &pos_scores, &neg_src_scores, weights);
             total_loss += src_loss.loss;
@@ -298,12 +355,11 @@ pub fn train_chunk(
             }
             let (g_dst_neg, g_tcand) = src_scorer.backward(&src_loss.grad_neg);
             grad_dst_rows.add_scaled(1.0, &g_dst_neg);
-            let (g_cand_src, g_params2) = operator::backward(op, &fwd_params, &cand_src, &g_tcand);
+            let (g_cand_src, g_params2) = operator::backward(op, &fwd_params, cand_src, &g_tcand);
             for (gp, g) in grad_fwd_params.iter_mut().zip(&g_params2) {
                 *gp += *g;
             }
             src_side = Some(SrcSideGrads {
-                cand_src_offsets,
                 g_cand_src,
                 g_src_extra: None,
             });
@@ -325,9 +381,11 @@ pub fn train_chunk(
     optimized(ctx.phases, || {
         scatter(ctx.src_data, src_offsets, &g_src, None);
         scatter(ctx.dst_data, dst_offsets, &grad_dst_rows, None);
-        scatter_rows(ctx.dst_data, &cand_dst_offsets, &g_cand_dst);
+        scatter_rows(ctx.dst_data, cand_dst_offsets, &g_cand_dst);
         if let Some(side) = src_side {
-            scatter_rows(ctx.src_data, &side.cand_src_offsets, &side.g_cand_src);
+            // `cand_src_offsets` was (re)filled this chunk iff `src_side`
+            // was constructed, so the borrow is of fresh data.
+            scatter_rows(ctx.src_data, cand_src_offsets, &side.g_cand_src);
             if let Some(extra) = side.g_src_extra {
                 scatter(ctx.src_data, src_offsets, &extra, None);
             }
@@ -337,7 +395,6 @@ pub fn train_chunk(
 }
 
 struct SrcSideGrads {
-    cand_src_offsets: Vec<u32>,
     g_cand_src: Matrix,
     g_src_extra: Option<Matrix>,
 }

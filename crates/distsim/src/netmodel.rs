@@ -53,7 +53,7 @@ pub mod wirecost {
             return chunk_stream_bytes(floats);
         }
         assert!(
-            dim > 0 && floats % dim == 0,
+            dim > 0 && floats.is_multiple_of(dim),
             "quantized stream is row-aligned: {floats} floats at dim {dim}"
         );
         let rows = floats / dim;

@@ -973,7 +973,7 @@ pub fn write_chunks_q<W: Write>(
     if data.is_empty() {
         return Ok(0);
     }
-    if dim == 0 || dim > CHUNK_FLOATS || data.len() % dim != 0 {
+    if dim == 0 || dim > CHUNK_FLOATS || !data.len().is_multiple_of(dim) {
         return Err(WireError::BadPayload(format!(
             "quantized stream needs row-aligned data: {} floats at dim {dim}",
             data.len()
@@ -1282,8 +1282,7 @@ mod tests {
         let acc: Vec<f32> = (0..8).map(|i| 70_000.0 + i as f32 * 0.123).collect();
         for precision in [Precision::F16, Precision::Int8] {
             let mut buf = Vec::new();
-            let written =
-                write_part_streams(&mut buf, emb.clone(), &acc, dim, precision).unwrap();
+            let written = write_part_streams(&mut buf, emb.clone(), &acc, dim, precision).unwrap();
             let mut cursor = std::io::Cursor::new(buf);
             let (combined, consumed) = read_chunks(&mut cursor, emb.len() + acc.len()).unwrap();
             assert_eq!(consumed, written);

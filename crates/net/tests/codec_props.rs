@@ -489,7 +489,10 @@ fn mixed_plain_and_quantized_chunks_decode_transparently() {
     assert_eq!(consumed, a + b);
     assert_eq!(&back[..64], &plain[..], "plain prefix is exact");
     for (i, (&x, &y)) in quant.iter().zip(&back[64..]).enumerate() {
-        assert!((x - y).abs() <= 16.0 / 2048.0 + 1e-4, "element {i}: {x} vs {y}");
+        assert!(
+            (x - y).abs() <= 16.0 / 2048.0 + 1e-4,
+            "element {i}: {x} vs {y}"
+        );
     }
 }
 

@@ -4,7 +4,7 @@
 //! pbg train     --edges E [--format tsv|snap] [--config C.json]
 //!               [--partitions P] [--disk DIR] --output CKPT
 //!               [--buffer-size B] [--bucket-ordering O] [--threads T]
-//!               [--precision f32|f16|int8]
+//!               [--precision f32|f16|int8] [--pin-cores]
 //!               [--checkpoint-every N] [--resume DIR]
 //!               [--inject-crash-after N]
 //!               [--telemetry TRACE.jsonl] [--metrics-addr HOST:PORT]
@@ -89,6 +89,12 @@ use std::sync::Arc;
 use std::time::Duration;
 
 fn main() -> ExitCode {
+    // Resolve `PBG_KERNEL` once, up front: an unknown value is a user
+    // error that should list the valid set, not a panic deep in a kernel.
+    if let Err(msg) = pbg::tensor::kernels::dispatch::init_from_env() {
+        eprintln!("error: {msg}");
+        return ExitCode::FAILURE;
+    }
     let args: Vec<String> = std::env::args().skip(1).collect();
     let result = match args.first().map(String::as_str) {
         Some("train") => cmd_train(&parse_flags(&args[1..])),
@@ -116,7 +122,7 @@ const USAGE: &str = "usage:
   pbg train     --edges E [--format tsv|snap] [--config C.json]
                 [--partitions P] [--disk DIR] --output CKPT
                 [--buffer-size B] [--bucket-ordering O] [--threads T]
-                [--precision f32|f16|int8]
+                [--precision f32|f16|int8] [--pin-cores]
                 [--checkpoint-every N] [--resume DIR]
                 [--inject-crash-after N]
                 [--telemetry TRACE.jsonl] [--metrics-addr HOST:PORT]
@@ -255,6 +261,9 @@ fn cmd_train(flags: &Flags) -> Result<(), String> {
     if let Some(p) = flags.get("precision") {
         config.precision = pbg::tensor::Precision::parse(p)
             .ok_or_else(|| format!("flag --precision: unknown precision `{p}` (f32|f16|int8)"))?;
+    }
+    if flags.has("pin-cores") {
+        config.pin_cores = true;
     }
     config.validate().map_err(|e| e.to_string())?;
     let schema = homogeneous_schema(num_nodes, num_relations, partitions)?;
@@ -442,7 +451,12 @@ fn cmd_train_cluster(
         lock: NetLock::new(lock_addr, &telemetry),
         // uploads at the config's storage precision; the partition
         // server derives the same from its layout for downloads
-        partitions: NetPartitions::with_precision(part_addr, &telemetry, config.precision, config.dim),
+        partitions: NetPartitions::with_precision(
+            part_addr,
+            &telemetry,
+            config.precision,
+            config.dim,
+        ),
         params: NetParams::new(param_addr, &telemetry),
     };
     let mut run = RankConfig::new(rank);

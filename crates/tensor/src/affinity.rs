@@ -1,0 +1,247 @@
+//! Core affinity for HOGWILD workers and the disk I/O thread.
+//!
+//! HOGWILD throughput depends on each worker keeping its working set in
+//! one core's private caches; letting the scheduler migrate workers (or
+//! letting the DiskStore I/O thread preempt a compute core mid-chunk)
+//! costs both locality and the §4.3 lock-free update rate. This module
+//! pins threads with `sched_setaffinity`, using the same no-libc-crate
+//! `extern "C"` FFI idiom as `storage::MmapPartition`'s `mmap` backing:
+//! the symbols come from the C runtime the binary already links.
+//!
+//! Affinity is strictly a *placement* concern: pinning never changes
+//! what a thread computes, only where — `tests/hogwild_stress.rs`
+//! asserts pinned results are bit-identical to unpinned. All pinning is
+//! best-effort; every failure path degrades to "run unpinned" with an
+//! error the caller may log, never a panic.
+//!
+//! Layout policy ([`CorePlan`]): worker `tid` gets allowed core
+//! `tid % cores`, the disk I/O thread gets the *last* allowed core —
+//! on a machine with more cores than workers the I/O thread owns a free
+//! core; when every core is busy it shares with the highest-numbered
+//! worker, keeping core 0 (where worker 0 and most IRQ handlers live)
+//! uncontended.
+
+use std::sync::OnceLock;
+
+/// Linux `sched_{get,set}affinity`, no libc crate: glibc's `cpu_set_t`
+/// is a fixed 1024-bit mask, represented here as `[u64; 16]`.
+#[cfg(target_os = "linux")]
+mod sys {
+    /// 1024 bits / 64 = 16 words, matching glibc's `cpu_set_t`.
+    pub const MASK_WORDS: usize = 16;
+
+    extern "C" {
+        // pid 0 = the calling thread (Linux affinity is per-thread).
+        fn sched_getaffinity(pid: i32, cpusetsize: usize, mask: *mut u64) -> i32;
+        fn sched_setaffinity(pid: i32, cpusetsize: usize, mask: *const u64) -> i32;
+    }
+
+    pub fn get_mask() -> Option<[u64; MASK_WORDS]> {
+        let mut mask = [0u64; MASK_WORDS];
+        // SAFETY: `mask` is a valid, writable buffer of exactly the size
+        // passed; the kernel writes at most `cpusetsize` bytes into it.
+        let rc = unsafe { sched_getaffinity(0, core::mem::size_of_val(&mask), mask.as_mut_ptr()) };
+        (rc == 0).then_some(mask)
+    }
+
+    pub fn set_mask(mask: &[u64; MASK_WORDS]) -> bool {
+        // SAFETY: `mask` is a valid, readable buffer of exactly the size
+        // passed; the kernel only reads from it.
+        let rc = unsafe { sched_setaffinity(0, core::mem::size_of_val(mask), mask.as_ptr()) };
+        rc == 0
+    }
+}
+
+/// Pins the calling thread to a single CPU core.
+///
+/// # Errors
+///
+/// Returns a human-readable error (for logging; callers must treat
+/// pinning as best-effort) if the core index is out of mask range, the
+/// kernel rejects the mask (e.g. the core is outside this process's
+/// cpuset), or the platform has no thread affinity API.
+pub fn pin_current_thread(core: usize) -> Result<(), String> {
+    #[cfg(target_os = "linux")]
+    {
+        if core >= sys::MASK_WORDS * 64 {
+            return Err(format!("core index {core} exceeds the affinity mask"));
+        }
+        let mut mask = [0u64; sys::MASK_WORDS];
+        mask[core / 64] = 1u64 << (core % 64);
+        if sys::set_mask(&mask) {
+            Ok(())
+        } else {
+            Err(format!("sched_setaffinity(core {core}) was rejected"))
+        }
+    }
+    #[cfg(not(target_os = "linux"))]
+    {
+        let _ = core;
+        Err("thread affinity is only supported on Linux".to_string())
+    }
+}
+
+/// The set of cores the calling thread is currently allowed on, in
+/// ascending order. `None` when the platform can't say.
+pub fn current_thread_affinity() -> Option<Vec<usize>> {
+    #[cfg(target_os = "linux")]
+    {
+        let mask = sys::get_mask()?;
+        let mut cores = Vec::new();
+        for (w, &bits) in mask.iter().enumerate() {
+            let mut bits = bits;
+            while bits != 0 {
+                let b = bits.trailing_zeros() as usize;
+                cores.push(w * 64 + b);
+                bits &= bits - 1;
+            }
+        }
+        Some(cores)
+    }
+    #[cfg(not(target_os = "linux"))]
+    {
+        None
+    }
+}
+
+/// Restores the calling thread's affinity to a core set previously read
+/// with [`current_thread_affinity`] (used by tests to undo pinning on
+/// pooled test-harness threads).
+///
+/// # Errors
+///
+/// Same failure modes as [`pin_current_thread`].
+pub fn set_current_thread_affinity(cores: &[usize]) -> Result<(), String> {
+    #[cfg(target_os = "linux")]
+    {
+        let mut mask = [0u64; sys::MASK_WORDS];
+        for &core in cores {
+            if core >= sys::MASK_WORDS * 64 {
+                return Err(format!("core index {core} exceeds the affinity mask"));
+            }
+            mask[core / 64] |= 1u64 << (core % 64);
+        }
+        if sys::set_mask(&mask) {
+            Ok(())
+        } else {
+            Err("sched_setaffinity(mask) was rejected".to_string())
+        }
+    }
+    #[cfg(not(target_os = "linux"))]
+    {
+        let _ = cores;
+        Err("thread affinity is only supported on Linux".to_string())
+    }
+}
+
+/// The placement policy: which allowed core each HOGWILD worker and the
+/// disk I/O thread should own.
+#[derive(Debug, Clone)]
+pub struct CorePlan {
+    cores: Vec<usize>,
+}
+
+impl CorePlan {
+    /// Builds a plan over an explicit allowed-core list (ascending, as
+    /// [`current_thread_affinity`] returns). Empty input degrades to a
+    /// single core 0.
+    pub fn new(cores: Vec<usize>) -> CorePlan {
+        if cores.is_empty() {
+            CorePlan { cores: vec![0] }
+        } else {
+            CorePlan { cores }
+        }
+    }
+
+    /// The process-wide plan over the cores this process is allowed on,
+    /// detected once (before any thread pins itself and shrinks its own
+    /// view of the mask).
+    pub fn detect() -> &'static CorePlan {
+        static PLAN: OnceLock<CorePlan> = OnceLock::new();
+        PLAN.get_or_init(|| {
+            let cores = current_thread_affinity().unwrap_or_default();
+            if cores.is_empty() {
+                let n = std::thread::available_parallelism().map_or(1, |c| c.get());
+                CorePlan::new((0..n).collect())
+            } else {
+                CorePlan::new(cores)
+            }
+        })
+    }
+
+    /// The allowed cores, ascending.
+    pub fn cores(&self) -> &[usize] {
+        &self.cores
+    }
+
+    /// The core HOGWILD worker `tid` should pin to: round-robin over the
+    /// allowed set, so thread counts above the core count still spread
+    /// evenly instead of erroring.
+    pub fn worker_core(&self, tid: usize) -> usize {
+        self.cores[tid % self.cores.len()]
+    }
+
+    /// The core the DiskStore I/O thread should pin to: the last allowed
+    /// core, i.e. a spare core when one exists, else shared with the
+    /// highest-numbered worker.
+    pub fn io_core(&self) -> usize {
+        *self.cores.last().expect("CorePlan is never empty")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn worker_cores_round_robin_and_io_takes_last() {
+        let plan = CorePlan::new(vec![0, 1, 2, 5]);
+        assert_eq!(plan.worker_core(0), 0);
+        assert_eq!(plan.worker_core(3), 5);
+        assert_eq!(plan.worker_core(4), 0);
+        assert_eq!(plan.io_core(), 5);
+    }
+
+    #[test]
+    fn empty_plan_degrades_to_core_zero() {
+        let plan = CorePlan::new(vec![]);
+        assert_eq!(plan.cores(), &[0]);
+        assert_eq!(plan.worker_core(7), 0);
+        assert_eq!(plan.io_core(), 0);
+    }
+
+    #[test]
+    fn detect_is_never_empty_and_stable() {
+        let a = CorePlan::detect();
+        assert!(!a.cores().is_empty());
+        assert_eq!(a.cores(), CorePlan::detect().cores());
+    }
+
+    #[cfg(target_os = "linux")]
+    #[test]
+    fn pin_and_readback_roundtrip() {
+        // Run on a dedicated thread so pinning never leaks into the
+        // harness's pooled test threads.
+        std::thread::spawn(|| {
+            let original = current_thread_affinity().expect("linux must report an affinity mask");
+            assert!(!original.is_empty());
+            let target = *original.last().unwrap();
+            pin_current_thread(target).expect("pinning to an allowed core succeeds");
+            assert_eq!(current_thread_affinity().unwrap(), vec![target]);
+            set_current_thread_affinity(&original).expect("restore succeeds");
+            assert_eq!(current_thread_affinity().unwrap(), original);
+        })
+        .join()
+        .unwrap();
+    }
+
+    #[cfg(target_os = "linux")]
+    #[test]
+    fn pinning_to_an_absurd_core_errors_not_panics() {
+        std::thread::spawn(|| {
+            assert!(pin_current_thread(100_000).is_err());
+        })
+        .join()
+        .unwrap();
+    }
+}

@@ -9,8 +9,15 @@
 //! - **Blocked `A·Bᵀ`** ([`matmul_nt`]): the score-matrix kernel. `B` is
 //!   packed once into `NR`-wide k-major panels, `A` into `MR`-wide panels
 //!   per row group, and an `MR × NR` register-tile microkernel walks both
-//!   packed panels with no bounds checks in the hot loop — a shape LLVM
-//!   autovectorizes to packed FMAs. No intrinsics, no dependencies.
+//!   packed panels with no bounds checks in the hot loop.
+//! - **Runtime SIMD dispatch** ([`dispatch`]): the register tile, the
+//!   `matmul` row kernel, and the fused dual axpy each have three
+//!   implementations — safe autovectorized Rust (`scalar`), explicit
+//!   SSE2 intrinsics bit-identical to scalar (`sse2`), and an AVX2+FMA
+//!   fast path (`avx2`) — selected once per process by CPU feature
+//!   detection, overridable with `PBG_KERNEL`, and per-call via the
+//!   `*_with` entry points. Flop accounting sits *above* the dispatch
+//!   point, so every variant reports identical counts.
 //! - **Blocked `A·B`** ([`matmul`]): k-unrolled row-accumulator form used
 //!   by gradient products and the RESCAL operator.
 //! - **Fused score+grad** ([`score_grads`]): given the loss gradient `G`
@@ -68,6 +75,499 @@ pub fn flops_executed() -> u64 {
 #[inline]
 fn count_flops(n: u64) {
     FLOPS.fetch_add(n, std::sync::atomic::Ordering::Relaxed);
+}
+
+// ---------------------------------------------------------------------------
+// Runtime CPU-feature dispatch
+// ---------------------------------------------------------------------------
+
+/// Runtime selection of the microkernel variant.
+///
+/// Three implementations share every blocked kernel's outer loops and
+/// packing (and therefore the flop accounting, which happens *above* the
+/// dispatch point so all variants report identical `2mnk` / `4k·nnz`
+/// counts):
+///
+/// | variant  | inner loop                        | numerics |
+/// |----------|-----------------------------------|----------|
+/// | `scalar` | safe Rust, autovectorized         | baseline |
+/// | `sse2`   | explicit `__m128` mul+add         | **bit-identical** to `scalar` (same per-element op order, no FMA) |
+/// | `avx2`   | `__m256` FMA, k-unrolled ×2       | ≤ a few ULPs from `scalar` (FMA rounds once per mul-add; the k loop is split into even/odd partial sums) |
+///
+/// The process default is the best CPU-supported variant, overridable
+/// with `PBG_KERNEL=scalar|sse2|avx2`; an unsupported request falls back
+/// down the ladder with a warning on stderr, and an unknown value is an
+/// error listing the valid set. Every kernel also has a `*_with` entry
+/// point taking an explicit [`Variant`], which is what lets the
+/// differential battery exercise all variants inside one process.
+pub mod dispatch {
+    use std::sync::OnceLock;
+
+    /// A microkernel implementation choice. Ordering is the fallback
+    /// ladder: `Avx2` falls back to `Sse2`, which falls back to `Scalar`.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+    pub enum Variant {
+        /// Safe autovectorized Rust — always available, and the variant
+        /// the committed golden score vectors were recorded under.
+        Scalar,
+        /// Explicit SSE2 intrinsics, mul+add (no FMA): bit-identical to
+        /// `Scalar` by construction.
+        Sse2,
+        /// Explicit AVX2+FMA intrinsics — the fast path.
+        Avx2,
+    }
+
+    /// The valid `PBG_KERNEL` values, for error messages.
+    pub const VALID: &str = "scalar, sse2, avx2";
+
+    impl Variant {
+        /// All variants, ladder order.
+        pub fn all() -> [Variant; 3] {
+            [Variant::Scalar, Variant::Sse2, Variant::Avx2]
+        }
+
+        /// The variants this CPU can actually run.
+        pub fn supported_variants() -> Vec<Variant> {
+            Variant::all()
+                .into_iter()
+                .filter(|v| v.supported())
+                .collect()
+        }
+
+        /// The `PBG_KERNEL` spelling of this variant.
+        pub fn name(self) -> &'static str {
+            match self {
+                Variant::Scalar => "scalar",
+                Variant::Sse2 => "sse2",
+                Variant::Avx2 => "avx2",
+            }
+        }
+
+        /// Parses a `PBG_KERNEL` value.
+        ///
+        /// # Errors
+        ///
+        /// Unknown values error with the valid set listed.
+        pub fn parse(s: &str) -> Result<Variant, String> {
+            match s.trim().to_ascii_lowercase().as_str() {
+                "scalar" => Ok(Variant::Scalar),
+                "sse2" => Ok(Variant::Sse2),
+                "avx2" => Ok(Variant::Avx2),
+                other => Err(format!(
+                    "unknown PBG_KERNEL value `{other}` (valid values: {VALID})"
+                )),
+            }
+        }
+
+        /// Whether this CPU can execute the variant's intrinsics.
+        pub fn supported(self) -> bool {
+            match self {
+                Variant::Scalar => true,
+                #[cfg(target_arch = "x86_64")]
+                Variant::Sse2 => std::arch::is_x86_feature_detected!("sse2"),
+                #[cfg(target_arch = "x86_64")]
+                Variant::Avx2 => {
+                    std::arch::is_x86_feature_detected!("avx2")
+                        && std::arch::is_x86_feature_detected!("fma")
+                }
+                #[cfg(not(target_arch = "x86_64"))]
+                _ => false,
+            }
+        }
+
+        /// The variant a `*_with` call actually runs: the request when
+        /// supported, else [`Variant::Scalar`] — an explicit per-call
+        /// request must degrade safely, never hit illegal instructions.
+        pub(crate) fn for_call(self) -> Variant {
+            if self.supported() {
+                self
+            } else {
+                Variant::Scalar
+            }
+        }
+    }
+
+    /// Resolves a requested variant against a support predicate: the
+    /// request itself when supported, otherwise the next variant down
+    /// the ladder, plus a human-readable fallback warning. Taking the
+    /// predicate as an argument is what makes the "forced-unsupported"
+    /// fallback path testable on hardware that supports everything.
+    pub fn resolve(
+        requested: Variant,
+        supported: impl Fn(Variant) -> bool,
+    ) -> (Variant, Option<String>) {
+        if supported(requested) {
+            return (requested, None);
+        }
+        let fallback = match requested {
+            Variant::Avx2 if supported(Variant::Sse2) => Variant::Sse2,
+            _ => Variant::Scalar,
+        };
+        (
+            fallback,
+            Some(format!(
+                "PBG_KERNEL={} is not supported by this CPU; falling back to {}",
+                requested.name(),
+                fallback.name()
+            )),
+        )
+    }
+
+    /// The best CPU-supported variant (the no-override default).
+    pub fn best_supported() -> Variant {
+        [Variant::Avx2, Variant::Sse2]
+            .into_iter()
+            .find(|v| v.supported())
+            .unwrap_or(Variant::Scalar)
+    }
+
+    /// The process-wide variant, fixed at first use.
+    static ACTIVE: OnceLock<Variant> = OnceLock::new();
+
+    /// Initializes the process-wide variant from `PBG_KERNEL` (or the
+    /// best supported variant when unset), logging a fallback warning to
+    /// stderr if the request is unsupported. Idempotent; returns the
+    /// variant actually in effect.
+    ///
+    /// # Errors
+    ///
+    /// An unparseable `PBG_KERNEL` value errors with the valid set
+    /// listed (and leaves the dispatcher uninitialized).
+    pub fn init_from_env() -> Result<Variant, String> {
+        if let Some(v) = ACTIVE.get() {
+            return Ok(*v);
+        }
+        let chosen = match std::env::var("PBG_KERNEL") {
+            Ok(raw) => {
+                let requested = Variant::parse(&raw)?;
+                let (resolved, warning) = resolve(requested, Variant::supported);
+                if let Some(w) = warning {
+                    eprintln!("pbg-tensor: {w}");
+                }
+                resolved
+            }
+            Err(_) => best_supported(),
+        };
+        Ok(*ACTIVE.get_or_init(|| chosen))
+    }
+
+    /// Pins the process-wide variant (first caller wins; later calls —
+    /// and the env default — are ignored once set). Used by golden-file
+    /// test binaries to lock dispatch to [`Variant::Scalar`] so committed
+    /// bit-exact vectors stay host-independent. Unsupported requests pin
+    /// `Scalar`. Returns the variant actually in effect.
+    pub fn force(v: Variant) -> Variant {
+        *ACTIVE.get_or_init(|| v.for_call())
+    }
+
+    /// The variant the argument-less kernel entry points run.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `PBG_KERNEL` is set to an unknown value; front ends
+    /// that want a clean error should call [`init_from_env`] first.
+    pub fn active() -> Variant {
+        if let Some(v) = ACTIVE.get() {
+            return *v;
+        }
+        match init_from_env() {
+            Ok(v) => v,
+            Err(msg) => panic!("{msg}"),
+        }
+    }
+}
+
+pub use dispatch::Variant;
+
+// ---------------------------------------------------------------------------
+// Explicit-SIMD microkernels (x86_64)
+// ---------------------------------------------------------------------------
+
+/// Guarded intrinsics implementations of the three inner loops (the
+/// `MR × NR` register tile, the `matmul` row kernel, and the fused
+/// dual-axpy of `score_grads`).
+///
+/// Safety argument, common to every function here: each is
+/// `#[target_feature]`-gated and `unsafe` *only* because of that gate —
+/// all memory access is through slice indexing or pointers derived from
+/// slices whose lengths the (safe) callers have already checked, with
+/// the same bounds the scalar code uses. The callers guarantee the
+/// feature gate: a variant only reaches a call site via
+/// [`dispatch::Variant::for_call`] (which degrades unsupported requests
+/// to scalar) or [`dispatch::resolve`] (which checks
+/// `is_x86_feature_detected!`).
+#[cfg(target_arch = "x86_64")]
+mod simd {
+    // Index-based loops here mirror the scalar kernels' accumulator
+    // walk order, which the bit-identity tests depend on.
+    #![allow(clippy::needless_range_loop)]
+    use super::{MR, NR};
+    use std::arch::x86_64::*;
+
+    /// AVX2+FMA register tile: one `__m256` of `NR = 8` output columns
+    /// per row, `k` unrolled ×2 into independent even/odd accumulator
+    /// chains (8 FMA chains total — enough instruction-level parallelism
+    /// to sustain 2 FMAs/cycle), combined with one add at the end. The
+    /// even/odd split reassociates the k-sum, so results differ from
+    /// scalar by rounding only (ULP-checked by the differential battery).
+    #[target_feature(enable = "avx2", enable = "fma")]
+    pub unsafe fn micro_nt_avx2(k: usize, apanel: &[f32], bpanel: &[f32]) -> [[f32; NR]; MR] {
+        debug_assert!(apanel.len() >= k * MR && bpanel.len() >= k * NR);
+        let ap = apanel.as_ptr();
+        let bp = bpanel.as_ptr();
+        let mut acc_e = [_mm256_setzero_ps(); MR];
+        let mut acc_o = [_mm256_setzero_ps(); MR];
+        let k2 = k & !1;
+        let mut kk = 0;
+        while kk < k2 {
+            let b0 = _mm256_loadu_ps(bp.add(kk * NR));
+            let b1 = _mm256_loadu_ps(bp.add((kk + 1) * NR));
+            let a0 = ap.add(kk * MR);
+            let a1 = ap.add((kk + 1) * MR);
+            for r in 0..MR {
+                acc_e[r] = _mm256_fmadd_ps(_mm256_broadcast_ss(&*a0.add(r)), b0, acc_e[r]);
+                acc_o[r] = _mm256_fmadd_ps(_mm256_broadcast_ss(&*a1.add(r)), b1, acc_o[r]);
+            }
+            kk += 2;
+        }
+        if kk < k {
+            let b0 = _mm256_loadu_ps(bp.add(kk * NR));
+            let a0 = ap.add(kk * MR);
+            for r in 0..MR {
+                acc_e[r] = _mm256_fmadd_ps(_mm256_broadcast_ss(&*a0.add(r)), b0, acc_e[r]);
+            }
+        }
+        let mut out = [[0.0f32; NR]; MR];
+        for r in 0..MR {
+            _mm256_storeu_ps(out[r].as_mut_ptr(), _mm256_add_ps(acc_e[r], acc_o[r]));
+        }
+        out
+    }
+
+    /// SSE2 register tile: two `__m128` halves per row, separate
+    /// multiply and add (no FMA), accumulators walked in the same `kk`
+    /// order as the scalar tile — each output lane performs the exact
+    /// op sequence `acc = acc + a*b` the scalar code performs, so this
+    /// variant is bit-identical to `scalar` (asserted by the battery).
+    #[target_feature(enable = "sse2")]
+    pub unsafe fn micro_nt_sse2(k: usize, apanel: &[f32], bpanel: &[f32]) -> [[f32; NR]; MR] {
+        debug_assert!(apanel.len() >= k * MR && bpanel.len() >= k * NR);
+        let ap = apanel.as_ptr();
+        let bp = bpanel.as_ptr();
+        let mut lo = [_mm_setzero_ps(); MR];
+        let mut hi = [_mm_setzero_ps(); MR];
+        for kk in 0..k {
+            let b_lo = _mm_loadu_ps(bp.add(kk * NR));
+            let b_hi = _mm_loadu_ps(bp.add(kk * NR + 4));
+            for r in 0..MR {
+                let av = _mm_set1_ps(*ap.add(kk * MR + r));
+                lo[r] = _mm_add_ps(lo[r], _mm_mul_ps(av, b_lo));
+                hi[r] = _mm_add_ps(hi[r], _mm_mul_ps(av, b_hi));
+            }
+        }
+        let mut out = [[0.0f32; NR]; MR];
+        for r in 0..MR {
+            _mm_storeu_ps(out[r].as_mut_ptr(), lo[r]);
+            _mm_storeu_ps(out[r].as_mut_ptr().add(4), hi[r]);
+        }
+        out
+    }
+
+    /// AVX2+FMA `matmul` row kernel: the scalar row kernel's shape (four
+    /// k-steps fused per pass over the output row) with the `j` loop
+    /// vectorized 8-wide and each mul-add fused. The scalar tail (both
+    /// `j` and `k` remainders) uses `f32::mul_add` so the whole variant
+    /// is FMA-consistent.
+    #[target_feature(enable = "avx2", enable = "fma")]
+    pub unsafe fn matmul_row_avx2(arow: &[f32], b: &[f32], ldb: usize, orow: &mut [f32]) {
+        let (k, n) = (arow.len(), orow.len());
+        let k4 = k - k % 4;
+        let mut kk = 0;
+        while kk < k4 {
+            let (a0, a1, a2, a3) = (arow[kk], arow[kk + 1], arow[kk + 2], arow[kk + 3]);
+            let (v0, v1, v2, v3) = (
+                _mm256_set1_ps(a0),
+                _mm256_set1_ps(a1),
+                _mm256_set1_ps(a2),
+                _mm256_set1_ps(a3),
+            );
+            let b0 = b.as_ptr().add(kk * ldb);
+            let b1 = b.as_ptr().add((kk + 1) * ldb);
+            let b2 = b.as_ptr().add((kk + 2) * ldb);
+            let b3 = b.as_ptr().add((kk + 3) * ldb);
+            let n8 = n & !7;
+            let mut j = 0;
+            while j < n8 {
+                let mut o = _mm256_loadu_ps(orow.as_ptr().add(j));
+                o = _mm256_fmadd_ps(v0, _mm256_loadu_ps(b0.add(j)), o);
+                o = _mm256_fmadd_ps(v1, _mm256_loadu_ps(b1.add(j)), o);
+                o = _mm256_fmadd_ps(v2, _mm256_loadu_ps(b2.add(j)), o);
+                o = _mm256_fmadd_ps(v3, _mm256_loadu_ps(b3.add(j)), o);
+                _mm256_storeu_ps(orow.as_mut_ptr().add(j), o);
+                j += 8;
+            }
+            while j < n {
+                let mut o = orow[j];
+                o = a0.mul_add(*b0.add(j), o);
+                o = a1.mul_add(*b1.add(j), o);
+                o = a2.mul_add(*b2.add(j), o);
+                o = a3.mul_add(*b3.add(j), o);
+                orow[j] = o;
+                j += 1;
+            }
+            kk += 4;
+        }
+        for kk in k4..k {
+            let av = arow[kk];
+            if av == 0.0 {
+                continue;
+            }
+            let brow = b.as_ptr().add(kk * ldb);
+            let vav = _mm256_set1_ps(av);
+            let n8 = n & !7;
+            let mut j = 0;
+            while j < n8 {
+                let o = _mm256_loadu_ps(orow.as_ptr().add(j));
+                let o = _mm256_fmadd_ps(vav, _mm256_loadu_ps(brow.add(j)), o);
+                _mm256_storeu_ps(orow.as_mut_ptr().add(j), o);
+                j += 8;
+            }
+            while j < n {
+                orow[j] = av.mul_add(*brow.add(j), orow[j]);
+                j += 1;
+            }
+        }
+    }
+
+    /// SSE2 `matmul` row kernel: per output lane, the identical
+    /// expression tree the scalar kernel evaluates —
+    /// `o + (((a0·b0 + a1·b1) + a2·b2) + a3·b3)` with separate mul and
+    /// add — so it is bit-identical to `scalar`. Tails fall through to
+    /// the very same scalar statements.
+    #[target_feature(enable = "sse2")]
+    pub unsafe fn matmul_row_sse2(arow: &[f32], b: &[f32], ldb: usize, orow: &mut [f32]) {
+        let (k, n) = (arow.len(), orow.len());
+        let k4 = k - k % 4;
+        let mut kk = 0;
+        while kk < k4 {
+            let (a0, a1, a2, a3) = (arow[kk], arow[kk + 1], arow[kk + 2], arow[kk + 3]);
+            let (v0, v1, v2, v3) = (
+                _mm_set1_ps(a0),
+                _mm_set1_ps(a1),
+                _mm_set1_ps(a2),
+                _mm_set1_ps(a3),
+            );
+            let b0 = b.as_ptr().add(kk * ldb);
+            let b1 = b.as_ptr().add((kk + 1) * ldb);
+            let b2 = b.as_ptr().add((kk + 2) * ldb);
+            let b3 = b.as_ptr().add((kk + 3) * ldb);
+            let n4 = n & !3;
+            let mut j = 0;
+            while j < n4 {
+                let t01 = _mm_add_ps(
+                    _mm_mul_ps(v0, _mm_loadu_ps(b0.add(j))),
+                    _mm_mul_ps(v1, _mm_loadu_ps(b1.add(j))),
+                );
+                let t = _mm_add_ps(
+                    _mm_add_ps(t01, _mm_mul_ps(v2, _mm_loadu_ps(b2.add(j)))),
+                    _mm_mul_ps(v3, _mm_loadu_ps(b3.add(j))),
+                );
+                let o = _mm_add_ps(_mm_loadu_ps(orow.as_ptr().add(j)), t);
+                _mm_storeu_ps(orow.as_mut_ptr().add(j), o);
+                j += 4;
+            }
+            while j < n {
+                orow[j] += a0 * *b0.add(j) + a1 * *b1.add(j) + a2 * *b2.add(j) + a3 * *b3.add(j);
+                j += 1;
+            }
+            kk += 4;
+        }
+        for kk in k4..k {
+            let av = arow[kk];
+            if av == 0.0 {
+                continue;
+            }
+            let brow = b.as_ptr().add(kk * ldb);
+            let vav = _mm_set1_ps(av);
+            let n4 = n & !3;
+            let mut j = 0;
+            while j < n4 {
+                let o = _mm_add_ps(
+                    _mm_loadu_ps(orow.as_ptr().add(j)),
+                    _mm_mul_ps(vav, _mm_loadu_ps(brow.add(j))),
+                );
+                _mm_storeu_ps(orow.as_mut_ptr().add(j), o);
+                j += 4;
+            }
+            while j < n {
+                orow[j] += av * *brow.add(j);
+                j += 1;
+            }
+        }
+    }
+
+    /// AVX2+FMA fused dual axpy for one nonzero gradient entry:
+    /// `ga += g·b` and `gb += g·a` over the contiguous `k` extent, FMA
+    /// per element (scalar tail uses `f32::mul_add` for consistency).
+    #[target_feature(enable = "avx2", enable = "fma")]
+    pub unsafe fn axpy2_avx2(
+        gij: f32,
+        brow: &[f32],
+        garow: &mut [f32],
+        arow: &[f32],
+        gbrow: &mut [f32],
+    ) {
+        let k = brow.len();
+        debug_assert!(garow.len() == k && arow.len() == k && gbrow.len() == k);
+        let g = _mm256_set1_ps(gij);
+        let k8 = k & !7;
+        let mut i = 0;
+        while i < k8 {
+            let ga = _mm256_loadu_ps(garow.as_ptr().add(i));
+            let bv = _mm256_loadu_ps(brow.as_ptr().add(i));
+            _mm256_storeu_ps(garow.as_mut_ptr().add(i), _mm256_fmadd_ps(g, bv, ga));
+            let gb = _mm256_loadu_ps(gbrow.as_ptr().add(i));
+            let av = _mm256_loadu_ps(arow.as_ptr().add(i));
+            _mm256_storeu_ps(gbrow.as_mut_ptr().add(i), _mm256_fmadd_ps(g, av, gb));
+            i += 8;
+        }
+        while i < k {
+            garow[i] = gij.mul_add(brow[i], garow[i]);
+            gbrow[i] = gij.mul_add(arow[i], gbrow[i]);
+            i += 1;
+        }
+    }
+
+    /// SSE2 fused dual axpy: separate mul and add, per-element op order
+    /// identical to the scalar loop — bit-identical to `scalar`.
+    #[target_feature(enable = "sse2")]
+    pub unsafe fn axpy2_sse2(
+        gij: f32,
+        brow: &[f32],
+        garow: &mut [f32],
+        arow: &[f32],
+        gbrow: &mut [f32],
+    ) {
+        let k = brow.len();
+        debug_assert!(garow.len() == k && arow.len() == k && gbrow.len() == k);
+        let g = _mm_set1_ps(gij);
+        let k4 = k & !3;
+        let mut i = 0;
+        while i < k4 {
+            let ga = _mm_loadu_ps(garow.as_ptr().add(i));
+            let bv = _mm_loadu_ps(brow.as_ptr().add(i));
+            _mm_storeu_ps(garow.as_mut_ptr().add(i), _mm_add_ps(ga, _mm_mul_ps(g, bv)));
+            let gb = _mm_loadu_ps(gbrow.as_ptr().add(i));
+            let av = _mm_loadu_ps(arow.as_ptr().add(i));
+            _mm_storeu_ps(gbrow.as_mut_ptr().add(i), _mm_add_ps(gb, _mm_mul_ps(g, av)));
+            i += 4;
+        }
+        while i < k {
+            garow[i] += gij * brow[i];
+            gbrow[i] += gij * arow[i];
+            i += 1;
+        }
+    }
 }
 
 // ---------------------------------------------------------------------------
@@ -319,11 +819,29 @@ fn micro_nt(k: usize, apanel: &[f32], bpanel: &[f32]) -> [[f32; NR]; MR] {
     acc
 }
 
+/// One register tile under an explicit (already support-checked) variant.
+#[inline]
+fn micro_nt_v(v: Variant, k: usize, apanel: &[f32], bpanel: &[f32]) -> [[f32; NR]; MR] {
+    match v {
+        Variant::Scalar => micro_nt(k, apanel, bpanel),
+        // SAFETY: `v` arrived via `Variant::for_call`/`dispatch::resolve`,
+        // both of which verify CPU support before handing out the variant;
+        // slice lengths were checked by the blocked caller.
+        #[cfg(target_arch = "x86_64")]
+        Variant::Sse2 => unsafe { simd::micro_nt_sse2(k, apanel, bpanel) },
+        #[cfg(target_arch = "x86_64")]
+        Variant::Avx2 => unsafe { simd::micro_nt_avx2(k, apanel, bpanel) },
+        #[cfg(not(target_arch = "x86_64"))]
+        _ => micro_nt(k, apanel, bpanel),
+    }
+}
+
 /// `out[m×n] = a[m×k] · b[n×k]ᵀ` against a pre-packed `B`.
 ///
 /// Blocking: `A` rows are processed in [`MC`]-row cache blocks; within a
 /// block each [`MR`]-row group is packed once and then swept against every
-/// `B` panel, so packed A stays in L1/L2 while `B` panels stream.
+/// `B` panel, so packed A stays in L1/L2 while `B` panels stream. The
+/// register tile runs the process-wide [`dispatch::active`] variant.
 ///
 /// # Panics
 ///
@@ -337,6 +855,29 @@ pub fn matmul_nt_packed(
     out: &mut [f32],
     ldo: usize,
 ) {
+    matmul_nt_packed_with(dispatch::active(), m, k, a, lda, packed, out, ldo);
+}
+
+/// [`matmul_nt_packed`] under an explicit microkernel [`Variant`]
+/// (degraded to `Scalar` if the CPU lacks the request). Flop accounting
+/// happens here, above the dispatch point, so every variant reports the
+/// identical `2mnk` count.
+///
+/// # Panics
+///
+/// Panics if `a`/`out` are too short or `packed.k() != k`.
+#[allow(clippy::too_many_arguments)]
+pub fn matmul_nt_packed_with(
+    v: Variant,
+    m: usize,
+    k: usize,
+    a: &[f32],
+    lda: usize,
+    packed: &PackedNt,
+    out: &mut [f32],
+    ldo: usize,
+) {
+    let v = v.for_call();
     assert_eq!(packed.k(), k, "matmul_nt_packed: k mismatch");
     let n = packed.n();
     check_dims(m, k, a.len(), lda, "matmul_nt_packed a");
@@ -362,7 +903,7 @@ pub fn matmul_nt_packed(
             let mr = MR.min(m - i0);
             pack_a_group(a, lda, k, i0, mr, &mut apanel);
             for p in 0..n_panels {
-                let acc = micro_nt(k, &apanel, packed.panel(p));
+                let acc = micro_nt_v(v, k, &apanel, packed.panel(p));
                 let j0 = p * NR;
                 let jn = NR.min(n - j0);
                 for (r, acc_row) in acc.iter().enumerate().take(mr) {
@@ -392,8 +933,29 @@ pub fn matmul_nt(
     out: &mut [f32],
     ldo: usize,
 ) {
+    matmul_nt_with(dispatch::active(), m, n, k, a, lda, b, ldb, out, ldo);
+}
+
+/// [`matmul_nt`] under an explicit microkernel [`Variant`].
+///
+/// # Panics
+///
+/// Panics if any slice is too short for its shape/stride.
+#[allow(clippy::too_many_arguments)]
+pub fn matmul_nt_with(
+    v: Variant,
+    m: usize,
+    n: usize,
+    k: usize,
+    a: &[f32],
+    lda: usize,
+    b: &[f32],
+    ldb: usize,
+    out: &mut [f32],
+    ldo: usize,
+) {
     let packed = PackedNt::pack(n, k, b, ldb);
-    matmul_nt_packed(m, k, a, lda, &packed, out, ldo);
+    matmul_nt_packed_with(v, m, k, a, lda, &packed, out, ldo);
 }
 
 /// Threads the serial kernel would use for an `m×n×k` product: 1 below
@@ -428,6 +990,30 @@ pub fn matmul_nt_packed_threaded(
     ldo: usize,
     threads: usize,
 ) {
+    matmul_nt_packed_threaded_with(dispatch::active(), m, k, a, lda, packed, out, ldo, threads);
+}
+
+/// [`matmul_nt_packed_threaded`] under an explicit microkernel
+/// [`Variant`]: the same variant is propagated to every row-range worker,
+/// so the threaded result stays bit-identical to the serial kernel *of
+/// that variant* for every thread count.
+///
+/// # Panics
+///
+/// Panics if `threads == 0`, `ldo != packed.n()`, or slices are too short.
+#[allow(clippy::too_many_arguments)]
+pub fn matmul_nt_packed_threaded_with(
+    v: Variant,
+    m: usize,
+    k: usize,
+    a: &[f32],
+    lda: usize,
+    packed: &PackedNt,
+    out: &mut [f32],
+    ldo: usize,
+    threads: usize,
+) {
+    let v = v.for_call();
     assert!(threads > 0, "matmul_nt_packed_threaded: zero threads");
     let n = packed.n();
     assert_eq!(
@@ -436,7 +1022,7 @@ pub fn matmul_nt_packed_threaded(
     );
     let threads = threads.min(m.div_ceil(MC)).max(1);
     if threads == 1 {
-        matmul_nt_packed(m, k, a, lda, packed, out, ldo);
+        matmul_nt_packed_with(v, m, k, a, lda, packed, out, ldo);
         return;
     }
     check_dims(m, k, a.len(), lda, "matmul_nt_packed_threaded a");
@@ -453,7 +1039,7 @@ pub fn matmul_nt_packed_threaded(
             rest = tail;
             let i0 = row0;
             scope.spawn(move || {
-                matmul_nt_packed(rows, k, &a[i0 * lda..], lda, packed, mine, n);
+                matmul_nt_packed_with(v, rows, k, &a[i0 * lda..], lda, packed, mine, n);
             });
             row0 += rows;
         }
@@ -511,6 +1097,60 @@ pub fn matmul(
     out: &mut [f32],
     ldo: usize,
 ) {
+    matmul_with(dispatch::active(), m, n, k, a, lda, b, ldb, out, ldo);
+}
+
+/// The safe-Rust `matmul` row kernel: four k-steps fused per pass over
+/// one pre-zeroed output row. This is the `Scalar` dispatch target and
+/// the op-order contract the SSE2 row kernel mirrors lane-for-lane.
+#[inline]
+fn matmul_row_scalar(arow: &[f32], b: &[f32], ldb: usize, orow: &mut [f32]) {
+    let (k, n) = (arow.len(), orow.len());
+    let k4 = k - k % 4;
+    let mut kk = 0;
+    while kk < k4 {
+        let (a0, a1, a2, a3) = (arow[kk], arow[kk + 1], arow[kk + 2], arow[kk + 3]);
+        let b0 = &b[kk * ldb..kk * ldb + n];
+        let b1 = &b[(kk + 1) * ldb..(kk + 1) * ldb + n];
+        let b2 = &b[(kk + 2) * ldb..(kk + 2) * ldb + n];
+        let b3 = &b[(kk + 3) * ldb..(kk + 3) * ldb + n];
+        for (j, o) in orow.iter_mut().enumerate() {
+            *o += a0 * b0[j] + a1 * b1[j] + a2 * b2[j] + a3 * b3[j];
+        }
+        kk += 4;
+    }
+    for kk in k4..k {
+        let av = arow[kk];
+        if av == 0.0 {
+            continue;
+        }
+        let brow = &b[kk * ldb..kk * ldb + n];
+        for (o, &bv) in orow.iter_mut().zip(brow) {
+            *o += av * bv;
+        }
+    }
+}
+
+/// [`matmul`] under an explicit microkernel [`Variant`]. The `2mnk` flop
+/// count is recorded here, above the dispatch point.
+///
+/// # Panics
+///
+/// Panics if any slice is too short for its shape/stride.
+#[allow(clippy::too_many_arguments)]
+pub fn matmul_with(
+    v: Variant,
+    m: usize,
+    n: usize,
+    k: usize,
+    a: &[f32],
+    lda: usize,
+    b: &[f32],
+    ldb: usize,
+    out: &mut [f32],
+    ldo: usize,
+) {
+    let v = v.for_call();
     check_dims(m, k, a.len(), lda, "matmul a");
     check_dims(k, n, b.len(), ldb, "matmul b");
     check_dims(m, n, out.len(), ldo, "matmul out");
@@ -518,32 +1158,22 @@ pub fn matmul(
         return;
     }
     count_flops(2 * (m as u64) * (n as u64) * (k as u64));
-    let k4 = k - k % 4;
     for i in 0..m {
         let arow = &a[i * lda..i * lda + k];
         let orow = &mut out[i * ldo..i * ldo + n];
         orow.iter_mut().for_each(|v| *v = 0.0);
-        let mut kk = 0;
-        while kk < k4 {
-            let (a0, a1, a2, a3) = (arow[kk], arow[kk + 1], arow[kk + 2], arow[kk + 3]);
-            let b0 = &b[kk * ldb..kk * ldb + n];
-            let b1 = &b[(kk + 1) * ldb..(kk + 1) * ldb + n];
-            let b2 = &b[(kk + 2) * ldb..(kk + 2) * ldb + n];
-            let b3 = &b[(kk + 3) * ldb..(kk + 3) * ldb + n];
-            for (j, o) in orow.iter_mut().enumerate() {
-                *o += a0 * b0[j] + a1 * b1[j] + a2 * b2[j] + a3 * b3[j];
-            }
-            kk += 4;
-        }
-        for kk in k4..k {
-            let av = arow[kk];
-            if av == 0.0 {
-                continue;
-            }
-            let brow = &b[kk * ldb..kk * ldb + n];
-            for (o, &bv) in orow.iter_mut().zip(brow) {
-                *o += av * bv;
-            }
+        match v {
+            Variant::Scalar => matmul_row_scalar(arow, b, ldb, orow),
+            // SAFETY: `v` came through `Variant::for_call`, so the CPU
+            // supports the feature gate; `check_dims` above guarantees
+            // every `kk * ldb + j` access the row kernels make is within
+            // `b`, and `arow`/`orow` carry their exact lengths.
+            #[cfg(target_arch = "x86_64")]
+            Variant::Sse2 => unsafe { simd::matmul_row_sse2(arow, b, ldb, orow) },
+            #[cfg(target_arch = "x86_64")]
+            Variant::Avx2 => unsafe { simd::matmul_row_avx2(arow, b, ldb, orow) },
+            #[cfg(not(target_arch = "x86_64"))]
+            _ => matmul_row_scalar(arow, b, ldb, orow),
         }
     }
 }
@@ -616,6 +1246,62 @@ pub fn score_grads(
     gb: &mut [f32],
     ldgb: usize,
 ) {
+    score_grads_with(
+        dispatch::active(),
+        m,
+        n,
+        k,
+        a,
+        lda,
+        b,
+        ldb,
+        g,
+        ldg,
+        ga,
+        ldga,
+        gb,
+        ldgb,
+    );
+}
+
+/// The safe-Rust fused dual axpy: `ga += g·b` then `gb += g·a`. This is
+/// the `Scalar` dispatch target and the op-order contract the SSE2 path
+/// mirrors lane-for-lane.
+#[inline]
+fn axpy2_scalar(gij: f32, brow: &[f32], garow: &mut [f32], arow: &[f32], gbrow: &mut [f32]) {
+    for (o, &bv) in garow.iter_mut().zip(brow) {
+        *o += gij * bv;
+    }
+    for (o, &av) in gbrow.iter_mut().zip(arow) {
+        *o += gij * av;
+    }
+}
+
+/// [`score_grads`] under an explicit microkernel [`Variant`]. The nonzero
+/// count and the `4k·nnz` flop record live here, above the dispatch
+/// point, so every variant reports the identical count.
+///
+/// # Panics
+///
+/// Panics if any slice is too short for its shape/stride.
+#[allow(clippy::too_many_arguments)]
+pub fn score_grads_with(
+    v: Variant,
+    m: usize,
+    n: usize,
+    k: usize,
+    a: &[f32],
+    lda: usize,
+    b: &[f32],
+    ldb: usize,
+    g: &[f32],
+    ldg: usize,
+    ga: &mut [f32],
+    ldga: usize,
+    gb: &mut [f32],
+    ldgb: usize,
+) {
+    let v = v.for_call();
     check_dims(m, k, a.len(), lda, "score_grads a");
     check_dims(n, k, b.len(), ldb, "score_grads b");
     check_dims(m, n, g.len(), ldg, "score_grads g");
@@ -638,12 +1324,18 @@ pub fn score_grads(
             // ga[i] += g[i][j] * b[j]  and  gb[j] += g[i][j] * a[i]:
             // two contiguous axpys sharing the scalar — both vectorize.
             let brow = &b[j * ldb..j * ldb + k];
-            for (o, &bv) in garow.iter_mut().zip(brow) {
-                *o += gij * bv;
-            }
             let gbrow = &mut gb[j * ldgb..j * ldgb + k];
-            for (o, &av) in gbrow.iter_mut().zip(arow) {
-                *o += gij * av;
+            match v {
+                Variant::Scalar => axpy2_scalar(gij, brow, garow, arow, gbrow),
+                // SAFETY: `v` came through `Variant::for_call`, so the
+                // CPU supports the feature gate; all four row slices were
+                // cut to exactly `k` elements just above.
+                #[cfg(target_arch = "x86_64")]
+                Variant::Sse2 => unsafe { simd::axpy2_sse2(gij, brow, garow, arow, gbrow) },
+                #[cfg(target_arch = "x86_64")]
+                Variant::Avx2 => unsafe { simd::axpy2_avx2(gij, brow, garow, arow, gbrow) },
+                #[cfg(not(target_arch = "x86_64"))]
+                _ => axpy2_scalar(gij, brow, garow, arow, gbrow),
             }
         }
     }
@@ -936,5 +1628,142 @@ mod tests {
         assert_eq!(auto_threads(50, 100, 100), 1);
         // a large eval-sized product may fan out (>= 1 either way)
         assert!(auto_threads(4096, 4096, 400) >= 1);
+    }
+
+    #[test]
+    fn dispatch_parse_accepts_valid_and_lists_set_on_error() {
+        assert_eq!(Variant::parse("scalar").unwrap(), Variant::Scalar);
+        assert_eq!(Variant::parse(" SSE2 ").unwrap(), Variant::Sse2);
+        assert_eq!(Variant::parse("Avx2").unwrap(), Variant::Avx2);
+        let err = Variant::parse("avx512").unwrap_err();
+        assert!(err.contains("avx512"), "echoes the bad value: {err}");
+        assert!(
+            err.contains("scalar, sse2, avx2"),
+            "lists the valid set: {err}"
+        );
+    }
+
+    #[test]
+    fn dispatch_resolve_falls_down_the_ladder_with_warning() {
+        // Forced-unsupported shim: a host with no SIMD at all.
+        let none = |v: Variant| v == Variant::Scalar;
+        let (v, warn) = dispatch::resolve(Variant::Avx2, none);
+        assert_eq!(v, Variant::Scalar);
+        let warn = warn.expect("fallback must warn");
+        assert!(warn.contains("avx2") && warn.contains("scalar"), "{warn}");
+
+        // A host with SSE2 but no AVX2: avx2 degrades one rung, not two.
+        let sse_only = |v: Variant| v != Variant::Avx2;
+        let (v, warn) = dispatch::resolve(Variant::Avx2, sse_only);
+        assert_eq!(v, Variant::Sse2);
+        assert!(warn.unwrap().contains("sse2"));
+
+        // Supported requests resolve to themselves, silently.
+        let (v, warn) = dispatch::resolve(Variant::Scalar, none);
+        assert_eq!(v, Variant::Scalar);
+        assert!(warn.is_none());
+    }
+
+    #[test]
+    fn dispatch_best_supported_is_supported_and_scalar_always_is() {
+        assert!(dispatch::best_supported().supported());
+        assert!(Variant::Scalar.supported());
+        assert!(Variant::all().len() >= Variant::supported_variants().len());
+    }
+
+    #[test]
+    fn every_supported_variant_matches_reference() {
+        let (m, n, k) = (13, 21, 17);
+        let a = random(m, k, 21);
+        let b = random(n, k, 22);
+        let mut want_nt = vec![0.0; m * n];
+        reference::matmul_nt(m, n, k, &a, k, &b, k, &mut want_nt, n);
+        let bt = {
+            let mut t = vec![0.0; k * n];
+            reference::transpose(n, k, &b, k, &mut t, n);
+            t
+        };
+        let mut want_nn = vec![0.0; m * n];
+        reference::matmul(m, n, k, &a, k, &bt, n, &mut want_nn, n);
+        for v in Variant::supported_variants() {
+            let mut got = vec![0.0; m * n];
+            matmul_nt_with(v, m, n, k, &a, k, &b, k, &mut got, n);
+            close(&got, &want_nt, 1e-4);
+            let mut got_nn = vec![0.0; m * n];
+            matmul_with(v, m, n, k, &a, k, &bt, n, &mut got_nn, n);
+            close(&got_nn, &want_nn, 1e-4);
+        }
+    }
+
+    #[test]
+    fn scalar_and_sse2_are_bit_identical() {
+        if !Variant::Sse2.supported() {
+            return;
+        }
+        let (m, n, k) = (50, 100, 16);
+        let a = random(m, k, 31);
+        let b = random(n, k, 32);
+        let g = random(m, n, 33);
+        let mut s_nt = vec![0.0; m * n];
+        let mut v_nt = vec![0.0; m * n];
+        matmul_nt_with(Variant::Scalar, m, n, k, &a, k, &b, k, &mut s_nt, n);
+        matmul_nt_with(Variant::Sse2, m, n, k, &a, k, &b, k, &mut v_nt, n);
+        assert_eq!(s_nt, v_nt, "sse2 matmul_nt must be bit-identical");
+        let (mut sga, mut sgb) = (vec![0.0; m * k], vec![0.0; n * k]);
+        let (mut vga, mut vgb) = (vec![0.0; m * k], vec![0.0; n * k]);
+        score_grads_with(
+            Variant::Scalar,
+            m,
+            n,
+            k,
+            &a,
+            k,
+            &b,
+            k,
+            &g,
+            n,
+            &mut sga,
+            k,
+            &mut sgb,
+            k,
+        );
+        score_grads_with(
+            Variant::Sse2,
+            m,
+            n,
+            k,
+            &a,
+            k,
+            &b,
+            k,
+            &g,
+            n,
+            &mut vga,
+            k,
+            &mut vgb,
+            k,
+        );
+        assert_eq!(sga, vga, "sse2 score_grads ga must be bit-identical");
+        assert_eq!(sgb, vgb, "sse2 score_grads gb must be bit-identical");
+    }
+
+    #[test]
+    fn unsupported_per_call_variant_degrades_to_scalar_result() {
+        // `for_call` is the UB guard: on x86_64 everything here is
+        // supported so this exercises the identity path, while on other
+        // arches it proves the degrade path returns scalar bits.
+        let (m, n, k) = (6, 9, 7);
+        let a = random(m, k, 41);
+        let b = random(n, k, 42);
+        let mut want = vec![0.0; m * n];
+        matmul_nt_with(Variant::Scalar, m, n, k, &a, k, &b, k, &mut want, n);
+        for v in Variant::all() {
+            if v == Variant::Avx2 && v.supported() {
+                continue; // FMA path legitimately differs in low bits
+            }
+            let mut got = vec![0.0; m * n];
+            matmul_nt_with(v, m, n, k, &a, k, &b, k, &mut got, n);
+            assert_eq!(got, want, "variant {} broke bit-compat", v.name());
+        }
     }
 }

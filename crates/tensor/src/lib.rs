@@ -9,8 +9,12 @@
 //! - [`kernels`]: the cache-blocked, panel-packed matmul kernels behind
 //!   [`matrix::Matrix`], a fused score+gradient path
 //!   ([`kernels::ScoreGrad`]), an optional scoped-thread row split for
-//!   large shapes, and the naive [`kernels::reference`] oracle the
-//!   differential test harness diffs against.
+//!   large shapes, runtime-dispatched SIMD microkernels
+//!   ([`kernels::dispatch`], `PBG_KERNEL=scalar|sse2|avx2`), and the
+//!   naive [`kernels::reference`] oracle the differential test harness
+//!   diffs against.
+//! - [`affinity`]: `sched_setaffinity`-based core pinning for HOGWILD
+//!   workers and the disk I/O thread ([`affinity::CorePlan`]).
 //! - [`complex`]: complex Hadamard products for the ComplEx operator.
 //! - [`hogwild`]: [`hogwild::HogwildArray`], a lock-free shared f32 store
 //!   backed by `AtomicU32` with relaxed ordering — the sound Rust
@@ -34,6 +38,7 @@
 //! ```
 
 pub mod adagrad;
+pub mod affinity;
 pub mod alias;
 pub mod complex;
 pub mod hogwild;

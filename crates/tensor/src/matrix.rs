@@ -31,6 +31,17 @@ impl Matrix {
         }
     }
 
+    /// Reshapes this matrix in place to `rows × cols`, zero-filled,
+    /// reusing the existing allocation when capacity allows. This is the
+    /// scratch-buffer primitive for per-thread reuse in HOGWILD workers:
+    /// after the first few chunks no allocator traffic remains.
+    pub fn resize(&mut self, rows: usize, cols: usize) {
+        self.rows = rows;
+        self.cols = cols;
+        self.data.clear();
+        self.data.resize(rows * cols, 0.0);
+    }
+
     /// Creates a matrix from owned data.
     ///
     /// # Panics
@@ -294,5 +305,18 @@ mod tests {
         let a = Matrix::from_rows(&[]);
         assert_eq!(a.rows(), 0);
         assert_eq!(a.cols(), 0);
+    }
+
+    #[test]
+    fn resize_zeroes_and_reuses_capacity() {
+        let mut a = Matrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0]]);
+        a.resize(1, 2);
+        assert_eq!((a.rows(), a.cols()), (1, 2));
+        assert_eq!(a.row(0), &[0.0, 0.0]);
+        // Growing within the original 4-element capacity must not copy
+        // stale data back in.
+        a.row_mut(0).copy_from_slice(&[5.0, 6.0]);
+        a.resize(2, 2);
+        assert_eq!(a.as_slice(), &[0.0, 0.0, 0.0, 0.0]);
     }
 }

@@ -34,21 +34,18 @@
 use std::fmt;
 
 /// Storage width for embedding-partition payloads.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, serde::Serialize, serde::Deserialize)]
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, Hash, Default, serde::Serialize, serde::Deserialize,
+)]
 pub enum Precision {
     /// Full f32 rows — lossless, the default, byte-identical to the
     /// pre-quantization formats.
+    #[default]
     F32,
     /// IEEE binary16 rows, round-to-nearest-even.
     F16,
     /// Symmetric int8 rows with a per-row f32 absmax scale.
     Int8,
-}
-
-impl Default for Precision {
-    fn default() -> Self {
-        Precision::F32
-    }
 }
 
 impl fmt::Display for Precision {
@@ -139,7 +136,7 @@ pub fn f16_from_f32(x: f32) -> u16 {
         // normal half: round the 23-bit mantissa down to 10 bits; a
         // carry out of the mantissa bumps the exponent (and can reach
         // inf), which the packed representation handles for free
-        let mut out = ((((e + 15) as u32) << 10) | (mant >> 13)) as u32;
+        let mut out = (((e + 15) as u32) << 10) | (mant >> 13);
         let round = mant & 0x1fff;
         if round > 0x1000 || (round == 0x1000 && out & 1 != 0) {
             out += 1;
@@ -216,7 +213,13 @@ pub fn int8_dequantize(q: i8, scale: f32) -> f32 {
 
 /// Encodes a `rows × cols` f32 block at `precision`, appending to
 /// `out`. `values.len()` must equal `rows * cols`.
-pub fn encode_rows(precision: Precision, values: &[f32], rows: usize, cols: usize, out: &mut Vec<u8>) {
+pub fn encode_rows(
+    precision: Precision,
+    values: &[f32],
+    rows: usize,
+    cols: usize,
+    out: &mut Vec<u8>,
+) {
     assert_eq!(values.len(), rows * cols, "block shape mismatch");
     match precision {
         Precision::F32 => {
@@ -270,7 +273,14 @@ pub fn decode_rows(
     }
     let mut out = vec![0.0f32; rows * cols];
     for i in 0..rows {
-        decode_row_unchecked(precision, bytes, rows, cols, i, &mut out[i * cols..(i + 1) * cols]);
+        decode_row_unchecked(
+            precision,
+            bytes,
+            rows,
+            cols,
+            i,
+            &mut out[i * cols..(i + 1) * cols],
+        );
     }
     Ok(out)
 }
@@ -316,13 +326,19 @@ fn decode_row_unchecked(
     match precision {
         Precision::F32 => {
             let start = i * cols * 4;
-            for (o, c) in out.iter_mut().zip(bytes[start..start + cols * 4].chunks_exact(4)) {
+            for (o, c) in out
+                .iter_mut()
+                .zip(bytes[start..start + cols * 4].chunks_exact(4))
+            {
                 *o = f32::from_le_bytes(c.try_into().unwrap());
             }
         }
         Precision::F16 => {
             let start = i * cols * 2;
-            for (o, c) in out.iter_mut().zip(bytes[start..start + cols * 2].chunks_exact(2)) {
+            for (o, c) in out
+                .iter_mut()
+                .zip(bytes[start..start + cols * 2].chunks_exact(2))
+            {
                 *o = f16_to_f32(u16::from_le_bytes(c.try_into().unwrap()));
             }
         }
@@ -443,7 +459,11 @@ mod tests {
         assert_eq!(Precision::from_tag(3), None);
         assert_eq!(Precision::parse("f64"), None);
         assert_eq!(
-            (Precision::F32.tag(), Precision::F16.tag(), Precision::Int8.tag()),
+            (
+                Precision::F32.tag(),
+                Precision::F16.tag(),
+                Precision::Int8.tag()
+            ),
             (0, 1, 2)
         );
     }

@@ -3,6 +3,78 @@
 //! These are the elementwise building blocks for scoring and gradient
 //! computation. All functions panic if slice lengths differ, because a
 //! length mismatch is always a logic error in the calling code.
+//!
+//! [`dot`] and [`axpy`] — the two kernels hot enough to matter — take
+//! the explicit AVX2+FMA path when [`crate::kernels::dispatch`] resolved
+//! the process to the `avx2` variant; under `scalar`/`sse2` they run the
+//! autovectorized loops below (which are already the bit-exact contract
+//! the committed golden vectors were recorded under).
+
+/// AVX2+FMA versions of the two hot vector kernels. Safety argument:
+/// feature-gated `unsafe` only — all loads/stores stay inside the slices
+/// whose lengths the safe wrappers assert; callers guarantee the gate
+/// because the `avx2` variant can only become active via
+/// `dispatch` support detection.
+#[cfg(target_arch = "x86_64")]
+mod simd {
+    use std::arch::x86_64::*;
+
+    /// Same 8-lane structure as the scalar loop (one `__m256`
+    /// accumulator, same `((l0+l4)+(l1+l5)) + ((l2+l6)+(l3+l7))`
+    /// reduction tree), with the mul-add fused.
+    #[target_feature(enable = "avx2", enable = "fma")]
+    pub unsafe fn dot_avx2(a: &[f32], b: &[f32]) -> f32 {
+        let n = a.len();
+        let n8 = n & !7;
+        let mut acc = _mm256_setzero_ps();
+        let mut i = 0;
+        while i < n8 {
+            acc = _mm256_fmadd_ps(
+                _mm256_loadu_ps(a.as_ptr().add(i)),
+                _mm256_loadu_ps(b.as_ptr().add(i)),
+                acc,
+            );
+            i += 8;
+        }
+        let mut lanes = [0.0f32; 8];
+        _mm256_storeu_ps(lanes.as_mut_ptr(), acc);
+        let mut tail = 0.0f32;
+        while i < n {
+            tail = a[i].mul_add(b[i], tail);
+            i += 1;
+        }
+        ((lanes[0] + lanes[4]) + (lanes[1] + lanes[5]))
+            + ((lanes[2] + lanes[6]) + (lanes[3] + lanes[7]))
+            + tail
+    }
+
+    #[target_feature(enable = "avx2", enable = "fma")]
+    pub unsafe fn axpy_avx2(alpha: f32, x: &[f32], y: &mut [f32]) {
+        let n = x.len();
+        let va = _mm256_set1_ps(alpha);
+        let n8 = n & !7;
+        let mut i = 0;
+        while i < n8 {
+            let yv = _mm256_loadu_ps(y.as_ptr().add(i));
+            let xv = _mm256_loadu_ps(x.as_ptr().add(i));
+            _mm256_storeu_ps(y.as_mut_ptr().add(i), _mm256_fmadd_ps(va, xv, yv));
+            i += 8;
+        }
+        while i < n {
+            y[i] = alpha.mul_add(x[i], y[i]);
+            i += 1;
+        }
+    }
+}
+
+/// True when the process-wide kernel variant is `avx2` (the only variant
+/// with explicit vecmath paths; `scalar` and `sse2` share the
+/// autovectorized loops, which keeps their bit-identity trivial).
+#[cfg(target_arch = "x86_64")]
+#[inline]
+fn use_avx2() -> bool {
+    crate::kernels::dispatch::active() == crate::kernels::Variant::Avx2
+}
 
 /// Dot product `<a, b>`.
 ///
@@ -12,6 +84,11 @@
 #[inline]
 pub fn dot(a: &[f32], b: &[f32]) -> f32 {
     assert_eq!(a.len(), b.len(), "dot: length mismatch");
+    #[cfg(target_arch = "x86_64")]
+    if use_avx2() {
+        // SAFETY: `use_avx2` implies the dispatcher verified avx2+fma.
+        return unsafe { simd::dot_avx2(a, b) };
+    }
     // Eight independent lanes: the loop body is a straight-line SIMD
     // pattern LLVM vectorizes to packed mul-adds; order is deterministic.
     let n8 = a.len() - a.len() % 8;
@@ -70,6 +147,12 @@ pub fn cosine(a: &[f32], b: &[f32]) -> f32 {
 #[inline]
 pub fn axpy(alpha: f32, x: &[f32], y: &mut [f32]) {
     assert_eq!(x.len(), y.len(), "axpy: length mismatch");
+    #[cfg(target_arch = "x86_64")]
+    if use_avx2() {
+        // SAFETY: `use_avx2` implies the dispatcher verified avx2+fma.
+        unsafe { simd::axpy_avx2(alpha, x, y) };
+        return;
+    }
     for (yi, xi) in y.iter_mut().zip(x.iter()) {
         *yi += alpha * *xi;
     }

@@ -14,7 +14,7 @@
 //! each dimension and dropping stride padding while the failure still
 //! reproduces — and panics with the minimal failing case.
 
-use pbg_tensor::kernels::{self, reference, ScoreGrad};
+use pbg_tensor::kernels::{self, reference, ScoreGrad, Variant};
 use pbg_tensor::matrix::Matrix;
 use pbg_tensor::rng::Xoshiro256;
 
@@ -326,6 +326,142 @@ fn check_score_grads(case: &Case) -> Option<String> {
         .or_else(|| diff_views(n, k, &gb_got, ldgb, &gb_want, ldgb, m, "score_grads gb"))
 }
 
+// ---------------------------------------------------------------------------
+// Dispatch-differential checks: the same battery, pinned to one variant
+// ---------------------------------------------------------------------------
+
+/// `check_matmul` under an explicit `Variant` via the `_with` entry point.
+fn check_matmul_v(v: Variant, case: &Case) -> Option<String> {
+    let &Case { m, n, k, .. } = case;
+    let mut rng = Xoshiro256::seed_from_u64(case.seed);
+    let (a, lda) = case.alloc(&mut rng, m, k, case.pad_a);
+    let (b, ldb) = case.alloc(&mut rng, k, n, case.pad_b);
+    let (mut got, ldo) = case.alloc(&mut rng, m, n, case.pad_o);
+    let mut want = got.clone();
+    kernels::matmul_with(v, m, n, k, &a, lda, &b, ldb, &mut got, ldo);
+    reference::matmul(m, n, k, &a, lda, &b, ldb, &mut want, ldo);
+    diff_views(m, n, &got, ldo, &want, ldo, k, "matmul out")
+}
+
+/// `check_matmul_nt` under an explicit `Variant`.
+fn check_matmul_nt_v(v: Variant, case: &Case) -> Option<String> {
+    let &Case { m, n, k, .. } = case;
+    let mut rng = Xoshiro256::seed_from_u64(case.seed);
+    let (a, lda) = case.alloc(&mut rng, m, k, case.pad_a);
+    let (b, ldb) = case.alloc(&mut rng, n, k, case.pad_b);
+    let (mut got, ldo) = case.alloc(&mut rng, m, n, case.pad_o);
+    let mut want = got.clone();
+    kernels::matmul_nt_with(v, m, n, k, &a, lda, &b, ldb, &mut got, ldo);
+    reference::matmul_nt(m, n, k, &a, lda, &b, ldb, &mut want, ldo);
+    diff_views(m, n, &got, ldo, &want, ldo, k, "matmul_nt out")
+}
+
+/// `check_score_grads` under an explicit `Variant` (same zero-gradient
+/// sparsity pattern — the RNG draws are identical to the dispatch check).
+fn check_score_grads_v(v: Variant, case: &Case) -> Option<String> {
+    let &Case { m, n, k, .. } = case;
+    let mut rng = Xoshiro256::seed_from_u64(case.seed);
+    let (a, lda) = case.alloc(&mut rng, m, k, case.pad_a);
+    let (b, ldb) = case.alloc(&mut rng, n, k, case.pad_b);
+    let (mut g, ldg) = case.alloc(&mut rng, m, n, case.pad_o);
+    for i in 0..m {
+        for j in 0..n {
+            if rng.gen_index(3) == 0 {
+                g[i * ldg + j] = 0.0;
+            }
+        }
+    }
+    let mut ga_got = vec![f32::NAN; m * k.max(1)];
+    let mut gb_got = vec![f32::NAN; n * k.max(1)];
+    let mut ga_want = ga_got.clone();
+    let mut gb_want = gb_got.clone();
+    let (ldga, ldgb) = (k.max(1), k.max(1));
+    kernels::score_grads_with(
+        v,
+        m,
+        n,
+        k,
+        &a,
+        lda,
+        &b,
+        ldb,
+        &g,
+        ldg,
+        &mut ga_got,
+        ldga,
+        &mut gb_got,
+        ldgb,
+    );
+    reference::score_grads(
+        m,
+        n,
+        k,
+        &a,
+        lda,
+        &b,
+        ldb,
+        &g,
+        ldg,
+        &mut ga_want,
+        ldga,
+        &mut gb_want,
+        ldgb,
+    );
+    diff_views(m, k, &ga_got, ldga, &ga_want, ldga, n, "score_grads ga")
+        .or_else(|| diff_views(n, k, &gb_got, ldgb, &gb_want, ldgb, m, "score_grads gb"))
+}
+
+/// Runs one case through every kernel under two variants and demands the
+/// outputs agree to the last bit. Valid only for variant pairs that
+/// execute the same per-lane operation sequence (scalar ↔ sse2: both do
+/// mul-then-add in the same `k` order; avx2 fuses with FMA and is
+/// excluded by construction).
+fn check_bit_identical_pair(va: Variant, vb: Variant, case: &Case) -> Option<String> {
+    let &Case { m, n, k, .. } = case;
+    let run = |v: Variant| {
+        let mut rng = Xoshiro256::seed_from_u64(case.seed);
+        let (a, lda) = case.alloc(&mut rng, m, k, case.pad_a);
+        let (bt, ldbt) = case.alloc(&mut rng, n, k, case.pad_b); // n×k, for nt/grads
+        let (b, ldb) = case.alloc(&mut rng, k, n, case.pad_b); // k×n, for matmul
+        let (mut o_nt, ldo) = case.alloc(&mut rng, m, n, case.pad_o);
+        let mut o_mm = o_nt.clone();
+        let (mut g, ldg) = case.alloc(&mut rng, m, n, case.pad_o);
+        for i in 0..m {
+            for j in 0..n {
+                if rng.gen_index(3) == 0 {
+                    g[i * ldg + j] = 0.0;
+                }
+            }
+        }
+        kernels::matmul_nt_with(v, m, n, k, &a, lda, &bt, ldbt, &mut o_nt, ldo);
+        kernels::matmul_with(v, m, n, k, &a, lda, &b, ldb, &mut o_mm, ldo);
+        let mut ga = vec![f32::NAN; m * k.max(1)];
+        let mut gb = vec![f32::NAN; n * k.max(1)];
+        let (ldga, ldgb) = (k.max(1), k.max(1));
+        kernels::score_grads_with(
+            v, m, n, k, &a, lda, &bt, ldbt, &g, ldg, &mut ga, ldga, &mut gb, ldgb,
+        );
+        (o_nt, o_mm, ga, gb)
+    };
+    let (nt_a, mm_a, ga_a, gb_a) = run(va);
+    let (nt_b, mm_b, ga_b, gb_b) = run(vb);
+    for (name, xs, ys) in [
+        ("matmul_nt", &nt_a, &nt_b),
+        ("matmul", &mm_a, &mm_b),
+        ("score_grads ga", &ga_a, &ga_b),
+        ("score_grads gb", &gb_a, &gb_b),
+    ] {
+        for (i, (x, y)) in xs.iter().zip(ys.iter()).enumerate() {
+            if x.to_bits() != y.to_bits() {
+                return Some(format!(
+                    "{name} flat[{i}]: {va:?} gave {x:e} but {vb:?} gave {y:e} (not bit-identical)"
+                ));
+            }
+        }
+    }
+    None
+}
+
 /// The packed forward path (`ScoreGrad::scores`) against the reference —
 /// packing must be a pure layout change.
 fn check_packed_forward(case: &Case) -> Option<String> {
@@ -388,6 +524,107 @@ fn fused_score_grads_matches_reference_over_random_shapes() {
 #[test]
 fn packed_forward_matches_reference_over_random_shapes() {
     run_property("packed_forward", 64, check_packed_forward);
+}
+
+// ---------------------------------------------------------------------------
+// Dispatch-differential battery
+// ---------------------------------------------------------------------------
+
+/// Every seeded shape/stride case in the battery, under every variant
+/// this CPU supports, ULP-compared (with shrinking) against the scalar
+/// reference oracle. This is the property that makes `PBG_KERNEL` safe to
+/// flip in production: no variant may change results beyond reassociation
+/// rounding.
+#[test]
+fn every_supported_variant_passes_the_full_battery() {
+    for v in Variant::supported_variants() {
+        run_property(&format!("matmul[{}]", v.name()), 48, |c| {
+            check_matmul_v(v, c)
+        });
+        run_property(&format!("matmul_nt[{}]", v.name()), 48, |c| {
+            check_matmul_nt_v(v, c)
+        });
+        run_property(&format!("score_grads[{}]", v.name()), 48, |c| {
+            check_score_grads_v(v, c)
+        });
+    }
+}
+
+/// A variant the CPU cannot execute must degrade per call to scalar
+/// results — never fault. (On an AVX2 host this exercises the same
+/// `for_call` guard by confirming the requested variant and scalar agree
+/// on a case; on a non-AVX2 host it proves the degrade path.)
+#[test]
+fn unsupported_variants_degrade_rather_than_fault() {
+    let case = Case {
+        m: 33,
+        n: 17,
+        k: 40,
+        pad_a: 1,
+        pad_b: 2,
+        pad_o: 0,
+        seed: 0xfa11_bacc,
+    };
+    for v in Variant::all() {
+        if v.supported() {
+            continue;
+        }
+        // Must run and must match scalar exactly: for_call() rewrites it.
+        if let Some(err) = check_bit_identical_pair(v, Variant::Scalar, &case) {
+            panic!("unsupported {v:?} did not degrade to scalar: {err}");
+        }
+    }
+}
+
+/// Scalar and SSE2 execute the identical per-lane mul-then-add sequence
+/// in the identical order, so they must agree to the last bit across the
+/// whole battery — not merely within ULP tolerance. AVX2 uses FMA and is
+/// deliberately excluded (fused rounding differs by construction).
+#[test]
+fn scalar_and_sse2_are_bit_identical_across_the_battery() {
+    if !Variant::Sse2.supported() {
+        eprintln!("skipping: sse2 not supported on this host");
+        return;
+    }
+    run_property("scalar≡sse2", 48, |c| {
+        check_bit_identical_pair(Variant::Scalar, Variant::Sse2, c)
+    });
+}
+
+/// The exact shapes the committed golden vectors flow through (batch
+/// chunk geometry: 50 positives × 100 candidates × d, and the eval-time
+/// transposes of those). Golden tests pin `Variant::Scalar`; this
+/// assertion is what licenses running the rest of the suite under
+/// `PBG_KERNEL=sse2` without regenerating goldens.
+#[test]
+fn golden_covered_shapes_are_bit_identical_across_non_fma_variants() {
+    if !Variant::Sse2.supported() {
+        eprintln!("skipping: sse2 not supported on this host");
+        return;
+    }
+    let golden_shapes = [
+        (50, 100, 16),  // chunk scoring: positives × candidates × d
+        (100, 50, 16),  // backward transposed
+        (50, 100, 100), // paper-default d=100
+        (7, 100, 16),   // ragged final chunk
+        (1, 1, 16),     // single-edge batch
+    ];
+    for (idx, &(m, n, k)) in golden_shapes.iter().enumerate() {
+        for pad in 0..2usize {
+            let case = Case {
+                m,
+                n,
+                k,
+                pad_a: pad,
+                pad_b: pad,
+                pad_o: pad,
+                seed: 0x601d + idx as u64,
+            };
+            if let Some(err) = check_bit_identical_pair(Variant::Scalar, Variant::Sse2, &case) {
+                panic!("golden shape {m}x{n}x{k} pad={pad}: {err}");
+            }
+        }
+    }
 }
 
 /// The shrinker itself: plant a deliberate disagreement and verify the

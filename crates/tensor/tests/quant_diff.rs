@@ -223,7 +223,8 @@ fn check_f16_contract(case: &Case) -> Option<String> {
         let ax = x.abs();
         if ax > F16_MAX {
             // overflow: saturate to ±65504 or round to ±inf, same sign
-            let ok = (y.abs() == F16_MAX || y.is_infinite()) && (y.is_sign_positive() == x.is_sign_positive());
+            let ok = (y.abs() == F16_MAX || y.is_infinite())
+                && (y.is_sign_positive() == x.is_sign_positive());
             if !ok {
                 return err(format!("overflowing {x:e} decoded to {y:e}"));
             }
@@ -256,8 +257,7 @@ fn check_int8_contract(case: &Case) -> Option<String> {
         let scale = quant::int8_scale(row);
         for (j, &x) in row.iter().enumerate() {
             let y = back[r * case.cols + j];
-            let err =
-                |msg: String| Some(format!("int8 row {r} col {j} (scale {scale:e}): {msg}"));
+            let err = |msg: String| Some(format!("int8 row {r} col {j} (scale {scale:e}): {msg}"));
             if x.is_nan() {
                 if y != 0.0 {
                     return err(format!("NaN decoded to {y:e}, want 0"));
@@ -377,8 +377,10 @@ fn tampered_lengths_are_rejected() {
         assert!(quant::decode_row_into(precision, &bytes, 4, 6, 4, &mut row).is_err());
         let mut short = vec![0.0f32; 5];
         assert!(quant::decode_row_into(precision, &bytes, 4, 6, 0, &mut short).is_err());
-        assert!(quant::decode_row_into(precision, &bytes[..bytes.len() - 1], 4, 6, 0, &mut row)
-            .is_err());
+        assert!(
+            quant::decode_row_into(precision, &bytes[..bytes.len() - 1], 4, 6, 0, &mut row)
+                .is_err()
+        );
     }
 }
 

@@ -20,6 +20,21 @@ use pbg::core::trainer::Trainer;
 use pbg::datagen::social::SocialGraphConfig;
 use pbg::graph::edges::EdgeList;
 use pbg::graph::schema::GraphSchema;
+use pbg::tensor::kernels::{dispatch, Variant};
+
+/// The golden vectors were recorded under the scalar kernel path; the
+/// AVX2 variant fuses multiply-adds and differs by ULPs, so every test in
+/// this binary pins the dispatcher before any kernel runs. (All tests
+/// force the same value, so concurrent test threads can't race.)
+fn pin_scalar_kernels() {
+    let active = dispatch::force(Variant::Scalar);
+    assert_eq!(
+        active,
+        Variant::Scalar,
+        "kernel dispatch was already resolved to {active:?}; \
+         golden comparisons require the scalar variant"
+    );
+}
 
 const GOLDEN_PATH: &str = concat!(
     env!("CARGO_MANIFEST_DIR"),
@@ -77,6 +92,7 @@ fn train_and_score() -> (Vec<f32>, Vec<f32>) {
 
 #[test]
 fn threads1_training_is_bit_identical_across_runs() {
+    pin_scalar_kernels();
     let (table1, scores1) = train_and_score();
     let (table2, scores2) = train_and_score();
     assert_eq!(table1.len(), table2.len());
@@ -94,6 +110,7 @@ fn threads1_training_is_bit_identical_across_runs() {
 
 #[test]
 fn threads1_scores_match_committed_golden() {
+    pin_scalar_kernels();
     let (_, scores) = train_and_score();
     let rendered: String = scores
         .iter()

@@ -35,9 +35,25 @@ use pbg::net::{
     RankServices, RankStats,
 };
 use pbg::telemetry::Registry;
+use pbg::tensor::kernels::{dispatch, Variant};
 use pbg::tensor::rng::Xoshiro256;
 use std::sync::Arc;
 use std::time::Duration;
+
+/// The golden vectors (and the single-machine ↔ cluster bit-identity
+/// claim) were recorded under the scalar kernel path; AVX2's fused
+/// multiply-adds differ by ULPs. Every test in this binary pins the
+/// dispatcher before any kernel runs — all force the same value, so
+/// concurrent test threads can't race.
+fn pin_scalar_kernels() {
+    let active = dispatch::force(Variant::Scalar);
+    assert_eq!(
+        active,
+        Variant::Scalar,
+        "kernel dispatch was already resolved to {active:?}; \
+         golden comparisons require the scalar variant"
+    );
+}
 
 const GOLDEN_PATH: &str = concat!(
     env!("CARGO_MANIFEST_DIR"),
@@ -185,6 +201,7 @@ fn run_cluster(
 
 #[test]
 fn loopback_two_ranks_bit_identical_to_single_machine() {
+    pin_scalar_kernels();
     let (schema, edges) = dataset();
     let servers = spawn_servers(&schema, &config(), None);
     let (stats, net_model) = run_cluster(&servers, 2, |_| FaultPlan::none());
@@ -224,6 +241,7 @@ fn loopback_two_ranks_bit_identical_to_single_machine() {
 
 #[test]
 fn loopback_scores_match_committed_golden() {
+    pin_scalar_kernels();
     let (schema, edges) = dataset();
     let servers = spawn_servers(&schema, &config(), None);
     let (_, net_model) = run_cluster(&servers, 2, |_| FaultPlan::none());
@@ -263,6 +281,7 @@ fn loopback_scores_match_committed_golden() {
 
 #[test]
 fn crashed_rank_is_reaped_and_its_bucket_retrained_exactly_once() {
+    pin_scalar_kernels();
     let (schema, edges) = dataset();
     let cfg = config();
     let servers = spawn_servers(&schema, &cfg, Some(Duration::from_millis(250)));
@@ -309,6 +328,7 @@ fn crashed_rank_is_reaped_and_its_bucket_retrained_exactly_once() {
 
 #[test]
 fn stale_fenced_checkin_is_rejected_over_tcp() {
+    pin_scalar_kernels();
     use pbg::core::storage::PartitionKey;
     use pbg::distsim::service::PartitionService;
 

@@ -101,8 +101,13 @@ fn fb15k_f16_checkpoint_evals_within_noise_band_of_f32() {
         .build()
         .unwrap();
 
-    let ((mrr, hits), (qmrr, qhits), f16_bytes) =
-        eval_through_checkpoint("fb15k_f16", &dataset, &split, config.clone(), Precision::F16);
+    let ((mrr, hits), (qmrr, qhits), f16_bytes) = eval_through_checkpoint(
+        "fb15k_f16",
+        &dataset,
+        &split,
+        config.clone(),
+        Precision::F16,
+    );
     assert!(mrr > 0.05, "base MRR {mrr}");
     assert!(
         (mrr - qmrr).abs() <= 0.02,
@@ -114,8 +119,13 @@ fn fb15k_f16_checkpoint_evals_within_noise_band_of_f32() {
     );
 
     // int8 is lossier: allow a wider band but still demand rankings hold
-    let ((mrr8, hits8), (q8mrr, q8hits), _) =
-        eval_through_checkpoint("fb15k_int8", &dataset, &split, config.clone(), Precision::Int8);
+    let ((mrr8, hits8), (q8mrr, q8hits), _) = eval_through_checkpoint(
+        "fb15k_int8",
+        &dataset,
+        &split,
+        config.clone(),
+        Precision::Int8,
+    );
     assert!(
         (mrr8 - q8mrr).abs() <= 0.05,
         "fb15k int8 MRR drifted: {mrr8} vs {q8mrr}"
